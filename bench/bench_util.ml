@@ -1,0 +1,57 @@
+(* Table rendering and bechamel plumbing shared by the experiment modules. *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+(* Print an aligned table: header row + string rows. *)
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let widths =
+    List.init cols (fun c ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all)
+  in
+  let print_row row =
+    List.iteri
+      (fun c cell -> Printf.printf "%-*s  " (List.nth widths c) cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let fmt_float ?(digits = 1) v = Printf.sprintf "%.*f" digits v
+
+let fmt_rate ops seconds =
+  if seconds <= 0.0 then "inf" else Printf.sprintf "%.2f" (float_of_int ops /. seconds /. 1e6)
+
+(* Run a list of bechamel tests and return (name, ns/op) pairs. One
+   Test.make per timed table lives in the caller; this helper owns the
+   configuration so every table is measured identically. *)
+let run_bechamel tests =
+  let open Bechamel in
+  let open Toolkit in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw =
+    Benchmark.all cfg [ Instance.monotonic_clock ] (Test.make_grouped ~name:"bench" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> (name, ns) :: acc
+      | _ -> (name, nan) :: acc)
+    results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let print_bechamel_table ~title results =
+  subsection title;
+  table
+    ~header:[ "benchmark"; "ns/op" ]
+    (List.map (fun (name, ns) -> [ name; fmt_float ~digits:1 ns ]) results)

@@ -1,0 +1,128 @@
+(* E13: relaxed priority queues — the paper's second future-work direction
+   ("semi-quantitative" objects whose return values carry a priority).
+
+   The MultiQueue's delete_min returns near-minimal priorities; we measure
+   the rank-error distribution of returned elements against the exact heap
+   (quantifying how "intermediate" the returned quantity is), and throughput
+   against a single mutex-protected heap. *)
+
+let rank_error_distribution ~c ~domains =
+  let n = 20_000 in
+  let mq = Pq.Multiqueue.create ~c ~seed:51L ~domains () in
+  let g = Rng.Splitmix.create 52L in
+  for _ = 1 to n do
+    let p = Rng.Splitmix.next_int g 1_000_000 in
+    Pq.Multiqueue.insert mq ~domain:0 ~priority:p p
+  done;
+  (* Pop everything; rank error of a pop = number of remaining elements with
+     strictly smaller priority, tracked in an exact multiset. *)
+  let module IntMap = Map.Make (Int) in
+  let live = ref IntMap.empty in
+  let bump m p d =
+    IntMap.update p (function
+      | None -> if d > 0 then Some d else None
+      | Some c -> if c + d <= 0 then None else Some (c + d))
+      m
+  in
+  (* Re-insert the same stream to know the multiset. *)
+  let g2 = Rng.Splitmix.create 52L in
+  for _ = 1 to n do
+    live := bump !live (Rng.Splitmix.next_int g2 1_000_000) 1
+  done;
+  let errors = ref [] in
+  let rec drain () =
+    match Pq.Multiqueue.delete_min mq ~domain:0 with
+    | None -> ()
+    | Some (p, _) ->
+        let smaller =
+          IntMap.fold (fun q c acc -> if q < p then acc + c else acc) !live 0
+        in
+        errors := float_of_int smaller :: !errors;
+        live := bump !live p (-1);
+        drain ()
+  in
+  drain ();
+  Array.of_list !errors
+
+let locked_heap_throughput ~threads ~ops =
+  let lock = Mutex.create () in
+  let heap = Pq.Heap.create () in
+  let per = ops / threads in
+  let _, dt =
+    Conc.Runner.parallel_timed ~domains:threads (fun i b ->
+        Conc.Barrier.await b;
+        let g = Rng.Splitmix.create (Int64.of_int (60 + i)) in
+        for _ = 1 to per do
+          Mutex.lock lock;
+          if Rng.Splitmix.next_bool g || Pq.Heap.is_empty heap then
+            Pq.Heap.insert heap ~priority:(Rng.Splitmix.next_int g 1_000_000) 0
+          else ignore (Pq.Heap.pop heap);
+          Mutex.unlock lock
+        done)
+  in
+  dt
+
+let multiqueue_throughput ~threads ~ops ~c =
+  let mq = Pq.Multiqueue.create ~c ~seed:61L ~domains:threads () in
+  let per = ops / threads in
+  let _, dt =
+    Conc.Runner.parallel_timed ~domains:threads (fun i b ->
+        Conc.Barrier.await b;
+        let g = Rng.Splitmix.create (Int64.of_int (70 + i)) in
+        for _ = 1 to per do
+          if Rng.Splitmix.next_bool g then
+            Pq.Multiqueue.insert mq ~domain:i ~priority:(Rng.Splitmix.next_int g 1_000_000) 0
+          else ignore (Pq.Multiqueue.delete_min mq ~domain:i)
+        done)
+  in
+  dt
+
+let run () =
+  Bench_util.section
+    "E13: relaxed priority queue (MultiQueue) - the semi-quantitative frontier";
+  Bench_util.subsection "delete_min rank-error distribution (single consumer)";
+  let rows =
+    List.map
+      (fun (c, domains) ->
+        let errs = rank_error_distribution ~c ~domains in
+        [
+          Printf.sprintf "c=%d x %d domains (%d heaps)" c domains (c * domains);
+          Printf.sprintf "%.1f" (Stats.Percentile.median errs);
+          Printf.sprintf "%.1f" (Stats.Percentile.percentile errs 90.0);
+          Printf.sprintf "%.1f" (Stats.Percentile.percentile errs 99.0);
+          Printf.sprintf "%.0f" (Stats.Percentile.percentile errs 100.0);
+        ])
+      [ (2, 1); (2, 4); (4, 4); (8, 4) ]
+  in
+  Bench_util.table ~header:[ "configuration"; "median"; "p90"; "p99"; "max" ] rows;
+  print_endline
+    "shape check: rank error scales with the heap count (the relaxation";
+  print_endline
+    "knob), staying O(heaps) in expectation - the priority returned is an";
+  print_endline "intermediate value, never a wild one.";
+
+  Bench_util.subsection "mixed insert/delete throughput (Mops/s)";
+  let ops = 400_000 in
+  let rows =
+    List.map
+      (fun threads ->
+        let t_mq = multiqueue_throughput ~threads ~ops ~c:4 in
+        let t_locked = locked_heap_throughput ~threads ~ops in
+        [
+          string_of_int threads;
+          Bench_util.fmt_rate ops t_mq;
+          Bench_util.fmt_rate ops t_locked;
+          Printf.sprintf "%.2fx" (t_locked /. t_mq);
+        ])
+      [ 1; 2; 4 ]
+  in
+  Bench_util.table
+    ~header:[ "threads"; "multiqueue (c=4)"; "locked heap"; "speedup" ]
+    rows;
+  print_endline
+    "note: on a single-core host the global lock is never contended, so the";
+  print_endline
+    "multiqueue's two probe locks + RNG per op cost more than they save; the";
+  print_endline
+    "relaxation pays off when threads on separate cores would serialize on";
+  print_endline "one heap lock - the rank-error table is the host-independent result."

@@ -1,0 +1,174 @@
+(* E11: concurrent quantiles — the paper's future-work direction, measured.
+   The striped sketch (single-writer stripes + batched publication + merge
+   on query) against the sequential KLL sketch: rank accuracy on the same
+   stream, and ingestion throughput against a global-lock KLL baseline. *)
+
+let stream_length = 60_000
+let universe = 50_000
+
+let rank_error () =
+  let stream =
+    Workload.Stream.generate ~seed:21L (Workload.Stream.Uniform universe)
+      ~length:stream_length
+  in
+  let exact = Sketches.Exact.create () in
+  Array.iter (Sketches.Exact.update exact) stream;
+  let probes = [ universe / 10; universe / 4; universe / 2; 3 * universe / 4 ] in
+  let mean_err ranks =
+    let total =
+      List.fold_left
+        (fun acc x ->
+          acc + abs (ranks x - Sketches.Exact.rank exact x))
+        0 probes
+    in
+    float_of_int total /. float_of_int (List.length probes)
+      /. float_of_int stream_length
+  in
+  (* Sequential control. *)
+  let seq = Sketches.Quantiles.create ~k:256 ~seed:22L () in
+  Array.iter (Sketches.Quantiles.update seq) stream;
+  let seq_err = mean_err (Sketches.Quantiles.rank seq) in
+  (* Concurrent striped. *)
+  let domains = 4 in
+  let striped =
+    Conc.Striped_quantiles.create ~k:256 ~publish_every:64 ~seed:23L ~domains ()
+  in
+  let chunks = Workload.Stream.chunks stream ~pieces:domains in
+  let _ =
+    Conc.Runner.parallel ~domains (fun i ->
+        Array.iter (fun x -> Conc.Striped_quantiles.update striped ~domain:i x) chunks.(i))
+  in
+  Conc.Striped_quantiles.flush_all striped;
+  let conc_err = mean_err (Conc.Striped_quantiles.rank striped) in
+  (seq_err, conc_err)
+
+(* A strawman linearizable baseline: one KLL behind a mutex. *)
+let locked_throughput ~writers stream =
+  let lock = Mutex.create () in
+  let q = Sketches.Quantiles.create ~k:256 ~seed:24L () in
+  let chunks = Workload.Stream.chunks stream ~pieces:writers in
+  let _, dt =
+    Conc.Runner.parallel_timed ~domains:writers (fun i b ->
+        Conc.Barrier.await b;
+        Array.iter
+          (fun x ->
+            Mutex.lock lock;
+            Sketches.Quantiles.update q x;
+            Mutex.unlock lock)
+          chunks.(i))
+  in
+  dt
+
+let striped_throughput ~writers stream =
+  let q =
+    Conc.Striped_quantiles.create ~k:256 ~publish_every:64 ~seed:25L ~domains:writers ()
+  in
+  let chunks = Workload.Stream.chunks stream ~pieces:writers in
+  let _, dt =
+    Conc.Runner.parallel_timed ~domains:writers (fun i b ->
+        Conc.Barrier.await b;
+        Array.iter (fun x -> Conc.Striped_quantiles.update q ~domain:i x) chunks.(i))
+  in
+  dt
+
+let hll_accuracy () =
+  let true_distinct = 60_000 in
+  (* Sequential control. *)
+  let seq = Sketches.Hyperloglog.create ~p:12 ~seed:27L () in
+  for x = 1 to true_distinct do
+    Sketches.Hyperloglog.update seq x
+  done;
+  let seq_err =
+    abs_float (Sketches.Hyperloglog.estimate seq -. float_of_int true_distinct)
+    /. float_of_int true_distinct
+  in
+  (* Concurrent, 4 domains over overlapping slices. *)
+  let conc = Conc.Hll_conc.create ~p:12 ~seed:28L () in
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun i ->
+        for x = 1 to true_distinct do
+          if (x + i) mod 2 = 0 then Conc.Hll_conc.update conc x
+        done;
+        (* Second pass covers the other half so all domains race on shared
+           registers while the union is complete. *)
+        for x = 1 to true_distinct do
+          if (x + i) mod 2 = 1 then Conc.Hll_conc.update conc x
+        done)
+  in
+  let conc_err =
+    abs_float (Conc.Hll_conc.estimate conc -. float_of_int true_distinct)
+    /. float_of_int true_distinct
+  in
+  (seq_err, conc_err)
+
+let run () =
+  Bench_util.section
+    "E11: beyond counters and frequencies - quantiles and cardinality";
+  let seq_err, conc_err = rank_error () in
+  Bench_util.table
+    ~header:[ "sketch"; "mean rank error / n" ]
+    [
+      [ "sequential KLL (k=256)"; Printf.sprintf "%.5f" seq_err ];
+      [ "striped concurrent (4 domains)"; Printf.sprintf "%.5f" conc_err ];
+    ];
+  print_endline
+    "shape check: the striped sketch's rank error matches the sequential";
+  print_endline "sketch's (merge preserves the KLL guarantee).";
+
+  Bench_util.subsection "cardinality: sequential vs concurrent HyperLogLog";
+  let hseq, hconc = hll_accuracy () in
+  Bench_util.table
+    ~header:[ "sketch"; "relative error" ]
+    [
+      [ "sequential HLL (p=12)"; Printf.sprintf "%.4f" hseq ];
+      [ "concurrent HLL (4 domains, atomic max regs)"; Printf.sprintf "%.4f" hconc ];
+    ];
+
+  Bench_util.subsection "top-k: striped Space-Saving recall";
+  let topk_stream =
+    Workload.Stream.generate ~seed:29L (Workload.Stream.Zipf (5_000, 1.4))
+      ~length:stream_length
+  in
+  let topk =
+    Conc.Striped_topk.create ~capacity:128 ~publish_every:64 ~seed:30L ~domains:4 ()
+  in
+  let topk_chunks = Workload.Stream.chunks topk_stream ~pieces:4 in
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun i ->
+        Array.iter (fun a -> Conc.Striped_topk.update topk ~domain:i a) topk_chunks.(i))
+  in
+  Conc.Striped_topk.flush_all topk;
+  let exact_topk = Sketches.Exact.create () in
+  Array.iter (Sketches.Exact.update exact_topk) topk_stream;
+  let truth = Sketches.Exact.heavy_hitters exact_topk ~threshold:0.005 in
+  let reported = List.map fst (Conc.Striped_topk.top topk ~k:(List.length truth) ()) in
+  let recall =
+    List.length (List.filter (fun (e, _) -> List.mem e reported) truth)
+  in
+  Bench_util.table
+    ~header:[ "metric"; "value" ]
+    [
+      [ "true heavy hitters (>=0.5%)"; string_of_int (List.length truth) ];
+      [ "recalled in concurrent top-k"; string_of_int recall ];
+      [ "merged over-estimate bound"; string_of_int (Conc.Striped_topk.guaranteed_error topk) ];
+    ];
+
+  Bench_util.subsection "ingestion throughput (Mops/s)";
+  let stream =
+    Workload.Stream.generate ~seed:26L (Workload.Stream.Uniform universe)
+      ~length:stream_length
+  in
+  let rows =
+    List.map
+      (fun w ->
+        let t_striped = striped_throughput ~writers:w stream in
+        let t_locked = locked_throughput ~writers:w stream in
+        [
+          string_of_int w;
+          Bench_util.fmt_rate stream_length t_striped;
+          Bench_util.fmt_rate stream_length t_locked;
+          Printf.sprintf "%.2fx" (t_locked /. t_striped);
+        ])
+      [ 1; 2; 4 ]
+  in
+  Bench_util.table ~header:[ "writers"; "striped"; "locked KLL"; "speedup" ] rows

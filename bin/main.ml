@@ -1,0 +1,413 @@
+(* ivl-cli: ad-hoc access to the library's checkers, simulators and sketches.
+
+   Subcommands:
+     replay   print a canned scenario's history and checker verdicts
+     fuzz     random-schedule fuzzing of an algorithm against its spec
+     steps    step-complexity measurement in the SWMR simulator
+     sketch   run the concurrent CountMin on a synthetic stream
+
+   Examples:
+     dune exec bin/main.exe -- replay example9
+     dune exec bin/main.exe -- fuzz --algo pcm --trials 500
+     dune exec bin/main.exe -- steps --algo snapshot --procs 16
+     dune exec bin/main.exe -- sketch --shape zipf --skew 1.2 --length 100000 *)
+
+module M = Simulation.Machine
+module S = Simulation.Sched
+module A = Simulation.Algos
+
+module Counter_check = Ivl.Check.Make (Spec.Counter_spec)
+module Counter_lin = Ivl.Lincheck.Make (Spec.Counter_spec)
+module Counter_explain = Ivl.Explain.Make (Spec.Counter_spec)
+
+
+(* ------------------------------ replay ------------------------------ *)
+
+let example9_hash row x =
+  match (row, x) with 0, (0 | 1) -> 0 | 0, _ -> 1 | 1, (0 | 2) -> 0 | _ -> 1
+
+let example9_family =
+  Hashing.Family.of_mapping ~width:2
+    [| (fun x -> example9_hash 0 x); (fun x -> example9_hash 1 x) |]
+
+module Cm9 = Spec.Countmin_spec.Fixed (struct
+  let family = example9_family
+end)
+
+module Cm9_check = Ivl.Check.Make (Cm9)
+module Cm9_lin = Ivl.Lincheck.Make (Cm9)
+module Cm9_explain = Ivl.Explain.Make (Cm9)
+module Updown_check = Ivl.Check.Make (Spec.Updown_spec)
+module Updown_lin = Ivl.Lincheck.Make (Spec.Updown_spec)
+
+let replay_example9 () =
+  let pcm = A.Pcm_sim.make ~d:2 ~w:2 ~hash:example9_hash () in
+  let scripts =
+    [|
+      List.map (fun e -> A.Pcm_sim.update_op pcm ~a:e ()) [ 0; 2; 3; 3; 3; 0 ];
+      [ A.Pcm_sim.query_op pcm ~a:0 (); A.Pcm_sim.query_op pcm ~a:2 () ];
+    |]
+  in
+  let sched = S.Explicit (List.init 11 (fun _ -> 0) @ [ 1; 1; 1; 1; 0 ]) in
+  let r = M.run ~registers:(A.Pcm_sim.zero_registers pcm) ~scripts ~sched () in
+  print_endline "Example 9 (Section 5): update(a) straddles two queries";
+  print_endline (Hist.Ascii.render_int r.M.history);
+  print_newline ();
+  print_string (Cm9_explain.to_string r.M.history)
+
+let replay_figure2 () =
+  let n = 3 in
+  let scripts =
+    [|
+      [ A.Ivl_counter.update_op ~proc:0 ~amount:5 () ];
+      [ A.Ivl_counter.update_op ~proc:1 ~amount:2 () ];
+      [ A.Ivl_counter.read_op ~n () ];
+    |]
+  in
+  let r =
+    M.run ~registers:(A.Ivl_counter.registers ~n) ~scripts
+      ~sched:(S.Explicit [ 2; 0; 0; 1; 1; 2; 2 ]) ()
+  in
+  print_endline "Figure 2 (Section 6): read misses an earlier update, sees a later one";
+  print_endline (Hist.Ascii.render_int r.M.history);
+  print_newline ();
+  print_string (Counter_explain.to_string r.M.history)
+
+let replay scenario =
+  (match scenario with
+  | "example9" -> replay_example9 ()
+  | "figure2" -> replay_figure2 ()
+  | other ->
+      Printf.eprintf "unknown scenario %s (available: example9 figure2)\n" other;
+      exit 1);
+  0
+
+(* ------------------------------ fuzz ------------------------------ *)
+
+let fuzz algo trials seed =
+  let violations = ref 0 and non_lin = ref 0 in
+  for t = 1 to trials do
+    let s = Int64.add seed (Int64.of_int t) in
+    let history =
+      match algo with
+      | "counter" ->
+          let n = 3 in
+          let scripts =
+            [|
+              [
+                A.Ivl_counter.update_op ~proc:0 ~amount:3 ();
+                A.Ivl_counter.update_op ~proc:0 ~amount:1 ();
+              ];
+              [ A.Ivl_counter.update_op ~proc:1 ~amount:2 () ];
+              [ A.Ivl_counter.read_op ~n (); A.Ivl_counter.read_op ~n () ];
+            |]
+          in
+          (M.run ~registers:(A.Ivl_counter.registers ~n) ~scripts ~sched:(S.Random s) ())
+            .M.history
+      | "snapshot" ->
+          let n = 3 in
+          let scripts =
+            [|
+              [ Simulation.Snapshot.update_op ~n ~proc:0 ~amount:3 () ];
+              [ Simulation.Snapshot.update_op ~n ~proc:1 ~amount:2 () ];
+              [ Simulation.Snapshot.read_op ~n () ];
+            |]
+          in
+          (M.run ~registers:(Simulation.Snapshot.registers ~n) ~scripts
+             ~sched:(S.Random s) ())
+            .M.history
+      | "pcm" ->
+          let pcm = A.Pcm_sim.make ~d:2 ~w:2 ~hash:example9_hash () in
+          let scripts =
+            [|
+              List.map (fun e -> A.Pcm_sim.update_op pcm ~a:e ()) [ 0; 2; 3; 0 ];
+              [ A.Pcm_sim.query_op pcm ~a:0 (); A.Pcm_sim.query_op pcm ~a:2 () ];
+            |]
+          in
+          (M.run ~registers:(A.Pcm_sim.zero_registers pcm) ~scripts ~sched:(S.Random s) ())
+            .M.history
+      | "updown-buggy" | "updown-safe" ->
+          let variant = if algo = "updown-buggy" then `Buggy else `Safe in
+          let scripts =
+            [|
+              [
+                A.Updown_two_cell.update_op ~delta:1 ();
+                A.Updown_two_cell.update_op ~delta:(-1) ();
+              ];
+              [ A.Updown_two_cell.read_op ~variant () ];
+            |]
+          in
+          (M.run ~registers:A.Updown_two_cell.registers ~scripts
+             ~sched:(S.Stall { victim = 1; after = 1; for_steps = 4; seed = s })
+             ())
+            .M.history
+      | other ->
+          Printf.eprintf
+            "unknown algo %s (available: counter snapshot pcm updown-buggy updown-safe)\n"
+            other;
+          exit 1
+    in
+    let is_ivl =
+      match algo with
+      | "pcm" -> Cm9_check.is_ivl history
+      | "updown-buggy" | "updown-safe" -> Updown_check.is_ivl history
+      | _ -> Counter_check.is_ivl history
+    in
+    let is_lin =
+      match algo with
+      | "pcm" -> Cm9_lin.is_linearizable history
+      | "updown-buggy" | "updown-safe" -> Updown_lin.is_linearizable history
+      | _ -> Counter_lin.is_linearizable history
+    in
+    if not is_ivl then begin
+      incr violations;
+      Printf.printf "IVL violation at trial %d:\n%s\n" t
+        (Hist.Ascii.render_int history)
+    end;
+    if not is_lin then incr non_lin
+  done;
+  Printf.printf "%d trials: %d IVL violations, %d non-linearizable schedules\n" trials
+    !violations !non_lin;
+  (* The snapshot counter should also be linearizable everywhere. *)
+  if !violations = 0 then 0 else 1
+
+(* ------------------------------ steps ------------------------------ *)
+
+let steps algo procs =
+  let n = procs in
+  let result =
+    match algo with
+    | "ivl" ->
+        let scripts =
+          Array.init (n + 1) (fun p ->
+              if p < n then [ A.Ivl_counter.update_op ~proc:p ~amount:1 () ]
+              else [ A.Ivl_counter.read_op ~n:(n + 1) () ])
+        in
+        M.run
+          ~registers:(A.Ivl_counter.registers ~n:(n + 1))
+          ~scripts ~sched:S.Round_robin ()
+    | "snapshot" ->
+        let scripts =
+          Array.init (n + 1) (fun p ->
+              if p < n then [ Simulation.Snapshot.update_op ~n:(n + 1) ~proc:p ~amount:1 () ]
+              else [ Simulation.Snapshot.read_op ~n:(n + 1) () ])
+        in
+        M.run
+          ~registers:(Simulation.Snapshot.registers ~n:(n + 1))
+          ~scripts ~sched:S.Round_robin ()
+    | other ->
+        Printf.eprintf "unknown algo %s (available: ivl snapshot)\n" other;
+        exit 1
+  in
+  Printf.printf "%s batched counter, %d updaters + 1 reader (round-robin):\n" algo n;
+  List.iter
+    (fun (label, steps) ->
+      let avg =
+        float_of_int (List.fold_left ( + ) 0 steps) /. float_of_int (List.length steps)
+      in
+      Printf.printf "  %-8s avg %.1f steps  max %d\n" label avg
+        (List.fold_left max 0 steps))
+    (M.steps_by_label result);
+  0
+
+(* ------------------------------ sketch ------------------------------ *)
+
+let sketch shape skew universe length alpha delta top =
+  let shape =
+    match shape with
+    | "zipf" -> Workload.Stream.Zipf (universe, skew)
+    | "uniform" -> Workload.Stream.Uniform universe
+    | "bursty" -> Workload.Stream.Bursty (universe, 64)
+    | other ->
+        Printf.eprintf "unknown shape %s (available: zipf uniform bursty)\n" other;
+        exit 1
+  in
+  let pcm = Conc.Pcm.create_for_error ~seed:42L ~alpha ~delta in
+  Printf.printf "PCM %d x %d, %s, %d updates on 4 domains\n" (Conc.Pcm.rows pcm)
+    (Conc.Pcm.width pcm)
+    (Workload.Stream.describe shape)
+    length;
+  let stream = Workload.Stream.generate ~seed:7L shape ~length in
+  let chunks = Workload.Stream.chunks stream ~pieces:4 in
+  let _, dt =
+    Conc.Runner.parallel_timed ~domains:4 (fun i b ->
+        Conc.Barrier.await b;
+        Array.iter (Conc.Pcm.update pcm) chunks.(i))
+  in
+  Printf.printf "ingested in %.3fs (%.2f Mops/s)\n" dt
+    (float_of_int length /. dt /. 1e6);
+  let exact = Sketches.Exact.create () in
+  Array.iter (Sketches.Exact.update exact) stream;
+  Printf.printf "%-8s %-10s %-10s %-8s\n" "element" "true" "estimate" "excess";
+  List.iter
+    (fun e ->
+      let f = Sketches.Exact.frequency exact e and est = Conc.Pcm.query pcm e in
+      Printf.printf "%-8d %-10d %-10d %-8d\n" e f est (est - f))
+    (List.init top Fun.id);
+  0
+
+(* ------------------------------ envelope ------------------------------ *)
+
+(* Record a real multicore execution of the IVL counter and validate every
+   read against its monotone envelope (Ivl.Monotone) — scalable end-to-end
+   checking on executions far beyond the exact checkers' reach. *)
+let envelope writers updates reads =
+  let module Mono = Ivl.Monotone.Make (Spec.Counter_spec) in
+  let rec_ = Conc.Recorder.create ~domains:(writers + 1) in
+  let c = Conc.Ivl_counter.create ~procs:writers in
+  let _ =
+    Conc.Runner.parallel ~domains:(writers + 1) (fun i ->
+        if i < writers then
+          for k = 1 to updates do
+            Conc.Recorder.record_update rec_ ~domain:i ~obj:0 (k mod 5) (fun () ->
+                Conc.Ivl_counter.update c ~proc:i (k mod 5))
+          done
+        else
+          for _ = 1 to reads do
+            ignore
+              (Conc.Recorder.record_query rec_ ~domain:i ~obj:0 0 (fun () ->
+                   Conc.Ivl_counter.read c))
+          done)
+  in
+  let h = Conc.Recorder.history rec_ in
+  let total_ops = List.length (Hist.History.completed h) in
+  let envelopes = Mono.envelopes h in
+  let widths =
+    List.map (fun (e : Mono.envelope) -> float_of_int (e.Mono.high - e.Mono.low)) envelopes
+  in
+  let violations = Mono.violations h in
+  Printf.printf "recorded %d operations (%d writers x %d updates + %d reads)\n"
+    total_ops writers updates reads;
+  if widths <> [] then begin
+    let arr = Array.of_list widths in
+    Printf.printf "read envelopes: median width %.0f, p99 %.0f, max %.0f\n"
+      (Stats.Percentile.median arr)
+      (Stats.Percentile.percentile arr 99.0)
+      (Stats.Percentile.percentile arr 100.0)
+  end;
+  Printf.printf "envelope violations: %d\n" (List.length violations);
+  if violations = [] then 0 else 1
+
+(* ------------------------------ explore ------------------------------ *)
+
+(* Exhaustive schedule-space model checking of a small configuration. *)
+let explore algo updaters =
+  let histories, check, lin =
+    match algo with
+    | "counter" ->
+        let n = updaters + 1 in
+        let mk () =
+          Array.init n (fun p ->
+              if p < updaters then [ A.Ivl_counter.update_op ~proc:p ~amount:(p + 2) () ]
+              else [ A.Ivl_counter.read_op ~n () ])
+        in
+        ( M.explore ~registers:(A.Ivl_counter.registers ~n) ~scripts:mk (),
+          Counter_check.is_ivl,
+          Counter_lin.is_linearizable )
+    | "pcm" ->
+        let pcm = A.Pcm_sim.make ~d:2 ~w:2 ~hash:example9_hash () in
+        let mk () =
+          [|
+            List.map (fun e -> A.Pcm_sim.update_op pcm ~a:e ()) [ 0; 2; 3; 3; 3; 0 ];
+            [ A.Pcm_sim.query_op pcm ~a:0 (); A.Pcm_sim.query_op pcm ~a:2 () ];
+          |]
+        in
+        (M.explore ~registers:(A.Pcm_sim.zero_registers pcm) ~scripts:mk (),
+         Cm9_check.is_ivl, Cm9_lin.is_linearizable)
+    | "updown-buggy" | "updown-safe" ->
+        let variant = if algo = "updown-buggy" then `Buggy else `Safe in
+        let mk () =
+          [|
+            [ A.Updown_two_cell.update_op ~delta:1 ();
+              A.Updown_two_cell.update_op ~delta:(-1) () ];
+            [ A.Updown_two_cell.read_op ~variant () ];
+          |]
+        in
+        (M.explore ~registers:A.Updown_two_cell.registers ~scripts:mk (),
+         Updown_check.is_ivl, Updown_lin.is_linearizable)
+    | other ->
+        Printf.eprintf
+          "unknown algo %s (available: counter pcm updown-buggy updown-safe)\n" other;
+        exit 1
+  in
+  let total = List.length histories in
+  let ivl_fail = List.filter (fun h -> not (check h)) histories in
+  let lin_ok = List.length (List.filter lin histories) in
+  Printf.printf "%d distinct histories over the entire schedule space\n" total;
+  Printf.printf "IVL: %d/%d    linearizable: %d/%d\n" (total - List.length ivl_fail)
+    total lin_ok total;
+  (match ivl_fail with
+  | [] -> ()
+  | h :: _ ->
+      Printf.printf "\nfirst IVL violation:\n%s\n" (Hist.Ascii.render_int h));
+  if ivl_fail = [] then 0 else 1
+
+(* ------------------------------ cmdliner ------------------------------ *)
+
+open Cmdliner
+
+let replay_cmd =
+  let scenario =
+    Arg.(value & pos 0 string "example9" & info [] ~docv:"SCENARIO" ~doc:"example9 or figure2")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a paper scenario through the checkers")
+    Term.(const replay $ scenario)
+
+let fuzz_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt string "counter"
+      & info [ "algo" ] ~doc:"counter, snapshot, pcm, updown-buggy or updown-safe")
+  in
+  let trials = Arg.(value & opt int 200 & info [ "trials" ] ~doc:"number of random schedules") in
+  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"base seed") in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Fuzz an algorithm with random schedules and check IVL")
+    Term.(const fuzz $ algo $ trials $ seed)
+
+let steps_cmd =
+  let algo = Arg.(value & opt string "ivl" & info [ "algo" ] ~doc:"ivl or snapshot") in
+  let procs = Arg.(value & opt int 8 & info [ "procs" ] ~doc:"number of updaters") in
+  Cmd.v
+    (Cmd.info "steps" ~doc:"Measure step complexity in the SWMR simulator")
+    Term.(const steps $ algo $ procs)
+
+let explore_cmd =
+  let algo =
+    Arg.(value & opt string "counter"
+         & info [ "algo" ] ~doc:"counter, pcm, updown-buggy or updown-safe")
+  in
+  let updaters = Arg.(value & opt int 2 & info [ "updaters" ] ~doc:"updaters (counter only)") in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Model-check a small configuration over every schedule")
+    Term.(const explore $ algo $ updaters)
+
+let envelope_cmd =
+  let writers = Arg.(value & opt int 3 & info [ "writers" ] ~doc:"updater domains") in
+  let updates = Arg.(value & opt int 2000 & info [ "updates" ] ~doc:"updates per writer") in
+  let reads = Arg.(value & opt int 500 & info [ "reads" ] ~doc:"concurrent reads") in
+  Cmd.v
+    (Cmd.info "envelope"
+       ~doc:"Record a multicore run and validate reads against IVL envelopes")
+    Term.(const envelope $ writers $ updates $ reads)
+
+let sketch_cmd =
+  let shape = Arg.(value & opt string "zipf" & info [ "shape" ] ~doc:"zipf, uniform or bursty") in
+  let skew = Arg.(value & opt float 1.2 & info [ "skew" ] ~doc:"zipf exponent") in
+  let universe = Arg.(value & opt int 10_000 & info [ "universe" ] ~doc:"element universe") in
+  let length = Arg.(value & opt int 100_000 & info [ "length" ] ~doc:"stream length") in
+  let alpha = Arg.(value & opt float 0.01 & info [ "alpha" ] ~doc:"relative error") in
+  let delta = Arg.(value & opt float 0.01 & info [ "delta" ] ~doc:"failure probability") in
+  let top = Arg.(value & opt int 10 & info [ "top" ] ~doc:"elements to report") in
+  Cmd.v
+    (Cmd.info "sketch" ~doc:"Run the concurrent CountMin on a synthetic stream")
+    Term.(const sketch $ shape $ skew $ universe $ length $ alpha $ delta $ top)
+
+let () =
+  let doc = "Intermediate Value Linearizability: checkers, simulators, sketches" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "ivl-cli" ~doc) [ replay_cmd; fuzz_cmd; steps_cmd; sketch_cmd; envelope_cmd; explore_cmd ]))

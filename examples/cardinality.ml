@@ -1,0 +1,58 @@
+(* Distinct-flow counting across ingestion domains — the cardinality family
+   (HyperLogLog) the paper's introduction cites alongside frequency sketches.
+
+   Four domains observe overlapping slices of a flow-id stream and feed one
+   shared concurrent HyperLogLog built from atomic max registers. Because
+   every register is monotone, concurrent estimates carry the IVL guarantee:
+   each read is bounded between the sketch's value when the read began and
+   when it returned, and the sequential HLL accuracy analysis transfers
+   (Theorem 6). A fifth domain watches the live estimate grow.
+
+   Run with: dune exec examples/cardinality.exe *)
+
+let true_distinct = 200_000
+let observations_per_domain = 150_000
+
+let () =
+  Printf.printf "=== concurrent distinct counting: %d true flows ===\n\n" true_distinct;
+  let hll = Conc.Hll_conc.create ~p:13 ~seed:2024L () in
+  let watched = ref [] in
+  let _ =
+    Conc.Runner.parallel ~domains:5 (fun i ->
+        if i < 4 then begin
+          (* Each domain sees a random-looking, heavily overlapping slice:
+             flows are shared infrastructure, not partitioned. *)
+          let g = Rng.Splitmix.create (Int64.of_int (100 + i)) in
+          for _ = 1 to observations_per_domain do
+            Conc.Hll_conc.update hll (1 + Rng.Splitmix.next_int g true_distinct)
+          done
+        end
+        else
+          for tick = 1 to 5 do
+            let e = Conc.Hll_conc.estimate hll in
+            watched := (tick, e) :: !watched
+          done)
+  in
+  List.iter
+    (fun (tick, e) -> Printf.printf "live estimate %d: %.0f distinct flows\n" tick e)
+    (List.rev !watched);
+  let final = Conc.Hll_conc.estimate hll in
+  let seen =
+    (* Not every flow id is drawn; compute the exact expectation-free truth. *)
+    let marks = Bytes.make (true_distinct + 1) '\000' in
+    for i = 0 to 3 do
+      let g = Rng.Splitmix.create (Int64.of_int (100 + i)) in
+      for _ = 1 to observations_per_domain do
+        Bytes.set marks (1 + Rng.Splitmix.next_int g true_distinct) '\001'
+      done
+    done;
+    let c = ref 0 in
+    Bytes.iter (fun b -> if b = '\001' then incr c) marks;
+    !c
+  in
+  Printf.printf "\nfinal estimate: %.0f   exact distinct observed: %d   error: %+.2f%%\n"
+    final seen
+    (100.0 *. (final -. float_of_int seen) /. float_of_int seen);
+  print_endline "\nThe registers only grow, so every mid-ingest estimate above was an";
+  print_endline "intermediate value of the sketch over the reader's interval — IVL,";
+  print_endline "with the sequential HyperLogLog error bound intact."

@@ -1,0 +1,87 @@
+(* A relaxed task scheduler — the paper's "semi-quantitative" future work in
+   action.
+
+   Phase 1: worker domains submit deadline-stamped tasks to a shared
+   MultiQueue in parallel. Phase 2: they drain it in parallel, recording the
+   global order in which tasks were claimed (one atomic ticket per claim).
+
+   With an exact priority queue and serialized claims, the merged claim
+   sequence would be non-decreasing in deadline. The MultiQueue is relaxed:
+   a claim may return a near-minimal task instead, so inversions appear —
+   but their magnitude is bounded by the structure (O(#heaps) ranks in
+   expectation), which is exactly the quantitative envelope IVL-style
+   reasoning wants for the priority component of semi-quantitative objects
+   (paper, Section 7). The run quantifies those inversions.
+
+   Run with: dune exec examples/task_scheduler.exe *)
+
+let tasks_per_worker = 25_000
+let workers = 4
+
+let () =
+  Printf.printf "=== relaxed task scheduler: %d workers x %d tasks ===\n\n" workers
+    tasks_per_worker;
+  let mq = Pq.Multiqueue.create ~c:4 ~seed:5L ~domains:workers () in
+
+  (* Phase 1: parallel submission. *)
+  let _ =
+    Conc.Runner.parallel ~domains:workers (fun i ->
+        let g = Rng.Splitmix.create (Int64.of_int (10 + i)) in
+        for k = 1 to tasks_per_worker do
+          Pq.Multiqueue.insert mq ~domain:i
+            ~priority:(Rng.Splitmix.next_int g 1_000_000)
+            ((i * tasks_per_worker) + k)
+        done)
+  in
+  Printf.printf "submitted %d tasks across %d heaps\n" (Pq.Multiqueue.size mq)
+    (Pq.Multiqueue.queues mq);
+
+  (* Phase 2: parallel drain, recording (ticket, deadline). *)
+  let ticket = Atomic.make 0 in
+  let logs =
+    Conc.Runner.parallel ~domains:workers (fun i ->
+        let acc = ref [] in
+        let rec go () =
+          match Pq.Multiqueue.delete_min mq ~domain:i with
+          | None -> ()
+          | Some (deadline, _) ->
+              acc := (Atomic.fetch_and_add ticket 1, deadline) :: !acc;
+              go ()
+        in
+        go ();
+        !acc)
+  in
+  let claims =
+    Array.to_list logs |> List.concat
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.map snd
+  in
+  Printf.printf "drained %d tasks\n\n" (List.length claims);
+
+  (* Inversions against the running maximum: an exact serialized scheduler
+     would show zero. *)
+  let inversions = ref 0 in
+  let magnitudes = ref [] in
+  let running_max = ref min_int in
+  List.iter
+    (fun deadline ->
+      if deadline < !running_max then begin
+        incr inversions;
+        magnitudes := float_of_int (!running_max - deadline) :: !magnitudes
+      end
+      else running_max := deadline)
+    claims;
+  let n = List.length claims in
+  Printf.printf "claim-order inversions: %d of %d (%.1f%%)\n" !inversions n
+    (100.0 *. float_of_int !inversions /. float_of_int n);
+  (match !magnitudes with
+  | [] -> ()
+  | ms ->
+      let arr = Array.of_list ms in
+      Printf.printf "inversion magnitude (deadline units of 1e6): median %.0f, p99 %.0f\n"
+        (Stats.Percentile.median arr)
+        (Stats.Percentile.percentile arr 99.0));
+  print_endline "";
+  print_endline "Inversions are the price of contention-free scheduling; their bounded";
+  print_endline "magnitude is the intermediate-value guarantee in the priority domain.";
+  print_endline "Set c=1 and one domain to recover the exact scheduler (zero inversions)."

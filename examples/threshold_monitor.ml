@@ -1,0 +1,66 @@
+(* The paper's Section 1.2 scenario, executable:
+
+   "Consider a system where processes count events, and a monitoring process
+   detects when the number of events passes a threshold. The monitor
+   constantly reads a shared counter, which other processes increment in
+   batches."
+
+   Workers add events in batches to the IVL batched counter (Algorithm 2 —
+   O(1) per batch); the monitor spins on read (O(n)) and fires when the
+   count passes the threshold. IVL is exactly the guarantee that makes this
+   sound: the value the monitor sees is between the counter's value at the
+   read's start and end, so (a) it never fires early by more than in-flight
+   batches, and (b) once the true count passes the threshold, the next
+   complete read must see it.
+
+   Run with: dune exec examples/threshold_monitor.exe *)
+
+let workers = 4
+let batch = 10
+let batches_per_worker = 25_000
+let threshold = 500_000 (* half the final total *)
+
+let () =
+  Printf.printf "=== threshold monitor: %d workers x %d batches of %d, threshold %d ===\n\n"
+    workers batches_per_worker batch threshold;
+
+  let counter = Conc.Ivl_counter.create ~procs:workers in
+  let fired_at = Atomic.make (-1) in
+  let monitor_reads = Atomic.make 0 in
+
+  let _ =
+    Conc.Runner.parallel ~domains:(workers + 1) (fun i ->
+        if i < workers then
+          for _ = 1 to batches_per_worker do
+            Conc.Ivl_counter.update counter ~proc:i batch
+          done
+        else begin
+          (* The monitor. *)
+          let rec watch () =
+            let v = Conc.Ivl_counter.read counter in
+            ignore (Atomic.fetch_and_add monitor_reads 1);
+            if v >= threshold then Atomic.set fired_at v
+            else if Atomic.get fired_at < 0 then watch ()
+          in
+          watch ()
+        end)
+  in
+
+  let final = Conc.Ivl_counter.read counter in
+  let fire = Atomic.get fired_at in
+  Printf.printf "monitor fired at observed value %d (threshold %d)\n" fire threshold;
+  Printf.printf "reads performed before firing: %d\n" (Atomic.get monitor_reads);
+  Printf.printf "final counter value: %d (expected %d)\n" final
+    (workers * batches_per_worker * batch);
+
+  (* The IVL guarantee, checked: the observed trigger is at least the
+     threshold and no more than the final count (all overshoot comes from
+     batches applied during the read's interval). *)
+  assert (fire >= threshold);
+  assert (fire <= final);
+  let overshoot = fire - threshold in
+  Printf.printf "overshoot: %d events (at most the batches in flight during one read)\n"
+    overshoot;
+  print_endline "\nWith a linearizable counter this monitor would need Ω(n)-step";
+  print_endline "updates (Theorem 14); with the IVL counter every batch is O(1)";
+  print_endline "and the monitor's semantics are unchanged."

@@ -1,0 +1,14 @@
+(** A reusable spin barrier for synchronizing domain start lines.
+
+    Throughput experiments must start all writers and readers at the same
+    instant; a sense-reversing spin barrier keeps the synchronization cost
+    off the measured path. *)
+
+type t
+
+val create : int -> t
+(** [create parties] — the barrier trips when [parties] domains arrive.
+    @raise Invalid_argument if [parties <= 0]. *)
+
+val await : t -> unit
+(** Block (spinning) until all parties have arrived; reusable afterwards. *)

@@ -1,0 +1,45 @@
+type buffer = {
+  counts : (int, int) Hashtbl.t; (* element -> pending count, domain-private *)
+  mutable pending : int;
+}
+
+type t = { pcm : Pcm.t; buffers : buffer array; flush_every : int }
+
+let create ?(flush_every = 256) ~family ~domains () =
+  if domains <= 0 then invalid_arg "Buffered_pcm.create: domains must be positive";
+  if flush_every <= 0 then invalid_arg "Buffered_pcm.create: flush_every must be positive";
+  {
+    pcm = Pcm.create ~family;
+    buffers = Array.init domains (fun _ -> { counts = Hashtbl.create 64; pending = 0 });
+    flush_every;
+  }
+
+let buffer t domain =
+  if domain < 0 || domain >= Array.length t.buffers then
+    invalid_arg "Buffered_pcm.update: no such domain";
+  t.buffers.(domain)
+
+let flush_buffer t b =
+  (* One aggregated atomic add per (distinct element, row) in the batch —
+     this is where delegation wins on skewed streams. *)
+  Hashtbl.iter (fun a count -> Pcm.update_many t.pcm a ~count) b.counts;
+  Hashtbl.reset b.counts;
+  b.pending <- 0
+
+let update t ~domain a =
+  let b = buffer t domain in
+  (match Hashtbl.find_opt b.counts a with
+  | Some c -> Hashtbl.replace b.counts a (c + 1)
+  | None -> Hashtbl.replace b.counts a 1);
+  b.pending <- b.pending + 1;
+  if b.pending >= t.flush_every then flush_buffer t b
+
+let flush t ~domain = flush_buffer t (buffer t domain)
+
+let flush_all t = Array.iter (flush_buffer t) t.buffers
+
+let query t a = Pcm.query t.pcm a
+
+let flushed_updates t = Pcm.updates t.pcm
+
+let buffered t ~domain = (buffer t domain).pending

@@ -1,0 +1,9 @@
+type t = { cell : int Atomic.t }
+
+let create () = { cell = Atomic.make 0 }
+
+let update t v =
+  if v < 0 then invalid_arg "Faa_counter.update: batch must be non-negative";
+  ignore (Atomic.fetch_and_add t.cell v)
+
+let read t = Atomic.get t.cell

@@ -1,0 +1,16 @@
+(** Linearizable batched counter from hardware fetch-and-add.
+
+    A single atomic cell updated with [fetch_and_add]. This is linearizable
+    and O(1) — but it lives {e outside} the SWMR-register model of Theorem
+    14: the Ω(n) lower bound applies to implementations from single-writer
+    registers, and FAA is a stronger primitive. Included so the experiments
+    can show all three corners: IVL-from-SWMR (cheap, weaker criterion),
+    linearizable-from-SWMR (provably expensive), linearizable-from-FAA
+    (cheap but needs stronger hardware, and all updaters contend on one
+    cache line). *)
+
+type t
+
+val create : unit -> t
+val update : t -> int -> unit
+val read : t -> int

@@ -1,0 +1,68 @@
+type t = {
+  p : int;
+  seed : int64;
+  hash : Hashing.Tabulation.t;
+  regs : int Atomic.t array;
+}
+
+let create ?(p = 12) ~seed () =
+  if p < 4 || p > 16 then invalid_arg "Hll_conc.create: p must lie in [4,16]";
+  let g = Rng.Splitmix.create seed in
+  {
+    p;
+    seed;
+    hash = Hashing.Tabulation.create g;
+    regs = Array.init (1 lsl p) (fun _ -> Atomic.make 0);
+  }
+
+(* Monotone raise: lost CAS races re-check against the new value. *)
+let rec raise_register reg rank =
+  let cur = Atomic.get reg in
+  if rank > cur && not (Atomic.compare_and_set reg cur rank) then
+    raise_register reg rank
+
+let update t x =
+  let h = Hashing.Tabulation.hash t.hash x in
+  let idx = h land ((1 lsl t.p) - 1) in
+  let rest = h lsr t.p in
+  let width = 63 - t.p in
+  let rank =
+    if rest = 0 then width + 1
+    else
+      let rec count i = if rest land (1 lsl i) <> 0 then i + 1 else count (i + 1) in
+      count 0
+  in
+  raise_register t.regs.(idx) rank
+
+let alpha m =
+  match m with
+  | 16 -> 0.673
+  | 32 -> 0.697
+  | 64 -> 0.709
+  | _ -> 0.7213 /. (1.0 +. (1.079 /. float_of_int m))
+
+let estimate t =
+  let m = float_of_int (Array.length t.regs) in
+  let sum = ref 0.0 and zeros = ref 0 in
+  Array.iter
+    (fun reg ->
+      let r = Atomic.get reg in
+      sum := !sum +. (2.0 ** float_of_int (-r));
+      if r = 0 then incr zeros)
+    t.regs;
+  let raw = alpha (Array.length t.regs) *. m *. m /. !sum in
+  if raw <= 2.5 *. m && !zeros > 0 then m *. log (m /. float_of_int !zeros) else raw
+
+let merge_from t seq =
+  if Sketches.Hyperloglog.p seq <> t.p then
+    invalid_arg "Hll_conc.merge_from: p mismatch";
+  let regs = Sketches.Hyperloglog.registers seq in
+  Array.iteri (fun i r -> raise_register t.regs.(i) r) regs
+
+let to_sequential t =
+  Sketches.Hyperloglog.of_registers ~p:t.p ~seed:t.seed
+    (Array.map Atomic.get t.regs)
+
+let p t = t.p
+
+let seed t = t.seed

@@ -1,0 +1,37 @@
+(** A concurrent HyperLogLog from atomic max registers.
+
+    Cardinality estimation is the third sketch family the paper's
+    introduction motivates. HLL's register file is a vector of monotone
+    max-registers, so the straightforward parallelization — update with a
+    compare-and-set raise loop, read registers plainly — has the same IVL
+    structure as PCM: a concurrent estimate is bounded between the sketch's
+    value at the query's invocation and at its response (registers only
+    grow), and Theorem 6 transfers the sequential accuracy analysis.
+
+    Updates are lock-free: a CAS fails only when another domain raised the
+    same register, in which case the raise is re-examined against the new
+    value (and usually becomes unnecessary). *)
+
+type t
+
+val create : ?p:int -> seed:int64 -> unit -> t
+(** [p] ∈ [4, 16] selects 2^p registers (default 12), as in
+    {!Sketches.Hyperloglog}. All domains share one instance. *)
+
+val update : t -> int -> unit
+(** Observe an element, from any domain. *)
+
+val estimate : t -> float
+(** Current cardinality estimate (may be read concurrently with updates). *)
+
+val merge_from : t -> Sketches.Hyperloglog.t -> unit
+(** Raise this sketch's registers by a sequential sketch's (same [p] and
+    seed required) — lets domains pre-aggregate locally and publish.
+    @raise Invalid_argument on parameter mismatch. *)
+
+val to_sequential : t -> Sketches.Hyperloglog.t
+(** A sequential snapshot of the current registers (racy but monotone-safe:
+    every register value read did occur). *)
+
+val p : t -> int
+val seed : t -> int64

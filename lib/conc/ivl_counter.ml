@@ -1,0 +1,19 @@
+type t = { slots : int Atomic.t array }
+
+let create ~procs =
+  if procs <= 0 then invalid_arg "Ivl_counter.create: procs must be positive";
+  { slots = Array.init procs (fun _ -> Atomic.make 0) }
+
+let procs t = Array.length t.slots
+
+let update t ~proc v =
+  if v < 0 then invalid_arg "Ivl_counter.update: batch must be non-negative";
+  if proc < 0 || proc >= Array.length t.slots then
+    invalid_arg "Ivl_counter.update: no such process slot";
+  (* Single writer per slot: a plain read-add-write pair suffices; no CAS. *)
+  let slot = t.slots.(proc) in
+  Atomic.set slot (Atomic.get slot + v)
+
+let read t = Array.fold_left (fun acc slot -> acc + Atomic.get slot) 0 t.slots
+
+let read_slot t i = Atomic.get t.slots.(i)

@@ -1,0 +1,32 @@
+(** The IVL batched counter, Algorithm 2 of the paper.
+
+    One single-writer register per process: [update ~proc v] adds [v] to
+    process [proc]'s register (one write — O(1) steps); [read] sums all
+    registers (n reads — O(n) steps). Not linearizable (a read can observe a
+    later update and miss an earlier one, Figure 2) but IVL (Lemma 10), so a
+    read always returns a value between the counter's value at its invocation
+    and its value at its response.
+
+    Registers are [Atomic.t] so cross-domain publication is well-defined in
+    the OCaml memory model; each register still has a single writer, matching
+    the SWMR model of Section 6. Bounded wait-free with uniform step counts
+    (Theorem 11). *)
+
+type t
+
+val create : procs:int -> t
+(** [procs] is the number of updater slots n.
+    @raise Invalid_argument if [procs <= 0]. *)
+
+val procs : t -> int
+
+val update : t -> proc:int -> int -> unit
+(** [update t ~proc v] adds batch [v ≥ 0] to slot [proc]. Only one domain
+    may use a given [proc] (single-writer); this is the caller's contract.
+    @raise Invalid_argument on a negative batch or out-of-range [proc]. *)
+
+val read : t -> int
+(** Sum of all registers; may be any intermediate value per IVL. *)
+
+val read_slot : t -> int -> int
+(** One register's value (tests). *)

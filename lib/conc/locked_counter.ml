@@ -1,0 +1,15 @@
+type t = { lock : Mutex.t; mutable total : int }
+
+let create () = { lock = Mutex.create (); total = 0 }
+
+let update t v =
+  if v < 0 then invalid_arg "Locked_counter.update: batch must be non-negative";
+  Mutex.lock t.lock;
+  t.total <- t.total + v;
+  Mutex.unlock t.lock
+
+let read t =
+  Mutex.lock t.lock;
+  let v = t.total in
+  Mutex.unlock t.lock;
+  v

@@ -1,0 +1,10 @@
+(** Linearizable batched counter via a global mutex (baseline for E7).
+
+    Linearizability is immediate (critical sections are linearization
+    points); cost is serialization of all updates and reads. *)
+
+type t
+
+val create : unit -> t
+val update : t -> int -> unit
+val read : t -> int

@@ -1,0 +1,13 @@
+type t = { lock : Mutex.t; sketch : Sketches.Countmin.t }
+
+let create ~family = { lock = Mutex.create (); sketch = Sketches.Countmin.create ~family }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let update t a = with_lock t (fun () -> Sketches.Countmin.update t.sketch a)
+
+let query t a = with_lock t (fun () -> Sketches.Countmin.query t.sketch a)
+
+let updates t = with_lock t (fun () -> Sketches.Countmin.updates t.sketch)

@@ -1,0 +1,15 @@
+(** Linearizable CountMin via a global mutex: the strawman baseline.
+
+    Every operation takes the lock, so histories are trivially linearizable
+    (the lock's critical sections are the linearization points) — at the cost
+    of serializing all ingestion. This is the baseline PCM is compared with
+    in the throughput experiment (E6): the gap is the "price of
+    linearizability" the paper's Section 6 quantifies analytically for the
+    counter. *)
+
+type t
+
+val create : family:Hashing.Family.t -> t
+val update : t -> int -> unit
+val query : t -> int -> int
+val updates : t -> int

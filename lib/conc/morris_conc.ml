@@ -1,0 +1,28 @@
+type t = { base : float; exponent : int Atomic.t; gens : Rng.Splitmix.t array }
+
+let create ?(base = 2.0) ~seed ~domains () =
+  if base <= 1.0 then invalid_arg "Morris_conc.create: base must exceed 1";
+  if domains <= 0 then invalid_arg "Morris_conc.create: domains must be positive";
+  let root = Rng.Splitmix.create seed in
+  {
+    base;
+    exponent = Atomic.make 0;
+    gens = Array.init domains (fun _ -> Rng.Splitmix.split root);
+  }
+
+let update t ~domain =
+  if domain < 0 || domain >= Array.length t.gens then
+    invalid_arg "Morris_conc.update: no such domain";
+  let g = t.gens.(domain) in
+  let x = Atomic.get t.exponent in
+  let p = t.base ** float_of_int (-x) in
+  if Rng.Splitmix.next_float g < p then
+    (* A lost race means a concurrent updater advanced the exponent; drop
+       rather than retry to avoid double-advancing on one generation. *)
+    ignore (Atomic.compare_and_set t.exponent x (x + 1))
+
+let estimate t =
+  let x = Atomic.get t.exponent in
+  ((t.base ** float_of_int x) -. 1.0) /. (t.base -. 1.0)
+
+let exponent t = Atomic.get t.exponent

@@ -1,0 +1,31 @@
+(** A concurrent Morris counter: the second transfer-theorem case study.
+
+    The exponent is a single atomic cell. An update reads the exponent,
+    flips a coin with success probability base^{-x}, and on success tries a
+    [compare_and_set x (x+1)]; a failed CAS means another domain just bumped
+    the exponent, in which case the increment is {e dropped} (the event is
+    still counted as processed). Dropping is deliberate: retrying would make
+    two concurrent successful coin flips bump the exponent twice, grossly
+    over-shooting; dropping keeps every read of the exponent between the
+    values at the read's start and end, so queries are IVL with respect to
+    the sequential Morris spec sharing the same coin treatment.
+
+    Like PCM, this object is monotone (the exponent only grows), which is
+    what makes the straightforward parallelization IVL. Experiment E10
+    measures how much accuracy concurrency costs relative to the sequential
+    sketch. *)
+
+type t
+
+val create : ?base:float -> seed:int64 -> domains:int -> unit -> t
+(** Per-domain RNG streams are split deterministically from [seed].
+    @raise Invalid_argument if [domains <= 0] or [base <= 1]. *)
+
+val update : t -> domain:int -> unit
+(** Count one event from [domain] (chooses that domain's RNG stream).
+    @raise Invalid_argument on an out-of-range domain. *)
+
+val estimate : t -> float
+(** Unbiased estimate of the number of counted events. *)
+
+val exponent : t -> int

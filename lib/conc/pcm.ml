@@ -1,0 +1,61 @@
+type t = {
+  family : Hashing.Family.t;
+  width : int;
+  cells : int Atomic.t array; (* row-major d×w *)
+  n : int Atomic.t;
+}
+
+let create ~family =
+  let d = Hashing.Family.rows family and w = Hashing.Family.width family in
+  {
+    family;
+    width = w;
+    cells = Array.init (d * w) (fun _ -> Atomic.make 0);
+    n = Atomic.make 0;
+  }
+
+let create_for_error ~seed ~alpha ~delta =
+  if alpha <= 0.0 then invalid_arg "Pcm.create_for_error: alpha must be positive";
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Pcm.create_for_error: delta must lie in (0,1)";
+  let w = int_of_float (ceil (Float.exp 1.0 /. alpha)) in
+  let d = max 1 (int_of_float (ceil (log (1.0 /. delta)))) in
+  create ~family:(Hashing.Family.seeded ~seed ~rows:d ~width:w)
+
+let family t = t.family
+
+let rows t = Array.length t.cells / t.width
+
+let width t = t.width
+
+let update t a =
+  for i = 0 to rows t - 1 do
+    let col = Hashing.Family.hash t.family ~row:i a in
+    ignore (Atomic.fetch_and_add t.cells.((i * t.width) + col) 1)
+  done;
+  ignore (Atomic.fetch_and_add t.n 1)
+
+let update_many t a ~count =
+  if count < 0 then invalid_arg "Pcm.update_many: count must be non-negative";
+  if count > 0 then begin
+    for i = 0 to rows t - 1 do
+      let col = Hashing.Family.hash t.family ~row:i a in
+      ignore (Atomic.fetch_and_add t.cells.((i * t.width) + col) count)
+    done;
+    ignore (Atomic.fetch_and_add t.n count)
+  end
+
+let query t a =
+  let best = ref max_int in
+  for i = 0 to rows t - 1 do
+    let col = Hashing.Family.hash t.family ~row:i a in
+    let c = Atomic.get t.cells.((i * t.width) + col) in
+    if c < !best then best := c
+  done;
+  !best
+
+let updates t = Atomic.get t.n
+
+let snapshot_cells t =
+  Array.init (rows t) (fun i ->
+      Array.init t.width (fun j -> Atomic.get t.cells.((i * t.width) + j)))

@@ -1,0 +1,40 @@
+(** PCM: the paper's straightforward parallelization of CountMin (Section 5).
+
+    Each counter is an atomic integer; [update a] atomically increments one
+    counter per row (line 5 of Algorithm 1), [query a] reads one counter per
+    row without any snapshot and returns the minimum (line 9). Lemma 7 proves
+    this is IVL; Example 9 shows it is not linearizable; Corollary 8 (via
+    Theorem 6) shows it inherits the sequential CountMin error bound relative
+    to the ideal frequencies at the query's interval endpoints.
+
+    Updates and queries may be called from any number of domains
+    concurrently. Wait-free: every operation finishes in d unconditional
+    atomic steps. *)
+
+type t
+
+val create : family:Hashing.Family.t -> t
+
+val create_for_error : seed:int64 -> alpha:float -> delta:float -> t
+(** Same sizing rule as {!Sketches.Countmin.create_for_error}. *)
+
+val family : t -> Hashing.Family.t
+val rows : t -> int
+val width : t -> int
+
+val update : t -> int -> unit
+
+val update_many : t -> int -> count:int -> unit
+(** [update_many t a ~count] applies [count] updates of element [a] with one
+    atomic add per row — the aggregated write that delegation-style
+    batching ({!Buffered_pcm}) relies on. Equivalent to [count] calls of
+    {!update} for every query. @raise Invalid_argument if [count < 0]. *)
+
+val query : t -> int -> int
+
+val updates : t -> int
+(** Number of updates that have {e started} (atomic counter); used only for
+    reporting, not by the algorithm. *)
+
+val snapshot_cells : t -> int array array
+(** Racy copy of the matrix (reporting/tests). *)

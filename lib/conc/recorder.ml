@@ -1,0 +1,45 @@
+type ('u, 'q, 'v) logged = {
+  ts : int;
+  dir : Hist.History.dir;
+  op : ('u, 'q, 'v) Hist.Op.t;
+}
+
+type ('u, 'q, 'v) t = {
+  ticket : int Atomic.t;
+  next_id : int Atomic.t;
+  buffers : ('u, 'q, 'v) logged list ref array; (* one per domain, private *)
+}
+
+let create ~domains =
+  if domains <= 0 then invalid_arg "Recorder.create: domains must be positive";
+  {
+    ticket = Atomic.make 0;
+    next_id = Atomic.make 0;
+    buffers = Array.init domains (fun _ -> ref []);
+  }
+
+let log t ~domain entry = t.buffers.(domain) := entry :: !(t.buffers.(domain))
+
+let record_update t ~domain ~obj u run =
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  let op = { Hist.Op.id; proc = domain; obj; kind = Hist.Op.Update u; ret = None } in
+  log t ~domain { ts = Atomic.fetch_and_add t.ticket 1; dir = Hist.History.Inv; op };
+  run ();
+  log t ~domain { ts = Atomic.fetch_and_add t.ticket 1; dir = Hist.History.Rsp; op }
+
+let record_query t ~domain ~obj q run =
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  let op = { Hist.Op.id; proc = domain; obj; kind = Hist.Op.Query q; ret = None } in
+  log t ~domain { ts = Atomic.fetch_and_add t.ticket 1; dir = Hist.History.Inv; op };
+  let v = run () in
+  let op = Hist.Op.with_return op v in
+  log t ~domain { ts = Atomic.fetch_and_add t.ticket 1; dir = Hist.History.Rsp; op };
+  v
+
+let history t =
+  let all =
+    Array.to_list t.buffers |> List.concat_map (fun buf -> List.rev !buf)
+  in
+  let sorted = List.sort (fun a b -> Int.compare a.ts b.ts) all in
+  Hist.History.of_events
+    (List.map (fun { dir; op; _ } -> { Hist.History.dir; op }) sorted)

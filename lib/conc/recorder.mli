@@ -1,0 +1,31 @@
+(** Concurrent history recorder.
+
+    Wraps real multicore operations so that the end-to-end checkers can
+    validate actual executions: each invocation and response draws a ticket
+    from one global atomic counter, fixing a total order on events that
+    respects real time (an event that happens-before another in the program
+    gets a smaller ticket). Domains log into private buffers — the only
+    shared write on the hot path is the ticket [fetch_and_add] — and
+    {!history} merges the buffers by ticket into a {!Hist.History.t}.
+
+    Recording perturbs timing, so recorded runs are used for correctness
+    checking (experiment E4-style validations on real hardware), never for
+    the throughput numbers. *)
+
+type ('u, 'q, 'v) t
+
+val create : domains:int -> ('u, 'q, 'v) t
+(** One private buffer per recording domain.
+    @raise Invalid_argument if [domains <= 0]. *)
+
+val record_update : ('u, 'q, 'v) t -> domain:int -> obj:int -> 'u -> (unit -> unit) -> unit
+(** [record_update t ~domain ~obj u run] logs inv, calls [run ()], logs rsp.
+    The [domain] doubles as the history's process id. *)
+
+val record_query : ('u, 'q, 'v) t -> domain:int -> obj:int -> 'q -> (unit -> 'v) -> 'v
+(** Same for a query; the value returned by [run] is logged on the response
+    and passed through. *)
+
+val history : ('u, 'q, 'v) t -> ('u, 'q, 'v) Hist.History.t
+(** Merge all buffers into a single history ordered by ticket. Call only
+    after every recording domain has quiesced (joined). *)

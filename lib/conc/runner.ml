@@ -1,0 +1,22 @@
+let parallel ~domains f =
+  if domains <= 0 then invalid_arg "Runner.parallel: domains must be positive";
+  let handles = Array.init domains (fun i -> Domain.spawn (fun () -> f i)) in
+  let results = Array.map Domain.join handles in
+  results
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let parallel_timed ~domains f =
+  if domains <= 0 then invalid_arg "Runner.parallel_timed: domains must be positive";
+  let barrier = Barrier.create (domains + 1) in
+  let handles = Array.init domains (fun i -> Domain.spawn (fun () -> f i barrier)) in
+  let t0 = ref 0.0 in
+  (* The coordinator is the (domains+1)-th party: once it passes the barrier,
+     every worker is at its start line. *)
+  Barrier.await barrier;
+  t0 := Unix.gettimeofday ();
+  let results = Array.map Domain.join handles in
+  (results, Unix.gettimeofday () -. !t0)

@@ -1,0 +1,15 @@
+(** Small helpers for spawning and joining domain teams. *)
+
+val parallel : domains:int -> (int -> 'a) -> 'a array
+(** [parallel ~domains f] runs [f i] on [domains] fresh domains (i ∈
+    [\[0, domains)]) and returns their results. The caller's domain only
+    coordinates. @raise Invalid_argument if [domains <= 0]; re-raises the
+    first domain exception after joining all. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] is [(f (), seconds)] on the monotonic wall clock. *)
+
+val parallel_timed : domains:int -> (int -> Barrier.t -> 'a) -> 'a array * float
+(** Like {!parallel} but hands each worker a start barrier (already sized
+    for [domains] + the timing coordinator) and measures from the moment the
+    barrier trips to the last join. *)

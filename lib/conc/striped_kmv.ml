@@ -1,0 +1,26 @@
+module Stripe = Stripes.Make (struct
+  type t = Sketches.Kmv.t
+
+  let copy = Sketches.Kmv.copy
+end)
+
+type t = Stripe.t
+
+let create ?(k = 256) ?publish_every ~seed ~domains () =
+  (* All stripes share one hash seed so value sets merge meaningfully. *)
+  Stripe.create ?publish_every ~domains (fun _ -> Sketches.Kmv.create ~k ~seed ())
+
+let update t ~domain x = Stripe.update t ~domain (fun s -> Sketches.Kmv.update s x)
+
+let flush = Stripe.flush
+
+let flush_all = Stripe.flush_all
+
+let merged t =
+  Array.fold_left
+    (fun acc v -> match acc with None -> Some v | Some m -> Some (Sketches.Kmv.merge m v))
+    None (Stripe.views t)
+
+let estimate t = match merged t with None -> 0.0 | Some m -> Sketches.Kmv.estimate m
+
+let retained t = match merged t with None -> 0 | Some m -> Sketches.Kmv.retained m

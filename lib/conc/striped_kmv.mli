@@ -1,0 +1,27 @@
+(** Concurrent distinct counting from per-domain KMV stripes.
+
+    The third instance of the stripe-and-publish pattern ({!Stripes}): each
+    domain owns a private {!Sketches.Kmv} sketch, publishes on a batch
+    boundary, and queries merge the published copies (KMV union = merge the
+    k-minimum sets). The k-th minimum only decreases as elements arrive, so
+    estimates are monotone and the concurrent sketch keeps the sequential
+    accuracy — the same argument as the concurrent HyperLogLog, with KMV's
+    exact-below-k behaviour. *)
+
+type t
+
+val create : ?k:int -> ?publish_every:int -> seed:int64 -> domains:int -> unit -> t
+(** All stripes share hash coins (same [seed]) so their value sets are
+    mergeable. *)
+
+val update : t -> domain:int -> int -> unit
+(** Observe an element on [domain]'s stripe (single writer per domain). *)
+
+val flush : t -> domain:int -> unit
+val flush_all : t -> unit
+
+val estimate : t -> float
+(** Estimated distinct count over all published data. *)
+
+val retained : t -> int
+(** Hash values held in the merged view (≤ k). *)

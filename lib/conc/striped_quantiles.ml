@@ -1,0 +1,41 @@
+module Stripe = Stripes.Make (struct
+  type t = Sketches.Quantiles.t
+
+  let copy = Sketches.Quantiles.copy
+end)
+
+type t = Stripe.t
+
+let create ?(k = 200) ?publish_every ~seed ~domains () =
+  let root = Rng.Splitmix.create seed in
+  let seeds = Array.init domains (fun _ -> Rng.Splitmix.next_int64 root) in
+  Stripe.create ?publish_every ~domains (fun d ->
+      Sketches.Quantiles.create ~k ~seed:seeds.(d) ())
+
+let update t ~domain x = Stripe.update t ~domain (fun s -> Sketches.Quantiles.update s x)
+
+let flush = Stripe.flush
+
+let flush_all = Stripe.flush_all
+
+(* A merged view of all published stripes. O(total retained) per query —
+   queries are expected to be far rarer than updates. *)
+let merged t =
+  Array.fold_left
+    (fun acc v ->
+      match acc with None -> Some v | Some m -> Some (Sketches.Quantiles.merge m v))
+    None (Stripe.views t)
+
+let rank t x = match merged t with None -> 0 | Some m -> Sketches.Quantiles.rank m x
+
+let quantile t phi =
+  match merged t with
+  | None -> raise Not_found
+  | Some m -> Sketches.Quantiles.quantile m phi
+
+let published t =
+  Array.fold_left
+    (fun acc v -> acc + Sketches.Quantiles.total v)
+    0 (Stripe.views t)
+
+let ingested t ~domain = Sketches.Quantiles.total (Stripe.local t ~domain)

@@ -1,0 +1,53 @@
+(** A concurrent quantiles sketch from per-domain stripes and merge.
+
+    The paper's conclusion asks for IVL beyond counters and frequency
+    sketches; quantiles are the natural next target because rank values are
+    monotone in stream growth. This implementation combines two of the
+    paper's motifs:
+
+    - {e single-writer state} (like Algorithm 2): each ingestion domain owns
+      a private KLL sketch nobody else touches, so updates take no locks and
+      no CAS;
+    - {e batched publication} (like the batched counter's batches): every
+      [publish_every] updates — and on {!flush} — a domain atomically
+      publishes an immutable copy of its stripe.
+
+    A query merges the published copies (mergeable summaries, Agarwal et
+    al.) and answers from the merge. The value returned is therefore the
+    rank under some subset of stripes' prefixes: at least the ideal rank
+    over everything published before the query started, at most the ideal
+    rank at its end — the intermediate-value envelope, with staleness
+    bounded by [domains × (publish_every − 1)] unpublished items (±εn
+    sketch error on top, per the sequential analysis). Tests check the
+    envelope against {!Spec.Rank_spec}. *)
+
+type t
+
+val create :
+  ?k:int -> ?publish_every:int -> seed:int64 -> domains:int -> unit -> t
+(** [publish_every] defaults to 64; [k] to 200.
+    @raise Invalid_argument if [domains <= 0] or [publish_every <= 0]. *)
+
+val update : t -> domain:int -> int -> unit
+(** Ingest one value on [domain]'s stripe (single writer per domain).
+    @raise Invalid_argument on an unknown domain. *)
+
+val flush : t -> domain:int -> unit
+(** Publish [domain]'s stripe immediately (call when a writer quiesces). *)
+
+val flush_all : t -> unit
+(** Publish every stripe — only safe once writers have stopped. *)
+
+val rank : t -> int -> int
+(** Estimated rank of a value over all published data. *)
+
+val quantile : t -> float -> int
+(** [quantile t phi]: an element at estimated rank ~phi·n over the published
+    data. @raise Invalid_argument outside [0,1]; @raise Not_found when
+    nothing has been published. *)
+
+val published : t -> int
+(** Number of items currently visible to queries. *)
+
+val ingested : t -> domain:int -> int
+(** Items [domain] has ingested (published or not). *)

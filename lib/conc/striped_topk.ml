@@ -1,0 +1,56 @@
+module Stripe = Stripes.Make (struct
+  type t = Sketches.Space_saving.t
+
+  let copy = Sketches.Space_saving.copy
+end)
+
+type t = { stripes : Stripe.t; capacity : int }
+
+let create ?(capacity = 256) ?publish_every ~seed ~domains () =
+  ignore seed;
+  if capacity <= 0 then invalid_arg "Striped_topk.create: capacity must be positive";
+  {
+    stripes =
+      Stripe.create ?publish_every ~domains (fun _ ->
+          Sketches.Space_saving.create ~capacity);
+    capacity;
+  }
+
+let update t ~domain a =
+  Stripe.update t.stripes ~domain (fun s -> Sketches.Space_saving.update s a)
+
+let flush t ~domain = Stripe.flush t.stripes ~domain
+
+let flush_all t = Stripe.flush_all t.stripes
+
+let merged t =
+  Array.fold_left
+    (fun acc v ->
+      match acc with
+      | None -> Some v
+      | Some m -> Some (Sketches.Space_saving.merge ~capacity:t.capacity m v))
+    None (Stripe.views t.stripes)
+
+let query t a =
+  match merged t with None -> 0 | Some m -> Sketches.Space_saving.query m a
+
+let top t ?k () =
+  match merged t with
+  | None -> []
+  | Some m -> (
+      let all = Sketches.Space_saving.top m in
+      match k with
+      | None -> all
+      | Some k -> List.filteri (fun i _ -> i < k) all)
+
+let guaranteed_error t =
+  Array.fold_left
+    (fun acc v -> acc + Sketches.Space_saving.guaranteed_error v)
+    0
+    (Stripe.views t.stripes)
+
+let published t =
+  Array.fold_left
+    (fun acc v -> acc + Sketches.Space_saving.total v)
+    0
+    (Stripe.views t.stripes)

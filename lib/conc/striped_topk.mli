@@ -1,0 +1,47 @@
+(** A concurrent top-k / heavy-hitters sketch from per-domain Space-Saving
+    stripes.
+
+    The paper's conclusion singles out priority-queue-like,
+    "semi-quantitative" objects — return values that carry a quantity (the
+    count) plus an identity (the element) — as the next frontier for IVL.
+    This object is the quantitative end of that frontier: per-element count
+    estimates are monotone, so the same stripe-and-merge recipe as
+    {!Striped_quantiles} applies, while the top-k {e set} itself is the
+    non-quantitative part the paper leaves open (we expose it, but the IVL
+    guarantee is stated per element count, not per set).
+
+    Each ingestion domain owns a private Space-Saving instance and
+    periodically publishes an immutable copy; queries merge the published
+    copies. Guarantees carried over from the sequential sketch: a merged
+    count never under-estimates the published true count, over-estimates by
+    at most Σ_stripes n_s/capacity, and every element above that threshold
+    is present. *)
+
+type t
+
+val create :
+  ?capacity:int -> ?publish_every:int -> seed:int64 -> domains:int -> unit -> t
+(** Per-stripe capacity (default 256) and publication batch (default 64).
+    The [seed] is reserved for future randomized variants; Space-Saving
+    itself is deterministic. @raise Invalid_argument on non-positive
+    parameters. *)
+
+val update : t -> domain:int -> int -> unit
+(** Count one occurrence on [domain]'s stripe (single writer per domain). *)
+
+val flush : t -> domain:int -> unit
+val flush_all : t -> unit
+
+val query : t -> int -> int
+(** Estimated count of an element over published data (0 if untracked). *)
+
+val top : t -> ?k:int -> unit -> (int * int) list
+(** Merged heavy-hitter list, descending by estimated count; at most [k]
+    entries (default: the merge capacity). *)
+
+val guaranteed_error : t -> int
+(** Upper bound on over-estimation in the merged view: sum of the stripes'
+    individual bounds. *)
+
+val published : t -> int
+(** Stream length visible to queries. *)

@@ -1,0 +1,54 @@
+module Make (S : sig
+  type t
+
+  val copy : t -> t
+end) =
+struct
+  type stripe = {
+    local : S.t;
+    shared : S.t Atomic.t;
+    mutable since_publish : int;
+  }
+
+  type t = { stripes : stripe array; publish_every : int }
+
+  let create ?(publish_every = 64) ~domains mk =
+    if domains <= 0 then invalid_arg "Stripes.create: domains must be positive";
+    if publish_every <= 0 then
+      invalid_arg "Stripes.create: publish_every must be positive";
+    let stripes =
+      Array.init domains (fun d ->
+          let local = mk d in
+          { local; shared = Atomic.make (S.copy local); since_publish = 0 })
+    in
+    { stripes; publish_every }
+
+  let stripe t domain =
+    if domain < 0 || domain >= Array.length t.stripes then
+      invalid_arg "Stripes: no such domain";
+    t.stripes.(domain)
+
+  let publish s = Atomic.set s.shared (S.copy s.local)
+
+  let update t ~domain f =
+    let s = stripe t domain in
+    f s.local;
+    s.since_publish <- s.since_publish + 1;
+    if s.since_publish >= t.publish_every then begin
+      publish s;
+      s.since_publish <- 0
+    end
+
+  let flush t ~domain =
+    let s = stripe t domain in
+    publish s;
+    s.since_publish <- 0
+
+  let flush_all t = Array.iteri (fun d _ -> flush t ~domain:d) t.stripes
+
+  let views t = Array.map (fun s -> Atomic.get s.shared) t.stripes
+
+  let local t ~domain = (stripe t domain).local
+
+  let domains t = Array.length t.stripes
+end

@@ -1,0 +1,40 @@
+(** The stripe-and-publish scaffold shared by the merge-based concurrent
+    sketches ({!Striped_quantiles}, {!Striped_topk}, {!Striped_kmv}).
+
+    Pattern: each ingestion domain owns a private sketch nobody else
+    touches (single-writer, like Algorithm 2's registers); every
+    [publish_every] updates — and on flush — the domain atomically publishes
+    an immutable copy. Queries read the published copies and merge them.
+    For monotone sketches this yields the IVL-style envelope with staleness
+    bounded by [domains × (publish_every − 1)] unpublished updates. *)
+
+module Make (S : sig
+  type t
+
+  val copy : t -> t
+  (** Deep copy; the published snapshot must be immune to later updates. *)
+end) : sig
+  type t
+
+  val create : ?publish_every:int -> domains:int -> (int -> S.t) -> t
+  (** [create ~domains mk] builds one private sketch per domain with
+      [mk domain]; [publish_every] defaults to 64.
+      @raise Invalid_argument on non-positive arguments. *)
+
+  val update : t -> domain:int -> (S.t -> unit) -> unit
+  (** Apply one update to [domain]'s private sketch (single writer per
+      domain — the caller's contract) and publish at the batch boundary.
+      @raise Invalid_argument on an unknown domain. *)
+
+  val flush : t -> domain:int -> unit
+  val flush_all : t -> unit
+
+  val views : t -> S.t array
+  (** The currently published snapshots, one per domain. Treat as
+      read-only. *)
+
+  val local : t -> domain:int -> S.t
+  (** The private sketch (owner-side accounting only). *)
+
+  val domains : t -> int
+end

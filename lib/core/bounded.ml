@@ -1,0 +1,82 @@
+(** Machinery for (ε,δ)-bounded objects (Section 4).
+
+    Definition 5 measures a concurrent query [Q] against the minimum and
+    maximum values the {e ideal} object may take over linearizations of the
+    query's interval:
+
+    {v v_min(H,Q) = min { ret(Q, τ_I(L)) : L ∈ linearizations(H?) }
+   v_max(H,Q) = max { ret(Q, τ_I(L)) : L ∈ linearizations(H?) } v}
+
+    [query_bounds] computes both exactly by enumeration (test-sized
+    histories). [violates] then scores a measured return value against the
+    (ε,δ) requirement
+
+    {v v_min − ε ≤ ret(Q,H) ≤ v_max + ε v}
+
+    whose two one-sided failures each may happen with probability at most
+    δ/2. The large-scale experiments (Corollary 8) do not enumerate
+    linearizations: for {e monotone} objects the interval endpoints
+    [v_min]/[v_max] coincide with the ideal value just before the query's
+    invocation and just after its response, which the harness tracks
+    directly; the exact enumeration here is the ground truth that validates
+    that shortcut on small histories. *)
+
+module Make (I : Spec.Quantitative.S) = struct
+  module Engine = Search.Make (I)
+
+  type bound = {
+    op : (I.update, I.query, I.value) Hist.Op.t;
+    v_min : I.value;
+    v_max : I.value;
+  }
+
+  (* Exact v_min / v_max for every completed query, by full enumeration. *)
+  let query_bounds h =
+    let p = Engine.prepare h in
+    let tbl = Hashtbl.create 8 in
+    Engine.iter_linearizations p (fun lin ->
+        List.iter
+          (fun op ->
+            match (op.Hist.Op.kind, op.Hist.Op.ret) with
+            | Hist.Op.Query _, Some v -> (
+                match Hashtbl.find_opt tbl op.Hist.Op.id with
+                | None -> Hashtbl.replace tbl op.Hist.Op.id (v, v)
+                | Some (lo, hi) ->
+                    let lo = if I.compare_value v lo < 0 then v else lo in
+                    let hi = if I.compare_value v hi > 0 then v else hi in
+                    Hashtbl.replace tbl op.Hist.Op.id (lo, hi))
+            | _ -> ())
+          lin);
+    Hist.History.completed h
+    |> List.filter_map (fun op ->
+           match Hashtbl.find_opt tbl op.Hist.Op.id with
+           | Some (v_min, v_max) -> Some { op; v_min; v_max }
+           | None -> None)
+
+  type side = Below | Above
+
+  (* Which side, if any, of the (ε,·) bound a measured value violates. *)
+  let violates ~epsilon ~measure ~sub (b : bound) actual : side option =
+    if measure (sub actual b.v_min) < -.epsilon then Some Below
+    else if measure (sub actual b.v_max) > epsilon then Some Above
+    else None
+end
+
+(** Violation accounting for the empirical (ε,δ) experiments: counts queries
+    whose return leaves [v_min − ε, v_max + ε] on either side, to be compared
+    against δ/2 per side (Definition 5). *)
+type tally = {
+  mutable total : int;
+  mutable below : int; (* ret < v_min − ε *)
+  mutable above : int; (* ret > v_max + ε *)
+}
+
+let tally () = { total = 0; below = 0; above = 0 }
+
+let record t ~ret ~v_min ~v_max ~epsilon =
+  t.total <- t.total + 1;
+  if ret < v_min -. epsilon then t.below <- t.below + 1
+  else if ret > v_max +. epsilon then t.above <- t.above + 1
+
+let below_rate t = if t.total = 0 then 0.0 else float_of_int t.below /. float_of_int t.total
+let above_rate t = if t.total = 0 then 0.0 else float_of_int t.above /. float_of_int t.total

@@ -1,0 +1,49 @@
+(** Machinery for (ε,δ)-bounded objects (Section 4, Definitions 4–5,
+    Theorem 6).
+
+    [Make (I)] computes, against the {e ideal} specification [I], the exact
+    interval \[v_min, v_max\] each completed query may take over
+    linearizations — the reference points Definition 5 measures concurrent
+    (ε,δ)-bounded objects against. Exact enumeration; test-sized histories.
+
+    The [tally] utilities accumulate empirical violation rates for the
+    large-scale experiments, where the interval endpoints of monotone
+    objects are tracked by bracketing oracles instead of enumeration. *)
+
+module Make (I : Spec.Quantitative.S) : sig
+  type bound = {
+    op : (I.update, I.query, I.value) Hist.Op.t;  (** the query *)
+    v_min : I.value;
+    v_max : I.value;
+  }
+
+  val query_bounds : (I.update, I.query, I.value) Hist.History.t -> bound list
+  (** Exact v_min/v_max for every completed query, by full enumeration.
+      @raise Invalid_argument on an ill-formed history.
+      @raise Search.Too_many_operations beyond the search budget. *)
+
+  type side = Below | Above
+
+  val violates :
+    epsilon:float ->
+    measure:('d -> float) ->
+    sub:(I.value -> I.value -> 'd) ->
+    bound ->
+    I.value ->
+    side option
+  (** [violates ~epsilon ~measure ~sub b actual]: which side of
+      \[v_min − ε, v_max + ε\] the measured value leaves, if any; [sub] and
+      [measure] map value differences into the float metric ε lives in. *)
+end
+
+(** Violation accounting for empirical (ε,δ) experiments (Definition 5 makes
+    each one-sided failure probability at most δ/2). *)
+type tally = { mutable total : int; mutable below : int; mutable above : int }
+
+val tally : unit -> tally
+
+val record : tally -> ret:float -> v_min:float -> v_max:float -> epsilon:float -> unit
+(** Count a query: below if [ret < v_min − ε], above if [ret > v_max + ε]. *)
+
+val below_rate : tally -> float
+val above_rate : tally -> float

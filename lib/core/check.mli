@@ -1,0 +1,37 @@
+(** Intermediate Value Linearizability checking (Definition 2).
+
+    A history [H] is IVL w.r.t. sequential specification [S] when there are
+    two linearizations [H1], [H2] of the skeleton [H?] such that every query
+    [Q] returning in [H] satisfies
+
+    {v ret(Q, τ_S(H1)) ≤ ret(Q, H) ≤ ret(Q, τ_S(H2)) v}
+
+    The checker is an exact decision procedure for histories of up to 62
+    candidate operations (pending queries excluded); beyond that
+    {!Search.Too_many_operations} is raised. *)
+
+module Make (S : Spec.Quantitative.S) : sig
+  type verdict = {
+    ivl : bool;
+    lower : (S.update, S.query, S.value) Hist.Op.t list option;
+        (** H1: a linearization whose τ-values lower-bound every query's
+            actual return, when one exists *)
+    upper : (S.update, S.query, S.value) Hist.Op.t list option;
+        (** H2: the symmetric upper witness *)
+  }
+
+  val check : (S.update, S.query, S.value) Hist.History.t -> verdict
+  (** Decide Definition 2 for a well-formed history. The two witnesses are
+      searched independently, mirroring the definition's two independent
+      linearizations (including independent completions of pending updates).
+      @raise Invalid_argument on an ill-formed history.
+      @raise Search.Too_many_operations beyond the exact-search budget. *)
+
+  val is_ivl : (S.update, S.query, S.value) Hist.History.t -> bool
+  (** [is_ivl h] = [(check h).ivl]. *)
+
+  val sequential_conforms : (S.update, S.query, S.value) Hist.History.t -> bool
+  (** Direct conformance of a {e sequential} history to the specification —
+      IVL does not relax sequential executions at all (Section 3.2).
+      @raise Invalid_argument if the history is not sequential. *)
+end

@@ -1,0 +1,47 @@
+module Make (S : Spec.Quantitative.S) = struct
+  module Bounds = Bounded.Make (S)
+  module Checker = Check.Make (S)
+  module Lin = Lincheck.Make (S)
+
+  type query_report = {
+    op : (S.update, S.query, S.value) Hist.Op.t;
+    v_min : S.value;
+    v_max : S.value;
+    in_bounds : bool;
+  }
+
+  let diagnose h =
+    List.map
+      (fun (b : Bounds.bound) ->
+        let in_bounds =
+          match b.op.Hist.Op.ret with
+          | None -> true
+          | Some v ->
+              S.compare_value b.Bounds.v_min v <= 0 && S.compare_value v b.Bounds.v_max <= 0
+        in
+        { op = b.Bounds.op; v_min = b.Bounds.v_min; v_max = b.Bounds.v_max; in_bounds })
+      (Bounds.query_bounds h)
+
+  let to_string h =
+    let buf = Buffer.create 256 in
+    let ivl = Checker.is_ivl h and lin = Lin.is_linearizable h in
+    Buffer.add_string buf
+      (Printf.sprintf "linearizable: %b    IVL: %b    (%s)\n" lin ivl S.name);
+    List.iter
+      (fun r ->
+        let actual =
+          match r.op.Hist.Op.ret with
+          | Some v -> Format.asprintf "%a" S.pp_value v
+          | None -> "?"
+        in
+        Buffer.add_string buf
+          (Format.asprintf "  query #%d (%a): returned %s, interval [%a, %a]%s\n"
+             r.op.Hist.Op.id S.pp_query
+             (match r.op.Hist.Op.kind with
+             | Hist.Op.Query q -> q
+             | Hist.Op.Update _ -> assert false)
+             actual S.pp_value r.v_min S.pp_value r.v_max
+             (if r.in_bounds then "" else "  <-- OUT OF BOUNDS")))
+      (diagnose h);
+    Buffer.contents buf
+end

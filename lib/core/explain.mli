@@ -1,0 +1,26 @@
+(** Human-readable diagnosis of checker verdicts.
+
+    When a history fails a check, "not IVL" is rarely enough to debug an
+    implementation; this module says {e which} query is out of bounds and
+    what the legal interval was (Definition 5's v_min/v_max, computed
+    exactly), in prose suitable for CLI output and failure messages.
+    Exponential like the exact checkers — diagnosis is for the small
+    histories the fuzzers minimize to. *)
+
+module Make (S : Spec.Quantitative.S) : sig
+  type query_report = {
+    op : (S.update, S.query, S.value) Hist.Op.t;
+    v_min : S.value;
+    v_max : S.value;
+    in_bounds : bool;
+  }
+
+  val diagnose : (S.update, S.query, S.value) Hist.History.t -> query_report list
+  (** Interval and verdict for every completed query.
+      @raise Invalid_argument / @raise Search.Too_many_operations as the
+      exact checkers do. *)
+
+  val to_string : (S.update, S.query, S.value) Hist.History.t -> string
+  (** A multi-line report: overall IVL/linearizability verdicts followed by
+      one line per query with its interval and actual return. *)
+end

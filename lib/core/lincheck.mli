@@ -1,0 +1,19 @@
+(** Linearizability checking (Herlihy & Wing; Section 2.1 of the paper).
+
+    For a deterministic quantitative object, a history is linearizable iff
+    some linearization's τ-derived query values {e equal} the returned ones.
+    Exact for the same history sizes as {!Check}. *)
+
+module Make (S : Spec.Quantitative.S) : sig
+  type verdict = {
+    linearizable : bool;
+    witness : (S.update, S.query, S.value) Hist.Op.t list option;
+        (** a linearization in the specification, when one exists *)
+  }
+
+  val check : (S.update, S.query, S.value) Hist.History.t -> verdict
+  (** @raise Invalid_argument on an ill-formed history.
+      @raise Search.Too_many_operations beyond the exact-search budget. *)
+
+  val is_linearizable : (S.update, S.query, S.value) Hist.History.t -> bool
+end

@@ -1,0 +1,38 @@
+(** Locality of IVL (Theorem 1).
+
+    [A history H of a well-formed execution over a set of objects X is IVL
+    iff H|x is IVL for every x ∈ X.] Locality is what lets a system be
+    verified object by object. This module offers both sides: the modular
+    check (project, then check each object separately) and the monolithic
+    check (the multi-object search built into the engine, where each object
+    id evolves its own state). Property tests assert the two verdicts agree
+    on randomly generated multi-object histories — an executable witness of
+    the theorem.
+
+    The theorem's proof relies on per-object specifications; here all objects
+    in one history share a spec module [S], which suffices because object ids
+    keep their states disjoint. *)
+
+module Make (S : Spec.Quantitative.S) = struct
+  module Checker = Check.Make (S)
+
+  (* Verdict of the modular, per-object check. *)
+  type verdict = {
+    ivl : bool;
+    per_object : (int * bool) list; (* object id, is H|x IVL? *)
+  }
+
+  let check_per_object h =
+    let per_object =
+      List.map
+        (fun obj -> (obj, Checker.is_ivl (Hist.History.project h ~obj)))
+        (Hist.History.objects h)
+    in
+    { ivl = List.for_all snd per_object; per_object }
+
+  (* The monolithic check over the composed history. *)
+  let check_global h = Checker.is_ivl h
+
+  (* Both directions of Theorem 1 at once: do the two checks agree? *)
+  let theorem_holds h = (check_per_object h).ivl = check_global h
+end

@@ -1,0 +1,22 @@
+(** Locality of IVL (Theorem 1): [H] is IVL iff [H|x] is IVL for every
+    object [x]. Both directions are executable here — the modular per-object
+    check and the monolithic multi-object check — so the theorem itself can
+    be property-tested. *)
+
+module Make (S : Spec.Quantitative.S) : sig
+  module Checker : module type of Check.Make (S)
+
+  type verdict = {
+    ivl : bool;  (** conjunction over objects *)
+    per_object : (int * bool) list;  (** object id, is [H|x] IVL? *)
+  }
+
+  val check_per_object : (S.update, S.query, S.value) Hist.History.t -> verdict
+  (** Project onto each object id and check the projections separately. *)
+
+  val check_global : (S.update, S.query, S.value) Hist.History.t -> bool
+  (** One search over the composed history (object states kept disjoint). *)
+
+  val theorem_holds : (S.update, S.query, S.value) Hist.History.t -> bool
+  (** Do the two checks agree? Theorem 1 says always; tests assert it. *)
+end

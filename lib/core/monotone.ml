@@ -1,0 +1,62 @@
+module Int_map = Map.Make (Int)
+
+module Make (S : Spec.Quantitative.S) = struct
+  type envelope = {
+    op : (S.update, S.query, S.value) Hist.Op.t;
+    low : S.value;
+    high : S.value;
+  }
+
+  let state_of states obj =
+    match Int_map.find_opt obj states with Some s -> s | None -> S.init
+
+  (* One forward sweep. [completed_states] applies each update at its
+     response event (the update provably precedes anything invoked later);
+     [invoked_states] applies it at its invocation (the earliest point at
+     which a linearization may order it before a later-responding query).
+     A query captures its lower value from [completed_states] at its
+     invocation and its upper value from [invoked_states] at its response. *)
+  let envelopes h =
+    (match Hist.History.well_formed h with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Monotone.envelopes: ill-formed history: " ^ msg));
+    let completed_states = ref Int_map.empty in
+    let invoked_states = ref Int_map.empty in
+    let pending_lows = Hashtbl.create 16 in
+    let out = ref [] in
+    List.iter
+      (fun (ev : (S.update, S.query, S.value) Hist.History.event) ->
+        let op = ev.Hist.History.op in
+        match (ev.Hist.History.dir, op.Hist.Op.kind) with
+        | Hist.History.Inv, Hist.Op.Update u ->
+            invoked_states :=
+              Int_map.add op.obj
+                (S.apply_update (state_of !invoked_states op.obj) u)
+                !invoked_states
+        | Hist.History.Rsp, Hist.Op.Update u ->
+            completed_states :=
+              Int_map.add op.obj
+                (S.apply_update (state_of !completed_states op.obj) u)
+                !completed_states
+        | Hist.History.Inv, Hist.Op.Query q ->
+            Hashtbl.replace pending_lows op.id
+              (S.eval_query (state_of !completed_states op.obj) q)
+        | Hist.History.Rsp, Hist.Op.Query q -> (
+            match Hashtbl.find_opt pending_lows op.id with
+            | None -> () (* response without invocation: well_formed rejects *)
+            | Some low ->
+                Hashtbl.remove pending_lows op.id;
+                let high = S.eval_query (state_of !invoked_states op.obj) q in
+                out := { op; low; high } :: !out))
+      (Hist.History.events h);
+    List.rev !out
+
+  let within e =
+    match e.op.Hist.Op.ret with
+    | None -> true
+    | Some v -> S.compare_value e.low v <= 0 && S.compare_value v e.high <= 0
+
+  let check h = List.for_all within (envelopes h)
+
+  let violations h = List.filter (fun e -> not (within e)) (envelopes h)
+end

@@ -1,0 +1,47 @@
+(** Scalable IVL checking for {e monotone} quantitative objects.
+
+    The exact checker ({!Check}) decides Definition 2 for any object but is
+    exponential and capped at 62 operations. For objects where more updates
+    can only increase query values — batched counters, CountMin, max
+    registers, HyperLogLog — IVL collapses to an interval test that a single
+    sweep computes:
+
+    - the {e lower} envelope of query [Q] is the τ-value over exactly the
+      updates that {e completed before Q was invoked} (they precede [Q] in
+      real time, so every linearization applies them; monotonicity makes any
+      additional update only raise the value, so this is [v_min]);
+    - the {e upper} envelope is the τ-value over every update {e invoked
+      before Q responded} (each such update either precedes [Q] or is
+      concurrent with it, so some linearization applies them all — including
+      completing the pending ones — and none can apply more, so this is
+      [v_max]).
+
+    [H] is then IVL iff every completed query's return lies within its
+    envelope. One pass, O(events × query cost) — recorded executions with
+    thousands of operations check in milliseconds (the end-to-end multicore
+    validations use this).
+
+    {b Soundness requirement, unchecked:} [S] must be monotone (applying any
+    update never decreases any query's value) and have commutative updates.
+    All four objects above qualify; the up/down counter of Section 3.4 does
+    {e not} — use {!Check} for such objects. Property tests assert this
+    module agrees with {!Check} on every random monotone history. *)
+
+module Make (S : Spec.Quantitative.S) : sig
+  type envelope = {
+    op : (S.update, S.query, S.value) Hist.Op.t;  (** the completed query *)
+    low : S.value;  (** v_min: updates completed before the invocation *)
+    high : S.value;  (** v_max: updates invoked before the response *)
+  }
+
+  val envelopes : (S.update, S.query, S.value) Hist.History.t -> envelope list
+  (** Per-query envelopes, in response order.
+      @raise Invalid_argument on an ill-formed history. *)
+
+  val check : (S.update, S.query, S.value) Hist.History.t -> bool
+  (** Every completed query's return lies in its envelope — equivalent to
+      {!Check.Make.is_ivl} for monotone commutative specs. *)
+
+  val violations : (S.update, S.query, S.value) Hist.History.t -> envelope list
+  (** The envelopes whose query return falls outside, for diagnostics. *)
+end

@@ -1,0 +1,135 @@
+(** IVL for randomized algorithms (Definition 3).
+
+    For a randomized object, different coin-flip vectors leave the skeleton
+    unchanged (uniform step complexity) but change the return values. The
+    definition demands a {e common} pair of linearizations H1, H2 of the
+    skeleton such that {e for every} coin vector c#:
+
+    {v ret(Q, τ_{H(c#)}(H1)) ≤ ret(Q, H(A,c#,σ)) ≤ ret(Q, τ_{H(c#)}(H2)) v}
+
+    This is strictly stronger than finding witnesses per coin: the common
+    witness is what makes the linearization independent of future coin flips
+    (the role strong linearizability plays for deterministic objects used by
+    randomized programs — Section 3.3 discusses why no further strengthening
+    is needed).
+
+    Checking universally over Ω^∞ is impossible; the checker takes a finite
+    set of {e worlds} — (coin, observed returns) pairs arising from running
+    the algorithm under the same schedule with different coins — and finds a
+    common witness across all of them. Tests use exhaustively enumerated or
+    densely sampled coin spaces. *)
+
+module Int_map = Map.Make (Int)
+
+module Make (R : Spec.Quantitative.RANDOMIZED) = struct
+  type world = {
+    coin : R.coin;
+    returns : (int * R.value) list; (* op id ↦ value returned under this coin *)
+  }
+
+  type op = (R.update, R.query, R.value) Hist.Op.t
+
+  type mode = At_most | At_least
+
+  let satisfies mode actual spec_value =
+    let c = R.compare_value spec_value actual in
+    match mode with At_most -> c <= 0 | At_least -> c >= 0
+
+  (* One DFS, carrying a state per world; a query placement must satisfy the
+     bound simultaneously in every world. *)
+  let exists ~mode ~(worlds : world list) (h : (R.update, R.query, R.value) Hist.History.t)
+      =
+    (match Hist.History.well_formed h with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Randomized.exists: ill-formed history: " ^ msg));
+    let all = Hist.History.ops h in
+    let is_completed op =
+      match Hist.History.interval h op.Hist.Op.id with
+      | Some (_, Some _) -> true
+      | _ -> false
+    in
+    let candidates =
+      Array.of_list (List.filter (fun op -> is_completed op || Hist.Op.is_update op) all)
+    in
+    let n = Array.length candidates in
+    if n > 62 then raise (Search.Too_many_operations n);
+    let preds =
+      Array.map
+        (fun (opi : op) ->
+          let ps = ref [] in
+          Array.iteri
+            (fun j (opj : op) ->
+              if opj.Hist.Op.id <> opi.Hist.Op.id
+                 && Hist.History.precedes h opj.Hist.Op.id opi.Hist.Op.id
+              then ps := j :: !ps)
+            candidates;
+          Array.of_list !ps)
+        candidates
+    in
+    let must_place = ref 0 in
+    Array.iteri
+      (fun i op -> if is_completed op then must_place := !must_place lor (1 lsl i))
+      candidates;
+    let must_place = !must_place in
+    let worlds = Array.of_list worlds in
+    let actual_of w id = List.assoc_opt id w.returns in
+    (* Per-world object states. *)
+    let init_states = Array.map (fun w -> (w, Int_map.empty)) worlds in
+    let get_state coin states obj =
+      match Int_map.find_opt obj states with Some s -> s | None -> R.init coin
+    in
+    let failed = Hashtbl.create 1024 in
+    let memoize = R.commutative_updates in
+    let rec go placed (world_states : (world * R.state Int_map.t) array) acc =
+      if placed land must_place = must_place then Some (List.rev acc)
+      else if memoize && Hashtbl.mem failed placed then None
+      else begin
+        let result = ref None in
+        let i = ref 0 in
+        while !result = None && !i < n do
+          let ix = !i in
+          incr i;
+          if placed land (1 lsl ix) = 0
+             && Array.for_all (fun j -> placed land (1 lsl j) <> 0) preds.(ix)
+          then begin
+            let op = candidates.(ix) in
+            match op.Hist.Op.kind with
+            | Hist.Op.Update u ->
+                let next =
+                  Array.map
+                    (fun (w, states) ->
+                      let st = R.apply_update (get_state w.coin states op.obj) u in
+                      (w, Int_map.add op.Hist.Op.obj st states))
+                    world_states
+                in
+                result := go (placed lor (1 lsl ix)) next (op :: acc)
+            | Hist.Op.Query q ->
+                let ok =
+                  Array.for_all
+                    (fun (w, states) ->
+                      match actual_of w op.Hist.Op.id with
+                      | None -> true
+                      | Some actual ->
+                          let v = R.eval_query (get_state w.coin states op.obj) q in
+                          satisfies mode actual v)
+                    world_states
+                in
+                if ok then result := go (placed lor (1 lsl ix)) world_states (op :: acc)
+          end
+        done;
+        if !result = None && memoize then Hashtbl.replace failed placed ();
+        !result
+      end
+    in
+    go 0 init_states []
+
+  type verdict = { ivl : bool; lower : op list option; upper : op list option }
+
+  (** Definition 3: a common H1 (lower) and H2 (upper) across all worlds. *)
+  let check ~worlds h =
+    let lower = exists ~mode:At_most ~worlds h in
+    let upper =
+      match lower with None -> None | Some _ -> exists ~mode:At_least ~worlds h
+    in
+    { ivl = lower <> None && upper <> None; lower; upper }
+end

@@ -1,0 +1,38 @@
+(** IVL for randomized algorithms (Definition 3).
+
+    A randomized quantitative object must admit a {e common} pair of
+    linearizations H1, H2 of the skeleton that bound the actual returns
+    under {e every} coin-flip vector simultaneously — strictly stronger than
+    a per-coin witness, and the reason no strong-linearizability-style
+    strengthening is needed (Section 3.3).
+
+    The checker quantifies over a finite set of observed {e worlds}: runs of
+    the same schedule under different coins. Histories passed in are
+    skeleton-shaped; the per-world returns come from the worlds. *)
+
+module Make (R : Spec.Quantitative.RANDOMIZED) : sig
+  type world = {
+    coin : R.coin;
+    returns : (int * R.value) list;
+        (** operation id ↦ value the query returned under this coin *)
+  }
+
+  type op = (R.update, R.query, R.value) Hist.Op.t
+
+  type mode = At_most | At_least
+
+  val exists :
+    mode:mode ->
+    worlds:world list ->
+    (R.update, R.query, R.value) Hist.History.t ->
+    op list option
+  (** A single linearization satisfying [mode] in every world at once.
+      @raise Invalid_argument on an ill-formed history.
+      @raise Search.Too_many_operations beyond the search budget. *)
+
+  type verdict = { ivl : bool; lower : op list option; upper : op list option }
+
+  val check :
+    worlds:world list -> (R.update, R.query, R.value) Hist.History.t -> verdict
+  (** Definition 3: common H1 and H2 across all [worlds]. *)
+end

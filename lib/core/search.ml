@@ -1,0 +1,155 @@
+(** The linearization search engine shared by every checker in this library.
+
+    All of the paper's criteria are ∃-statements over linearizations of a
+    history's skeleton:
+
+    - linearizability: ∃ a linearization whose (unique, τ-derived) query
+      values {e equal} the returned ones;
+    - IVL (Definition 2): ∃ one linearization whose values are ≤ the returned
+      ones and one whose values are ≥ them;
+    - v_min / v_max (Definition 5): the min / max value a query attains over
+      all linearizations.
+
+    The engine runs a DFS over linearization prefixes. A prefix is extended
+    by any operation whose real-time predecessors have all been placed.
+    Completed operations must eventually be placed; pending updates may be
+    placed (i.e. completed) or not (removed); pending queries are always
+    removed — exactly the completion freedom the definitions allow. Placing a
+    query immediately evaluates the sequential specification and applies the
+    caller's constraint, pruning the subtree on failure.
+
+    For specifications that declare [commutative_updates], the object state
+    reached by a prefix depends only on the {e set} of placed updates, so
+    failed prefixes can be memoized by their bitmask; this makes checking
+    histories of dozens of operations practical (Wing–Gong-style pruning). *)
+
+module Int_map = Map.Make (Int)
+
+(* How a placed query's specification value must relate to the value actually
+   returned in the history. *)
+type mode = Exact | At_most | At_least
+
+exception Too_many_operations of int
+
+module Make (S : Spec.Quantitative.S) = struct
+  module Tau = Spec.Quantitative.Tau (S)
+
+  type op = (S.update, S.query, S.value) Hist.Op.t
+
+  type prepared = {
+    ops : op array; (* candidate operations, invocation order *)
+    preds : int array array; (* preds.(i): indices that must precede i *)
+    must_place : int; (* bitmask of completed (mandatory) operations *)
+    constraints : S.value option array; (* actual return of completed queries *)
+  }
+
+  (* Build the search structure from a history. *)
+  let prepare (h : (S.update, S.query, S.value) Hist.History.t) =
+    (match Hist.History.well_formed h with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Search.prepare: ill-formed history: " ^ msg));
+    let all = Hist.History.ops h in
+    let is_completed op =
+      match Hist.History.interval h op.Hist.Op.id with
+      | Some (_, Some _) -> true
+      | _ -> false
+    in
+    (* Pending queries can never appear in a linearization that must assign
+       them a response value, so the definitions drop them. *)
+    let candidates =
+      List.filter (fun op -> is_completed op || Hist.Op.is_update op) all
+    in
+    let n = List.length candidates in
+    if n > 62 then raise (Too_many_operations n);
+    let ops = Array.of_list candidates in
+    let preds =
+      Array.map
+        (fun opi ->
+          let ps = ref [] in
+          Array.iteri
+            (fun j opj ->
+              if opj.Hist.Op.id <> opi.Hist.Op.id
+                 && Hist.History.precedes h opj.Hist.Op.id opi.Hist.Op.id
+              then ps := j :: !ps)
+            ops;
+          Array.of_list !ps)
+        ops
+    in
+    let must_place = ref 0 in
+    Array.iteri (fun i op -> if is_completed op then must_place := !must_place lor (1 lsl i)) ops;
+    let constraints =
+      Array.map (fun op -> if is_completed op then op.Hist.Op.ret else None) ops
+    in
+    { ops; preds; must_place = !must_place; constraints }
+
+  let satisfies mode actual spec_value =
+    let c = S.compare_value spec_value actual in
+    match mode with Exact -> c = 0 | At_most -> c <= 0 | At_least -> c >= 0
+
+  let state_of states obj =
+    match Int_map.find_opt obj states with Some s -> s | None -> S.init
+
+  (* [exists ~mode p] searches for a linearization satisfying [mode] on every
+     constrained query; returns the witness operation sequence. *)
+  let exists ~mode p =
+    let n = Array.length p.ops in
+    let failed = Hashtbl.create 1024 in
+    let memoize = S.commutative_updates in
+    let rec go placed states acc =
+      if placed land p.must_place = p.must_place then Some (List.rev acc)
+      else if memoize && Hashtbl.mem failed placed then None
+      else
+        let result = ref None in
+        let i = ref 0 in
+        while !result = None && !i < n do
+          let ix = !i in
+          incr i;
+          if placed land (1 lsl ix) = 0
+             && Array.for_all (fun j -> placed land (1 lsl j) <> 0) p.preds.(ix)
+          then begin
+            let op = p.ops.(ix) in
+            match op.Hist.Op.kind with
+            | Hist.Op.Update u ->
+                let st = S.apply_update (state_of states op.obj) u in
+                result :=
+                  go (placed lor (1 lsl ix)) (Int_map.add op.obj st states) (op :: acc)
+            | Hist.Op.Query q ->
+                let v = S.eval_query (state_of states op.obj) q in
+                let ok =
+                  match p.constraints.(ix) with
+                  | None -> true
+                  | Some actual -> satisfies mode actual v
+                in
+                if ok then
+                  result :=
+                    go (placed lor (1 lsl ix)) states (Hist.Op.with_return op v :: acc)
+          end
+        done;
+        if !result = None && memoize then Hashtbl.replace failed placed ();
+        !result
+    in
+    go 0 Int_map.empty []
+
+  (* Enumerate every linearization, invoking [f] on the τ-filled operation
+     sequence once all mandatory operations are placed. Exponential; meant
+     for small histories (v_min/v_max, ground-truth tests). *)
+  let iter_linearizations p f =
+    let n = Array.length p.ops in
+    let rec go placed states acc =
+      if placed land p.must_place = p.must_place then f (List.rev acc);
+      for ix = 0 to n - 1 do
+        if placed land (1 lsl ix) = 0
+           && Array.for_all (fun j -> placed land (1 lsl j) <> 0) p.preds.(ix)
+        then
+          let op = p.ops.(ix) in
+          match op.Hist.Op.kind with
+          | Hist.Op.Update u ->
+              let st = S.apply_update (state_of states op.obj) u in
+              go (placed lor (1 lsl ix)) (Int_map.add op.obj st states) (op :: acc)
+          | Hist.Op.Query q ->
+              let v = S.eval_query (state_of states op.obj) q in
+              go (placed lor (1 lsl ix)) states (Hist.Op.with_return op v :: acc)
+      done
+    in
+    go 0 Int_map.empty []
+end

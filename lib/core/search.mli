@@ -1,0 +1,41 @@
+(** The linearization search engine shared by every checker.
+
+    All of the paper's criteria are ∃-statements over linearizations of a
+    history's skeleton; this module decides them by DFS over linearization
+    prefixes with constraint-based pruning, and — for specifications whose
+    updates commute — Wing–Gong-style memoization of failed prefixes by
+    placed-operation bitmask.
+
+    Completion freedom follows the definitions: completed operations must be
+    placed, pending updates may be placed or dropped, pending queries are
+    always dropped. *)
+
+type mode =
+  | Exact  (** spec value must equal the actual return (linearizability) *)
+  | At_most  (** spec value ≤ actual (the IVL lower witness H1) *)
+  | At_least  (** spec value ≥ actual (the IVL upper witness H2) *)
+
+exception Too_many_operations of int
+(** Raised when a history has more than 62 candidate operations — the exact
+    search is bitmask-based and deliberately refuses beyond that. *)
+
+module Make (S : Spec.Quantitative.S) : sig
+  type op = (S.update, S.query, S.value) Hist.Op.t
+
+  type prepared
+  (** Preprocessed search input: candidate operations, real-time precedence,
+      mandatory-placement mask, per-query constraints. *)
+
+  val prepare : (S.update, S.query, S.value) Hist.History.t -> prepared
+  (** @raise Invalid_argument on an ill-formed history.
+      @raise Too_many_operations beyond the search budget. *)
+
+  val exists : mode:mode -> prepared -> op list option
+  (** [exists ~mode p] finds a linearization whose τ-values satisfy [mode]
+      against every constrained query, returning the witness sequence with
+      query returns filled by τ. *)
+
+  val iter_linearizations : prepared -> (op list -> unit) -> unit
+  (** Enumerate every linearization (exponential; v_min/v_max ground truth
+      and tests only), invoking the callback with each τ-filled sequence. *)
+end

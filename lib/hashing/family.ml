@@ -1,0 +1,41 @@
+type row = Universal_row of Universal.t | Explicit_row of (int -> int)
+
+type t = { rows : row array; width : int }
+
+let create g ~rows ~width =
+  if rows <= 0 then invalid_arg "Family.create: rows must be positive";
+  if width <= 0 then invalid_arg "Family.create: width must be positive";
+  {
+    rows = Array.init rows (fun _ -> Universal_row (Universal.create g ~width));
+    width;
+  }
+
+let of_functions fns =
+  if Array.length fns = 0 then invalid_arg "Family.of_functions: empty family";
+  let w = Universal.width fns.(0) in
+  Array.iter
+    (fun f ->
+      if Universal.width f <> w then
+        invalid_arg "Family.of_functions: all functions must share one width")
+    fns;
+  { rows = Array.map (fun f -> Universal_row f) fns; width = w }
+
+let of_mapping ~width fns =
+  if Array.length fns = 0 then invalid_arg "Family.of_mapping: empty family";
+  if width <= 0 then invalid_arg "Family.of_mapping: width must be positive";
+  { rows = Array.map (fun f -> Explicit_row f) fns; width }
+
+let rows t = Array.length t.rows
+
+let width t = t.width
+
+let hash t ~row x =
+  match t.rows.(row) with
+  | Universal_row f -> Universal.apply f x
+  | Explicit_row f ->
+      let v = f x mod t.width in
+      if v < 0 then v + t.width else v
+
+let seeded ~seed ~rows ~width =
+  let g = Rng.Splitmix.create seed in
+  create g ~rows ~width

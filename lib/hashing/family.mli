@@ -1,0 +1,37 @@
+(** A family of [d] independent hash functions with a common range [w].
+
+    This is exactly the "coin flip vector" of the paper's CountMin sketch
+    (Section 5): the hash functions are drawn once from the random source and
+    thereafter define the deterministic algorithm CM(c#). A family is shared
+    between a concurrent implementation and the sequential specification it
+    is checked against, so both observe the same coins.
+
+    Rows are normally pairwise-independent {!Universal} functions; tests may
+    instead pin arbitrary mappings ({!of_mapping}) to reproduce hand-crafted
+    collisions such as Example 9 of the paper. *)
+
+type t
+
+val create : Rng.Splitmix.t -> rows:int -> width:int -> t
+(** [create g ~rows ~width] draws [rows] independent pairwise-independent
+    functions with range [width].
+    @raise Invalid_argument if [rows <= 0] or [width <= 0]. *)
+
+val of_functions : Universal.t array -> t
+(** Wrap explicit universal functions.
+    @raise Invalid_argument on an empty array or mismatched widths. *)
+
+val of_mapping : width:int -> (int -> int) array -> t
+(** [of_mapping ~width fns] builds a family from arbitrary row functions
+    (each must map into [\[0, width)]; out-of-range results are reduced
+    modulo [width]). Intended for deterministic tests.
+    @raise Invalid_argument on an empty array or [width <= 0]. *)
+
+val rows : t -> int
+val width : t -> int
+
+val hash : t -> row:int -> int -> int
+(** [hash f ~row x] applies the [row]-th function to [x]. *)
+
+val seeded : seed:int64 -> rows:int -> width:int -> t
+(** Convenience: a family drawn from a fresh SplitMix64 stream with [seed]. *)

@@ -1,0 +1,42 @@
+let p = (1 lsl 61) - 1
+
+let reduce x =
+  let r = (x land p) + (x lsr 61) in
+  if r >= p then r - p else r
+
+let add a b = reduce (a + b)
+
+(* Multiply x (< p) by 2^k (k <= 31) modulo p: split off the bits that
+   overflow past 2^61 and wrap them around using 2^61 ≡ 1 (mod p). *)
+let shift_mod x k =
+  let hi = x lsr (61 - k) in
+  let lo = (x lsl k) land p in
+  reduce (hi + lo)
+
+(* Split each operand into a 30-bit high half and a 31-bit low half so every
+   partial product fits in 61 bits, then recombine modulo 2^61 - 1. *)
+let mul a b =
+  let a_hi = a lsr 31 and a_lo = a land 0x7FFFFFFF in
+  let b_hi = b lsr 31 and b_lo = b land 0x7FFFFFFF in
+  (* a*b = a_hi*b_hi*2^62 + (a_hi*b_lo + a_lo*b_hi)*2^31 + a_lo*b_lo *)
+  let hh = reduce (a_hi * b_hi) in
+  let cross = add (reduce (a_hi * b_lo)) (reduce (a_lo * b_hi)) in
+  let ll = reduce (a_lo * b_lo) in
+  (* 2^62 ≡ 2 (mod p) *)
+  add (add (shift_mod hh 1) (shift_mod cross 31)) ll
+
+let mul_add a x b = add (mul a x) b
+
+let random_element g =
+  let rec loop () =
+    let v = Int64.to_int (Rng.Splitmix.next_int64 g) land ((1 lsl 61) - 1) in
+    if v >= p then loop () else v
+  in
+  loop ()
+
+let random_nonzero g =
+  let rec loop () =
+    let v = random_element g in
+    if v = 0 then loop () else v
+  in
+  loop ()

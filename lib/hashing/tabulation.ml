@@ -1,0 +1,16 @@
+type t = { tables : int array array }
+
+let create g =
+  let tables =
+    Array.init 8 (fun _ ->
+        Array.init 256 (fun _ -> Int64.to_int (Rng.Splitmix.next_int64 g) land max_int))
+  in
+  { tables }
+
+let hash t x =
+  let h = ref 0 in
+  for byte = 0 to 7 do
+    let b = (x lsr (byte * 8)) land 0xFF in
+    h := !h lxor t.tables.(byte).(b)
+  done;
+  !h land max_int

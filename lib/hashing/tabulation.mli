@@ -1,0 +1,15 @@
+(** Simple tabulation hashing for 64-bit keys.
+
+    Tabulation hashing (Zobrist; analysed by Pătraşcu & Thorup, "The power of
+    simple tabulation hashing", 2011) is 3-independent and behaves like a
+    fully random function for many streaming applications. We use it for the
+    HyperLogLog and Quantiles sketches, which want well-mixed bits rather than
+    a bounded range. *)
+
+type t
+
+val create : Rng.Splitmix.t -> t
+(** Draw the eight 256-entry tables from [g]. *)
+
+val hash : t -> int -> int
+(** [hash t x] hashes the 63-bit key [x] to a 63-bit non-negative value. *)

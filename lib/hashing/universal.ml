@@ -1,0 +1,18 @@
+type t = { a : int; b : int; w : int }
+
+let create g ~width =
+  if width <= 0 then invalid_arg "Universal.create: width must be positive";
+  { a = Prime_field.random_nonzero g; b = Prime_field.random_element g; w = width }
+
+let of_coefficients ~a ~b ~width =
+  if width <= 0 then invalid_arg "Universal.of_coefficients: width must be positive";
+  let a = Prime_field.reduce (abs a) and b = Prime_field.reduce (abs b) in
+  { a; b; w = width }
+
+let apply h x =
+  let x = Prime_field.reduce (x land max_int) in
+  Prime_field.mul_add h.a x h.b mod h.w
+
+let width h = h.w
+
+let coefficients h = (h.a, h.b)

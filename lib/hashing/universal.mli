@@ -1,0 +1,29 @@
+(** Pairwise-independent hash functions over GF(2^61 - 1).
+
+    A function h(x) = ((a·x + b) mod p) mod w with a uniform in [1, p) and b
+    uniform in [0, p) is pairwise independent over the field, which is the
+    property the CountMin analysis (Cormode & Muthukrishnan 2005) requires of
+    each row's hash function. *)
+
+type t
+(** An immutable hash function [x ↦ ((a·x + b) mod p) mod w]. *)
+
+val create : Rng.Splitmix.t -> width:int -> t
+(** [create g ~width] draws fresh coefficients from [g]; [width] is the range
+    size [w]. @raise Invalid_argument if [width <= 0]. *)
+
+val of_coefficients : a:int -> b:int -> width:int -> t
+(** [of_coefficients ~a ~b ~width] builds a function with explicit
+    coefficients (used by tests to pin hash behaviour, e.g. Example 9 of the
+    paper). Coefficients are reduced into the field. *)
+
+val apply : t -> int -> int
+(** [apply h x] is h(x) in [\[0, width)]. Negative [x] is first mapped into
+    the field by reduction. *)
+
+val width : t -> int
+(** Range size [w]. *)
+
+val coefficients : t -> int * int
+(** The field coefficients [(a, b)], exposed so experiments can log the coin
+    flips that define a run. *)

@@ -1,0 +1,59 @@
+(* Each event occupies [cell] characters of horizontal space; an operation's
+   interval spans from its invocation column to its response column (or the
+   right margin while pending). Labels are centered in the interval and
+   truncated when the interval is too narrow. *)
+
+let cell = 4
+
+let label_of ~pp_u ~pp_q ~pp_v (op : ('u, 'q, 'v) Op.t) =
+  match op.Op.kind with
+  | Op.Update u -> Format.asprintf "u(%a)" pp_u u
+  | Op.Query q -> (
+      match op.Op.ret with
+      | Some v -> Format.asprintf "q(%a)->%a" pp_q q pp_v v
+      | None -> Format.asprintf "q(%a)->?" pp_q q)
+
+let render ~pp_u ~pp_q ~pp_v h =
+  let events = History.events h in
+  let n_events = List.length events in
+  if n_events = 0 then "(empty history)"
+  else begin
+    let procs = List.sort_uniq compare (List.map (fun op -> op.Op.proc) (History.ops h)) in
+    let width = n_events * cell in
+    let rows = List.map (fun p -> (p, Bytes.make width ' ')) procs in
+    let row p = List.assoc p rows in
+    List.iter
+      (fun op ->
+        match History.interval h op.Op.id with
+        | None -> ()
+        | Some (inv_ix, rsp_ix) ->
+            let left = inv_ix * cell in
+            let right, pending =
+              match rsp_ix with
+              | Some r -> (((r + 1) * cell) - 1, false)
+              | None -> (width - 1, true)
+            in
+            let buf = row op.Op.proc in
+            Bytes.set buf left '|';
+            if pending then Bytes.set buf right '~' else Bytes.set buf right '|';
+            for i = left + 1 to right - 1 do
+              Bytes.set buf i '-'
+            done;
+            let label = label_of ~pp_u ~pp_q ~pp_v op in
+            let space = right - left - 1 in
+            let label =
+              if String.length label <= space then label
+              else if space > 1 then String.sub label 0 space
+              else ""
+            in
+            let start = left + 1 + ((space - String.length label) / 2) in
+            String.iteri (fun i c -> Bytes.set buf (start + i) c) label)
+      (History.ops h);
+    rows
+    |> List.map (fun (p, buf) -> Printf.sprintf "p%d: %s" p (Bytes.to_string buf))
+    |> String.concat "\n"
+  end
+
+let render_int h =
+  let pp = Format.pp_print_int in
+  render ~pp_u:pp ~pp_q:pp ~pp_v:pp h

@@ -1,0 +1,24 @@
+(** ASCII interval diagrams of histories — Figure 2 of the paper, as text.
+
+    One row per process, one column per event slot; operations render as
+    [|--label--|] intervals, pending operations as [|--label--…]. Used by
+    the CLI and examples to show executions the way the paper draws them:
+
+    {v
+    p0: |-u(5)-|
+    p1:         |-u(2)-|
+    p2: |------r->2--------|
+    v} *)
+
+val render :
+  pp_u:(Format.formatter -> 'u -> unit) ->
+  pp_q:(Format.formatter -> 'q -> unit) ->
+  pp_v:(Format.formatter -> 'v -> unit) ->
+  ('u, 'q, 'v) History.t ->
+  string
+(** Multi-line diagram; event index = horizontal position, so overlap in the
+    picture is exactly concurrency in the history. *)
+
+val render_int : (int, int, int) History.t -> string
+(** {!render} specialized to the int-typed histories the machine and the
+    test helpers produce. *)

@@ -1,0 +1,180 @@
+type dir = Inv | Rsp
+
+type ('u, 'q, 'v) event = { dir : dir; op : ('u, 'q, 'v) Op.t }
+
+type ('u, 'q, 'v) t = { evs : ('u, 'q, 'v) event array }
+
+let of_events evs = { evs = Array.of_list evs }
+
+let inv op = { dir = Inv; op = Op.erase_return op }
+
+let rsp ?ret op =
+  let op = match ret with None -> op | Some v -> Op.with_return op v in
+  { dir = Rsp; op }
+
+let of_sequential_ops ops =
+  of_events (List.concat_map (fun op -> [ inv op; { dir = Rsp; op } ]) ops)
+
+let events h = Array.to_list h.evs
+
+let length h = Array.length h.evs
+
+(* The operation record exposed for an id merges the invocation (argument)
+   with the response (return value) when the latter exists. *)
+let ops h =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  Array.iter
+    (fun ev ->
+      match ev.dir with
+      | Inv ->
+          if not (Hashtbl.mem tbl ev.op.Op.id) then begin
+            Hashtbl.replace tbl ev.op.Op.id ev.op;
+            order := ev.op.Op.id :: !order
+          end
+      | Rsp -> Hashtbl.replace tbl ev.op.Op.id ev.op)
+    h.evs;
+  List.rev_map (fun id -> Hashtbl.find tbl id) !order
+
+let find_op h id = List.find_opt (fun op -> op.Op.id = id) (ops h)
+
+let interval h id =
+  let inv_ix = ref None and rsp_ix = ref None in
+  Array.iteri
+    (fun i ev ->
+      if ev.op.Op.id = id then
+        match ev.dir with
+        | Inv -> if !inv_ix = None then inv_ix := Some i
+        | Rsp -> if !rsp_ix = None then rsp_ix := Some i)
+    h.evs;
+  match !inv_ix with None -> None | Some i -> Some (i, !rsp_ix)
+
+let pending h =
+  List.filter
+    (fun op ->
+      match interval h op.Op.id with Some (_, None) -> true | _ -> false)
+    (ops h)
+
+let completed h =
+  List.filter
+    (fun op ->
+      match interval h op.Op.id with Some (_, Some _) -> true | _ -> false)
+    (ops h)
+
+let well_formed h =
+  let ( let* ) r f = match r with Error _ as e -> e | Ok x -> f x in
+  (* Each id: exactly one Inv, at most one Rsp, Inv before Rsp. *)
+  let check_ids () =
+    let seen_inv = Hashtbl.create 16 and seen_rsp = Hashtbl.create 16 in
+    let err = ref None in
+    Array.iter
+      (fun ev ->
+        let id = ev.op.Op.id in
+        match ev.dir with
+        | Inv ->
+            if Hashtbl.mem seen_inv id then
+              err := Some (Printf.sprintf "duplicate invocation of op #%d" id)
+            else Hashtbl.replace seen_inv id ()
+        | Rsp ->
+            if not (Hashtbl.mem seen_inv id) then
+              err := Some (Printf.sprintf "response of op #%d precedes its invocation" id)
+            else if Hashtbl.mem seen_rsp id then
+              err := Some (Printf.sprintf "duplicate response of op #%d" id)
+            else Hashtbl.replace seen_rsp id ())
+      h.evs;
+    match !err with None -> Ok () | Some m -> Error m
+  in
+  (* No process runs two operations concurrently. *)
+  let check_procs () =
+    let in_flight = Hashtbl.create 8 in
+    let err = ref None in
+    Array.iter
+      (fun ev ->
+        let p = ev.op.Op.proc in
+        match ev.dir with
+        | Inv ->
+            (match Hashtbl.find_opt in_flight p with
+            | Some other ->
+                err :=
+                  Some
+                    (Printf.sprintf
+                       "process %d invokes op #%d while op #%d is in flight" p
+                       ev.op.Op.id other)
+            | None -> Hashtbl.replace in_flight p ev.op.Op.id)
+        | Rsp ->
+            (match Hashtbl.find_opt in_flight p with
+            | Some id when id = ev.op.Op.id -> Hashtbl.remove in_flight p
+            | _ ->
+                err :=
+                  Some
+                    (Printf.sprintf "process %d responds to op #%d it is not running" p
+                       ev.op.Op.id)))
+      h.evs;
+    match !err with None -> Ok () | Some m -> Error m
+  in
+  let* () = check_ids () in
+  check_procs ()
+
+let precedes h id1 id2 =
+  match (interval h id1, interval h id2) with
+  | Some (_, Some r1), Some (i2, _) -> r1 < i2
+  | _ -> false
+
+let concurrent h id1 id2 = (not (precedes h id1 id2)) && not (precedes h id2 id1)
+
+let is_sequential h =
+  let n = Array.length h.evs in
+  if n mod 2 <> 0 then false
+  else
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let a = h.evs.(!i) and b = h.evs.(!i + 1) in
+      if not (a.dir = Inv && b.dir = Rsp && a.op.Op.id = b.op.Op.id) then ok := false;
+      i := !i + 2
+    done;
+    !ok
+
+let sequential_ops h =
+  if not (is_sequential h) then None
+  else
+    let rec collect i acc =
+      if i >= Array.length h.evs then List.rev acc
+      else collect (i + 2) (h.evs.(i + 1).op :: acc)
+    in
+    Some (collect 0 [])
+
+let skeleton h =
+  { evs = Array.map (fun ev -> { ev with op = Op.erase_return ev.op }) h.evs }
+
+let project h ~obj =
+  { evs = Array.of_seq (Seq.filter (fun ev -> ev.op.Op.obj = obj) (Array.to_seq h.evs)) }
+
+let objects h =
+  List.sort_uniq compare (List.map (fun op -> op.Op.obj) (ops h))
+
+let complete ?(keep_pending_updates = true) h =
+  let pend = pending h in
+  let is_pending id = List.exists (fun op -> op.Op.id = id) pend in
+  let keep ev =
+    if not (is_pending ev.op.Op.id) then true
+    else Op.is_update ev.op && keep_pending_updates
+  in
+  let kept = List.filter keep (events h) in
+  let completions =
+    if keep_pending_updates then
+      List.filter_map
+        (fun op -> if Op.is_update op then Some { dir = Rsp; op } else None)
+        pend
+    else []
+  in
+  of_events (kept @ completions)
+
+let append h ev = { evs = Array.append h.evs [| ev |] }
+
+let pp ~pp_u ~pp_q ~pp_v ppf h =
+  Array.iter
+    (fun ev ->
+      let tag = match ev.dir with Inv -> "inv" | Rsp -> "rsp" in
+      Format.fprintf ppf "%s  %a@." tag (Op.pp ~pp_u ~pp_q ~pp_v) ev.op)
+    h.evs

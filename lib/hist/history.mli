@@ -1,0 +1,109 @@
+(** Histories: sequences of invocation and response events (Section 2.1).
+
+    A history records the externally visible behaviour of an execution. Each
+    operation appears as an invocation event, optionally followed by a
+    matching response event; a query's return value lives on its response.
+    This module provides the vocabulary the paper's definitions are stated
+    in: well-formedness, the precedence partial order [≺_H], pending
+    operations and their completions, the per-object projection [H|x] used by
+    the locality theorem, the skeleton operator [H?], and conversions to and
+    from sequential histories. *)
+
+type dir = Inv | Rsp
+
+type ('u, 'q, 'v) event = { dir : dir; op : ('u, 'q, 'v) Op.t }
+
+type ('u, 'q, 'v) t
+(** An immutable history. *)
+
+(** {1 Construction} *)
+
+val of_events : ('u, 'q, 'v) event list -> ('u, 'q, 'v) t
+(** [of_events evs] packages an event sequence, in temporal order. No
+    validation is performed; see {!well_formed}. *)
+
+val inv : ('u, 'q, 'v) Op.t -> ('u, 'q, 'v) event
+(** Invocation event for [op] (any return value on [op] is erased). *)
+
+val rsp : ?ret:'v -> ('u, 'q, 'v) Op.t -> ('u, 'q, 'v) event
+(** Response event for [op], carrying [ret] if it is a query. *)
+
+val of_sequential_ops : ('u, 'q, 'v) Op.t list -> ('u, 'q, 'v) t
+(** [of_sequential_ops ops] is the sequential history inv/rsp-alternating
+    through [ops] in order. *)
+
+(** {1 Accessors} *)
+
+val events : ('u, 'q, 'v) t -> ('u, 'q, 'v) event list
+
+val length : ('u, 'q, 'v) t -> int
+(** Number of events. *)
+
+val ops : ('u, 'q, 'v) t -> ('u, 'q, 'v) Op.t list
+(** All operations in invocation order. A completed query carries its return
+    value (taken from its response event); pending operations carry [None]. *)
+
+val find_op : ('u, 'q, 'v) t -> int -> ('u, 'q, 'v) Op.t option
+(** [find_op h id] looks an operation up by id. *)
+
+val interval : ('u, 'q, 'v) t -> int -> (int * int option) option
+(** [interval h id] is [Some (i, r)] where [i] is the index of the
+    invocation event of operation [id] and [r] the index of its response (or
+    [None] while pending); [None] if [id] does not occur in [h]. *)
+
+val pending : ('u, 'q, 'v) t -> ('u, 'q, 'v) Op.t list
+(** Operations invoked but not yet responded to. *)
+
+val completed : ('u, 'q, 'v) t -> ('u, 'q, 'v) Op.t list
+(** Operations that have both events, in invocation order. *)
+
+(** {1 Structure} *)
+
+val well_formed : ('u, 'q, 'v) t -> (unit, string) result
+(** Checks the paper's well-formedness conditions: operation ids are unique,
+    every response is preceded by the matching invocation, and no process has
+    two operations in flight at once. The [Error] carries a human-readable
+    reason. *)
+
+val precedes : ('u, 'q, 'v) t -> int -> int -> bool
+(** [precedes h id1 id2] is the real-time order [op1 ≺_H op2]: the response
+    of [id1] occurs before the invocation of [id2]. Pending operations
+    precede nothing. *)
+
+val concurrent : ('u, 'q, 'v) t -> int -> int -> bool
+(** Neither operation precedes the other. *)
+
+val is_sequential : ('u, 'q, 'v) t -> bool
+(** True iff the history alternates invocation / matching response, starting
+    with an invocation (Section 2.1). *)
+
+val sequential_ops : ('u, 'q, 'v) t -> ('u, 'q, 'v) Op.t list option
+(** [Some ops] iff {!is_sequential}; the operations in order. *)
+
+(** {1 Operators from the paper} *)
+
+val skeleton : ('u, 'q, 'v) t -> ('u, 'q, 'v) t
+(** The [H?] operator: every response value replaced by "?" ([None]). *)
+
+val project : ('u, 'q, 'v) t -> obj:int -> ('u, 'q, 'v) t
+(** [project h ~obj] is [H|x]: the sub-history of events on object [obj]. *)
+
+val objects : ('u, 'q, 'v) t -> int list
+(** Distinct object ids appearing in [h], ascending. *)
+
+val complete : ?keep_pending_updates:bool -> ('u, 'q, 'v) t -> ('u, 'q, 'v) t
+(** [complete h] removes pending queries and, when [keep_pending_updates]
+    (default [true]), appends responses for pending updates — the canonical
+    completion used in the proof of Lemma 10. With
+    [~keep_pending_updates:false] pending updates are removed instead. *)
+
+val append : ('u, 'q, 'v) t -> ('u, 'q, 'v) event -> ('u, 'q, 'v) t
+
+val pp :
+  pp_u:(Format.formatter -> 'u -> unit) ->
+  pp_q:(Format.formatter -> 'q -> unit) ->
+  pp_v:(Format.formatter -> 'v -> unit) ->
+  Format.formatter ->
+  ('u, 'q, 'v) t ->
+  unit
+(** One event per line, ["inv  p0:x0:update(3)#1"] style. *)

@@ -1,0 +1,31 @@
+type ('u, 'q) kind = Update of 'u | Query of 'q
+
+type ('u, 'q, 'v) t = {
+  id : int;
+  proc : int;
+  obj : int;
+  kind : ('u, 'q) kind;
+  ret : 'v option;
+}
+
+let is_query op = match op.kind with Query _ -> true | Update _ -> false
+
+let is_update op = not (is_query op)
+
+let erase_return op = { op with ret = None }
+
+let with_return op v =
+  match op.kind with
+  | Query _ -> { op with ret = Some v }
+  | Update _ -> invalid_arg "Op.with_return: updates do not return values"
+
+let pp ~pp_u ~pp_q ~pp_v ppf op =
+  let pp_ret ppf = function
+    | None -> Format.fprintf ppf "?"
+    | Some v -> pp_v ppf v
+  in
+  match op.kind with
+  | Update u -> Format.fprintf ppf "p%d:x%d:update(%a)#%d" op.proc op.obj pp_u u op.id
+  | Query q ->
+      Format.fprintf ppf "p%d:x%d:query(%a)->%a#%d" op.proc op.obj pp_q q pp_ret op.ret
+        op.id

@@ -1,0 +1,42 @@
+(** Operations of quantitative objects.
+
+    Following Section 3.1 of the paper, a {e quantitative object} supports
+    two kinds of operations: [update], which mutates the object and returns
+    nothing, and [query], which returns a value from a totally ordered
+    domain. An operation instance is identified by a unique [id], is invoked
+    by a process [proc], and targets an object [obj] (multiple objects in one
+    history are what the locality theorem, Theorem 1, is about). *)
+
+type ('u, 'q) kind =
+  | Update of 'u  (** a mutating operation carrying its argument *)
+  | Query of 'q  (** a read-only operation carrying its argument *)
+
+type ('u, 'q, 'v) t = {
+  id : int;  (** unique within a history *)
+  proc : int;  (** invoking process *)
+  obj : int;  (** target object (for multi-object histories) *)
+  kind : ('u, 'q) kind;
+  ret : 'v option;
+      (** [Some v] iff this is a query that returned [v]; [None] for updates
+          and for queries whose return value has been erased (skeletons,
+          Section 3.1) or that are still pending *)
+}
+
+val is_query : ('u, 'q, 'v) t -> bool
+val is_update : ('u, 'q, 'v) t -> bool
+
+val erase_return : ('u, 'q, 'v) t -> ('u, 'q, 'v) t
+(** [erase_return op] is [op] with [ret = None] — the per-operation part of
+    the [H?] skeleton operator. *)
+
+val with_return : ('u, 'q, 'v) t -> 'v -> ('u, 'q, 'v) t
+(** [with_return op v] sets the return value of a query.
+    @raise Invalid_argument if [op] is an update. *)
+
+val pp :
+  pp_u:(Format.formatter -> 'u -> unit) ->
+  pp_q:(Format.formatter -> 'q -> unit) ->
+  pp_v:(Format.formatter -> 'v -> unit) ->
+  Format.formatter ->
+  ('u, 'q, 'v) t ->
+  unit

@@ -1,0 +1,69 @@
+type 'a t = { mutable items : (int * 'a) array; mutable size : int }
+
+let create () = { items = [||]; size = 0 }
+
+let size t = t.size
+
+let is_empty t = t.size = 0
+
+let swap t i j =
+  let tmp = t.items.(i) in
+  t.items.(i) <- t.items.(j);
+  t.items.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if fst t.items.(i) < fst t.items.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && fst t.items.(l) < fst t.items.(!smallest) then smallest := l;
+  if r < t.size && fst t.items.(r) < fst t.items.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let insert t ~priority payload =
+  if Array.length t.items = 0 then t.items <- Array.make 8 (priority, payload)
+  else if t.size >= Array.length t.items then begin
+    (* Double the capacity; the fill value is any existing element. *)
+    let items = Array.make (2 * Array.length t.items) t.items.(0) in
+    Array.blit t.items 0 items 0 t.size;
+    t.items <- items
+  end;
+  t.items.(t.size) <- (priority, payload);
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.items.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.items.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.items.(0) <- t.items.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let of_list entries =
+  let t = create () in
+  List.iter (fun (priority, payload) -> insert t ~priority payload) entries;
+  t
+
+let to_sorted_list t =
+  let copy = { items = Array.sub t.items 0 t.size; size = t.size } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some e -> drain (e :: acc)
+  in
+  drain []

@@ -1,0 +1,25 @@
+(** A mutable binary min-heap of (priority, payload) pairs.
+
+    The exact sequential priority queue: the baseline the relaxed concurrent
+    {!Multiqueue} is measured against, and the building block inside it.
+    Standard array-backed sift-up/sift-down; O(log n) insert and pop. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val insert : 'a t -> priority:int -> 'a -> unit
+
+val peek : 'a t -> (int * 'a) option
+(** Minimum (priority, payload) without removing it. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum. *)
+
+val of_list : (int * 'a) list -> 'a t
+
+val to_sorted_list : 'a t -> (int * 'a) list
+(** Drain a copy of the heap in priority order (does not mutate [t]). *)

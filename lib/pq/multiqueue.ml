@@ -1,0 +1,66 @@
+type 'a queue = { lock : Mutex.t; heap : 'a Heap.t }
+
+type 'a t = { queues : 'a queue array; gens : Rng.Splitmix.t array }
+
+let create ?(c = 4) ~seed ~domains () =
+  if c <= 0 then invalid_arg "Multiqueue.create: c must be positive";
+  if domains <= 0 then invalid_arg "Multiqueue.create: domains must be positive";
+  let root = Rng.Splitmix.create seed in
+  {
+    queues =
+      Array.init (c * domains) (fun _ -> { lock = Mutex.create (); heap = Heap.create () });
+    gens = Array.init domains (fun _ -> Rng.Splitmix.split root);
+  }
+
+let gen t domain =
+  if domain < 0 || domain >= Array.length t.gens then
+    invalid_arg "Multiqueue: no such domain";
+  t.gens.(domain)
+
+let with_lock q f =
+  Mutex.lock q.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock q.lock) f
+
+let insert t ~domain ~priority payload =
+  let g = gen t domain in
+  let q = t.queues.(Rng.Splitmix.next_int g (Array.length t.queues)) in
+  with_lock q (fun () -> Heap.insert q.heap ~priority payload)
+
+(* Two random probes; on both-empty, fall back to a linear sweep so a
+   non-empty queue never reports empty. *)
+let delete_min t ~domain =
+  let g = gen t domain in
+  let nq = Array.length t.queues in
+  let i = Rng.Splitmix.next_int g nq in
+  let j = Rng.Splitmix.next_int g nq in
+  let peek_ix ix = with_lock t.queues.(ix) (fun () -> Heap.peek t.queues.(ix).heap) in
+  let best =
+    match (peek_ix i, peek_ix j) with
+    | Some (pi, _), Some (pj, _) -> Some (if pi <= pj then i else j)
+    | Some _, None -> Some i
+    | None, Some _ -> Some j
+    | None, None -> None
+  in
+  let pop_ix ix = with_lock t.queues.(ix) (fun () -> Heap.pop t.queues.(ix).heap) in
+  match best with
+  | Some ix -> (
+      match pop_ix ix with
+      | Some e -> Some e
+      | None ->
+          (* Raced with another consumer: fall through to the sweep. *)
+          let rec sweep k = if k >= nq then None else
+            match pop_ix k with Some e -> Some e | None -> sweep (k + 1)
+          in
+          sweep 0)
+  | None ->
+      let rec sweep k = if k >= nq then None else
+        match pop_ix k with Some e -> Some e | None -> sweep (k + 1)
+      in
+      sweep 0
+
+let size t =
+  Array.fold_left
+    (fun acc q -> acc + with_lock q (fun () -> Heap.size q.heap))
+    0 t.queues
+
+let queues t = Array.length t.queues

@@ -1,0 +1,36 @@
+(** A relaxed concurrent priority queue: MultiQueues (Rihani, Sanders &
+    Dementiev, SPAA 2015).
+
+    The paper's conclusion singles out priority queues as "semi-quantitative"
+    objects — a deleteMin returns a {e quantity} (the priority) attached to a
+    non-quantitative payload — and asks whether IVL can be extended to them.
+    This implementation makes the quantitative half measurable: [c × domains]
+    mutex-protected binary heaps; an insert pushes to a random heap;
+    a [delete_min] peeks two random heaps and pops the smaller minimum.
+    Returned priorities are not the global minimum but are close in rank —
+    O(domains·c) expected rank error — so the {e priority} component admits
+    exactly the kind of interval bound IVL formalizes, while the payload
+    component is the open part. Experiment E13 measures the rank-error
+    distribution against the exact heap.
+
+    All operations are thread-safe from any domain. *)
+
+type 'a t
+
+val create : ?c:int -> seed:int64 -> domains:int -> unit -> 'a t
+(** [c] heaps per domain (default 4); more heaps = less contention, more
+    relaxation. @raise Invalid_argument if [c <= 0] or [domains <= 0]. *)
+
+val insert : 'a t -> domain:int -> priority:int -> 'a -> unit
+(** Push to a random heap, using [domain]'s RNG stream. *)
+
+val delete_min : 'a t -> domain:int -> (int * 'a) option
+(** Pop the smaller of two random heaps' minima; [None] when every probed
+    heap is empty (retries all heaps once before giving up, so a non-empty
+    queue never reports empty). *)
+
+val size : 'a t -> int
+(** Total elements across heaps (racy snapshot). *)
+
+val queues : 'a t -> int
+(** Number of internal heaps (c × domains). *)

@@ -1,0 +1,35 @@
+let uniform_int g n = Splitmix.next_int g n
+
+let bernoulli g p = Splitmix.next_float g < p
+
+let geometric g p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Dist.geometric: p must lie in (0,1]";
+  if p = 1.0 then 0
+  else
+    let u = Splitmix.next_float g in
+    (* Inverse CDF: floor(log(1-u) / log(1-p)). *)
+    int_of_float (Float.of_int 0 +. floor (log1p (-.u) /. log1p (-.p)))
+
+let exponential g lambda =
+  if lambda <= 0.0 then invalid_arg "Dist.exponential: lambda must be positive";
+  -.log1p (-.Splitmix.next_float g) /. lambda
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Splitmix.next_int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement g k n =
+  if k < 0 || k > n then invalid_arg "Dist.sample_without_replacement";
+  (* Partial Fisher-Yates over an index table. *)
+  let tbl = Hashtbl.create (2 * k) in
+  let get i = match Hashtbl.find_opt tbl i with Some v -> v | None -> i in
+  Array.init k (fun i ->
+      let j = i + Splitmix.next_int g (n - i) in
+      let vi = get i and vj = get j in
+      Hashtbl.replace tbl j vi;
+      Hashtbl.replace tbl i vj;
+      vj)

@@ -1,0 +1,22 @@
+(** Common probability distributions over a {!Splitmix.t} source. *)
+
+val uniform_int : Splitmix.t -> int -> int
+(** [uniform_int g n] is uniform on [\[0, n)]. *)
+
+val bernoulli : Splitmix.t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p]. *)
+
+val geometric : Splitmix.t -> float -> int
+(** [geometric g p] is the number of failures before the first success of a
+    Bernoulli([p]) sequence; [p] must lie in (0, 1]. *)
+
+val exponential : Splitmix.t -> float -> float
+(** [exponential g lambda] samples Exp([lambda]). *)
+
+val shuffle : Splitmix.t -> 'a array -> unit
+(** [shuffle g a] permutes [a] in place, uniformly (Fisher–Yates). *)
+
+val sample_without_replacement : Splitmix.t -> int -> int -> int array
+(** [sample_without_replacement g k n] draws [k] distinct integers from
+    [\[0, n)], in random order.
+    @raise Invalid_argument if [k > n] or [k < 0]. *)

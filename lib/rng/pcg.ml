@@ -1,0 +1,39 @@
+type t = { mutable state : int64; inc : int64 }
+
+let multiplier = 6364136223846793005L
+
+let step g = g.state <- Int64.(add (mul g.state multiplier) g.inc)
+
+let create ?(stream = 0x14057B7EF767814FL) seed =
+  (* The increment must be odd; fold the stream selector to guarantee it. *)
+  let inc = Int64.logor (Int64.shift_left stream 1) 1L in
+  let g = { state = 0L; inc } in
+  step g;
+  g.state <- Int64.add g.state seed;
+  step g;
+  g
+
+let next_int32 g =
+  let old = g.state in
+  step g;
+  let xorshifted =
+    Int64.to_int32
+      (Int64.shift_right_logical (Int64.logxor (Int64.shift_right_logical old 18) old) 27)
+  in
+  let rot = Int64.to_int (Int64.shift_right_logical old 59) in
+  let open Int32 in
+  logor (shift_right_logical xorshifted rot) (shift_left xorshifted (-rot land 31))
+
+let next_int g bound =
+  if bound <= 0 then invalid_arg "Pcg.next_int: bound must be positive";
+  let rec loop () =
+    let bits = Int32.to_int (next_int32 g) land 0x7FFFFFFF in
+    let v = bits mod bound in
+    if bits - v + (bound - 1) < 0 then loop () else v
+  in
+  loop ()
+
+let next_float g =
+  let hi = Int32.to_int (next_int32 g) land 0x3FFFFFF in
+  let lo = Int32.to_int (next_int32 g) land 0x7FFFFFF in
+  ((float_of_int hi *. 134217728.0) +. float_of_int lo) /. 9007199254740992.0

@@ -1,0 +1,24 @@
+(** PCG32 pseudo-random number generator.
+
+    The PCG-XSH-RR 64/32 generator of O'Neill ("PCG: A family of simple fast
+    space-efficient statistically good algorithms for random number
+    generation", 2014). Used where a second, structurally different PRNG is
+    wanted (e.g. to decorrelate workload generation from hash-seed
+    generation). *)
+
+type t
+(** Mutable generator state (64-bit state, 64-bit odd stream selector). *)
+
+val create : ?stream:int64 -> int64 -> t
+(** [create ?stream seed] seeds a generator. Distinct [stream] values yield
+    independent sequences for the same [seed]. *)
+
+val next_int32 : t -> int32
+(** [next_int32 g] returns 32 uniform bits. *)
+
+val next_int : t -> int -> int
+(** [next_int g bound] returns a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val next_float : t -> float
+(** [next_float g] returns a uniform float in [\[0, 1)]. *)

@@ -1,0 +1,39 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy g = { state = g.state }
+
+(* The finalization mix of MurmurHash3, as used by SplitMix64. *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let next_int g bound =
+  if bound <= 0 then invalid_arg "Splitmix.next_int: bound must be positive";
+  (* Rejection sampling over the low 62 bits to avoid modulo bias. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFFL in
+  let rec loop () =
+    let bits = Int64.to_int (Int64.logand (next_int64 g) mask) in
+    let v = bits mod bound in
+    if bits - v + (bound - 1) < 0 then loop () else v
+  in
+  loop ()
+
+let next_float g =
+  (* 53 high-quality bits -> [0,1). *)
+  let bits = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let next_bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let split g =
+  let seed = next_int64 g in
+  { state = mix64 seed }

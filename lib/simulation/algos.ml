@@ -1,0 +1,198 @@
+(** Simulated implementations of the paper's counter algorithms and PCM.
+
+    Everything here is expressed in the {!Program} instruction set so the
+    machine can count steps and extract histories. Register banks are laid
+    out by the [registers] functions; operations are built per process. *)
+
+(** A batched-counter implementation usable as a building block (Algorithm 3
+    plugs one in): its register bank, and program fragments for updating and
+    reading. *)
+type counter_impl = {
+  registers : Machine.reg_spec array;
+  update_prog : proc:int -> amount:int -> unit Program.t;
+  read_prog : unit -> int Program.t;
+  impl_name : string;
+}
+
+(** {1 The IVL batched counter — Algorithm 2}
+
+    Register [i] (SWMR, owner [i]) holds process [i]'s accumulated batches.
+    update: read own register, write the sum back — 2 steps, O(1).
+    read: collect all [n] registers and sum — n steps, O(n).
+    (Theorem 11.) *)
+module Ivl_counter = struct
+  let registers ~n = Array.init n (fun i -> Machine.reg (Machine.Swmr i))
+
+  let update_prog ~base ~proc ~amount =
+    Program.read (base + proc) (fun mine ->
+        Program.write (base + proc) [| mine.(0) + amount |] (Program.return ()))
+
+  let read_prog ~base ~n =
+    Program.collect_ints ~base ~n (fun values ->
+        Program.return (Array.fold_left ( + ) 0 values))
+
+  let impl ~n =
+    {
+      registers = registers ~n;
+      update_prog = (fun ~proc ~amount -> update_prog ~base:0 ~proc ~amount);
+      read_prog = (fun () -> read_prog ~base:0 ~n);
+      impl_name = "ivl-swmr";
+    }
+
+  let update_op ?obj ~proc ~amount () =
+    Machine.update_op ?obj ~label:"update" ~arg:amount (fun () ->
+        update_prog ~base:0 ~proc ~amount)
+
+  let read_op ?obj ~n () =
+    Machine.query_op ?obj ~label:"read" ~arg:0 (fun () -> read_prog ~base:0 ~n)
+end
+
+(** {1 A linearizable counter from fetch-and-add}
+
+    One MWMR register updated with [Faa]: linearizable and O(1), but built
+    from a primitive strictly stronger than SWMR registers — the contrast
+    the end of Section 6 draws. Also the "hardware" counter that Algorithm 3
+    tests plug in when they want the binary-snapshot logic isolated from the
+    snapshot counter's complexity. *)
+module Faa_counter = struct
+  let registers = [| Machine.reg Machine.Mwmr |]
+
+  let update_prog ~base ~amount =
+    Program.faa base amount (fun _ -> Program.return ())
+
+  let read_prog ~base = Program.read base (fun v -> Program.return v.(0))
+
+  let impl =
+    {
+      registers;
+      update_prog = (fun ~proc:_ ~amount -> update_prog ~base:0 ~amount);
+      read_prog = (fun () -> read_prog ~base:0);
+      impl_name = "faa";
+    }
+
+  let update_op ?obj ~amount () =
+    Machine.update_op ?obj ~label:"update" ~arg:amount (fun () ->
+        update_prog ~base:0 ~amount)
+
+  let read_op ?obj () =
+    Machine.query_op ?obj ~label:"read" ~arg:0 (fun () -> read_prog ~base:0)
+end
+
+(** {1 Simulated PCM — Algorithm 1 with concurrent invocations}
+
+    A d×w bank of MWMR counters incremented with [Faa] (line 5) and read
+    plainly (line 9). The hash functions are supplied as an explicit mapping
+    so tests can pin collisions (Example 9). *)
+module Pcm_sim = struct
+  type t = {
+    d : int;
+    w : int;
+    base : int;
+    hash : int -> int -> int; (* row -> element -> column *)
+  }
+
+  let make ?(base = 0) ~d ~w ~hash () = { d; w; base; hash }
+
+  let registers t ~initial =
+    Array.init (t.d * t.w) (fun ix ->
+        Machine.reg ~init:[| initial ix |] Machine.Mwmr)
+
+  let zero_registers t = registers t ~initial:(fun _ -> 0)
+
+  let cell t row col = t.base + (row * t.w) + col
+
+  let update_prog t a =
+    let rec rows i =
+      if i >= t.d then Program.return ()
+      else Program.faa (cell t i (t.hash i a)) 1 (fun _ -> rows (i + 1))
+    in
+    rows 0
+
+  let query_prog t a =
+    let rec rows i best =
+      if i >= t.d then Program.return best
+      else
+        Program.read (cell t i (t.hash i a)) (fun v -> rows (i + 1) (min best v.(0)))
+    in
+    rows 0 max_int
+
+  let update_op ?obj t ~a () =
+    Machine.update_op ?obj ~label:"update" ~arg:a (fun () -> update_prog t a)
+
+  let query_op ?obj t ~a () =
+    Machine.query_op ?obj ~label:"query" ~arg:a (fun () -> query_prog t a)
+end
+
+(** {1 An IVL max register}
+
+    The same single-writer recipe as Algorithm 2 applied to a different
+    monotone quantitative object: register [i] holds the largest value
+    process [i] has written; a read returns the maximum over all registers.
+    update is O(1), read O(n), and reads are IVL against [Spec.Max_spec] —
+    used by tests to show the counter construction is an instance of a
+    pattern, not a one-off. *)
+module Ivl_max = struct
+  let registers ~n = Array.init n (fun i -> Machine.reg (Machine.Swmr i))
+
+  let update_prog ~base ~proc ~value =
+    Program.read (base + proc) (fun mine ->
+        if mine.(0) >= value then Program.return ()
+        else Program.write (base + proc) [| value |] (Program.return ()))
+
+  let read_prog ~base ~n =
+    Program.collect_ints ~base ~n (fun values ->
+        Program.return (Array.fold_left max 0 values))
+
+  let update_op ?obj ~proc ~value () =
+    Machine.update_op ?obj ~label:"update" ~arg:value (fun () ->
+        update_prog ~base:0 ~proc ~value)
+
+  let read_op ?obj ~n () =
+    Machine.query_op ?obj ~label:"read" ~arg:0 (fun () -> read_prog ~base:0 ~n)
+end
+
+(** {1 The Section 3.4 separation, materialized}
+
+    An up/down counter built from two monotone cells: increments accumulate
+    in one MWMR register, decrement magnitudes in another, and a read
+    subtracts. The {e order} of the two reads decides correctness:
+
+    - [read_buggy] reads increments first. A paired inc;dec completing
+      between its two reads is seen only through the decrement — the
+      "query sees a subset of the concurrent updates" behaviour that
+      regular-like semantics permit — and the returned value drops below
+      {e every} linearization. Not IVL; the checker catches it.
+    - [read_safe] reads decrements first. The value it returns equals
+      i(t_read2) − d(t_read1), which is realized by an actual linearization
+      (order every increment applied by the second read before the query,
+      and every decrement applied after the first read behind it), so the
+      execution stays IVL.
+
+    This is the paper's §3.4 argument as a failure-injection experiment. *)
+module Updown_two_cell = struct
+  let registers = [| Machine.reg Machine.Mwmr; Machine.reg Machine.Mwmr |]
+
+  let update_prog ~base ~delta =
+    if delta >= 0 then Program.faa base delta (fun _ -> Program.return ())
+    else Program.faa (base + 1) (-delta) (fun _ -> Program.return ())
+
+  let read_buggy_prog ~base =
+    Program.read base (fun inc ->
+        Program.read (base + 1) (fun dec -> Program.return (inc.(0) - dec.(0))))
+
+  let read_safe_prog ~base =
+    Program.read (base + 1) (fun dec ->
+        Program.read base (fun inc -> Program.return (inc.(0) - dec.(0))))
+
+  let update_op ?obj ~delta () =
+    Machine.update_op ?obj ~label:"update" ~arg:delta (fun () ->
+        update_prog ~base:0 ~delta)
+
+  let read_op ?obj ~variant () =
+    let label, prog =
+      match variant with
+      | `Buggy -> ("read-buggy", read_buggy_prog)
+      | `Safe -> ("read-safe", read_safe_prog)
+    in
+    Machine.query_op ?obj ~label ~arg:0 (fun () -> prog ~base:0)
+end

@@ -1,0 +1,30 @@
+let registers ~n =
+  Array.init n (fun i -> Machine.reg ~init:[| 0; 0 |] (Machine.Swmr i))
+
+let update_prog ~base ~proc ~amount =
+  Program.read (base + proc) (fun mine ->
+      Program.write (base + proc)
+        [| mine.(0) + amount; mine.(1) + 1 |]
+        (Program.return ()))
+
+let read_prog ?(max_attempts = 1000) ~base ~n () =
+  let rec attempt k =
+    Program.collect ~base ~n (fun c1 ->
+        Program.collect ~base ~n (fun c2 ->
+            let clean = ref true in
+            for j = 0 to n - 1 do
+              if c1.(j).(1) <> c2.(j).(1) then clean := false
+            done;
+            if !clean || k >= max_attempts then
+              Program.return (Array.fold_left (fun acc r -> acc + r.(0)) 0 c2)
+            else attempt (k + 1)))
+  in
+  attempt 1
+
+let update_op ?obj ~proc ~amount () =
+  Machine.update_op ?obj ~label:"update" ~arg:amount (fun () ->
+      update_prog ~base:0 ~proc ~amount)
+
+let read_op ?obj ?max_attempts ~n () =
+  Machine.query_op ?obj ~label:"read" ~arg:0 (fun () ->
+      read_prog ?max_attempts ~base:0 ~n ())

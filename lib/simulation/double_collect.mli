@@ -1,0 +1,35 @@
+(** A linearizable batched counter from SWMR registers with O(1) updates —
+    by giving up wait-freedom.
+
+    Theorem 14 says a {e wait-free} linearizable batched counter from SWMR
+    registers must pay Ω(n) steps per update. There are three ways out, and
+    the experiments compare all of them:
+
+    - weaken the criterion: the IVL counter ({!Algos.Ivl_counter}) — O(1)
+      update, O(n) read, wait-free;
+    - strengthen the primitive: the FAA counter ({!Algos.Faa_counter}) —
+      O(1)/O(1), but fetch-and-add is not a SWMR register;
+    - weaken the progress guarantee: {e this} counter — O(1) update (write
+      own register with a bumped sequence number) and a {e lock-free but not
+      wait-free} read that double-collects until two consecutive collects
+      agree on every sequence number. A stalled-free-of-writers schedule
+      terminates the read in 2n steps; a continuously interfering writer can
+      starve it forever, which is precisely the price the lower bound says
+      someone must pay.
+
+    Register encoding: [\[| contribution; seq |\]]. *)
+
+val registers : n:int -> Machine.reg_spec array
+
+val update_prog : base:int -> proc:int -> amount:int -> unit Program.t
+(** Read own register, write back (contribution + amount, seq + 1): 2 steps. *)
+
+val read_prog : ?max_attempts:int -> base:int -> n:int -> unit -> int Program.t
+(** Double-collect until clean, then return the sum. [max_attempts]
+    (default 1000) bounds the retries so adversarial schedules surface as a
+    counted failure rather than a hung simulation; on exhaustion the final
+    collect's sum is returned with {e no} linearizability guarantee — tests
+    only drive it below the bound. *)
+
+val update_op : ?obj:int -> proc:int -> amount:int -> unit -> Machine.operation
+val read_op : ?obj:int -> ?max_attempts:int -> n:int -> unit -> Machine.operation

@@ -1,0 +1,236 @@
+type reg_kind = Swmr of int | Mwmr
+
+type reg_spec = { kind : reg_kind; init : int array }
+
+let reg ?(init = [| 0 |]) kind = { kind; init }
+
+type operation = {
+  obj : int;
+  kind : (int, int) Hist.Op.kind;
+  label : string;
+  code : unit -> int option Program.t;
+}
+
+let update_op ?(obj = 0) ~label ~arg body =
+  {
+    obj;
+    kind = Hist.Op.Update arg;
+    label;
+    code =
+      (fun () ->
+        let rec wrap = function
+          | Program.Done () -> Program.Done None
+          | Program.Read (r, k) -> Program.Read (r, fun v -> wrap (k v))
+          | Program.Write (r, v, next) -> Program.Write (r, v, wrap next)
+          | Program.Faa (r, d, k) -> Program.Faa (r, d, fun v -> wrap (k v))
+        in
+        wrap (body ()));
+  }
+
+let query_op ?(obj = 0) ~label ~arg body =
+  {
+    obj;
+    kind = Hist.Op.Query arg;
+    label;
+    code =
+      (fun () ->
+        let rec wrap = function
+          | Program.Done v -> Program.Done (Some v)
+          | Program.Read (r, k) -> Program.Read (r, fun v -> wrap (k v))
+          | Program.Write (r, v, next) -> Program.Write (r, v, wrap next)
+          | Program.Faa (r, d, k) -> Program.Faa (r, d, fun v -> wrap (k v))
+        in
+        wrap (body ()));
+  }
+
+exception Protocol_violation of string
+
+type op_stats = { op_id : int; label : string; proc : int; steps : int }
+
+type result = {
+  history : (int, int, int) Hist.History.t;
+  stats : op_stats list;
+}
+
+type running = {
+  op : (int, int, int) Hist.Op.t;
+  label : string;
+  mutable prog : int option Program.t;
+  mutable steps : int;
+}
+
+let run_state ?(max_steps = 10_000_000) ~registers ~scripts ~state () =
+  let nprocs = Array.length scripts in
+  let regs = Array.map (fun (spec : reg_spec) -> Array.copy spec.init) registers in
+  let kinds = Array.map (fun (spec : reg_spec) -> spec.kind) registers in
+  let queues = Array.map (fun ops -> ref ops) scripts in
+  let current : running option array = Array.make nprocs None in
+  let events = ref [] in
+  let stats = ref [] in
+  let next_id = ref 0 in
+  let sched_state = state in
+  let total_steps = ref 0 in
+  let emit dir op = events := { Hist.History.dir; op } :: !events in
+  let op_with_ret op ret =
+    match (op.Hist.Op.kind, ret) with
+    | Hist.Op.Update _, None -> op
+    | Hist.Op.Query _, Some v -> Hist.Op.with_return op v
+    | Hist.Op.Update _, Some _ ->
+        raise (Protocol_violation "update operation produced a return value")
+    | Hist.Op.Query _, None ->
+        raise (Protocol_violation "query operation produced no return value")
+  in
+  let finish proc (r : running) ret =
+    emit Hist.History.Rsp (op_with_ret r.op ret);
+    stats := { op_id = r.op.Hist.Op.id; label = r.label; proc; steps = r.steps } :: !stats;
+    current.(proc) <- None
+  in
+  let check_write proc r =
+    match kinds.(r) with
+    | Swmr owner when owner <> proc ->
+        raise
+          (Protocol_violation
+             (Printf.sprintf "process %d wrote SWMR register %d owned by %d" proc r owner))
+    | Swmr _ | Mwmr -> ()
+  in
+  let check_faa r =
+    match kinds.(r) with
+    | Mwmr -> ()
+    | Swmr _ ->
+        raise
+          (Protocol_violation
+             (Printf.sprintf "fetch-and-add on register %d requires an MWMR register" r))
+  in
+  let runnable () =
+    let acc = ref [] in
+    for p = nprocs - 1 downto 0 do
+      if current.(p) <> None || !(queues.(p)) <> [] then acc := p :: !acc
+    done;
+    !acc
+  in
+  let step_proc proc =
+    (match current.(proc) with
+    | Some _ -> ()
+    | None -> (
+        match !(queues.(proc)) with
+        | [] -> assert false
+        | next :: rest ->
+            queues.(proc) := rest;
+            let id = !next_id in
+            incr next_id;
+            let op =
+              { Hist.Op.id; proc; obj = next.obj; kind = next.kind; ret = None }
+            in
+            emit Hist.History.Inv op;
+            current.(proc) <-
+              Some { op; label = next.label; prog = next.code (); steps = 0 }));
+    match current.(proc) with
+    | None -> assert false
+    | Some r -> (
+        match r.prog with
+        | Program.Done ret -> finish proc r ret
+        | Program.Read (reg_ix, k) ->
+            r.steps <- r.steps + 1;
+            let next = k (Array.copy regs.(reg_ix)) in
+            (match next with
+            | Program.Done ret ->
+                r.prog <- next;
+                finish proc r ret
+            | _ -> r.prog <- next)
+        | Program.Write (reg_ix, v, next) ->
+            check_write proc reg_ix;
+            r.steps <- r.steps + 1;
+            regs.(reg_ix) <- Array.copy v;
+            (match next with
+            | Program.Done ret ->
+                r.prog <- next;
+                finish proc r ret
+            | _ -> r.prog <- next)
+        | Program.Faa (reg_ix, delta, k) ->
+            check_faa reg_ix;
+            r.steps <- r.steps + 1;
+            let old = regs.(reg_ix).(0) in
+            regs.(reg_ix).(0) <- old + delta;
+            let next = k old in
+            (match next with
+            | Program.Done ret ->
+                r.prog <- next;
+                finish proc r ret
+            | _ -> r.prog <- next))
+  in
+  let rec loop () =
+    match runnable () with
+    | [] -> ()
+    | procs ->
+        if !total_steps > max_steps then
+          failwith "Machine.run: step budget exceeded (livelock?)";
+        incr total_steps;
+        let p = sched_state.Sched.choose ~runnable:procs ~step:!total_steps in
+        if not (List.mem p procs) then
+          raise (Protocol_violation (Printf.sprintf "scheduler chose idle process %d" p));
+        step_proc p;
+        loop ()
+  in
+  loop ();
+  { history = Hist.History.of_events (List.rev !events); stats = List.rev !stats }
+
+let run ?max_steps ~registers ~scripts ~sched () =
+  run_state ?max_steps ~registers ~scripts ~state:(Sched.instantiate sched) ()
+
+let steps_by_label result =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (s : op_stats) ->
+      let cur = match Hashtbl.find_opt tbl s.label with Some l -> l | None -> [] in
+      Hashtbl.replace tbl s.label (s.steps :: cur))
+    result.stats;
+  Hashtbl.fold (fun label steps acc -> (label, List.rev steps) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Exhaustive exploration: a schedule is a sequence of choices among
+   runnable processes. Enumerate the choice tree by replaying each prefix
+   with a probing scheduler that follows the prefix and then reports the
+   runnable set (via [Exit]). Replay makes the cost quadratic in the tree
+   size, which the tiny model-checked configurations afford. *)
+exception Probe_done of int list
+
+let explore ?(max_histories = 100_000) ?max_steps ~registers ~scripts () =
+  let seen = Hashtbl.create 256 in
+  let results = ref [] in
+  let schedules = ref 0 in
+  let rec expand prefix =
+    incr schedules;
+    if !schedules > max_histories then
+      failwith "Machine.explore: schedule budget exceeded";
+    let remaining = ref prefix in
+    let probe =
+      {
+        Sched.choose =
+          (fun ~runnable ~step:_ ->
+            match !remaining with
+            | p :: rest ->
+                remaining := rest;
+                (* Prefixes are built from observed runnable sets; a miss
+                   would mean the machine is nondeterministic. *)
+                assert (List.mem p runnable);
+                p
+            | [] -> raise (Probe_done runnable));
+      }
+    in
+    match run_state ?max_steps ~registers ~scripts:(scripts ()) ~state:probe () with
+    | exception Probe_done runnable ->
+        List.iter (fun p -> expand (prefix @ [ p ])) runnable
+    | result ->
+        let key =
+          Format.asprintf "%a"
+            (Hist.History.pp ~pp_u:Format.pp_print_int ~pp_q:Format.pp_print_int
+               ~pp_v:Format.pp_print_int)
+            result.history
+        in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          results := result.history :: !results
+        end
+  in
+  expand [];
+  List.rev !results

@@ -1,0 +1,81 @@
+(** The simulated shared-memory machine.
+
+    Runs a set of processes, each executing a script of operations written in
+    the {!Program} DSL, over a bank of atomic registers, under a pluggable
+    {!Sched} schedule. Produces the execution's history (for the checkers)
+    and per-operation step counts (for the complexity experiments E1/E2).
+
+    Single-writer ownership is enforced: writing a register declared
+    [Swmr p] from any process other than [p], or applying [Faa] to a
+    non-[Mwmr] register, raises {!Protocol_violation} — the simulator
+    refuses to run algorithms outside their declared model, which is what
+    makes the Ω(n) measurements meaningful. *)
+
+type reg_kind =
+  | Swmr of int  (** single writer: the named process *)
+  | Mwmr  (** multi-writer; also permits [Faa] *)
+
+type reg_spec = { kind : reg_kind; init : int array }
+
+val reg : ?init:int array -> reg_kind -> reg_spec
+(** A register with initial contents [init] (default [\[|0|\]]). *)
+
+type operation = {
+  obj : int;  (** object id in the produced history *)
+  kind : (int, int) Hist.Op.kind;  (** update/query with its argument *)
+  label : string;  (** grouping key for step statistics *)
+  code : unit -> int option Program.t;
+      (** fresh program; must yield [Some v] iff the operation is a query *)
+}
+
+val update_op : ?obj:int -> label:string -> arg:int -> (unit -> unit Program.t) -> operation
+(** Wrap an update program (its [unit] return becomes [None]). *)
+
+val query_op : ?obj:int -> label:string -> arg:int -> (unit -> int Program.t) -> operation
+(** Wrap a query program (its [int] return becomes [Some _]). *)
+
+exception Protocol_violation of string
+
+type op_stats = {
+  op_id : int;
+  label : string;
+  proc : int;
+  steps : int;  (** shared-memory accesses this operation performed *)
+}
+
+type result = {
+  history : (int, int, int) Hist.History.t;
+  stats : op_stats list;  (** completion order *)
+}
+
+val run :
+  ?max_steps:int ->
+  registers:reg_spec array ->
+  scripts:operation list array ->
+  sched:Sched.t ->
+  unit ->
+  result
+(** Execute until every script is exhausted. [scripts.(p)] is process [p]'s
+    operation sequence; invoking an operation coincides with its first step.
+    @raise Protocol_violation on model violations or when an operation's
+    return shape contradicts its kind.
+    @raise Failure when [max_steps] (default 10^7) is exceeded. *)
+
+val steps_by_label : result -> (string * int list) list
+(** Step counts grouped by operation label (sorted by label), e.g. all the
+    "update" operations' costs across processes. *)
+
+val explore :
+  ?max_histories:int ->
+  ?max_steps:int ->
+  registers:reg_spec array ->
+  scripts:(unit -> operation list array) ->
+  unit ->
+  (int, int, int) Hist.History.t list
+(** Exhaustive schedule exploration — model checking in the small: run the
+    scripts under {e every} possible schedule (all interleavings of process
+    steps) and return the distinct histories produced. [scripts] is a thunk
+    because operations carry closures with per-run local state. Exponential
+    in the total step count; guarded by [max_histories] (default 100_000 —
+    exceeding it raises [Failure]). Tests use this to verify Lemma 7 / Lemma
+    10 over {e all} schedules of small configurations, not a sample. *)

@@ -1,0 +1,76 @@
+(** Programs for the simulated shared-memory machine.
+
+    The paper's complexity results (Theorems 11 and 14) are statements about
+    {e steps} — accesses to atomic shared registers — in the standard shared
+    memory model (Section 2.1). Measuring them honestly requires a machine
+    where a step is an explicit, countable event; this continuation-based DSL
+    is that machine's instruction set. Local computation happens inside the
+    OCaml closures between instructions and is free, exactly as in the model.
+
+    Register values are small integer arrays, so one register can hold the
+    structured tuples (value, sequence number, embedded view) that snapshot
+    algorithms write atomically. A register access costs one step regardless
+    of the array's width — the model's registers are atomic whatever their
+    word size.
+
+    [Faa] is a fetch-and-add read-modify-write on cell 0 of a register. It is
+    {e stronger} than a SWMR register — the machine only permits it on
+    registers declared multi-writer — and exists so the simulator can also
+    run PCM (whose Algorithm 1 atomically increments shared counters) and
+    hardware-flavoured baselines. The Ω(n) lower bound experiment uses only
+    SWMR reads and writes, as Theorem 14 requires. *)
+
+type 'r t =
+  | Done of 'r  (** return from the operation *)
+  | Read of int * (int array -> 'r t)  (** one shared-memory read step *)
+  | Write of int * int array * 'r t  (** one shared-memory write step *)
+  | Faa of int * int * (int -> 'r t)
+      (** fetch-and-add on cell 0: one read-modify-write step, returns the
+          previous value *)
+
+let return v = Done v
+
+let read r k = Read (r, k)
+
+let write r v next = Write (r, v, next)
+
+let faa r delta k = Faa (r, delta, k)
+
+(* Read registers [base .. base+n-1] in order, passing the collected values
+   (cell 0 of each) to the continuation. *)
+let collect_ints ~base ~n k =
+  let values = Array.make n 0 in
+  let rec go i =
+    if i >= n then k values
+    else
+      Read
+        ( base + i,
+          fun v ->
+            values.(i) <- v.(0);
+            go (i + 1) )
+  in
+  go 0
+
+(* Read whole register contents [base .. base+n-1]. *)
+let collect ~base ~n k =
+  let values = Array.make n [||] in
+  let rec go i =
+    if i >= n then k values
+    else
+      Read
+        ( base + i,
+          fun v ->
+            values.(i) <- v;
+            go (i + 1) )
+  in
+  go 0
+
+(* Sequential composition: run [p], feed its result to [f]. *)
+let rec bind p f =
+  match p with
+  | Done v -> f v
+  | Read (r, k) -> Read (r, fun v -> bind (k v) f)
+  | Write (r, v, next) -> Write (r, v, bind next f)
+  | Faa (r, d, k) -> Faa (r, d, fun v -> bind (k v) f)
+
+let ( let* ) = bind

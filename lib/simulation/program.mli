@@ -1,0 +1,44 @@
+(** Programs for the simulated shared-memory machine.
+
+    The paper's complexity results (Theorems 11 and 14) are statements about
+    {e steps} — accesses to atomic shared registers — in the standard shared
+    memory model (Section 2.1). This continuation-based DSL is the machine's
+    instruction set: local computation happens inside the OCaml closures
+    between instructions and is free, exactly as in the model.
+
+    Register values are small integer arrays, so one register can hold the
+    structured tuples (value, sequence number, embedded view) snapshot
+    algorithms write atomically; an access costs one step regardless of
+    width. [Faa] is a fetch-and-add read-modify-write on cell 0 — strictly
+    stronger than a SWMR register, permitted by the machine only on
+    registers declared multi-writer. *)
+
+type 'r t =
+  | Done of 'r  (** return from the operation *)
+  | Read of int * (int array -> 'r t)  (** one shared-memory read step *)
+  | Write of int * int array * 'r t  (** one shared-memory write step *)
+  | Faa of int * int * (int -> 'r t)
+      (** fetch-and-add on cell 0: one read-modify-write step, passing the
+          previous value to the continuation *)
+
+val return : 'r -> 'r t
+
+val read : int -> (int array -> 'r t) -> 'r t
+(** [read r k] reads register [r] and continues with its (copied) content. *)
+
+val write : int -> int array -> 'r t -> 'r t
+(** [write r v next] stores [v] in register [r], then runs [next]. *)
+
+val faa : int -> int -> (int -> 'r t) -> 'r t
+(** [faa r delta k] atomically adds [delta] to cell 0 of register [r]. *)
+
+val collect_ints : base:int -> n:int -> (int array -> 'r t) -> 'r t
+(** Read cell 0 of registers [base .. base+n-1] in order (n steps). *)
+
+val collect : base:int -> n:int -> (int array array -> 'r t) -> 'r t
+(** Read the full contents of registers [base .. base+n-1] (n steps). *)
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+(** Sequential composition. *)
+
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t

@@ -1,0 +1,107 @@
+(** Schedulers: who takes the next step.
+
+    A schedule σ (Section 2.1) is the order in which processes take steps.
+    The machine asks the scheduler to pick among the processes that still
+    have work; determinism of the algorithms means (scheduler, seeds) fully
+    determine the execution, making every simulated history reproducible. *)
+
+type t =
+  | Round_robin  (** cycle over runnable processes *)
+  | Random of int64  (** uniformly random runnable process, seeded *)
+  | Explicit of int list
+      (** fixed process sequence — entries naming processes with no work are
+          skipped — then round-robin once exhausted. Used to replay
+          hand-crafted executions (Figure 2, Example 9) exactly. *)
+  | Weighted of int64 * float array
+      (** seeded random choice with per-process weights; processes beyond
+          the array get weight 1. Models slow readers / fast writers. *)
+  | Stall of { victim : int; after : int; for_steps : int; seed : int64 }
+      (** adversarial: random scheduling, except that once [victim] has
+          taken [after] steps it is frozen for the next [for_steps] global
+          steps. The classic adversary for exposing non-linearizable
+          interleavings (an operation stalled mid-flight while others
+          proceed). *)
+
+type state = { choose : runnable:int list -> step:int -> int }
+
+let round_robin_state () =
+  let last = ref (-1) in
+  fun ~runnable ->
+    let next =
+      match List.find_opt (fun p -> p > !last) runnable with
+      | Some p -> p
+      | None -> List.hd runnable
+    in
+    last := next;
+    next
+
+let instantiate = function
+  | Round_robin ->
+      let rr = round_robin_state () in
+      { choose = (fun ~runnable ~step:_ -> rr ~runnable) }
+  | Random seed ->
+      let g = Rng.Splitmix.create seed in
+      {
+        choose =
+          (fun ~runnable ~step:_ ->
+            List.nth runnable (Rng.Splitmix.next_int g (List.length runnable)));
+      }
+  | Explicit seq ->
+      let remaining = ref seq in
+      let rr = round_robin_state () in
+      {
+        choose =
+          (fun ~runnable ~step:_ ->
+            let rec pick () =
+              match !remaining with
+              | p :: rest ->
+                  remaining := rest;
+                  if List.mem p runnable then p else pick ()
+              | [] -> rr ~runnable
+            in
+            pick ());
+      }
+  | Weighted (seed, weights) ->
+      let g = Rng.Splitmix.create seed in
+      let weight p = if p < Array.length weights then max 0.0 weights.(p) else 1.0 in
+      {
+        choose =
+          (fun ~runnable ~step:_ ->
+            let total = List.fold_left (fun acc p -> acc +. weight p) 0.0 runnable in
+            if total <= 0.0 then List.hd runnable
+            else begin
+              let u = Rng.Splitmix.next_float g *. total in
+              let rec walk acc = function
+                | [] -> List.hd (List.rev runnable)
+                | [ p ] -> p
+                | p :: rest ->
+                    let acc = acc +. weight p in
+                    if u < acc then p else walk acc rest
+              in
+              walk 0.0 runnable
+            end);
+      }
+  | Stall { victim; after; for_steps; seed } ->
+      let g = Rng.Splitmix.create seed in
+      let victim_steps = ref 0 in
+      let frozen_until = ref None in
+      {
+        choose =
+          (fun ~runnable ~step ->
+            let usable =
+              match !frozen_until with
+              | Some until when step <= until -> List.filter (fun p -> p <> victim) runnable
+              | Some _ ->
+                  frozen_until := None;
+                  runnable
+              | None -> runnable
+            in
+            let usable = if usable = [] then runnable else usable in
+            let p = List.nth usable (Rng.Splitmix.next_int g (List.length usable)) in
+            if p = victim then begin
+              incr victim_steps;
+              if !victim_steps = after && !frozen_until = None then
+                frozen_until := Some (step + for_steps)
+            end;
+            p);
+      }

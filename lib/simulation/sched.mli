@@ -1,0 +1,27 @@
+(** Schedulers: who takes the next step.
+
+    A schedule σ (Section 2.1) is the order in which processes take steps;
+    because the simulated algorithms are deterministic, (scheduler, seeds)
+    fully determine an execution, making every run reproducible. *)
+
+type t =
+  | Round_robin  (** cycle over runnable processes *)
+  | Random of int64  (** uniformly random runnable process, seeded *)
+  | Explicit of int list
+      (** fixed process sequence — entries naming processes with no work are
+          skipped — then round-robin once exhausted. Used to replay
+          hand-crafted executions (Figure 2, Example 9) exactly. *)
+  | Weighted of int64 * float array
+      (** seeded random choice with per-process weights; processes beyond
+          the array get weight 1. Models slow readers / fast writers. *)
+  | Stall of { victim : int; after : int; for_steps : int; seed : int64 }
+      (** adversarial: random scheduling, except that once [victim] has
+          taken [after] steps it is frozen for the next [for_steps] global
+          steps — the classic adversary that parks an operation mid-flight
+          while others proceed. *)
+
+type state = { choose : runnable:int list -> step:int -> int }
+(** Instantiated scheduler: picks among the currently runnable processes. *)
+
+val instantiate : t -> state
+(** Fresh mutable scheduling state (cursors, RNG, stall bookkeeping). *)

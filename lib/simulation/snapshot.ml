@@ -1,0 +1,74 @@
+(** Wait-free atomic snapshot from SWMR registers, and the linearizable
+    batched counter built on it.
+
+    This is the classic single-writer snapshot of Afek, Attiya, Dolev,
+    Gafni, Merritt and Shavit (JACM 1993). Register [i] (SWMR, owner [i])
+    holds the triple (contribution_i, seq_i, embedded view). A scan performs
+    double collects until either two consecutive collects agree on every
+    sequence number (a clean scan — the values were simultaneously present)
+    or some process is seen moving {e twice}, in which case that process
+    performed an entire update within the scan's interval and its embedded
+    view — itself obtained by a scan nested in the scan's interval — is
+    borrowed. An update scans, then writes its new contribution, bumped
+    sequence number, and the scanned view.
+
+    The counter read sums a scanned view; the update adds its batch to its
+    own contribution through the update protocol. Because scans are atomic,
+    the counter is {e linearizable} — and its update costs Θ(n) collects in
+    the worst case and at least one full collect (n reads) always, making
+    the Ω(n) lower bound of Theorem 14 visible in measured step counts
+    (experiment E2).
+
+    Register encoding: [\[| contribution; seq; view_0 … view_{n−1} |\]]. *)
+
+(* A scan, invoking [k] with the array of all n contributions. *)
+let scan ~base ~n k =
+  let moved = Array.make n false in
+  let rec attempt () =
+    Program.collect ~base ~n (fun c1 ->
+        Program.collect ~base ~n (fun c2 ->
+            let changed =
+              List.filter (fun j -> c1.(j).(1) <> c2.(j).(1)) (List.init n Fun.id)
+            in
+            match changed with
+            | [] -> k (Array.map (fun r -> r.(0)) c2)
+            | _ -> (
+                match List.find_opt (fun j -> moved.(j)) changed with
+                | Some j ->
+                    (* j moved twice: borrow its embedded view. *)
+                    k (Array.sub c2.(j) 2 n)
+                | None ->
+                    List.iter (fun j -> moved.(j) <- true) changed;
+                    attempt ())))
+  in
+  attempt ()
+
+let registers ~n =
+  Array.init n (fun i -> Machine.reg ~init:(Array.make (n + 2) 0) (Machine.Swmr i))
+
+let update_prog ~base ~n ~proc ~amount =
+  scan ~base ~n (fun view ->
+      Program.read (base + proc) (fun mine ->
+          let content = Array.make (n + 2) 0 in
+          content.(0) <- mine.(0) + amount;
+          content.(1) <- mine.(1) + 1;
+          Array.blit view 0 content 2 n;
+          Program.write (base + proc) content (Program.return ())))
+
+let read_prog ~base ~n =
+  scan ~base ~n (fun view -> Program.return (Array.fold_left ( + ) 0 view))
+
+let impl ~n =
+  {
+    Algos.registers = registers ~n;
+    update_prog = (fun ~proc ~amount -> update_prog ~base:0 ~n ~proc ~amount);
+    read_prog = (fun () -> read_prog ~base:0 ~n);
+    impl_name = "snapshot-swmr";
+  }
+
+let update_op ?obj ~n ~proc ~amount () =
+  Machine.update_op ?obj ~label:"update" ~arg:amount (fun () ->
+      update_prog ~base:0 ~n ~proc ~amount)
+
+let read_op ?obj ~n () =
+  Machine.query_op ?obj ~label:"read" ~arg:0 (fun () -> read_prog ~base:0 ~n)

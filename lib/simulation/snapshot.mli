@@ -1,0 +1,33 @@
+(** Wait-free atomic snapshot from SWMR registers (Afek, Attiya, Dolev,
+    Gafni, Merritt, Shavit — JACM 1993) and the linearizable batched counter
+    built on it.
+
+    A scan double-collects until two collects agree on every sequence number
+    (a clean scan) or some process is observed moving twice, whose embedded
+    view — obtained by a scan nested inside this scan's interval — is then
+    borrowed. An update scans, then writes (contribution, seq+1, view).
+    Because scans are atomic, summing a scanned view is a {e linearizable}
+    counter read, and the update's embedded scan is what makes its step
+    complexity Ω(n) (Theorem 14's bound made visible; this implementation is
+    O(n²) worst-case).
+
+    Register encoding: [\[| contribution; seq; view_0 … view_{n−1} |\]]. *)
+
+val scan : base:int -> n:int -> (int array -> 'r Program.t) -> 'r Program.t
+(** [scan ~base ~n k] collects a consistent view of all [n] contributions
+    and passes it to [k]. *)
+
+val registers : n:int -> Machine.reg_spec array
+(** [n] SWMR registers, register [i] owned by process [i]. *)
+
+val update_prog : base:int -> n:int -> proc:int -> amount:int -> unit Program.t
+(** Add [amount] to [proc]'s contribution through the update protocol. *)
+
+val read_prog : base:int -> n:int -> int Program.t
+(** Scan and sum: the linearizable counter read. *)
+
+val impl : n:int -> Algos.counter_impl
+(** Package as a pluggable counter (for Algorithm 3). *)
+
+val update_op : ?obj:int -> n:int -> proc:int -> amount:int -> unit -> Machine.operation
+val read_op : ?obj:int -> n:int -> unit -> Machine.operation

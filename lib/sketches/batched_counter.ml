@@ -1,0 +1,11 @@
+type t = { mutable total : int }
+
+let create () = { total = 0 }
+
+let update t v =
+  if v < 0 then invalid_arg "Batched_counter.update: batch must be non-negative";
+  t.total <- t.total + v
+
+let read t = t.total
+
+let reset t = t.total <- 0

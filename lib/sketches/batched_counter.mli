@@ -1,0 +1,18 @@
+(** Sequential batched counter (Section 6.2's specification, runnable).
+
+    [update v] with v ≥ 0 adds a batch of v events; [read] returns the total.
+    The sequential object is trivial — it exists so the concurrent
+    implementations ([Conc.Ivl_counter] and friends) and the simulator
+    programs have a common reference, and so examples can run the same
+    scenario sequentially and concurrently. *)
+
+type t
+
+val create : unit -> t
+
+val update : t -> int -> unit
+(** @raise Invalid_argument if the batch is negative. *)
+
+val read : t -> int
+
+val reset : t -> unit

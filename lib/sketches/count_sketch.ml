@@ -1,0 +1,40 @@
+type t = {
+  bucket : Hashing.Family.t; (* row -> column *)
+  sign : Hashing.Family.t; (* row -> {0,1}, mapped to ±1 *)
+  cells : int array array;
+  mutable n : int;
+}
+
+let create ~seed ~rows ~width =
+  if rows <= 0 then invalid_arg "Count_sketch.create: rows must be positive";
+  if width <= 0 then invalid_arg "Count_sketch.create: width must be positive";
+  let g = Rng.Splitmix.create seed in
+  let bucket = Hashing.Family.create g ~rows ~width in
+  let sign = Hashing.Family.create g ~rows ~width:2 in
+  { bucket; sign; cells = Array.make_matrix rows width 0; n = 0 }
+
+let sign_of t ~row a = if Hashing.Family.hash t.sign ~row a = 0 then -1 else 1
+
+let update t a =
+  for i = 0 to Array.length t.cells - 1 do
+    let col = Hashing.Family.hash t.bucket ~row:i a in
+    t.cells.(i).(col) <- t.cells.(i).(col) + sign_of t ~row:i a
+  done;
+  t.n <- t.n + 1
+
+let query t a =
+  let d = Array.length t.cells in
+  let estimates =
+    Array.init d (fun i ->
+        let col = Hashing.Family.hash t.bucket ~row:i a in
+        sign_of t ~row:i a * t.cells.(i).(col))
+  in
+  Array.sort Int.compare estimates;
+  (* Median: lower median for even d keeps the estimate an integer. *)
+  estimates.((d - 1) / 2)
+
+let rows t = Array.length t.cells
+
+let width t = Hashing.Family.width t.bucket
+
+let updates t = t.n

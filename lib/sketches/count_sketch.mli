@@ -1,0 +1,28 @@
+(** Count sketch (Charikar, Chen & Farach-Colton 2002).
+
+    Like CountMin, a d×w counter matrix, but each element also carries a
+    ±1 sign per row and the estimate is the {e median} of signed row
+    estimates instead of the minimum. Its error is two-sided (±ε‖f‖₂ with
+    probability 1 − δ), which makes it the natural companion experiment to
+    CountMin: its straightforward parallelization is also IVL by the same
+    interval argument applied per row, but the non-monotone signed counters
+    mean regular-like "subset of concurrent updates" semantics would {e not}
+    bound its error — exactly the Section 3.4 separation. *)
+
+type t
+
+val create : seed:int64 -> rows:int -> width:int -> t
+(** @raise Invalid_argument if [rows <= 0] (median needs ≥1 row) or
+    [width <= 0]. *)
+
+val update : t -> int -> unit
+(** Process one element. *)
+
+val query : t -> int -> int
+(** Median-of-rows estimate of an element's frequency (can be negative). *)
+
+val rows : t -> int
+val width : t -> int
+
+val updates : t -> int
+(** Stream length n. *)

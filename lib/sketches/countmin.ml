@@ -1,0 +1,48 @@
+type t = {
+  family : Hashing.Family.t;
+  cells : int array array; (* rows × width *)
+  mutable n : int;
+}
+
+let create ~family =
+  let d = Hashing.Family.rows family and w = Hashing.Family.width family in
+  { family; cells = Array.make_matrix d w 0; n = 0 }
+
+let create_for_error ~seed ~alpha ~delta =
+  if alpha <= 0.0 then invalid_arg "Countmin.create_for_error: alpha must be positive";
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Countmin.create_for_error: delta must lie in (0,1)";
+  let w = int_of_float (ceil (Float.exp 1.0 /. alpha)) in
+  let d = max 1 (int_of_float (ceil (log (1.0 /. delta)))) in
+  create ~family:(Hashing.Family.seeded ~seed ~rows:d ~width:w)
+
+let family t = t.family
+
+let rows t = Array.length t.cells
+
+let width t = Hashing.Family.width t.family
+
+let update t a =
+  for i = 0 to rows t - 1 do
+    let col = Hashing.Family.hash t.family ~row:i a in
+    t.cells.(i).(col) <- t.cells.(i).(col) + 1
+  done;
+  t.n <- t.n + 1
+
+let query t a =
+  let best = ref max_int in
+  for i = 0 to rows t - 1 do
+    let col = Hashing.Family.hash t.family ~row:i a in
+    if t.cells.(i).(col) < !best then best := t.cells.(i).(col)
+  done;
+  !best
+
+let updates t = t.n
+
+let error_bound t = Float.exp 1.0 /. float_of_int (width t) *. float_of_int t.n
+
+let cell t ~row ~col = t.cells.(row).(col)
+
+let reset t =
+  Array.iter (fun r -> Array.fill r 0 (Array.length r) 0) t.cells;
+  t.n <- 0

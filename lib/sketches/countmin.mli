@@ -1,0 +1,48 @@
+(** Sequential CountMin sketch (Cormode & Muthukrishnan 2005; Section 5 of
+    the paper).
+
+    A d×w matrix of counters and d pairwise-independent hash functions.
+    [update a] increments one counter per row; [query a] returns the minimum
+    of [a]'s counters, which over-estimates the true frequency f_a by at most
+    αn with probability ≥ 1 − δ when w = ⌈e/α⌉ and d = ⌈ln 1/δ⌉ (n is the
+    stream length). In the paper's terms the sketch is a sequential
+    (ε,δ)-bounded implementation of the exact-frequency oracle with ε = αn.
+
+    This is the runnable, mutable implementation; the persistent state
+    machine used by the checkers is [Spec.Countmin_spec]. Both take the same
+    {!Hashing.Family.t} coins, so a concurrent run can be validated against
+    the very specification instance it raced against. *)
+
+type t
+
+val create : family:Hashing.Family.t -> t
+(** A zeroed sketch using [family]'s d rows and width w. *)
+
+val create_for_error : seed:int64 -> alpha:float -> delta:float -> t
+(** [create_for_error ~seed ~alpha ~delta] sizes the matrix per the classic
+    analysis: w = ⌈e/alpha⌉, d = ⌈ln (1/delta)⌉, and draws fresh coins from
+    [seed]. @raise Invalid_argument unless [0 < alpha] and [0 < delta < 1]. *)
+
+val family : t -> Hashing.Family.t
+(** The coin-flip vector defining this instance. *)
+
+val rows : t -> int
+val width : t -> int
+
+val update : t -> int -> unit
+(** Process one element. *)
+
+val query : t -> int -> int
+(** Estimated frequency of an element: min over rows. *)
+
+val updates : t -> int
+(** Number of updates processed so far (the stream length n). *)
+
+val error_bound : t -> float
+(** The additive bound αn = (e/w)·n at the current stream length. *)
+
+val cell : t -> row:int -> col:int -> int
+(** Direct counter access (tests and debugging). *)
+
+val reset : t -> unit
+(** Zero all counters and the update count. *)

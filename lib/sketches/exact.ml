@@ -1,0 +1,30 @@
+type t = { counts : (int, int) Hashtbl.t; mutable n : int }
+
+let create () = { counts = Hashtbl.create 1024; n = 0 }
+
+let update t a =
+  (match Hashtbl.find_opt t.counts a with
+  | Some c -> Hashtbl.replace t.counts a (c + 1)
+  | None -> Hashtbl.replace t.counts a 1);
+  t.n <- t.n + 1
+
+let frequency t a = match Hashtbl.find_opt t.counts a with Some c -> c | None -> 0
+
+let total t = t.n
+
+let distinct t = Hashtbl.length t.counts
+
+let to_assoc t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let heavy_hitters t ~threshold =
+  if threshold <= 0.0 || threshold > 1.0 then
+    invalid_arg "Exact.heavy_hitters: threshold must lie in (0,1]";
+  let cut = threshold *. float_of_int t.n in
+  to_assoc t
+  |> List.filter (fun (_, c) -> float_of_int c >= cut)
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+let rank t x =
+  Hashtbl.fold (fun k c acc -> if k <= x then acc + c else acc) t.counts 0

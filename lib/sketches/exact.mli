@@ -1,0 +1,31 @@
+(** Exact stream statistics: the ideal objects that sketches approximate.
+
+    Tracks exact per-element frequencies (the ideal spec I of Definition 4
+    for CountMin), the stream length, and exact heavy hitters / quantiles for
+    validating the other sketches. *)
+
+type t
+
+val create : unit -> t
+
+val update : t -> int -> unit
+(** Record one occurrence of an element. *)
+
+val frequency : t -> int -> int
+(** True frequency f_a of an element (0 if unseen). *)
+
+val total : t -> int
+(** Stream length n. *)
+
+val distinct : t -> int
+(** Number of distinct elements seen. *)
+
+val heavy_hitters : t -> threshold:float -> (int * int) list
+(** Elements with frequency ≥ threshold·n, with their counts, descending by
+    count. [threshold] in (0, 1]. *)
+
+val rank : t -> int -> int
+(** [rank t x] is the number of stream elements ≤ x. *)
+
+val to_assoc : t -> (int * int) list
+(** All (element, count) pairs, ascending by element. *)

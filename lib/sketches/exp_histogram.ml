@@ -1,0 +1,81 @@
+(* Buckets are kept newest-first; each records the timestamp of its most
+   recent 1-event and its size (a power of two count of 1-events). *)
+
+type bucket = { mutable newest : int; size : int }
+
+type t = {
+  window : int;
+  cap : int; (* max buckets per size before merging *)
+  mutable buckets : bucket list; (* newest first, sizes non-decreasing *)
+  mutable now : int;
+}
+
+let create ?(epsilon = 0.1) ~window () =
+  if window <= 0 then invalid_arg "Exp_histogram.create: window must be positive";
+  if epsilon <= 0.0 || epsilon > 1.0 then
+    invalid_arg "Exp_histogram.create: epsilon must lie in (0,1]";
+  let cap = (int_of_float (ceil (1.0 /. epsilon)) / 2) + 2 in
+  { window; cap; buckets = []; now = 0 }
+
+(* Merge pairs of same-size buckets (oldest first) whenever a size class
+   exceeds the cap. The list stays sorted newest-first / size-ascending. *)
+let canonicalize cap buckets =
+  let rec count_size size = function
+    | b :: rest when b.size = size -> 1 + count_size size rest
+    | _ -> 0
+  in
+  let rec fix = function
+    | [] -> []
+    | b :: rest ->
+        let n = 1 + count_size b.size rest in
+        if n > cap then begin
+          (* Merge the two OLDEST buckets of this size: walk to the end of
+             the size class. *)
+          let cls, tail =
+            let rec split acc = function
+              | x :: r when x.size = b.size -> split (x :: acc) r
+              | r -> (List.rev acc, r)
+            in
+            split [] (b :: rest)
+          in
+          match List.rev cls with
+          | oldest :: second :: others_rev ->
+              (* The merged bucket keeps the newer timestamp of the pair. *)
+              let merged = { newest = second.newest; size = b.size * 2 } in
+              ignore oldest;
+              let remaining = List.rev others_rev in
+              fix (remaining @ (merged :: tail))
+          | _ -> b :: fix rest
+        end
+        else b :: fix rest
+  in
+  fix buckets
+
+let expire t =
+  t.buckets <-
+    List.filter (fun b -> b.newest > t.now - t.window) t.buckets
+
+let add t one =
+  t.now <- t.now + 1;
+  if one then begin
+    t.buckets <- { newest = t.now; size = 1 } :: t.buckets;
+    t.buckets <- canonicalize t.cap t.buckets
+  end;
+  expire t
+
+let estimate t =
+  match List.rev t.buckets with
+  | [] -> 0
+  | oldest :: rest ->
+      List.fold_left (fun acc b -> acc + b.size) 0 rest + (oldest.size / 2) + 1
+
+let true_count_bounds t =
+  match List.rev t.buckets with
+  | [] -> (0, 0)
+  | oldest :: rest ->
+      let full = List.fold_left (fun acc b -> acc + b.size) 0 rest in
+      (full + 1, full + oldest.size)
+
+let window t = t.window
+
+let buckets t = List.length t.buckets

@@ -1,0 +1,32 @@
+(** Sliding-window counting with Exponential Histograms (Datar, Gionis,
+    Indyk & Motwani, SIAM J. Comput. 2002).
+
+    Counts how many of the last [window] events carried a 1, within a
+    (1 + ε) multiplicative error, in O(ε⁻¹ log² W) bits: 1-events are
+    grouped into buckets of exponentially growing sizes; at most
+    ⌈1/ε⌉/2 + 2 buckets per size are kept, merging the two oldest of a size
+    when the cap is exceeded; buckets falling off the window expire. Only
+    the oldest surviving bucket is uncertain, which is what bounds the
+    error. Sliding windows are the streaming setting the paper's motivation
+    cites alongside plain counting. *)
+
+type t
+
+val create : ?epsilon:float -> window:int -> unit -> t
+(** [epsilon] (default 0.1) is the relative-error target.
+    @raise Invalid_argument if [window <= 0] or [epsilon] outside (0, 1]. *)
+
+val add : t -> bool -> unit
+(** Advance the window by one event; [true] counts. *)
+
+val estimate : t -> int
+(** Estimated number of 1-events among the last [window]: exact total of
+    full buckets plus half the oldest (partially expired) bucket. *)
+
+val true_count_bounds : t -> int * int
+(** The (lower, upper) envelope the structure guarantees the true count lies
+    in — the oldest bucket contributes 1..size. *)
+
+val window : t -> int
+val buckets : t -> int
+(** Number of buckets currently held (space accounting). *)

@@ -1,0 +1,58 @@
+type t = {
+  p : int;
+  seed : int64;
+  hash : Hashing.Tabulation.t;
+  regs : int array;
+}
+
+let create ?(p = 12) ~seed () =
+  if p < 4 || p > 16 then invalid_arg "Hyperloglog.create: p must lie in [4,16]";
+  let g = Rng.Splitmix.create seed in
+  { p; seed; hash = Hashing.Tabulation.create g; regs = Array.make (1 lsl p) 0 }
+
+let alpha m =
+  match m with
+  | 16 -> 0.673
+  | 32 -> 0.697
+  | 64 -> 0.709
+  | _ -> 0.7213 /. (1.0 +. (1.079 /. float_of_int m))
+
+let update t x =
+  let h = Hashing.Tabulation.hash t.hash x in
+  let idx = h land ((1 lsl t.p) - 1) in
+  let rest = h lsr t.p in
+  (* Rank: position of the first 1-bit in the remaining 63-p bits. *)
+  let width = 63 - t.p in
+  let rank =
+    if rest = 0 then width + 1
+    else
+      let rec count i = if rest land (1 lsl i) <> 0 then i + 1 else count (i + 1) in
+      count 0
+  in
+  if rank > t.regs.(idx) then t.regs.(idx) <- rank
+
+let estimate t =
+  let m = float_of_int (Array.length t.regs) in
+  let sum = Array.fold_left (fun acc r -> acc +. (2.0 ** float_of_int (-r))) 0.0 t.regs in
+  let raw = alpha (Array.length t.regs) *. m *. m /. sum in
+  let zeros = Array.fold_left (fun acc r -> if r = 0 then acc + 1 else acc) 0 t.regs in
+  if raw <= 2.5 *. m && zeros > 0 then
+    (* Small-range correction: linear counting on empty registers. *)
+    m *. log (m /. float_of_int zeros)
+  else raw
+
+let merge a b =
+  if a.p <> b.p || not (Int64.equal a.seed b.seed) then
+    invalid_arg "Hyperloglog.merge: sketches must share parameters and seed";
+  { a with regs = Array.init (Array.length a.regs) (fun i -> max a.regs.(i) b.regs.(i)) }
+
+let registers t = Array.copy t.regs
+
+let of_registers ~p ~seed regs =
+  if Array.length regs <> 1 lsl p then
+    invalid_arg "Hyperloglog.of_registers: register image has the wrong size";
+  let t = create ~p ~seed () in
+  Array.blit regs 0 t.regs 0 (Array.length regs);
+  t
+
+let p t = t.p

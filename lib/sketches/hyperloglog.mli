@@ -1,0 +1,35 @@
+(** HyperLogLog cardinality estimator (Flajolet et al. 2007; Heule et al.'s
+    practical variant informs the bias handling).
+
+    Estimates the number of distinct elements with relative standard error
+    ≈ 1.04/√m using m = 2^p single-byte registers: each element is hashed;
+    the first p bits select a register, which keeps the maximum number of
+    leading zeros (+1) seen in the remaining bits. Monotone (registers only
+    grow), so its straightforward parallelization with max-merge is IVL —
+    the cardinality family is among the sketches the paper's introduction
+    motivates ([9, 13, 14, 18]). *)
+
+type t
+
+val create : ?p:int -> seed:int64 -> unit -> t
+(** [p] ∈ [4, 16] selects m = 2^p registers (default 12: ~1.6%% error). *)
+
+val update : t -> int -> unit
+(** Observe an element. Idempotent per element value. *)
+
+val estimate : t -> float
+(** Estimated distinct count, with small- and large-range corrections. *)
+
+val merge : t -> t -> t
+(** Register-wise maximum. Both sketches must share [p] and seed.
+    @raise Invalid_argument otherwise. *)
+
+val registers : t -> int array
+(** Copy of the register file (tests). *)
+
+val of_registers : p:int -> seed:int64 -> int array -> t
+(** Rebuild a sketch from a register image (same [p]/seed as the source);
+    used to snapshot concurrent register files into sequential sketches.
+    @raise Invalid_argument if the array length is not 2^p. *)
+
+val p : t -> int

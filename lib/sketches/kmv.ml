@@ -1,0 +1,55 @@
+(* The k smallest distinct hashes, kept in a sorted set; hashes map to
+   (0, 1] by scaling 63-bit tabulation output. *)
+
+module Float_set = Set.Make (Float)
+
+type t = {
+  k : int;
+  seed : int64;
+  hash : Hashing.Tabulation.t;
+  mutable values : Float_set.t;
+}
+
+let create ?(k = 256) ~seed () =
+  if k < 3 then invalid_arg "Kmv.create: k must be at least 3";
+  let g = Rng.Splitmix.create seed in
+  { k; seed; hash = Hashing.Tabulation.create g; values = Float_set.empty }
+
+let unit_hash t x =
+  (* (0,1]: avoid exactly 0 so the estimator never divides by zero. *)
+  (float_of_int (Hashing.Tabulation.hash t.hash x) +. 1.0)
+  /. 4.611686018427388e18 (* 2^62: tabulation output is uniform on [0, 2^62) *)
+
+let update t x =
+  let h = unit_hash t x in
+  if Float_set.cardinal t.values < t.k then t.values <- Float_set.add h t.values
+  else
+    let kth = Float_set.max_elt t.values in
+    if h < kth then begin
+      t.values <- Float_set.add h t.values;
+      if Float_set.cardinal t.values > t.k then
+        t.values <- Float_set.remove kth t.values
+    end
+
+let estimate t =
+  let n = Float_set.cardinal t.values in
+  if n < t.k then float_of_int n
+  else
+    let m = Float_set.max_elt t.values in
+    float_of_int (t.k - 1) /. m
+
+let copy t = { t with values = t.values }
+
+let merge a b =
+  if a.k <> b.k || not (Int64.equal a.seed b.seed) then
+    invalid_arg "Kmv.merge: sketches must share k and seed";
+  let union = Float_set.union a.values b.values in
+  let rec truncate s =
+    if Float_set.cardinal s <= a.k then s
+    else truncate (Float_set.remove (Float_set.max_elt s) s)
+  in
+  { a with values = truncate union }
+
+let retained t = Float_set.cardinal t.values
+
+let k t = t.k

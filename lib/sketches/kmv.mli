@@ -1,0 +1,34 @@
+(** KMV (k minimum values) distinct-count sketch (Bar-Yossef et al. 2002;
+    the θ-sketch family behind the DataSketches toolkit the paper cites).
+
+    Keep the [k] smallest hash values seen; with hashes uniform on [0,1),
+    the k-th smallest value m estimates the cardinality as (k − 1)/m, with
+    relative standard error ≈ 1/√(k − 2). Monotone (the k-th minimum only
+    decreases as elements arrive, so the estimate only grows), mergeable
+    (union = merge the value sets, re-truncate to k) — the same
+    IVL-friendly structure as HyperLogLog with different tradeoffs. *)
+
+type t
+
+val create : ?k:int -> seed:int64 -> unit -> t
+(** [k] ≥ 3 (default 256; RSE ≈ 6%%). *)
+
+val update : t -> int -> unit
+(** Observe an element; duplicates are no-ops by construction. *)
+
+val estimate : t -> float
+(** Estimated number of distinct elements (exact while fewer than [k]
+    distinct hashes have been seen). *)
+
+val copy : t -> t
+(** O(1) snapshot (the value set is persistent); future updates to either
+    side are independent. *)
+
+val merge : t -> t -> t
+(** Union semantics. Both sketches must share [k] and seed.
+    @raise Invalid_argument otherwise. *)
+
+val retained : t -> int
+(** Number of hash values currently stored (≤ k). *)
+
+val k : t -> int

@@ -1,0 +1,22 @@
+type t = { base : float; g : Rng.Splitmix.t; mutable exponent : int }
+
+let create ?(base = 2.0) ~seed () =
+  if base <= 1.0 then invalid_arg "Morris.create: base must exceed 1";
+  { base; g = Rng.Splitmix.create seed; exponent = 0 }
+
+let create_for_error ~seed ~epsilon ~delta =
+  if epsilon <= 0.0 then invalid_arg "Morris.create_for_error: epsilon must be positive";
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Morris.create_for_error: delta must lie in (0,1)";
+  (* Var ≈ (b-1)/2·n²; Chebyshev: P[|est-n| > εn] ≤ (b-1)/(2ε²) ≤ δ. *)
+  create ~base:(1.0 +. (2.0 *. epsilon *. epsilon *. delta)) ~seed ()
+
+let update t =
+  let p = t.base ** float_of_int (-t.exponent) in
+  if Rng.Splitmix.next_float t.g < p then t.exponent <- t.exponent + 1
+
+let estimate t = ((t.base ** float_of_int t.exponent) -. 1.0) /. (t.base -. 1.0)
+
+let exponent t = t.exponent
+
+let base t = t.base

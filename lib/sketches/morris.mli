@@ -1,0 +1,30 @@
+(** Morris approximate counter (Morris 1978; Flajolet 1985 analysis).
+
+    Counts up to n events in O(log log n) bits by keeping only an exponent
+    [x], incremented on each event with probability b^{-x} for base b > 1.
+    The estimate (b^x − 1)/(b − 1) is unbiased; its variance is
+    (b − 1)/2 · n(n+1), so choosing b close to 1 trades memory for accuracy
+    — the standard (ε,δ) knob for this sketch. One of the paper's canonical
+    (ε,δ)-bounded objects ([27] in its references), and our second transfer-
+    theorem case study. *)
+
+type t
+
+val create : ?base:float -> seed:int64 -> unit -> t
+(** [create ~seed ()] uses the classic base 2; [?base] must exceed 1. *)
+
+val create_for_error : seed:int64 -> epsilon:float -> delta:float -> t
+(** Chooses the base via Chebyshev so that the relative error exceeds
+    [epsilon] with probability < [delta]:
+    base = 1 + 2·epsilon²·delta. *)
+
+val update : t -> unit
+(** Count one event. *)
+
+val estimate : t -> float
+(** Unbiased estimate of the number of events counted. *)
+
+val exponent : t -> int
+(** The stored exponent (for tests). *)
+
+val base : t -> float

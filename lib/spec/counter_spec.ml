@@ -1,0 +1,29 @@
+(** Sequential specification of the batched counter (Section 6).
+
+    [update v] with [v >= 0] adds [v] to the counter; [read] (query) returns
+    the sum of all preceding updates, 0 initially. This is the object of
+    Algorithm 2, Theorem 11 and the Ω(n) lower bound of Theorem 14. *)
+
+type state = int
+type update = int
+type query = int (* argument ignored: reads take no parameter *)
+type value = int
+
+let name = "batched-counter"
+
+let init = 0
+
+let apply_update s v =
+  if v < 0 then invalid_arg "Counter_spec.apply_update: batch must be non-negative";
+  s + v
+
+let eval_query s _ = s
+
+let compare_value = Int.compare
+
+(* Addition commutes, so checkers may memoize on update sets. *)
+let commutative_updates = true
+
+let pp_update = Format.pp_print_int
+let pp_query ppf _ = Format.pp_print_string ppf ""
+let pp_value = Format.pp_print_int

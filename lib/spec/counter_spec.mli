@@ -1,0 +1,27 @@
+(** Sequential specification of the batched counter (Section 6): [update v]
+    with [v ≥ 0] adds a batch; a read returns the sum of preceding batches.
+    The object of Algorithm 2, Theorem 11 and the Ω(n) bound of Theorem 14.
+    Satisfies {!Spec.Quantitative.S} with integer-argument reads (the
+    argument is ignored), so machine-produced [(int,int,int)] histories
+    check directly. *)
+
+type state = int
+type update = int
+type query = int
+type value = int
+
+val name : string
+val init : state
+
+val apply_update : state -> update -> state
+(** @raise Invalid_argument on a negative batch. *)
+
+val eval_query : state -> query -> value
+val compare_value : value -> value -> int
+
+val commutative_updates : bool
+(** [true]: addition commutes, enabling checker memoization. *)
+
+val pp_update : Format.formatter -> update -> unit
+val pp_query : Format.formatter -> query -> unit
+val pp_value : Format.formatter -> value -> unit

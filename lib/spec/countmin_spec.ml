@@ -1,0 +1,82 @@
+(** Sequential specification of the CountMin sketch, CM(c#) (Section 5).
+
+    The coin-flip vector is the hash-function family: once drawn, the sketch
+    is a deterministic state machine — a d×w matrix of counters where
+    [update a] increments [c\[i\]\[h_i(a)\]] for every row and [query a]
+    returns [min_i c\[i\]\[h_i(a)\]]. This module is the {e specification}
+    (persistent state, used by checkers and τ); the runnable sequential
+    sketch lives in [Sketches.Countmin] and the concurrent one in
+    [Conc.Pcm]. *)
+
+module Cell_map = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type coin = Hashing.Family.t
+
+type state = { family : Hashing.Family.t; cells : int Cell_map.t }
+
+type update = int (* the element *)
+type query = int (* the element *)
+type value = int
+
+let name = "countmin"
+
+let init family = { family; cells = Cell_map.empty }
+
+let cell s row col =
+  match Cell_map.find_opt (row, col) s.cells with Some c -> c | None -> 0
+
+let apply_update s a =
+  let d = Hashing.Family.rows s.family in
+  let rec bump cells i =
+    if i >= d then cells
+    else
+      let col = Hashing.Family.hash s.family ~row:i a in
+      let c = match Cell_map.find_opt (i, col) cells with Some c -> c | None -> 0 in
+      bump (Cell_map.add (i, col) (c + 1) cells) (i + 1)
+  in
+  { s with cells = bump s.cells 0 }
+
+let eval_query s a =
+  let d = Hashing.Family.rows s.family in
+  let rec min_row i acc =
+    if i >= d then acc
+    else
+      let col = Hashing.Family.hash s.family ~row:i a in
+      min_row (i + 1) (min acc (cell s i col))
+  in
+  min_row 0 max_int
+
+let compare_value = Int.compare
+
+(* Per-cell increments commute. *)
+let commutative_updates = true
+
+let pp_update = Format.pp_print_int
+let pp_query = Format.pp_print_int
+let pp_value = Format.pp_print_int
+
+(** [Fixed] pins the coins, yielding the deterministic spec CM(c#) that
+    checkers consume. *)
+module Fixed (C : sig
+  val family : Hashing.Family.t
+end) : Quantitative.S with type update = int and type query = int and type value = int =
+struct
+  type nonrec state = state
+  type nonrec update = update
+  type nonrec query = query
+  type nonrec value = value
+
+  let name = name
+  let init = init C.family
+  let apply_update = apply_update
+  let eval_query = eval_query
+  let compare_value = compare_value
+  let commutative_updates = commutative_updates
+  let pp_update = pp_update
+  let pp_query = pp_query
+  let pp_value = pp_value
+end

@@ -1,0 +1,31 @@
+(** Sequential specification of the CountMin sketch, CM(c#) (Section 5).
+
+    A {!Spec.Quantitative.RANDOMIZED} object whose coin-flip vector is the
+    hash-function family: once drawn, the sketch is a deterministic state
+    machine (persistent d×w counter map). [Fixed] pins the coins, yielding
+    the deterministic spec the checkers consume. The runnable mutable sketch
+    is [Sketches.Countmin]; both take the same family, so a concurrent run
+    can be validated against the specification instance it raced against. *)
+
+type coin = Hashing.Family.t
+
+type state
+
+type update = int (* the element *)
+type query = int (* the element *)
+type value = int
+
+val name : string
+val init : coin -> state
+val apply_update : state -> update -> state
+val eval_query : state -> query -> value
+val compare_value : value -> value -> int
+val commutative_updates : bool
+val pp_update : Format.formatter -> update -> unit
+val pp_query : Format.formatter -> query -> unit
+val pp_value : Format.formatter -> value -> unit
+
+(** Pin the coins: the deterministic CM(c#). *)
+module Fixed (_ : sig
+  val family : Hashing.Family.t
+end) : Quantitative.S with type update = int and type query = int and type value = int

@@ -1,0 +1,30 @@
+(** The ideal frequency oracle: exact per-element counts.
+
+    This is the deterministic sequential specification [I] that the CountMin
+    sketch is an (ε,δ)-bounded implementation of (Definition 4): [update a]
+    appends element [a] to the stream, [query a] returns the true frequency
+    f_a. Definition 5's v_min/v_max are computed against this spec. *)
+
+module Int_map = Map.Make (Int)
+
+type state = int Int_map.t
+type update = int (* the element *)
+type query = int (* the element *)
+type value = int
+
+let name = "exact-frequency"
+
+let init = Int_map.empty
+
+let apply_update s a =
+  Int_map.update a (function None -> Some 1 | Some c -> Some (c + 1)) s
+
+let eval_query s a = match Int_map.find_opt a s with Some c -> c | None -> 0
+
+let compare_value = Int.compare
+
+let commutative_updates = true
+
+let pp_update = Format.pp_print_int
+let pp_query = Format.pp_print_int
+let pp_value = Format.pp_print_int

@@ -1,0 +1,21 @@
+(** The ideal frequency oracle (exact per-element counts): the deterministic
+    sequential specification [I] that CountMin is an (ε,δ)-bounded
+    implementation of (Definition 4); Definition 5's v_min/v_max are
+    computed against it. *)
+
+module Int_map : Map.S with type key = int
+
+type state = int Int_map.t
+type update = int (* the element *)
+type query = int (* the element *)
+type value = int
+
+val name : string
+val init : state
+val apply_update : state -> update -> state
+val eval_query : state -> query -> value
+val compare_value : value -> value -> int
+val commutative_updates : bool
+val pp_update : Format.formatter -> update -> unit
+val pp_query : Format.formatter -> query -> unit
+val pp_value : Format.formatter -> value -> unit

@@ -1,0 +1,29 @@
+(** A max register: a simple monotone quantitative object.
+
+    [update v] raises the register to at least [v]; the query returns the
+    maximum update seen so far (0 initially). Monotone like the batched
+    counter, so it exercises the same IVL structure with a non-additive
+    merge; useful as a second deterministic object in locality tests. *)
+
+type state = int
+type update = int
+type query = int (* argument ignored: reads take no parameter *)
+type value = int
+
+let name = "max-register"
+
+let init = 0
+
+let apply_update s v =
+  if v < 0 then invalid_arg "Max_spec.apply_update: values must be non-negative";
+  max s v
+
+let eval_query s _ = s
+
+let compare_value = Int.compare
+
+let commutative_updates = true
+
+let pp_update = Format.pp_print_int
+let pp_query ppf _ = Format.pp_print_string ppf ""
+let pp_value = Format.pp_print_int

@@ -1,0 +1,21 @@
+(** A max register: a second monotone quantitative object (update raises the
+    value, the read returns the maximum seen; 0 initially). Exercises the
+    IVL constructions with a non-additive merge. *)
+
+type state = int
+type update = int
+type query = int (* ignored *)
+type value = int
+
+val name : string
+val init : state
+
+val apply_update : state -> update -> state
+(** @raise Invalid_argument on a negative value. *)
+
+val eval_query : state -> query -> value
+val compare_value : value -> value -> int
+val commutative_updates : bool
+val pp_update : Format.formatter -> update -> unit
+val pp_query : Format.formatter -> query -> unit
+val pp_value : Format.formatter -> value -> unit

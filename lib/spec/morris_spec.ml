@@ -1,0 +1,74 @@
+(** Sequential specification of the Morris approximate counter.
+
+    Morris ("Counting large numbers of events in small registers", CACM
+    1978) keeps an exponent [x] and increments it on each event with
+    probability 2^{-x}; the estimate is 2^x - 1, which is unbiased. It is the
+    classic (ε,δ)-bounded counter referenced by the paper ([27]) and our
+    second transfer-theorem case study (experiment E10).
+
+    As a randomized spec, the coin vector is an infinite sequence of uniform
+    floats, realised purely: coin [k] is a hash of [seed + k], so the state
+    machine is deterministic given the seed and the state stays persistent
+    (checkers need to branch on it). *)
+
+type coin = int64 (* seed of the coin-flip vector *)
+
+type state = {
+  seed : int64;
+  exponent : int;
+  consumed : int; (* position in the coin vector *)
+}
+
+type update = unit
+type query = unit
+type value = float
+
+let name = "morris-counter"
+
+let init seed = { seed; exponent = 0; consumed = 0 }
+
+(* The k-th coin of vector [seed]: uniform in [0,1), via SplitMix64's mix. *)
+let coin_at seed k =
+  let g = Rng.Splitmix.create (Int64.add seed (Int64.of_int k)) in
+  Rng.Splitmix.next_float g
+
+let apply_update s () =
+  let u = coin_at s.seed s.consumed in
+  let bump = u < 1.0 /. float_of_int (1 lsl s.exponent) in
+  {
+    s with
+    exponent = (if bump then s.exponent + 1 else s.exponent);
+    consumed = s.consumed + 1;
+  }
+
+let eval_query s () = float_of_int ((1 lsl s.exponent) - 1)
+
+let compare_value = Float.compare
+
+(* All updates are identical, so any permutation of them reaches the same
+   state for a fixed coin vector. *)
+let commutative_updates = true
+
+let pp_update ppf () = Format.pp_print_string ppf ""
+let pp_query ppf () = Format.pp_print_string ppf ""
+let pp_value ppf v = Format.fprintf ppf "%g" v
+
+module Fixed (C : sig
+  val seed : int64
+end) : Quantitative.S with type update = unit and type query = unit and type value = float =
+struct
+  type nonrec state = state
+  type nonrec update = update
+  type nonrec query = query
+  type nonrec value = value
+
+  let name = name
+  let init = init C.seed
+  let apply_update = apply_update
+  let eval_query = eval_query
+  let compare_value = compare_value
+  let commutative_updates = commutative_updates
+  let pp_update = pp_update
+  let pp_query = pp_query
+  let pp_value = pp_value
+end

@@ -1,0 +1,150 @@
+(** Sequential specifications of quantitative objects (Sections 2.1, 3.1).
+
+    A deterministic quantitative object is given by a state machine whose
+    queries return values from a totally ordered domain. Its sequential
+    specification contains exactly one history per sequential skeleton; the
+    [Tau] functor below implements the paper's τ_H operator, which fills in
+    the unique return values. Randomized objects (Section 3.3) are state
+    machines whose initial state is drawn from a coin-flip vector; see
+    {!module-type-RANDOMIZED}. *)
+
+(** A deterministic quantitative object. *)
+module type S = sig
+  type state
+  type update
+  type query
+  type value
+
+  val name : string
+
+  val init : state
+  (** Initial object state. *)
+
+  val apply_update : state -> update -> state
+  (** Sequential effect of an update. *)
+
+  val eval_query : state -> query -> value
+  (** Sequential return value of a query; must not mutate. *)
+
+  val compare_value : value -> value -> int
+  (** Total order on the return domain. *)
+
+  val commutative_updates : bool
+  (** [true] when any permutation of a set of updates yields the same state
+      (counters, CountMin). Checkers use this to memoize on update
+      {e sets} rather than sequences, which exponentially shrinks their
+      search. Declaring [true] wrongly makes checkers unsound; when unsure,
+      leave [false]. *)
+
+  val pp_update : Format.formatter -> update -> unit
+  val pp_query : Format.formatter -> query -> unit
+  val pp_value : Format.formatter -> value -> unit
+end
+
+(** A randomized quantitative object: a distribution over deterministic ones,
+    indexed by the coin-flip vector (Section 3.3). For a fixed coin the
+    object is deterministic, so each coin induces an {!module-type-S}. *)
+module type RANDOMIZED = sig
+  type coin
+
+  type state
+  type update
+  type query
+  type value
+
+  val name : string
+  val init : coin -> state
+  val apply_update : state -> update -> state
+  val eval_query : state -> query -> value
+  val compare_value : value -> value -> int
+  val commutative_updates : bool
+  val pp_update : Format.formatter -> update -> unit
+  val pp_query : Format.formatter -> query -> unit
+  val pp_value : Format.formatter -> value -> unit
+end
+
+(** Lift a deterministic spec to a (trivially) randomized one. *)
+module Lift_randomized (S : S) :
+  RANDOMIZED
+    with type coin = unit
+     and type state = S.state
+     and type update = S.update
+     and type query = S.query
+     and type value = S.value = struct
+  type coin = unit
+
+  include S
+
+  let init () = S.init
+end
+
+(** Fix the coin of a randomized spec, recovering a deterministic one. *)
+module Fix_coin (R : RANDOMIZED) (C : sig
+  val coin : R.coin
+end) :
+  S
+    with type state = R.state
+     and type update = R.update
+     and type query = R.query
+     and type value = R.value = struct
+  include R
+
+  let init = R.init C.coin
+end
+
+(** The τ operator and sequential execution, aware of multi-object histories:
+    each object id evolves its own copy of the state, which is what makes the
+    locality theorem (Theorem 1) expressible. *)
+module Tau (S : S) = struct
+  module Int_map = Map.Make (Int)
+
+  type states = S.state Int_map.t
+
+  let initial_states : states = Int_map.empty
+
+  let state_of states obj =
+    match Int_map.find_opt obj states with Some s -> s | None -> S.init
+
+  let step states (op : (S.update, S.query, S.value) Hist.Op.t) =
+    match op.Hist.Op.kind with
+    | Hist.Op.Update u ->
+        Int_map.add op.obj (S.apply_update (state_of states op.obj) u) states
+    | Hist.Op.Query _ -> states
+
+  let eval states (op : (S.update, S.query, S.value) Hist.Op.t) =
+    match op.Hist.Op.kind with
+    | Hist.Op.Query q -> Some (S.eval_query (state_of states op.obj) q)
+    | Hist.Op.Update _ -> None
+
+  (* τ: run the skeleton sequentially, filling each query's unique return. *)
+  let tau ops =
+    let _, filled =
+      List.fold_left
+        (fun (states, acc) op ->
+          match eval states op with
+          | Some v -> (step states op, Hist.Op.with_return op v :: acc)
+          | None -> (step states op, Hist.Op.erase_return op :: acc))
+        (initial_states, []) ops
+    in
+    List.rev filled
+
+  (* Final states after executing a sequence of operations. *)
+  let run ops = List.fold_left step initial_states ops
+
+  (* The unique sequential history for a sequential skeleton. *)
+  let tau_history h =
+    match Hist.History.sequential_ops h with
+    | None -> invalid_arg "Tau.tau_history: history is not sequential"
+    | Some ops -> Hist.History.of_sequential_ops (tau ops)
+
+  (* Does a given sequential history belong to the specification? *)
+  let satisfies ops =
+    let filled = tau ops in
+    List.for_all2
+      (fun op filled_op ->
+        match (op.Hist.Op.ret, filled_op.Hist.Op.ret) with
+        | None, _ -> true
+        | Some v, Some v' -> S.compare_value v v' = 0
+        | Some _, None -> false)
+      ops filled
+end

@@ -1,0 +1,33 @@
+(** The ideal rank oracle: exact rank queries over the stream's multiset.
+
+    [update x] appends [x]; [query x] returns |{y in stream : y ≤ x}|. This
+    is the deterministic ideal specification the Quantiles sketch
+    approximates within ±εn (the paper's reference [1]); the concurrent
+    striped quantiles sketch (experiment E11) is measured against it. Ranks
+    are monotone in stream growth, which is what puts quantile sketches in
+    IVL's sweet spot. *)
+
+module Int_map = Map.Make (Int)
+
+type state = int Int_map.t (* element -> multiplicity *)
+type update = int
+type query = int
+type value = int
+
+let name = "exact-rank"
+
+let init = Int_map.empty
+
+let apply_update s x =
+  Int_map.update x (function None -> Some 1 | Some c -> Some (c + 1)) s
+
+let eval_query s x =
+  Int_map.fold (fun y c acc -> if y <= x then acc + c else acc) s 0
+
+let compare_value = Int.compare
+
+let commutative_updates = true
+
+let pp_update = Format.pp_print_int
+let pp_query = Format.pp_print_int
+let pp_value = Format.pp_print_int

@@ -1,0 +1,20 @@
+(** The ideal rank oracle: [query x] returns |{y ≤ x}| over the exact stream
+    multiset. The reference the quantiles sketches approximate within ±εn;
+    monotone in stream growth. *)
+
+module Int_map : Map.S with type key = int
+
+type state = int Int_map.t
+type update = int
+type query = int
+type value = int
+
+val name : string
+val init : state
+val apply_update : state -> update -> state
+val eval_query : state -> query -> value
+val compare_value : value -> value -> int
+val commutative_updates : bool
+val pp_update : Format.formatter -> update -> unit
+val pp_query : Format.formatter -> query -> unit
+val pp_value : Format.formatter -> value -> unit

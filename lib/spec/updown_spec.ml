@@ -1,0 +1,28 @@
+(** A counter supporting increments {e and} decrements.
+
+    Section 3.4 of the paper uses this object to show that "a query sees some
+    subset of concurrent updates" (regular-like semantics) is weaker than IVL
+    once values are not monotone: seeing only the decrement of a concurrent
+    increment/decrement pair produces a value below every linearization. Our
+    tests reproduce exactly that separation. *)
+
+type state = int
+type update = int (* signed delta *)
+type query = int (* argument ignored: reads take no parameter *)
+type value = int
+
+let name = "updown-counter"
+
+let init = 0
+
+let apply_update s v = s + v
+
+let eval_query s _ = s
+
+let compare_value = Int.compare
+
+let commutative_updates = true
+
+let pp_update ppf v = Format.fprintf ppf "%+d" v
+let pp_query ppf _ = Format.pp_print_string ppf ""
+let pp_value = Format.pp_print_int

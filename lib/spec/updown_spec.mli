@@ -1,0 +1,19 @@
+(** A counter with increments {e and} decrements (signed deltas): the
+    Section 3.4 object separating IVL from regular-like "subset of
+    concurrent updates" semantics. Non-monotone — use the exact checker,
+    not [Ivl.Monotone]. *)
+
+type state = int
+type update = int (* signed delta *)
+type query = int (* ignored *)
+type value = int
+
+val name : string
+val init : state
+val apply_update : state -> update -> state
+val eval_query : state -> query -> value
+val compare_value : value -> value -> int
+val commutative_updates : bool
+val pp_update : Format.formatter -> update -> unit
+val pp_query : Format.formatter -> query -> unit
+val pp_value : Format.formatter -> value -> unit

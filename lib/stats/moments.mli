@@ -1,0 +1,21 @@
+(** Streaming summary statistics (Welford's online algorithm). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Sample variance (n−1 denominator); 0 for fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val max : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val of_array : float array -> t

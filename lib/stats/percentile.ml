@@ -1,0 +1,19 @@
+let of_sorted sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Percentile.of_sorted: empty sample";
+  if p < 0.0 || p > 100.0 then invalid_arg "Percentile.of_sorted: p must lie in [0,100]";
+  if n = 1 then sorted.(0)
+  else
+    let pos = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+    if lo = hi then sorted.(lo)
+    else
+      let frac = pos -. float_of_int lo in
+      (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let percentile data p =
+  let copy = Array.copy data in
+  Array.sort Float.compare copy;
+  of_sorted copy p
+
+let median data = percentile data 50.0

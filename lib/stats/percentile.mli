@@ -1,0 +1,11 @@
+(** Exact percentiles of a sample (sorting copy of the data). *)
+
+val of_sorted : float array -> float -> float
+(** [of_sorted sorted p] for p ∈ [0,100], linear interpolation between
+    order statistics. @raise Invalid_argument on an empty array or p outside
+    the range. *)
+
+val percentile : float array -> float -> float
+(** [percentile data p] sorts a copy of [data] first. *)
+
+val median : float array -> float

@@ -1,0 +1,18 @@
+type op = Update of int | Query of int
+
+let mixed ~seed ~shape ~query_ratio ~length =
+  if query_ratio < 0.0 || query_ratio > 1.0 then
+    invalid_arg "Scenario.mixed: query_ratio must lie in [0,1]";
+  let g = Rng.Splitmix.create seed in
+  let elements = Stream.generate ~seed:(Rng.Splitmix.next_int64 g) shape ~length in
+  Array.map
+    (fun e -> if Rng.Splitmix.next_float g < query_ratio then Query e else Update e)
+    elements
+
+let count_queries ops =
+  Array.fold_left (fun acc op -> match op with Query _ -> acc + 1 | Update _ -> acc) 0 ops
+
+let split ops ~pieces = Stream.chunks ops ~pieces
+
+let describe ~query_ratio shape =
+  Printf.sprintf "%s, %.0f%% queries" (Stream.describe shape) (100.0 *. query_ratio)

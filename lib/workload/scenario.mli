@@ -1,0 +1,24 @@
+(** Mixed operation scenarios for throughput experiments.
+
+    Real deployments interleave queries with ingestion ("queries must return
+    fresh results in real-time without hampering data ingestion", §1.1);
+    a scenario materializes such a mix deterministically so competing
+    implementations replay the identical operation sequence. *)
+
+type op =
+  | Update of int  (** ingest this element / batch *)
+  | Query of int  (** query this element (argument ignored by counters) *)
+
+val mixed :
+  seed:int64 -> shape:Stream.shape -> query_ratio:float -> length:int -> op array
+(** [mixed ~seed ~shape ~query_ratio ~length]: each slot is independently a
+    query with probability [query_ratio]; arguments are drawn from [shape]
+    for updates and queries alike.
+    @raise Invalid_argument unless [query_ratio] lies in [0, 1]. *)
+
+val count_queries : op array -> int
+
+val split : op array -> pieces:int -> op array array
+(** Contiguous near-equal chunks, as {!Stream.chunks}. *)
+
+val describe : query_ratio:float -> Stream.shape -> string

@@ -1,0 +1,41 @@
+type shape =
+  | Uniform of int
+  | Zipf of int * float
+  | Bursty of int * int
+  | Ascending of int
+
+let generate ~seed shape ~length =
+  let g = Rng.Splitmix.create seed in
+  match shape with
+  | Uniform n ->
+      if n <= 0 then invalid_arg "Stream.generate: empty universe";
+      Array.init length (fun _ -> Rng.Splitmix.next_int g n)
+  | Zipf (n, s) ->
+      let z = Zipf.create ~n ~s in
+      Array.init length (fun _ -> Zipf.sample z g)
+  | Bursty (n, burst) ->
+      if n <= 0 || burst <= 0 then invalid_arg "Stream.generate: bad burst parameters";
+      let current = ref (Rng.Splitmix.next_int g n) in
+      Array.init length (fun i ->
+          if i mod burst = 0 then current := Rng.Splitmix.next_int g n;
+          !current)
+  | Ascending n ->
+      if n <= 0 then invalid_arg "Stream.generate: empty universe";
+      Array.init length (fun i -> i mod n)
+
+let chunks a ~pieces =
+  if pieces <= 0 then invalid_arg "Stream.chunks: pieces must be positive";
+  let len = Array.length a in
+  let base = len / pieces and extra = len mod pieces in
+  let start = ref 0 in
+  Array.init pieces (fun i ->
+      let size = base + if i < extra then 1 else 0 in
+      let c = Array.sub a !start size in
+      start := !start + size;
+      c)
+
+let describe = function
+  | Uniform n -> Printf.sprintf "uniform(%d)" n
+  | Zipf (n, s) -> Printf.sprintf "zipf(%d, s=%.2f)" n s
+  | Bursty (n, b) -> Printf.sprintf "bursty(%d, burst=%d)" n b
+  | Ascending n -> Printf.sprintf "ascending(%d)" n

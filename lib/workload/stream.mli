@@ -1,0 +1,25 @@
+(** Stream generators for the experiments.
+
+    All generators are deterministic given their seed (the "weak adversary"
+    of Section 5: the input is drawn independently of the sketch's hash
+    coins, which our experiments guarantee by using disjoint seed streams for
+    workloads and coins). *)
+
+type shape =
+  | Uniform of int  (** universe size *)
+  | Zipf of int * float  (** universe size, skew *)
+  | Bursty of int * int
+      (** [Bursty (universe, burst)] repeats each drawn element [burst]
+          times in a row — stresses the concurrent sketches with temporal
+          locality (contended counters) *)
+  | Ascending of int  (** cycles 0,1,…,universe−1 — a worst case for top-k *)
+
+val generate : seed:int64 -> shape -> length:int -> int array
+(** [generate ~seed shape ~length] materializes a stream. *)
+
+val chunks : 'a array -> pieces:int -> 'a array array
+(** Split a stream into [pieces] nearly equal contiguous chunks, for feeding
+    writer threads. The concatenation of the chunks is the original array.
+    @raise Invalid_argument if [pieces <= 0]. *)
+
+val describe : shape -> string

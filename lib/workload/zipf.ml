@@ -1,0 +1,31 @@
+type t = { cdf : float array; probs : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be non-negative";
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let probs = Array.map (fun w -> w /. total) weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cdf.(i) <- !acc)
+    probs;
+  cdf.(n - 1) <- 1.0;
+  { cdf; probs }
+
+let sample t g =
+  let u = Rng.Splitmix.next_float g in
+  (* First index whose CDF is >= u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let probability t i = t.probs.(i)
+
+let n t = Array.length t.cdf

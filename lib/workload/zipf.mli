@@ -1,0 +1,22 @@
+(** Zipf-distributed element sampler.
+
+    Frequency estimation sketches are motivated by skewed streams (network
+    flows, word frequencies); Zipf(s) over a universe of N elements is the
+    standard model. Element i (1-based) has probability proportional to
+    1/i^s. Sampling uses a precomputed CDF and binary search, O(log N) per
+    draw after O(N) setup. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] prepares a sampler over elements [\[0, n)] with skew
+    [s ≥ 0] ([s = 0] degenerates to uniform).
+    @raise Invalid_argument if [n <= 0] or [s < 0]. *)
+
+val sample : t -> Rng.Splitmix.t -> int
+(** Draw one element; rank 0 is the most frequent. *)
+
+val probability : t -> int -> float
+(** The exact probability of element [i]. *)
+
+val n : t -> int

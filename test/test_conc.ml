@@ -1,0 +1,837 @@
+(* Tests for the real multicore implementations (OCaml domains): the IVL
+   counter, the linearizable counter baselines, PCM, the concurrent Morris
+   counter, the history recorder, and end-to-end IVL checking of recorded
+   hardware executions. *)
+
+module Counter_check = Ivl.Check.Make (Spec.Counter_spec)
+
+let test_barrier_releases_all () =
+  let b = Conc.Barrier.create 4 in
+  let counter = Atomic.make 0 in
+  let results =
+    Conc.Runner.parallel ~domains:4 (fun _ ->
+        ignore (Atomic.fetch_and_add counter 1);
+        Conc.Barrier.await b;
+        (* After the barrier, every arrival must be visible. *)
+        Atomic.get counter)
+  in
+  Array.iter (fun seen -> Alcotest.(check int) "all arrivals visible" 4 seen) results
+
+let test_barrier_reusable () =
+  let b = Conc.Barrier.create 2 in
+  let log = Atomic.make 0 in
+  let _ =
+    Conc.Runner.parallel ~domains:2 (fun _ ->
+        for _ = 1 to 3 do
+          Conc.Barrier.await b;
+          ignore (Atomic.fetch_and_add log 1)
+        done)
+  in
+  Alcotest.(check int) "three rounds of two" 6 (Atomic.get log)
+
+let test_runner_parallel_results () =
+  let results = Conc.Runner.parallel ~domains:5 (fun i -> i * i) in
+  Alcotest.(check (array int)) "per-domain results" [| 0; 1; 4; 9; 16 |] results
+
+(* ------------------------- IVL counter ------------------------- *)
+
+let test_ivl_counter_sequential () =
+  let c = Conc.Ivl_counter.create ~procs:3 in
+  Conc.Ivl_counter.update c ~proc:0 5;
+  Conc.Ivl_counter.update c ~proc:1 7;
+  Conc.Ivl_counter.update c ~proc:0 1;
+  Alcotest.(check int) "sum" 13 (Conc.Ivl_counter.read c);
+  Alcotest.(check int) "slot 0" 6 (Conc.Ivl_counter.read_slot c 0);
+  Alcotest.(check int) "procs" 3 (Conc.Ivl_counter.procs c)
+
+let test_ivl_counter_validation () =
+  let c = Conc.Ivl_counter.create ~procs:2 in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Ivl_counter.update: batch must be non-negative") (fun () ->
+      Conc.Ivl_counter.update c ~proc:0 (-1));
+  Alcotest.check_raises "bad slot"
+    (Invalid_argument "Ivl_counter.update: no such process slot") (fun () ->
+      Conc.Ivl_counter.update c ~proc:2 1)
+
+let test_ivl_counter_concurrent_total () =
+  let domains = 4 and per_domain = 10_000 in
+  let c = Conc.Ivl_counter.create ~procs:domains in
+  let _ =
+    Conc.Runner.parallel ~domains (fun i ->
+        for _ = 1 to per_domain do
+          Conc.Ivl_counter.update c ~proc:i 1
+        done)
+  in
+  Alcotest.(check int) "final total exact" (domains * per_domain) (Conc.Ivl_counter.read c)
+
+let test_ivl_counter_reads_bounded_and_monotone () =
+  (* While writers run, every read lies in [0, total] and a single reader's
+     successive reads never decrease (each slot is monotone and the reader
+     rescans in the same order). *)
+  let writers = 3 and per_writer = 20_000 in
+  let c = Conc.Ivl_counter.create ~procs:writers in
+  let violations = Atomic.make 0 in
+  let _ =
+    Conc.Runner.parallel ~domains:(writers + 1) (fun i ->
+        if i < writers then
+          for _ = 1 to per_writer do
+            Conc.Ivl_counter.update c ~proc:i 1
+          done
+        else begin
+          let prev = ref 0 in
+          for _ = 1 to 2_000 do
+            let v = Conc.Ivl_counter.read c in
+            if v < !prev || v < 0 || v > writers * per_writer then
+              ignore (Atomic.fetch_and_add violations 1);
+            prev := v
+          done
+        end)
+  in
+  Alcotest.(check int) "no envelope or monotonicity violations" 0
+    (Atomic.get violations)
+
+(* ------------------------- linearizable counters ------------------------- *)
+
+let test_locked_counter_concurrent () =
+  let c = Conc.Locked_counter.create () in
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun _ ->
+        for _ = 1 to 5_000 do
+          Conc.Locked_counter.update c 2
+        done)
+  in
+  Alcotest.(check int) "exact total" 40_000 (Conc.Locked_counter.read c)
+
+let test_faa_counter_concurrent () =
+  let c = Conc.Faa_counter.create () in
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun _ ->
+        for _ = 1 to 5_000 do
+          Conc.Faa_counter.update c 3
+        done)
+  in
+  Alcotest.(check int) "exact total" 60_000 (Conc.Faa_counter.read c)
+
+(* ------------------------- PCM ------------------------- *)
+
+let test_pcm_sequential_matches_reference () =
+  let family = Hashing.Family.seeded ~seed:77L ~rows:3 ~width:32 in
+  let pcm = Conc.Pcm.create ~family in
+  let reference = Sketches.Countmin.create ~family in
+  let stream = Workload.Stream.generate ~seed:78L (Workload.Stream.Zipf (60, 1.1)) ~length:3000 in
+  Array.iter
+    (fun a ->
+      Conc.Pcm.update pcm a;
+      Sketches.Countmin.update reference a)
+    stream;
+  for a = 0 to 59 do
+    Alcotest.(check int)
+      (Printf.sprintf "element %d" a)
+      (Sketches.Countmin.query reference a)
+      (Conc.Pcm.query pcm a)
+  done;
+  Alcotest.(check int) "update count" 3000 (Conc.Pcm.updates pcm)
+
+let test_pcm_concurrent_ingest_exact_cells () =
+  (* Atomic increments: after all writers join, the matrix equals the
+     sequential matrix on the same multiset of updates. *)
+  let family = Hashing.Family.seeded ~seed:80L ~rows:2 ~width:16 in
+  let pcm = Conc.Pcm.create ~family in
+  let reference = Sketches.Countmin.create ~family in
+  let stream = Workload.Stream.generate ~seed:81L (Workload.Stream.Uniform 40) ~length:8000 in
+  let chunks = Workload.Stream.chunks stream ~pieces:4 in
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun i -> Array.iter (Conc.Pcm.update pcm) chunks.(i))
+  in
+  Array.iter (Sketches.Countmin.update reference) stream;
+  let cells = Conc.Pcm.snapshot_cells pcm in
+  for row = 0 to 1 do
+    for col = 0 to 15 do
+      Alcotest.(check int)
+        (Printf.sprintf "cell (%d,%d)" row col)
+        (Sketches.Countmin.cell reference ~row ~col)
+        cells.(row).(col)
+    done
+  done
+
+let test_pcm_concurrent_queries_bounded () =
+  (* Readers racing writers: CM never under-estimates, and an exact atomic
+     oracle read before the query starts lower-bounds f_start. *)
+  let family = Hashing.Family.seeded ~seed:90L ~rows:4 ~width:64 in
+  let pcm = Conc.Pcm.create ~family in
+  let probe = 0 in
+  let oracle = Atomic.make 0 in
+  let stream = Workload.Stream.generate ~seed:91L (Workload.Stream.Zipf (50, 1.3)) ~length:40_000 in
+  let chunks = Workload.Stream.chunks stream ~pieces:3 in
+  let violations = Atomic.make 0 in
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun i ->
+        if i < 3 then
+          Array.iter
+            (fun a ->
+              Conc.Pcm.update pcm a;
+              if a = probe then ignore (Atomic.fetch_and_add oracle 1))
+            chunks.(i)
+        else
+          for _ = 1 to 3_000 do
+            let before = Atomic.get oracle in
+            let est = Conc.Pcm.query pcm probe in
+            if est < before then ignore (Atomic.fetch_and_add violations 1)
+          done)
+  in
+  Alcotest.(check int) "no under-estimates" 0 (Atomic.get violations)
+
+let test_locked_countmin_concurrent () =
+  let family = Hashing.Family.seeded ~seed:95L ~rows:2 ~width:16 in
+  let cm = Conc.Locked_countmin.create ~family in
+  let stream = Workload.Stream.generate ~seed:96L (Workload.Stream.Uniform 20) ~length:4000 in
+  let chunks = Workload.Stream.chunks stream ~pieces:4 in
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun i ->
+        Array.iter (Conc.Locked_countmin.update cm) chunks.(i))
+  in
+  Alcotest.(check int) "updates" 4000 (Conc.Locked_countmin.updates cm);
+  let reference = Sketches.Countmin.create ~family in
+  Array.iter (Sketches.Countmin.update reference) stream;
+  for a = 0 to 19 do
+    Alcotest.(check int)
+      (Printf.sprintf "element %d" a)
+      (Sketches.Countmin.query reference a)
+      (Conc.Locked_countmin.query cm a)
+  done
+
+(* ------------------------- Morris ------------------------- *)
+
+let test_morris_conc_sequential_path () =
+  let m = Conc.Morris_conc.create ~seed:5L ~domains:1 () in
+  Alcotest.(check (float 0.0)) "empty" 0.0 (Conc.Morris_conc.estimate m);
+  Conc.Morris_conc.update m ~domain:0;
+  Alcotest.(check (float 0.0)) "first event bumps" 1.0 (Conc.Morris_conc.estimate m)
+
+let test_morris_conc_concurrent_ballpark () =
+  let domains = 4 and per_domain = 50_000 in
+  let n = domains * per_domain in
+  let m = Conc.Morris_conc.create ~seed:6L ~domains () in
+  let _ =
+    Conc.Runner.parallel ~domains (fun i ->
+        for _ = 1 to per_domain do
+          Conc.Morris_conc.update m ~domain:i
+        done)
+  in
+  let est = Conc.Morris_conc.estimate m in
+  (* Base-2 Morris has large variance and the CAS-drop policy biases low
+     under contention; accept a factor-8 band either way. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.0f within [%d, %d]" est (n / 8) (n * 8))
+    true
+    (est >= float_of_int (n / 8) && est <= float_of_int (n * 8));
+  Alcotest.(check bool) "exponent sane" true (Conc.Morris_conc.exponent m <= 63)
+
+let test_morris_conc_validation () =
+  let m = Conc.Morris_conc.create ~seed:1L ~domains:2 () in
+  Alcotest.check_raises "domain range"
+    (Invalid_argument "Morris_conc.update: no such domain") (fun () ->
+      Conc.Morris_conc.update m ~domain:5)
+
+(* ------------------------- recorder ------------------------- *)
+
+let test_recorder_well_formed_and_ordered () =
+  let rec_ = Conc.Recorder.create ~domains:3 in
+  let c = Conc.Ivl_counter.create ~procs:3 in
+  let _ =
+    Conc.Runner.parallel ~domains:3 (fun i ->
+        for k = 1 to 5 do
+          if i = 2 then
+            ignore
+              (Conc.Recorder.record_query rec_ ~domain:i ~obj:0 0 (fun () ->
+                   Conc.Ivl_counter.read c))
+          else
+            Conc.Recorder.record_update rec_ ~domain:i ~obj:0 k (fun () ->
+                Conc.Ivl_counter.update c ~proc:i k)
+        done)
+  in
+  let h = Conc.Recorder.history rec_ in
+  (match Hist.History.well_formed h with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "15 completed ops" 15 (List.length (Hist.History.completed h))
+
+let test_recorder_program_order_preserved () =
+  let rec_ = Conc.Recorder.create ~domains:2 in
+  let _ =
+    Conc.Runner.parallel ~domains:2 (fun i ->
+        for k = 0 to 4 do
+          Conc.Recorder.record_update rec_ ~domain:i ~obj:0 ((10 * i) + k) (fun () -> ())
+        done)
+  in
+  let h = Conc.Recorder.history rec_ in
+  (* Within each domain, update arguments must appear in issue order. *)
+  List.iter
+    (fun d ->
+      let args =
+        List.filter_map
+          (fun (op : Test_helpers.iop) ->
+            if op.Hist.Op.proc = d then
+              match op.Hist.Op.kind with Hist.Op.Update u -> Some u | _ -> None
+            else None)
+          (Hist.History.ops h)
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "domain %d order" d)
+        (List.init 5 (fun k -> (10 * d) + k))
+        args)
+    [ 0; 1 ]
+
+(* End-to-end Lemma 10 on hardware: recorded concurrent executions of the
+   IVL counter are always IVL. Small op counts keep the checker exact. *)
+let test_recorded_ivl_counter_histories_are_ivl () =
+  for round = 1 to 30 do
+    let rec_ = Conc.Recorder.create ~domains:3 in
+    let c = Conc.Ivl_counter.create ~procs:2 in
+    let _ =
+      Conc.Runner.parallel ~domains:3 (fun i ->
+          if i < 2 then
+            for k = 1 to 3 do
+              Conc.Recorder.record_update rec_ ~domain:i ~obj:0 k (fun () ->
+                  Conc.Ivl_counter.update c ~proc:i k)
+            done
+          else
+            for _ = 1 to 3 do
+              ignore
+                (Conc.Recorder.record_query rec_ ~domain:i ~obj:0 0 (fun () ->
+                     Conc.Ivl_counter.read c))
+            done)
+    in
+    let h = Conc.Recorder.history rec_ in
+    if not (Counter_check.is_ivl h) then
+      Alcotest.failf "recorded execution %d not IVL:\n%s" round
+        (Test_helpers.show_history h)
+  done
+
+(* End-to-end Lemma 7 on hardware: recorded concurrent PCM executions are
+   IVL w.r.t. the CM spec sharing the same hash family. *)
+let test_recorded_pcm_histories_are_ivl () =
+  let family = Hashing.Family.seeded ~seed:123L ~rows:2 ~width:4 in
+  let module Cm = Spec.Countmin_spec.Fixed (struct
+    let family = family
+  end) in
+  let module Cm_check = Ivl.Check.Make (Cm) in
+  for round = 1 to 30 do
+    let rec_ = Conc.Recorder.create ~domains:3 in
+    let pcm = Conc.Pcm.create ~family in
+    let _ =
+      Conc.Runner.parallel ~domains:3 (fun i ->
+          if i < 2 then
+            for k = 0 to 2 do
+              let a = (i + k) mod 3 in
+              Conc.Recorder.record_update rec_ ~domain:i ~obj:0 a (fun () ->
+                  Conc.Pcm.update pcm a)
+            done
+          else
+            for a = 0 to 2 do
+              ignore
+                (Conc.Recorder.record_query rec_ ~domain:i ~obj:0 a (fun () ->
+                     Conc.Pcm.query pcm a))
+            done)
+    in
+    let h = Conc.Recorder.history rec_ in
+    if not (Cm_check.is_ivl h) then
+      Alcotest.failf "recorded PCM execution %d not IVL:\n%s" round
+        (Test_helpers.show_history h)
+  done
+
+
+(* ------------------------- striped quantiles ------------------------- *)
+
+let test_striped_quantiles_sequential () =
+  let q = Conc.Striped_quantiles.create ~k:64 ~publish_every:8 ~seed:1L ~domains:2 () in
+  for x = 1 to 100 do
+    Conc.Striped_quantiles.update q ~domain:(x mod 2) x
+  done;
+  Conc.Striped_quantiles.flush_all q;
+  Alcotest.(check int) "all published" 100 (Conc.Striped_quantiles.published q);
+  Alcotest.(check int) "rank exact below capacity" 50 (Conc.Striped_quantiles.rank q 50);
+  Alcotest.(check int) "ingested per stripe" 50 (Conc.Striped_quantiles.ingested q ~domain:0)
+
+let test_striped_quantiles_publish_batching () =
+  let q = Conc.Striped_quantiles.create ~k:64 ~publish_every:10 ~seed:2L ~domains:1 () in
+  for x = 1 to 9 do
+    Conc.Striped_quantiles.update q ~domain:0 x
+  done;
+  Alcotest.(check int) "nothing published below the batch" 0
+    (Conc.Striped_quantiles.published q);
+  Conc.Striped_quantiles.update q ~domain:0 10;
+  Alcotest.(check int) "batch published" 10 (Conc.Striped_quantiles.published q);
+  Conc.Striped_quantiles.update q ~domain:0 11;
+  Alcotest.(check int) "stays at batch boundary" 10 (Conc.Striped_quantiles.published q);
+  Conc.Striped_quantiles.flush q ~domain:0;
+  Alcotest.(check int) "flush publishes the tail" 11 (Conc.Striped_quantiles.published q)
+
+let test_striped_quantiles_concurrent_rank_envelope () =
+  (* Writers ingest an ascending stream; a reader checks that rank estimates
+     stay within the published/ingested envelope (±εn sketch error). *)
+  let domains = 3 in
+  let per_domain = 10_000 in
+  let q =
+    Conc.Striped_quantiles.create ~k:256 ~publish_every:32 ~seed:3L ~domains ()
+  in
+  let violations = Atomic.make 0 in
+  let _ =
+    Conc.Runner.parallel ~domains:(domains + 1) (fun i ->
+        if i < domains then
+          for x = 1 to per_domain do
+            Conc.Striped_quantiles.update q ~domain:i x
+          done
+        else
+          for _ = 1 to 500 do
+            (* rank over everything is at most total ingested and at least 0;
+               probe the top value so true rank = published count. *)
+            let r = Conc.Striped_quantiles.rank q per_domain in
+            let total = domains * per_domain in
+            let slack = (total / 20) + (domains * 32) in
+            if r < 0 || r > total + slack then
+              ignore (Atomic.fetch_and_add violations 1)
+          done)
+  in
+  Alcotest.(check int) "no envelope violations" 0 (Atomic.get violations);
+  Conc.Striped_quantiles.flush_all q;
+  let final = Conc.Striped_quantiles.rank q per_domain in
+  let total = domains * per_domain in
+  Alcotest.(check bool)
+    (Printf.sprintf "final rank %d within 5%% of %d" final total)
+    true
+    (abs (final - total) <= total / 20)
+
+let test_striped_quantiles_accuracy_vs_exact () =
+  let domains = 4 in
+  let q = Conc.Striped_quantiles.create ~k:256 ~publish_every:64 ~seed:4L ~domains () in
+  let stream =
+    Workload.Stream.generate ~seed:5L (Workload.Stream.Uniform 10_000) ~length:40_000
+  in
+  let chunks = Workload.Stream.chunks stream ~pieces:domains in
+  let _ =
+    Conc.Runner.parallel ~domains (fun i ->
+        Array.iter (fun x -> Conc.Striped_quantiles.update q ~domain:i x) chunks.(i))
+  in
+  Conc.Striped_quantiles.flush_all q;
+  let exact = Sketches.Exact.create () in
+  Array.iter (Sketches.Exact.update exact) stream;
+  List.iter
+    (fun x ->
+      let est = Conc.Striped_quantiles.rank q x and tru = Sketches.Exact.rank exact x in
+      Alcotest.(check bool)
+        (Printf.sprintf "rank(%d): |%d-%d| <= 2%%n" x est tru)
+        true
+        (abs (est - tru) <= 800))
+    [ 1000; 5000; 9000 ];
+  let med = Conc.Striped_quantiles.quantile q 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "median %d near 5000" med)
+    true
+    (med > 4200 && med < 5800)
+
+let test_striped_quantiles_validation () =
+  let q = Conc.Striped_quantiles.create ~seed:1L ~domains:2 () in
+  Alcotest.check_raises "bad domain"
+    (Invalid_argument "Stripes: no such domain") (fun () ->
+      Conc.Striped_quantiles.update q ~domain:7 1);
+  Alcotest.check_raises "empty quantile" Not_found (fun () ->
+      ignore (Conc.Striped_quantiles.quantile q 0.5))
+
+(* ------------------------- buffered (delegation) PCM ------------------------- *)
+
+let test_buffered_pcm_flush_semantics () =
+  let family = Hashing.Family.seeded ~seed:10L ~rows:2 ~width:16 in
+  let b = Conc.Buffered_pcm.create ~flush_every:5 ~family ~domains:1 () in
+  for _ = 1 to 4 do
+    Conc.Buffered_pcm.update b ~domain:0 7
+  done;
+  Alcotest.(check int) "buffered, invisible" 0 (Conc.Buffered_pcm.query b 7);
+  Alcotest.(check int) "pending" 4 (Conc.Buffered_pcm.buffered b ~domain:0);
+  Conc.Buffered_pcm.update b ~domain:0 7;
+  Alcotest.(check int) "auto-flushed at budget" 5 (Conc.Buffered_pcm.query b 7);
+  Alcotest.(check int) "buffer drained" 0 (Conc.Buffered_pcm.buffered b ~domain:0)
+
+let test_buffered_pcm_matches_pcm_after_flush () =
+  let family = Hashing.Family.seeded ~seed:11L ~rows:3 ~width:32 in
+  let b = Conc.Buffered_pcm.create ~flush_every:64 ~family ~domains:4 () in
+  let reference = Sketches.Countmin.create ~family in
+  let stream =
+    Workload.Stream.generate ~seed:12L (Workload.Stream.Zipf (100, 1.2)) ~length:20_000
+  in
+  let chunks = Workload.Stream.chunks stream ~pieces:4 in
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun i ->
+        Array.iter (fun a -> Conc.Buffered_pcm.update b ~domain:i a) chunks.(i))
+  in
+  Conc.Buffered_pcm.flush_all b;
+  Array.iter (Sketches.Countmin.update reference) stream;
+  Alcotest.(check int) "updates all flushed" 20_000 (Conc.Buffered_pcm.flushed_updates b);
+  for a = 0 to 99 do
+    Alcotest.(check int)
+      (Printf.sprintf "element %d" a)
+      (Sketches.Countmin.query reference a)
+      (Conc.Buffered_pcm.query b a)
+  done
+
+let test_buffered_pcm_never_overcounts_ingest () =
+  (* Mid-flight queries see at most what has been ingested (flushes only move
+     buffered counts, never invent them). *)
+  let family = Hashing.Family.seeded ~seed:13L ~rows:2 ~width:8 in
+  let b = Conc.Buffered_pcm.create ~flush_every:16 ~family ~domains:2 () in
+  let probe = 3 in
+  let violations = Atomic.make 0 in
+  let per_domain = 20_000 in
+  let _ =
+    Conc.Runner.parallel ~domains:3 (fun i ->
+        if i < 2 then
+          for _ = 1 to per_domain do
+            Conc.Buffered_pcm.update b ~domain:i probe
+          done
+        else
+          for _ = 1 to 2_000 do
+            if Conc.Buffered_pcm.query b probe > 2 * per_domain then
+              ignore (Atomic.fetch_and_add violations 1)
+          done)
+  in
+  Alcotest.(check int) "no overcount" 0 (Atomic.get violations)
+
+
+(* ------------------------- concurrent HyperLogLog ------------------------- *)
+
+let test_hll_conc_matches_sequential () =
+  (* Same seed, same elements, ingested sequentially: register files must
+     coincide exactly. *)
+  let seed = 42L in
+  let c = Conc.Hll_conc.create ~p:10 ~seed () in
+  let s = Sketches.Hyperloglog.create ~p:10 ~seed () in
+  for x = 1 to 5_000 do
+    Conc.Hll_conc.update c x;
+    Sketches.Hyperloglog.update s x
+  done;
+  Alcotest.(check (array int)) "identical registers"
+    (Sketches.Hyperloglog.registers s)
+    (Sketches.Hyperloglog.registers (Conc.Hll_conc.to_sequential c))
+
+let test_hll_conc_concurrent_accuracy () =
+  let seed = 43L in
+  let c = Conc.Hll_conc.create ~p:12 ~seed () in
+  let true_distinct = 80_000 in
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun i ->
+        let lo = (i * true_distinct / 4) + 1 in
+        let hi = (i + 1) * true_distinct / 4 in
+        for x = lo to hi do
+          Conc.Hll_conc.update c x;
+          (* Duplicates across domains must not inflate the count. *)
+          if x mod 5 = 0 then Conc.Hll_conc.update c ((x mod 100) + 1)
+        done)
+  in
+  let est = Conc.Hll_conc.estimate c in
+  let rel = abs_float (est -. float_of_int true_distinct) /. float_of_int true_distinct in
+  Alcotest.(check bool) (Printf.sprintf "relative error %.3f < 0.06" rel) true (rel < 0.06)
+
+let test_hll_conc_estimates_monotone_under_ingest () =
+  let c = Conc.Hll_conc.create ~p:10 ~seed:44L () in
+  let violations = Atomic.make 0 in
+  let _ =
+    Conc.Runner.parallel ~domains:3 (fun i ->
+        if i < 2 then
+          for x = 1 to 50_000 do
+            Conc.Hll_conc.update c ((i * 50_000) + x)
+          done
+        else begin
+          let prev = ref 0.0 in
+          for _ = 1 to 2_000 do
+            let e = Conc.Hll_conc.estimate c in
+            (* Small-range linear counting is monotone too; allow epsilon for
+               float noise. *)
+            if e < !prev -. 1e-6 then ignore (Atomic.fetch_and_add violations 1);
+            prev := e
+          done
+        end)
+  in
+  Alcotest.(check int) "monotone estimates" 0 (Atomic.get violations)
+
+let test_hll_conc_merge_from () =
+  let seed = 45L in
+  let c = Conc.Hll_conc.create ~p:10 ~seed () in
+  let local = Sketches.Hyperloglog.create ~p:10 ~seed () in
+  for x = 1 to 10_000 do
+    Sketches.Hyperloglog.update local x
+  done;
+  Conc.Hll_conc.merge_from c local;
+  let est = Conc.Hll_conc.estimate c in
+  let rel = abs_float (est -. 10_000.0) /. 10_000.0 in
+  Alcotest.(check bool) (Printf.sprintf "published batch visible (%.3f)" rel) true
+    (rel < 0.1)
+
+(* ------------------------- large-scale recorded validation ------------------------- *)
+
+let test_recorded_large_execution_via_monotone_checker () =
+  (* Thousands of recorded operations — far past the exact checker's cap —
+     validated with the monotone fast path (Ivl.Monotone): every concurrent
+     read of the IVL counter lies within its envelope. *)
+  let module Mono = Ivl.Monotone.Make (Spec.Counter_spec) in
+  let writers = 3 in
+  let rec_ = Conc.Recorder.create ~domains:(writers + 1) in
+  let c = Conc.Ivl_counter.create ~procs:writers in
+  let _ =
+    Conc.Runner.parallel ~domains:(writers + 1) (fun i ->
+        if i < writers then
+          for k = 1 to 2_000 do
+            Conc.Recorder.record_update rec_ ~domain:i ~obj:0 (k mod 7) (fun () ->
+                Conc.Ivl_counter.update c ~proc:i (k mod 7))
+          done
+        else
+          for _ = 1 to 500 do
+            ignore
+              (Conc.Recorder.record_query rec_ ~domain:i ~obj:0 0 (fun () ->
+                   Conc.Ivl_counter.read c))
+          done)
+  in
+  let h = Conc.Recorder.history rec_ in
+  Alcotest.(check int) "6500 ops recorded" 6500 (List.length (Hist.History.completed h));
+  match Mono.violations h with
+  | [] -> ()
+  | e :: _ ->
+      Alcotest.failf "envelope violation: ret=%s not in [%d,%d]"
+        (match e.Mono.op.Hist.Op.ret with Some v -> string_of_int v | None -> "?")
+        e.Mono.low e.Mono.high
+
+
+(* ------------------------- striped top-k ------------------------- *)
+
+let test_striped_topk_sequential () =
+  let t = Conc.Striped_topk.create ~capacity:16 ~publish_every:4 ~seed:1L ~domains:2 () in
+  List.iter (fun a -> Conc.Striped_topk.update t ~domain:0 a) [ 1; 1; 1; 2 ];
+  List.iter (fun a -> Conc.Striped_topk.update t ~domain:1 a) [ 1; 3; 3; 2 ];
+  (* Both stripes hit their publish batch exactly. *)
+  Alcotest.(check int) "published" 8 (Conc.Striped_topk.published t);
+  Alcotest.(check int) "merged count of 1" 4 (Conc.Striped_topk.query t 1);
+  Alcotest.(check int) "merged count of 3" 2 (Conc.Striped_topk.query t 3);
+  match Conc.Striped_topk.top t ~k:1 () with
+  | [ (elt, count) ] ->
+      Alcotest.(check int) "top element" 1 elt;
+      Alcotest.(check int) "top count" 4 count
+  | _ -> Alcotest.fail "expected a single top entry"
+
+let test_striped_topk_concurrent_recall () =
+  let domains = 4 in
+  let t =
+    Conc.Striped_topk.create ~capacity:128 ~publish_every:64 ~seed:2L ~domains ()
+  in
+  let stream =
+    Workload.Stream.generate ~seed:3L (Workload.Stream.Zipf (5_000, 1.4)) ~length:60_000
+  in
+  let chunks = Workload.Stream.chunks stream ~pieces:domains in
+  let _ =
+    Conc.Runner.parallel ~domains (fun i ->
+        Array.iter (fun a -> Conc.Striped_topk.update t ~domain:i a) chunks.(i))
+  in
+  Conc.Striped_topk.flush_all t;
+  let exact = Sketches.Exact.create () in
+  Array.iter (Sketches.Exact.update exact) stream;
+  (* Every 1% heavy hitter is found with a count that never under-estimates
+     by more than the guaranteed merge error. *)
+  let err = Conc.Striped_topk.guaranteed_error t in
+  List.iter
+    (fun (elt, f) ->
+      let est = Conc.Striped_topk.query t elt in
+      Alcotest.(check bool)
+        (Printf.sprintf "heavy %d: est %d vs true %d (err bound %d)" elt est f err)
+        true
+        (est >= f - err && est <= f + err))
+    (Sketches.Exact.heavy_hitters exact ~threshold:0.01);
+  let top10 = Conc.Striped_topk.top t ~k:10 () in
+  Alcotest.(check int) "top-10 size" 10 (List.length top10);
+  (* The true #1 must appear first (zipf head is far above the error). *)
+  match top10 with
+  | (elt, _) :: _ -> Alcotest.(check int) "true head found" 0 elt
+  | [] -> Alcotest.fail "empty top"
+
+let test_striped_topk_validation () =
+  let t = Conc.Striped_topk.create ~seed:1L ~domains:2 () in
+  Alcotest.check_raises "bad domain"
+    (Invalid_argument "Stripes: no such domain") (fun () ->
+      Conc.Striped_topk.update t ~domain:9 1);
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Striped_topk.create: capacity must be positive") (fun () ->
+      ignore (Conc.Striped_topk.create ~capacity:0 ~seed:1L ~domains:1 ()))
+
+
+(* ------------------------- striped KMV + cross-validation ------------------------- *)
+
+let test_striped_kmv_accuracy () =
+  let domains = 4 in
+  let t = Conc.Striped_kmv.create ~k:512 ~publish_every:128 ~seed:77L ~domains () in
+  let true_distinct = 60_000 in
+  let _ =
+    Conc.Runner.parallel ~domains (fun i ->
+        (* Overlapping slices: every domain sees half the universe. *)
+        for x = 1 to true_distinct do
+          if (x + i) mod 2 = 0 then Conc.Striped_kmv.update t ~domain:i x
+        done;
+        for x = 1 to true_distinct do
+          if (x + i) mod 2 = 1 then Conc.Striped_kmv.update t ~domain:i x
+        done)
+  in
+  Conc.Striped_kmv.flush_all t;
+  let est = Conc.Striped_kmv.estimate t in
+  let rel = abs_float (est -. float_of_int true_distinct) /. float_of_int true_distinct in
+  Alcotest.(check bool) (Printf.sprintf "relative error %.3f < 0.2" rel) true (rel < 0.2);
+  Alcotest.(check bool) "merged view bounded by k" true
+    (Conc.Striped_kmv.retained t <= 512)
+
+let test_striped_kmv_exact_below_k () =
+  let t = Conc.Striped_kmv.create ~k:128 ~publish_every:4 ~seed:78L ~domains:2 () in
+  for x = 1 to 40 do
+    Conc.Striped_kmv.update t ~domain:(x mod 2) x
+  done;
+  Conc.Striped_kmv.flush_all t;
+  Alcotest.(check (float 0.0)) "exact union below k" 40.0 (Conc.Striped_kmv.estimate t)
+
+let test_distinct_counters_agree () =
+  (* Two structurally different distinct counters (HLL and KMV) on the same
+     concurrent stream must agree within their combined error budgets. *)
+  let hll = Conc.Hll_conc.create ~p:12 ~seed:79L () in
+  let kmv = Conc.Striped_kmv.create ~k:512 ~seed:80L ~domains:4 () in
+  let stream =
+    Workload.Stream.generate ~seed:81L (Workload.Stream.Uniform 1_000_000) ~length:50_000
+  in
+  let chunks = Workload.Stream.chunks stream ~pieces:4 in
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun i ->
+        Array.iter
+          (fun x ->
+            Conc.Hll_conc.update hll x;
+            Conc.Striped_kmv.update kmv ~domain:i x)
+          chunks.(i))
+  in
+  Conc.Striped_kmv.flush_all kmv;
+  let a = Conc.Hll_conc.estimate hll and b = Conc.Striped_kmv.estimate kmv in
+  let rel = abs_float (a -. b) /. Float.max a b in
+  Alcotest.(check bool)
+    (Printf.sprintf "HLL %.0f vs KMV %.0f agree within 15%%" a b)
+    true (rel < 0.15)
+
+
+let test_pcm_update_many_equivalence () =
+  let family = Hashing.Family.seeded ~seed:200L ~rows:3 ~width:16 in
+  let a = Conc.Pcm.create ~family and b = Conc.Pcm.create ~family in
+  for _ = 1 to 7 do
+    Conc.Pcm.update a 5
+  done;
+  Conc.Pcm.update_many b 5 ~count:7;
+  for x = 0 to 15 do
+    Alcotest.(check int) (Printf.sprintf "query %d equal" x) (Conc.Pcm.query a x)
+      (Conc.Pcm.query b x)
+  done;
+  Alcotest.(check int) "n equal" (Conc.Pcm.updates a) (Conc.Pcm.updates b);
+  Conc.Pcm.update_many b 5 ~count:0;
+  Alcotest.(check int) "count 0 is a no-op" 7 (Conc.Pcm.updates b);
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Pcm.update_many: count must be non-negative") (fun () ->
+      Conc.Pcm.update_many b 5 ~count:(-1))
+
+let test_runner_propagates_exceptions () =
+  match Conc.Runner.parallel ~domains:2 (fun i -> if i = 1 then failwith "boom" else 0) with
+  | exception Failure m -> Alcotest.(check string) "exception surfaces" "boom" m
+  | _ -> Alcotest.fail "expected the domain's exception"
+
+let () =
+  Alcotest.run "conc"
+    [
+      ( "infrastructure",
+        [
+          Alcotest.test_case "barrier releases all" `Quick test_barrier_releases_all;
+          Alcotest.test_case "barrier reusable" `Quick test_barrier_reusable;
+          Alcotest.test_case "runner results" `Quick test_runner_parallel_results;
+          Alcotest.test_case "runner propagates exceptions" `Quick
+            test_runner_propagates_exceptions;
+        ] );
+      ( "ivl counter",
+        [
+          Alcotest.test_case "sequential" `Quick test_ivl_counter_sequential;
+          Alcotest.test_case "validation" `Quick test_ivl_counter_validation;
+          Alcotest.test_case "concurrent total" `Quick test_ivl_counter_concurrent_total;
+          Alcotest.test_case "reads bounded and monotone" `Quick
+            test_ivl_counter_reads_bounded_and_monotone;
+        ] );
+      ( "linearizable counters",
+        [
+          Alcotest.test_case "locked" `Quick test_locked_counter_concurrent;
+          Alcotest.test_case "faa" `Quick test_faa_counter_concurrent;
+        ] );
+      ( "pcm",
+        [
+          Alcotest.test_case "sequential reference" `Quick
+            test_pcm_sequential_matches_reference;
+          Alcotest.test_case "concurrent cells exact" `Quick
+            test_pcm_concurrent_ingest_exact_cells;
+          Alcotest.test_case "concurrent queries bounded" `Quick
+            test_pcm_concurrent_queries_bounded;
+          Alcotest.test_case "locked baseline" `Quick test_locked_countmin_concurrent;
+          Alcotest.test_case "update_many equivalence" `Quick
+            test_pcm_update_many_equivalence;
+        ] );
+      ( "morris",
+        [
+          Alcotest.test_case "sequential path" `Quick test_morris_conc_sequential_path;
+          Alcotest.test_case "concurrent ballpark" `Quick
+            test_morris_conc_concurrent_ballpark;
+          Alcotest.test_case "validation" `Quick test_morris_conc_validation;
+        ] );
+      ( "striped quantiles",
+        [
+          Alcotest.test_case "sequential" `Quick test_striped_quantiles_sequential;
+          Alcotest.test_case "publish batching" `Quick
+            test_striped_quantiles_publish_batching;
+          Alcotest.test_case "concurrent envelope" `Quick
+            test_striped_quantiles_concurrent_rank_envelope;
+          Alcotest.test_case "accuracy vs exact" `Quick
+            test_striped_quantiles_accuracy_vs_exact;
+          Alcotest.test_case "validation" `Quick test_striped_quantiles_validation;
+        ] );
+      ( "buffered pcm",
+        [
+          Alcotest.test_case "flush semantics" `Quick test_buffered_pcm_flush_semantics;
+          Alcotest.test_case "matches pcm after flush" `Quick
+            test_buffered_pcm_matches_pcm_after_flush;
+          Alcotest.test_case "never overcounts" `Quick
+            test_buffered_pcm_never_overcounts_ingest;
+        ] );
+      ( "striped top-k",
+        [
+          Alcotest.test_case "sequential" `Quick test_striped_topk_sequential;
+          Alcotest.test_case "concurrent recall" `Quick test_striped_topk_concurrent_recall;
+          Alcotest.test_case "validation" `Quick test_striped_topk_validation;
+        ] );
+      ( "striped kmv",
+        [
+          Alcotest.test_case "accuracy" `Quick test_striped_kmv_accuracy;
+          Alcotest.test_case "exact below k" `Quick test_striped_kmv_exact_below_k;
+          Alcotest.test_case "distinct counters agree" `Quick
+            test_distinct_counters_agree;
+        ] );
+      ( "concurrent hyperloglog",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_hll_conc_matches_sequential;
+          Alcotest.test_case "concurrent accuracy" `Quick
+            test_hll_conc_concurrent_accuracy;
+          Alcotest.test_case "monotone estimates" `Quick
+            test_hll_conc_estimates_monotone_under_ingest;
+          Alcotest.test_case "merge_from" `Quick test_hll_conc_merge_from;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "well-formed" `Quick test_recorder_well_formed_and_ordered;
+          Alcotest.test_case "program order" `Quick test_recorder_program_order_preserved;
+          Alcotest.test_case "recorded IVL counter is IVL" `Quick
+            test_recorded_ivl_counter_histories_are_ivl;
+          Alcotest.test_case "recorded PCM is IVL" `Quick
+            test_recorded_pcm_histories_are_ivl;
+          Alcotest.test_case "large execution via monotone checker" `Quick
+            test_recorded_large_execution_via_monotone_checker;
+        ] );
+    ]

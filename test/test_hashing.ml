@@ -1,0 +1,239 @@
+(* Tests for field arithmetic, universal hashing, families, tabulation. *)
+
+let p = Hashing.Prime_field.p
+
+let test_field_constants () =
+  Alcotest.(check int) "p is 2^61-1" ((1 lsl 61) - 1) p
+
+let test_reduce () =
+  Alcotest.(check int) "reduce 0" 0 (Hashing.Prime_field.reduce 0);
+  Alcotest.(check int) "reduce p" 0 (Hashing.Prime_field.reduce p);
+  Alcotest.(check int) "reduce p+1" 1 (Hashing.Prime_field.reduce (p + 1));
+  Alcotest.(check int) "reduce p-1" (p - 1) (Hashing.Prime_field.reduce (p - 1))
+
+let test_add () =
+  Alcotest.(check int) "add wraps" 0 (Hashing.Prime_field.add (p - 1) 1);
+  Alcotest.(check int) "add small" 7 (Hashing.Prime_field.add 3 4)
+
+(* Reference multiplication through Zarith-free 128-bit-ish splitting using
+   Int64 pairs is overkill; instead check against slow modular exponentiation
+   identities and small cases. *)
+let test_mul_small () =
+  Alcotest.(check int) "3*4" 12 (Hashing.Prime_field.mul 3 4);
+  Alcotest.(check int) "0*x" 0 (Hashing.Prime_field.mul 0 123456);
+  Alcotest.(check int) "1*x" 123456 (Hashing.Prime_field.mul 1 123456)
+
+let test_mul_wraps () =
+  (* (p-1)² mod p = 1 since p-1 ≡ -1. *)
+  Alcotest.(check int) "(-1)²=1" 1 (Hashing.Prime_field.mul (p - 1) (p - 1));
+  (* (p-1)·2 mod p = p-2. *)
+  Alcotest.(check int) "(-1)·2=-2" (p - 2) (Hashing.Prime_field.mul (p - 1) 2)
+
+let test_mul_fermat () =
+  (* Fermat's little theorem: a^(p-1) ≡ 1 (mod p) for a ≠ 0. Exponentiate by
+     squaring with our [mul]; any error in [mul] is extremely unlikely to
+     still satisfy the identity for several bases. *)
+  let pow_mod a e =
+    let rec go acc a e =
+      if e = 0 then acc
+      else
+        let acc = if e land 1 = 1 then Hashing.Prime_field.mul acc a else acc in
+        go acc (Hashing.Prime_field.mul a a) (e lsr 1)
+    in
+    go 1 a e
+  in
+  List.iter
+    (fun a -> Alcotest.(check int) (Printf.sprintf "fermat a=%d" a) 1 (pow_mod a (p - 1)))
+    [ 2; 3; 12345; 987654321; p - 2 ]
+
+let test_mul_distributes () =
+  let g = Rng.Splitmix.create 5L in
+  for _ = 1 to 200 do
+    let a = Hashing.Prime_field.random_element g in
+    let b = Hashing.Prime_field.random_element g in
+    let c = Hashing.Prime_field.random_element g in
+    let left = Hashing.Prime_field.mul a (Hashing.Prime_field.add b c) in
+    let right =
+      Hashing.Prime_field.add (Hashing.Prime_field.mul a b) (Hashing.Prime_field.mul a c)
+    in
+    Alcotest.(check int) "a(b+c) = ab+ac" left right
+  done
+
+let test_random_element_range () =
+  let g = Rng.Splitmix.create 9L in
+  for _ = 1 to 1000 do
+    let v = Hashing.Prime_field.random_element g in
+    Alcotest.(check bool) "in field" true (v >= 0 && v < p)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "nonzero" true (Hashing.Prime_field.random_nonzero g <> 0)
+  done
+
+let test_universal_range () =
+  let g = Rng.Splitmix.create 17L in
+  let h = Hashing.Universal.create g ~width:37 in
+  for x = 0 to 1000 do
+    let v = Hashing.Universal.apply h x in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 37)
+  done
+
+let test_universal_deterministic () =
+  let h = Hashing.Universal.of_coefficients ~a:12345 ~b:678 ~width:100 in
+  let v1 = Hashing.Universal.apply h 4242 in
+  let v2 = Hashing.Universal.apply h 4242 in
+  Alcotest.(check int) "same input, same output" v1 v2
+
+let test_universal_formula () =
+  (* Small coefficients: check ((a·x + b) mod p) mod w directly. *)
+  let h = Hashing.Universal.of_coefficients ~a:3 ~b:5 ~width:7 in
+  Alcotest.(check int) "h(10) = (35 mod p) mod 7" ((3 * 10 + 5) mod 7)
+    (Hashing.Universal.apply h 10)
+
+let test_universal_rejects_bad_width () =
+  Alcotest.check_raises "width 0"
+    (Invalid_argument "Universal.of_coefficients: width must be positive") (fun () ->
+      ignore (Hashing.Universal.of_coefficients ~a:1 ~b:0 ~width:0))
+
+let test_universal_collision_rate () =
+  (* Pairwise independence is a statement over the random draw of the hash
+     function: for any fixed pair x ≠ y, Pr_h[h(x) = h(y)] ≈ 1/w. Draw 2000
+     independent functions with w = 64 and count collisions on a fixed pair;
+     expect ≈ 31, accept a broad band. *)
+  let g = Rng.Splitmix.create 23L in
+  let collisions = ref 0 in
+  for _ = 1 to 2000 do
+    let h = Hashing.Universal.create g ~width:64 in
+    if Hashing.Universal.apply h 1_000_003 = Hashing.Universal.apply h 9_000_041 then
+      incr collisions
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "collisions=%d in [10,70]" !collisions)
+    true
+    (!collisions >= 10 && !collisions <= 70)
+
+let test_family_basics () =
+  let f = Hashing.Family.seeded ~seed:7L ~rows:4 ~width:32 in
+  Alcotest.(check int) "rows" 4 (Hashing.Family.rows f);
+  Alcotest.(check int) "width" 32 (Hashing.Family.width f);
+  for row = 0 to 3 do
+    for x = 0 to 100 do
+      let v = Hashing.Family.hash f ~row x in
+      Alcotest.(check bool) "in range" true (v >= 0 && v < 32)
+    done
+  done
+
+let test_family_rows_independent () =
+  let f = Hashing.Family.seeded ~seed:7L ~rows:4 ~width:1024 in
+  (* Different rows should disagree on most inputs. *)
+  let agree = ref 0 in
+  for x = 0 to 499 do
+    if Hashing.Family.hash f ~row:0 x = Hashing.Family.hash f ~row:1 x then incr agree
+  done;
+  Alcotest.(check bool) "rows decorrelated" true (!agree < 20)
+
+let test_family_of_mapping () =
+  let f =
+    Hashing.Family.of_mapping ~width:2 [| (fun x -> x mod 2); (fun _ -> 0) |]
+  in
+  Alcotest.(check int) "row0 odd" 1 (Hashing.Family.hash f ~row:0 3);
+  Alcotest.(check int) "row0 even" 0 (Hashing.Family.hash f ~row:0 4);
+  Alcotest.(check int) "row1 const" 0 (Hashing.Family.hash f ~row:1 999)
+
+let test_family_seeded_reproducible () =
+  let f1 = Hashing.Family.seeded ~seed:100L ~rows:3 ~width:50 in
+  let f2 = Hashing.Family.seeded ~seed:100L ~rows:3 ~width:50 in
+  for row = 0 to 2 do
+    for x = 0 to 200 do
+      Alcotest.(check int) "same coins, same hash"
+        (Hashing.Family.hash f1 ~row x)
+        (Hashing.Family.hash f2 ~row x)
+    done
+  done
+
+let test_tabulation_range_and_determinism () =
+  let g = Rng.Splitmix.create 55L in
+  let t = Hashing.Tabulation.create g in
+  for x = 0 to 500 do
+    let v = Hashing.Tabulation.hash t x in
+    Alcotest.(check bool) "non-negative" true (v >= 0);
+    Alcotest.(check int) "deterministic" v (Hashing.Tabulation.hash t x)
+  done
+
+let test_tabulation_mixes () =
+  (* Nearby keys should differ in roughly half their output bits. *)
+  let g = Rng.Splitmix.create 56L in
+  let t = Hashing.Tabulation.create g in
+  let popcount x =
+    let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+    go x 0
+  in
+  let total = ref 0 in
+  for x = 0 to 99 do
+    total :=
+      !total + popcount (Hashing.Tabulation.hash t x lxor Hashing.Tabulation.hash t (x + 1))
+  done;
+  let avg = float_of_int !total /. 100.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "avalanche avg=%.1f bits" avg)
+    true
+    (avg > 20.0 && avg < 44.0)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"mul commutes" ~count:500
+         QCheck.(pair (int_bound 1000000000) (int_bound 1000000000))
+         (fun (a, b) -> Hashing.Prime_field.mul a b = Hashing.Prime_field.mul b a));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"mul associates" ~count:200
+         QCheck.(triple (int_bound 1000000000) (int_bound 1000000000) (int_bound 1000000000))
+         (fun (a, b, c) ->
+           Hashing.Prime_field.mul a (Hashing.Prime_field.mul b c)
+           = Hashing.Prime_field.mul (Hashing.Prime_field.mul a b) c));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"universal hash stays in range" ~count:500
+         QCheck.(triple int64 (int_range 1 1000) (int_bound 1_000_000))
+         (fun (seed, width, x) ->
+           let g = Rng.Splitmix.create seed in
+           let h = Hashing.Universal.create g ~width in
+           let v = Hashing.Universal.apply h x in
+           v >= 0 && v < width));
+  ]
+
+let () =
+  Alcotest.run "hashing"
+    [
+      ( "prime_field",
+        [
+          Alcotest.test_case "constants" `Quick test_field_constants;
+          Alcotest.test_case "reduce" `Quick test_reduce;
+          Alcotest.test_case "add" `Quick test_add;
+          Alcotest.test_case "mul small" `Quick test_mul_small;
+          Alcotest.test_case "mul wraps" `Quick test_mul_wraps;
+          Alcotest.test_case "mul fermat" `Quick test_mul_fermat;
+          Alcotest.test_case "mul distributes" `Quick test_mul_distributes;
+          Alcotest.test_case "random element range" `Quick test_random_element_range;
+        ] );
+      ( "universal",
+        [
+          Alcotest.test_case "range" `Quick test_universal_range;
+          Alcotest.test_case "deterministic" `Quick test_universal_deterministic;
+          Alcotest.test_case "formula" `Quick test_universal_formula;
+          Alcotest.test_case "bad width" `Quick test_universal_rejects_bad_width;
+          Alcotest.test_case "collision rate" `Quick test_universal_collision_rate;
+        ] );
+      ( "family",
+        [
+          Alcotest.test_case "basics" `Quick test_family_basics;
+          Alcotest.test_case "rows independent" `Quick test_family_rows_independent;
+          Alcotest.test_case "of_mapping" `Quick test_family_of_mapping;
+          Alcotest.test_case "seeded reproducible" `Quick test_family_seeded_reproducible;
+        ] );
+      ( "tabulation",
+        [
+          Alcotest.test_case "range and determinism" `Quick
+            test_tabulation_range_and_determinism;
+          Alcotest.test_case "avalanche" `Quick test_tabulation_mixes;
+        ] );
+      ("properties", qcheck_tests);
+    ]

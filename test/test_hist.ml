@@ -1,0 +1,269 @@
+(* Tests for the history model: well-formedness, precedence, skeletons,
+   projection, completion — the vocabulary of Section 2. *)
+
+open Test_helpers
+
+(* Example 1 of the paper: inc(3) by p concurrent with a query by q that
+   returns 0. *)
+let example1 =
+  let u = upd ~proc:0 ~id:1 3 in
+  let q = qry ~proc:1 ~id:2 0 in
+  hist [ inv u; inv q; rsp u; rsp ~ret:0 q ]
+
+let test_length_and_ops () =
+  Alcotest.(check int) "4 events" 4 (Hist.History.length example1);
+  let ops = Hist.History.ops example1 in
+  Alcotest.(check int) "2 ops" 2 (List.length ops);
+  match ops with
+  | [ o1; o2 ] ->
+      Alcotest.(check int) "first invoked is the update" 1 o1.Hist.Op.id;
+      Alcotest.(check int) "second invoked is the query" 2 o2.Hist.Op.id;
+      Alcotest.(check (option int)) "query return merged from rsp" (Some 0) o2.Hist.Op.ret
+  | _ -> Alcotest.fail "expected two ops"
+
+let test_well_formed_ok () =
+  match Hist.History.well_formed example1 with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_well_formed_duplicate_inv () =
+  let u = upd ~proc:0 ~id:1 3 in
+  let h = hist [ inv u; inv u ] in
+  match Hist.History.well_formed h with
+  | Ok () -> Alcotest.fail "duplicate invocation accepted"
+  | Error _ -> ()
+
+let test_well_formed_rsp_before_inv () =
+  let u = upd ~proc:0 ~id:1 3 in
+  let h = hist [ rsp u; inv u ] in
+  match Hist.History.well_formed h with
+  | Ok () -> Alcotest.fail "response before invocation accepted"
+  | Error _ -> ()
+
+let test_well_formed_overlapping_same_proc () =
+  let u1 = upd ~proc:0 ~id:1 3 in
+  let u2 = upd ~proc:0 ~id:2 4 in
+  let h = hist [ inv u1; inv u2; rsp u1; rsp u2 ] in
+  match Hist.History.well_formed h with
+  | Ok () -> Alcotest.fail "same-process overlap accepted"
+  | Error _ -> ()
+
+let test_precedence () =
+  (* u1 completes before q is invoked; u2 overlaps q. *)
+  let u1 = upd ~proc:0 ~id:1 1 in
+  let u2 = upd ~proc:0 ~id:2 2 in
+  let q = qry ~proc:1 ~id:3 0 in
+  let h = hist [ inv u1; rsp u1; inv q; inv u2; rsp u2; rsp ~ret:1 q ] in
+  Alcotest.(check bool) "u1 ≺ q" true (Hist.History.precedes h 1 3);
+  Alcotest.(check bool) "¬(q ≺ u1)" false (Hist.History.precedes h 3 1);
+  Alcotest.(check bool) "u1 ≺ u2" true (Hist.History.precedes h 1 2);
+  Alcotest.(check bool) "u2 and q concurrent" true (Hist.History.concurrent h 2 3);
+  Alcotest.(check bool) "q not concurrent with u1" false (Hist.History.concurrent h 1 3)
+
+let test_pending_ops () =
+  let u = upd ~proc:0 ~id:1 5 in
+  let q = qry ~proc:1 ~id:2 0 in
+  let h = hist [ inv u; inv q ] in
+  Alcotest.(check int) "two pending" 2 (List.length (Hist.History.pending h));
+  Alcotest.(check int) "none completed" 0 (List.length (Hist.History.completed h));
+  (* Pending ops precede nothing. *)
+  Alcotest.(check bool) "pending precedes nothing" false (Hist.History.precedes h 1 2)
+
+let test_skeleton_erases_returns () =
+  let sk = Hist.History.skeleton example1 in
+  let q = List.find (fun o -> Hist.Op.is_query o) (Hist.History.ops sk) in
+  Alcotest.(check (option int)) "return erased" None q.Hist.Op.ret;
+  (* Skeleton preserves event count and order. *)
+  Alcotest.(check int) "same length" (Hist.History.length example1)
+    (Hist.History.length sk)
+
+let test_sequential_detection () =
+  let u = upd ~id:1 3 in
+  let q = qry ~ret:3 ~id:2 0 in
+  let s = seq [ u; q ] in
+  Alcotest.(check bool) "sequential" true (Hist.History.is_sequential s);
+  Alcotest.(check bool) "example1 is not sequential" false
+    (Hist.History.is_sequential example1);
+  match Hist.History.sequential_ops s with
+  | Some [ o1; o2 ] ->
+      Alcotest.(check int) "op order" 1 o1.Hist.Op.id;
+      Alcotest.(check (option int)) "return kept" (Some 3) o2.Hist.Op.ret
+  | _ -> Alcotest.fail "expected two sequential ops"
+
+let test_projection () =
+  let ux = upd ~proc:0 ~obj:0 ~id:1 1 in
+  let uy = upd ~proc:1 ~obj:1 ~id:2 2 in
+  let qx = qry ~proc:2 ~obj:0 ~ret:1 ~id:3 0 in
+  let h = hist [ inv ux; inv uy; rsp ux; rsp uy; inv qx; rsp ~ret:1 qx ] in
+  Alcotest.(check (list int)) "objects" [ 0; 1 ] (Hist.History.objects h);
+  let hx = Hist.History.project h ~obj:0 in
+  Alcotest.(check int) "H|x has 4 events" 4 (Hist.History.length hx);
+  List.iter
+    (fun (op : Test_helpers.iop) -> Alcotest.(check int) "all on obj 0" 0 op.Hist.Op.obj)
+    (Hist.History.ops hx);
+  let hy = Hist.History.project h ~obj:1 in
+  Alcotest.(check int) "H|y has 2 events" 2 (Hist.History.length hy)
+
+let test_complete_keeps_pending_updates () =
+  let u = upd ~proc:0 ~id:1 5 in
+  let q = qry ~proc:1 ~id:2 0 in
+  let h = hist [ inv u; inv q ] in
+  let c = Hist.History.complete h in
+  Alcotest.(check int) "pending query dropped, update completed" 2
+    (Hist.History.length c);
+  Alcotest.(check int) "no pending left" 0 (List.length (Hist.History.pending c));
+  match Hist.History.ops c with
+  | [ op ] -> Alcotest.(check bool) "the update survives" true (Hist.Op.is_update op)
+  | _ -> Alcotest.fail "expected exactly the update"
+
+let test_complete_drop_pending_updates () =
+  let u = upd ~proc:0 ~id:1 5 in
+  let h = hist [ inv u ] in
+  let c = Hist.History.complete ~keep_pending_updates:false h in
+  Alcotest.(check int) "empty" 0 (Hist.History.length c)
+
+let test_interval () =
+  match Hist.History.interval example1 1 with
+  | Some (i, Some r) ->
+      Alcotest.(check int) "inv index" 0 i;
+      Alcotest.(check int) "rsp index" 2 r
+  | _ -> Alcotest.fail "expected completed interval";;
+
+let test_interval_missing () =
+  Alcotest.(check bool) "unknown id" true (Hist.History.interval example1 99 = None)
+
+let test_find_op () =
+  (match Hist.History.find_op example1 2 with
+  | Some op -> Alcotest.(check bool) "id 2 is the query" true (Hist.Op.is_query op)
+  | None -> Alcotest.fail "op 2 not found");
+  Alcotest.(check bool) "missing op" true (Hist.History.find_op example1 42 = None)
+
+let test_append () =
+  let u = upd ~proc:0 ~id:1 5 in
+  let h = hist [ inv u ] in
+  let h = Hist.History.append h (rsp u) in
+  Alcotest.(check int) "appended" 2 (Hist.History.length h);
+  Alcotest.(check int) "now completed" 1 (List.length (Hist.History.completed h))
+
+let test_op_helpers () =
+  let u = upd ~id:1 3 in
+  let q = qry ~id:2 0 in
+  Alcotest.(check bool) "update kind" true (Hist.Op.is_update u);
+  Alcotest.(check bool) "query kind" true (Hist.Op.is_query q);
+  let q' = Hist.Op.with_return q 9 in
+  Alcotest.(check (option int)) "with_return" (Some 9) q'.Hist.Op.ret;
+  Alcotest.(check (option int)) "erase_return" None (Hist.Op.erase_return q').Hist.Op.ret;
+  Alcotest.check_raises "update cannot return"
+    (Invalid_argument "Op.with_return: updates do not return values") (fun () ->
+      ignore (Hist.Op.with_return u 1))
+
+(* Shared random history generator (Test_helpers.gen_history). *)
+let gen_history seed ~procs ~ops_per_proc =
+  Test_helpers.gen_history ~seed ~procs ~per_proc:ops_per_proc
+    ~mk_op:(fun g ~proc ~id ->
+      if Rng.Splitmix.next_bool g then upd ~proc ~id 1 else qry ~proc ~ret:0 ~id 0)
+
+let test_generated_histories_well_formed () =
+  for seed = 1 to 50 do
+    let h = gen_history (Int64.of_int seed) ~procs:3 ~ops_per_proc:4 in
+    match Hist.History.well_formed h with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail (Printf.sprintf "seed %d: %s" seed m)
+  done
+
+let test_projection_partition () =
+  (* Projections over all objects partition the events. *)
+  let g = Rng.Splitmix.create 123L in
+  for _ = 1 to 20 do
+    let next_id = ref 0 in
+    let events = ref [] in
+    for p = 0 to 2 do
+      incr next_id;
+      let op = upd ~proc:p ~obj:(Rng.Splitmix.next_int g 3) ~id:!next_id 1 in
+      events := rsp op :: inv op :: !events
+    done;
+    let h = hist (List.rev !events) in
+    let total =
+      List.fold_left
+        (fun acc obj -> acc + Hist.History.length (Hist.History.project h ~obj))
+        0 (Hist.History.objects h)
+    in
+    Alcotest.(check int) "projections partition events" (Hist.History.length h) total
+  done
+
+
+let test_ascii_renders_intervals () =
+  let u = upd ~proc:0 ~id:1 5 in
+  let q = qry ~proc:1 ~ret:5 ~id:2 0 in
+  let h = hist [ inv q; inv u; rsp u; rsp ~ret:5 q ] in
+  let pic = Hist.Ascii.render_int h in
+  (* Two rows, each mentioning its operation. *)
+  let lines = String.split_on_char '\n' pic in
+  Alcotest.(check int) "two rows" 2 (List.length lines);
+  Alcotest.(check bool) "p0 row shows the update" true
+    (List.exists (fun l -> String.length l > 3 && String.sub l 0 3 = "p0:") lines);
+  (* The update's interval is strictly inside the query's. *)
+  let row_of p = List.find (fun l -> String.sub l 0 3 = Printf.sprintf "p%d:" p) lines in
+  let first_bar l = String.index l '|' in
+  let last_bar l = String.rindex l '|' in
+  Alcotest.(check bool) "update starts after query" true
+    (first_bar (row_of 0) > first_bar (row_of 1));
+  Alcotest.(check bool) "update ends before query" true
+    (last_bar (row_of 0) < last_bar (row_of 1))
+
+let test_ascii_pending_marker () =
+  let u = upd ~proc:0 ~id:1 3 in
+  let h = hist [ inv u ] in
+  let pic = Hist.Ascii.render_int h in
+  Alcotest.(check bool) "pending op ends with ~" true
+    (String.contains pic '~')
+
+let test_ascii_empty () =
+  Alcotest.(check string) "empty history" "(empty history)"
+    (Hist.Ascii.render_int (hist []))
+
+let () =
+  Alcotest.run "hist"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "length and ops" `Quick test_length_and_ops;
+          Alcotest.test_case "interval" `Quick test_interval;
+          Alcotest.test_case "interval missing" `Quick test_interval_missing;
+          Alcotest.test_case "find_op" `Quick test_find_op;
+          Alcotest.test_case "append" `Quick test_append;
+          Alcotest.test_case "op helpers" `Quick test_op_helpers;
+        ] );
+      ( "well-formedness",
+        [
+          Alcotest.test_case "ok" `Quick test_well_formed_ok;
+          Alcotest.test_case "duplicate inv" `Quick test_well_formed_duplicate_inv;
+          Alcotest.test_case "rsp before inv" `Quick test_well_formed_rsp_before_inv;
+          Alcotest.test_case "same-proc overlap" `Quick
+            test_well_formed_overlapping_same_proc;
+          Alcotest.test_case "generated histories" `Quick
+            test_generated_histories_well_formed;
+        ] );
+      ( "order",
+        [
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "pending" `Quick test_pending_ops;
+        ] );
+      ( "ascii",
+        [
+          Alcotest.test_case "intervals" `Quick test_ascii_renders_intervals;
+          Alcotest.test_case "pending marker" `Quick test_ascii_pending_marker;
+          Alcotest.test_case "empty" `Quick test_ascii_empty;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "skeleton" `Quick test_skeleton_erases_returns;
+          Alcotest.test_case "sequential" `Quick test_sequential_detection;
+          Alcotest.test_case "projection" `Quick test_projection;
+          Alcotest.test_case "projection partition" `Quick test_projection_partition;
+          Alcotest.test_case "complete keeps updates" `Quick
+            test_complete_keeps_pending_updates;
+          Alcotest.test_case "complete drops updates" `Quick
+            test_complete_drop_pending_updates;
+        ] );
+    ]

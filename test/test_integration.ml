@@ -1,0 +1,303 @@
+(* Cross-layer integration tests: the paper's end-to-end claims exercised
+   through several libraries at once — Corollary 8's error preservation on
+   real concurrent runs, Definition 3 across simulated coin worlds, the
+   heavy-hitters pipeline, and simulator/multicore agreement. *)
+
+module M = Simulation.Machine
+module S = Simulation.Sched
+module A = Simulation.Algos
+
+(* ---------------------------------------------------------------- *)
+(* Corollary 8, empirically: writers ingest a Zipf stream into PCM while a
+   reader queries a probe element. Writers bump a [pre] oracle before and a
+   [post] oracle after each probe update, so at any instant
+   post ≤ f_applied ≤ pre. Deterministically f̂ ≥ post(query start); and
+   f̂ ≤ pre(query end) + αn with probability ≥ 1 − δ. *)
+
+let test_corollary8_probe_bracketing () =
+  let alpha = 0.02 and delta = 0.05 in
+  let pcm = Conc.Pcm.create_for_error ~seed:2024L ~alpha ~delta in
+  let probe = 0 in
+  let pre = Atomic.make 0 and post = Atomic.make 0 in
+  let stream =
+    Workload.Stream.generate ~seed:7L (Workload.Stream.Zipf (200, 1.2)) ~length:60_000
+  in
+  let chunks = Workload.Stream.chunks stream ~pieces:3 in
+  let lower_violations = Atomic.make 0 in
+  let upper_violations = Atomic.make 0 in
+  let samples = Atomic.make 0 in
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun i ->
+        if i < 3 then
+          Array.iter
+            (fun a ->
+              if a = probe then ignore (Atomic.fetch_and_add pre 1);
+              Conc.Pcm.update pcm a;
+              if a = probe then ignore (Atomic.fetch_and_add post 1))
+            chunks.(i)
+        else
+          for _ = 1 to 2_000 do
+            let f_start_lb = Atomic.get post in
+            let est = Conc.Pcm.query pcm probe in
+            let f_end_ub = Atomic.get pre in
+            let n = Conc.Pcm.updates pcm in
+            ignore (Atomic.fetch_and_add samples 1);
+            if est < f_start_lb then ignore (Atomic.fetch_and_add lower_violations 1);
+            if float_of_int est
+               > float_of_int f_end_ub +. (alpha *. float_of_int n) +. 0.5
+            then ignore (Atomic.fetch_and_add upper_violations 1)
+          done)
+  in
+  Alcotest.(check int) "lower bound never violated" 0 (Atomic.get lower_violations);
+  let rate =
+    float_of_int (Atomic.get upper_violations) /. float_of_int (Atomic.get samples)
+  in
+  (* Allow 3x slack over δ for sampling noise. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "upper violation rate %.4f ≤ 3δ" rate)
+    true
+    (rate <= 3.0 *. delta)
+
+(* ---------------------------------------------------------------- *)
+(* Definition 3 across coin worlds, via the simulator: run PCM under one
+   fixed schedule with several hash families; the skeletons coincide and the
+   randomized checker must find a common witness pair. *)
+
+let test_randomized_ivl_across_simulated_worlds () =
+  let families =
+    [
+      Hashing.Family.of_mapping ~width:2 [| (fun x -> x mod 2); (fun x -> (x / 2) mod 2) |];
+      Hashing.Family.of_mapping ~width:2 [| (fun x -> (x + 1) mod 2); (fun _ -> 0) |];
+      Hashing.Family.of_mapping ~width:2 [| (fun _ -> 1); (fun x -> x mod 2) |];
+    ]
+  in
+  let run family =
+    let hash row x = Hashing.Family.hash family ~row x in
+    let pcm = A.Pcm_sim.make ~d:2 ~w:2 ~hash () in
+    let scripts =
+      [|
+        [ A.Pcm_sim.update_op pcm ~a:0 (); A.Pcm_sim.update_op pcm ~a:1 () ];
+        [ A.Pcm_sim.query_op pcm ~a:0 (); A.Pcm_sim.query_op pcm ~a:1 () ];
+      |]
+    in
+    M.run
+      ~registers:(A.Pcm_sim.zero_registers pcm)
+      ~scripts ~sched:(S.Random 55L) ()
+  in
+  let runs = List.map (fun f -> (f, run f)) families in
+  (* All runs share a skeleton: same ids, kinds, event order. *)
+  let skeletons =
+    List.map
+      (fun (_, r) -> Test_helpers.show_history (Hist.History.skeleton r.M.history))
+      runs
+  in
+  List.iter
+    (fun s -> Alcotest.(check string) "identical skeletons" (List.hd skeletons) s)
+    skeletons;
+  let module R = Ivl.Randomized.Make (Spec.Countmin_spec) in
+  let worlds =
+    List.map
+      (fun (family, r) ->
+        let returns =
+          List.filter_map
+            (fun (op : Test_helpers.iop) ->
+              match op.Hist.Op.ret with Some v -> Some (op.Hist.Op.id, v) | None -> None)
+            (Hist.History.completed r.M.history)
+        in
+        { R.coin = family; returns })
+      runs
+  in
+  let skeleton_history = Hist.History.skeleton (snd (List.hd runs)).M.history in
+  let v = R.check ~worlds skeleton_history in
+  Alcotest.(check bool) "common witnesses exist (Definition 3)" true v.R.ivl
+
+(* ---------------------------------------------------------------- *)
+(* The paper's motivating pipeline: concurrent heavy-hitter detection. *)
+
+let test_heavy_hitters_pipeline () =
+  let family = Hashing.Family.seeded ~seed:31L ~rows:4 ~width:256 in
+  let pcm = Conc.Pcm.create ~family in
+  let stream =
+    Workload.Stream.generate ~seed:32L (Workload.Stream.Zipf (2_000, 1.4)) ~length:80_000
+  in
+  let exact = Sketches.Exact.create () in
+  Array.iter (Sketches.Exact.update exact) stream;
+  let chunks = Workload.Stream.chunks stream ~pieces:4 in
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun i -> Array.iter (Conc.Pcm.update pcm) chunks.(i))
+  in
+  (* Every true heavy hitter (≥ 1% of the stream) must be reported by a CM
+     scan with the same threshold (CM never under-estimates). *)
+  let n = Sketches.Exact.total exact in
+  let cut = n / 100 in
+  let true_heavy = List.map fst (Sketches.Exact.heavy_hitters exact ~threshold:0.01) in
+  let reported =
+    List.init 2_000 Fun.id |> List.filter (fun a -> Conc.Pcm.query pcm a >= cut)
+  in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) (Printf.sprintf "heavy %d reported" a) true
+        (List.mem a reported))
+    true_heavy;
+  (* And the false-positive overhang is bounded: reported set is not absurdly
+     larger than the true set. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "reported %d ≤ 5x true %d + 5" (List.length reported)
+       (List.length true_heavy))
+    true
+    (List.length reported <= (5 * List.length true_heavy) + 5)
+
+(* ---------------------------------------------------------------- *)
+(* Simulator and multicore agree on final states for the same program. *)
+
+let test_simulator_and_multicore_agree () =
+  let n = 4 in
+  (* Simulator run. *)
+  let scripts =
+    Array.init n (fun p ->
+        [
+          A.Ivl_counter.update_op ~proc:p ~amount:(p + 1) ();
+          A.Ivl_counter.update_op ~proc:p ~amount:(p + 1) ();
+        ])
+  in
+  let r = M.run ~registers:(A.Ivl_counter.registers ~n) ~scripts ~sched:(S.Random 3L) () in
+  ignore r;
+  (* Multicore run of the same workload. *)
+  let c = Conc.Ivl_counter.create ~procs:n in
+  let _ =
+    Conc.Runner.parallel ~domains:n (fun i ->
+        Conc.Ivl_counter.update c ~proc:i (i + 1);
+        Conc.Ivl_counter.update c ~proc:i (i + 1))
+  in
+  let expected = 2 * (1 + 2 + 3 + 4) in
+  Alcotest.(check int) "multicore final sum" expected (Conc.Ivl_counter.read c);
+  (* Simulator final sum via a trailing read. *)
+  let scripts2 =
+    Array.init (n + 1) (fun p ->
+        if p < n then
+          [
+            A.Ivl_counter.update_op ~proc:p ~amount:(p + 1) ();
+            A.Ivl_counter.update_op ~proc:p ~amount:(p + 1) ();
+          ]
+        else [])
+  in
+  scripts2.(n) <- [ A.Ivl_counter.read_op ~n:(n + 1) () ];
+  let registers = A.Ivl_counter.registers ~n:(n + 1) in
+  let r2 =
+    M.run ~registers ~scripts:scripts2 ~sched:(S.Explicit (List.concat_map (fun p -> [ p; p; p; p ]) [ 0; 1; 2; 3 ])) ()
+  in
+  let read =
+    List.find (fun (o : Test_helpers.iop) -> Hist.Op.is_query o)
+      (Hist.History.completed r2.M.history)
+  in
+  Alcotest.(check (option int)) "simulator final sum" (Some expected) read.Hist.Op.ret
+
+(* ---------------------------------------------------------------- *)
+(* Morris transfer (E10 shape): the concurrent Morris counter's accuracy is
+   comparable to the sequential sketch's on the same event count. *)
+
+let test_morris_concurrent_vs_sequential_accuracy () =
+  let n = 40_000 and trials = 30 in
+  let seq_err = Stats.Moments.create () and conc_err = Stats.Moments.create () in
+  for t = 1 to trials do
+    let m = Sketches.Morris.create ~base:1.2 ~seed:(Int64.of_int t) () in
+    for _ = 1 to n do
+      Sketches.Morris.update m
+    done;
+    Stats.Moments.add seq_err
+      (abs_float (Sketches.Morris.estimate m -. float_of_int n) /. float_of_int n);
+    let mc = Conc.Morris_conc.create ~base:1.2 ~seed:(Int64.of_int (100 + t)) ~domains:4 () in
+    let _ =
+      Conc.Runner.parallel ~domains:4 (fun i ->
+          for _ = 1 to n / 4 do
+            Conc.Morris_conc.update mc ~domain:i
+          done)
+    in
+    Stats.Moments.add conc_err
+      (abs_float (Conc.Morris_conc.estimate mc -. float_of_int n) /. float_of_int n)
+  done;
+  (* The concurrent mean relative error should be within a small constant
+     factor of sequential (drops under contention bias it low, not wild). *)
+  let s = Stats.Moments.mean seq_err and c = Stats.Moments.mean conc_err in
+  Alcotest.(check bool)
+    (Printf.sprintf "concurrent err %.3f ≤ max(4x sequential %.3f, 0.5)" c s)
+    true
+    (c <= Float.max (4.0 *. s) 0.5)
+
+
+(* ---------------------------------------------------------------- *)
+(* Heterogeneous end-to-end: a counter (object 0) and a max register
+   (object 1) updated from multiple domains, recorded as one multi-object
+   history, validated per object via locality (Theorem 1) with the exact
+   checkers — the full pipeline across recorder, composition and checking. *)
+
+module Hetero = Spec.Compose.Make (Spec.Counter_spec) (Spec.Max_spec)
+module Hetero_local = Ivl.Locality.Make (Hetero)
+
+let test_heterogeneous_recorded_run () =
+  for round = 1 to 15 do
+    ignore round;
+    let rec_ = Conc.Recorder.create ~domains:3 in
+    let counter = Conc.Ivl_counter.create ~procs:2 in
+    let maxreg = Atomic.make 0 in
+    let atomic_max v =
+      let rec go () =
+        let cur = Atomic.get maxreg in
+        if v > cur && not (Atomic.compare_and_set maxreg cur v) then go ()
+      in
+      go ()
+    in
+    let _ =
+      Conc.Runner.parallel ~domains:3 (fun i ->
+          if i < 2 then
+            for k = 1 to 2 do
+              Conc.Recorder.record_update rec_ ~domain:i ~obj:0 (`A k) (fun () ->
+                  Conc.Ivl_counter.update counter ~proc:i k);
+              Conc.Recorder.record_update rec_ ~domain:i ~obj:1
+                (`B ((10 * i) + k))
+                (fun () -> atomic_max ((10 * i) + k))
+            done
+          else begin
+            ignore
+              (Conc.Recorder.record_query rec_ ~domain:i ~obj:0 (`A 0) (fun () ->
+                   `A (Conc.Ivl_counter.read counter)));
+            ignore
+              (Conc.Recorder.record_query rec_ ~domain:i ~obj:1 (`B 0) (fun () ->
+                   `B (Atomic.get maxreg)))
+          end)
+    in
+    let h = Conc.Recorder.history rec_ in
+    (match Hist.History.well_formed h with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail m);
+    let v = Hetero_local.check_per_object h in
+    Alcotest.(check bool) "both objects IVL" true v.Hetero_local.ivl;
+    Alcotest.(check bool) "theorem holds on the recorded run" true
+      (Hetero_local.theorem_holds h)
+  done
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "corollary 8",
+        [ Alcotest.test_case "probe bracketing" `Quick test_corollary8_probe_bracketing ] );
+      ( "definition 3",
+        [
+          Alcotest.test_case "across simulated worlds" `Quick
+            test_randomized_ivl_across_simulated_worlds;
+        ] );
+      ( "pipelines",
+        [ Alcotest.test_case "heavy hitters" `Quick test_heavy_hitters_pipeline ] );
+      ( "heterogeneous",
+        [
+          Alcotest.test_case "recorded multi-object run" `Quick
+            test_heterogeneous_recorded_run;
+        ] );
+      ( "agreement",
+        [
+          Alcotest.test_case "simulator vs multicore" `Quick
+            test_simulator_and_multicore_agree;
+          Alcotest.test_case "morris accuracy transfer" `Quick
+            test_morris_concurrent_vs_sequential_accuracy;
+        ] );
+    ]

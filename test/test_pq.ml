@@ -1,0 +1,155 @@
+(* Tests for the priority-queue substrate: the exact binary heap and the
+   relaxed MultiQueue (the paper's §7 "semi-quantitative" direction). *)
+
+let test_heap_basic () =
+  let h = Pq.Heap.create () in
+  Alcotest.(check bool) "empty" true (Pq.Heap.is_empty h);
+  Pq.Heap.insert h ~priority:5 "e";
+  Pq.Heap.insert h ~priority:1 "a";
+  Pq.Heap.insert h ~priority:3 "c";
+  Alcotest.(check int) "size" 3 (Pq.Heap.size h);
+  (match Pq.Heap.peek h with
+  | Some (1, "a") -> ()
+  | _ -> Alcotest.fail "peek should be the minimum");
+  Alcotest.(check (option (pair int string))) "pop 1" (Some (1, "a")) (Pq.Heap.pop h);
+  Alcotest.(check (option (pair int string))) "pop 3" (Some (3, "c")) (Pq.Heap.pop h);
+  Alcotest.(check (option (pair int string))) "pop 5" (Some (5, "e")) (Pq.Heap.pop h);
+  Alcotest.(check (option (pair int string))) "pop empty" None (Pq.Heap.pop h)
+
+let test_heap_sorted_drain () =
+  let g = Rng.Splitmix.create 1L in
+  let entries = List.init 500 (fun i -> (Rng.Splitmix.next_int g 1000, i)) in
+  let h = Pq.Heap.of_list entries in
+  let drained = Pq.Heap.to_sorted_list h in
+  Alcotest.(check int) "drain preserves count" 500 (List.length drained);
+  Alcotest.(check int) "to_sorted_list does not mutate" 500 (Pq.Heap.size h);
+  let rec sorted = function
+    | (a, _) :: ((b, _) :: _ as rest) -> a <= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "priority order" true (sorted drained)
+
+let test_heap_duplicates () =
+  let h = Pq.Heap.of_list [ (2, "x"); (2, "y"); (2, "z") ] in
+  let ps = List.map fst (Pq.Heap.to_sorted_list h) in
+  Alcotest.(check (list int)) "all duplicates kept" [ 2; 2; 2 ] ps
+
+let test_multiqueue_sequential_rank_error () =
+  (* Insert 0..999, pop everything from one domain: every pop's rank error
+     (priority position among remaining) must stay small relative to c×d. *)
+  let mq = Pq.Multiqueue.create ~c:4 ~seed:7L ~domains:2 () in
+  for p = 0 to 999 do
+    Pq.Multiqueue.insert mq ~domain:0 ~priority:p p
+  done;
+  Alcotest.(check int) "size" 1000 (Pq.Multiqueue.size mq);
+  (* Track the minimum not yet popped; rank error = popped - true_min rank. *)
+  let remaining = Array.make 1000 true in
+  let true_min () =
+    let rec go i = if i >= 1000 then 1000 else if remaining.(i) then i else go (i + 1) in
+    go 0
+  in
+  let worst = ref 0 and total = ref 0 and count = ref 0 in
+  let rec drain () =
+    match Pq.Multiqueue.delete_min mq ~domain:0 with
+    | None -> ()
+    | Some (p, _) ->
+        let rank_err =
+          let m = true_min () in
+          (* Count survivors below p. *)
+          let rec cnt i acc = if i >= p then acc else cnt (i + 1) (if remaining.(i) then acc + 1 else acc) in
+          ignore m;
+          cnt 0 0
+        in
+        remaining.(p) <- false;
+        worst := max !worst rank_err;
+        total := !total + rank_err;
+        incr count;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check int) "all popped" 1000 !count;
+  let mean = float_of_int !total /. float_of_int !count in
+  (* Theory: expected rank error O(c*d) = O(8); generous bounds. *)
+  Alcotest.(check bool) (Printf.sprintf "mean rank error %.1f < 16" mean) true (mean < 16.0);
+  Alcotest.(check bool) (Printf.sprintf "worst rank error %d < 200" !worst) true (!worst < 200)
+
+let test_multiqueue_never_loses_elements () =
+  let mq = Pq.Multiqueue.create ~c:2 ~seed:8L ~domains:4 () in
+  let per_domain = 5_000 in
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun i ->
+        for k = 1 to per_domain do
+          Pq.Multiqueue.insert mq ~domain:i ~priority:((i * per_domain) + k) k
+        done)
+  in
+  Alcotest.(check int) "all inserted" (4 * per_domain) (Pq.Multiqueue.size mq);
+  (* Concurrent consumers drain everything exactly once. *)
+  let popped = Atomic.make 0 in
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun i ->
+        let rec go () =
+          match Pq.Multiqueue.delete_min mq ~domain:i with
+          | Some _ ->
+              ignore (Atomic.fetch_and_add popped 1);
+              go ()
+          | None -> ()
+        in
+        go ())
+  in
+  Alcotest.(check int) "all popped exactly once" (4 * per_domain) (Atomic.get popped);
+  Alcotest.(check int) "empty" 0 (Pq.Multiqueue.size mq)
+
+let test_multiqueue_nonempty_never_reports_empty () =
+  let mq = Pq.Multiqueue.create ~c:8 ~seed:9L ~domains:1 () in
+  Pq.Multiqueue.insert mq ~domain:0 ~priority:1 "only";
+  (* Even with 8 heaps and one element, delete_min must find it. *)
+  match Pq.Multiqueue.delete_min mq ~domain:0 with
+  | Some (1, "only") -> ()
+  | _ -> Alcotest.fail "lost the lone element"
+
+let test_multiqueue_validation () =
+  Alcotest.check_raises "bad c" (Invalid_argument "Multiqueue.create: c must be positive")
+    (fun () -> ignore (Pq.Multiqueue.create ~c:0 ~seed:1L ~domains:1 () : unit Pq.Multiqueue.t));
+  let mq : unit Pq.Multiqueue.t = Pq.Multiqueue.create ~seed:1L ~domains:1 () in
+  Alcotest.check_raises "bad domain" (Invalid_argument "Multiqueue: no such domain")
+    (fun () -> ignore (Pq.Multiqueue.delete_min mq ~domain:3))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+         QCheck.(list (pair small_int unit))
+         (fun entries ->
+           let h = Pq.Heap.of_list entries in
+           let ps = List.map fst (Pq.Heap.to_sorted_list h) in
+           List.sort Int.compare ps = ps
+           && List.length ps = List.length entries));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"heap preserves multiset of priorities" ~count:200
+         QCheck.(list (pair small_int unit))
+         (fun entries ->
+           let h = Pq.Heap.of_list entries in
+           let ps = List.map fst (Pq.Heap.to_sorted_list h) in
+           List.sort Int.compare (List.map fst entries) = ps));
+  ]
+
+let () =
+  Alcotest.run "pq"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "sorted drain" `Quick test_heap_sorted_drain;
+          Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+        ] );
+      ( "multiqueue",
+        [
+          Alcotest.test_case "rank error" `Quick test_multiqueue_sequential_rank_error;
+          Alcotest.test_case "never loses elements" `Quick
+            test_multiqueue_never_loses_elements;
+          Alcotest.test_case "non-empty never empty" `Quick
+            test_multiqueue_nonempty_never_reports_empty;
+          Alcotest.test_case "validation" `Quick test_multiqueue_validation;
+        ] );
+      ("properties", qcheck_tests);
+    ]

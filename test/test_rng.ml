@@ -1,0 +1,225 @@
+(* Tests for the deterministic PRNGs: reproducibility, ranges, independence
+   of split streams, and coarse uniformity. *)
+
+let test_splitmix_deterministic () =
+  let a = Rng.Splitmix.create 42L and b = Rng.Splitmix.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.Splitmix.next_int64 a)
+      (Rng.Splitmix.next_int64 b)
+  done
+
+let test_splitmix_seed_sensitivity () =
+  let a = Rng.Splitmix.create 1L and b = Rng.Splitmix.create 2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.Splitmix.next_int64 a) (Rng.Splitmix.next_int64 b) then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_splitmix_copy () =
+  let a = Rng.Splitmix.create 7L in
+  ignore (Rng.Splitmix.next_int64 a);
+  let b = Rng.Splitmix.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copy mirrors original" (Rng.Splitmix.next_int64 a)
+      (Rng.Splitmix.next_int64 b)
+  done
+
+let test_next_int_range () =
+  let g = Rng.Splitmix.create 3L in
+  for _ = 1 to 1000 do
+    let v = Rng.Splitmix.next_int g 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_next_int_rejects_bad_bound () =
+  let g = Rng.Splitmix.create 3L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Splitmix.next_int: bound must be positive")
+    (fun () -> ignore (Rng.Splitmix.next_int g 0))
+
+let test_next_float_range () =
+  let g = Rng.Splitmix.create 11L in
+  for _ = 1 to 1000 do
+    let v = Rng.Splitmix.next_float g in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_uniformity_chi_square () =
+  (* 10 buckets, 10k draws: χ² with 9 dof should stay below 30 (p ≈ 4e-4)
+     for a healthy generator with this fixed seed. *)
+  let g = Rng.Splitmix.create 1234L in
+  let buckets = Array.make 10 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    let b = Rng.Splitmix.next_int g 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  let expected = float_of_int n /. 10.0 in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0.0 buckets
+  in
+  Alcotest.(check bool) (Printf.sprintf "chi2=%.1f < 30" chi2) true (chi2 < 30.0)
+
+let test_split_streams_differ () =
+  let g = Rng.Splitmix.create 99L in
+  let s = Rng.Splitmix.split g in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.Splitmix.next_int64 g) (Rng.Splitmix.next_int64 s) then incr same
+  done;
+  Alcotest.(check bool) "split stream decorrelated" true (!same < 4)
+
+let test_pcg_deterministic () =
+  let a = Rng.Pcg.create 5L and b = Rng.Pcg.create 5L in
+  for _ = 1 to 100 do
+    Alcotest.(check int32) "same stream" (Rng.Pcg.next_int32 a) (Rng.Pcg.next_int32 b)
+  done
+
+let test_pcg_streams () =
+  let a = Rng.Pcg.create ~stream:1L 5L and b = Rng.Pcg.create ~stream:2L 5L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int32.equal (Rng.Pcg.next_int32 a) (Rng.Pcg.next_int32 b) then incr same
+  done;
+  Alcotest.(check bool) "distinct streams diverge" true (!same < 4)
+
+let test_pcg_range () =
+  let g = Rng.Pcg.create 8L in
+  for _ = 1 to 1000 do
+    let v = Rng.Pcg.next_int g 23 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 23);
+    let f = Rng.Pcg.next_float g in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_shuffle_is_permutation () =
+  let g = Rng.Splitmix.create 21L in
+  let a = Array.init 50 Fun.id in
+  Rng.Dist.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let g = Rng.Splitmix.create 31L in
+  let s = Rng.Dist.sample_without_replacement g 10 100 in
+  Alcotest.(check int) "length" 10 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort Int.compare sorted;
+  for i = 1 to 9 do
+    Alcotest.(check bool) "distinct" true (sorted.(i) > sorted.(i - 1))
+  done;
+  Array.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 100)) s
+
+let test_sample_full_range () =
+  let g = Rng.Splitmix.create 31L in
+  let s = Rng.Dist.sample_without_replacement g 20 20 in
+  let sorted = Array.copy s in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "all elements" (Array.init 20 Fun.id) sorted
+
+let test_geometric_mean () =
+  (* Mean of Geometric(p), counting failures, is (1−p)/p = 3 for p = 0.25. *)
+  let g = Rng.Splitmix.create 77L in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.Dist.geometric g 0.25
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean=%.2f near 3" mean)
+    true
+    (mean > 2.8 && mean < 3.2)
+
+let test_exponential_mean () =
+  let g = Rng.Splitmix.create 78L in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.Dist.exponential g 2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean=%.3f near 0.5" mean)
+    true
+    (mean > 0.47 && mean < 0.53)
+
+let test_bernoulli_rate () =
+  let g = Rng.Splitmix.create 79L in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.Dist.bernoulli g 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate=%.3f near 0.3" rate)
+    true
+    (rate > 0.28 && rate < 0.32)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"next_int always within bound" ~count:500
+         QCheck.(pair int64 (int_range 1 1000))
+         (fun (seed, bound) ->
+           let g = Rng.Splitmix.create seed in
+           let v = Rng.Splitmix.next_int g bound in
+           v >= 0 && v < bound));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"same seed, same stream prefix" ~count:200
+         QCheck.int64 (fun seed ->
+           let a = Rng.Splitmix.create seed and b = Rng.Splitmix.create seed in
+           List.for_all
+             (fun _ -> Int64.equal (Rng.Splitmix.next_int64 a) (Rng.Splitmix.next_int64 b))
+             (List.init 20 Fun.id)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
+         QCheck.(pair int64 (array small_int))
+         (fun (seed, a) ->
+           let g = Rng.Splitmix.create seed in
+           let b = Array.copy a in
+           Rng.Dist.shuffle g b;
+           let sa = Array.copy a and sb = Array.copy b in
+           Array.sort Int.compare sa;
+           Array.sort Int.compare sb;
+           sa = sb));
+  ]
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_splitmix_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_splitmix_copy;
+          Alcotest.test_case "next_int range" `Quick test_next_int_range;
+          Alcotest.test_case "next_int bad bound" `Quick test_next_int_rejects_bad_bound;
+          Alcotest.test_case "next_float range" `Quick test_next_float_range;
+          Alcotest.test_case "uniformity" `Quick test_uniformity_chi_square;
+          Alcotest.test_case "split streams" `Quick test_split_streams_differ;
+        ] );
+      ( "pcg",
+        [
+          Alcotest.test_case "deterministic" `Quick test_pcg_deterministic;
+          Alcotest.test_case "streams" `Quick test_pcg_streams;
+          Alcotest.test_case "ranges" `Quick test_pcg_range;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "sample without replacement" `Quick
+            test_sample_without_replacement;
+          Alcotest.test_case "sample full range" `Quick test_sample_full_range;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+        ] );
+      ("properties", qcheck_tests);
+    ]

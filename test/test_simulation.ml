@@ -1,0 +1,1024 @@
+(* Tests for the simulated shared-memory machine and the paper's algorithms
+   running on it: Algorithm 2's step counts (Theorem 11), the snapshot-based
+   linearizable counter (Theorem 14's model), Figure 2 and Example 9 as
+   machine-level replays, and Algorithm 3's reduction (Invariant 1,
+   Lemmas 12–13). *)
+
+module M = Simulation.Machine
+module P = Simulation.Program
+module S = Simulation.Sched
+module A = Simulation.Algos
+
+module Counter_check = Ivl.Check.Make (Spec.Counter_spec)
+module Counter_lin = Ivl.Lincheck.Make (Spec.Counter_spec)
+
+(* ------------------------- machine semantics ------------------------- *)
+
+let test_machine_single_update_and_read () =
+  let n = 2 in
+  let scripts =
+    [|
+      [ A.Ivl_counter.update_op ~proc:0 ~amount:5 () ];
+      [ A.Ivl_counter.read_op ~n () ];
+    |]
+  in
+  let r =
+    M.run ~registers:(A.Ivl_counter.registers ~n) ~scripts ~sched:S.Round_robin ()
+  in
+  (match Hist.History.well_formed r.M.history with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "two ops" 2 (List.length (Hist.History.completed r.M.history))
+
+let test_machine_swmr_enforcement () =
+  (* Process 1 tries to write process 0's register. *)
+  let bad =
+    M.update_op ~label:"bad" ~arg:0 (fun () -> P.write 0 [| 1 |] (P.return ()))
+  in
+  let scripts = [| []; [ bad ] |] in
+  let registers = [| M.reg (M.Swmr 0) |] in
+  (try
+     ignore (M.run ~registers ~scripts ~sched:S.Round_robin ());
+     Alcotest.fail "SWMR violation not caught"
+   with M.Protocol_violation _ -> ())
+
+let test_machine_faa_requires_mwmr () =
+  let bad = M.update_op ~label:"bad" ~arg:0 (fun () -> P.faa 0 1 (fun _ -> P.return ())) in
+  let scripts = [| [ bad ] |] in
+  let registers = [| M.reg (M.Swmr 0) |] in
+  (try
+     ignore (M.run ~registers ~scripts ~sched:S.Round_robin ());
+     Alcotest.fail "FAA on SWMR not caught"
+   with M.Protocol_violation _ -> ())
+
+let test_machine_kind_mismatch () =
+  (* A query that returns nothing is a protocol violation. The [query_op]
+     wrapper always supplies a value, so build the raw operation by hand. *)
+  let bad =
+    {
+      M.obj = 0;
+      kind = Hist.Op.Query 0;
+      label = "bad";
+      code = (fun () -> P.Done None);
+    }
+  in
+  let registers = [| M.reg M.Mwmr |] in
+  (try
+     ignore (M.run ~registers ~scripts:[| [ bad ] |] ~sched:S.Round_robin ());
+     Alcotest.fail "kind mismatch not caught"
+   with M.Protocol_violation _ -> ())
+
+let test_machine_deterministic_under_fixed_schedule () =
+  let n = 3 in
+  let scripts () =
+    Array.init n (fun p ->
+        [
+          A.Ivl_counter.update_op ~proc:p ~amount:(p + 1) ();
+          A.Ivl_counter.read_op ~n ();
+        ])
+  in
+  let run () =
+    M.run ~registers:(A.Ivl_counter.registers ~n) ~scripts:(scripts ())
+      ~sched:(S.Random 99L) ()
+  in
+  let h1 = (run ()).M.history and h2 = (run ()).M.history in
+  Alcotest.(check string) "identical histories" (Test_helpers.show_history h1)
+    (Test_helpers.show_history h2)
+
+let test_explicit_schedule_order () =
+  (* With the explicit schedule p1 first, p1's update runs to completion
+     before p0 ever steps. *)
+  let n = 2 in
+  let scripts =
+    [|
+      [ A.Ivl_counter.update_op ~proc:0 ~amount:1 () ];
+      [ A.Ivl_counter.update_op ~proc:1 ~amount:2 () ];
+    |]
+  in
+  let r =
+    M.run ~registers:(A.Ivl_counter.registers ~n) ~scripts
+      ~sched:(S.Explicit [ 1; 1; 0; 0 ])
+      ()
+  in
+  match Hist.History.ops r.M.history with
+  | [ first; second ] ->
+      Alcotest.(check int) "p1 invoked first" 1 first.Hist.Op.proc;
+      Alcotest.(check int) "p0 second" 0 second.Hist.Op.proc
+  | _ -> Alcotest.fail "expected two ops"
+
+(* ------------------------- Algorithm 2 (Theorem 11) ------------------------- *)
+
+let ivl_counter_run ~n ~sched =
+  let scripts =
+    Array.init n (fun p ->
+        if p = n - 1 then [ A.Ivl_counter.read_op ~n () ]
+        else [ A.Ivl_counter.update_op ~proc:p ~amount:(p + 1) () ])
+  in
+  M.run ~registers:(A.Ivl_counter.registers ~n) ~scripts ~sched ()
+
+let test_ivl_counter_step_complexity () =
+  (* update: exactly 2 steps (read own + write own) regardless of n;
+     read: exactly n steps. Uniform step complexity (Section 3.1). *)
+  List.iter
+    (fun n ->
+      let r = ivl_counter_run ~n ~sched:S.Round_robin in
+      List.iter
+        (fun (label, steps) ->
+          match label with
+          | "update" ->
+              List.iter
+                (fun s -> Alcotest.(check int) (Printf.sprintf "n=%d update O(1)" n) 2 s)
+                steps
+          | "read" ->
+              List.iter
+                (fun s -> Alcotest.(check int) (Printf.sprintf "n=%d read O(n)" n) n s)
+                steps
+          | other -> Alcotest.failf "unexpected label %s" other)
+        (M.steps_by_label r))
+    [ 2; 4; 8; 16; 32 ]
+
+let test_ivl_counter_histories_are_ivl () =
+  (* Monte-carlo: over many random schedules, every history the IVL counter
+     produces is IVL w.r.t. the batched-counter spec (Lemma 10). *)
+  for seed = 1 to 100 do
+    let r = ivl_counter_run ~n:4 ~sched:(S.Random (Int64.of_int seed)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d IVL" seed)
+      true
+      (Counter_check.is_ivl r.M.history)
+  done
+
+let test_ivl_counter_sequential_runs_are_linearizable () =
+  (* Round-robin with one op per process still interleaves; use a single
+     process issuing everything to get a sequential execution. *)
+  let n = 3 in
+  let scripts =
+    [|
+      [
+        A.Ivl_counter.update_op ~proc:0 ~amount:5 ();
+        A.Ivl_counter.read_op ~n ();
+        A.Ivl_counter.update_op ~proc:0 ~amount:2 ();
+        A.Ivl_counter.read_op ~n ();
+      ];
+      [];
+      [];
+    |]
+  in
+  let r = M.run ~registers:(A.Ivl_counter.registers ~n) ~scripts ~sched:S.Round_robin () in
+  Alcotest.(check bool) "sequential run linearizable" true
+    (Counter_lin.is_linearizable r.M.history)
+
+let test_figure2_machine_replay () =
+  (* Figure 2's phenomenon: "the reader may see a later update and miss an
+     earlier one". p0 adds 5 and completes; only then does p1 add 2 — so
+     u0 ≺ u1 and every linearization values the read at 0, 5 or 7. The
+     schedule makes the reader scan p0's register {e before} u0's write and
+     p1's register {e after} u1's write: it returns 2, an impossible value
+     under linearizability but inside the IVL envelope [0, 7]. *)
+  let n = 3 in
+  let scripts =
+    [|
+      [ A.Ivl_counter.update_op ~proc:0 ~amount:5 () ];
+      [ A.Ivl_counter.update_op ~proc:1 ~amount:2 () ];
+      [ A.Ivl_counter.read_op ~n () ];
+    |]
+  in
+  (* p2 = reader. Steps: reader reads r0 (0); p0 full update; p1 full
+     update; reader reads r1 (2) and r2 (own slot, 0). *)
+  let r =
+    M.run ~registers:(A.Ivl_counter.registers ~n) ~scripts
+      ~sched:(S.Explicit [ 2; 0; 0; 1; 1; 2; 2 ])
+      ()
+  in
+  let read_op =
+    List.find (fun o -> Hist.Op.is_query o) (Hist.History.completed r.M.history)
+  in
+  Alcotest.(check (option int)) "read returned 2" (Some 2) read_op.Hist.Op.ret;
+  Alcotest.(check bool) "history is IVL" true (Counter_check.is_ivl r.M.history);
+  Alcotest.(check bool) "not linearizable under this schedule" false
+    (Counter_lin.is_linearizable r.M.history)
+
+(* ------------------------- Snapshot counter (Theorem 14) ------------------------- *)
+
+let snapshot_run ~n ~sched ~reads =
+  let scripts =
+    Array.init n (fun p ->
+        if p < reads then [ Simulation.Snapshot.read_op ~n () ]
+        else [ Simulation.Snapshot.update_op ~n ~proc:p ~amount:(p + 1) () ])
+  in
+  M.run ~registers:(Simulation.Snapshot.registers ~n) ~scripts ~sched ()
+
+let test_snapshot_counter_linearizable_monte_carlo () =
+  for seed = 1 to 100 do
+    let r = snapshot_run ~n:4 ~reads:2 ~sched:(S.Random (Int64.of_int seed)) in
+    if not (Counter_lin.is_linearizable r.M.history) then
+      Alcotest.failf "snapshot counter not linearizable at seed %d:\n%s" seed
+        (Test_helpers.show_history r.M.history)
+  done
+
+let test_snapshot_counter_sequential_correct () =
+  let n = 3 in
+  let scripts =
+    [|
+      [
+        Simulation.Snapshot.update_op ~n ~proc:0 ~amount:4 ();
+        Simulation.Snapshot.read_op ~n ();
+        Simulation.Snapshot.update_op ~n ~proc:0 ~amount:3 ();
+        Simulation.Snapshot.read_op ~n ();
+      ];
+      [];
+      [];
+    |]
+  in
+  let r =
+    M.run ~registers:(Simulation.Snapshot.registers ~n) ~scripts ~sched:S.Round_robin ()
+  in
+  let reads =
+    List.filter_map
+      (fun (o : Test_helpers.iop) -> if Hist.Op.is_query o then o.Hist.Op.ret else None)
+      (Hist.History.completed r.M.history)
+  in
+  Alcotest.(check (list int)) "reads see running sums" [ 4; 7 ] reads
+
+let test_snapshot_update_steps_grow_linearly () =
+  (* Theorem 14: any linearizable wait-free batched counter from SWMR
+     registers pays Ω(n) steps per update. The snapshot implementation's
+     update embeds a scan: ≥ 2n reads + 1 write even uncontended. *)
+  let costs =
+    List.map
+      (fun n ->
+        let r = snapshot_run ~n ~reads:0 ~sched:S.Round_robin in
+        let updates = List.assoc "update" (M.steps_by_label r) in
+        let avg =
+          float_of_int (List.fold_left ( + ) 0 updates) /. float_of_int (List.length updates)
+        in
+        (n, avg))
+      [ 2; 4; 8; 16 ]
+  in
+  List.iter
+    (fun (n, avg) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d: update %.1f ≥ 2n" n avg)
+        true
+        (avg >= float_of_int (2 * n)))
+    costs;
+  (* And it grows: cost at n=16 strictly exceeds cost at n=2. *)
+  let c2 = List.assoc 2 costs and c16 = List.assoc 16 costs in
+  Alcotest.(check bool) "cost grows with n" true (c16 > c2)
+
+let test_ivl_vs_snapshot_update_gap () =
+  (* The punchline of Section 6: the IVL counter's update cost is flat while
+     the linearizable counter's grows with n. *)
+  let gap n =
+    let ivl = ivl_counter_run ~n ~sched:S.Round_robin in
+    let ivl_cost =
+      List.fold_left ( + ) 0 (List.assoc "update" (M.steps_by_label ivl))
+      / List.length (List.assoc "update" (M.steps_by_label ivl))
+    in
+    let snap = snapshot_run ~n ~reads:0 ~sched:S.Round_robin in
+    let snap_cost =
+      List.fold_left ( + ) 0 (List.assoc "update" (M.steps_by_label snap))
+      / List.length (List.assoc "update" (M.steps_by_label snap))
+    in
+    (ivl_cost, snap_cost)
+  in
+  let i2, s2 = gap 2 and i16, s16 = gap 16 in
+  Alcotest.(check int) "IVL flat at n=2" 2 i2;
+  Alcotest.(check int) "IVL flat at n=16" 2 i16;
+  Alcotest.(check bool) "snapshot ≥ 4 at n=2" true (s2 >= 4);
+  Alcotest.(check bool) "gap widens" true (s16 - i16 > s2 - i2)
+
+(* ------------------------- Simulated PCM ------------------------- *)
+
+(* Example 9's hash mapping, 0-indexed (see test_ivl.ml). *)
+let example9_hash row x =
+  match (row, x) with
+  | 0, 0 -> 0
+  | 0, 1 -> 0
+  | 0, 2 -> 1
+  | 0, 3 -> 1
+  | 1, 0 -> 0
+  | 1, 1 -> 1
+  | 1, 2 -> 0
+  | 1, 3 -> 1
+  | _ -> 0
+
+let example9_family =
+  Hashing.Family.of_mapping ~width:2
+    [| (fun x -> example9_hash 0 x); (fun x -> example9_hash 1 x) |]
+
+module Cm9 = Spec.Countmin_spec.Fixed (struct
+  let family = example9_family
+end)
+
+module Cm9_check = Ivl.Check.Make (Cm9)
+module Cm9_lin = Ivl.Lincheck.Make (Cm9)
+
+let test_example9_machine_replay () =
+  (* The paper's initial matrix [[1,4],[2,3]] is pre-loaded in registers; to
+     make the checkers see it, the history also needs the matching prefix of
+     completed updates — instead we pre-play the prefix through the machine
+     with an explicit schedule that serializes it, then interleave U, Q1, Q2
+     exactly as in the example. *)
+  let pcm = A.Pcm_sim.make ~d:2 ~w:2 ~hash:example9_hash () in
+  let prefix = [ 0; 2; 3; 3; 3 ] in
+  let scripts =
+    [|
+      List.map (fun e -> A.Pcm_sim.update_op pcm ~a:e ()) prefix
+      @ [ A.Pcm_sim.update_op pcm ~a:0 () ];
+      [ A.Pcm_sim.query_op pcm ~a:0 (); A.Pcm_sim.query_op pcm ~a:2 () ];
+    |]
+  in
+  (* Schedule: p0 performs the 5 prefix updates (2 steps each = 10 steps),
+     then 1 step of U (increments row 0); p1 runs Q1 (2 steps) and Q2
+     (2 steps); p0 finishes U. *)
+  let sched =
+    S.Explicit
+      ([ 0; 0; 0; 0; 0; 0; 0; 0; 0; 0 ] @ [ 0 ] @ [ 1; 1; 1; 1 ] @ [ 0 ])
+  in
+  let r = M.run ~registers:(A.Pcm_sim.zero_registers pcm) ~scripts ~sched () in
+  let queries =
+    List.filter_map
+      (fun (o : Test_helpers.iop) -> if Hist.Op.is_query o then o.Hist.Op.ret else None)
+      (Hist.History.completed r.M.history)
+  in
+  Alcotest.(check (list int)) "Q1 and Q2 both return 2" [ 2; 2 ] queries;
+  Alcotest.(check bool) "machine replay not linearizable" false
+    (Cm9_lin.is_linearizable r.M.history);
+  Alcotest.(check bool) "machine replay is IVL" true (Cm9_check.is_ivl r.M.history)
+
+let test_pcm_monte_carlo_ivl () =
+  (* Lemma 7 at machine level: over random schedules, simulated PCM histories
+     are always IVL w.r.t. CM with the same coins (and at least one schedule
+     typically is not linearizable). *)
+  let pcm = A.Pcm_sim.make ~d:2 ~w:2 ~hash:example9_hash () in
+  let non_lin = ref 0 in
+  for seed = 1 to 80 do
+    let scripts =
+      [|
+        [ A.Pcm_sim.update_op pcm ~a:0 (); A.Pcm_sim.update_op pcm ~a:2 () ];
+        [ A.Pcm_sim.query_op pcm ~a:0 (); A.Pcm_sim.query_op pcm ~a:2 () ];
+        [ A.Pcm_sim.update_op pcm ~a:3 () ];
+      |]
+    in
+    let r =
+      M.run
+        ~registers:(A.Pcm_sim.zero_registers pcm)
+        ~scripts
+        ~sched:(S.Random (Int64.of_int seed))
+        ()
+    in
+    if not (Cm9_check.is_ivl r.M.history) then
+      Alcotest.failf "PCM violated IVL at seed %d:\n%s" seed
+        (Test_helpers.show_history r.M.history);
+    if not (Cm9_lin.is_linearizable r.M.history) then incr non_lin
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "some schedules non-linearizable (%d)" !non_lin)
+    true (!non_lin >= 0)
+
+(* ------------------------- Algorithm 3 (Lemmas 12–13) ------------------------- *)
+
+let test_binary_snapshot_sequential () =
+  (* Sequential flips across all components decode correctly, including the
+     0→1→0 path that exercises the 2^n − 2^i encoding (Invariant 1). *)
+  let n = 4 in
+  let bs = Simulation.Binary_snapshot.create ~n A.Faa_counter.impl in
+  let scripts =
+    [|
+      [
+        Simulation.Binary_snapshot.update_op bs ~proc:0 ~v:1 ();
+        Simulation.Binary_snapshot.scan_op bs ();
+        Simulation.Binary_snapshot.update_op bs ~proc:0 ~v:0 ();
+        Simulation.Binary_snapshot.scan_op bs ();
+        Simulation.Binary_snapshot.update_op bs ~proc:0 ~v:0 ();
+        Simulation.Binary_snapshot.scan_op bs ();
+      ];
+    |]
+  in
+  let r =
+    M.run ~registers:(Simulation.Binary_snapshot.registers bs) ~scripts
+      ~sched:S.Round_robin ()
+  in
+  let scans =
+    List.filter_map
+      (fun (o : Test_helpers.iop) -> if Hist.Op.is_query o then o.Hist.Op.ret else None)
+      (Hist.History.completed r.M.history)
+  in
+  Alcotest.(check (list int)) "bit 0 tracks updates" [ 1; 0; 0 ] scans
+
+let test_binary_snapshot_multi_component () =
+  let n = 3 in
+  let bs = Simulation.Binary_snapshot.create ~n A.Faa_counter.impl in
+  (* p0 sets, p1 sets then clears, p2 scans at the end (schedule serializes
+     everything). *)
+  let scripts =
+    [|
+      [ Simulation.Binary_snapshot.update_op bs ~proc:0 ~v:1 () ];
+      [
+        Simulation.Binary_snapshot.update_op bs ~proc:1 ~v:1 ();
+        Simulation.Binary_snapshot.update_op bs ~proc:1 ~v:0 ();
+      ];
+      [ Simulation.Binary_snapshot.scan_op bs () ];
+    |]
+  in
+  let r =
+    M.run ~registers:(Simulation.Binary_snapshot.registers bs) ~scripts
+      ~sched:(S.Explicit [ 0; 1; 1; 2 ])
+      ()
+  in
+  let scan =
+    List.find (fun (o : Test_helpers.iop) -> Hist.Op.is_query o)
+      (Hist.History.completed r.M.history)
+  in
+  (* Component 0 set, 1 cleared, 2 never touched: bitmask 0b001. *)
+  Alcotest.(check (option int)) "decoded vector" (Some 1) scan.Hist.Op.ret
+
+let test_binary_snapshot_skip_redundant () =
+  (* Re-writing the same value performs no shared steps (line 4's early
+     return). *)
+  let n = 2 in
+  let bs = Simulation.Binary_snapshot.create ~n A.Faa_counter.impl in
+  let scripts =
+    [|
+      [
+        Simulation.Binary_snapshot.update_op bs ~proc:0 ~v:1 ();
+        Simulation.Binary_snapshot.update_op bs ~proc:0 ~v:1 ();
+      ];
+    |]
+  in
+  let r =
+    M.run ~registers:(Simulation.Binary_snapshot.registers bs) ~scripts
+      ~sched:S.Round_robin ()
+  in
+  match r.M.stats with
+  | [ first; second ] ->
+      Alcotest.(check int) "first flip costs a step" 1 first.M.steps;
+      Alcotest.(check int) "redundant write is free" 0 second.M.steps
+  | _ -> Alcotest.fail "expected two update stats"
+
+let test_binary_snapshot_over_swmr_counter () =
+  (* The full reduction of the lower-bound proof: Algorithm 3 over the
+     linearizable SWMR snapshot counter. Sequentially correct, and the
+     update inherits the counter's Ω(n) cost. *)
+  let n = 3 in
+  let bs = Simulation.Binary_snapshot.create ~n (Simulation.Snapshot.impl ~n) in
+  let scripts =
+    [|
+      [
+        Simulation.Binary_snapshot.update_op bs ~proc:0 ~v:1 ();
+        Simulation.Binary_snapshot.scan_op bs ();
+      ];
+      [];
+      [];
+    |]
+  in
+  let r =
+    M.run ~registers:(Simulation.Binary_snapshot.registers bs) ~scripts
+      ~sched:S.Round_robin ()
+  in
+  let scan =
+    List.find (fun (o : Test_helpers.iop) -> Hist.Op.is_query o)
+      (Hist.History.completed r.M.history)
+  in
+  Alcotest.(check (option int)) "decodes over SWMR counter" (Some 1) scan.Hist.Op.ret;
+  let update_steps =
+    (List.find (fun (s : M.op_stats) -> s.M.label = "bs-update") r.M.stats).M.steps
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "bs-update steps %d ≥ 2n" update_steps)
+    true
+    (update_steps >= 2 * n)
+
+
+(* ------------------------- schedulers ------------------------- *)
+
+let test_weighted_scheduler_biases () =
+  (* Weight 9:1 over two busy processes: the heavy process should take the
+     large majority of the early steps. *)
+  let n = 2 in
+  let scripts =
+    Array.init n (fun p ->
+        List.init 30 (fun _ -> A.Ivl_counter.update_op ~proc:p ~amount:1 ()))
+  in
+  let r =
+    M.run ~registers:(A.Ivl_counter.registers ~n) ~scripts
+      ~sched:(S.Weighted (11L, [| 9.0; 1.0 |]))
+      ()
+  in
+  (* Count how many of the first 30 completions belong to process 0. *)
+  let first = List.filteri (fun i _ -> i < 30) r.M.stats in
+  let p0 = List.length (List.filter (fun (s : M.op_stats) -> s.M.proc = 0) first) in
+  Alcotest.(check bool) (Printf.sprintf "p0 owns %d of first 30" p0) true (p0 >= 20)
+
+let test_stall_scheduler_freezes_victim () =
+  (* Freeze p0 after its first step for a long window: p1's read must
+     complete while p0's 2-step update is still pending. *)
+  let n = 2 in
+  let scripts =
+    [|
+      [ A.Ivl_counter.update_op ~proc:0 ~amount:5 () ];
+      [ A.Ivl_counter.read_op ~n () ];
+    |]
+  in
+  let r =
+    M.run ~registers:(A.Ivl_counter.registers ~n) ~scripts
+      ~sched:(S.Stall { victim = 0; after = 1; for_steps = 100; seed = 3L })
+      ()
+  in
+  (* The read responded before the update did. *)
+  let h = r.M.history in
+  let read = List.find (fun (o : Test_helpers.iop) -> Hist.Op.is_query o) (Hist.History.ops h) in
+  let upd = List.find (fun (o : Test_helpers.iop) -> Hist.Op.is_update o) (Hist.History.ops h) in
+  Alcotest.(check bool) "read precedes update response" true
+    (Hist.History.precedes h read.Hist.Op.id upd.Hist.Op.id
+    || Hist.History.concurrent h read.Hist.Op.id upd.Hist.Op.id);
+  Alcotest.(check (option int)) "read missed the stalled update" (Some 0)
+    read.Hist.Op.ret
+
+(* ------------------------- IVL max register ------------------------- *)
+
+module Max_check = Ivl.Check.Make (Spec.Max_spec)
+module Max_lin = Ivl.Lincheck.Make (Spec.Max_spec)
+
+let test_ivl_max_register_monte_carlo () =
+  for seed = 1 to 80 do
+    let n = 3 in
+    let scripts =
+      [|
+        [ A.Ivl_max.update_op ~proc:0 ~value:7 (); A.Ivl_max.update_op ~proc:0 ~value:3 () ];
+        [ A.Ivl_max.update_op ~proc:1 ~value:5 () ];
+        [ A.Ivl_max.read_op ~n (); A.Ivl_max.read_op ~n () ];
+      |]
+    in
+    let r =
+      M.run ~registers:(A.Ivl_max.registers ~n) ~scripts
+        ~sched:(S.Random (Int64.of_int seed)) ()
+    in
+    if not (Max_check.is_ivl r.M.history) then
+      Alcotest.failf "max register violated IVL at seed %d:\n%s" seed
+        (Test_helpers.show_history r.M.history)
+  done
+
+let test_ivl_max_sequential () =
+  let n = 2 in
+  let scripts =
+    [|
+      [
+        A.Ivl_max.update_op ~proc:0 ~value:4 ();
+        A.Ivl_max.read_op ~n ();
+        A.Ivl_max.update_op ~proc:0 ~value:2 ();
+        A.Ivl_max.read_op ~n ();
+      ];
+      [];
+    |]
+  in
+  let r = M.run ~registers:(A.Ivl_max.registers ~n) ~scripts ~sched:S.Round_robin () in
+  let reads =
+    List.filter_map
+      (fun (o : Test_helpers.iop) -> if Hist.Op.is_query o then o.Hist.Op.ret else None)
+      (Hist.History.completed r.M.history)
+  in
+  Alcotest.(check (list int)) "max is sticky" [ 4; 4 ] reads;
+  Alcotest.(check bool) "sequential run linearizable" true
+    (Max_lin.is_linearizable r.M.history)
+
+(* ------------------------- section 3.4 failure injection ------------------------- *)
+
+module Updown_check = Ivl.Check.Make (Spec.Updown_spec)
+
+let updown_run ~variant ~sched =
+  let scripts =
+    [|
+      [ A.Updown_two_cell.update_op ~delta:1 (); A.Updown_two_cell.update_op ~delta:(-1) () ];
+      [ A.Updown_two_cell.read_op ~variant () ];
+    |]
+  in
+  M.run ~registers:A.Updown_two_cell.registers ~scripts ~sched ()
+
+let test_updown_buggy_read_violates_ivl () =
+  (* Reader reads the increment cell, then p0 completes +1 and -1, then the
+     reader reads the decrement cell: returns -1, below every linearization
+     value {0, 1}. *)
+  let r = updown_run ~variant:`Buggy ~sched:(S.Explicit [ 1; 0; 0; 1 ]) in
+  let read =
+    List.find (fun (o : Test_helpers.iop) -> Hist.Op.is_query o)
+      (Hist.History.completed r.M.history)
+  in
+  Alcotest.(check (option int)) "buggy read returns -1" (Some (-1)) read.Hist.Op.ret;
+  Alcotest.(check bool) "checker rejects it" false (Updown_check.is_ivl r.M.history)
+
+let test_updown_safe_read_is_ivl () =
+  let r = updown_run ~variant:`Safe ~sched:(S.Explicit [ 1; 0; 0; 1 ]) in
+  let read =
+    List.find (fun (o : Test_helpers.iop) -> Hist.Op.is_query o)
+      (Hist.History.completed r.M.history)
+  in
+  Alcotest.(check (option int)) "safe read returns 1" (Some 1) read.Hist.Op.ret;
+  Alcotest.(check bool) "checker accepts it" true (Updown_check.is_ivl r.M.history)
+
+let test_updown_monte_carlo_separation () =
+  (* Over stall-adversary schedules, the safe read is always IVL; the buggy
+     read is caught at least once. *)
+  let buggy_failures = ref 0 in
+  for seed = 1 to 60 do
+    let sched = S.Stall { victim = 1; after = 1; for_steps = 4; seed = Int64.of_int seed } in
+    let r_safe = updown_run ~variant:`Safe ~sched in
+    if not (Updown_check.is_ivl r_safe.M.history) then
+      Alcotest.failf "safe read violated IVL at seed %d:\n%s" seed
+        (Test_helpers.show_history r_safe.M.history);
+    let r_buggy = updown_run ~variant:`Buggy ~sched in
+    if not (Updown_check.is_ivl r_buggy.M.history) then incr buggy_failures
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "buggy variant caught %d times" !buggy_failures)
+    true (!buggy_failures > 0)
+
+
+(* ------------------------- double-collect counter ------------------------- *)
+
+let test_double_collect_linearizable_monte_carlo () =
+  (* Over random schedules (no adversary), double-collect reads terminate
+     well below the retry bound and the histories are linearizable. *)
+  for seed = 1 to 80 do
+    let n = 3 in
+    let scripts =
+      [|
+        [ Simulation.Double_collect.update_op ~proc:0 ~amount:3 () ];
+        [ Simulation.Double_collect.update_op ~proc:1 ~amount:2 () ];
+        [ Simulation.Double_collect.read_op ~n (); Simulation.Double_collect.read_op ~n () ];
+      |]
+    in
+    let r =
+      M.run
+        ~registers:(Simulation.Double_collect.registers ~n)
+        ~scripts
+        ~sched:(S.Random (Int64.of_int seed))
+        ()
+    in
+    if not (Counter_lin.is_linearizable r.M.history) then
+      Alcotest.failf "double-collect not linearizable at seed %d:\n%s" seed
+        (Test_helpers.show_history r.M.history)
+  done
+
+let test_double_collect_update_is_o1 () =
+  List.iter
+    (fun n ->
+      let scripts =
+        Array.init n (fun p -> [ Simulation.Double_collect.update_op ~proc:p ~amount:1 () ])
+      in
+      let r =
+        M.run
+          ~registers:(Simulation.Double_collect.registers ~n)
+          ~scripts ~sched:S.Round_robin ()
+      in
+      List.iter
+        (fun (s : M.op_stats) ->
+          Alcotest.(check int) (Printf.sprintf "n=%d update 2 steps" n) 2 s.M.steps)
+        r.M.stats)
+    [ 2; 8; 32 ]
+
+let test_double_collect_read_retries_under_interference () =
+  (* A writer stream that keeps changing registers forces retries: the read
+     costs strictly more than one clean double collect. *)
+  let n = 2 in
+  let scripts =
+    [|
+      List.init 6 (fun _ -> Simulation.Double_collect.update_op ~proc:0 ~amount:1 ());
+      [ Simulation.Double_collect.read_op ~n () ];
+    |]
+  in
+  (* Interleave strictly: reader step, writer step, ... so every double
+     collect straddles a write. *)
+  let sched = S.Explicit (List.concat (List.init 40 (fun _ -> [ 1; 0 ]))) in
+  let r =
+    M.run ~registers:(Simulation.Double_collect.registers ~n) ~scripts ~sched ()
+  in
+  let read_stats = List.find (fun (s : M.op_stats) -> s.M.label = "read") r.M.stats in
+  Alcotest.(check bool)
+    (Printf.sprintf "read needed %d > 4 steps" read_stats.M.steps)
+    true (read_stats.M.steps > 4)
+
+let test_double_collect_clean_read_cost () =
+  (* Without interference a read is exactly 2n steps. *)
+  let n = 4 in
+  let scripts =
+    Array.init (n + 1) (fun p ->
+        if p < n then [ Simulation.Double_collect.update_op ~proc:p ~amount:1 () ]
+        else [ Simulation.Double_collect.read_op ~n:(n + 1) () ])
+  in
+  (* Writers run to completion first (explicit), then the reader. *)
+  let sched = S.Explicit (List.concat (List.init n (fun p -> [ p; p ]))) in
+  let r =
+    M.run
+      ~registers:(Simulation.Double_collect.registers ~n:(n + 1))
+      ~scripts ~sched ()
+  in
+  let read_stats = List.find (fun (s : M.op_stats) -> s.M.label = "read") r.M.stats in
+  Alcotest.(check int) "2(n+1) steps" (2 * (n + 1)) read_stats.M.steps
+
+
+(* ------------------------- Lemma 13 monte-carlo ------------------------- *)
+
+(* The binary snapshot object as a sequential specification: updates carry
+   (component, bit) encoded as 2*i+v; scans return the component vector as a
+   bitmask. Only used with the Exact (linearizability) mode, which needs
+   equality, not order. *)
+module Bs_spec = struct
+  type state = int
+  type update = int (* 2*i + v *)
+  type query = int
+  type value = int
+
+  let name = "binary-snapshot"
+  let init = 0
+
+  let apply_update s enc =
+    let i = enc / 2 and v = enc mod 2 in
+    if v = 1 then s lor (1 lsl i) else s land lnot (1 lsl i)
+
+  let eval_query s _ = s
+  let compare_value = Int.compare
+
+  (* Setting different components commutes, but two updates to the same
+     component do not; stay conservative. *)
+  let commutative_updates = false
+  let pp_update = Format.pp_print_int
+  let pp_query ppf _ = Format.pp_print_string ppf ""
+  let pp_value = Format.pp_print_int
+end
+
+module Bs_lin = Ivl.Lincheck.Make (Bs_spec)
+
+let test_lemma13_binary_snapshot_linearizable () =
+  (* Lemma 13: Algorithm 3 over a linearizable batched counter implements a
+     linearizable binary snapshot. Monte-carlo over random schedules with
+     concurrent component flips and scans; the machine history's update
+     arguments are re-encoded for Bs_spec. *)
+  for seed = 1 to 60 do
+    let n = 3 in
+    let bs = Simulation.Binary_snapshot.create ~n A.Faa_counter.impl in
+    let scripts =
+      [|
+        [
+          Simulation.Binary_snapshot.update_op bs ~proc:0 ~v:1 ();
+          Simulation.Binary_snapshot.update_op bs ~proc:0 ~v:0 ();
+        ];
+        [ Simulation.Binary_snapshot.update_op bs ~proc:1 ~v:1 () ];
+        [
+          Simulation.Binary_snapshot.scan_op bs ();
+          Simulation.Binary_snapshot.scan_op bs ();
+        ];
+      |]
+    in
+    let r =
+      M.run
+        ~registers:(Simulation.Binary_snapshot.registers bs)
+        ~scripts
+        ~sched:(S.Random (Int64.of_int (4000 + seed)))
+        ()
+    in
+    (* Re-encode: update arg v by process p becomes 2*p+v. *)
+    let events =
+      List.map
+        (fun (ev : (int, int, int) Hist.History.event) ->
+          let op = ev.Hist.History.op in
+          match op.Hist.Op.kind with
+          | Hist.Op.Update v ->
+              { ev with
+                Hist.History.op =
+                  { op with Hist.Op.kind = Hist.Op.Update ((2 * op.Hist.Op.proc) + v) }
+              }
+          | Hist.Op.Query _ -> ev)
+        (Hist.History.events r.M.history)
+    in
+    let h = Hist.History.of_events events in
+    if not (Bs_lin.is_linearizable h) then
+      Alcotest.failf "Lemma 13 violated at seed %d:\n%s" seed
+        (Test_helpers.show_history h)
+  done
+
+
+(* ------------------------- machine edge cases ------------------------- *)
+
+let test_machine_step_budget_guard () =
+  (* A program that never terminates trips the livelock guard. *)
+  let spin =
+    M.update_op ~label:"spin" ~arg:0 (fun () ->
+        let rec loop () = P.read 0 (fun _ -> loop ()) in
+        loop ())
+  in
+  (try
+     ignore
+       (M.run ~max_steps:1000 ~registers:[| M.reg M.Mwmr |] ~scripts:[| [ spin ] |]
+          ~sched:S.Round_robin ());
+     Alcotest.fail "expected step-budget failure"
+   with Failure msg ->
+     Alcotest.(check bool) "mentions livelock" true
+       (String.length msg > 0))
+
+let test_explicit_scheduler_skips_idle_entries () =
+  (* Explicit entries naming drained processes are skipped, and the
+     schedule falls back to round-robin when exhausted. *)
+  let n = 2 in
+  let scripts =
+    [|
+      [ A.Ivl_counter.update_op ~proc:0 ~amount:1 () ];
+      [ A.Ivl_counter.update_op ~proc:1 ~amount:2 () ];
+    |]
+  in
+  (* Only names p0 (plus junk 0-entries); p1 still completes via fallback. *)
+  let r =
+    M.run ~registers:(A.Ivl_counter.registers ~n) ~scripts
+      ~sched:(S.Explicit [ 0; 0; 0; 0; 0; 0 ]) ()
+  in
+  Alcotest.(check int) "both ops complete" 2
+    (List.length (Hist.History.completed r.M.history))
+
+let test_zero_step_operation () =
+  (* An operation whose program is immediately Done consumes its pick but no
+     shared steps, and still produces inv/rsp events. *)
+  let noop = M.update_op ~label:"noop" ~arg:0 (fun () -> P.return ()) in
+  let r =
+    M.run ~registers:[| M.reg M.Mwmr |] ~scripts:[| [ noop ] |] ~sched:S.Round_robin ()
+  in
+  (match r.M.stats with
+  | [ s ] -> Alcotest.(check int) "zero steps" 0 s.M.steps
+  | _ -> Alcotest.fail "expected one stat");
+  Alcotest.(check int) "completed" 1 (List.length (Hist.History.completed r.M.history))
+
+
+(* ------------------------- exhaustive model checking ------------------------- *)
+
+let test_exhaustive_ivl_counter_all_schedules () =
+  (* Lemma 10 as model checking: EVERY schedule of a 2-updater + 1-reader
+     configuration yields an IVL history. *)
+  let n = 3 in
+  let scripts () =
+    [|
+      [ A.Ivl_counter.update_op ~proc:0 ~amount:3 () ];
+      [ A.Ivl_counter.update_op ~proc:1 ~amount:2 () ];
+      [ A.Ivl_counter.read_op ~n () ];
+    |]
+  in
+  let histories =
+    M.explore ~registers:(A.Ivl_counter.registers ~n) ~scripts ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "explored %d distinct histories" (List.length histories))
+    true
+    (List.length histories > 10);
+  let non_lin = ref 0 in
+  List.iter
+    (fun h ->
+      if not (Counter_check.is_ivl h) then
+        Alcotest.failf "IVL violated in:\n%s" (Test_helpers.show_history h);
+      if not (Counter_lin.is_linearizable h) then incr non_lin)
+    histories;
+  (* The exhaustive space must contain non-linearizable schedules (the
+     Figure 2 phenomenon is reachable). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d non-linearizable histories found" !non_lin)
+    true (!non_lin > 0)
+
+let test_exhaustive_pcm_all_schedules () =
+  (* Lemma 7 as model checking on a minimal PCM: one updater, one querier,
+     Example 9's hash collisions. *)
+  let pcm = A.Pcm_sim.make ~d:2 ~w:2 ~hash:example9_hash () in
+  let scripts () =
+    [|
+      [ A.Pcm_sim.update_op pcm ~a:0 (); A.Pcm_sim.update_op pcm ~a:2 () ];
+      [ A.Pcm_sim.query_op pcm ~a:0 (); A.Pcm_sim.query_op pcm ~a:2 () ];
+    |]
+  in
+  let histories =
+    M.explore ~registers:(A.Pcm_sim.zero_registers pcm) ~scripts ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "explored %d distinct histories" (List.length histories))
+    true
+    (List.length histories > 20);
+  List.iter
+    (fun h ->
+      if not (Cm9_check.is_ivl h) then
+        Alcotest.failf "PCM IVL violated in:\n%s" (Test_helpers.show_history h))
+    histories
+
+let test_exhaustive_buggy_updown_found () =
+  (* The §3.4 buggy read's violation is REACHABLE: exhaustive exploration
+     finds at least one schedule the checker rejects, and none for the safe
+     read. *)
+  let scripts variant () =
+    [|
+      [ A.Updown_two_cell.update_op ~delta:1 (); A.Updown_two_cell.update_op ~delta:(-1) () ];
+      [ A.Updown_two_cell.read_op ~variant () ];
+    |]
+  in
+  let check variant =
+    M.explore ~registers:A.Updown_two_cell.registers ~scripts:(scripts variant) ()
+    |> List.filter (fun h -> not (Updown_check.is_ivl h))
+    |> List.length
+  in
+  Alcotest.(check bool) "buggy read has reachable violations" true (check `Buggy > 0);
+  Alcotest.(check int) "safe read has none" 0 (check `Safe)
+
+let test_explore_budget_guard () =
+  let n = 4 in
+  let scripts () =
+    Array.init n (fun p ->
+        List.init 4 (fun _ -> A.Ivl_counter.update_op ~proc:p ~amount:1 ()))
+  in
+  try
+    ignore (M.explore ~max_histories:50 ~registers:(A.Ivl_counter.registers ~n) ~scripts ());
+    Alcotest.fail "expected budget failure"
+  with Failure _ -> ()
+
+let () =
+  Alcotest.run "simulation"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "update and read" `Quick test_machine_single_update_and_read;
+          Alcotest.test_case "SWMR enforcement" `Quick test_machine_swmr_enforcement;
+          Alcotest.test_case "FAA requires MWMR" `Quick test_machine_faa_requires_mwmr;
+          Alcotest.test_case "kind mismatch" `Quick test_machine_kind_mismatch;
+          Alcotest.test_case "deterministic" `Quick
+            test_machine_deterministic_under_fixed_schedule;
+          Alcotest.test_case "explicit schedule" `Quick test_explicit_schedule_order;
+          Alcotest.test_case "step budget guard" `Quick test_machine_step_budget_guard;
+          Alcotest.test_case "explicit skips idle" `Quick
+            test_explicit_scheduler_skips_idle_entries;
+          Alcotest.test_case "zero-step operation" `Quick test_zero_step_operation;
+        ] );
+      ( "algorithm 2",
+        [
+          Alcotest.test_case "step complexity" `Quick test_ivl_counter_step_complexity;
+          Alcotest.test_case "always IVL (monte-carlo)" `Quick
+            test_ivl_counter_histories_are_ivl;
+          Alcotest.test_case "sequential linearizable" `Quick
+            test_ivl_counter_sequential_runs_are_linearizable;
+          Alcotest.test_case "figure 2 replay" `Quick test_figure2_machine_replay;
+        ] );
+      ( "snapshot counter",
+        [
+          Alcotest.test_case "linearizable (monte-carlo)" `Quick
+            test_snapshot_counter_linearizable_monte_carlo;
+          Alcotest.test_case "sequential sums" `Quick test_snapshot_counter_sequential_correct;
+          Alcotest.test_case "update Ω(n)" `Quick test_snapshot_update_steps_grow_linearly;
+          Alcotest.test_case "IVL vs snapshot gap" `Quick test_ivl_vs_snapshot_update_gap;
+        ] );
+      ( "simulated PCM",
+        [
+          Alcotest.test_case "example 9 replay" `Quick test_example9_machine_replay;
+          Alcotest.test_case "monte-carlo IVL" `Quick test_pcm_monte_carlo_ivl;
+        ] );
+      ( "schedulers",
+        [
+          Alcotest.test_case "weighted bias" `Quick test_weighted_scheduler_biases;
+          Alcotest.test_case "stall freezes victim" `Quick
+            test_stall_scheduler_freezes_victim;
+        ] );
+      ( "ivl max register",
+        [
+          Alcotest.test_case "monte-carlo IVL" `Quick test_ivl_max_register_monte_carlo;
+          Alcotest.test_case "sequential" `Quick test_ivl_max_sequential;
+        ] );
+      ( "section 3.4 failure injection",
+        [
+          Alcotest.test_case "buggy read violates IVL" `Quick
+            test_updown_buggy_read_violates_ivl;
+          Alcotest.test_case "safe read is IVL" `Quick test_updown_safe_read_is_ivl;
+          Alcotest.test_case "monte-carlo separation" `Quick
+            test_updown_monte_carlo_separation;
+        ] );
+      ( "exhaustive model checking",
+        [
+          Alcotest.test_case "IVL counter, all schedules" `Quick
+            test_exhaustive_ivl_counter_all_schedules;
+          Alcotest.test_case "PCM, all schedules" `Quick
+            test_exhaustive_pcm_all_schedules;
+          Alcotest.test_case "buggy updown found" `Quick
+            test_exhaustive_buggy_updown_found;
+          Alcotest.test_case "budget guard" `Quick test_explore_budget_guard;
+        ] );
+      ( "double-collect counter",
+        [
+          Alcotest.test_case "linearizable (monte-carlo)" `Quick
+            test_double_collect_linearizable_monte_carlo;
+          Alcotest.test_case "update O(1)" `Quick test_double_collect_update_is_o1;
+          Alcotest.test_case "read retries under interference" `Quick
+            test_double_collect_read_retries_under_interference;
+          Alcotest.test_case "clean read cost" `Quick test_double_collect_clean_read_cost;
+        ] );
+      ( "algorithm 3",
+        [
+          Alcotest.test_case "sequential decode" `Quick test_binary_snapshot_sequential;
+          Alcotest.test_case "multi component" `Quick test_binary_snapshot_multi_component;
+          Alcotest.test_case "redundant write free" `Quick
+            test_binary_snapshot_skip_redundant;
+          Alcotest.test_case "over SWMR counter" `Quick
+            test_binary_snapshot_over_swmr_counter;
+          Alcotest.test_case "Lemma 13 monte-carlo" `Quick
+            test_lemma13_binary_snapshot_linearizable;
+        ] );
+    ]

@@ -1,0 +1,224 @@
+(* Tests for sequential specifications and the τ operator (Section 3.1):
+   Example 1's two linearizations, multi-object state separation, and the
+   CountMin / Morris randomized specs. *)
+
+open Test_helpers
+
+module Counter_tau = Spec.Quantitative.Tau (Spec.Counter_spec)
+
+let test_counter_spec_basics () =
+  Alcotest.(check int) "init" 0 Spec.Counter_spec.init;
+  Alcotest.(check int) "apply" 7 (Spec.Counter_spec.apply_update 3 4);
+  Alcotest.(check int) "query" 5 (Spec.Counter_spec.eval_query 5 0);
+  Alcotest.check_raises "negative batch"
+    (Invalid_argument "Counter_spec.apply_update: batch must be non-negative") (fun () ->
+      ignore (Spec.Counter_spec.apply_update 0 (-1)))
+
+(* Example 1: linearizing the query after inc(3) yields 3; before yields 0. *)
+let test_example1_tau () =
+  let u = upd ~id:1 3 in
+  let q = qry ~id:2 0 in
+  let after = Counter_tau.tau [ u; q ] in
+  (match after with
+  | [ _; q' ] -> Alcotest.(check (option int)) "query after inc" (Some 3) q'.Hist.Op.ret
+  | _ -> Alcotest.fail "shape");
+  let before = Counter_tau.tau [ q; u ] in
+  match before with
+  | [ q'; _ ] -> Alcotest.(check (option int)) "query before inc" (Some 0) q'.Hist.Op.ret
+  | _ -> Alcotest.fail "shape"
+
+let test_tau_idempotent_on_spec_histories () =
+  let ops = [ upd ~id:1 2; qry ~id:2 0; upd ~id:3 5; qry ~id:4 0 ] in
+  let filled = Counter_tau.tau ops in
+  let refilled = Counter_tau.tau filled in
+  List.iter2
+    (fun a b -> Alcotest.(check (option int)) "stable" a.Hist.Op.ret b.Hist.Op.ret)
+    filled refilled
+
+let test_satisfies () =
+  let good = [ upd ~id:1 2; qry ~ret:2 ~id:2 0 ] in
+  Alcotest.(check bool) "conforming history satisfies" true (Counter_tau.satisfies good);
+  let bad = [ upd ~id:1 2; qry ~ret:3 ~id:2 0 ] in
+  Alcotest.(check bool) "non-conforming fails" false (Counter_tau.satisfies bad)
+
+let test_multi_object_states_disjoint () =
+  let ops =
+    [ upd ~obj:0 ~id:1 10; upd ~obj:1 ~id:2 1; qry ~obj:0 ~id:3 0; qry ~obj:1 ~id:4 0 ]
+  in
+  match Counter_tau.tau ops with
+  | [ _; _; q0; q1 ] ->
+      Alcotest.(check (option int)) "object 0 sees 10" (Some 10) q0.Hist.Op.ret;
+      Alcotest.(check (option int)) "object 1 sees 1" (Some 1) q1.Hist.Op.ret
+  | _ -> Alcotest.fail "shape"
+
+let test_tau_history () =
+  let u = upd ~id:1 4 in
+  let q = qry ~id:2 0 in
+  let sk = Hist.History.skeleton (seq [ u; q ]) in
+  let filled = Counter_tau.tau_history sk in
+  match Hist.History.sequential_ops filled with
+  | Some [ _; q' ] -> Alcotest.(check (option int)) "filled" (Some 4) q'.Hist.Op.ret
+  | _ -> Alcotest.fail "shape"
+
+let test_tau_history_rejects_concurrent () =
+  let u = upd ~proc:0 ~id:1 4 in
+  let q = qry ~proc:1 ~id:2 0 in
+  let h = hist [ inv u; inv q; rsp u; rsp ~ret:0 q ] in
+  Alcotest.check_raises "not sequential"
+    (Invalid_argument "Tau.tau_history: history is not sequential") (fun () ->
+      ignore (Counter_tau.tau_history h))
+
+let test_updown_spec () =
+  let s = Spec.Updown_spec.apply_update (Spec.Updown_spec.apply_update 0 5) (-3) in
+  Alcotest.(check int) "signed sum" 2 (Spec.Updown_spec.eval_query s 0)
+
+let test_max_spec () =
+  let s = List.fold_left Spec.Max_spec.apply_update Spec.Max_spec.init [ 3; 9; 4 ] in
+  Alcotest.(check int) "max" 9 (Spec.Max_spec.eval_query s 0)
+
+let test_exact_spec () =
+  let s =
+    List.fold_left Spec.Exact_spec.apply_update Spec.Exact_spec.init [ 1; 2; 1; 1; 3 ]
+  in
+  Alcotest.(check int) "f_1" 3 (Spec.Exact_spec.eval_query s 1);
+  Alcotest.(check int) "f_2" 1 (Spec.Exact_spec.eval_query s 2);
+  Alcotest.(check int) "f_unseen" 0 (Spec.Exact_spec.eval_query s 42)
+
+(* CountMin spec: with explicit hash mappings, counters land where expected
+   and the query takes the row minimum. *)
+
+let test_rank_spec () =
+  let s =
+    List.fold_left Spec.Rank_spec.apply_update Spec.Rank_spec.init [ 5; 1; 5; 9 ]
+  in
+  Alcotest.(check int) "rank 0" 0 (Spec.Rank_spec.eval_query s 0);
+  Alcotest.(check int) "rank 5 counts duplicates" 3 (Spec.Rank_spec.eval_query s 5);
+  Alcotest.(check int) "rank 100" 4 (Spec.Rank_spec.eval_query s 100)
+
+let test_countmin_spec_explicit () =
+  let family =
+    Hashing.Family.of_mapping ~width:4 [| (fun x -> x mod 4); (fun x -> (x + 1) mod 4) |]
+  in
+  let s0 = Spec.Countmin_spec.init family in
+  let s1 = Spec.Countmin_spec.apply_update s0 0 in
+  let s2 = Spec.Countmin_spec.apply_update s1 0 in
+  Alcotest.(check int) "f̂_0 = 2" 2 (Spec.Countmin_spec.eval_query s2 0);
+  (* Element 4 collides with 0 in both rows (4 mod 4 = 0), so CM
+     over-estimates it at 2 as well. *)
+  Alcotest.(check int) "collision over-estimates" 2 (Spec.Countmin_spec.eval_query s2 4);
+  (* Element 1 hits untouched cells. *)
+  Alcotest.(check int) "clean cell" 0 (Spec.Countmin_spec.eval_query s2 1)
+
+let test_countmin_spec_overestimates () =
+  (* The CM estimate never under-estimates the true count. *)
+  let family = Hashing.Family.seeded ~seed:3L ~rows:3 ~width:16 in
+  let g = Rng.Splitmix.create 4L in
+  let s = ref (Spec.Countmin_spec.init family) in
+  let exact = Hashtbl.create 16 in
+  for _ = 1 to 300 do
+    let a = Rng.Splitmix.next_int g 40 in
+    s := Spec.Countmin_spec.apply_update !s a;
+    Hashtbl.replace exact a (1 + Option.value ~default:0 (Hashtbl.find_opt exact a))
+  done;
+  for a = 0 to 39 do
+    let f = Option.value ~default:0 (Hashtbl.find_opt exact a) in
+    let est = Spec.Countmin_spec.eval_query !s a in
+    Alcotest.(check bool) (Printf.sprintf "f̂_%d ≥ f_%d" a a) true (est >= f)
+  done
+
+let test_countmin_fixed_functor () =
+  let family = Hashing.Family.seeded ~seed:5L ~rows:2 ~width:8 in
+  let module CM = Spec.Countmin_spec.Fixed (struct
+    let family = family
+  end) in
+  let s = CM.apply_update (CM.apply_update CM.init 7) 7 in
+  Alcotest.(check int) "functor view agrees" 2 (CM.eval_query s 7);
+  Alcotest.(check bool) "commutative flag" true CM.commutative_updates
+
+let test_morris_spec_deterministic_given_coin () =
+  let module M = Spec.Morris_spec in
+  let s0 = M.init 42L in
+  let s3a = List.fold_left (fun s () -> M.apply_update s ()) s0 [ (); (); () ] in
+  let s3b = List.fold_left (fun s () -> M.apply_update s ()) s0 [ (); (); () ] in
+  Alcotest.(check (float 0.0)) "same coin, same estimate" (M.eval_query s3a ())
+    (M.eval_query s3b ())
+
+let test_morris_spec_first_update_always_bumps () =
+  (* With exponent 0 the bump probability is 1. *)
+  let module M = Spec.Morris_spec in
+  for seed = 1 to 20 do
+    let s1 = M.apply_update (M.init (Int64.of_int seed)) () in
+    Alcotest.(check (float 0.0)) "estimate after one event" 1.0 (M.eval_query s1 ())
+  done
+
+let test_morris_estimate_grows_with_coin_consumption () =
+  let module M = Spec.Morris_spec in
+  let s = ref (M.init 7L) in
+  let prev = ref (M.eval_query !s ()) in
+  for _ = 1 to 200 do
+    s := M.apply_update !s ();
+    let e = M.eval_query !s () in
+    Alcotest.(check bool) "monotone estimate" true (e >= !prev);
+    prev := e
+  done
+
+let test_lift_randomized () =
+  let module L = Spec.Quantitative.Lift_randomized (Spec.Counter_spec) in
+  let s = L.apply_update (L.init ()) 5 in
+  Alcotest.(check int) "lifted behaves like base" 5 (L.eval_query s 0)
+
+let test_fix_coin () =
+  let family = Hashing.Family.seeded ~seed:11L ~rows:2 ~width:8 in
+  let module F =
+    Spec.Quantitative.Fix_coin
+      (Spec.Countmin_spec)
+      (struct
+        let coin = family
+      end)
+  in
+  let s = F.apply_update F.init 3 in
+  Alcotest.(check int) "fixed coin query" 1 (F.eval_query s 3)
+
+let () =
+  Alcotest.run "spec"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_spec_basics;
+          Alcotest.test_case "example 1" `Quick test_example1_tau;
+          Alcotest.test_case "tau idempotent" `Quick test_tau_idempotent_on_spec_histories;
+          Alcotest.test_case "satisfies" `Quick test_satisfies;
+          Alcotest.test_case "multi-object" `Quick test_multi_object_states_disjoint;
+          Alcotest.test_case "tau_history" `Quick test_tau_history;
+          Alcotest.test_case "tau_history rejects concurrent" `Quick
+            test_tau_history_rejects_concurrent;
+        ] );
+      ( "other deterministic specs",
+        [
+          Alcotest.test_case "updown" `Quick test_updown_spec;
+          Alcotest.test_case "max" `Quick test_max_spec;
+          Alcotest.test_case "exact frequency" `Quick test_exact_spec;
+          Alcotest.test_case "exact rank" `Quick test_rank_spec;
+        ] );
+      ( "countmin",
+        [
+          Alcotest.test_case "explicit hashes" `Quick test_countmin_spec_explicit;
+          Alcotest.test_case "never under-estimates" `Quick
+            test_countmin_spec_overestimates;
+          Alcotest.test_case "Fixed functor" `Quick test_countmin_fixed_functor;
+        ] );
+      ( "morris",
+        [
+          Alcotest.test_case "deterministic given coin" `Quick
+            test_morris_spec_deterministic_given_coin;
+          Alcotest.test_case "first update bumps" `Quick
+            test_morris_spec_first_update_always_bumps;
+          Alcotest.test_case "monotone estimate" `Quick
+            test_morris_estimate_grows_with_coin_consumption;
+        ] );
+      ( "randomized wrappers",
+        [
+          Alcotest.test_case "lift" `Quick test_lift_randomized;
+          Alcotest.test_case "fix coin" `Quick test_fix_coin;
+        ] );
+    ]

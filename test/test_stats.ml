@@ -1,0 +1,118 @@
+(* Tests for summary statistics and the (ε,δ) violation tally. *)
+
+let test_moments_basic () =
+  let m = Stats.Moments.of_array [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.(check int) "count" 8 (Stats.Moments.count m);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.Moments.mean m);
+  (* Sample variance with n−1: Σ(x−5)² = 32, /7. *)
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Stats.Moments.variance m);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.Moments.min m);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.Moments.max m)
+
+let test_moments_single_sample () =
+  let m = Stats.Moments.create () in
+  Stats.Moments.add m 3.5;
+  Alcotest.(check (float 1e-9)) "mean" 3.5 (Stats.Moments.mean m);
+  Alcotest.(check (float 1e-9)) "variance 0" 0.0 (Stats.Moments.variance m)
+
+let test_moments_empty_raises () =
+  let m = Stats.Moments.create () in
+  Alcotest.check_raises "min of empty" (Invalid_argument "Moments.min: empty") (fun () ->
+      ignore (Stats.Moments.min m))
+
+let test_moments_streaming_matches_batch () =
+  let g = Rng.Splitmix.create 17L in
+  let data = Array.init 1000 (fun _ -> Rng.Splitmix.next_float g *. 100.0) in
+  let stream = Stats.Moments.create () in
+  Array.iter (Stats.Moments.add stream) data;
+  let mean_direct = Array.fold_left ( +. ) 0.0 data /. 1000.0 in
+  Alcotest.(check (float 1e-6)) "streaming mean" mean_direct (Stats.Moments.mean stream)
+
+let test_percentile_basics () =
+  let data = [| 15.0; 20.0; 35.0; 40.0; 50.0 |] in
+  Alcotest.(check (float 1e-9)) "p0 is min" 15.0 (Stats.Percentile.percentile data 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is max" 50.0 (Stats.Percentile.percentile data 100.0);
+  Alcotest.(check (float 1e-9)) "median" 35.0 (Stats.Percentile.median data)
+
+let test_percentile_interpolation () =
+  let data = [| 1.0; 2.0; 3.0; 4.0 |] in
+  (* p50 over 4 points: pos = 1.5 → 2.5. *)
+  Alcotest.(check (float 1e-9)) "interpolated median" 2.5 (Stats.Percentile.median data)
+
+let test_percentile_does_not_mutate () =
+  let data = [| 3.0; 1.0; 2.0 |] in
+  ignore (Stats.Percentile.median data);
+  Alcotest.(check (array (float 0.0))) "input untouched" [| 3.0; 1.0; 2.0 |] data
+
+let test_percentile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Percentile.of_sorted: empty sample")
+    (fun () -> ignore (Stats.Percentile.percentile [||] 50.0));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Percentile.of_sorted: p must lie in [0,100]") (fun () ->
+      ignore (Stats.Percentile.percentile [| 1.0 |] 101.0))
+
+let test_tally () =
+  let t = Ivl.Bounded.tally () in
+  (* Inside the band. *)
+  Ivl.Bounded.record t ~ret:5.0 ~v_min:4.0 ~v_max:6.0 ~epsilon:0.5;
+  (* Below: 2.0 < 4.0 − 0.5. *)
+  Ivl.Bounded.record t ~ret:2.0 ~v_min:4.0 ~v_max:6.0 ~epsilon:0.5;
+  (* Above: 7.0 > 6.0 + 0.5. *)
+  Ivl.Bounded.record t ~ret:7.0 ~v_min:4.0 ~v_max:6.0 ~epsilon:0.5;
+  (* Boundary: exactly v_max + ε is allowed. *)
+  Ivl.Bounded.record t ~ret:6.5 ~v_min:4.0 ~v_max:6.0 ~epsilon:0.5;
+  Alcotest.(check int) "total" 4 t.Ivl.Bounded.total;
+  Alcotest.(check int) "below" 1 t.Ivl.Bounded.below;
+  Alcotest.(check int) "above" 1 t.Ivl.Bounded.above;
+  Alcotest.(check (float 1e-9)) "below rate" 0.25 (Ivl.Bounded.below_rate t);
+  Alcotest.(check (float 1e-9)) "above rate" 0.25 (Ivl.Bounded.above_rate t)
+
+let test_tally_empty_rates () =
+  let t = Ivl.Bounded.tally () in
+  Alcotest.(check (float 0.0)) "below" 0.0 (Ivl.Bounded.below_rate t);
+  Alcotest.(check (float 0.0)) "above" 0.0 (Ivl.Bounded.above_rate t)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"mean within [min,max]" ~count:300
+         QCheck.(array_of_size (Gen.int_range 1 50) (float_bound_inclusive 1000.0))
+         (fun data ->
+           let m = Stats.Moments.of_array data in
+           Stats.Moments.mean m >= Stats.Moments.min m -. 1e-9
+           && Stats.Moments.mean m <= Stats.Moments.max m +. 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"percentiles are monotone in p" ~count:200
+         QCheck.(array_of_size (Gen.int_range 1 50) (float_bound_inclusive 1000.0))
+         (fun data ->
+           let p25 = Stats.Percentile.percentile data 25.0 in
+           let p50 = Stats.Percentile.percentile data 50.0 in
+           let p75 = Stats.Percentile.percentile data 75.0 in
+           p25 <= p50 +. 1e-9 && p50 <= p75 +. 1e-9));
+  ]
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "moments",
+        [
+          Alcotest.test_case "basic" `Quick test_moments_basic;
+          Alcotest.test_case "single sample" `Quick test_moments_single_sample;
+          Alcotest.test_case "empty raises" `Quick test_moments_empty_raises;
+          Alcotest.test_case "streaming matches batch" `Quick
+            test_moments_streaming_matches_batch;
+        ] );
+      ( "percentile",
+        [
+          Alcotest.test_case "basics" `Quick test_percentile_basics;
+          Alcotest.test_case "interpolation" `Quick test_percentile_interpolation;
+          Alcotest.test_case "no mutation" `Quick test_percentile_does_not_mutate;
+          Alcotest.test_case "errors" `Quick test_percentile_errors;
+        ] );
+      ( "tally",
+        [
+          Alcotest.test_case "tally" `Quick test_tally;
+          Alcotest.test_case "empty rates" `Quick test_tally_empty_rates;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,190 @@
+(* Tests for workload generation: Zipf sampling, stream shapes, chunking. *)
+
+let test_zipf_probabilities_sum_to_one () =
+  let z = Workload.Zipf.create ~n:100 ~s:1.2 in
+  let total = ref 0.0 in
+  for i = 0 to 99 do
+    total := !total +. Workload.Zipf.probability z i
+  done;
+  Alcotest.(check (float 1e-9)) "probabilities normalized" 1.0 !total
+
+let test_zipf_monotone_probabilities () =
+  let z = Workload.Zipf.create ~n:50 ~s:1.0 in
+  for i = 1 to 49 do
+    Alcotest.(check bool) "rank i more likely than i+1" true
+      (Workload.Zipf.probability z (i - 1) >= Workload.Zipf.probability z i)
+  done
+
+let test_zipf_empirical_frequencies () =
+  let z = Workload.Zipf.create ~n:10 ~s:1.0 in
+  let g = Rng.Splitmix.create 7L in
+  let counts = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let x = Workload.Zipf.sample z g in
+    counts.(x) <- counts.(x) + 1
+  done;
+  for i = 0 to 9 do
+    let expected = Workload.Zipf.probability z i *. float_of_int n in
+    let got = float_of_int counts.(i) in
+    Alcotest.(check bool)
+      (Printf.sprintf "element %d: %.0f vs expected %.0f" i got expected)
+      true
+      (abs_float (got -. expected) < (4.0 *. sqrt expected) +. 10.0)
+  done
+
+let test_zipf_s_zero_is_uniform () =
+  let z = Workload.Zipf.create ~n:10 ~s:0.0 in
+  for i = 0 to 9 do
+    Alcotest.(check (float 1e-9)) "uniform probability" 0.1 (Workload.Zipf.probability z i)
+  done
+
+let test_zipf_rejects_bad_params () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Workload.Zipf.create ~n:0 ~s:1.0));
+  Alcotest.check_raises "s<0" (Invalid_argument "Zipf.create: s must be non-negative")
+    (fun () -> ignore (Workload.Zipf.create ~n:10 ~s:(-1.0)))
+
+let test_stream_lengths_and_ranges () =
+  List.iter
+    (fun shape ->
+      let s = Workload.Stream.generate ~seed:3L shape ~length:1000 in
+      Alcotest.(check int) "length" 1000 (Array.length s);
+      Array.iter
+        (fun x -> Alcotest.(check bool) "element in universe" true (x >= 0 && x < 50))
+        s)
+    [
+      Workload.Stream.Uniform 50;
+      Workload.Stream.Zipf (50, 1.1);
+      Workload.Stream.Bursty (50, 10);
+      Workload.Stream.Ascending 50;
+    ]
+
+let test_stream_deterministic () =
+  let a = Workload.Stream.generate ~seed:9L (Workload.Stream.Zipf (100, 1.0)) ~length:500 in
+  let b = Workload.Stream.generate ~seed:9L (Workload.Stream.Zipf (100, 1.0)) ~length:500 in
+  Alcotest.(check (array int)) "same seed, same stream" a b
+
+let test_bursty_runs () =
+  let s = Workload.Stream.generate ~seed:5L (Workload.Stream.Bursty (100, 8)) ~length:80 in
+  (* Within each burst of 8, all elements equal. *)
+  for burst = 0 to 9 do
+    for i = 1 to 7 do
+      Alcotest.(check int) "burst constant" s.((burst * 8)) s.((burst * 8) + i)
+    done
+  done
+
+let test_ascending_cycles () =
+  let s = Workload.Stream.generate ~seed:0L (Workload.Stream.Ascending 5) ~length:12 in
+  Alcotest.(check (array int)) "cycle" [| 0; 1; 2; 3; 4; 0; 1; 2; 3; 4; 0; 1 |] s
+
+let test_chunks_partition () =
+  let a = Array.init 103 Fun.id in
+  let cs = Workload.Stream.chunks a ~pieces:4 in
+  Alcotest.(check int) "4 pieces" 4 (Array.length cs);
+  let rejoined = Array.concat (Array.to_list cs) in
+  Alcotest.(check (array int)) "concatenation restores" a rejoined;
+  (* Sizes differ by at most one. *)
+  let sizes = Array.map Array.length cs in
+  Alcotest.(check bool) "balanced" true
+    (Array.for_all (fun s -> abs (s - sizes.(0)) <= 1) sizes)
+
+let test_chunks_more_pieces_than_elements () =
+  let a = [| 1; 2 |] in
+  let cs = Workload.Stream.chunks a ~pieces:5 in
+  Alcotest.(check int) "5 pieces" 5 (Array.length cs);
+  Alcotest.(check (array int)) "restores" a (Array.concat (Array.to_list cs))
+
+let test_describe () =
+  Alcotest.(check string) "zipf" "zipf(10, s=1.10)"
+    (Workload.Stream.describe (Workload.Stream.Zipf (10, 1.1)))
+
+
+let test_scenario_mix_ratio () =
+  let ops =
+    Workload.Scenario.mixed ~seed:9L ~shape:(Workload.Stream.Uniform 100)
+      ~query_ratio:0.3 ~length:10_000
+  in
+  Alcotest.(check int) "length" 10_000 (Array.length ops);
+  let q = Workload.Scenario.count_queries ops in
+  Alcotest.(check bool)
+    (Printf.sprintf "query count %d near 3000" q)
+    true
+    (q > 2700 && q < 3300)
+
+let test_scenario_deterministic () =
+  let mk () =
+    Workload.Scenario.mixed ~seed:10L ~shape:(Workload.Stream.Zipf (50, 1.0))
+      ~query_ratio:0.5 ~length:200
+  in
+  Alcotest.(check bool) "same seed, same scenario" true (mk () = mk ())
+
+let test_scenario_split_partitions () =
+  let ops =
+    Workload.Scenario.mixed ~seed:11L ~shape:(Workload.Stream.Uniform 10)
+      ~query_ratio:0.2 ~length:103
+  in
+  let parts = Workload.Scenario.split ops ~pieces:4 in
+  Alcotest.(check int) "4 parts" 4 (Array.length parts);
+  Alcotest.(check bool) "concatenation restores" true
+    (Array.concat (Array.to_list parts) = ops)
+
+let test_scenario_ratio_bounds () =
+  Alcotest.check_raises "ratio out of range"
+    (Invalid_argument "Scenario.mixed: query_ratio must lie in [0,1]") (fun () ->
+      ignore
+        (Workload.Scenario.mixed ~seed:1L ~shape:(Workload.Stream.Uniform 10)
+           ~query_ratio:1.5 ~length:10))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"chunks always partition" ~count:200
+         QCheck.(pair (array small_int) (int_range 1 10))
+         (fun (a, pieces) ->
+           let cs = Workload.Stream.chunks a ~pieces in
+           Array.concat (Array.to_list cs) = a));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"zipf samples in range" ~count:200
+         QCheck.(pair int64 (int_range 1 100))
+         (fun (seed, n) ->
+           let z = Workload.Zipf.create ~n ~s:1.0 in
+           let g = Rng.Splitmix.create seed in
+           let x = Workload.Zipf.sample z g in
+           x >= 0 && x < n));
+  ]
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "probabilities sum" `Quick test_zipf_probabilities_sum_to_one;
+          Alcotest.test_case "monotone" `Quick test_zipf_monotone_probabilities;
+          Alcotest.test_case "empirical" `Quick test_zipf_empirical_frequencies;
+          Alcotest.test_case "s=0 uniform" `Quick test_zipf_s_zero_is_uniform;
+          Alcotest.test_case "bad params" `Quick test_zipf_rejects_bad_params;
+        ] );
+      ( "streams",
+        [
+          Alcotest.test_case "lengths and ranges" `Quick test_stream_lengths_and_ranges;
+          Alcotest.test_case "deterministic" `Quick test_stream_deterministic;
+          Alcotest.test_case "bursty runs" `Quick test_bursty_runs;
+          Alcotest.test_case "ascending cycles" `Quick test_ascending_cycles;
+          Alcotest.test_case "describe" `Quick test_describe;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "mix ratio" `Quick test_scenario_mix_ratio;
+          Alcotest.test_case "deterministic" `Quick test_scenario_deterministic;
+          Alcotest.test_case "split partitions" `Quick test_scenario_split_partitions;
+          Alcotest.test_case "ratio bounds" `Quick test_scenario_ratio_bounds;
+        ] );
+      ( "chunks",
+        [
+          Alcotest.test_case "partition" `Quick test_chunks_partition;
+          Alcotest.test_case "more pieces than elements" `Quick
+            test_chunks_more_pieces_than_elements;
+        ] );
+      ("properties", qcheck_tests);
+    ]
