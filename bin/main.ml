@@ -21,6 +21,20 @@ module Counter_lin = Ivl.Lincheck.Make (Spec.Counter_spec)
 module Counter_explain = Ivl.Explain.Make (Spec.Counter_spec)
 
 
+(* The exact checkers refuse histories beyond their 62-operation bitmask
+   budget; turn the raised exception into a friendly diagnostic (exit 2)
+   rather than an uncaught backtrace. *)
+let with_search_guard f =
+  try f ()
+  with Ivl.Search.Too_many_operations n ->
+    Printf.eprintf
+      "error: this history has %d candidate operations, but the exact checker \
+       budget is 62 ops.\n\
+       Shorten the scripts, or use the scalable envelope checker (the \
+       `envelope` subcommand) for large histories.\n"
+      n;
+    2
+
 (* ------------------------------ replay ------------------------------ *)
 
 let example9_hash row x =
@@ -74,6 +88,7 @@ let replay_figure2 () =
   print_string (Counter_explain.to_string r.M.history)
 
 let replay scenario =
+  with_search_guard @@ fun () ->
   (match scenario with
   | "example9" -> replay_example9 ()
   | "figure2" -> replay_figure2 ()
@@ -84,92 +99,187 @@ let replay scenario =
 
 (* ------------------------------ fuzz ------------------------------ *)
 
-let fuzz algo trials seed =
-  let violations = ref 0 and non_lin = ref 0 in
-  for t = 1 to trials do
-    let s = Int64.add seed (Int64.of_int t) in
-    let history =
-      match algo with
-      | "counter" ->
-          let n = 3 in
-          let scripts =
-            [|
+(* A fuzzable configuration: fresh scripts per run (operations carry run-local
+   closures), pluggable schedule and fault plan, and the matching checkers. *)
+type fuzz_target = {
+  procs : int;
+  run : faults:Simulation.Fault.plan -> S.t -> M.result;
+  traced : faults:Simulation.Fault.plan -> S.t -> M.result * int list;
+  default_sched : int64 -> S.t;
+  is_ivl : (int, int, int) Hist.History.t -> bool;
+  is_lin : (int, int, int) Hist.History.t -> bool;
+}
+
+let fuzz_target ?(ops = 1) algo =
+  let make ~procs ~registers ~scripts ~default_sched ~is_ivl ~is_lin =
+    (* Repeat each process's script [ops] times (operations carry run-local
+       closures, so every repetition re-invokes the constructors). *)
+    let scripts () =
+      Array.map
+        (fun base -> List.concat (List.init ops (fun _ -> base ())))
+        (scripts ())
+    in
+    {
+      procs;
+      run =
+        (fun ~faults sched -> M.run ~faults ~registers ~scripts:(scripts ()) ~sched ());
+      traced =
+        (fun ~faults sched ->
+          M.run_traced ~faults ~registers ~scripts:(scripts ()) ~sched ());
+      default_sched;
+      is_ivl;
+      is_lin;
+    }
+  in
+  match algo with
+  | "counter" ->
+      let n = 3 in
+      make ~procs:n
+        ~registers:(A.Ivl_counter.registers ~n)
+        ~scripts:(fun () ->
+          [|
+            (fun () ->
               [
                 A.Ivl_counter.update_op ~proc:0 ~amount:3 ();
                 A.Ivl_counter.update_op ~proc:0 ~amount:1 ();
-              ];
-              [ A.Ivl_counter.update_op ~proc:1 ~amount:2 () ];
-              [ A.Ivl_counter.read_op ~n (); A.Ivl_counter.read_op ~n () ];
-            |]
-          in
-          (M.run ~registers:(A.Ivl_counter.registers ~n) ~scripts ~sched:(S.Random s) ())
-            .M.history
-      | "snapshot" ->
-          let n = 3 in
-          let scripts =
-            [|
-              [ Simulation.Snapshot.update_op ~n ~proc:0 ~amount:3 () ];
-              [ Simulation.Snapshot.update_op ~n ~proc:1 ~amount:2 () ];
-              [ Simulation.Snapshot.read_op ~n () ];
-            |]
-          in
-          (M.run ~registers:(Simulation.Snapshot.registers ~n) ~scripts
-             ~sched:(S.Random s) ())
-            .M.history
-      | "pcm" ->
-          let pcm = A.Pcm_sim.make ~d:2 ~w:2 ~hash:example9_hash () in
-          let scripts =
-            [|
-              List.map (fun e -> A.Pcm_sim.update_op pcm ~a:e ()) [ 0; 2; 3; 0 ];
-              [ A.Pcm_sim.query_op pcm ~a:0 (); A.Pcm_sim.query_op pcm ~a:2 () ];
-            |]
-          in
-          (M.run ~registers:(A.Pcm_sim.zero_registers pcm) ~scripts ~sched:(S.Random s) ())
-            .M.history
-      | "updown-buggy" | "updown-safe" ->
-          let variant = if algo = "updown-buggy" then `Buggy else `Safe in
-          let scripts =
-            [|
+              ]);
+            (fun () -> [ A.Ivl_counter.update_op ~proc:1 ~amount:2 () ]);
+            (fun () -> [ A.Ivl_counter.read_op ~n (); A.Ivl_counter.read_op ~n () ]);
+          |])
+        ~default_sched:(fun s -> S.Random s)
+        ~is_ivl:Counter_check.is_ivl ~is_lin:Counter_lin.is_linearizable
+  | "snapshot" ->
+      let n = 3 in
+      make ~procs:n
+        ~registers:(Simulation.Snapshot.registers ~n)
+        ~scripts:(fun () ->
+          [|
+            (fun () -> [ Simulation.Snapshot.update_op ~n ~proc:0 ~amount:3 () ]);
+            (fun () -> [ Simulation.Snapshot.update_op ~n ~proc:1 ~amount:2 () ]);
+            (fun () -> [ Simulation.Snapshot.read_op ~n () ]);
+          |])
+        ~default_sched:(fun s -> S.Random s)
+        ~is_ivl:Counter_check.is_ivl ~is_lin:Counter_lin.is_linearizable
+  | "pcm" ->
+      let pcm = A.Pcm_sim.make ~d:2 ~w:2 ~hash:example9_hash () in
+      make ~procs:2
+        ~registers:(A.Pcm_sim.zero_registers pcm)
+        ~scripts:(fun () ->
+          [|
+            (fun () ->
+              List.map (fun e -> A.Pcm_sim.update_op pcm ~a:e ()) [ 0; 2; 3; 0 ]);
+            (fun () ->
+              [ A.Pcm_sim.query_op pcm ~a:0 (); A.Pcm_sim.query_op pcm ~a:2 () ]);
+          |])
+        ~default_sched:(fun s -> S.Random s)
+        ~is_ivl:Cm9_check.is_ivl ~is_lin:Cm9_lin.is_linearizable
+  | "updown-buggy" | "updown-safe" ->
+      let variant = if algo = "updown-buggy" then `Buggy else `Safe in
+      make ~procs:2 ~registers:A.Updown_two_cell.registers
+        ~scripts:(fun () ->
+          [|
+            (fun () ->
               [
                 A.Updown_two_cell.update_op ~delta:1 ();
                 A.Updown_two_cell.update_op ~delta:(-1) ();
-              ];
-              [ A.Updown_two_cell.read_op ~variant () ];
-            |]
-          in
-          (M.run ~registers:A.Updown_two_cell.registers ~scripts
-             ~sched:(S.Stall { victim = 1; after = 1; for_steps = 4; seed = s })
-             ())
-            .M.history
-      | other ->
-          Printf.eprintf
-            "unknown algo %s (available: counter snapshot pcm updown-buggy updown-safe)\n"
-            other;
-          exit 1
-    in
-    let is_ivl =
-      match algo with
-      | "pcm" -> Cm9_check.is_ivl history
-      | "updown-buggy" | "updown-safe" -> Updown_check.is_ivl history
-      | _ -> Counter_check.is_ivl history
-    in
-    let is_lin =
-      match algo with
-      | "pcm" -> Cm9_lin.is_linearizable history
-      | "updown-buggy" | "updown-safe" -> Updown_lin.is_linearizable history
-      | _ -> Counter_lin.is_linearizable history
-    in
-    if not is_ivl then begin
-      incr violations;
-      Printf.printf "IVL violation at trial %d:\n%s\n" t
-        (Hist.Ascii.render_int history)
+              ]);
+            (fun () -> [ A.Updown_two_cell.read_op ~variant () ]);
+          |])
+        ~default_sched:(fun s ->
+          S.Stall { victim = 1; after = 1; for_steps = 4; seed = s })
+        ~is_ivl:Updown_check.is_ivl ~is_lin:Updown_lin.is_linearizable
+  | other ->
+      Printf.eprintf
+        "unknown algo %s (available: counter snapshot pcm updown-buggy updown-safe)\n"
+        other;
+      exit 1
+
+(* One random crash fault derived from the trial seed: half the time a
+   crash-stop after a few total steps, half the time a mid-operation death. *)
+let random_crash_plan ~procs s =
+  let g = Rng.Splitmix.create (Int64.logxor s 0x9E3779B97F4A7C15L) in
+  let victim = Rng.Splitmix.next_int g procs in
+  if Rng.Splitmix.next_int g 2 = 0 then
+    [ Simulation.Fault.Crash_stop { victim; after_steps = 1 + Rng.Splitmix.next_int g 6 } ]
+  else
+    [
+      Simulation.Fault.Crash_in_op
+        {
+          victim;
+          nth_op = 1 + Rng.Splitmix.next_int g 2;
+          after_op_steps = 1 + Rng.Splitmix.next_int g 2;
+        };
+    ]
+
+let shrink_and_print t ~faults sched =
+  let _, trace = t.traced ~faults sched in
+  let violates cand =
+    not (t.is_ivl (t.run ~faults (S.Explicit cand)).M.history)
+  in
+  if not (violates trace) then
+    print_endline "  (trace replay did not reproduce the violation; skipping shrink)"
+  else begin
+    let minimal = Simulation.Shrink.minimize ~check:violates trace in
+    let r = t.run ~faults (S.Explicit minimal) in
+    Printf.printf "shrunk schedule: %d -> %d steps (%d replays)\n"
+      (List.length trace) (List.length minimal)
+      (Simulation.Shrink.checks_used ());
+    Printf.printf "replay with: Explicit [%s]\n"
+      (String.concat "; " (List.map string_of_int minimal));
+    Printf.printf "minimized history:\n%s\n" (Hist.Ascii.render_int r.M.history)
+  end
+
+let fuzz algo trials seed ops shrink crash =
+  with_search_guard @@ fun () ->
+  if ops < 1 then begin
+    Printf.eprintf "error: --ops must be >= 1\n";
+    exit 1
+  end;
+  let t = fuzz_target ~ops algo in
+  let violations = ref 0
+  and non_lin = ref 0
+  and crashed_runs = ref 0
+  and abandoned_ops = ref 0
+  and audit_failures = ref 0
+  and shrunk = ref false in
+  for trial = 1 to trials do
+    let s = Int64.add seed (Int64.of_int trial) in
+    let faults = if crash then random_crash_plan ~procs:t.procs s else [] in
+    let sched = t.default_sched s in
+    let r = t.run ~faults sched in
+    if r.M.crashed <> [] then begin
+      incr crashed_runs;
+      abandoned_ops :=
+        !abandoned_ops + List.length (Hist.History.pending r.M.history)
     end;
-    if not is_lin then incr non_lin
+    (match M.audit_progress r with
+    | Ok _ -> ()
+    | Error msg ->
+        incr audit_failures;
+        Printf.printf "progress audit failed at trial %d (%s): %s\n" trial
+          (Simulation.Fault.describe faults)
+          msg);
+    let h = r.M.history in
+    if not (t.is_ivl h) then begin
+      incr violations;
+      Printf.printf "IVL violation at trial %d (%s):\n%s\n" trial
+        (Simulation.Fault.describe faults)
+        (Hist.Ascii.render_int h);
+      if shrink && not !shrunk then begin
+        shrunk := true;
+        shrink_and_print t ~faults sched
+      end
+    end;
+    if not (t.is_lin h) then incr non_lin
   done;
-  Printf.printf "%d trials: %d IVL violations, %d non-linearizable schedules\n" trials
-    !violations !non_lin;
-  (* The snapshot counter should also be linearizable everywhere. *)
-  if !violations = 0 then 0 else 1
+  Printf.printf "%d trials: %d IVL violations, %d non-linearizable schedules\n"
+    trials !violations !non_lin;
+  if crash then
+    Printf.printf
+      "crash injection: %d/%d runs crashed a process (%d operations left \
+       pending), %d progress-audit failures\n"
+      !crashed_runs trials !abandoned_ops !audit_failures;
+  if !violations = 0 && !audit_failures = 0 then 0 else 1
 
 (* ------------------------------ steps ------------------------------ *)
 
@@ -342,6 +452,328 @@ let explore algo updaters =
       Printf.printf "\nfirst IVL violation:\n%s\n" (Hist.Ascii.render_int h));
   if ivl_fail = [] then 0 else 1
 
+(* ------------------------------ chaos ------------------------------ *)
+
+(* Soak-test the real multicore objects under injected faults: randomized
+   yields/stalls at operation boundaries plus emulated mid-operation domain
+   death (Chaos.Killed raised between a recorded invocation and its
+   response). Recorded histories go through the scalable envelope checker;
+   pending operations must belong to killed domains only. *)
+
+let pp_int_list l = "[" ^ String.concat "; " (List.map string_of_int l) ^ "]"
+
+(* Collect problems from a parallel_result array: Killed is the injected
+   fault and expected; anything else is a bug. *)
+let unexpected_errors results =
+  let problems = ref [] in
+  Array.iteri
+    (fun i -> function
+      | Ok () | Error (Conc.Chaos.Killed _) -> ()
+      | Error e ->
+          problems :=
+            Printf.sprintf "domain %d raised %s" i (Printexc.to_string e)
+            :: !problems)
+    results;
+  List.rev !problems
+
+let pending_on_survivors h ~killed =
+  List.filter_map
+    (fun (o : (int, int, int) Hist.Op.t) ->
+      if List.mem o.Hist.Op.proc killed then None
+      else
+        Some
+          (Printf.sprintf "operation #%d pending on surviving domain %d"
+             o.Hist.Op.id o.Hist.Op.proc))
+    (Hist.History.pending h)
+
+let chaos_counter ~domains ~ops ~kills ~seed =
+  let module Mono = Ivl.Monotone.Make (Spec.Counter_spec) in
+  let writers = domains in
+  let total = writers + 1 in
+  let plan =
+    Conc.Chaos.plan
+      ~kills:
+        (Conc.Chaos.random_kills ~seed ~domains:total ~victims:kills
+           ~max_point:ops)
+      ~seed ()
+  in
+  let ch = Conc.Chaos.instantiate plan ~domains:total in
+  let rec_ = Conc.Recorder.create ~domains:total in
+  let c = Conc.Ivl_counter.create ~procs:writers in
+  let reads = max 1 (ops / 2) in
+  let results =
+    Conc.Runner.parallel_result ~domains:total (fun i ->
+        if i < writers then
+          for k = 1 to ops do
+            Conc.Chaos.point ch ~domain:i;
+            Conc.Recorder.record_update rec_ ~domain:i ~obj:0
+              (1 + (k mod 3))
+              (fun () ->
+                Conc.Chaos.point ch ~domain:i;
+                Conc.Ivl_counter.update c ~proc:i (1 + (k mod 3));
+                Conc.Chaos.point ch ~domain:i)
+          done
+        else
+          for _ = 1 to reads do
+            Conc.Chaos.point ch ~domain:i;
+            ignore
+              (Conc.Recorder.record_query rec_ ~domain:i ~obj:0 0 (fun () ->
+                   Conc.Chaos.point ch ~domain:i;
+                   Conc.Ivl_counter.read c))
+          done)
+  in
+  let killed = Conc.Chaos.killed ch in
+  let h = Conc.Recorder.history rec_ in
+  let viols = Mono.violations h in
+  let problems =
+    unexpected_errors results
+    @ pending_on_survivors h ~killed
+    @
+    if viols = [] then []
+    else [ Printf.sprintf "%d IVL envelope violations" (List.length viols) ]
+  in
+  Printf.printf
+    "counter: %d writers + 1 reader, killed %s; %d ops recorded (%d left \
+     pending), envelope violations: %d\n"
+    writers (pp_int_list killed)
+    (List.length (Hist.History.ops h))
+    (List.length (Hist.History.pending h))
+    (List.length viols);
+  problems
+
+let chaos_pcm ~domains ~ops ~kills ~seed =
+  let family = Hashing.Family.seeded ~seed:(Int64.add seed 13L) ~rows:3 ~width:64 in
+  let module CmSpec = Spec.Countmin_spec.Fixed (struct
+    let family = family
+  end) in
+  let module Mono = Ivl.Monotone.Make (CmSpec) in
+  let writers = domains in
+  let total = writers + 1 in
+  let universe = 128 in
+  let elem d k = (((d * 1_000_003) + (k * 7919)) land max_int) mod universe in
+  let plan =
+    Conc.Chaos.plan
+      ~kills:
+        (Conc.Chaos.random_kills ~seed ~domains:total ~victims:kills
+           ~max_point:ops)
+      ~seed ()
+  in
+  let ch = Conc.Chaos.instantiate plan ~domains:total in
+  let rec_ = Conc.Recorder.create ~domains:total in
+  let pcm = Conc.Pcm.create ~family in
+  let reads = max 1 (ops / 2) in
+  let results =
+    Conc.Runner.parallel_result ~domains:total (fun i ->
+        if i < writers then
+          for k = 1 to ops do
+            Conc.Chaos.point ch ~domain:i;
+            let e = elem i k in
+            Conc.Recorder.record_update rec_ ~domain:i ~obj:0 e (fun () ->
+                Conc.Chaos.point ch ~domain:i;
+                Conc.Pcm.update pcm e;
+                Conc.Chaos.point ch ~domain:i)
+          done
+        else
+          for k = 1 to reads do
+            Conc.Chaos.point ch ~domain:i;
+            let e = k mod universe in
+            ignore
+              (Conc.Recorder.record_query rec_ ~domain:i ~obj:0 e (fun () ->
+                   Conc.Chaos.point ch ~domain:i;
+                   Conc.Pcm.query pcm e))
+          done)
+  in
+  let killed = Conc.Chaos.killed ch in
+  let h = Conc.Recorder.history rec_ in
+  let viols = Mono.violations h in
+  let problems =
+    unexpected_errors results
+    @ pending_on_survivors h ~killed
+    @
+    if viols = [] then []
+    else [ Printf.sprintf "%d IVL envelope violations" (List.length viols) ]
+  in
+  Printf.printf
+    "pcm: %d writers + 1 reader, killed %s; %d ops recorded (%d left \
+     pending), envelope violations: %d\n"
+    writers (pp_int_list killed)
+    (List.length (Hist.History.ops h))
+    (List.length (Hist.History.pending h))
+    (List.length viols);
+  problems
+
+(* The striped sketches publish in batches, so mid-stream queries may lag
+   the envelope; the chaos soak checks liveness (no hangs, survivors finish)
+   plus each sketch's merged-view guarantees after a final flush. *)
+let chaos_striped target ~domains ~ops ~kills ~seed =
+  let universe = 512 in
+  (* Pure per-(domain, index) element stream: replayable for ground truth
+     even when a kill truncates a writer mid-loop. Every 4th item is the hot
+     element 0 so Space-Saving has a guaranteed heavy hitter. *)
+  let elem d k =
+    if k mod 4 = 0 then 0
+    else (((d * 1_000_003) + (k * 7919)) land max_int) mod universe
+  in
+  let counts = Array.make domains 0 in
+  let writers = domains in
+  let total = writers + 1 in
+  let plan =
+    Conc.Chaos.plan
+      ~kills:
+        (Conc.Chaos.random_kills ~seed ~domains:writers ~victims:kills
+           ~max_point:ops)
+      ~seed ()
+  in
+  let ch = Conc.Chaos.instantiate plan ~domains:total in
+  let update, read_probe, finish =
+    match target with
+    | "topk" ->
+        let t = Conc.Striped_topk.create ~seed ~domains:writers () in
+        ( (fun ~domain e -> Conc.Striped_topk.update t ~domain e),
+          (fun () -> ignore (Conc.Striped_topk.query t 0)),
+          fun () ->
+            Conc.Striped_topk.flush_all t;
+            let total_items = Array.fold_left ( + ) 0 counts in
+            let hot_true =
+              Array.to_list counts
+              |> List.mapi (fun d n ->
+                     let h = ref 0 in
+                     for k = 1 to n do
+                       if elem d k = 0 then incr h
+                     done;
+                     !h)
+              |> List.fold_left ( + ) 0
+            in
+            let est = Conc.Striped_topk.query t 0 in
+            let err = Conc.Striped_topk.guaranteed_error t in
+            let problems = ref [] in
+            if Conc.Striped_topk.published t <> total_items then
+              problems :=
+                Printf.sprintf "published %d <> ingested %d"
+                  (Conc.Striped_topk.published t) total_items
+                :: !problems;
+            if est < hot_true || est > hot_true + err then
+              problems :=
+                Printf.sprintf
+                  "hot-element estimate %d outside [%d, %d + %d]" est hot_true
+                  hot_true err
+                :: !problems;
+            !problems )
+    | "kmv" ->
+        let t = Conc.Striped_kmv.create ~seed ~domains:writers () in
+        ( (fun ~domain e -> Conc.Striped_kmv.update t ~domain e),
+          (fun () -> ignore (Conc.Striped_kmv.estimate t)),
+          fun () ->
+            Conc.Striped_kmv.flush_all t;
+            let distinct = Hashtbl.create 97 in
+            Array.iteri
+              (fun d n ->
+                for k = 1 to n do
+                  Hashtbl.replace distinct (elem d k) ()
+                done)
+              counts;
+            let truth = float_of_int (Hashtbl.length distinct) in
+            let est = Conc.Striped_kmv.estimate t in
+            if truth > 0.0 && (est < 0.3 *. truth || est > 3.0 *. truth) then
+              [
+                Printf.sprintf "distinct estimate %.0f far from true %.0f" est
+                  truth;
+              ]
+            else [] )
+    | "quantiles" ->
+        let t = Conc.Striped_quantiles.create ~seed ~domains:writers () in
+        ( (fun ~domain e -> Conc.Striped_quantiles.update t ~domain e),
+          (fun () -> ignore (Conc.Striped_quantiles.rank t (universe / 2))),
+          fun () ->
+            Conc.Striped_quantiles.flush_all t;
+            let total_items = Array.fold_left ( + ) 0 counts in
+            let problems = ref [] in
+            if Conc.Striped_quantiles.published t <> total_items then
+              problems :=
+                Printf.sprintf "published %d <> ingested %d"
+                  (Conc.Striped_quantiles.published t) total_items
+                :: !problems;
+            let r_lo = Conc.Striped_quantiles.rank t 0
+            and r_mid = Conc.Striped_quantiles.rank t (universe / 2)
+            and r_hi = Conc.Striped_quantiles.rank t universe in
+            if not (r_lo <= r_mid && r_mid <= r_hi) then
+              problems :=
+                Printf.sprintf "ranks not monotone: %d %d %d" r_lo r_mid r_hi
+                :: !problems;
+            !problems )
+    | other ->
+        Printf.eprintf
+          "unknown chaos target %s (available: counter pcm topk kmv quantiles \
+           all)\n"
+          other;
+        exit 1
+  in
+  let results =
+    Conc.Runner.parallel_result ~domains:total (fun i ->
+        if i < writers then
+          for k = 1 to ops do
+            Conc.Chaos.point ch ~domain:i;
+            update ~domain:i (elem i k);
+            counts.(i) <- counts.(i) + 1;
+            Conc.Chaos.point ch ~domain:i
+          done
+        else
+          for _ = 1 to max 1 (ops / 8) do
+            Conc.Chaos.point ch ~domain:i;
+            read_probe ()
+          done)
+  in
+  let killed = Conc.Chaos.killed ch in
+  let problems = unexpected_errors results @ finish () in
+  let survivors_short =
+    Array.to_list counts
+    |> List.mapi (fun d n -> (d, n))
+    |> List.filter (fun (d, n) -> (not (List.mem d killed)) && n <> ops)
+  in
+  let problems =
+    problems
+    @ List.map
+        (fun (d, n) ->
+          Printf.sprintf "surviving writer %d ingested %d/%d items" d n ops)
+        survivors_short
+  in
+  Printf.printf "%s: %d writers + 1 reader, killed %s; %d items ingested\n"
+    target writers (pp_int_list killed)
+    (Array.fold_left ( + ) 0 counts);
+  problems
+
+let chaos target domains ops kills seed rounds =
+  if kills > domains then begin
+    Printf.eprintf "chaos: --kills must not exceed --domains\n";
+    exit 1
+  end;
+  let targets =
+    match target with
+    | "all" -> [ "counter"; "pcm"; "topk"; "kmv"; "quantiles" ]
+    | t -> [ t ]
+  in
+  let failures = ref 0 in
+  for round = 1 to rounds do
+    let seed = Int64.add seed (Int64.of_int (round * 7741)) in
+    List.iter
+      (fun t ->
+        let problems =
+          match t with
+          | "counter" -> chaos_counter ~domains ~ops ~kills ~seed
+          | "pcm" -> chaos_pcm ~domains ~ops ~kills ~seed
+          | _ -> chaos_striped t ~domains ~ops ~kills ~seed
+        in
+        List.iter
+          (fun p ->
+            incr failures;
+            Printf.printf "  PROBLEM (%s, round %d): %s\n" t round p)
+          problems)
+      targets
+  done;
+  Printf.printf "chaos: %d rounds x %d target(s), %d problems\n" rounds
+    (List.length targets) !failures;
+  if !failures = 0 then 0 else 1
+
 (* ------------------------------ cmdliner ------------------------------ *)
 
 open Cmdliner
@@ -363,9 +795,35 @@ let fuzz_cmd =
   in
   let trials = Arg.(value & opt int 200 & info [ "trials" ] ~doc:"number of random schedules") in
   let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"base seed") in
+  let ops =
+    Arg.(
+      value & opt int 1
+      & info [ "ops" ]
+          ~doc:
+            "script repetition factor: each process runs its script this many \
+             times per trial (large values overflow the exact checker's 62-op \
+             budget and demonstrate the friendly diagnostic)")
+  in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "delta-debug the first violation into a minimal Explicit schedule \
+             and print the replay")
+  in
+  let crash =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:
+            "inject a random crash-stop fault per trial (a process dies \
+             mid-operation; checkers must still pass and survivors must \
+             complete)")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Fuzz an algorithm with random schedules and check IVL")
-    Term.(const fuzz $ algo $ trials $ seed)
+    Term.(const fuzz $ algo $ trials $ seed $ ops $ shrink $ crash)
 
 let steps_cmd =
   let algo = Arg.(value & opt string "ivl" & info [ "algo" ] ~doc:"ivl or snapshot") in
@@ -406,8 +864,37 @@ let sketch_cmd =
     (Cmd.info "sketch" ~doc:"Run the concurrent CountMin on a synthetic stream")
     Term.(const sketch $ shape $ skew $ universe $ length $ alpha $ delta $ top)
 
+let chaos_cmd =
+  let target =
+    Arg.(
+      value & opt string "all"
+      & info [ "target" ] ~doc:"counter, pcm, topk, kmv, quantiles or all")
+  in
+  let domains = Arg.(value & opt int 4 & info [ "domains" ] ~doc:"writer domains") in
+  let ops = Arg.(value & opt int 2000 & info [ "ops" ] ~doc:"operations per writer") in
+  let kills =
+    Arg.(value & opt int 1 & info [ "kills" ] ~doc:"domains to kill mid-run")
+  in
+  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"base seed") in
+  let rounds = Arg.(value & opt int 1 & info [ "rounds" ] ~doc:"soak rounds") in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Soak-test the multicore objects under injected yields, stalls and \
+          domain deaths")
+    Term.(const chaos $ target $ domains $ ops $ kills $ seed $ rounds)
+
 let () =
   let doc = "Intermediate Value Linearizability: checkers, simulators, sketches" in
   exit
     (Cmd.eval'
-       (Cmd.group (Cmd.info "ivl-cli" ~doc) [ replay_cmd; fuzz_cmd; steps_cmd; sketch_cmd; envelope_cmd; explore_cmd ]))
+       (Cmd.group (Cmd.info "ivl-cli" ~doc)
+          [
+            replay_cmd;
+            fuzz_cmd;
+            steps_cmd;
+            sketch_cmd;
+            envelope_cmd;
+            explore_cmd;
+            chaos_cmd;
+          ]))

@@ -1,14 +1,61 @@
-type t = { parties : int; count : int Atomic.t; sense : bool Atomic.t }
+exception Broken of string
 
-let create parties =
+type t = {
+  parties : int;
+  count : int Atomic.t;
+  sense : bool Atomic.t;
+  poisoned : string option Atomic.t;
+  timeout_s : float;
+}
+
+let create ?(timeout_s = 10.0) parties =
   if parties <= 0 then invalid_arg "Barrier.create: parties must be positive";
-  { parties; count = Atomic.make 0; sense = Atomic.make false }
+  if timeout_s <= 0.0 then invalid_arg "Barrier.create: timeout must be positive";
+  {
+    parties;
+    count = Atomic.make 0;
+    sense = Atomic.make false;
+    poisoned = Atomic.make None;
+    timeout_s;
+  }
+
+let parties t = t.parties
+
+let is_broken t = Atomic.get t.poisoned <> None
+
+(* Only the first poisoner's message is kept — it names the root cause;
+   later poisons (cascading timeouts, secondary failures) are dropped. *)
+let poison t msg = ignore (Atomic.compare_and_set t.poisoned None (Some msg))
+
+let check_poison t =
+  match Atomic.get t.poisoned with Some msg -> raise (Broken msg) | None -> ()
 
 let await t =
+  check_poison t;
   let my_sense = not (Atomic.get t.sense) in
   if Atomic.fetch_and_add t.count 1 = t.parties - 1 then begin
     (* Last arrival resets the count and releases the others. *)
     Atomic.set t.count 0;
     Atomic.set t.sense my_sense
   end
-  else while Atomic.get t.sense <> my_sense do Domain.cpu_relax () done
+  else begin
+    let deadline = Unix.gettimeofday () +. t.timeout_s in
+    let rec spin n =
+      if Atomic.get t.sense <> my_sense then begin
+        check_poison t;
+        (* Re-read the clock only every few thousand spins; gettimeofday on
+           the spin path would dominate the barrier cost. *)
+        if n land 0xFFF = 0 && Unix.gettimeofday () > deadline then begin
+          poison t
+            (Printf.sprintf
+               "Barrier.await: timed out after %.1fs waiting for %d parties \
+                (a worker crashed before arriving?)"
+               t.timeout_s t.parties);
+          check_poison t
+        end;
+        Domain.cpu_relax ();
+        spin (n + 1)
+      end
+    in
+    spin 1
+  end

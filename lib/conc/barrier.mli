@@ -1,14 +1,38 @@
-(** A reusable spin barrier for synchronizing domain start lines.
+(** A reusable spin barrier for synchronizing domain start lines — hardened
+    against dead and raising workers.
 
     Throughput experiments must start all writers and readers at the same
     instant; a sense-reversing spin barrier keeps the synchronization cost
-    off the measured path. *)
+    off the measured path. A barrier is also a fault amplifier: if one
+    worker dies before arriving, everyone else spins forever. This
+    implementation therefore supports {e poisoning} — a worker that fails
+    marks the barrier broken and wakes every waiter with a diagnostic — and
+    a spin {e timeout} as a last resort, so a crashed party produces an
+    exception instead of a livelocked coordinator. *)
 
 type t
 
-val create : int -> t
+exception Broken of string
+(** Raised by {!await} when the barrier was poisoned or the timeout
+    elapsed. The message names the cause. *)
+
+val create : ?timeout_s:float -> int -> t
 (** [create parties] — the barrier trips when [parties] domains arrive.
-    @raise Invalid_argument if [parties <= 0]. *)
+    [timeout_s] (default 10s) bounds each {!await}'s spin; on expiry the
+    waiter poisons the barrier and raises {!Broken}.
+    @raise Invalid_argument if [parties <= 0] or [timeout_s <= 0]. *)
 
 val await : t -> unit
-(** Block (spinning) until all parties have arrived; reusable afterwards. *)
+(** Block (spinning) until all parties have arrived; reusable afterwards.
+    @raise Broken if the barrier is (or becomes) poisoned, or after
+    [timeout_s] without the barrier tripping — in which case the barrier is
+    poisoned so every other waiter breaks out too. *)
+
+val poison : t -> string -> unit
+(** Mark the barrier permanently broken (e.g. from a worker's exception
+    handler); every current and future {!await} raises {!Broken} carrying
+    the first poison message. Idempotent. *)
+
+val is_broken : t -> bool
+
+val parties : t -> int

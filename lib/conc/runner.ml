@@ -1,8 +1,38 @@
+let join_all handles =
+  Array.map
+    (fun h -> match Domain.join h with v -> v | exception e -> Error e)
+    handles
+
+(* Prefer a worker's own failure over a consequent [Barrier.Broken]: when one
+   worker dies pre-barrier its siblings all break out with Broken, but the
+   root cause is the original exception. *)
+let first_error results =
+  let is_broken = function Barrier.Broken _ -> true | _ -> false in
+  let pick want_broken =
+    Array.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | None, Error e when is_broken e = want_broken -> Some e
+        | _ -> acc)
+      None results
+  in
+  match pick false with Some e -> Some e | None -> pick true
+
+let parallel_result ~domains f =
+  if domains <= 0 then invalid_arg "Runner.parallel_result: domains must be positive";
+  let handles =
+    Array.init domains (fun i ->
+        Domain.spawn (fun () -> match f i with v -> Ok v | exception e -> Error e))
+  in
+  join_all handles
+
 let parallel ~domains f =
   if domains <= 0 then invalid_arg "Runner.parallel: domains must be positive";
-  let handles = Array.init domains (fun i -> Domain.spawn (fun () -> f i)) in
-  let results = Array.map Domain.join handles in
-  results
+  let results = parallel_result ~domains f in
+  match first_error results with
+  | Some e -> raise e
+  | None ->
+      Array.map (function Ok v -> v | Error _ -> assert false) results
 
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -12,11 +42,33 @@ let timed f =
 let parallel_timed ~domains f =
   if domains <= 0 then invalid_arg "Runner.parallel_timed: domains must be positive";
   let barrier = Barrier.create (domains + 1) in
-  let handles = Array.init domains (fun i -> Domain.spawn (fun () -> f i barrier)) in
-  let t0 = ref 0.0 in
+  let handles =
+    Array.init domains (fun i ->
+        Domain.spawn (fun () ->
+            match f i barrier with
+            | v -> Ok v
+            | exception e ->
+                (* A worker dying before its Barrier.await would strand every
+                   other party mid-spin; poisoning turns the hang into a
+                   Broken diagnostic for all of them. *)
+                Barrier.poison barrier
+                  (Printf.sprintf "worker %d raised %s" i (Printexc.to_string e));
+                Error e))
+  in
   (* The coordinator is the (domains+1)-th party: once it passes the barrier,
      every worker is at its start line. *)
-  Barrier.await barrier;
-  t0 := Unix.gettimeofday ();
-  let results = Array.map Domain.join handles in
-  (results, Unix.gettimeofday () -. !t0)
+  let start_failure =
+    match Barrier.await barrier with () -> None | exception e -> Some e
+  in
+  let t0 = Unix.gettimeofday () in
+  let results = join_all handles in
+  let dt = Unix.gettimeofday () -. t0 in
+  (* Every domain is joined before any exception propagates; prefer a
+     worker's own exception over the coordinator's Broken. *)
+  match first_error results with
+  | Some e -> raise e
+  | None -> (
+      match start_failure with
+      | Some e -> raise e
+      | None ->
+          (Array.map (function Ok v -> v | Error _ -> assert false) results, dt))

@@ -1,10 +1,20 @@
-(** Small helpers for spawning and joining domain teams. *)
+(** Small helpers for spawning and joining domain teams.
+
+    All entry points join {e every} spawned domain before propagating any
+    exception — a raising worker never leaves siblings unjoined or a
+    coordinator spinning on a barrier (see {!Barrier.poison}). *)
 
 val parallel : domains:int -> (int -> 'a) -> 'a array
 (** [parallel ~domains f] runs [f i] on [domains] fresh domains (i ∈
     [\[0, domains)]) and returns their results. The caller's domain only
     coordinates. @raise Invalid_argument if [domains <= 0]; re-raises the
-    first domain exception after joining all. *)
+    first domain's exception after joining all. *)
+
+val parallel_result : domains:int -> (int -> 'a) -> ('a, exn) result array
+(** Like {!parallel} but never re-raises: each domain's outcome is [Ok] or
+    [Error] per domain — the chaos harness runs workers that are
+    {e expected} to die mid-workload and treats [Error] as a crashed
+    domain. *)
 
 val timed : (unit -> 'a) -> 'a * float
 (** [timed f] is [(f (), seconds)] on the monotonic wall clock. *)
@@ -12,4 +22,7 @@ val timed : (unit -> 'a) -> 'a * float
 val parallel_timed : domains:int -> (int -> Barrier.t -> 'a) -> 'a array * float
 (** Like {!parallel} but hands each worker a start barrier (already sized
     for [domains] + the timing coordinator) and measures from the moment the
-    barrier trips to the last join. *)
+    barrier trips to the last join. A worker that raises before reaching the
+    barrier poisons it, so the coordinator and the surviving workers all
+    break out with a diagnostic instead of spinning; the worker's original
+    exception is re-raised after every domain is joined. *)

@@ -1,0 +1,92 @@
+type fault =
+  | Crash_stop of { victim : int; after_steps : int }
+  | Crash_in_op of { victim : int; nth_op : int; after_op_steps : int }
+  | Freeze of { victim : int; at_step : int; for_steps : int }
+
+type plan = fault list
+
+type counters = {
+  mutable total_steps : int;
+  mutable ops_invoked : int;
+  mutable steps_in_op : int;
+  mutable dead : bool;
+}
+
+type state = { faults : fault list; tbl : (int, counters) Hashtbl.t }
+
+let instantiate plan =
+  let st = { faults = plan; tbl = Hashtbl.create 8 } in
+  (* A victim with after_steps <= 0 is dead before its first step. *)
+  List.iter
+    (function
+      | Crash_stop { victim; after_steps } when after_steps <= 0 ->
+          Hashtbl.replace st.tbl victim
+            { total_steps = 0; ops_invoked = 0; steps_in_op = 0; dead = true }
+      | _ -> ())
+    plan;
+  st
+
+let counters st proc =
+  match Hashtbl.find_opt st.tbl proc with
+  | Some c -> c
+  | None ->
+      let c = { total_steps = 0; ops_invoked = 0; steps_in_op = 0; dead = false } in
+      Hashtbl.replace st.tbl proc c;
+      c
+
+let crashed st proc =
+  match Hashtbl.find_opt st.tbl proc with Some c -> c.dead | None -> false
+
+let crashed_procs st =
+  Hashtbl.fold (fun p c acc -> if c.dead then p :: acc else acc) st.tbl []
+  |> List.sort Int.compare
+
+let frozen st ~step proc =
+  List.exists
+    (function
+      | Freeze { victim; at_step; for_steps } ->
+          victim = proc && step >= at_step && step < at_step + for_steps
+      | Crash_stop _ | Crash_in_op _ -> false)
+    st.faults
+
+let schedulable st ~step runnable =
+  let alive = List.filter (fun p -> not (crashed st p)) runnable in
+  match List.filter (fun p -> not (frozen st ~step p)) alive with
+  | [] -> alive (* everyone frozen: ignore the freeze rather than deadlock *)
+  | ps -> ps
+
+let note_invocation st ~proc =
+  let c = counters st proc in
+  c.ops_invoked <- c.ops_invoked + 1;
+  c.steps_in_op <- 0
+
+let note_step st ~proc =
+  let c = counters st proc in
+  c.total_steps <- c.total_steps + 1;
+  c.steps_in_op <- c.steps_in_op + 1;
+  List.iter
+    (function
+      | Crash_stop { victim; after_steps }
+        when victim = proc && c.total_steps >= after_steps ->
+          c.dead <- true
+      | Crash_in_op { victim; nth_op; after_op_steps }
+        when victim = proc && c.ops_invoked = nth_op
+             && c.steps_in_op >= max 1 after_op_steps ->
+          c.dead <- true
+      | _ -> ())
+    st.faults
+
+let pp ppf = function
+  | Crash_stop { victim; after_steps } ->
+      Format.fprintf ppf "crash-stop(p%d@@%d)" victim after_steps
+  | Crash_in_op { victim; nth_op; after_op_steps } ->
+      Format.fprintf ppf "crash-in-op(p%d, op %d, step %d)" victim nth_op
+        after_op_steps
+  | Freeze { victim; at_step; for_steps } ->
+      Format.fprintf ppf "freeze(p%d@@[%d,%d))" victim at_step (at_step + for_steps)
+
+let describe plan =
+  match plan with
+  | [] -> "no faults"
+  | _ ->
+      String.concat ", " (List.map (fun f -> Format.asprintf "%a" pp f) plan)

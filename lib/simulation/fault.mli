@@ -1,0 +1,72 @@
+(** Fault plans: crash-stop and transient-freeze adversaries for the
+    simulated machine.
+
+    The paper's guarantees are adversarial by construction — Definition 2
+    quantifies over completions of pending operations, and Algorithm 2 /
+    the PCM are wait-free, so safety and per-process progress must survive
+    schedules in which processes crash or stall forever mid-operation. A
+    {!plan} is a list of faults applied on top of any {!Sched.t}: the
+    scheduler still picks among runnable processes, but the fault layer
+    retires crashed processes permanently (their in-flight operation is
+    left pending in the history, feeding the checkers' completion search)
+    and hides frozen processes while their freeze window is open.
+
+    Crash granularity is the machine step: a process can crash only at a
+    step boundary, never halfway through an atomic register access —
+    matching the crash-stop model in which a step either happens or does
+    not. *)
+
+type fault =
+  | Crash_stop of { victim : int; after_steps : int }
+      (** [victim] halts forever once it has taken [after_steps] machine
+          steps in total (counted across all of its operations). If it is
+          mid-operation at that point the operation stays pending; any
+          not-yet-invoked operations in its script are silently abandoned
+          (they never appear in the history). [after_steps <= 0] crashes
+          the victim before its first step. *)
+  | Crash_in_op of { victim : int; nth_op : int; after_op_steps : int }
+      (** [victim] halts during its [nth_op]-th invoked operation
+          (1-based) once that operation has performed [after_op_steps]
+          steps — the canonical "die with an update in flight" adversary.
+          Invocation coincides with the first step in this machine, so the
+          earliest effective crash point is after one step of the
+          operation. *)
+  | Freeze of { victim : int; at_step : int; for_steps : int }
+      (** Transient: [victim] is not schedulable during global steps
+          [\[at_step, at_step + for_steps)]. Unlike {!Sched.Stall} the
+          window is anchored to global time, so plans compose
+          predictably. If every runnable process is frozen the freeze is
+          ignored for that step (the machine never deadlocks on a
+          transient fault). *)
+
+type plan = fault list
+(** Faults compose; the empty plan injects nothing. *)
+
+type state
+(** Instantiated plan: per-victim step/operation counters and the set of
+    already-crashed processes. *)
+
+val instantiate : plan -> state
+
+val crashed : state -> int -> bool
+(** Has this process crashed (permanently)? *)
+
+val crashed_procs : state -> int list
+(** Crashed processes so far, ascending. *)
+
+val schedulable : state -> step:int -> int list -> int list
+(** [schedulable st ~step runnable] removes crashed processes always, and
+    frozen processes unless that would leave nobody to run. The result is
+    empty only when every runnable process has crashed. *)
+
+val note_invocation : state -> proc:int -> unit
+(** Tell the fault layer [proc] just invoked a fresh operation. *)
+
+val note_step : state -> proc:int -> unit
+(** Tell the fault layer [proc] just completed one machine step; this is
+    where crash triggers fire (checked after the step, so a victim with
+    [after_steps = k] performs exactly [k] steps). *)
+
+val pp : Format.formatter -> fault -> unit
+val describe : plan -> string
+(** Human-readable one-liner, e.g. ["crash-stop(p1@3), freeze(p0@[5,9))"]. *)

@@ -50,6 +50,7 @@ type op_stats = { op_id : int; label : string; proc : int; steps : int }
 type result = {
   history : (int, int, int) Hist.History.t;
   stats : op_stats list;
+  crashed : int list;
 }
 
 type running = {
@@ -59,8 +60,9 @@ type running = {
   mutable steps : int;
 }
 
-let run_state ?(max_steps = 10_000_000) ~registers ~scripts ~state () =
+let run_state ?(max_steps = 10_000_000) ?(faults = []) ~registers ~scripts ~state () =
   let nprocs = Array.length scripts in
+  let fstate = Fault.instantiate faults in
   let regs = Array.map (fun (spec : reg_spec) -> Array.copy spec.init) registers in
   let kinds = Array.map (fun (spec : reg_spec) -> spec.kind) registers in
   let queues = Array.map (fun ops -> ref ops) scripts in
@@ -104,7 +106,10 @@ let run_state ?(max_steps = 10_000_000) ~registers ~scripts ~state () =
   let runnable () =
     let acc = ref [] in
     for p = nprocs - 1 downto 0 do
-      if current.(p) <> None || !(queues.(p)) <> [] then acc := p :: !acc
+      if
+        (not (Fault.crashed fstate p))
+        && (current.(p) <> None || !(queues.(p)) <> [])
+      then acc := p :: !acc
     done;
     !acc
   in
@@ -122,6 +127,7 @@ let run_state ?(max_steps = 10_000_000) ~registers ~scripts ~state () =
               { Hist.Op.id; proc; obj = next.obj; kind = next.kind; ret = None }
             in
             emit Hist.History.Inv op;
+            Fault.note_invocation fstate ~proc;
             current.(proc) <-
               Some { op; label = next.label; prog = next.code (); steps = 0 }));
     match current.(proc) with
@@ -131,6 +137,7 @@ let run_state ?(max_steps = 10_000_000) ~registers ~scripts ~state () =
         | Program.Done ret -> finish proc r ret
         | Program.Read (reg_ix, k) ->
             r.steps <- r.steps + 1;
+            Fault.note_step fstate ~proc;
             let next = k (Array.copy regs.(reg_ix)) in
             (match next with
             | Program.Done ret ->
@@ -140,6 +147,7 @@ let run_state ?(max_steps = 10_000_000) ~registers ~scripts ~state () =
         | Program.Write (reg_ix, v, next) ->
             check_write proc reg_ix;
             r.steps <- r.steps + 1;
+            Fault.note_step fstate ~proc;
             regs.(reg_ix) <- Array.copy v;
             (match next with
             | Program.Done ret ->
@@ -149,6 +157,7 @@ let run_state ?(max_steps = 10_000_000) ~registers ~scripts ~state () =
         | Program.Faa (reg_ix, delta, k) ->
             check_faa reg_ix;
             r.steps <- r.steps + 1;
+            Fault.note_step fstate ~proc;
             let old = regs.(reg_ix).(0) in
             regs.(reg_ix).(0) <- old + delta;
             let next = k old in
@@ -165,17 +174,82 @@ let run_state ?(max_steps = 10_000_000) ~registers ~scripts ~state () =
         if !total_steps > max_steps then
           failwith "Machine.run: step budget exceeded (livelock?)";
         incr total_steps;
-        let p = sched_state.Sched.choose ~runnable:procs ~step:!total_steps in
-        if not (List.mem p procs) then
+        let avail = Fault.schedulable fstate ~step:!total_steps procs in
+        let p = sched_state.Sched.choose ~runnable:avail ~step:!total_steps in
+        if not (List.mem p avail) then
           raise (Protocol_violation (Printf.sprintf "scheduler chose idle process %d" p));
         step_proc p;
         loop ()
   in
   loop ();
-  { history = Hist.History.of_events (List.rev !events); stats = List.rev !stats }
+  {
+    history = Hist.History.of_events (List.rev !events);
+    stats = List.rev !stats;
+    crashed = Fault.crashed_procs fstate;
+  }
 
-let run ?max_steps ~registers ~scripts ~sched () =
-  run_state ?max_steps ~registers ~scripts ~state:(Sched.instantiate sched) ()
+let run ?max_steps ?faults ~registers ~scripts ~sched () =
+  run_state ?max_steps ?faults ~registers ~scripts ~state:(Sched.instantiate sched) ()
+
+let run_traced ?max_steps ?faults ~registers ~scripts ~sched () =
+  let trace = ref [] in
+  let inner = Sched.instantiate sched in
+  let state =
+    {
+      Sched.choose =
+        (fun ~runnable ~step ->
+          let p = inner.Sched.choose ~runnable ~step in
+          trace := p :: !trace;
+          p);
+    }
+  in
+  let r = run_state ?max_steps ?faults ~registers ~scripts ~state () in
+  (r, List.rev !trace)
+
+type progress_audit = {
+  audit_crashed : int list;
+  surviving_ops : int;
+  abandoned : int;
+  max_op_steps : int;
+}
+
+let audit_progress ?(step_bound = max_int) result =
+  let crashed = result.crashed in
+  let is_crashed p = List.mem p crashed in
+  let pending = Hist.History.pending result.history in
+  (* Wait-freedom, empirically: an operation may remain pending only because
+     its own process crashed — never because it waited on a crashed peer. *)
+  let stranded =
+    List.filter (fun (o : (int, int, int) Hist.Op.t) -> not (is_crashed o.Hist.Op.proc)) pending
+  in
+  match stranded with
+  | o :: _ ->
+      Error
+        (Printf.sprintf
+           "operation #%d by surviving process %d never completed" o.Hist.Op.id
+           o.Hist.Op.proc)
+  | [] -> (
+      let surviving =
+        List.filter (fun (s : op_stats) -> not (is_crashed s.proc)) result.stats
+      in
+      let over =
+        List.find_opt (fun (s : op_stats) -> s.steps > step_bound) surviving
+      in
+      match over with
+      | Some s ->
+          Error
+            (Printf.sprintf
+               "operation #%d (%s) by process %d took %d steps, above the bound %d"
+               s.op_id s.label s.proc s.steps step_bound)
+      | None ->
+          Ok
+            {
+              audit_crashed = crashed;
+              surviving_ops = List.length surviving;
+              abandoned = List.length pending;
+              max_op_steps =
+                List.fold_left (fun acc (s : op_stats) -> max acc s.steps) 0 surviving;
+            })
 
 let steps_by_label result =
   let tbl = Hashtbl.create 8 in

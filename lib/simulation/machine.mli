@@ -46,20 +46,57 @@ type op_stats = {
 type result = {
   history : (int, int, int) Hist.History.t;
   stats : op_stats list;  (** completion order *)
+  crashed : int list;
+      (** processes retired by a {!Fault.plan}; their in-flight operation
+          (if any) is pending in [history] and their unreached script
+          suffix was abandoned. Empty without fault injection. *)
 }
 
 val run :
   ?max_steps:int ->
+  ?faults:Fault.plan ->
   registers:reg_spec array ->
   scripts:operation list array ->
   sched:Sched.t ->
   unit ->
   result
-(** Execute until every script is exhausted. [scripts.(p)] is process [p]'s
-    operation sequence; invoking an operation coincides with its first step.
+(** Execute until every script is exhausted or abandoned to a crash.
+    [scripts.(p)] is process [p]'s operation sequence; invoking an operation
+    coincides with its first step. [faults] (default none) injects
+    crash-stop / freeze adversaries on top of [sched]; a crashed process
+    permanently leaves the runnable set with its in-flight operation left
+    pending in the history, feeding the checkers' completion search.
     @raise Protocol_violation on model violations or when an operation's
     return shape contradicts its kind.
     @raise Failure when [max_steps] (default 10^7) is exceeded. *)
+
+val run_traced :
+  ?max_steps:int ->
+  ?faults:Fault.plan ->
+  registers:reg_spec array ->
+  scripts:operation list array ->
+  sched:Sched.t ->
+  unit ->
+  result * int list
+(** Like {!run}, also returning the sequence of scheduler choices actually
+    taken. Replaying the trace as [Sched.Explicit] (same scripts, same
+    faults) reproduces the execution exactly — the raw material
+    {!Shrink.minimize} delta-debugs into a minimal repro. *)
+
+type progress_audit = {
+  audit_crashed : int list;  (** crashed processes (copied from the result) *)
+  surviving_ops : int;  (** completed operations by surviving processes *)
+  abandoned : int;  (** operations left pending by crashes *)
+  max_op_steps : int;  (** worst per-operation step count among survivors *)
+}
+
+val audit_progress :
+  ?step_bound:int -> result -> (progress_audit, string) Stdlib.result
+(** Empirical wait-freedom check for a (possibly fault-injected) run: every
+    operation by a surviving process must have completed — a pending
+    operation is tolerated only on a crashed process — and no surviving
+    operation may exceed [step_bound] steps (default unbounded). The [Error]
+    names the offending operation. *)
 
 val steps_by_label : result -> (string * int list) list
 (** Step counts grouped by operation label (sorted by label), e.g. all the

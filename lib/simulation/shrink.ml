@@ -1,0 +1,85 @@
+let last_checks = ref 0
+
+let checks_used () = !last_checks
+
+(* Split [lst] into [n] contiguous chunks of near-equal size. *)
+let chunked lst n =
+  let len = List.length lst in
+  let base = len / n and extra = len mod n in
+  let rec take k lst =
+    if k = 0 then ([], lst)
+    else
+      match lst with
+      | [] -> ([], [])
+      | x :: rest ->
+          let chunk, rem = take (k - 1) rest in
+          (x :: chunk, rem)
+  in
+  let rec go i lst =
+    if i = n then []
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest = take size lst in
+      chunk :: go (i + 1) rest
+  in
+  go 0 lst
+
+let minimize ?(max_checks = 4000) ~check trace =
+  let budget = ref max_checks in
+  let used = ref 0 in
+  let try_check cand =
+    if !budget <= 0 then false
+    else begin
+      decr budget;
+      incr used;
+      check cand
+    end
+  in
+  let result =
+    if not (try_check trace) then trace
+    else begin
+      (* Phase 1: ddmin. Try dropping whole chunks (complements), refining
+         the granularity when nothing smaller reproduces. *)
+      let rec ddmin current n =
+        let len = List.length current in
+        if len <= 1 then current
+        else
+          let n = min n len in
+          let chunks = chunked current n in
+          (* Reduce to a single chunk if one suffices... *)
+          match List.find_opt try_check chunks with
+          | Some c -> ddmin c 2
+          | None -> (
+              (* ...otherwise try removing one chunk at a time. *)
+              let complement i =
+                List.concat (List.filteri (fun j _ -> j <> i) chunks)
+              in
+              let rec drop i =
+                if i = n then None
+                else
+                  let cand = complement i in
+                  if try_check cand then Some cand else drop (i + 1)
+              in
+              match drop 0 with
+              | Some c -> ddmin c (max (n - 1) 2)
+              | None -> if n < len then ddmin current (min len (2 * n)) else current)
+      in
+      let reduced = ddmin trace 2 in
+      (* Phase 2: greedy single-element sweep until a fixpoint — yields
+         1-minimality, which chunk removal alone does not guarantee. *)
+      let rec sweep current =
+        let len = List.length current in
+        let rec at i cur =
+          if i < 0 then cur
+          else
+            let cand = List.filteri (fun j _ -> j <> i) cur in
+            if try_check cand then at (i - 1) cand else at (i - 1) cur
+        in
+        let next = at (len - 1) current in
+        if List.length next < len && !budget > 0 then sweep next else next
+      in
+      sweep reduced
+    end
+  in
+  last_checks := !used;
+  result

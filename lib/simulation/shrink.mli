@@ -1,0 +1,29 @@
+(** Counterexample minimization: delta-debug a failing schedule.
+
+    Random-schedule fuzzing finds violations as ~tens-of-steps scheduler
+    traces; what a human (or a regression test) wants is the minimal
+    {!Sched.Explicit} schedule that still reproduces the violation. This
+    module shrinks a trace with Zeller-style delta debugging (remove whole
+    chunks, then a greedy single-element sweep) against a caller-supplied
+    reproduction predicate.
+
+    Removing entries from an explicit schedule always leaves a valid total
+    schedule: {!Sched.Explicit} skips entries naming idle processes and
+    falls back to round-robin once exhausted, so the search space is simply
+    "all subsequences of the original trace". *)
+
+val minimize : ?max_checks:int -> check:(int list -> bool) -> int list -> int list
+(** [minimize ~check trace] returns a subsequence of [trace] on which
+    [check] still returns [true] ([check cand] must mean "the failure still
+    reproduces when the execution is replayed under [Sched.Explicit cand]").
+    If [check trace] is [false] the trace is returned unchanged.
+
+    The result is 1-minimal when the check budget allows: removing any
+    single remaining element makes the failure vanish. [max_checks]
+    (default 4000) bounds the number of [check] invocations — on budget
+    exhaustion the best reduction found so far is returned. [check] must be
+    deterministic (replays under the simulator are). *)
+
+val checks_used : unit -> int
+(** Number of [check] invocations performed by the most recent
+    {!minimize} call (diagnostics for the CLI). *)

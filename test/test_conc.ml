@@ -739,6 +739,184 @@ let test_runner_propagates_exceptions () =
   | exception Failure m -> Alcotest.(check string) "exception surfaces" "boom" m
   | _ -> Alcotest.fail "expected the domain's exception"
 
+(* ------------------------- hardened barrier ------------------------- *)
+
+let test_barrier_poison_breaks_waiters () =
+  let b = Conc.Barrier.create 2 in
+  Alcotest.(check int) "parties" 2 (Conc.Barrier.parties b);
+  Alcotest.(check bool) "starts intact" false (Conc.Barrier.is_broken b);
+  Conc.Barrier.poison b "root cause";
+  Conc.Barrier.poison b "secondary failure";
+  Alcotest.(check bool) "broken" true (Conc.Barrier.is_broken b);
+  match Conc.Barrier.await b with
+  | exception Conc.Barrier.Broken msg ->
+      (* The first poisoner's message wins — it names the root cause. *)
+      Alcotest.(check string) "first poison message kept" "root cause" msg
+  | () -> Alcotest.fail "expected Broken"
+
+let test_barrier_timeout_raises_broken () =
+  (* A 2-party barrier awaited by one party alone: the spin deadline turns
+     the would-be livelock into a Broken diagnostic, poisoning the barrier
+     for everyone else too. *)
+  let b = Conc.Barrier.create ~timeout_s:0.05 2 in
+  (match Conc.Barrier.await b with
+  | exception Conc.Barrier.Broken msg ->
+      Alcotest.(check bool) "diagnostic mentions the timeout" true
+        (String.length msg > 0)
+  | () -> Alcotest.fail "expected a timeout");
+  Alcotest.(check bool) "left poisoned" true (Conc.Barrier.is_broken b)
+
+let test_barrier_create_validation () =
+  Alcotest.check_raises "zero parties"
+    (Invalid_argument "Barrier.create: parties must be positive") (fun () ->
+      ignore (Conc.Barrier.create 0));
+  Alcotest.check_raises "zero timeout"
+    (Invalid_argument "Barrier.create: timeout must be positive") (fun () ->
+      ignore (Conc.Barrier.create ~timeout_s:0.0 2))
+
+let test_parallel_timed_measures () =
+  let results, dt =
+    Conc.Runner.parallel_timed ~domains:3 (fun i b ->
+        Conc.Barrier.await b;
+        i * 2)
+  in
+  Alcotest.(check (array int)) "per-domain results" [| 0; 2; 4 |] results;
+  Alcotest.(check bool) "non-negative duration" true (dt >= 0.0)
+
+let test_parallel_timed_prebarrier_raise_no_hang () =
+  (* The regression this PR fixes: a worker dying before the start barrier
+     used to leave the coordinator and every sibling spinning forever. Now
+     the barrier is poisoned, all domains join, and the worker's original
+     exception (not the siblings' consequent Broken) propagates. *)
+  match
+    Conc.Runner.parallel_timed ~domains:2 (fun i b ->
+        if i = 1 then failwith "died before the barrier";
+        Conc.Barrier.await b;
+        i)
+  with
+  | exception Failure m ->
+      Alcotest.(check string) "original exception" "died before the barrier" m
+  | exception e ->
+      Alcotest.failf "expected the worker's own exception, got %s"
+        (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected an exception"
+
+let test_parallel_result_isolates_failures () =
+  let results =
+    Conc.Runner.parallel_result ~domains:3 (fun i ->
+        if i = 1 then failwith "partial" else i * 10)
+  in
+  (match results.(0) with
+  | Ok v -> Alcotest.(check int) "domain 0 ok" 0 v
+  | Error _ -> Alcotest.fail "domain 0 should succeed");
+  (match results.(1) with
+  | Error (Failure m) -> Alcotest.(check string) "domain 1 failed" "partial" m
+  | _ -> Alcotest.fail "domain 1 should fail");
+  match results.(2) with
+  | Ok v -> Alcotest.(check int) "domain 2 ok" 20 v
+  | Error _ -> Alcotest.fail "domain 2 should succeed"
+
+(* ------------------------- chaos injection ------------------------- *)
+
+let test_chaos_kill_point_deterministic () =
+  let plan = Conc.Chaos.plan ~kills:[ (0, 7) ] ~seed:4L () in
+  let run () =
+    let t = Conc.Chaos.instantiate plan ~domains:1 in
+    (try
+       while true do
+         Conc.Chaos.point t ~domain:0
+       done
+     with Conc.Chaos.Killed { domain = 0; point } ->
+       Alcotest.(check int) "killed at the chosen point" 7 point);
+    Alcotest.(check (list int)) "marked dead" [ 0 ] (Conc.Chaos.killed t);
+    Conc.Chaos.points_passed t ~domain:0
+  in
+  Alcotest.(check int) "dies at its 7th injection point" 7 (run ());
+  Alcotest.(check int) "reproducible" (run ()) (run ())
+
+let test_chaos_no_kills_counts_points () =
+  let plan = Conc.Chaos.plan ~yield_prob:0.0 ~stall_prob:0.0 ~seed:2L () in
+  let t = Conc.Chaos.instantiate plan ~domains:2 in
+  for _ = 1 to 25 do
+    Conc.Chaos.point t ~domain:1
+  done;
+  Alcotest.(check int) "points counted" 25 (Conc.Chaos.points_passed t ~domain:1);
+  Alcotest.(check int) "untouched domain" 0 (Conc.Chaos.points_passed t ~domain:0);
+  Alcotest.(check (list int)) "nobody killed" [] (Conc.Chaos.killed t)
+
+let test_chaos_random_kills_well_formed () =
+  let kills = Conc.Chaos.random_kills ~seed:11L ~domains:4 ~victims:3 ~max_point:9 in
+  Alcotest.(check int) "three victims" 3 (List.length kills);
+  let ds = List.map fst kills in
+  Alcotest.(check int) "victims distinct" 3
+    (List.length (List.sort_uniq Int.compare ds));
+  List.iter
+    (fun (d, p) ->
+      Alcotest.(check bool) "domain in range" true (d >= 0 && d < 4);
+      Alcotest.(check bool) "kill point in range" true (p >= 1 && p <= 9))
+    kills;
+  Alcotest.check_raises "too many victims"
+    (Invalid_argument "Chaos.random_kills: victims must be in [0, domains]")
+    (fun () ->
+      ignore (Conc.Chaos.random_kills ~seed:1L ~domains:2 ~victims:3 ~max_point:5))
+
+let test_chaos_plan_validation () =
+  Alcotest.check_raises "probability range"
+    (Invalid_argument "Chaos.plan: yield_prob must be in [0,1]") (fun () ->
+      ignore (Conc.Chaos.plan ~yield_prob:1.5 ~seed:1L ()));
+  Alcotest.check_raises "kill points 1-based"
+    (Invalid_argument "Chaos.plan: kill points are 1-based") (fun () ->
+      ignore (Conc.Chaos.plan ~kills:[ (0, 0) ] ~seed:1L ()))
+
+let test_chaos_kill_lands_mid_operation () =
+  (* The whole point of the harness: a kill placed inside a recorded update
+     body leaves exactly one pending operation, owned by the victim, and the
+     recorded history still satisfies the counter's IVL envelope. *)
+  let module Mono = Ivl.Monotone.Make (Spec.Counter_spec) in
+  let domains = 3 in
+  let plan =
+    Conc.Chaos.plan ~yield_prob:0.1 ~stall_prob:0.0 ~kills:[ (1, 5) ] ~seed:9L ()
+  in
+  let chaos = Conc.Chaos.instantiate plan ~domains in
+  let rec_ = Conc.Recorder.create ~domains in
+  let c = Conc.Ivl_counter.create ~procs:(domains - 1) in
+  let results =
+    Conc.Runner.parallel_result ~domains (fun i ->
+        for k = 1 to 10 do
+          if i = domains - 1 then
+            ignore
+              (Conc.Recorder.record_query rec_ ~domain:i ~obj:0 0 (fun () ->
+                   Conc.Chaos.point chaos ~domain:i;
+                   Conc.Ivl_counter.read c))
+          else
+            Conc.Recorder.record_update rec_ ~domain:i ~obj:0 k (fun () ->
+                Conc.Chaos.point chaos ~domain:i;
+                Conc.Ivl_counter.update c ~proc:i k)
+        done)
+  in
+  Alcotest.(check (list int)) "victim recorded as killed" [ 1 ]
+    (Conc.Chaos.killed chaos);
+  (match results.(1) with
+  | Error (Conc.Chaos.Killed { domain = 1; point = 5 }) -> ()
+  | _ -> Alcotest.fail "expected domain 1 to die at its 5th injection point");
+  (match (results.(0), results.(2)) with
+  | Ok (), Ok () -> ()
+  | _ -> Alcotest.fail "survivors must complete");
+  let h = Conc.Recorder.history rec_ in
+  (match Hist.History.well_formed h with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let pending = Hist.History.pending h in
+  Alcotest.(check int) "exactly one pending op" 1 (List.length pending);
+  Alcotest.(check int) "pending op is the victim's" 1
+    (List.hd pending).Hist.Op.proc;
+  (* Survivors completed all 10 each; the victim completed 4 before dying. *)
+  Alcotest.(check int) "completed ops" 24
+    (List.length (Hist.History.completed h));
+  match Mono.violations h with
+  | [] -> ()
+  | _ -> Alcotest.fail "chaos run violated the IVL envelope"
+
 let () =
   Alcotest.run "conc"
     [
@@ -749,6 +927,26 @@ let () =
           Alcotest.test_case "runner results" `Quick test_runner_parallel_results;
           Alcotest.test_case "runner propagates exceptions" `Quick
             test_runner_propagates_exceptions;
+          Alcotest.test_case "barrier poison" `Quick test_barrier_poison_breaks_waiters;
+          Alcotest.test_case "barrier timeout" `Quick test_barrier_timeout_raises_broken;
+          Alcotest.test_case "barrier validation" `Quick test_barrier_create_validation;
+          Alcotest.test_case "parallel_timed measures" `Quick test_parallel_timed_measures;
+          Alcotest.test_case "parallel_timed pre-barrier raise" `Quick
+            test_parallel_timed_prebarrier_raise_no_hang;
+          Alcotest.test_case "parallel_result isolates failures" `Quick
+            test_parallel_result_isolates_failures;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "kill point deterministic" `Quick
+            test_chaos_kill_point_deterministic;
+          Alcotest.test_case "no kills counts points" `Quick
+            test_chaos_no_kills_counts_points;
+          Alcotest.test_case "random kills well-formed" `Quick
+            test_chaos_random_kills_well_formed;
+          Alcotest.test_case "plan validation" `Quick test_chaos_plan_validation;
+          Alcotest.test_case "kill lands mid-operation" `Quick
+            test_chaos_kill_lands_mid_operation;
         ] );
       ( "ivl counter",
         [

@@ -933,6 +933,300 @@ let test_explore_budget_guard () =
     Alcotest.fail "expected budget failure"
   with Failure _ -> ()
 
+(* ------------------------- scheduler edge cases ------------------------- *)
+
+let test_weighted_short_weight_array () =
+  (* Processes beyond the weight array get weight 1: a 1-element array over
+     3 busy processes must not crash, and every operation completes. *)
+  let n = 3 in
+  let scripts =
+    Array.init n (fun p ->
+        List.init 5 (fun _ -> A.Ivl_counter.update_op ~proc:p ~amount:1 ()))
+  in
+  let r =
+    M.run ~registers:(A.Ivl_counter.registers ~n) ~scripts
+      ~sched:(S.Weighted (7L, [| 5.0 |]))
+      ()
+  in
+  Alcotest.(check int) "all ops complete" (3 * 5)
+    (List.length (Hist.History.completed r.M.history));
+  (* All three processes actually ran. *)
+  let procs =
+    List.sort_uniq Int.compare
+      (List.map (fun (s : M.op_stats) -> s.M.proc) r.M.stats)
+  in
+  Alcotest.(check (list int)) "every process stepped" [ 0; 1; 2 ] procs
+
+let test_weighted_all_zero_weights () =
+  (* Total weight 0 degenerates to picking the first runnable process —
+     no division by zero, no livelock, everything still completes. *)
+  let n = 2 in
+  let scripts =
+    Array.init n (fun p ->
+        List.init 4 (fun _ -> A.Ivl_counter.update_op ~proc:p ~amount:1 ()))
+  in
+  let r =
+    M.run ~registers:(A.Ivl_counter.registers ~n) ~scripts
+      ~sched:(S.Weighted (11L, [| 0.0; 0.0 |]))
+      ()
+  in
+  Alcotest.(check int) "all ops complete" 8
+    (List.length (Hist.History.completed r.M.history))
+
+let test_stall_victim_only_runnable () =
+  (* The stall window must not deadlock the machine when the victim is the
+     only process with work left: the scheduler falls back to scheduling the
+     frozen victim rather than spinning forever. *)
+  let n = 2 in
+  let scripts =
+    [|
+      List.init 6 (fun _ -> A.Ivl_counter.update_op ~proc:0 ~amount:1 ());
+      [];
+    |]
+  in
+  let r =
+    M.run ~registers:(A.Ivl_counter.registers ~n) ~scripts
+      ~sched:(S.Stall { victim = 0; after = 1; for_steps = 1_000; seed = 5L })
+      ()
+  in
+  Alcotest.(check int) "victim's ops all complete" 6
+    (List.length (Hist.History.completed r.M.history))
+
+(* ------------------------- crash-stop fault injection ------------------------- *)
+
+module F = Simulation.Fault
+
+let crash_counter_run ~faults ~sched =
+  let n = 3 in
+  let scripts =
+    [|
+      [
+        A.Ivl_counter.update_op ~proc:0 ~amount:3 ();
+        A.Ivl_counter.update_op ~proc:0 ~amount:1 ();
+      ];
+      [ A.Ivl_counter.update_op ~proc:1 ~amount:2 () ];
+      [ A.Ivl_counter.read_op ~n (); A.Ivl_counter.read_op ~n () ];
+    |]
+  in
+  M.run ~faults ~registers:(A.Ivl_counter.registers ~n) ~scripts ~sched ()
+
+let test_crash_stop_retires_victim () =
+  (* p0 dies after its first shared step, mid-update: the result names it
+     crashed, its in-flight update is pending, and the survivors finish. *)
+  let faults = [ F.Crash_stop { victim = 0; after_steps = 1 } ] in
+  let r = crash_counter_run ~faults ~sched:S.Round_robin in
+  Alcotest.(check (list int)) "p0 crashed" [ 0 ] r.M.crashed;
+  let pending = Hist.History.pending r.M.history in
+  Alcotest.(check int) "one op left pending" 1 (List.length pending);
+  Alcotest.(check int) "the pending op is p0's" 0 (List.hd pending).Hist.Op.proc;
+  (* Survivors: p1's update and p2's two reads all completed. *)
+  Alcotest.(check int) "survivors completed" 3
+    (List.length (Hist.History.completed r.M.history))
+
+let test_crash_faulted_histories_stay_ivl () =
+  (* The acceptance property in miniature: across random schedules and
+     random crash plans, the IVL counter's histories remain IVL — the
+     checker's completion search absorbs the crashed process's pending
+     update either way. *)
+  for seed = 1 to 60 do
+    let s = Int64.of_int seed in
+    let g = Rng.Splitmix.create s in
+    let victim = Rng.Splitmix.next_int g 3 in
+    let faults =
+      if seed mod 2 = 0 then
+        [ F.Crash_stop { victim; after_steps = 1 + Rng.Splitmix.next_int g 5 } ]
+      else
+        [
+          F.Crash_in_op
+            { victim; nth_op = 1; after_op_steps = 1 + Rng.Splitmix.next_int g 2 };
+        ]
+    in
+    let r = crash_counter_run ~faults ~sched:(S.Random s) in
+    if not (Counter_check.is_ivl r.M.history) then
+      Alcotest.failf "IVL violated at seed %d under %s:\n%s" seed
+        (F.describe faults)
+        (Test_helpers.show_history r.M.history);
+    match M.audit_progress r with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.failf "progress audit failed at seed %d: %s" seed msg
+  done
+
+let test_crash_in_op_counts_operations () =
+  (* Crash_in_op fires inside the victim's nth invocation: with nth_op = 2,
+     p0's first update completes and its second is the pending one. *)
+  let faults = [ F.Crash_in_op { victim = 0; nth_op = 2; after_op_steps = 1 } ] in
+  let r = crash_counter_run ~faults ~sched:S.Round_robin in
+  Alcotest.(check (list int)) "p0 crashed" [ 0 ] r.M.crashed;
+  let p0_completed =
+    List.filter (fun (o : Test_helpers.iop) -> o.Hist.Op.proc = 0)
+      (Hist.History.completed r.M.history)
+  in
+  Alcotest.(check int) "first update completed" 1 (List.length p0_completed);
+  let pending = Hist.History.pending r.M.history in
+  Alcotest.(check int) "second update pending" 1 (List.length pending)
+
+let test_crash_at_zero_steps_abandons_whole_script () =
+  (* after_steps = 0 retires the victim before it ever steps: no events from
+     it at all, and the audit reports zero abandoned in-flight operations
+     (the script was abandoned wholesale, never invoked). *)
+  let faults = [ F.Crash_stop { victim = 0; after_steps = 0 } ] in
+  let r = crash_counter_run ~faults ~sched:S.Round_robin in
+  Alcotest.(check (list int)) "p0 crashed" [ 0 ] r.M.crashed;
+  let p0_events =
+    List.filter (fun (o : Test_helpers.iop) -> o.Hist.Op.proc = 0)
+      (Hist.History.ops r.M.history)
+  in
+  Alcotest.(check int) "victim never invoked anything" 0 (List.length p0_events);
+  match M.audit_progress r with
+  | Ok a ->
+      Alcotest.(check int) "no pending ops" 0 a.M.abandoned;
+      Alcotest.(check (list int)) "audit names the crash" [ 0 ] a.M.audit_crashed
+  | Error msg -> Alcotest.fail msg
+
+let test_freeze_fault_only_delays () =
+  (* A transient freeze is not a crash: the victim completes once thawed and
+     the crashed list stays empty. *)
+  let faults = [ F.Freeze { victim = 0; at_step = 1; for_steps = 50 } ] in
+  let r = crash_counter_run ~faults ~sched:S.Round_robin in
+  Alcotest.(check (list int)) "nobody crashed" [] r.M.crashed;
+  Alcotest.(check int) "all five ops complete" 5
+    (List.length (Hist.History.completed r.M.history));
+  Alcotest.(check int) "nothing pending" 0
+    (List.length (Hist.History.pending r.M.history))
+
+let test_audit_step_bound_flags_slow_ops () =
+  (* The audit's step bound is the empirical wait-freedom knob: the IVL
+     counter's read takes n = 3 steps, so a bound of 2 must flag it. *)
+  let r = crash_counter_run ~faults:[] ~sched:S.Round_robin in
+  (match M.audit_progress ~step_bound:2 r with
+  | Ok _ -> Alcotest.fail "expected step-bound violation"
+  | Error msg ->
+      Alcotest.(check bool) "error names a bound" true (String.length msg > 0));
+  match M.audit_progress ~step_bound:3 r with
+  | Ok a -> Alcotest.(check int) "max op steps is the read's 3" 3 a.M.max_op_steps
+  | Error msg -> Alcotest.fail msg
+
+let test_run_traced_replays_exactly () =
+  (* The trace of scheduler choices, replayed as an Explicit schedule with
+     the same fault plan, reproduces the identical history — the property
+     shrinking relies on. *)
+  let faults = [ F.Crash_in_op { victim = 0; nth_op = 1; after_op_steps = 1 } ] in
+  let scripts () =
+    [|
+      [
+        A.Ivl_counter.update_op ~proc:0 ~amount:3 ();
+        A.Ivl_counter.update_op ~proc:0 ~amount:1 ();
+      ];
+      [ A.Ivl_counter.update_op ~proc:1 ~amount:2 () ];
+      [ A.Ivl_counter.read_op ~n:3 (); A.Ivl_counter.read_op ~n:3 () ];
+    |]
+  in
+  let registers = A.Ivl_counter.registers ~n:3 in
+  let r1, trace =
+    M.run_traced ~faults ~registers ~scripts:(scripts ()) ~sched:(S.Random 42L) ()
+  in
+  let r2 =
+    M.run ~faults ~registers ~scripts:(scripts ()) ~sched:(S.Explicit trace) ()
+  in
+  Alcotest.(check string) "identical histories"
+    (Test_helpers.show_history r1.M.history)
+    (Test_helpers.show_history r2.M.history);
+  Alcotest.(check (list int)) "same crash set" r1.M.crashed r2.M.crashed
+
+let test_fault_describe () =
+  Alcotest.(check string) "no faults" "no faults" (F.describe []);
+  let plan =
+    [
+      F.Crash_stop { victim = 1; after_steps = 3 };
+      F.Freeze { victim = 0; at_step = 2; for_steps = 4 };
+    ]
+  in
+  Alcotest.(check bool) "mentions both faults" true
+    (let s = F.describe plan in
+     String.length s > 0
+     && String.index_opt s '1' <> None
+     && String.index_opt s '0' <> None)
+
+(* ------------------------- schedule shrinking ------------------------- *)
+
+let test_shrink_finds_minimal_pair () =
+  (* Synthetic oracle: a trace "fails" iff it contains a 3 and, later, a 7.
+     Shrinking any failing trace must land on exactly [3; 7]. *)
+  let check trace =
+    let rec scan saw3 = function
+      | [] -> false
+      | 3 :: rest -> scan true rest
+      | 7 :: _ when saw3 -> true
+      | _ :: rest -> scan saw3 rest
+    in
+    scan false trace
+  in
+  let trace = [ 1; 3; 2; 2; 5; 7; 1; 4; 7 ] in
+  let minimal = Simulation.Shrink.minimize ~check trace in
+  Alcotest.(check (list int)) "1-minimal repro" [ 3; 7 ] minimal;
+  Alcotest.(check bool) "used at least one check" true
+    (Simulation.Shrink.checks_used () > 0)
+
+let test_shrink_passing_trace_unchanged () =
+  let check _ = false in
+  let trace = [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "returned unchanged" trace
+    (Simulation.Shrink.minimize ~check trace)
+
+let test_shrink_respects_check_budget () =
+  (* With a tiny budget the result may not be minimal but must still fail
+     the oracle (shrinking never un-reproduces the bug). *)
+  let check trace = List.mem 9 trace in
+  let trace = List.init 64 (fun i -> i mod 10) in
+  let out = Simulation.Shrink.minimize ~max_checks:5 ~check trace in
+  Alcotest.(check bool) "still failing" true (check out);
+  Alcotest.(check bool) "no longer than input" true
+    (List.length out <= List.length trace)
+
+let test_shrink_updown_buggy_violation () =
+  (* End-to-end: find a schedule where the buggy updown read violates IVL,
+     then shrink the traced schedule to a strictly shorter Explicit repro
+     that still violates. *)
+  let scripts () =
+    [|
+      [
+        A.Updown_two_cell.update_op ~delta:1 ();
+        A.Updown_two_cell.update_op ~delta:(-1) ();
+      ];
+      [ A.Updown_two_cell.read_op ~variant:`Buggy () ];
+    |]
+  in
+  let run sched =
+    M.run ~registers:A.Updown_two_cell.registers ~scripts:(scripts ()) ~sched ()
+  in
+  let violating_trace =
+    let rec search seed =
+      if seed > 200 then Alcotest.fail "no violating schedule found in 200 seeds"
+      else
+        let sched =
+          S.Stall { victim = 1; after = 1; for_steps = 4; seed = Int64.of_int seed }
+        in
+        let r, trace =
+          M.run_traced ~registers:A.Updown_two_cell.registers
+            ~scripts:(scripts ()) ~sched ()
+        in
+        if not (Updown_check.is_ivl r.M.history) then trace else search (seed + 1)
+    in
+    search 1
+  in
+  let violates trace =
+    not (Updown_check.is_ivl (run (S.Explicit trace)).M.history)
+  in
+  Alcotest.(check bool) "trace replays the violation" true
+    (violates violating_trace);
+  let minimal = Simulation.Shrink.minimize ~check:violates violating_trace in
+  Alcotest.(check bool) "minimal still violates" true (violates minimal);
+  Alcotest.(check bool)
+    (Printf.sprintf "strictly shorter: %d -> %d" (List.length violating_trace)
+       (List.length minimal))
+    true
+    (List.length minimal < List.length violating_trace)
+
 let () =
   Alcotest.run "simulation"
     [
@@ -977,6 +1271,36 @@ let () =
           Alcotest.test_case "weighted bias" `Quick test_weighted_scheduler_biases;
           Alcotest.test_case "stall freezes victim" `Quick
             test_stall_scheduler_freezes_victim;
+          Alcotest.test_case "weighted short array" `Quick
+            test_weighted_short_weight_array;
+          Alcotest.test_case "weighted zero weights" `Quick
+            test_weighted_all_zero_weights;
+          Alcotest.test_case "stall victim sole runnable" `Quick
+            test_stall_victim_only_runnable;
+        ] );
+      ( "fault injection",
+        [
+          Alcotest.test_case "crash-stop retires victim" `Quick
+            test_crash_stop_retires_victim;
+          Alcotest.test_case "crash histories stay IVL" `Quick
+            test_crash_faulted_histories_stay_ivl;
+          Alcotest.test_case "crash-in-op counts ops" `Quick
+            test_crash_in_op_counts_operations;
+          Alcotest.test_case "crash at zero steps" `Quick
+            test_crash_at_zero_steps_abandons_whole_script;
+          Alcotest.test_case "freeze only delays" `Quick test_freeze_fault_only_delays;
+          Alcotest.test_case "audit step bound" `Quick test_audit_step_bound_flags_slow_ops;
+          Alcotest.test_case "traced replay exact" `Quick test_run_traced_replays_exactly;
+          Alcotest.test_case "describe" `Quick test_fault_describe;
+        ] );
+      ( "schedule shrinking",
+        [
+          Alcotest.test_case "minimal pair" `Quick test_shrink_finds_minimal_pair;
+          Alcotest.test_case "passing trace unchanged" `Quick
+            test_shrink_passing_trace_unchanged;
+          Alcotest.test_case "check budget" `Quick test_shrink_respects_check_budget;
+          Alcotest.test_case "updown-buggy end to end" `Quick
+            test_shrink_updown_buggy_violation;
         ] );
       ( "ivl max register",
         [
