@@ -55,3 +55,94 @@ let print_bechamel_table ~title results =
   table
     ~header:[ "benchmark"; "ns/op" ]
     (List.map (fun (name, ns) -> [ name; fmt_float ~digits:1 ns ]) results)
+
+(* --- machine-readable results ---------------------------------------- *)
+
+(* Experiments register measurements as they print their tables; after the
+   requested sections have run, the harness writes one BENCH_<exp>.json per
+   experiment so CI and notebooks diff numbers without scraping stdout.
+
+   Schema (one file per experiment):
+     { "exp": "<name>",
+       "entries": [ { "name": "<metric>",
+                      "params": { "<k>": <json value>, ... },
+                      "unit": "<unit>",
+                      "reps": <n samples>,
+                      "mean": <float>, "p50": <float>, "p99": <float> },
+                    ... ] } *)
+
+type json_entry = {
+  name : string;
+  params : (string * string) list; (* values are already-encoded JSON *)
+  unit_ : string;
+  samples : float list;
+}
+
+let json_records : (string, json_entry list ref) Hashtbl.t = Hashtbl.create 7
+
+let json_int (i : int) = string_of_int i
+let json_float (f : float) = Printf.sprintf "%.17g" f
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let record_samples ~exp ~name ?(params = []) ?(unit_ = "Mops/s") samples =
+  if samples = [] then invalid_arg "Bench_util.record_samples: no samples";
+  let entries =
+    match Hashtbl.find_opt json_records exp with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add json_records exp r;
+        r
+  in
+  entries := { name; params; unit_; samples } :: !entries
+
+let record ~exp ~name ?(params = []) ?(unit_ = "Mops/s") sample =
+  record_samples ~exp ~name ~params ~unit_ [ sample ]
+
+let write_json_files () =
+  let exps =
+    Hashtbl.fold (fun exp r acc -> (exp, List.rev !r) :: acc) json_records []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (exp, entries) ->
+      let file = Printf.sprintf "BENCH_%s.json" exp in
+      let oc = open_out file in
+      let entry_json { name; params; unit_; samples } =
+        let arr = Array.of_list samples in
+        let mean =
+          List.fold_left ( +. ) 0.0 samples /. float_of_int (Array.length arr)
+        in
+        Printf.sprintf
+          "    { \"name\": %s,\n\
+          \      \"params\": { %s },\n\
+          \      \"unit\": %s,\n\
+          \      \"reps\": %d,\n\
+          \      \"mean\": %s, \"p50\": %s, \"p99\": %s }"
+          (json_string name)
+          (String.concat ", "
+             (List.map (fun (k, v) -> json_string k ^ ": " ^ v) params))
+          (json_string unit_) (Array.length arr) (json_float mean)
+          (json_float (Stats.Percentile.median arr))
+          (json_float (Stats.Percentile.percentile arr 99.0))
+      in
+      Printf.fprintf oc "{ \"exp\": %s,\n  \"entries\": [\n%s\n  ]\n}\n"
+        (json_string exp)
+        (String.concat ",\n" (List.map entry_json entries));
+      close_out oc;
+      Printf.printf "wrote %s (%d entries)\n" file (List.length entries))
+    exps

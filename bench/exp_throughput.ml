@@ -100,11 +100,17 @@ let run () =
     Workload.Stream.generate ~seed:77L (Workload.Stream.Zipf (100_000, 1.1))
       ~length:total_cm_updates
   in
+  let mops total dt = float_of_int total /. dt /. 1e6 in
   let rows =
     List.map
       (fun w ->
         let t_pcm = pcm_throughput ~writers:w stream in
         let t_lock = locked_cm_throughput ~writers:w stream in
+        let params = [ ("writers", Bench_util.json_int w) ] in
+        Bench_util.record ~exp:"throughput" ~name:"e6-pcm" ~params
+          (mops total_cm_updates t_pcm);
+        Bench_util.record ~exp:"throughput" ~name:"e6-locked-cm" ~params
+          (mops total_cm_updates t_lock);
         [
           string_of_int w;
           Bench_util.fmt_rate total_cm_updates t_pcm;
@@ -144,6 +150,13 @@ let run () =
         let t_ivl = ivl_counter_throughput ~writers:w in
         let t_lock = locked_counter_throughput ~writers:w in
         let t_faa = faa_counter_throughput ~writers:w in
+        let params = [ ("writers", Bench_util.json_int w) ] in
+        Bench_util.record ~exp:"throughput" ~name:"e7-ivl-counter" ~params
+          (mops total_counter_updates t_ivl);
+        Bench_util.record ~exp:"throughput" ~name:"e7-faa-counter" ~params
+          (mops total_counter_updates t_faa);
+        Bench_util.record ~exp:"throughput" ~name:"e7-locked-counter" ~params
+          (mops total_counter_updates t_lock);
         [
           string_of_int w;
           Bench_util.fmt_rate total_counter_updates t_ivl;

@@ -51,8 +51,13 @@ let micro () =
         (Staged.stage (fun () -> ignore (Conc.Ivl_counter.read ivl_counter)));
     ]
   in
-  Bench_util.print_bechamel_table ~title:"single-operation latency"
-    (Bench_util.run_bechamel tests)
+  let results = Bench_util.run_bechamel tests in
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_finite ns then
+        Bench_util.record ~exp:"micro" ~name ~unit_:"ns/op" ns)
+    results;
+  Bench_util.print_bechamel_table ~title:"single-operation latency" results
 
 let sections =
   [
@@ -64,6 +69,7 @@ let sections =
     ("quantiles", Exp_quantiles.run);
     ("ablation", Exp_ablation.run);
     ("pq", Exp_pq.run);
+    ("pipeline", Exp_pipeline.run);
     ("micro", micro);
   ]
 
@@ -83,4 +89,8 @@ let () =
           Printf.eprintf "unknown section %s (available: %s)\n" name
             (String.concat " " (List.map fst sections));
           exit 1)
-    requested
+    requested;
+  (* Machine-readable mirror of the tables above: one BENCH_<exp>.json per
+     instrumented experiment. *)
+  print_newline ();
+  Bench_util.write_json_files ()

@@ -322,16 +322,17 @@ let steps algo procs =
 
 (* ------------------------------ sketch ------------------------------ *)
 
+let parse_shape shape skew universe =
+  match shape with
+  | "zipf" -> Workload.Stream.Zipf (universe, skew)
+  | "uniform" -> Workload.Stream.Uniform universe
+  | "bursty" -> Workload.Stream.Bursty (universe, 64)
+  | other ->
+      Printf.eprintf "unknown shape %s (available: zipf uniform bursty)\n" other;
+      exit 1
+
 let sketch shape skew universe length alpha delta top =
-  let shape =
-    match shape with
-    | "zipf" -> Workload.Stream.Zipf (universe, skew)
-    | "uniform" -> Workload.Stream.Uniform universe
-    | "bursty" -> Workload.Stream.Bursty (universe, 64)
-    | other ->
-        Printf.eprintf "unknown shape %s (available: zipf uniform bursty)\n" other;
-        exit 1
-  in
+  let shape = parse_shape shape skew universe in
   let pcm = Conc.Pcm.create_for_error ~seed:42L ~alpha ~delta in
   Printf.printf "PCM %d x %d, %s, %d updates on 4 domains\n" (Conc.Pcm.rows pcm)
     (Conc.Pcm.width pcm)
@@ -774,6 +775,262 @@ let chaos target domains ops kills seed rounds =
     (List.length targets) !failures;
   if !failures = 0 then 0 else 1
 
+(* ------------------------------ pipeline ------------------------------ *)
+
+(* Drive the sharded ingestion pipeline end-to-end: feeder domains push a
+   synthetic stream through hash-routed bounded queues, shard workers batch
+   items into local sketches and ship them as wire blobs, the merger folds
+   the blobs into the global sketch, and a reader domain samples the
+   published total throughout. After drain, the recorded merge/read history
+   goes through the scalable monotone envelope checker — the pipeline's
+   published state must be IVL — alongside conservation checks tying
+   published weight to per-shard flush counters. *)
+
+let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
+    ~(report : s -> unit) ~shards ~stream ~batch ~queue ~feeders ~chaos_kill
+    ~kills ~seed =
+  let module Mono = Ivl.Monotone.Make (Spec.Counter_spec) in
+  let module P = Pipeline.Engine.Make (M) in
+  let ops = Array.length stream in
+  let ch =
+    if not chaos_kill then None
+    else
+      Some
+        (Conc.Chaos.instantiate
+           (Conc.Chaos.plan
+              ~kills:
+                (Conc.Chaos.random_kills ~seed ~domains:shards ~victims:kills
+                   ~max_point:(max 2 (ops / (batch * shards))))
+              ~seed ())
+           ~domains:shards)
+  in
+  let on_tick =
+    Option.map (fun ch ~shard -> Conc.Chaos.point ch ~domain:shard) ch
+  in
+  let p = P.create ~queue_capacity:queue ~batch ?on_tick ~shards () in
+  let stop = Atomic.make false in
+  let reads = Atomic.make 0 in
+  let reader =
+    Domain.spawn (fun () ->
+        let tick () =
+          ignore (P.read_total p);
+          Atomic.incr reads
+        in
+        while not (Atomic.get stop) do
+          tick ();
+          Unix.sleepf 0.0005
+        done;
+        (* One read after drain: must see the final published total. *)
+        tick ())
+  in
+  let chunks = Workload.Stream.chunks stream ~pieces:feeders in
+  let accepted = Atomic.make 0 in
+  let (), dt =
+    Conc.Runner.timed (fun () ->
+        ignore
+          (Conc.Runner.parallel ~domains:feeders (fun i ->
+               let ok = ref 0 in
+               Array.iter (fun x -> if P.ingest p x then incr ok) chunks.(i);
+               ignore (Atomic.fetch_and_add accepted !ok)));
+        P.drain p)
+  in
+  Atomic.set stop true;
+  Domain.join reader;
+  let { P.shards = sh; merges; decode_failures; published; epoch; merge_lag } =
+    P.stats p
+  in
+  Printf.printf "ingested %d/%d items in %.3fs (%.2f Mops/s, incl. drain)\n"
+    (Atomic.get accepted) ops dt
+    (float_of_int ops /. dt /. 1e6);
+  Array.iteri
+    (fun i (s : P.shard_stats) ->
+      Printf.printf
+        "  shard %d: enq %-8d drop %-7d consumed %-8d flushed %-8d blobs %-5d \
+         depth<=%-5d %s\n"
+        i s.enqueued s.dropped s.consumed s.flushed_items s.flushes s.max_depth
+        (if s.alive then "alive" else "KILLED"))
+    sh;
+  Printf.printf "merges %d  epoch %d  published %d  decode failures %d\n" merges
+    epoch published decode_failures;
+  if Array.length merge_lag > 0 then begin
+    let ms = Array.map (fun s -> s *. 1e3) merge_lag in
+    Printf.printf "merge lag: p50 %.2fms  p99 %.2fms  max %.2fms\n"
+      (Stats.Percentile.median ms)
+      (Stats.Percentile.percentile ms 99.0)
+      (Stats.Percentile.percentile ms 100.0)
+  end;
+  (match ch with
+  | Some ch ->
+      Printf.printf "chaos: killed domains %s; dead shards %s\n"
+        (pp_int_list (Conc.Chaos.killed ch))
+        (pp_int_list (P.dead p))
+  | None -> ());
+  let viols = Mono.violations (P.history p) in
+  Printf.printf "envelope: %d merge updates + %d reads checked, %d violations\n"
+    merges (Atomic.get reads) (List.length viols);
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if viols <> [] then add "%d IVL envelope violations" (List.length viols);
+  if decode_failures > 0 then add "%d wire decode failures" decode_failures;
+  List.iter
+    (fun (who, e) -> add "%s died unexpectedly: %s" who (Printexc.to_string e))
+    (P.failures p);
+  let sum_flushed =
+    Array.fold_left (fun a (s : P.shard_stats) -> a + s.flushed_items) 0 sh
+  in
+  if published <> sum_flushed then
+    add "conservation: published %d <> flushed %d" published sum_flushed;
+  Array.iteri
+    (fun i (s : P.shard_stats) ->
+      if s.alive && s.flushed_items <> s.enqueued then
+        add "surviving shard %d flushed %d of %d enqueued" i s.flushed_items
+          s.enqueued)
+    sh;
+  let g, query_epoch = P.query p (fun g -> g) in
+  Printf.printf "final query at epoch %d:\n" query_epoch;
+  report g;
+  match List.rev !problems with
+  | [] ->
+      print_endline "pipeline: PASS";
+      0
+  | ps ->
+      List.iter (Printf.printf "  PROBLEM: %s\n") ps;
+      print_endline "pipeline: FAIL";
+      1
+
+let pipeline sk shards ops shape skew universe batch queue feeders chaos kills
+    seed =
+  if shards < 1 || feeders < 1 || ops < 1 || batch < 1 || queue < 1 then begin
+    Printf.eprintf
+      "pipeline: --shards, --feeders, --ops, --batch and --queue must be >= 1\n";
+    exit 1
+  end;
+  let chaos_kill =
+    match chaos with
+    | "none" -> false
+    | "kill" ->
+        if kills < 1 || kills > shards then begin
+          Printf.eprintf "pipeline: --kills must be in [1, shards]\n";
+          exit 1
+        end;
+        true
+    | other ->
+        Printf.eprintf "unknown chaos mode %s (available: none kill)\n" other;
+        exit 1
+  in
+  let shape = parse_shape shape skew universe in
+  let stream =
+    Workload.Stream.generate ~seed:(Int64.add seed 101L) shape ~length:ops
+  in
+  Printf.printf
+    "pipeline: %s, %d shards (batch %d, queue %d), %d feeders, %s, %d items%s\n"
+    sk shards batch queue feeders
+    (Workload.Stream.describe shape)
+    ops
+    (if chaos_kill then Printf.sprintf ", chaos kills %d shard(s)" kills else "");
+  let exact () =
+    let e = Sketches.Exact.create () in
+    Array.iter (Sketches.Exact.update e) stream;
+    e
+  in
+  let run m report =
+    run_pipeline m ~report ~shards ~stream ~batch ~queue ~feeders ~chaos_kill
+      ~kills ~seed
+  in
+  match sk with
+  | "countmin" ->
+      let module M = Pipeline.Targets.Countmin (struct
+        let seed = Int64.add seed 7L
+        let rows = 4
+        let width = 2048
+      end) in
+      run
+        (module M : Pipeline.Mergeable.S with type t = Sketches.Countmin.t)
+        (fun g ->
+          let e = exact () in
+          Printf.printf "  %-8s %-10s %-10s %-8s\n" "element" "true" "estimate"
+            "excess";
+          List.iter
+            (fun x ->
+              let f = Sketches.Exact.frequency e x
+              and est = Sketches.Countmin.query g x in
+              Printf.printf "  %-8d %-10d %-10d %-8d\n" x f est (est - f))
+            (List.init 8 Fun.id);
+          Printf.printf "  (CountMin error bound %.0f over %d merged updates)\n"
+            (Sketches.Countmin.error_bound g)
+            (Sketches.Countmin.updates g))
+  | "hll" ->
+      let module M = Pipeline.Targets.Hll (struct
+        let seed = Int64.add seed 7L
+        let p = 12
+      end) in
+      run
+        (module M : Pipeline.Mergeable.S with type t = Sketches.Hyperloglog.t)
+        (fun g ->
+          Printf.printf "  distinct: true %d, estimated %.0f\n"
+            (Sketches.Exact.distinct (exact ()))
+            (Sketches.Hyperloglog.estimate g))
+  | "kmv" ->
+      let module M = Pipeline.Targets.Kmv (struct
+        let seed = Int64.add seed 7L
+        let k = 256
+      end) in
+      run
+        (module M : Pipeline.Mergeable.S with type t = Sketches.Kmv.t)
+        (fun g ->
+          Printf.printf "  distinct: true %d, estimated %.0f\n"
+            (Sketches.Exact.distinct (exact ()))
+            (Sketches.Kmv.estimate g))
+  | "quantiles" ->
+      let module M = Pipeline.Targets.Quantiles (struct
+        let seed = Int64.add seed 7L
+        let k = 200
+      end) in
+      run
+        (module M : Pipeline.Mergeable.S with type t = Sketches.Quantiles.t)
+        (fun g ->
+          if Sketches.Quantiles.total g = 0 then
+            print_endline "  (empty sketch)"
+          else begin
+            let sorted = Array.copy stream in
+            Array.sort compare sorted;
+            let true_q phi =
+              sorted.(min (ops - 1) (int_of_float (phi *. float_of_int ops)))
+            in
+            List.iter
+              (fun phi ->
+                Printf.printf "  p%-4.1f true %-8d estimated %-8d\n"
+                  (100.0 *. phi) (true_q phi)
+                  (Sketches.Quantiles.quantile g phi))
+              [ 0.5; 0.9; 0.99 ]
+          end)
+  | "spacesaving" ->
+      let module M = Pipeline.Targets.Space_saving (struct
+        let capacity = 64
+      end) in
+      run
+        (module M : Pipeline.Mergeable.S with type t = Sketches.Space_saving.t)
+        (fun g ->
+          Printf.printf "  top-5 (error bound %d):\n"
+            (Sketches.Space_saving.guaranteed_error g);
+          List.iteri
+            (fun i (x, c) ->
+              if i < 5 then Printf.printf "    %-8d count<=%d\n" x c)
+            (Sketches.Space_saving.top g))
+  | "counter" ->
+      run
+        (module Pipeline.Targets.Counter
+          : Pipeline.Mergeable.S with type t = Sketches.Batched_counter.t)
+        (fun g ->
+          Printf.printf "  merged event count: %d\n"
+            (Sketches.Batched_counter.read g))
+  | other ->
+      Printf.eprintf
+        "unknown sketch %s (available: countmin hll kmv quantiles spacesaving \
+         counter)\n"
+        other;
+      exit 1
+
 (* ------------------------------ cmdliner ------------------------------ *)
 
 open Cmdliner
@@ -884,6 +1141,48 @@ let chaos_cmd =
           domain deaths")
     Term.(const chaos $ target $ domains $ ops $ kills $ seed $ rounds)
 
+let pipeline_cmd =
+  let sketch =
+    Arg.(
+      value
+      & opt string "countmin"
+      & info [ "sketch" ]
+          ~doc:"countmin, hll, kmv, quantiles, spacesaving or counter")
+  in
+  let shards = Arg.(value & opt int 4 & info [ "shards" ] ~doc:"shard worker domains") in
+  let ops = Arg.(value & opt int 200_000 & info [ "ops" ] ~doc:"stream length") in
+  let shape = Arg.(value & opt string "zipf" & info [ "shape" ] ~doc:"zipf, uniform or bursty") in
+  let skew = Arg.(value & opt float 1.1 & info [ "skew" ] ~doc:"zipf exponent") in
+  let universe = Arg.(value & opt int 50_000 & info [ "universe" ] ~doc:"element universe") in
+  let batch =
+    Arg.(
+      value & opt int 512
+      & info [ "batch" ]
+          ~doc:
+            "items per shard delta — the merge cadence: smaller tightens the \
+             freshness/IVL slack, larger buys throughput")
+  in
+  let queue = Arg.(value & opt int 1024 & info [ "queue" ] ~doc:"shard queue capacity (backpressure bound)") in
+  let feeders = Arg.(value & opt int 2 & info [ "feeders" ] ~doc:"feeder domains") in
+  let chaos =
+    Arg.(
+      value & opt string "none"
+      & info [ "chaos" ]
+          ~doc:
+            "none, or kill: crash-stop random shard workers mid-run (drain \
+             must still complete and the envelope must still hold)")
+  in
+  let kills = Arg.(value & opt int 1 & info [ "kills" ] ~doc:"shard workers to kill (with --chaos kill)") in
+  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"base seed") in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:
+         "Run the sharded ingestion pipeline (wire-encoded deltas, global \
+          merges) and check its IVL envelope")
+    Term.(
+      const pipeline $ sketch $ shards $ ops $ shape $ skew $ universe $ batch
+      $ queue $ feeders $ chaos $ kills $ seed)
+
 let () =
   let doc = "Intermediate Value Linearizability: checkers, simulators, sketches" in
   exit
@@ -897,4 +1196,5 @@ let () =
             envelope_cmd;
             explore_cmd;
             chaos_cmd;
+            pipeline_cmd;
           ]))

@@ -56,6 +56,17 @@ let query t a =
 
 let updates t = Atomic.get t.n
 
+let merge_into t delta =
+  if not (Hashing.Family.compatible t.family (Sketches.Countmin.family delta)) then
+    invalid_arg "Pcm.merge_into: delta must share a compatible hash family";
+  for i = 0 to rows t - 1 do
+    for j = 0 to t.width - 1 do
+      let c = Sketches.Countmin.cell delta ~row:i ~col:j in
+      if c <> 0 then ignore (Atomic.fetch_and_add t.cells.((i * t.width) + j) c)
+    done
+  done;
+  ignore (Atomic.fetch_and_add t.n (Sketches.Countmin.updates delta))
+
 let snapshot_cells t =
   Array.init (rows t) (fun i ->
       Array.init t.width (fun j -> Atomic.get t.cells.((i * t.width) + j)))

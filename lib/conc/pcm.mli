@@ -36,5 +36,14 @@ val updates : t -> int
 (** Number of updates that have {e started} (atomic counter); used only for
     reporting, not by the algorithm. *)
 
+val merge_into : t -> Sketches.Countmin.t -> unit
+(** [merge_into t delta] absorbs a sequential CountMin delta with one atomic
+    add per non-zero cell — the shard-merge write of a batched ingestion
+    pipeline. Equivalent to replaying the delta's stream through {!update}
+    for every query, but with d·w unconditional atomic steps instead of
+    d·|stream|; concurrent queries may observe any prefix of the adds (IVL,
+    by the same per-row interval argument as Lemma 7).
+    @raise Invalid_argument unless the families are compatible. *)
+
 val snapshot_cells : t -> int array array
 (** Racy copy of the matrix (reporting/tests). *)

@@ -39,3 +39,31 @@ let hash t ~row x =
 let seeded ~seed ~rows ~width =
   let g = Rng.Splitmix.create seed in
   create g ~rows ~width
+
+let coefficients t =
+  let exception Explicit in
+  try
+    Some
+      (Array.map
+         (function
+           | Universal_row f -> Universal.coefficients f
+           | Explicit_row _ -> raise Explicit)
+         t.rows)
+  with Explicit -> None
+
+let of_coefficients ~width coeffs =
+  if Array.length coeffs = 0 then invalid_arg "Family.of_coefficients: empty family";
+  if width <= 0 then invalid_arg "Family.of_coefficients: width must be positive";
+  {
+    rows = Array.map (fun (a, b) -> Universal_row (Universal.of_coefficients ~a ~b ~width)) coeffs;
+    width;
+  }
+
+let compatible a b =
+  a == b
+  || a.width = b.width
+     && Array.length a.rows = Array.length b.rows
+     &&
+     match (coefficients a, coefficients b) with
+     | Some ca, Some cb -> ca = cb
+     | _ -> false

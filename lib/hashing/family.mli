@@ -35,3 +35,20 @@ val hash : t -> row:int -> int -> int
 
 val seeded : seed:int64 -> rows:int -> width:int -> t
 (** Convenience: a family drawn from a fresh SplitMix64 stream with [seed]. *)
+
+val coefficients : t -> (int * int) array option
+(** The per-row field coefficients [(a, b)] when every row is a
+    pairwise-independent {!Universal} function, [None] if any row was pinned
+    with {!of_mapping}. Serializing these (the wire codecs do) captures the
+    coin-flip vector exactly. *)
+
+val of_coefficients : width:int -> (int * int) array -> t
+(** Rebuild a family from serialized coefficients; the exact inverse of
+    {!coefficients} on universal families.
+    @raise Invalid_argument on an empty array or [width <= 0]. *)
+
+val compatible : t -> t -> bool
+(** Two families are compatible when they hash identically: physically equal,
+    or universal with equal widths, row counts and coefficients. Mergeable
+    sketches require compatible families; families built with {!of_mapping}
+    are only compatible with themselves. *)

@@ -1,0 +1,285 @@
+module Make (M : Mergeable.S) = struct
+  type delta = {
+    shard : int;
+    seq : int; (* per-shard flush sequence number *)
+    weight : int; (* stream items summarized in the blob *)
+    born : float; (* encode time, for merge-lag percentiles *)
+    blob : Bytes.t;
+  }
+
+  type shard = {
+    q : int Mpsc.t;
+    enqueued : int Atomic.t;
+    dropped : int Atomic.t;
+    consumed : int Atomic.t;
+    flushed_items : int Atomic.t;
+    flushes : int Atomic.t;
+    max_depth : int Atomic.t;
+    alive : bool Atomic.t;
+    failed : exn option Atomic.t;
+  }
+
+  type shard_stats = {
+    enqueued : int;
+    dropped : int;
+    consumed : int;
+    flushed_items : int;
+    flushes : int;
+    max_depth : int;
+    alive : bool;
+  }
+
+  type stats = {
+    shards : shard_stats array;
+    merges : int;
+    decode_failures : int;
+    published : int;
+    epoch : int;
+    merge_lag : float array; (* seconds, one sample per merge *)
+  }
+
+  type t = {
+    shards : shard array;
+    mq : delta Mpsc.t;
+    batch : int;
+    gm : Mutex.t; (* guards global/epoch/published/lags *)
+    mutable global : M.t;
+    mutable epoch : int;
+    mutable published : int;
+    mutable lags : float list;
+    merges : int Atomic.t;
+    decode_failures : int Atomic.t;
+    merger_failed : exn option Atomic.t;
+    rec_ : (int, int, int) Conc.Recorder.t;
+    mutable workers : unit Domain.t array;
+    mutable merger : unit Domain.t option;
+    mutable drained : bool;
+  }
+
+  let shard_count t = Array.length t.shards
+
+  (* SplitMix64-style finalizer (truncated to native int) so adjacent
+     elements spread across shards. *)
+  let shard_of t x =
+    let h = x * 0x1E3779B97F4A7C15 in
+    let h = (h lxor (h lsr 30)) * 0x3F58476D1CE4E5B9 in
+    (h lxor (h lsr 27)) land max_int mod shard_count t
+
+  let worker t i ~on_tick =
+    let s = t.shards.(i) in
+    let local = ref (M.create ()) in
+    let count = ref 0 in
+    let seq = ref 0 in
+    let flush () =
+      if !count > 0 then begin
+        let blob = M.encode !local in
+        incr seq;
+        let d =
+          { shard = i; seq = !seq; weight = !count; born = Unix.gettimeofday (); blob }
+        in
+        if Mpsc.push t.mq d then begin
+          ignore (Atomic.fetch_and_add s.flushed_items !count);
+          ignore (Atomic.fetch_and_add s.flushes 1)
+        end;
+        local := M.create ();
+        count := 0
+      end
+    in
+    let rec loop () =
+      (match on_tick with Some f -> f ~shard:i | None -> ());
+      match Mpsc.pop_batch s.q ~max:t.batch with
+      | [] -> flush () (* queue closed and drained: final flush, then exit *)
+      | items ->
+          List.iter (M.update !local) items;
+          let n = List.length items in
+          count := !count + n;
+          ignore (Atomic.fetch_and_add s.consumed n);
+          if !count >= t.batch then flush ();
+          loop ()
+    in
+    try loop () with
+    | Conc.Chaos.Killed _ ->
+        (* Crash-stop: the delta under accumulation is lost (consumed >
+           flushed records how much), and closing the queue turns future
+           ingests into drops instead of a hang on a dead consumer. *)
+        Atomic.set s.alive false;
+        Mpsc.close s.q
+    | e ->
+        Atomic.set s.alive false;
+        Atomic.set s.failed (Some e);
+        Mpsc.close s.q
+
+  (* The merger is the pipeline's only writer of the global sketch: decode
+     the blob, fold it in under the mutex, stamp a new epoch. The recorded
+     update op brackets exactly the merge critical section, so the history
+     seen by the envelope checker is the pipeline's published state. *)
+  let merger t =
+    let dom = shard_count t in
+    let rec loop () =
+      match Mpsc.pop t.mq with
+      | None -> ()
+      | Some d ->
+          (match M.decode d.blob with
+          | Error _ -> ignore (Atomic.fetch_and_add t.decode_failures 1)
+          | Ok delta ->
+              Conc.Recorder.record_update t.rec_ ~domain:dom ~obj:0 d.weight
+                (fun () ->
+                  Mutex.lock t.gm;
+                  t.global <- M.merge t.global delta;
+                  t.epoch <- t.epoch + 1;
+                  t.published <- t.published + d.weight;
+                  t.lags <- (Unix.gettimeofday () -. d.born) :: t.lags;
+                  Mutex.unlock t.gm);
+              ignore (Atomic.fetch_and_add t.merges 1));
+          loop ()
+    in
+    try loop () with e -> Atomic.set t.merger_failed (Some e)
+
+  let create ?(queue_capacity = 1024) ?(batch = 512) ?on_tick ~shards () =
+    if shards <= 0 then invalid_arg "Engine.create: shards must be positive";
+    if batch <= 0 then invalid_arg "Engine.create: batch must be positive";
+    let mk_shard _ =
+      {
+        q = Mpsc.create ~capacity:queue_capacity;
+        enqueued = Atomic.make 0;
+        dropped = Atomic.make 0;
+        consumed = Atomic.make 0;
+        flushed_items = Atomic.make 0;
+        flushes = Atomic.make 0;
+        max_depth = Atomic.make 0;
+        alive = Atomic.make true;
+        failed = Atomic.make None;
+      }
+    in
+    let t =
+      {
+        shards = Array.init shards mk_shard;
+        mq = Mpsc.create ~capacity:(max 4 (2 * shards));
+        batch;
+        gm = Mutex.create ();
+        global = M.create ();
+        epoch = 0;
+        published = 0;
+        lags = [];
+        merges = Atomic.make 0;
+        decode_failures = Atomic.make 0;
+        merger_failed = Atomic.make None;
+        rec_ = Conc.Recorder.create ~domains:(shards + 2);
+        workers = [||];
+        merger = None;
+        drained = false;
+      }
+    in
+    t.workers <- Array.init shards (fun i -> Domain.spawn (fun () -> worker t i ~on_tick));
+    t.merger <- Some (Domain.spawn (fun () -> merger t));
+    t
+
+  let note_depth s =
+    let depth = Mpsc.length s.q in
+    if depth > Atomic.get s.max_depth then Atomic.set s.max_depth depth
+
+  let ingest t x =
+    let s = t.shards.(shard_of t x) in
+    note_depth s;
+    if Mpsc.push s.q x then begin
+      ignore (Atomic.fetch_and_add s.enqueued 1);
+      true
+    end
+    else begin
+      ignore (Atomic.fetch_and_add s.dropped 1);
+      false
+    end
+
+  let try_ingest t x =
+    let s = t.shards.(shard_of t x) in
+    note_depth s;
+    match Mpsc.try_push s.q x with
+    | `Ok ->
+        ignore (Atomic.fetch_and_add s.enqueued 1);
+        true
+    | `Full | `Closed ->
+        ignore (Atomic.fetch_and_add s.dropped 1);
+        false
+
+  let drain t =
+    if not t.drained then begin
+      t.drained <- true;
+      Array.iter (fun (s : shard) -> Mpsc.close s.q) t.shards;
+      Array.iter Domain.join t.workers;
+      (* Whatever a dead worker left queued was never summarized: drops. *)
+      Array.iter
+        (fun (s : shard) ->
+          let left = Mpsc.drain_remaining s.q in
+          if left > 0 then ignore (Atomic.fetch_and_add s.dropped left))
+        t.shards;
+      Mpsc.close t.mq;
+      (match t.merger with Some d -> Domain.join d | None -> ());
+      t.merger <- None
+    end
+
+  let query t f =
+    Mutex.lock t.gm;
+    let v = f t.global and e = t.epoch in
+    Mutex.unlock t.gm;
+    (v, e)
+
+  let read_total t =
+    Conc.Recorder.record_query t.rec_ ~domain:(shard_count t + 1) ~obj:0 0
+      (fun () ->
+        Mutex.lock t.gm;
+        let v = t.published in
+        Mutex.unlock t.gm;
+        v)
+
+  let epoch t =
+    Mutex.lock t.gm;
+    let e = t.epoch in
+    Mutex.unlock t.gm;
+    e
+
+  let stats t =
+    Mutex.lock t.gm;
+    let epoch = t.epoch and published = t.published in
+    let merge_lag = Array.of_list (List.rev t.lags) in
+    Mutex.unlock t.gm;
+    {
+      shards =
+        Array.map
+          (fun (s : shard) ->
+            {
+              enqueued = Atomic.get s.enqueued;
+              dropped = Atomic.get s.dropped;
+              consumed = Atomic.get s.consumed;
+              flushed_items = Atomic.get s.flushed_items;
+              flushes = Atomic.get s.flushes;
+              max_depth = Atomic.get s.max_depth;
+              alive = Atomic.get s.alive;
+            })
+          t.shards;
+      merges = Atomic.get t.merges;
+      decode_failures = Atomic.get t.decode_failures;
+      published;
+      epoch;
+      merge_lag;
+    }
+
+  let dead t =
+    Array.to_list t.shards
+    |> List.mapi (fun i (s : shard) -> (i, Atomic.get s.alive))
+    |> List.filter_map (fun (i, alive) -> if alive then None else Some i)
+
+  let failures t =
+    let worker_fails =
+      Array.to_list t.shards
+      |> List.mapi (fun i (s : shard) ->
+             match Atomic.get s.failed with
+             | Some e -> Some (Printf.sprintf "shard %d" i, e)
+             | None -> None)
+      |> List.filter_map Fun.id
+    in
+    match Atomic.get t.merger_failed with
+    | Some e -> ("merger", e) :: worker_fails
+    | None -> worker_fails
+
+  let history t = Conc.Recorder.history t.rec_
+end

@@ -1,0 +1,121 @@
+(** Sharded ingestion pipeline: shard-local sketches, periodic merges into a
+    global sketch, snapshot-consistent relaxed reads.
+
+    This is the batched-update architecture the paper models (its
+    introduction's motivating big-data systems ingest exactly this way), and
+    the published state is a textbook IVL object:
+
+    {v
+      ingest ──hash──▶ [shard queue]──▶ worker: local delta ─┐
+      ingest ──hash──▶ [shard queue]──▶ worker: local delta ─┤ encoded blobs
+      ingest ──hash──▶ [shard queue]──▶ worker: local delta ─┘      │
+                                                                    ▼
+                                                  [merger queue]──▶ merger:
+                                                       global ← merge(delta)
+                                                       epoch++, stamp, lag
+                                      queries ──▶ snapshot of global @ epoch
+    v}
+
+    Each worker owns its shard's delta exclusively (no locks on the update
+    path); every [batch] items it encodes the delta as a {!Wire.Codec} blob
+    and ships it to the merger, which decodes and folds it into the global
+    sketch under a mutex, bumping the epoch. A query therefore sees a
+    snapshot: some prefix of merges, never a torn delta — the merged counter
+    of published weights is IVL by construction, and the recorded history
+    ({!Make.history}: one update op per merge, one query op per
+    {!Make.read_total}) lets {!Ivl.Monotone} verify that end-to-end on real
+    executions.
+
+    Freshness is the price: items buffered in queues or unshipped deltas are
+    invisible to queries until merged, so a smaller [batch] tightens the IVL
+    envelope (less lag between v_min and what a query can return) while a
+    larger one buys update throughput — the cadence/slack dial
+    [docs/PIPELINE.md] discusses. Backpressure is physical: bounded queues
+    block feeders when shards fall behind.
+
+    Crash-stop tolerant: a worker dying (e.g. {!Conc.Chaos.Killed} raised by
+    an [on_tick] injection hook) closes its queue, so ingest sheds to drops
+    instead of hanging, and {!Make.drain} still completes — joining every
+    domain and accounting lost items — with the surviving shards' data
+    intact. *)
+
+module Make (M : Mergeable.S) : sig
+  type t
+
+  type shard_stats = {
+    enqueued : int;  (** elements accepted into the shard queue *)
+    dropped : int;  (** shed: queue closed (dead worker) or [try_ingest] full *)
+    consumed : int;  (** elements the worker folded into deltas *)
+    flushed_items : int;  (** elements shipped to the merger in blobs *)
+    flushes : int;  (** blobs shipped *)
+    max_depth : int;  (** high-water queue depth observed at ingest *)
+    alive : bool;
+  }
+
+  type stats = {
+    shards : shard_stats array;
+    merges : int;  (** deltas folded into the global sketch *)
+    decode_failures : int;  (** blobs the merger could not decode *)
+    published : int;  (** total weight merged — what {!read_total} returns *)
+    epoch : int;  (** merge counter; stamps every query snapshot *)
+    merge_lag : float array;  (** seconds from delta encode to merge, per merge *)
+  }
+
+  val create :
+    ?queue_capacity:int ->
+    ?batch:int ->
+    ?on_tick:(shard:int -> unit) ->
+    shards:int ->
+    unit ->
+    t
+  (** Spawn [shards] worker domains plus one merger domain. [queue_capacity]
+      (default 1024) bounds each shard queue; [batch] (default 512) is the
+      merge cadence in items. [on_tick] runs in the worker's domain once per
+      batch loop — the chaos hook: raising {!Conc.Chaos.Killed} from it
+      crash-stops that shard.
+      @raise Invalid_argument if [shards <= 0] or [batch <= 0]. *)
+
+  val ingest : t -> int -> bool
+  (** Route an element to its shard (by hash) and enqueue it, blocking while
+      the queue is full — backpressure. [false] means dropped: the shard's
+      worker is dead, or the pipeline is drained. Any number of domains may
+      ingest concurrently. *)
+
+  val try_ingest : t -> int -> bool
+  (** Non-blocking variant: a full queue is an immediate drop (counted). *)
+
+  val drain : t -> unit
+  (** Graceful shutdown: close shard queues, let workers drain and flush
+      their final deltas, join them, then close the merger queue and join
+      the merger. Idempotent; completes even when workers were killed
+      mid-run (their leftovers are counted as drops). After [drain], queries
+      remain valid and ingest returns [false]. *)
+
+  val query : t -> (M.t -> 'a) -> 'a * int
+  (** Snapshot-consistent read of the global sketch: [f] runs under the
+      merge mutex and the returned epoch identifies the exact prefix of
+      merges it saw. Keep [f] cheap — it delays merges, not ingests. *)
+
+  val read_total : t -> int
+  (** Total published weight (stream items merged so far), recorded into the
+      pipeline's history as a query op for the envelope checker. At most one
+      domain may call this (the recorder gives the reader one buffer). *)
+
+  val epoch : t -> int
+
+  val stats : t -> stats
+  (** Callable mid-run (racy per-shard counters, consistent merger block) or
+      after {!drain} (exact). *)
+
+  val dead : t -> int list
+  (** Shards whose worker has died, ascending. *)
+
+  val failures : t -> (string * exn) list
+  (** Unexpected worker/merger exceptions ({!Conc.Chaos.Killed} is expected
+      and not listed). Anything here is a pipeline bug. *)
+
+  val history : t -> (int, int, int) Hist.History.t
+  (** The recorded merge/read history — feed to
+      [Ivl.Monotone.Make (Spec.Counter_spec)]. Call after {!drain} and after
+      the reading domain has quiesced. *)
+end

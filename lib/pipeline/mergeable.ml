@@ -1,0 +1,40 @@
+(** The contract a sketch must meet to ride the sharded ingestion pipeline.
+
+    A [t] plays two roles: the {e shard-local delta} each worker accumulates
+    (born empty via [create], fed by [update], shipped as a {!Wire.Codec}
+    blob), and the {e global sketch} the merger folds deltas into with
+    [merge]. The pipeline is correct for any summary where merge is
+    associative and commutative with [create ()] as identity — the
+    "mergeable summaries" algebra (Agarwal et al.) that every sketch in this
+    repository satisfies; the merge-algebra property tests pin it down.
+
+    [encode]/[decode] put the wire codecs on the hot path: every delta a
+    worker ships to the merger is a versioned, checksummed blob, so codec
+    bugs surface immediately as decode failures in the pipeline stats rather
+    than lying dormant until a first networked deployment. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Short human-readable sketch name, for reports. *)
+
+  val create : unit -> t
+  (** A fresh empty delta. All deltas (and the global) must share hash
+      parameters so that [merge] never rejects a sibling. *)
+
+  val update : t -> int -> unit
+  (** Fold one stream element into a delta. *)
+
+  val merge : t -> t -> t
+  (** Combine two summaries; neither input is mutated.
+      @raise Invalid_argument on incompatible parameters (a pipeline bug —
+      all deltas come from [create]). *)
+
+  val encode : t -> Bytes.t
+  (** Serialize a delta for the merger queue. *)
+
+  val decode : Bytes.t -> (t, Wire.Codec.error) result
+  (** Deserialize; never raises. A [Error] at the merger counts as a
+      decode failure in the pipeline stats (and loses that delta). *)
+end

@@ -1,0 +1,112 @@
+type 'a t = {
+  buf : 'a option array;
+  capacity : int;
+  mutable head : int; (* index of the next element to pop *)
+  mutable len : int;
+  mutable closed : bool;
+  m : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Mpsc.create: capacity must be positive";
+  {
+    buf = Array.make capacity None;
+    capacity;
+    head = 0;
+    len = 0;
+    closed = false;
+    m = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+  }
+
+let unsafe_put t x =
+  t.buf.((t.head + t.len) mod t.capacity) <- Some x;
+  t.len <- t.len + 1
+
+let push t x =
+  Mutex.lock t.m;
+  let rec go () =
+    if t.closed then false
+    else if t.len = t.capacity then begin
+      Condition.wait t.not_full t.m;
+      go ()
+    end
+    else begin
+      unsafe_put t x;
+      Condition.signal t.not_empty;
+      true
+    end
+  in
+  let ok = go () in
+  Mutex.unlock t.m;
+  ok
+
+let try_push t x =
+  Mutex.lock t.m;
+  let r =
+    if t.closed then `Closed
+    else if t.len = t.capacity then `Full
+    else begin
+      unsafe_put t x;
+      Condition.signal t.not_empty;
+      `Ok
+    end
+  in
+  Mutex.unlock t.m;
+  r
+
+let pop_batch t ~max =
+  if max <= 0 then invalid_arg "Mpsc.pop_batch: max must be positive";
+  Mutex.lock t.m;
+  while t.len = 0 && not t.closed do
+    Condition.wait t.not_empty t.m
+  done;
+  let n = min max t.len in
+  let items = ref [] in
+  for _ = 1 to n do
+    (match t.buf.(t.head) with
+    | Some x -> items := x :: !items
+    | None -> assert false);
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod t.capacity;
+    t.len <- t.len - 1
+  done;
+  if n > 0 then Condition.broadcast t.not_full;
+  Mutex.unlock t.m;
+  List.rev !items
+
+let pop t = match pop_batch t ~max:1 with [] -> None | x :: _ -> Some x
+
+let close t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.m
+
+let drain_remaining t =
+  Mutex.lock t.m;
+  let n = t.len in
+  for _ = 1 to n do
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod t.capacity;
+    t.len <- t.len - 1
+  done;
+  if n > 0 then Condition.broadcast t.not_full;
+  Mutex.unlock t.m;
+  n
+
+let length t =
+  Mutex.lock t.m;
+  let n = t.len in
+  Mutex.unlock t.m;
+  n
+
+let is_closed t =
+  Mutex.lock t.m;
+  let c = t.closed in
+  Mutex.unlock t.m;
+  c

@@ -1,0 +1,47 @@
+(** Bounded multi-producer queue with blocking backpressure.
+
+    The pipeline's transport: ingest callers push elements into shard
+    queues, shard workers push encoded deltas into the merger queue. A full
+    queue blocks producers (backpressure propagates upstream to the feeders)
+    rather than growing without bound; {!try_push} gives callers that
+    prefer shedding load a non-blocking variant whose [`Full] result they
+    count as a drop.
+
+    [close] makes the queue terminal: producers fail fast (no hang on a dead
+    consumer — a chaos-killed shard worker closes its queue on the way out),
+    while the consumer drains the remaining elements and then sees the empty
+    mark. Mutex + condition variables: simple, fair enough, and blocking
+    waits release the core, which matters when shards + merger + feeders
+    oversubscribe a small machine. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val push : 'a t -> 'a -> bool
+(** Block while full; [false] iff the queue is (or becomes) closed — the
+    element was not enqueued. *)
+
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+(** Non-blocking push. *)
+
+val pop : 'a t -> 'a option
+(** Block while empty and open; [None] iff closed and drained. Single
+    consumer. *)
+
+val pop_batch : 'a t -> max:int -> 'a list
+(** Like {!pop} but takes up to [max] elements in one lock acquisition, in
+    FIFO order; [[]] iff closed and drained.
+    @raise Invalid_argument if [max <= 0]. *)
+
+val close : 'a t -> unit
+(** Idempotent. Wakes every blocked producer and the consumer. *)
+
+val drain_remaining : 'a t -> int
+(** Discard whatever is still queued and return the count — used by the
+    pipeline's drain to account for elements a dead worker never consumed. *)
+
+val length : 'a t -> int
+
+val is_closed : 'a t -> bool

@@ -1,0 +1,93 @@
+module Countmin (C : sig
+  val seed : int64
+  val rows : int
+  val width : int
+end) : Mergeable.S with type t = Sketches.Countmin.t = struct
+  type t = Sketches.Countmin.t
+
+  let name = "countmin"
+
+  (* One coin-flip vector for every delta and the global — decoded deltas
+     rebuild it from the serialized coefficients, and merge re-checks
+     compatibility. *)
+  let family = Hashing.Family.seeded ~seed:C.seed ~rows:C.rows ~width:C.width
+  let create () = Sketches.Countmin.create ~family
+  let update = Sketches.Countmin.update
+  let merge = Sketches.Countmin.merge
+  let encode = Wire.Countmin.encode
+  let decode = Wire.Countmin.decode
+end
+
+module Hll (C : sig
+  val seed : int64
+  val p : int
+end) : Mergeable.S with type t = Sketches.Hyperloglog.t = struct
+  type t = Sketches.Hyperloglog.t
+
+  let name = "hll"
+  let create () = Sketches.Hyperloglog.create ~p:C.p ~seed:C.seed ()
+  let update = Sketches.Hyperloglog.update
+  let merge = Sketches.Hyperloglog.merge
+  let encode = Wire.Hll.encode
+  let decode = Wire.Hll.decode
+end
+
+module Kmv (C : sig
+  val seed : int64
+  val k : int
+end) : Mergeable.S with type t = Sketches.Kmv.t = struct
+  type t = Sketches.Kmv.t
+
+  let name = "kmv"
+  let create () = Sketches.Kmv.create ~k:C.k ~seed:C.seed ()
+  let update = Sketches.Kmv.update
+  let merge = Sketches.Kmv.merge
+  let encode = Wire.Kmv.encode
+  let decode = Wire.Kmv.decode
+end
+
+module Quantiles (C : sig
+  val seed : int64
+  val k : int
+end) : Mergeable.S with type t = Sketches.Quantiles.t = struct
+  type t = Sketches.Quantiles.t
+
+  let name = "quantiles"
+  let create () = Sketches.Quantiles.create ~k:C.k ~seed:C.seed ()
+  let update = Sketches.Quantiles.update
+  let merge = Sketches.Quantiles.merge
+  let encode = Wire.Quantiles.encode
+  let decode = Wire.Quantiles.decode
+end
+
+module Space_saving (C : sig
+  val capacity : int
+end) : Mergeable.S with type t = Sketches.Space_saving.t = struct
+  type t = Sketches.Space_saving.t
+
+  let name = "space-saving"
+  let create () = Sketches.Space_saving.create ~capacity:C.capacity
+  let update = Sketches.Space_saving.update
+  let merge a b = Sketches.Space_saving.merge ~capacity:C.capacity a b
+  let encode = Wire.Space_saving.encode
+  let decode = Wire.Space_saving.decode
+end
+
+module Counter : Mergeable.S with type t = Sketches.Batched_counter.t = struct
+  type t = Sketches.Batched_counter.t
+
+  let name = "counter"
+  let create () = Sketches.Batched_counter.create ()
+
+  (* Every stream element is one event; the element's value is irrelevant. *)
+  let update c _ = Sketches.Batched_counter.update c 1
+
+  let merge a b =
+    let c = Sketches.Batched_counter.create () in
+    Sketches.Batched_counter.update c (Sketches.Batched_counter.read a);
+    Sketches.Batched_counter.update c (Sketches.Batched_counter.read b);
+    c
+
+  let encode = Wire.Counter.encode
+  let decode = Wire.Counter.decode
+end

@@ -1,4 +1,5 @@
 type t = {
+  seed : int64;
   bucket : Hashing.Family.t; (* row -> column *)
   sign : Hashing.Family.t; (* row -> {0,1}, mapped to ±1 *)
   cells : int array array;
@@ -11,7 +12,7 @@ let create ~seed ~rows ~width =
   let g = Rng.Splitmix.create seed in
   let bucket = Hashing.Family.create g ~rows ~width in
   let sign = Hashing.Family.create g ~rows ~width:2 in
-  { bucket; sign; cells = Array.make_matrix rows width 0; n = 0 }
+  { seed; bucket; sign; cells = Array.make_matrix rows width 0; n = 0 }
 
 let sign_of t ~row a = if Hashing.Family.hash t.sign ~row a = 0 then -1 else 1
 
@@ -38,3 +39,22 @@ let rows t = Array.length t.cells
 let width t = Hashing.Family.width t.bucket
 
 let updates t = t.n
+
+let seed t = t.seed
+
+let merge a b =
+  if
+    (not (Int64.equal a.seed b.seed))
+    || rows a <> rows b
+    || width a <> width b
+  then
+    invalid_arg
+      "Count_sketch.merge: sketches must share seed, rows and width \
+       (compatible hash families)";
+  {
+    a with
+    cells =
+      Array.init (rows a) (fun i ->
+          Array.init (width a) (fun j -> a.cells.(i).(j) + b.cells.(i).(j)));
+    n = a.n + b.n;
+  }

@@ -26,3 +26,14 @@ val width : t -> int
 
 val updates : t -> int
 (** Stream length n. *)
+
+val seed : t -> int64
+(** The seed that drew both hash families (bucket and sign). *)
+
+val merge : t -> t -> t
+(** [merge a b] summarizes the concatenation of both inputs' streams:
+    signed counters add cell-wise — exact, by linearity, like CountMin's
+    merge. Inputs are left untouched.
+    @raise Invalid_argument unless both sketches were created with the same
+    seed, rows and width (the hash families must agree for cells to be
+    addable). *)

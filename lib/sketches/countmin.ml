@@ -46,3 +46,28 @@ let cell t ~row ~col = t.cells.(row).(col)
 let reset t =
   Array.iter (fun r -> Array.fill r 0 (Array.length r) 0) t.cells;
   t.n <- 0
+
+let merge a b =
+  if not (Hashing.Family.compatible a.family b.family) then
+    invalid_arg "Countmin.merge: sketches must share a compatible hash family";
+  let t = create ~family:a.family in
+  for i = 0 to rows a - 1 do
+    for j = 0 to width a - 1 do
+      t.cells.(i).(j) <- a.cells.(i).(j) + b.cells.(i).(j)
+    done
+  done;
+  t.n <- a.n + b.n;
+  t
+
+let of_cells ~family ~n cells =
+  let d = Hashing.Family.rows family and w = Hashing.Family.width family in
+  if n < 0 then invalid_arg "Countmin.of_cells: n must be non-negative";
+  if Array.length cells <> d then invalid_arg "Countmin.of_cells: wrong row count";
+  Array.iter
+    (fun row ->
+      if Array.length row <> w then invalid_arg "Countmin.of_cells: wrong row width";
+      Array.iter
+        (fun c -> if c < 0 then invalid_arg "Countmin.of_cells: negative counter")
+        row)
+    cells;
+  { family; cells = Array.map Array.copy cells; n }

@@ -46,3 +46,18 @@ val cell : t -> row:int -> col:int -> int
 
 val reset : t -> unit
 (** Zero all counters and the update count. *)
+
+val merge : t -> t -> t
+(** [merge a b] summarizes the concatenation of both inputs' streams:
+    cell-wise sums, stream lengths add. CountMin's linear structure makes
+    this exact — the merged sketch equals the sketch of the combined stream
+    — which is what lets shard-local deltas fold into a global sketch
+    (Agarwal et al., "Mergeable summaries"). Inputs are left untouched.
+    @raise Invalid_argument unless the families are
+    {!Hashing.Family.compatible} (same coin-flip vector). *)
+
+val of_cells : family:Hashing.Family.t -> n:int -> int array array -> t
+(** Rebuild a sketch from a counter image (deep-copied): d×w cells and the
+    stream length [n]. The wire codec's decode path.
+    @raise Invalid_argument on dimension mismatches, negative counters or
+    negative [n]. *)

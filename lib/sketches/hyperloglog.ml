@@ -56,3 +56,5 @@ let of_registers ~p ~seed regs =
   t
 
 let p t = t.p
+
+let seed t = t.seed

@@ -33,3 +33,7 @@ val of_registers : p:int -> seed:int64 -> int array -> t
     @raise Invalid_argument if the array length is not 2^p. *)
 
 val p : t -> int
+
+val seed : t -> int64
+(** The seed that drew the tabulation hash; two sketches merge iff they
+    share [p] and seed, and the wire codec round-trips both. *)

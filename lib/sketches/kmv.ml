@@ -53,3 +53,18 @@ let merge a b =
 let retained t = Float_set.cardinal t.values
 
 let k t = t.k
+
+let seed t = t.seed
+
+let hashes t = Array.of_list (Float_set.elements t.values)
+
+let of_hashes ~k ~seed hs =
+  let t = create ~k ~seed () in
+  if Array.length hs > k then invalid_arg "Kmv.of_hashes: more than k values";
+  Array.iter
+    (fun h ->
+      if not (h > 0.0 && h <= 1.0) then
+        invalid_arg "Kmv.of_hashes: hash values must lie in (0,1]";
+      t.values <- Float_set.add h t.values)
+    hs;
+  t

@@ -32,3 +32,16 @@ val retained : t -> int
 (** Number of hash values currently stored (≤ k). *)
 
 val k : t -> int
+
+val seed : t -> int64
+(** The seed that drew the tabulation hash. *)
+
+val hashes : t -> float array
+(** The retained hash values, ascending — the sketch's entire state beyond
+    [(k, seed)]. Serialized by the wire codec. *)
+
+val of_hashes : k:int -> seed:int64 -> float array -> t
+(** Rebuild a sketch from a retained-value image (same [k]/seed as the
+    source); duplicates collapse.
+    @raise Invalid_argument if [k < 3], more than [k] values are given, or
+    any value falls outside (0,1]. *)

@@ -5,6 +5,7 @@
 
 type t = {
   k : int;
+  seed : int64;
   g : Rng.Splitmix.t;
   mutable levels : int list array; (* levels.(i): buffered items of weight 2^i *)
   mutable sizes : int array;
@@ -15,6 +16,7 @@ let create ?(k = 200) ~seed () =
   if k < 2 then invalid_arg "Quantiles.create: k must be at least 2";
   {
     k;
+    seed;
     g = Rng.Splitmix.create seed;
     levels = Array.make 1 [];
     sizes = Array.make 1 0;
@@ -91,6 +93,7 @@ let retained t = Array.fold_left ( + ) 0 t.sizes
 let copy t =
   {
     k = t.k;
+    seed = t.seed;
     g = Rng.Splitmix.copy t.g;
     levels = Array.map (fun l -> l) t.levels;
     sizes = Array.copy t.sizes;
@@ -102,6 +105,7 @@ let merge a b =
   let t =
     {
       k = a.k;
+      seed = a.seed;
       g = Rng.Splitmix.copy a.g;
       levels = Array.make height [];
       sizes = Array.make height 0;
@@ -117,6 +121,29 @@ let merge a b =
     t.sizes.(i) <- sa + sb
   done;
   (* Re-establish the capacity invariant bottom-up. *)
+  let i = ref 0 in
+  while !i < Array.length t.levels do
+    if t.sizes.(!i) >= capacity t !i then compact t !i;
+    incr i
+  done;
+  t
+
+let k t = t.k
+
+let seed t = t.seed
+
+let levels t = Array.map (fun l -> l) t.levels
+
+let of_levels ~k ~seed ~n levels =
+  if k < 2 then invalid_arg "Quantiles.of_levels: k must be at least 2";
+  if n < 0 then invalid_arg "Quantiles.of_levels: n must be non-negative";
+  if Array.length levels = 0 then invalid_arg "Quantiles.of_levels: no levels";
+  let t = create ~k ~seed () in
+  t.levels <- Array.map (fun l -> l) levels;
+  t.sizes <- Array.map List.length levels;
+  t.n <- n;
+  (* Restore the capacity invariant in case the image was produced by a
+     sketch with different compaction history. *)
   let i = ref 0 in
   while !i < Array.length t.levels do
     if t.sizes.(!i) >= capacity t !i then compact t !i;

@@ -40,3 +40,17 @@ val merge : capacity:int -> t -> t -> t
     Space-Saving error semantics); the result keeps the [capacity] largest.
     Mergeability (Agarwal et al.) underlies the striped concurrent top-k.
     @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : t -> int
+(** The table capacity this sketch was created with. *)
+
+val entries : t -> (int * int * int) list
+(** Tracked [(element, count, error)] triples, ascending by element — the
+    sketch's whole state beyond [(capacity, n)]. Serialized by the wire
+    codec. *)
+
+val of_entries : capacity:int -> n:int -> (int * int * int) list -> t
+(** Rebuild a sketch from an entry image.
+    @raise Invalid_argument if [capacity <= 0], [n < 0], more than
+    [capacity] entries are given, an element repeats, or any entry violates
+    [0 <= error <= count]. *)

@@ -1,0 +1,171 @@
+(* Framing: every blob is
+
+     magic "IVLW" (4) | version u8 | kind u8 | payload length u32 (BE)
+     | FNV-1a-32 checksum of payload (BE) | payload
+
+   Every header field is validated before a single payload byte is parsed,
+   so mixed-version or mixed-kind blobs fail with a precise error instead of
+   a garbage sketch, and any single-bit flip is caught: flips in the header
+   break the magic/version/kind/length checks, flips in the payload or the
+   checksum break the checksum comparison. *)
+
+let magic = "IVLW"
+let version = 1
+let header_size = 4 + 1 + 1 + 4 + 4
+
+type error =
+  | Truncated of { expected : int; got : int }
+  | Bad_magic
+  | Unsupported_version of int
+  | Wrong_kind of { expected : string; got : string }
+  | Checksum_mismatch
+  | Corrupt of string
+
+exception Decode_error of error
+
+let error_to_string = function
+  | Truncated { expected; got } ->
+      Printf.sprintf "truncated blob: needed %d bytes, have %d" expected got
+  | Bad_magic -> "bad magic: not an IVLW blob"
+  | Unsupported_version v -> Printf.sprintf "unsupported wire version %d" v
+  | Wrong_kind { expected; got } ->
+      Printf.sprintf "wrong kind: expected %s, blob holds %s" expected got
+  | Checksum_mismatch -> "payload checksum mismatch"
+  | Corrupt msg -> Printf.sprintf "corrupt payload: %s" msg
+
+(* Kind tags are part of the wire format: never renumber, only append. *)
+let countmin_kind = 1
+let hll_kind = 2
+let kmv_kind = 3
+let quantiles_kind = 4
+let space_saving_kind = 5
+let counter_kind = 6
+
+let kind_name = function
+  | 1 -> "countmin"
+  | 2 -> "hyperloglog"
+  | 3 -> "kmv"
+  | 4 -> "quantiles"
+  | 5 -> "space-saving"
+  | 6 -> "counter"
+  | k -> Printf.sprintf "unknown(%d)" k
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Decode_error (Corrupt msg))) fmt
+
+let fnv1a bytes ~off ~len =
+  let h = ref 0x811c9dc5 in
+  for i = off to off + len - 1 do
+    h := (!h lxor Char.code (Bytes.get bytes i)) * 0x01000193 land 0xFFFFFFFF
+  done;
+  !h
+
+(* ------------------------------ writer ------------------------------ *)
+
+type writer = Buffer.t
+
+let u8 b v =
+  if v < 0 || v > 0xFF then invalid_arg "Wire.Codec.u8: out of range";
+  Buffer.add_uint8 b v
+
+let u32 b v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Wire.Codec.u32: out of range";
+  Buffer.add_int32_be b (Int32.of_int v)
+
+let i64 b v = Buffer.add_int64_be b v
+
+let int_ b v = i64 b (Int64.of_int v)
+
+let float_ b v = i64 b (Int64.bits_of_float v)
+
+let seal ~kind payload =
+  let plen = Buffer.length payload in
+  let total = header_size + plen in
+  let out = Bytes.create total in
+  Bytes.blit_string magic 0 out 0 4;
+  Bytes.set_uint8 out 4 version;
+  Bytes.set_uint8 out 5 kind;
+  Bytes.set_int32_be out 6 (Int32.of_int plen);
+  Buffer.blit payload 0 out header_size plen;
+  Bytes.set_int32_be out 10 (Int32.of_int (fnv1a out ~off:header_size ~len:plen));
+  out
+
+let encode ~kind build =
+  let b = Buffer.create 256 in
+  build b;
+  seal ~kind b
+
+(* ------------------------------ reader ------------------------------ *)
+
+type reader = { buf : Bytes.t; limit : int; mutable pos : int }
+
+let need r n =
+  if r.pos + n > r.limit then
+    raise (Decode_error (Truncated { expected = r.pos + n; got = r.limit }))
+
+let read_u8 r =
+  need r 1;
+  let v = Bytes.get_uint8 r.buf r.pos in
+  r.pos <- r.pos + 1;
+  v
+
+let read_u32 r =
+  need r 4;
+  let v = Int32.to_int (Bytes.get_int32_be r.buf r.pos) land 0xFFFFFFFF in
+  r.pos <- r.pos + 4;
+  v
+
+let read_i64 r =
+  need r 8;
+  let v = Bytes.get_int64_be r.buf r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let read_int r =
+  let v = read_i64 r in
+  let n = Int64.to_int v in
+  if not (Int64.equal (Int64.of_int n) v) then corrupt "integer %Ld exceeds native range" v;
+  n
+
+let read_float r = Int64.float_of_bits (read_i64 r)
+
+let peek bytes =
+  let got = Bytes.length bytes in
+  if got < header_size then Error (Truncated { expected = header_size; got })
+  else if Bytes.sub_string bytes 0 4 <> magic then Error Bad_magic
+  else Ok (kind_name (Bytes.get_uint8 bytes 5), Bytes.get_uint8 bytes 4)
+
+let open_frame ~kind bytes =
+  let got = Bytes.length bytes in
+  if got < header_size then
+    raise (Decode_error (Truncated { expected = header_size; got }));
+  if Bytes.sub_string bytes 0 4 <> magic then raise (Decode_error Bad_magic);
+  let v = Bytes.get_uint8 bytes 4 in
+  if v <> version then raise (Decode_error (Unsupported_version v));
+  let k = Bytes.get_uint8 bytes 5 in
+  if k <> kind then
+    raise
+      (Decode_error (Wrong_kind { expected = kind_name kind; got = kind_name k }));
+  let plen = Int32.to_int (Bytes.get_int32_be bytes 6) land 0xFFFFFFFF in
+  if header_size + plen > got then
+    raise (Decode_error (Truncated { expected = header_size + plen; got }));
+  if header_size + plen < got then
+    corrupt "%d trailing bytes after payload" (got - header_size - plen);
+  let stored = Int32.to_int (Bytes.get_int32_be bytes 10) land 0xFFFFFFFF in
+  if fnv1a bytes ~off:header_size ~len:plen <> stored then
+    raise (Decode_error Checksum_mismatch);
+  { buf = bytes; limit = header_size + plen; pos = header_size }
+
+let decode ~kind parse bytes =
+  match
+    let r = open_frame ~kind bytes in
+    let v = parse r in
+    if r.pos <> r.limit then corrupt "%d unread payload bytes" (r.limit - r.pos);
+    v
+  with
+  | v -> Ok v
+  | exception Decode_error e -> Error e
+  (* A constructor rejecting a structurally valid but semantically bad image
+     (e.g. negative counters) must surface as a decode error, never as a raw
+     exception leaking to the caller. *)
+  | exception Invalid_argument msg -> Error (Corrupt msg)
+  | exception Failure msg -> Error (Corrupt msg)

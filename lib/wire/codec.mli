@@ -1,0 +1,89 @@
+(** Versioned, checksummed binary framing for sketch blobs.
+
+    Every blob is self-describing: a fixed magic, a format version, a kind
+    tag naming the codec, the payload length, and an FNV-1a checksum of the
+    payload. {!decode} validates all of these before parsing a single
+    payload byte, so truncated, bit-flipped, mixed-version or mixed-kind
+    blobs return a precise {!error} — never a raw [Failure],
+    [Invalid_argument] or out-of-range [Bytes] read.
+
+    The per-sketch codecs ({!Countmin}, {!Hll}, {!Kmv}, {!Quantiles},
+    {!Space_saving}, {!Counter} in this library) are thin payload schemas on
+    top of this module; a shard delta travelling through the ingestion
+    pipeline ({!Pipeline.Engine}) is exactly one such blob. *)
+
+type error =
+  | Truncated of { expected : int; got : int }
+      (** Fewer bytes than the header or the declared payload length needs. *)
+  | Bad_magic  (** Not an IVLW blob at all. *)
+  | Unsupported_version of int
+      (** A well-formed blob from a different format version. *)
+  | Wrong_kind of { expected : string; got : string }
+      (** A valid blob of a different sketch kind. *)
+  | Checksum_mismatch  (** Payload bytes do not match the stored checksum. *)
+  | Corrupt of string
+      (** Header and checksum fine, but the payload violates the schema
+          (bad dimensions, values out of range, trailing bytes…). *)
+
+exception Decode_error of error
+(** Raised internally by reader primitives; the {!decode} wrapper catches it
+    (and any constructor's [Invalid_argument]/[Failure]) and returns
+    [Error]. Codec [decode] entry points never raise. *)
+
+val error_to_string : error -> string
+
+val version : int
+(** Current wire-format version, stamped into every blob. *)
+
+val header_size : int
+(** Bytes of framing before the payload. *)
+
+val peek : Bytes.t -> (string * int, error) result
+(** [peek blob] reads only the self-describing header: [(kind name,
+    version)]. Works across versions (the header layout is frozen). *)
+
+(** {2 Kind tags} — wire constants; never renumber, only append. *)
+
+val countmin_kind : int
+val hll_kind : int
+val kmv_kind : int
+val quantiles_kind : int
+val space_saving_kind : int
+val counter_kind : int
+
+val kind_name : int -> string
+
+(** {2 Payload writers} *)
+
+type writer = Buffer.t
+
+val u8 : writer -> int -> unit
+val u32 : writer -> int -> unit
+val i64 : writer -> int64 -> unit
+val int_ : writer -> int -> unit
+val float_ : writer -> float -> unit
+
+val encode : kind:int -> (writer -> unit) -> Bytes.t
+(** [encode ~kind build] runs [build] on a fresh payload buffer and seals it
+    with the header and checksum. *)
+
+(** {2 Payload readers} — bounds-checked; raise {!Decode_error} internally. *)
+
+type reader
+
+val read_u8 : reader -> int
+val read_u32 : reader -> int
+val read_i64 : reader -> int64
+val read_int : reader -> int
+val read_float : reader -> float
+
+val corrupt : ('a, unit, string, 'b) format4 -> 'a
+(** [corrupt fmt …] raises {!Decode_error} with a [Corrupt] payload — for
+    schema-level validation inside codec parsers. *)
+
+val decode : kind:int -> (reader -> 'a) -> Bytes.t -> ('a, error) result
+(** [decode ~kind parse blob] validates the frame (magic, version, kind,
+    length, checksum), runs [parse], and checks the payload was consumed
+    exactly. All failure modes — including [Invalid_argument]/[Failure]
+    raised by sketch constructors on semantically bad images — come back as
+    [Error]. *)

@@ -1,0 +1,16 @@
+(* Payload: total i64. *)
+
+let kind = Codec.counter_kind
+
+let encode c =
+  Codec.encode ~kind (fun b -> Codec.int_ b (Sketches.Batched_counter.read c))
+
+let decode blob =
+  Codec.decode ~kind
+    (fun r ->
+      let total = Codec.read_int r in
+      if total < 0 then Codec.corrupt "negative total %d" total;
+      let c = Sketches.Batched_counter.create () in
+      Sketches.Batched_counter.update c total;
+      c)
+    blob

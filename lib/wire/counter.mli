@@ -1,0 +1,8 @@
+(** Wire codec for the batched counter (Section 6.2): just the total. *)
+
+val kind : int
+
+val encode : Sketches.Batched_counter.t -> Bytes.t
+
+val decode : Bytes.t -> (Sketches.Batched_counter.t, Codec.error) result
+(** Never raises; see {!Codec.decode}. *)

@@ -1,0 +1,50 @@
+(* Payload: rows u32 | width u32 | rows × (a i64, b i64) coefficients
+   | n i64 | rows·width cell counters i64. *)
+
+let kind = Codec.countmin_kind
+
+let max_rows = 256
+let max_width = 1 lsl 26
+
+let encode cm =
+  let family = Sketches.Countmin.family cm in
+  match Hashing.Family.coefficients family with
+  | None ->
+      invalid_arg
+        "Wire.Countmin.encode: family has explicit (non-universal) rows and \
+         cannot be serialized"
+  | Some coeffs ->
+      let d = Sketches.Countmin.rows cm and w = Sketches.Countmin.width cm in
+      Codec.encode ~kind (fun b ->
+          Codec.u32 b d;
+          Codec.u32 b w;
+          Array.iter
+            (fun (a, bc) ->
+              Codec.int_ b a;
+              Codec.int_ b bc)
+            coeffs;
+          Codec.int_ b (Sketches.Countmin.updates cm);
+          for i = 0 to d - 1 do
+            for j = 0 to w - 1 do
+              Codec.int_ b (Sketches.Countmin.cell cm ~row:i ~col:j)
+            done
+          done)
+
+let decode blob =
+  Codec.decode ~kind
+    (fun r ->
+      let d = Codec.read_u32 r in
+      let w = Codec.read_u32 r in
+      if d < 1 || d > max_rows then Codec.corrupt "rows %d outside [1, %d]" d max_rows;
+      if w < 1 || w > max_width then Codec.corrupt "width %d outside [1, %d]" w max_width;
+      let coeffs =
+        Array.init d (fun _ ->
+            let a = Codec.read_int r in
+            let b = Codec.read_int r in
+            (a, b))
+      in
+      let family = Hashing.Family.of_coefficients ~width:w coeffs in
+      let n = Codec.read_int r in
+      let cells = Array.init d (fun _ -> Array.init w (fun _ -> Codec.read_int r)) in
+      Sketches.Countmin.of_cells ~family ~n cells)
+    blob

@@ -1,0 +1,14 @@
+(** Wire codec for the sequential CountMin sketch.
+
+    Serializes the full state: dimensions, the hash family's coin-flip
+    coefficients, the stream length and the counter matrix — decode is the
+    exact inverse of encode (same coins, same cells, same answers). *)
+
+val kind : int
+
+val encode : Sketches.Countmin.t -> Bytes.t
+(** @raise Invalid_argument if the sketch's family was built with
+    {!Hashing.Family.of_mapping} (arbitrary closures are unserializable). *)
+
+val decode : Bytes.t -> (Sketches.Countmin.t, Codec.error) result
+(** Never raises; see {!Codec.decode}. *)

@@ -1,0 +1,25 @@
+(* Payload: p u8 | seed i64 | 2^p register bytes (each the max
+   leading-zero rank seen, ≤ 64). *)
+
+let kind = Codec.hll_kind
+
+let encode h =
+  Codec.encode ~kind (fun b ->
+      Codec.u8 b (Sketches.Hyperloglog.p h);
+      Codec.i64 b (Sketches.Hyperloglog.seed h);
+      Array.iter (Codec.u8 b) (Sketches.Hyperloglog.registers h))
+
+let decode blob =
+  Codec.decode ~kind
+    (fun r ->
+      let p = Codec.read_u8 r in
+      if p < 4 || p > 16 then Codec.corrupt "p %d outside [4, 16]" p;
+      let seed = Codec.read_i64 r in
+      let regs =
+        Array.init (1 lsl p) (fun _ ->
+            let v = Codec.read_u8 r in
+            if v > 64 then Codec.corrupt "register value %d exceeds 64" v;
+            v)
+      in
+      Sketches.Hyperloglog.of_registers ~p ~seed regs)
+    blob

@@ -1,0 +1,9 @@
+(** Wire codec for the HyperLogLog sketch: [p], the hash seed, and the
+    register file. *)
+
+val kind : int
+
+val encode : Sketches.Hyperloglog.t -> Bytes.t
+
+val decode : Bytes.t -> (Sketches.Hyperloglog.t, Codec.error) result
+(** Never raises; see {!Codec.decode}. *)

@@ -1,0 +1,31 @@
+(* Payload: k u32 | seed i64 | retained u32 | retained hash values as
+   IEEE-754 bit patterns, ascending. *)
+
+let kind = Codec.kmv_kind
+
+let max_k = 1 lsl 24
+
+let encode s =
+  Codec.encode ~kind (fun b ->
+      Codec.u32 b (Sketches.Kmv.k s);
+      Codec.i64 b (Sketches.Kmv.seed s);
+      let hs = Sketches.Kmv.hashes s in
+      Codec.u32 b (Array.length hs);
+      Array.iter (Codec.float_ b) hs)
+
+let decode blob =
+  Codec.decode ~kind
+    (fun r ->
+      let k = Codec.read_u32 r in
+      if k < 3 || k > max_k then Codec.corrupt "k %d outside [3, %d]" k max_k;
+      let seed = Codec.read_i64 r in
+      let count = Codec.read_u32 r in
+      if count > k then Codec.corrupt "retained %d exceeds k %d" count k;
+      let hs =
+        Array.init count (fun _ ->
+            let h = Codec.read_float r in
+            if not (h > 0.0 && h <= 1.0) then Codec.corrupt "hash value outside (0,1]";
+            h)
+      in
+      Sketches.Kmv.of_hashes ~k ~seed hs)
+    blob

@@ -1,0 +1,9 @@
+(** Wire codec for the KMV distinct-count sketch: [k], the hash seed, and
+    the retained minimum hash values. *)
+
+val kind : int
+
+val encode : Sketches.Kmv.t -> Bytes.t
+
+val decode : Bytes.t -> (Sketches.Kmv.t, Codec.error) result
+(** Never raises; see {!Codec.decode}. *)

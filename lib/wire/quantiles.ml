@@ -1,0 +1,38 @@
+(* Payload: k u32 | seed i64 | n i64 | height u32 | per level:
+   item count u32 + items i64. Items at level i carry weight 2^i. *)
+
+let kind = Codec.quantiles_kind
+
+let max_height = 62
+
+let encode q =
+  Codec.encode ~kind (fun b ->
+      Codec.u32 b (Sketches.Quantiles.k q);
+      Codec.i64 b (Sketches.Quantiles.seed q);
+      Codec.int_ b (Sketches.Quantiles.total q);
+      let levels = Sketches.Quantiles.levels q in
+      Codec.u32 b (Array.length levels);
+      Array.iter
+        (fun items ->
+          Codec.u32 b (List.length items);
+          List.iter (Codec.int_ b) items)
+        levels)
+
+let decode blob =
+  Codec.decode ~kind
+    (fun r ->
+      let k = Codec.read_u32 r in
+      if k < 2 then Codec.corrupt "k %d below 2" k;
+      let seed = Codec.read_i64 r in
+      let n = Codec.read_int r in
+      if n < 0 then Codec.corrupt "negative stream length %d" n;
+      let height = Codec.read_u32 r in
+      if height < 1 || height > max_height then
+        Codec.corrupt "height %d outside [1, %d]" height max_height;
+      let levels =
+        Array.init height (fun _ ->
+            let count = Codec.read_u32 r in
+            List.init count (fun _ -> Codec.read_int r))
+      in
+      Sketches.Quantiles.of_levels ~k ~seed ~n levels)
+    blob

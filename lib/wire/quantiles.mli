@@ -1,0 +1,12 @@
+(** Wire codec for the KLL quantiles sketch: parameters, stream length and
+    the compactor hierarchy (level [i] items carry weight 2^i). The decoded
+    sketch restarts its compaction RNG from the stored seed — future coin
+    flips differ from the source's, which the rank-error analysis does not
+    depend on. *)
+
+val kind : int
+
+val encode : Sketches.Quantiles.t -> Bytes.t
+
+val decode : Bytes.t -> (Sketches.Quantiles.t, Codec.error) result
+(** Never raises; see {!Codec.decode}. *)

@@ -1,0 +1,40 @@
+(* Payload: capacity u32 | n i64 | entry count u32 | entries as
+   (element i64, count i64, error i64), ascending by element. *)
+
+let kind = Codec.space_saving_kind
+
+let max_capacity = 1 lsl 24
+
+let encode s =
+  Codec.encode ~kind (fun b ->
+      Codec.u32 b (Sketches.Space_saving.capacity s);
+      Codec.int_ b (Sketches.Space_saving.total s);
+      let ents = Sketches.Space_saving.entries s in
+      Codec.u32 b (List.length ents);
+      List.iter
+        (fun (elt, count, error) ->
+          Codec.int_ b elt;
+          Codec.int_ b count;
+          Codec.int_ b error)
+        ents)
+
+let decode blob =
+  Codec.decode ~kind
+    (fun r ->
+      let capacity = Codec.read_u32 r in
+      if capacity < 1 || capacity > max_capacity then
+        Codec.corrupt "capacity %d outside [1, %d]" capacity max_capacity;
+      let n = Codec.read_int r in
+      if n < 0 then Codec.corrupt "negative stream length %d" n;
+      let count = Codec.read_u32 r in
+      if count > capacity then
+        Codec.corrupt "entry count %d exceeds capacity %d" count capacity;
+      let ents =
+        List.init count (fun _ ->
+            let elt = Codec.read_int r in
+            let c = Codec.read_int r in
+            let e = Codec.read_int r in
+            (elt, c, e))
+      in
+      Sketches.Space_saving.of_entries ~capacity ~n ents)
+    blob

@@ -1,0 +1,9 @@
+(** Wire codec for the Space-Saving top-k sketch: capacity, stream length
+    and the tracked (element, count, error) triples. *)
+
+val kind : int
+
+val encode : Sketches.Space_saving.t -> Bytes.t
+
+val decode : Bytes.t -> (Sketches.Space_saving.t, Codec.error) result
+(** Never raises; see {!Codec.decode}. *)

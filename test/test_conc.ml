@@ -734,6 +734,58 @@ let test_pcm_update_many_equivalence () =
     (Invalid_argument "Pcm.update_many: count must be non-negative") (fun () ->
       Conc.Pcm.update_many b 5 ~count:(-1))
 
+let test_pcm_merge_into_folds_delta () =
+  (* merge_into must equal replaying the delta's stream into the PCM —
+     cell-wise, not just on queries — and must reject foreign coins. *)
+  let family = Hashing.Family.seeded ~seed:201L ~rows:3 ~width:16 in
+  let pcm = Conc.Pcm.create ~family and replay = Conc.Pcm.create ~family in
+  let base = List.init 200 (fun i -> i * 3 mod 40)
+  and delta_stream = List.init 150 (fun i -> i * 11 mod 40) in
+  List.iter (Conc.Pcm.update pcm) base;
+  List.iter (Conc.Pcm.update replay) base;
+  let delta = Sketches.Countmin.create ~family in
+  List.iter (Sketches.Countmin.update delta) delta_stream;
+  Conc.Pcm.merge_into pcm delta;
+  List.iter (Conc.Pcm.update replay) delta_stream;
+  for x = 0 to 39 do
+    Alcotest.(check int)
+      (Printf.sprintf "query %d equal" x)
+      (Conc.Pcm.query replay x) (Conc.Pcm.query pcm x)
+  done;
+  Alcotest.(check int) "n accumulates" 350 (Conc.Pcm.updates pcm);
+  Alcotest.check_raises "foreign family rejected"
+    (Invalid_argument "Pcm.merge_into: delta must share a compatible hash family")
+    (fun () ->
+      Conc.Pcm.merge_into pcm
+        (Sketches.Countmin.create
+           ~family:(Hashing.Family.seeded ~seed:202L ~rows:3 ~width:16)))
+
+let test_pcm_merge_into_concurrent () =
+  (* Concurrent mergers: one atomic add per cell means deltas merged from
+     several domains still sum exactly. *)
+  let family = Hashing.Family.seeded ~seed:203L ~rows:3 ~width:16 in
+  let pcm = Conc.Pcm.create ~family in
+  let mergers = 4 and per = 25 in
+  ignore
+    (Conc.Runner.parallel ~domains:mergers (fun d ->
+         for k = 1 to per do
+           let delta = Sketches.Countmin.create ~family in
+           Sketches.Countmin.update delta ((d + k) mod 40);
+           Conc.Pcm.merge_into pcm delta
+         done));
+  let replay = Sketches.Countmin.create ~family in
+  for d = 0 to mergers - 1 do
+    for k = 1 to per do
+      Sketches.Countmin.update replay ((d + k) mod 40)
+    done
+  done;
+  Alcotest.(check int) "n exact" (mergers * per) (Conc.Pcm.updates pcm);
+  for x = 0 to 39 do
+    Alcotest.(check int)
+      (Printf.sprintf "query %d exact" x)
+      (Sketches.Countmin.query replay x) (Conc.Pcm.query pcm x)
+  done
+
 let test_runner_propagates_exceptions () =
   match Conc.Runner.parallel ~domains:2 (fun i -> if i = 1 then failwith "boom" else 0) with
   | exception Failure m -> Alcotest.(check string) "exception surfaces" "boom" m
@@ -970,6 +1022,10 @@ let () =
           Alcotest.test_case "concurrent queries bounded" `Quick
             test_pcm_concurrent_queries_bounded;
           Alcotest.test_case "locked baseline" `Quick test_locked_countmin_concurrent;
+          Alcotest.test_case "merge_into folds a delta" `Quick
+            test_pcm_merge_into_folds_delta;
+          Alcotest.test_case "merge_into concurrent" `Quick
+            test_pcm_merge_into_concurrent;
           Alcotest.test_case "update_many equivalence" `Quick
             test_pcm_update_many_equivalence;
         ] );

@@ -1,0 +1,289 @@
+(* End-to-end tests of the sharded ingestion pipeline: the MPSC transport,
+   exact conservation through drain, the Theorem-6-style envelope of the
+   merged CountMin, the recorded history's IVL envelope, and crash-stop
+   drains under chaos kills. *)
+
+module Mono = Ivl.Monotone.Make (Spec.Counter_spec)
+module PC = Pipeline.Engine.Make (Pipeline.Targets.Counter)
+
+(* ------------------------- mpsc ------------------------- *)
+
+let test_mpsc_fifo () =
+  let q = Pipeline.Mpsc.create ~capacity:4 in
+  List.iter (fun x -> Alcotest.(check bool) "push" true (Pipeline.Mpsc.push q x)) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Pipeline.Mpsc.length q);
+  Alcotest.(check (list int)) "batch pops FIFO" [ 1; 2 ]
+    (Pipeline.Mpsc.pop_batch q ~max:2);
+  Alcotest.(check (option int)) "pop" (Some 3) (Pipeline.Mpsc.pop q);
+  Alcotest.(check bool) "try_push ok" true (Pipeline.Mpsc.try_push q 9 = `Ok)
+
+let test_mpsc_full_and_close () =
+  let q = Pipeline.Mpsc.create ~capacity:2 in
+  ignore (Pipeline.Mpsc.push q 1);
+  ignore (Pipeline.Mpsc.push q 2);
+  Alcotest.(check bool) "try_push full" true (Pipeline.Mpsc.try_push q 3 = `Full);
+  Pipeline.Mpsc.close q;
+  Alcotest.(check bool) "closed" true (Pipeline.Mpsc.is_closed q);
+  Alcotest.(check bool) "push after close" false (Pipeline.Mpsc.push q 4);
+  Alcotest.(check bool) "try_push closed" true
+    (Pipeline.Mpsc.try_push q 4 = `Closed);
+  (* Consumer still drains the queued elements, then sees the end mark. *)
+  Alcotest.(check (option int)) "drain 1" (Some 1) (Pipeline.Mpsc.pop q);
+  Alcotest.(check (list int)) "drain 2" [ 2 ] (Pipeline.Mpsc.pop_batch q ~max:8);
+  Alcotest.(check (option int)) "end" None (Pipeline.Mpsc.pop q);
+  Alcotest.(check (list int)) "end batch" [] (Pipeline.Mpsc.pop_batch q ~max:8)
+
+let test_mpsc_blocking_producer () =
+  (* A full queue blocks the producer until the consumer pops: real
+     backpressure, not spinning or dropping. *)
+  let q = Pipeline.Mpsc.create ~capacity:1 in
+  ignore (Pipeline.Mpsc.push q 0);
+  let d =
+    Domain.spawn (fun () ->
+        let ok = ref true in
+        for x = 1 to 100 do
+          ok := !ok && Pipeline.Mpsc.push q x
+        done;
+        !ok)
+  in
+  let seen = ref 0 in
+  for _ = 0 to 100 do
+    match Pipeline.Mpsc.pop q with Some _ -> incr seen | None -> ()
+  done;
+  Alcotest.(check bool) "all pushes accepted" true (Domain.join d);
+  Alcotest.(check int) "all elements popped" 101 !seen
+
+(* ------------------------- conservation ------------------------- *)
+
+let feed p stream ~feeders =
+  let chunks = Workload.Stream.chunks stream ~pieces:feeders in
+  let accepted =
+    Conc.Runner.parallel ~domains:feeders (fun i ->
+        let ok = ref 0 in
+        Array.iter (fun x -> if PC.ingest p x then incr ok) chunks.(i);
+        !ok)
+  in
+  Array.fold_left ( + ) 0 accepted
+
+let test_counter_conservation () =
+  let n = 10_000 in
+  let stream =
+    Workload.Stream.generate ~seed:3L (Workload.Stream.Uniform 1000) ~length:n
+  in
+  let p = PC.create ~queue_capacity:64 ~batch:37 ~shards:3 () in
+  let accepted = feed p stream ~feeders:2 in
+  PC.drain p;
+  Alcotest.(check int) "all accepted" n accepted;
+  Alcotest.(check int) "published = ingested" n (PC.read_total p);
+  let (total, epoch) = PC.query p Sketches.Batched_counter.read in
+  Alcotest.(check int) "merged sketch total" n total;
+  let st = PC.stats p in
+  Alcotest.(check int) "epoch = merges" st.PC.merges epoch;
+  Alcotest.(check int) "flushed sums to n" n
+    (Array.fold_left (fun a (s : PC.shard_stats) -> a + s.flushed_items) 0
+       st.PC.shards);
+  Array.iteri
+    (fun i (s : PC.shard_stats) ->
+      Alcotest.(check bool) (Printf.sprintf "shard %d alive" i) true s.alive;
+      Alcotest.(check int) (Printf.sprintf "shard %d no loss" i) s.enqueued
+        s.flushed_items)
+    st.PC.shards;
+  Alcotest.(check int) "no decode failures" 0 st.PC.decode_failures;
+  Alcotest.(check bool) "no unexpected failures" true (PC.failures p = []);
+  Alcotest.(check bool) "ingest after drain" false (PC.ingest p 7);
+  (* Idempotent. *)
+  PC.drain p;
+  Alcotest.(check int) "published stable" n (PC.read_total p)
+
+let test_history_envelope () =
+  (* Concurrent reader sampling the published total mid-run: the recorded
+     merge/read history must pass the monotone envelope check, and the
+     single reader must see a nondecreasing sequence. *)
+  let n = 20_000 in
+  let stream =
+    Workload.Stream.generate ~seed:5L (Workload.Stream.Zipf (500, 1.1)) ~length:n
+  in
+  let p = PC.create ~queue_capacity:128 ~batch:64 ~shards:2 () in
+  let stop = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        let rec loop acc =
+          let v = PC.read_total p in
+          if Atomic.get stop then List.rev (v :: acc)
+          else begin
+            (* Throttle so the recorded history stays small. *)
+            for _ = 1 to 10_000 do
+              Domain.cpu_relax ()
+            done;
+            loop (v :: acc)
+          end
+        in
+        loop [])
+  in
+  let accepted = feed p stream ~feeders:2 in
+  PC.drain p;
+  Atomic.set stop true;
+  let reads = Domain.join reader in
+  Alcotest.(check int) "all accepted" n accepted;
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "reads nondecreasing" true (monotone reads);
+  Alcotest.(check bool) "final read complete" true
+    (List.length reads > 0 && List.nth reads (List.length reads - 1) = n);
+  Alcotest.(check int) "no envelope violations" 0
+    (List.length (Mono.violations (PC.history p)))
+
+(* ------------------------- Theorem 6 envelope ------------------------- *)
+
+let test_countmin_theorem6 () =
+  (* Theorem 6: the r-relaxed PCM is (r/w·d)-bounded per row; after a full
+     drain the pipeline's merged CountMin equals a sequential CountMin over
+     the same multiset (merges are exact by linearity), so every estimate
+     must sit in [f(a), f(a) + error_bound]. Deterministic: fixed seeds fix
+     the coins, and merge order cannot change the sums. *)
+  let module Cm = Pipeline.Targets.Countmin (struct
+    let seed = 21L
+    let rows = 4
+    let width = 256
+  end) in
+  let module P = Pipeline.Engine.Make (Cm) in
+  let n = 20_000 in
+  let universe = 400 in
+  let stream =
+    Workload.Stream.generate ~seed:9L (Workload.Stream.Zipf (universe, 1.2))
+      ~length:n
+  in
+  let p = P.create ~queue_capacity:256 ~batch:100 ~shards:4 () in
+  let chunks = Workload.Stream.chunks stream ~pieces:2 in
+  ignore
+    (Conc.Runner.parallel ~domains:2 (fun i ->
+         Array.iter (fun x -> ignore (P.ingest p x)) chunks.(i)));
+  P.drain p;
+  let exact = Sketches.Exact.create () in
+  Array.iter (Sketches.Exact.update exact) stream;
+  let g, _ = P.query p (fun g -> g) in
+  Alcotest.(check int) "sketch saw every update" n (Sketches.Countmin.updates g);
+  let bound = int_of_float (ceil (Sketches.Countmin.error_bound g)) in
+  for a = 0 to universe - 1 do
+    let f = Sketches.Exact.frequency exact a
+    and est = Sketches.Countmin.query g a in
+    if est < f || est > f + bound then
+      Alcotest.failf "element %d: estimate %d outside [%d, %d + %d]" a est f f
+        bound
+  done;
+  (* And the merged sketch is exactly the sequential one: same coins, same
+     multiset, merge is cell-wise addition. *)
+  let seq = Sketches.Countmin.create ~family:(Sketches.Countmin.family g) in
+  Array.iter (Sketches.Countmin.update seq) stream;
+  for a = 0 to universe - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "element %d matches sequential" a)
+      (Sketches.Countmin.query seq a)
+      (Sketches.Countmin.query g a)
+  done
+
+(* ------------------------- chaos ------------------------- *)
+
+let test_chaos_kill_drain () =
+  (* Kill a shard worker mid-run: drain must still complete (no hangs, all
+     domains joined), conservation must hold on what was actually merged
+     (published = Σ flushed), the envelope must still pass, and the dead
+     shard must shed subsequent ingests as drops. *)
+  let n = 30_000 in
+  let stream =
+    Workload.Stream.generate ~seed:13L (Workload.Stream.Uniform 5000) ~length:n
+  in
+  let shards = 3 in
+  let ch =
+    Conc.Chaos.instantiate
+      (Conc.Chaos.plan
+         ~kills:(Conc.Chaos.random_kills ~seed:17L ~domains:shards ~victims:1 ~max_point:20)
+         ~seed:17L ())
+      ~domains:shards
+  in
+  let p =
+    PC.create ~queue_capacity:64 ~batch:50
+      ~on_tick:(fun ~shard -> Conc.Chaos.point ch ~domain:shard)
+      ~shards ()
+  in
+  let accepted = feed p stream ~feeders:2 in
+  PC.drain p;
+  let killed = Conc.Chaos.killed ch in
+  Alcotest.(check int) "exactly one kill" 1 (List.length killed);
+  Alcotest.(check (list int)) "dead shards = killed domains" killed (PC.dead p);
+  Alcotest.(check bool) "no unexpected failures" true (PC.failures p = []);
+  let st = PC.stats p in
+  let sum f = Array.fold_left (fun a s -> a + f s) 0 st.PC.shards in
+  Alcotest.(check int) "published = flushed" st.PC.published
+    (sum (fun (s : PC.shard_stats) -> s.flushed_items));
+  Alcotest.(check int) "published = read_total" st.PC.published (PC.read_total p);
+  Alcotest.(check int) "accepted = enqueued" accepted
+    (sum (fun (s : PC.shard_stats) -> s.enqueued));
+  Alcotest.(check bool) "some loss on the dead shard" true
+    (st.PC.published < n);
+  (* Survivors lose nothing. *)
+  Array.iteri
+    (fun i (s : PC.shard_stats) ->
+      if s.alive then
+        Alcotest.(check int)
+          (Printf.sprintf "surviving shard %d intact" i)
+          s.enqueued s.flushed_items)
+    st.PC.shards;
+  Alcotest.(check int) "no envelope violations" 0
+    (List.length (Mono.violations (PC.history p)));
+  Alcotest.(check bool) "ingest after drain sheds" false (PC.ingest p 1)
+
+let test_chaos_kill_all_shards () =
+  (* Even with every worker dead, feeders must not hang: pushes fail fast,
+     and drain still joins everything. *)
+  let shards = 2 in
+  let ch =
+    Conc.Chaos.instantiate
+      (Conc.Chaos.plan ~kills:[ (0, 1); (1, 1) ] ~seed:23L ())
+      ~domains:shards
+  in
+  let p =
+    PC.create ~queue_capacity:16 ~batch:8
+      ~on_tick:(fun ~shard -> Conc.Chaos.point ch ~domain:shard)
+      ~shards ()
+  in
+  let stream =
+    Workload.Stream.generate ~seed:29L (Workload.Stream.Uniform 100) ~length:5_000
+  in
+  let accepted = feed p stream ~feeders:2 in
+  PC.drain p;
+  Alcotest.(check (list int)) "both dead" [ 0; 1 ] (PC.dead p);
+  Alcotest.(check bool) "little accepted" true (accepted <= 5_000);
+  Alcotest.(check bool) "no unexpected failures" true (PC.failures p = []);
+  Alcotest.(check int) "published consistent" (PC.read_total p)
+    (let st = PC.stats p in
+     Array.fold_left (fun a (s : PC.shard_stats) -> a + s.flushed_items) 0
+       st.PC.shards)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "mpsc",
+        [
+          Alcotest.test_case "fifo" `Quick test_mpsc_fifo;
+          Alcotest.test_case "full and close" `Quick test_mpsc_full_and_close;
+          Alcotest.test_case "blocking producer" `Quick test_mpsc_blocking_producer;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "conservation through drain" `Quick
+            test_counter_conservation;
+          Alcotest.test_case "history envelope" `Quick test_history_envelope;
+          Alcotest.test_case "Theorem 6 CountMin envelope" `Quick
+            test_countmin_theorem6;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "kill one shard, drain completes" `Quick
+            test_chaos_kill_drain;
+          Alcotest.test_case "kill every shard, no hang" `Quick
+            test_chaos_kill_all_shards;
+        ] );
+    ]

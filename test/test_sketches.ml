@@ -589,10 +589,181 @@ let test_exact_oracle () =
     [ (5, 3); (3, 2) ]
     (Sketches.Exact.heavy_hitters e ~threshold:0.33)
 
+(* ------------------------- merge algebra ------------------------- *)
+
+(* Agarwal et al.'s mergeable-summaries algebra: merge is commutative and
+   associative with the empty sketch as identity — the property that lets
+   the sharded pipeline fold shard deltas in whatever order the merger
+   receives them. CountMin, Count-sketch, KMV and HLL merges are exact
+   (cell-wise sums / set union / register max), so the laws hold on the
+   full state; quantiles compaction is randomized, so associativity is
+   checked on the rank-error guarantee instead. *)
+
+let merge_family = Hashing.Family.seeded ~seed:77L ~rows:3 ~width:16
+
+let alg_cm_of xs =
+  let t = Sketches.Countmin.create ~family:merge_family in
+  List.iter (Sketches.Countmin.update t) xs;
+  t
+
+let cm_state t =
+  ( Sketches.Countmin.updates t,
+    List.init (Sketches.Countmin.rows t) (fun r ->
+        List.init (Sketches.Countmin.width t) (fun c ->
+            Sketches.Countmin.cell t ~row:r ~col:c)) )
+
+let alg_hll_of xs =
+  let t = Sketches.Hyperloglog.create ~p:5 ~seed:77L () in
+  List.iter (Sketches.Hyperloglog.update t) xs;
+  t
+
+let alg_kmv_of xs =
+  let t = Sketches.Kmv.create ~k:8 ~seed:77L () in
+  List.iter (Sketches.Kmv.update t) xs;
+  t
+
+let two_streams = QCheck.(pair (small_list (int_bound 40)) (small_list (int_bound 40)))
+
+let three_streams =
+  QCheck.(
+    triple (small_list (int_bound 40)) (small_list (int_bound 40))
+      (small_list (int_bound 40)))
+
+let merge_algebra_tests =
+  let open QCheck in
+  List.map QCheck_alcotest.to_alcotest
+    [
+      Test.make ~name:"CM merge commutes" ~count:60 two_streams (fun (xs, ys) ->
+          let a = alg_cm_of xs and b = alg_cm_of ys in
+          cm_state (Sketches.Countmin.merge a b)
+          = cm_state (Sketches.Countmin.merge b a));
+      Test.make ~name:"CM merge associates" ~count:60 three_streams
+        (fun (xs, ys, zs) ->
+          let a = alg_cm_of xs and b = alg_cm_of ys and c = alg_cm_of zs in
+          cm_state
+            (Sketches.Countmin.merge (Sketches.Countmin.merge a b) c)
+          = cm_state
+              (Sketches.Countmin.merge a (Sketches.Countmin.merge b c)));
+      Test.make ~name:"CM merge identity" ~count:60
+        (small_list (int_bound 40))
+        (fun xs ->
+          let a = alg_cm_of xs in
+          cm_state (Sketches.Countmin.merge a (alg_cm_of [])) = cm_state a
+          && cm_state (Sketches.Countmin.merge (alg_cm_of []) a) = cm_state a);
+      Test.make ~name:"CM merge = concatenated stream" ~count:60 two_streams
+        (fun (xs, ys) ->
+          cm_state (Sketches.Countmin.merge (alg_cm_of xs) (alg_cm_of ys))
+          = cm_state (alg_cm_of (xs @ ys)));
+      Test.make ~name:"KMV merge commutes/associates" ~count:60 three_streams
+        (fun (xs, ys, zs) ->
+          let st t = (Sketches.Kmv.hashes t, Sketches.Kmv.retained t) in
+          let a = alg_kmv_of xs and b = alg_kmv_of ys and c = alg_kmv_of zs in
+          st (Sketches.Kmv.merge a b) = st (Sketches.Kmv.merge b a)
+          && st (Sketches.Kmv.merge (Sketches.Kmv.merge a b) c)
+             = st (Sketches.Kmv.merge a (Sketches.Kmv.merge b c))
+          && st (Sketches.Kmv.merge a (alg_kmv_of [])) = st a
+          && st (Sketches.Kmv.merge a b) = st (alg_kmv_of (xs @ ys)));
+      Test.make ~name:"HLL merge commutes/associates" ~count:60 three_streams
+        (fun (xs, ys, zs) ->
+          let st = Sketches.Hyperloglog.registers in
+          let a = alg_hll_of xs and b = alg_hll_of ys and c = alg_hll_of zs in
+          st (Sketches.Hyperloglog.merge a b)
+          = st (Sketches.Hyperloglog.merge b a)
+          && st
+               (Sketches.Hyperloglog.merge (Sketches.Hyperloglog.merge a b) c)
+             = st
+                 (Sketches.Hyperloglog.merge a
+                    (Sketches.Hyperloglog.merge b c))
+          && st (Sketches.Hyperloglog.merge a (alg_hll_of [])) = st a
+          && st (Sketches.Hyperloglog.merge a b) = st (alg_hll_of (xs @ ys)));
+      Test.make ~name:"quantiles merge keeps rank guarantee in any order"
+        ~count:40
+        (triple
+           (list_of_size (Gen.int_range 1 120) (int_bound 500))
+           (list_of_size (Gen.int_range 1 120) (int_bound 500))
+           (list_of_size (Gen.int_range 1 120) (int_bound 500)))
+        (fun (xs, ys, zs) ->
+          let q_of l =
+            let t = Sketches.Quantiles.create ~k:64 ~seed:77L () in
+            List.iter (Sketches.Quantiles.update t) l;
+            t
+          in
+          let a = q_of xs and b = q_of ys and c = q_of zs in
+          let m1 =
+            Sketches.Quantiles.merge (Sketches.Quantiles.merge a b) c
+          in
+          let m2 =
+            Sketches.Quantiles.merge a (Sketches.Quantiles.merge b c)
+          in
+          let all = xs @ ys @ zs in
+          let n = List.length all in
+          let true_rank x = List.length (List.filter (fun v -> v <= x) all) in
+          (* Totals are exact under any association; ranks stay within a
+             generous KLL error budget for both fold orders. *)
+          Sketches.Quantiles.total m1 = n
+          && Sketches.Quantiles.total m2 = n
+          && List.for_all
+               (fun x ->
+                 let tol = max 6 (n / 8) in
+                 abs (Sketches.Quantiles.rank m1 x - true_rank x) <= tol
+                 && abs (Sketches.Quantiles.rank m2 x - true_rank x) <= tol)
+               [ 0; 125; 250; 375; 500 ]);
+    ]
+
+(* ------------------------- Count sketch merge ------------------------- *)
+
+let test_count_sketch_merge_exact () =
+  (* Count-sketch cells are linear in the stream, so merge must equal the
+     sketch of the concatenated stream — including every signed cell. *)
+  let mk xs =
+    let t = Sketches.Count_sketch.create ~seed:5L ~rows:5 ~width:32 in
+    List.iter (Sketches.Count_sketch.update t) xs;
+    t
+  in
+  let xs = List.init 300 (fun i -> i * 7 mod 50)
+  and ys = List.init 200 (fun i -> i * 13 mod 50) in
+  let m = Sketches.Count_sketch.merge (mk xs) (mk ys) in
+  let seq = mk (xs @ ys) in
+  Alcotest.(check int) "updates add" 500 (Sketches.Count_sketch.updates m);
+  for a = 0 to 49 do
+    Alcotest.(check int)
+      (Printf.sprintf "query %d" a)
+      (Sketches.Count_sketch.query seq a)
+      (Sketches.Count_sketch.query m a)
+  done
+
+let test_count_sketch_merge_requires_same_params () =
+  let a = Sketches.Count_sketch.create ~seed:5L ~rows:3 ~width:16 in
+  Alcotest.check_raises "different seed"
+    (Invalid_argument
+       "Count_sketch.merge: sketches must share seed, rows and width \
+        (compatible hash families)") (fun () ->
+      ignore
+        (Sketches.Count_sketch.merge a
+           (Sketches.Count_sketch.create ~seed:6L ~rows:3 ~width:16)));
+  Alcotest.check_raises "different width"
+    (Invalid_argument
+       "Count_sketch.merge: sketches must share seed, rows and width \
+        (compatible hash families)") (fun () ->
+      ignore
+        (Sketches.Count_sketch.merge a
+           (Sketches.Count_sketch.create ~seed:5L ~rows:3 ~width:32)))
+
+let test_cm_merge_requires_compatible_family () =
+  let a = alg_cm_of [ 1; 2; 3 ] in
+  let other =
+    Sketches.Countmin.create
+      ~family:(Hashing.Family.seeded ~seed:78L ~rows:3 ~width:16)
+  in
+  Alcotest.check_raises "different coins"
+    (Invalid_argument "Countmin.merge: sketches must share a compatible hash family")
+    (fun () -> ignore (Sketches.Countmin.merge a other))
+
 (* ------------------------- properties ------------------------- *)
 
 let qcheck_tests =
-  [
+  merge_algebra_tests
+  @ [
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"CM query ≥ true frequency" ~count:60
          QCheck.(pair int64 (list_of_size (Gen.int_range 0 200) (int_bound 30)))
@@ -649,12 +820,18 @@ let () =
           Alcotest.test_case "updates and error bound" `Quick
             test_cm_updates_and_error_bound;
           Alcotest.test_case "reset" `Quick test_cm_reset;
+          Alcotest.test_case "merge family check" `Quick
+            test_cm_merge_requires_compatible_family;
         ] );
       ( "count sketch",
         [
           Alcotest.test_case "ballpark estimates" `Quick
             test_count_sketch_unbiased_ballpark;
           Alcotest.test_case "shape" `Quick test_count_sketch_shape;
+          Alcotest.test_case "merge = concatenated stream" `Quick
+            test_count_sketch_merge_exact;
+          Alcotest.test_case "merge parameter check" `Quick
+            test_count_sketch_merge_requires_same_params;
         ] );
       ( "morris",
         [

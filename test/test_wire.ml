@@ -1,0 +1,336 @@
+(* Wire codec tests: every codec round-trips losslessly (encode ∘ decode =
+   identity on the sketch state), and every corrupted frame — truncated,
+   bit-flipped, wrong magic, wrong kind, future version, random garbage —
+   decodes to [Error], never an exception. *)
+
+let seed = 99L
+
+(* ------------------------- builders ------------------------- *)
+
+let cm_family = Hashing.Family.seeded ~seed ~rows:3 ~width:32
+
+let cm_of xs =
+  let t = Sketches.Countmin.create ~family:cm_family in
+  List.iter (Sketches.Countmin.update t) xs;
+  t
+
+let hll_of xs =
+  let t = Sketches.Hyperloglog.create ~p:6 ~seed () in
+  List.iter (Sketches.Hyperloglog.update t) xs;
+  t
+
+let kmv_of xs =
+  let t = Sketches.Kmv.create ~k:16 ~seed () in
+  List.iter (Sketches.Kmv.update t) xs;
+  t
+
+let quantiles_of xs =
+  let t = Sketches.Quantiles.create ~k:32 ~seed () in
+  List.iter (Sketches.Quantiles.update t) xs;
+  t
+
+let space_saving_of xs =
+  let t = Sketches.Space_saving.create ~capacity:8 in
+  List.iter (Sketches.Space_saving.update t) xs;
+  t
+
+let counter_of xs =
+  let t = Sketches.Batched_counter.create () in
+  List.iter (fun x -> Sketches.Batched_counter.update t (abs x)) xs;
+  t
+
+let sample = [ 3; 1; 4; 1; 5; 9; 2; 6; 5; 3; 5; 8; 9; 7; 9; 3; 2; 3; 8; 4 ]
+
+(* ------------------------- equality ------------------------- *)
+
+let cm_equal a b =
+  Sketches.Countmin.updates a = Sketches.Countmin.updates b
+  && Hashing.Family.compatible (Sketches.Countmin.family a)
+       (Sketches.Countmin.family b)
+  &&
+  let rows = Sketches.Countmin.rows a and width = Sketches.Countmin.width a in
+  rows = Sketches.Countmin.rows b
+  && width = Sketches.Countmin.width b
+  &&
+  let ok = ref true in
+  for r = 0 to rows - 1 do
+    for c = 0 to width - 1 do
+      if
+        Sketches.Countmin.cell a ~row:r ~col:c
+        <> Sketches.Countmin.cell b ~row:r ~col:c
+      then ok := false
+    done
+  done;
+  !ok
+
+let hll_equal a b =
+  Sketches.Hyperloglog.p a = Sketches.Hyperloglog.p b
+  && Sketches.Hyperloglog.seed a = Sketches.Hyperloglog.seed b
+  && Sketches.Hyperloglog.registers a = Sketches.Hyperloglog.registers b
+
+let kmv_equal a b =
+  Sketches.Kmv.k a = Sketches.Kmv.k b
+  && Sketches.Kmv.seed a = Sketches.Kmv.seed b
+  && Sketches.Kmv.hashes a = Sketches.Kmv.hashes b
+
+let quantiles_equal a b =
+  Sketches.Quantiles.k a = Sketches.Quantiles.k b
+  && Sketches.Quantiles.seed a = Sketches.Quantiles.seed b
+  && Sketches.Quantiles.total a = Sketches.Quantiles.total b
+  && Sketches.Quantiles.levels a = Sketches.Quantiles.levels b
+
+let space_saving_equal a b =
+  Sketches.Space_saving.capacity a = Sketches.Space_saving.capacity b
+  && Sketches.Space_saving.total a = Sketches.Space_saving.total b
+  && Sketches.Space_saving.entries a = Sketches.Space_saving.entries b
+
+let counter_equal a b =
+  Sketches.Batched_counter.read a = Sketches.Batched_counter.read b
+
+(* One row per codec: build from an int list, encode, decode, compare. The
+   [decode_any] column drives the corruption sweeps below. *)
+type codec = {
+  label : string;
+  kind : string; (* the wire kind name, as [Wire.Codec.kind_name] spells it *)
+  blob_of : int list -> Bytes.t;
+  roundtrips : int list -> bool;
+  decode_any : Bytes.t -> (unit, Wire.Codec.error) result;
+}
+
+let check_rt eq dec blob v =
+  match dec blob with Ok v' -> eq v v' | Error _ -> false
+
+let codecs =
+  [
+    {
+      label = "countmin";
+      kind = "countmin";
+      blob_of = (fun xs -> Wire.Countmin.encode (cm_of xs));
+      roundtrips =
+        (fun xs ->
+          let v = cm_of xs in
+          check_rt cm_equal Wire.Countmin.decode (Wire.Countmin.encode v) v);
+      decode_any =
+        (fun b -> Result.map (fun _ -> ()) (Wire.Countmin.decode b));
+    };
+    {
+      label = "hll";
+      kind = "hyperloglog";
+      blob_of = (fun xs -> Wire.Hll.encode (hll_of xs));
+      roundtrips =
+        (fun xs ->
+          let v = hll_of xs in
+          check_rt hll_equal Wire.Hll.decode (Wire.Hll.encode v) v);
+      decode_any = (fun b -> Result.map (fun _ -> ()) (Wire.Hll.decode b));
+    };
+    {
+      label = "kmv";
+      kind = "kmv";
+      blob_of = (fun xs -> Wire.Kmv.encode (kmv_of xs));
+      roundtrips =
+        (fun xs ->
+          let v = kmv_of xs in
+          check_rt kmv_equal Wire.Kmv.decode (Wire.Kmv.encode v) v);
+      decode_any = (fun b -> Result.map (fun _ -> ()) (Wire.Kmv.decode b));
+    };
+    {
+      label = "quantiles";
+      kind = "quantiles";
+      blob_of = (fun xs -> Wire.Quantiles.encode (quantiles_of xs));
+      roundtrips =
+        (fun xs ->
+          let v = quantiles_of xs in
+          check_rt quantiles_equal Wire.Quantiles.decode
+            (Wire.Quantiles.encode v) v);
+      decode_any =
+        (fun b -> Result.map (fun _ -> ()) (Wire.Quantiles.decode b));
+    };
+    {
+      label = "space-saving";
+      kind = "space-saving";
+      blob_of = (fun xs -> Wire.Space_saving.encode (space_saving_of xs));
+      roundtrips =
+        (fun xs ->
+          let v = space_saving_of xs in
+          check_rt space_saving_equal Wire.Space_saving.decode
+            (Wire.Space_saving.encode v) v);
+      decode_any =
+        (fun b -> Result.map (fun _ -> ()) (Wire.Space_saving.decode b));
+    };
+    {
+      label = "counter";
+      kind = "counter";
+      blob_of = (fun xs -> Wire.Counter.encode (counter_of xs));
+      roundtrips =
+        (fun xs ->
+          let v = counter_of xs in
+          check_rt counter_equal Wire.Counter.decode (Wire.Counter.encode v) v);
+      decode_any = (fun b -> Result.map (fun _ -> ()) (Wire.Counter.decode b));
+    };
+  ]
+
+(* ------------------------- round trips ------------------------- *)
+
+let test_roundtrip_sample () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c.label ^ " round-trips") true (c.roundtrips sample))
+    codecs
+
+let test_roundtrip_empty () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c.label ^ " empty round-trips") true (c.roundtrips []))
+    codecs
+
+let test_peek () =
+  List.iter
+    (fun c ->
+      match Wire.Codec.peek (c.blob_of sample) with
+      | Ok (kind, v) ->
+          Alcotest.(check string) (c.label ^ " peek kind") c.kind kind;
+          Alcotest.(check int) (c.label ^ " peek version") Wire.Codec.version v
+      | Error e -> Alcotest.failf "peek %s: %s" c.label (Wire.Codec.error_to_string e))
+    codecs
+
+(* ------------------------- corruption ------------------------- *)
+
+(* Never raises, and (for the sweeps below) never silently succeeds. *)
+let expect_error ~what c blob =
+  match c.decode_any blob with
+  | Ok () -> Alcotest.failf "%s %s: decoded successfully" c.label what
+  | Error _ -> ()
+  | exception e ->
+      Alcotest.failf "%s %s: raised %s" c.label what (Printexc.to_string e)
+
+let test_truncation () =
+  List.iter
+    (fun c ->
+      let blob = c.blob_of sample in
+      for len = 0 to Bytes.length blob - 1 do
+        expect_error ~what:(Printf.sprintf "truncated to %d" len) c
+          (Bytes.sub blob 0 len)
+      done)
+    codecs
+
+let test_bit_flips () =
+  (* Every single-bit corruption of a valid frame must be rejected: header
+     flips hit the magic/version/kind/length validation, payload flips hit
+     the checksum, checksum flips mismatch the payload. *)
+  List.iter
+    (fun c ->
+      let blob = c.blob_of sample in
+      for byte = 0 to Bytes.length blob - 1 do
+        for bit = 0 to 7 do
+          let b = Bytes.copy blob in
+          Bytes.set b byte
+            (Char.chr (Char.code (Bytes.get blob byte) lxor (1 lsl bit)));
+          expect_error ~what:(Printf.sprintf "bit %d of byte %d flipped" bit byte)
+            c b
+        done
+      done)
+    codecs
+
+let test_wrong_magic () =
+  List.iter
+    (fun c ->
+      let blob = c.blob_of sample in
+      Bytes.blit_string "XXXX" 0 blob 0 4;
+      match c.decode_any blob with
+      | Error Wire.Codec.Bad_magic -> ()
+      | Error e ->
+          Alcotest.failf "%s wrong magic: expected Bad_magic, got %s" c.label
+            (Wire.Codec.error_to_string e)
+      | Ok () -> Alcotest.failf "%s wrong magic decoded" c.label)
+    codecs
+
+let test_future_version () =
+  List.iter
+    (fun c ->
+      let blob = c.blob_of sample in
+      Bytes.set blob 4 (Char.chr 99);
+      match c.decode_any blob with
+      | Error (Wire.Codec.Unsupported_version 99) -> ()
+      | Error e ->
+          Alcotest.failf "%s version 99: expected Unsupported_version, got %s"
+            c.label
+            (Wire.Codec.error_to_string e)
+      | Ok () -> Alcotest.failf "%s version 99 decoded" c.label)
+    codecs
+
+let test_wrong_kind () =
+  (* A valid counter blob offered to every other codec: precise Wrong_kind. *)
+  let counter_blob = Wire.Counter.encode (counter_of sample) in
+  List.iter
+    (fun c ->
+      if c.label <> "counter" then
+        match c.decode_any counter_blob with
+        | Error (Wire.Codec.Wrong_kind { expected; got }) ->
+            Alcotest.(check string) (c.label ^ " expected kind") c.kind expected;
+            Alcotest.(check string) (c.label ^ " got kind") "counter" got
+        | Error e ->
+            Alcotest.failf "%s on counter blob: expected Wrong_kind, got %s"
+              c.label
+              (Wire.Codec.error_to_string e)
+        | Ok () -> Alcotest.failf "%s decoded a counter blob" c.label)
+    codecs
+
+let test_trailing_garbage () =
+  List.iter
+    (fun c ->
+      let blob = c.blob_of sample in
+      let b = Bytes.extend blob 0 3 in
+      expect_error ~what:"3 trailing bytes" c b)
+    codecs
+
+(* ------------------------- properties ------------------------- *)
+
+let qcheck_tests =
+  let elems = QCheck.(list_of_size (Gen.int_range 0 300) (int_bound 50)) in
+  let never_raises c blob =
+    match c.decode_any blob with Ok () | Error _ -> true
+  in
+  List.map QCheck_alcotest.to_alcotest
+    (List.map
+       (fun c ->
+         QCheck.Test.make
+           ~name:(c.label ^ " round-trips any stream")
+           ~count:60 elems c.roundtrips)
+       codecs
+    @ [
+        QCheck.Test.make ~name:"random bytes never raise" ~count:200
+          QCheck.(string_of_size (Gen.int_range 0 64))
+          (fun s ->
+            let blob = Bytes.of_string s in
+            List.for_all (fun c -> never_raises c blob) codecs);
+        QCheck.Test.make ~name:"random prefix damage never raises" ~count:100
+          QCheck.(pair elems (int_bound 1000))
+          (fun (xs, cut) ->
+            List.for_all
+              (fun c ->
+                let blob = c.blob_of xs in
+                let len = min cut (Bytes.length blob) in
+                never_raises c (Bytes.sub blob 0 len))
+              codecs);
+      ])
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "round-trip",
+        [
+          Alcotest.test_case "pinned sample" `Quick test_roundtrip_sample;
+          Alcotest.test_case "empty sketches" `Quick test_roundtrip_empty;
+          Alcotest.test_case "peek" `Quick test_peek;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "every truncation rejected" `Quick test_truncation;
+          Alcotest.test_case "every bit flip rejected" `Quick test_bit_flips;
+          Alcotest.test_case "wrong magic" `Quick test_wrong_magic;
+          Alcotest.test_case "future version" `Quick test_future_version;
+          Alcotest.test_case "wrong kind" `Quick test_wrong_kind;
+          Alcotest.test_case "trailing bytes" `Quick test_trailing_garbage;
+        ] );
+      ("properties", qcheck_tests);
+    ]
