@@ -113,6 +113,22 @@ let record_samples ~exp ~name ?(params = []) ?(unit_ = "Mops/s") samples =
 let record ~exp ~name ?(params = []) ?(unit_ = "Mops/s") sample =
   record_samples ~exp ~name ~params ~unit_ [ sample ]
 
+(* Best-effort provenance for the summary manifest: the commit the numbers
+   were measured at, or null outside a git checkout. *)
+let git_sha () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if String.length line = 40 then Some line else None
+  with _ -> None
+
+let iso8601_now () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
 let write_json_files () =
   let exps =
     Hashtbl.fold (fun exp r acc -> (exp, List.rev !r) :: acc) json_records []
@@ -145,4 +161,31 @@ let write_json_files () =
         (String.concat ",\n" (List.map entry_json entries));
       close_out oc;
       Printf.printf "wrote %s (%d entries)\n" file (List.length entries))
-    exps
+    exps;
+  (* Top-level manifest so CI artifacts and notebooks can discover the
+     per-experiment files — and tie them to a commit and a wall-clock — from
+     one well-known name. *)
+  if exps <> [] then begin
+    let oc = open_out "BENCH_summary.json" in
+    Printf.fprintf oc
+      "{ \"generated_at\": %s,\n\
+      \  \"git_sha\": %s,\n\
+      \  \"files\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      (json_string (iso8601_now ()))
+      (match git_sha () with Some s -> json_string s | None -> "null")
+      (String.concat ",\n"
+         (List.map
+            (fun (exp, entries) ->
+              Printf.sprintf
+                "    { \"exp\": %s, \"file\": %s, \"entries\": %d }"
+                (json_string exp)
+                (json_string (Printf.sprintf "BENCH_%s.json" exp))
+                (List.length entries))
+            exps));
+    close_out oc;
+    Printf.printf "wrote BENCH_summary.json (%d experiment file(s))\n"
+      (List.length exps)
+  end

@@ -70,6 +70,7 @@ let sections =
     ("ablation", Exp_ablation.run);
     ("pq", Exp_pq.run);
     ("pipeline", Exp_pipeline.run);
+    ("durable", Exp_durable.run);
     ("micro", micro);
   ]
 

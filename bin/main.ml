@@ -777,6 +777,17 @@ let chaos target domains ops kills seed rounds =
 
 (* ------------------------------ pipeline ------------------------------ *)
 
+(* Sketch parameters shared between the `pipeline` and `recover`
+   subcommands: recovery rebuilds deltas with M.decode and must construct
+   the exact same mergeable (hash family seeds, dimensions) the writing
+   pipeline used. *)
+let cm_rows = 4
+let cm_width = 2048
+let hll_p = 12
+let kmv_k = 256
+let quantiles_k = 200
+let ss_capacity = 64
+
 (* Drive the sharded ingestion pipeline end-to-end: feeder domains push a
    synthetic stream through hash-routed bounded queues, shard workers batch
    items into local sketches and ship them as wire blobs, the merger folds
@@ -784,13 +795,23 @@ let chaos target domains ops kills seed rounds =
    published total throughout. After drain, the recorded merge/read history
    goes through the scalable monotone envelope checker — the pipeline's
    published state must be IVL — alongside conservation checks tying
-   published weight to per-shard flush counters. *)
+   published weight to per-shard flush counters.
+
+   With [--wal DIR] every merged delta is also appended to a write-ahead log
+   (and, with [--checkpoint-every N], periodically checkpointed); with
+   [--kill-and-recover] the run finishes by recovering a fresh sketch from
+   DIR and validating the recovery envelope: recovered published total ∈
+   [last checkpoint total, pre-crash published total]. With [--supervise]
+   dead shard workers are restarted by a watchdog instead of shedding
+   traffic for the rest of the run. *)
 
 let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
     ~(report : s -> unit) ~shards ~stream ~batch ~queue ~feeders ~chaos_kill
-    ~kills ~seed =
+    ~kills ~seed ~wal_dir ~checkpoint_every ~kill_and_recover ~supervise
+    ~max_restarts =
   let module Mono = Ivl.Monotone.Make (Spec.Counter_spec) in
   let module P = Pipeline.Engine.Make (M) in
+  let module R = Durable.Recovery.Make (M) in
   let ops = Array.length stream in
   let ch =
     if not chaos_kill then None
@@ -805,9 +826,53 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
            ~domains:shards)
   in
   let on_tick =
-    Option.map (fun ch ~shard -> Conc.Chaos.point ch ~domain:shard) ch
+    Option.map
+      (fun ch ->
+        if not supervise then fun ~shard -> Conc.Chaos.point ch ~domain:shard
+        else begin
+          (* Under supervision each chaos victim dies once: a killed chaos
+             domain re-raises on every later point, which would turn the
+             restarted incarnation into a crash loop. One kill is the
+             restart scenario; the crash-loop-to-shed path has its own
+             test. *)
+          let killed_once = Array.init shards (fun _ -> Atomic.make false) in
+          fun ~shard ->
+            if not (Atomic.get killed_once.(shard)) then
+              try Conc.Chaos.point ch ~domain:shard
+              with Conc.Chaos.Killed _ as e ->
+                Atomic.set killed_once.(shard) true;
+                raise e
+        end)
+      ch
   in
-  let p = P.create ~queue_capacity:queue ~batch ?on_tick ~shards () in
+  let wal =
+    Option.map
+      (fun dir -> Durable.Wal.create ~dir ~fsync:(Durable.Wal.Every_n 32) ())
+      wal_dir
+  in
+  let on_merge =
+    Option.map
+      (fun w ~epoch ~weight ~blob -> Durable.Wal.append w ~epoch ~weight ~blob)
+      wal
+  in
+  let on_checkpoint =
+    if checkpoint_every > 0 then
+      Option.map
+        (fun dir ~epoch ~published ~blob ->
+          Durable.Checkpoint.write ~dir ~epoch ~published ~blob ())
+        wal_dir
+    else None
+  in
+  let supervisor =
+    if supervise then
+      Some { Pipeline.Engine.default_supervisor with max_restarts }
+    else None
+  in
+  let p =
+    P.create ~queue_capacity:queue ~batch ?on_tick ?on_merge
+      ~checkpoint_every:(if wal_dir = None then 0 else checkpoint_every)
+      ?on_checkpoint ?supervisor ~shards ()
+  in
   let stop = Atomic.make false in
   let reads = Atomic.make 0 in
   let reader =
@@ -846,9 +911,17 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
     (fun i (s : P.shard_stats) ->
       Printf.printf
         "  shard %d: enq %-8d drop %-7d consumed %-8d flushed %-8d blobs %-5d \
-         depth<=%-5d %s\n"
+         depth<=%-5d %s%s\n"
         i s.enqueued s.dropped s.consumed s.flushed_items s.flushes s.max_depth
-        (if s.alive then "alive" else "KILLED"))
+        (if s.shed then "SHED"
+         else if s.alive then "alive"
+         else "KILLED")
+        (if s.restarts > 0 then
+           Printf.sprintf " (restarts %d%s)" s.restarts
+             (match s.last_error with
+             | Some e -> ", last: " ^ e
+             | None -> "")
+         else ""))
     sh;
   Printf.printf "merges %d  epoch %d  published %d  decode failures %d\n" merges
     epoch published decode_failures;
@@ -882,10 +955,44 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
     add "conservation: published %d <> flushed %d" published sum_flushed;
   Array.iteri
     (fun i (s : P.shard_stats) ->
-      if s.alive && s.flushed_items <> s.enqueued then
+      (* A restarted shard legitimately loses the dead incarnation's
+         unflushed local delta, so exact conservation only binds shards that
+         never died. *)
+      if s.alive && s.restarts = 0 && s.flushed_items <> s.enqueued then
         add "surviving shard %d flushed %d of %d enqueued" i s.flushed_items
-          s.enqueued)
+          s.enqueued;
+      if s.restarts > 0 && not s.shed && not s.alive then
+        add "shard %d dead after %d restart(s) without being shed" i s.restarts)
     sh;
+  if supervise && chaos_kill then begin
+    let total_restarts =
+      Array.fold_left (fun a (s : P.shard_stats) -> a + s.restarts) 0 sh
+    in
+    Printf.printf "supervisor: %d restart(s), %d shed shard(s)\n" total_restarts
+      (Array.fold_left
+         (fun a (s : P.shard_stats) -> a + if s.shed then 1 else 0)
+         0 sh)
+  end;
+  Option.iter Durable.Wal.close wal;
+  (match (kill_and_recover, wal_dir) with
+  | false, _ | _, None -> ()
+  | true, Some dir -> (
+      match R.recover ~dir with
+      | Error msg -> add "recovery failed: %s" msg
+      | Ok (_, r) ->
+          Printf.printf "recovery: %s\n" (R.report_to_string r);
+          if r.recovered_published < r.checkpoint_published then
+            add "recovery envelope: recovered %d < checkpoint %d"
+              r.recovered_published r.checkpoint_published;
+          if r.recovered_published > published then
+            add "recovery envelope: recovered %d > pre-crash published %d"
+              r.recovered_published published;
+          if
+            r.bytes_truncated = 0 && r.skipped = 0 && r.decode_failures = 0
+            && r.recovered_published <> published
+          then
+            add "recovery lost weight without truncation: recovered %d <> %d"
+              r.recovered_published published));
   let g, query_epoch = P.query p (fun g -> g) in
   Printf.printf "final query at epoch %d:\n" query_epoch;
   report g;
@@ -899,10 +1006,19 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
       1
 
 let pipeline sk shards ops shape skew universe batch queue feeders chaos kills
-    seed =
+    seed wal_dir checkpoint_every kill_and_recover supervise max_restarts =
   if shards < 1 || feeders < 1 || ops < 1 || batch < 1 || queue < 1 then begin
     Printf.eprintf
       "pipeline: --shards, --feeders, --ops, --batch and --queue must be >= 1\n";
+    exit 1
+  end;
+  if checkpoint_every < 0 || max_restarts < 0 then begin
+    Printf.eprintf
+      "pipeline: --checkpoint-every and --max-restarts must be >= 0\n";
+    exit 1
+  end;
+  if kill_and_recover && wal_dir = None then begin
+    Printf.eprintf "pipeline: --kill-and-recover requires --wal DIR\n";
     exit 1
   end;
   let chaos_kill =
@@ -935,14 +1051,15 @@ let pipeline sk shards ops shape skew universe batch queue feeders chaos kills
   in
   let run m report =
     run_pipeline m ~report ~shards ~stream ~batch ~queue ~feeders ~chaos_kill
-      ~kills ~seed
+      ~kills ~seed ~wal_dir ~checkpoint_every ~kill_and_recover ~supervise
+      ~max_restarts
   in
   match sk with
   | "countmin" ->
       let module M = Pipeline.Targets.Countmin (struct
         let seed = Int64.add seed 7L
-        let rows = 4
-        let width = 2048
+        let rows = cm_rows
+        let width = cm_width
       end) in
       run
         (module M : Pipeline.Mergeable.S with type t = Sketches.Countmin.t)
@@ -962,7 +1079,7 @@ let pipeline sk shards ops shape skew universe batch queue feeders chaos kills
   | "hll" ->
       let module M = Pipeline.Targets.Hll (struct
         let seed = Int64.add seed 7L
-        let p = 12
+        let p = hll_p
       end) in
       run
         (module M : Pipeline.Mergeable.S with type t = Sketches.Hyperloglog.t)
@@ -973,7 +1090,7 @@ let pipeline sk shards ops shape skew universe batch queue feeders chaos kills
   | "kmv" ->
       let module M = Pipeline.Targets.Kmv (struct
         let seed = Int64.add seed 7L
-        let k = 256
+        let k = kmv_k
       end) in
       run
         (module M : Pipeline.Mergeable.S with type t = Sketches.Kmv.t)
@@ -984,7 +1101,7 @@ let pipeline sk shards ops shape skew universe batch queue feeders chaos kills
   | "quantiles" ->
       let module M = Pipeline.Targets.Quantiles (struct
         let seed = Int64.add seed 7L
-        let k = 200
+        let k = quantiles_k
       end) in
       run
         (module M : Pipeline.Mergeable.S with type t = Sketches.Quantiles.t)
@@ -1006,7 +1123,7 @@ let pipeline sk shards ops shape skew universe batch queue feeders chaos kills
           end)
   | "spacesaving" ->
       let module M = Pipeline.Targets.Space_saving (struct
-        let capacity = 64
+        let capacity = ss_capacity
       end) in
       run
         (module M : Pipeline.Mergeable.S with type t = Sketches.Space_saving.t)
@@ -1030,6 +1147,73 @@ let pipeline sk shards ops shape skew universe batch queue feeders chaos kills
          counter)\n"
         other;
       exit 1
+
+(* ------------------------------ recover ------------------------------- *)
+
+(* Standalone recovery: rebuild the global sketch from a durability
+   directory written by `pipeline --wal`. The sketch name and seed must
+   match the writing run — decode needs the same hash-family parameters —
+   which is why the dimension constants above are shared between the two
+   subcommands. *)
+
+let mergeable_of ~seed = function
+  | "countmin" ->
+      Some
+        (module Pipeline.Targets.Countmin (struct
+          let seed = Int64.add seed 7L
+          let rows = cm_rows
+          let width = cm_width
+        end) : Pipeline.Mergeable.S)
+  | "hll" ->
+      Some
+        (module Pipeline.Targets.Hll (struct
+          let seed = Int64.add seed 7L
+          let p = hll_p
+        end) : Pipeline.Mergeable.S)
+  | "kmv" ->
+      Some
+        (module Pipeline.Targets.Kmv (struct
+          let seed = Int64.add seed 7L
+          let k = kmv_k
+        end) : Pipeline.Mergeable.S)
+  | "quantiles" ->
+      Some
+        (module Pipeline.Targets.Quantiles (struct
+          let seed = Int64.add seed 7L
+          let k = quantiles_k
+        end) : Pipeline.Mergeable.S)
+  | "spacesaving" ->
+      Some
+        (module Pipeline.Targets.Space_saving (struct
+          let capacity = ss_capacity
+        end) : Pipeline.Mergeable.S)
+  | "counter" -> Some (module Pipeline.Targets.Counter : Pipeline.Mergeable.S)
+  | _ -> None
+
+let recover dir sk seed =
+  match mergeable_of ~seed sk with
+  | None ->
+      Printf.eprintf
+        "unknown sketch %s (available: countmin hll kmv quantiles spacesaving \
+         counter)\n"
+        sk;
+      exit 1
+  | Some (module M) -> (
+      let module R = Durable.Recovery.Make (M) in
+      match R.recover ~dir with
+      | Error msg ->
+          Printf.eprintf "recover: %s\n" msg;
+          1
+      | Ok (_, r) ->
+          Printf.printf "recover: %s\n" (R.report_to_string r);
+          Printf.printf
+            "recovered sketch at epoch %d carrying published weight %d\n"
+            r.recovered_epoch r.recovered_published;
+          if r.truncated_reason <> None then
+            Printf.printf "  (WAL tail truncated: %s, %d bytes dropped)\n"
+              (Option.value ~default:"?" r.truncated_reason)
+              r.bytes_truncated;
+          0)
 
 (* ------------------------------ cmdliner ------------------------------ *)
 
@@ -1174,6 +1358,48 @@ let pipeline_cmd =
   in
   let kills = Arg.(value & opt int 1 & info [ "kills" ] ~doc:"shard workers to kill (with --chaos kill)") in
   let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"base seed") in
+  let wal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"DIR"
+          ~doc:
+            "write-ahead-log every merged delta (and checkpoints) into DIR; \
+             `recover' can later rebuild the sketch from it")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "with --wal: snapshot the global sketch every N merge epochs so \
+             recovery replays only the log suffix (0 = no checkpoints)")
+  in
+  let kill_and_recover =
+    Arg.(
+      value & flag
+      & info [ "kill-and-recover" ]
+          ~doc:
+            "after drain, recover a fresh sketch from the --wal directory \
+             and fail unless its published weight lands inside the \
+             [checkpoint, pre-crash published] IVL envelope")
+  in
+  let supervise =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "run the watchdog: restart dead shard workers with capped \
+             exponential backoff instead of shedding their traffic")
+  in
+  let max_restarts =
+    Arg.(
+      value & opt int 5
+      & info [ "max-restarts" ]
+          ~doc:
+            "with --supervise: per-shard restart budget before the shard is \
+             permanently shed")
+  in
   Cmd.v
     (Cmd.info "pipeline"
        ~doc:
@@ -1181,7 +1407,36 @@ let pipeline_cmd =
           merges) and check its IVL envelope")
     Term.(
       const pipeline $ sketch $ shards $ ops $ shape $ skew $ universe $ batch
-      $ queue $ feeders $ chaos $ kills $ seed)
+      $ queue $ feeders $ chaos $ kills $ seed $ wal $ checkpoint_every
+      $ kill_and_recover $ supervise $ max_restarts)
+
+let recover_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"durability directory written by pipeline --wal")
+  in
+  let sketch =
+    Arg.(
+      value
+      & opt string "countmin"
+      & info [ "sketch" ]
+          ~doc:
+            "sketch the WAL was written with: countmin, hll, kmv, quantiles, \
+             spacesaving or counter")
+  in
+  let seed =
+    Arg.(
+      value & opt int64 1L
+      & info [ "seed" ] ~doc:"base seed of the writing pipeline run")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Rebuild the global sketch from a WAL + checkpoint directory and \
+          report the recovery envelope")
+    Term.(const recover $ dir $ sketch $ seed)
 
 let () =
   let doc = "Intermediate Value Linearizability: checkers, simulators, sketches" in
@@ -1197,4 +1452,5 @@ let () =
             explore_cmd;
             chaos_cmd;
             pipeline_cmd;
+            recover_cmd;
           ]))

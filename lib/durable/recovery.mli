@@ -1,0 +1,39 @@
+(** Crash recovery: newest checkpoint + WAL suffix replay.
+
+    A recovered pipeline is an {e intermediate-value} object in exactly the
+    paper's sense: the state that comes back after a crash is some published
+    prefix of the pre-crash history — the checkpoint is such a prefix, every
+    replayed WAL record was a published merge, and torn-tail truncation only
+    removes suffix records. The envelope guarantee, validated by property
+    tests over randomized crash points and byte-level torn writes:
+
+    {v recovered published ∈ [checkpoint published, pre-crash published] v}
+
+    No weight is ever invented; at most the unsynced WAL tail is lost (the
+    fsync policy bounds that window, {!Wal.fsync_policy}). *)
+
+module Make (M : Pipeline.Mergeable.S) : sig
+  type report = {
+    checkpoint_epoch : int;  (** 0 when recovering without a checkpoint *)
+    checkpoint_published : int;
+    checkpoints_skipped : int;  (** corrupt/undecodable snapshots passed over *)
+    wal_segments : int;
+    replayed : int;  (** WAL records folded into the sketch *)
+    skipped : int;  (** WAL records at or below the checkpoint epoch *)
+    decode_failures : int;  (** enveloped delta blobs [M.decode] rejected *)
+    bytes_truncated : int;  (** torn/corrupt WAL tail dropped *)
+    truncated_reason : string option;
+    recovered_epoch : int;
+    recovered_published : int;
+  }
+
+  val report_to_string : report -> string
+
+  val recover : dir:string -> (M.t * report, string) result
+  (** Rebuild the global sketch from [dir] (shared by WAL segments and
+      checkpoints). Corrupt data degrades — truncated tail, older checkpoint,
+      empty sketch — rather than failing; [Error] only for a missing
+      directory. The sketch parameters baked into [M] (hash family seeds,
+      dimensions) must match the writing pipeline's, exactly as any two
+      mergeable deltas must. *)
+end

@@ -1,0 +1,244 @@
+(* Write-ahead delta log: every delta the merger publishes is appended to a
+   segment file as one Codec frame (kind wal-record) enveloping the
+   already-framed sketch blob, stamped with the epoch the merge received and
+   the stream weight it carries. Segments rotate at a size threshold so a
+   long-lived pipeline never owns one unbounded file, and so checkpoint-aware
+   readers could drop whole prefixes wholesale.
+
+   Durability is a dial, not a boolean: [Always] fsyncs every append (lose
+   nothing, pay a disk round-trip per merge), [Every_n] bounds the loss
+   window to n merges, [Never] leaves flushing to the OS (crash loses the
+   page-cache tail — which recovery's torn-tail truncation absorbs; the
+   envelope guarantee never depends on the policy, only the loss window
+   does). *)
+
+type fsync_policy = Always | Every_n of int | Never
+
+let policy_to_string = function
+  | Always -> "always"
+  | Every_n n -> Printf.sprintf "every-%d" n
+  | Never -> "never"
+
+let segment_name i = Printf.sprintf "wal-%08d.seg" i
+
+let segment_index name =
+  if
+    String.length name = 16
+    && String.sub name 0 4 = "wal-"
+    && Filename.check_suffix name ".seg"
+  then int_of_string_opt (String.sub name 4 8)
+  else None
+
+let segments_of dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun n ->
+         match segment_index n with Some i -> Some (i, n) | None -> None)
+  |> List.sort compare
+
+(* ------------------------------ writer ------------------------------ *)
+
+type writer = {
+  dir : string;
+  segment_bytes : int;
+  fsync : fsync_policy;
+  mutable oc : out_channel;
+  mutable seg_index : int;
+  mutable seg_size : int;
+  mutable unsynced : int; (* appends since the last fsync *)
+  mutable last_epoch : int;
+  mutable appended : int;
+  mutable rotations : int;
+  mutable closed : bool;
+}
+
+let fsync_oc oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let open_segment w i =
+  let oc =
+    open_out_gen
+      [ Open_wronly; Open_creat; Open_append; Open_binary ]
+      0o644
+      (Filename.concat w.dir (segment_name i))
+  in
+  w.oc <- oc;
+  w.seg_index <- i;
+  w.seg_size <- 0
+
+let create ?(segment_bytes = 4 * 1024 * 1024) ?(fsync = Every_n 64) ~dir () =
+  if segment_bytes <= 0 then
+    invalid_arg "Wal.create: segment_bytes must be positive";
+  (match fsync with
+  | Every_n n when n <= 0 -> invalid_arg "Wal.create: Every_n must be positive"
+  | _ -> ());
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  (* Never append into an existing segment: its tail may be torn from a
+     previous crash, and a fresh segment keeps the longest-valid-prefix scan
+     rule sound without a repair pass. *)
+  let next =
+    match List.rev (segments_of dir) with (i, _) :: _ -> i + 1 | [] -> 0
+  in
+  let w =
+    {
+      dir;
+      segment_bytes;
+      fsync;
+      oc = stdout (* replaced below *);
+      seg_index = next;
+      seg_size = 0;
+      unsynced = 0;
+      last_epoch = min_int;
+      appended = 0;
+      rotations = 0;
+      closed = false;
+    }
+  in
+  open_segment w next;
+  w
+
+let encode_record ~epoch ~weight ~blob =
+  Wire.Codec.encode ~kind:Wire.Codec.wal_record_kind (fun b ->
+      Wire.Codec.int_ b epoch;
+      Wire.Codec.int_ b weight;
+      Wire.Codec.bytes_ b blob)
+
+let rotate w =
+  fsync_oc w.oc;
+  close_out w.oc;
+  w.rotations <- w.rotations + 1;
+  open_segment w (w.seg_index + 1)
+
+let append w ~epoch ~weight ~blob =
+  if w.closed then invalid_arg "Wal.append: writer is closed";
+  if epoch <= w.last_epoch then
+    invalid_arg
+      (Printf.sprintf "Wal.append: epoch %d not greater than last %d" epoch
+         w.last_epoch);
+  if weight < 0 then invalid_arg "Wal.append: negative weight";
+  w.last_epoch <- epoch;
+  let frame = encode_record ~epoch ~weight ~blob in
+  if w.seg_size > 0 && w.seg_size + Bytes.length frame > w.segment_bytes then
+    rotate w;
+  output_bytes w.oc frame;
+  w.seg_size <- w.seg_size + Bytes.length frame;
+  w.appended <- w.appended + 1;
+  w.unsynced <- w.unsynced + 1;
+  match w.fsync with
+  | Always ->
+      fsync_oc w.oc;
+      w.unsynced <- 0
+  | Every_n n ->
+      if w.unsynced >= n then begin
+        fsync_oc w.oc;
+        w.unsynced <- 0
+      end
+  | Never -> ()
+
+let sync w =
+  if not w.closed then begin
+    fsync_oc w.oc;
+    w.unsynced <- 0
+  end
+
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    fsync_oc w.oc;
+    close_out w.oc
+  end
+
+let appended w = w.appended
+let rotations w = w.rotations
+let segment_index w = w.seg_index
+
+(* ------------------------------ reader ------------------------------ *)
+
+type record = { epoch : int; weight : int; blob : Bytes.t }
+
+type read_report = {
+  records : record list;
+  segments : int;
+  bytes_truncated : int;
+  truncated_reason : string option;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let decode_record frame =
+  Wire.Codec.decode ~kind:Wire.Codec.wal_record_kind
+    (fun r ->
+      let epoch = Wire.Codec.read_int r in
+      let weight = Wire.Codec.read_int r in
+      if weight < 0 then Wire.Codec.corrupt "negative weight %d" weight;
+      let blob = Wire.Codec.read_bytes r in
+      { epoch; weight; blob })
+    frame
+
+(* The log is the longest valid prefix — across segment boundaries too: the
+   first bad frame (torn, checksum-corrupt, wrong kind, or epoch going
+   backwards) truncates everything after it, later segments included, because
+   replay order past a hole cannot be trusted. *)
+let read ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    { records = []; segments = 0; bytes_truncated = 0; truncated_reason = None }
+  else begin
+    let segs = segments_of dir in
+    let records = ref [] in
+    let last_epoch = ref min_int in
+    let truncated = ref None in
+    let bytes_truncated = ref 0 in
+    List.iter
+      (fun (_, name) ->
+        let raw = Bytes.unsafe_of_string (read_file (Filename.concat dir name)) in
+        match !truncated with
+        | Some _ ->
+            (* Already cut: everything later is dropped wholesale. *)
+            bytes_truncated := !bytes_truncated + Bytes.length raw
+        | None ->
+            let { Wire.Segment.frames; tail } = Wire.Segment.scan raw in
+            let off = ref 0 in
+            List.iter
+              (fun frame ->
+                (match !truncated with
+                | Some _ -> ()
+                | None -> (
+                    match decode_record frame with
+                    | Ok r when r.epoch > !last_epoch ->
+                        last_epoch := r.epoch;
+                        records := r :: !records
+                    | Ok r ->
+                        truncated :=
+                          Some
+                            (Printf.sprintf
+                               "%s: epoch %d not increasing at offset %d" name
+                               r.epoch !off)
+                    | Error e ->
+                        truncated :=
+                          Some
+                            (Printf.sprintf "%s: bad record at offset %d: %s"
+                               name !off
+                               (Wire.Codec.error_to_string e))));
+                (match !truncated with
+                | Some _ -> bytes_truncated := !bytes_truncated + Bytes.length frame
+                | None -> ());
+                off := !off + Bytes.length frame)
+              frames;
+            (match tail with
+            | Wire.Segment.Clean -> ()
+            | Wire.Segment.Torn { dropped_bytes; reason; _ } ->
+                bytes_truncated := !bytes_truncated + dropped_bytes;
+                if !truncated = None then
+                  truncated := Some (Printf.sprintf "%s: %s" name reason)))
+      segs;
+    {
+      records = List.rev !records;
+      segments = List.length segs;
+      bytes_truncated = !bytes_truncated;
+      truncated_reason = !truncated;
+    }
+  end

@@ -1,0 +1,64 @@
+(** Write-ahead delta log for the ingestion pipeline.
+
+    Every delta the merger folds into the global sketch is first recorded
+    here as one {!Wire.Codec} frame (kind [wal-record]) enveloping the
+    delta's already-framed blob plus the merge epoch and stream weight.
+    Segments are append-only files rotated at a size threshold; recovery
+    ([Durable.Recovery]) replays the suffix past the newest checkpoint.
+
+    The reader implements one crash rule: {e the log is the longest valid
+    prefix}. A torn tail (crash mid-append), a checksum-corrupt record, a
+    foreign frame kind, or an epoch going backwards all end the log at that
+    byte — everything after it (later segments included) is reported as
+    truncated, never replayed. *)
+
+type fsync_policy =
+  | Always  (** fsync every append: lose nothing, pay a disk flush per merge. *)
+  | Every_n of int  (** fsync every n appends: loss window of n merges. *)
+  | Never  (** leave flushing to the OS: crash may lose the page-cache tail. *)
+
+val policy_to_string : fsync_policy -> string
+
+(** {2 Writer} — single-threaded; the pipeline's merger is its one caller. *)
+
+type writer
+
+val create :
+  ?segment_bytes:int -> ?fsync:fsync_policy -> dir:string -> unit -> writer
+(** Open a fresh segment in [dir] (created if missing), numbered after any
+    existing segments — a recovering writer never appends into a possibly
+    torn file. Defaults: 4 MiB segments, [Every_n 64].
+    @raise Invalid_argument on non-positive [segment_bytes] or [Every_n]. *)
+
+val append : writer -> epoch:int -> weight:int -> blob:Bytes.t -> unit
+(** Append one record; rotates and applies the fsync policy as configured.
+    Epochs must be strictly increasing — the reader treats a non-monotone
+    epoch as corruption.
+    @raise Invalid_argument on a stale epoch, negative weight, or a closed
+    writer. *)
+
+val sync : writer -> unit
+(** Force an fsync now, regardless of policy. *)
+
+val close : writer -> unit
+(** Flush, fsync and close the current segment. Idempotent. *)
+
+val appended : writer -> int
+val rotations : writer -> int
+val segment_index : writer -> int
+
+(** {2 Reader} *)
+
+type record = { epoch : int; weight : int; blob : Bytes.t }
+
+type read_report = {
+  records : record list;  (** the longest valid prefix, in epoch order *)
+  segments : int;  (** segment files present *)
+  bytes_truncated : int;  (** bytes past the first bad frame, all segments *)
+  truncated_reason : string option;  (** why the log was cut, if it was *)
+}
+
+val read : dir:string -> read_report
+(** Scan every segment in order and return the longest valid prefix. A
+    missing directory reads as an empty log. Never raises on corrupt data —
+    corruption is truncation, reported in the result. *)

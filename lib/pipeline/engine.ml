@@ -1,7 +1,26 @@
+(* Supervision policy: how the watchdog treats a dead shard worker. Lives
+   outside the functor so callers can build configs without naming a sketch. *)
+type supervisor = {
+  max_restarts : int; (* per shard; beyond it the shard is permanently shed *)
+  backoff_base : float; (* seconds; doubles per consecutive restart *)
+  backoff_cap : float;
+  poll_interval : float; (* watchdog scan period *)
+  seed : int64; (* backoff jitter *)
+}
+
+let default_supervisor =
+  {
+    max_restarts = 5;
+    backoff_base = 0.002;
+    backoff_cap = 0.05;
+    poll_interval = 0.0005;
+    seed = 0xD1EDL;
+  }
+
 module Make (M : Mergeable.S) = struct
   type delta = {
     shard : int;
-    seq : int; (* per-shard flush sequence number *)
+    seq : int; (* per-incarnation flush sequence number *)
     weight : int; (* stream items summarized in the blob *)
     born : float; (* encode time, for merge-lag percentiles *)
     blob : Bytes.t;
@@ -17,6 +36,10 @@ module Make (M : Mergeable.S) = struct
     max_depth : int Atomic.t;
     alive : bool Atomic.t;
     failed : exn option Atomic.t;
+    restarts : int Atomic.t;
+    shed : bool Atomic.t; (* permanently degraded: restart cap exceeded *)
+    last_error : string option Atomic.t;
+    beats : int Atomic.t; (* worker heartbeat, one per batch loop *)
   }
 
   type shard_stats = {
@@ -27,6 +50,10 @@ module Make (M : Mergeable.S) = struct
     flushes : int;
     max_depth : int;
     alive : bool;
+    restarts : int;
+    shed : bool;
+    last_error : string option;
+    beats : int;
   }
 
   type stats = {
@@ -42,6 +69,10 @@ module Make (M : Mergeable.S) = struct
     shards : shard array;
     mq : delta Mpsc.t;
     batch : int;
+    on_tick : (shard:int -> unit) option;
+    on_merge : (epoch:int -> weight:int -> blob:Bytes.t -> unit) option;
+    checkpoint_every : int; (* 0 = no checkpoints *)
+    on_checkpoint : (epoch:int -> published:int -> blob:Bytes.t -> unit) option;
     gm : Mutex.t; (* guards global/epoch/published/lags *)
     mutable global : M.t;
     mutable epoch : int;
@@ -53,6 +84,9 @@ module Make (M : Mergeable.S) = struct
     rec_ : (int, int, int) Conc.Recorder.t;
     mutable workers : unit Domain.t array;
     mutable merger : unit Domain.t option;
+    mutable watchdog : unit Domain.t option;
+    stopping : bool Atomic.t; (* tells the watchdog a drain has begun *)
+    dm : Mutex.t; (* serializes drain: concurrent callers both return *)
     mutable drained : bool;
   }
 
@@ -65,7 +99,7 @@ module Make (M : Mergeable.S) = struct
     let h = (h lxor (h lsr 30)) * 0x3F58476D1CE4E5B9 in
     (h lxor (h lsr 27)) land max_int mod shard_count t
 
-  let worker t i ~on_tick =
+  let worker t i =
     let s = t.shards.(i) in
     let local = ref (M.create ()) in
     let count = ref 0 in
@@ -86,7 +120,8 @@ module Make (M : Mergeable.S) = struct
       end
     in
     let rec loop () =
-      (match on_tick with Some f -> f ~shard:i | None -> ());
+      ignore (Atomic.fetch_and_add s.beats 1);
+      (match t.on_tick with Some f -> f ~shard:i | None -> ());
       match Mpsc.pop_batch s.q ~max:t.batch with
       | [] -> flush () (* queue closed and drained: final flush, then exit *)
       | items ->
@@ -97,22 +132,32 @@ module Make (M : Mergeable.S) = struct
           if !count >= t.batch then flush ();
           loop ()
     in
+    (* On any death: close the queue FIRST, then clear [alive]. The watchdog
+       triggers on [alive = false], so this order guarantees its reopen
+       happens after our close — never the other way around, which would
+       leave a freshly restarted worker blocked on a closed queue. Closing
+       also turns ingest into fail-fast drops while the shard is down. *)
     try loop () with
-    | Conc.Chaos.Killed _ ->
+    | Conc.Chaos.Killed _ as e ->
         (* Crash-stop: the delta under accumulation is lost (consumed >
-           flushed records how much), and closing the queue turns future
-           ingests into drops instead of a hang on a dead consumer. *)
-        Atomic.set s.alive false;
-        Mpsc.close s.q
+           flushed records how much). *)
+        Atomic.set s.last_error (Some (Printexc.to_string e));
+        Mpsc.close s.q;
+        Atomic.set s.alive false
     | e ->
-        Atomic.set s.alive false;
         Atomic.set s.failed (Some e);
-        Mpsc.close s.q
+        Atomic.set s.last_error (Some (Printexc.to_string e));
+        Mpsc.close s.q;
+        Atomic.set s.alive false
 
   (* The merger is the pipeline's only writer of the global sketch: decode
      the blob, fold it in under the mutex, stamp a new epoch. The recorded
      update op brackets exactly the merge critical section, so the history
-     seen by the envelope checker is the pipeline's published state. *)
+     seen by the envelope checker is the pipeline's published state. The
+     durability hooks run after the critical section, still in the merger's
+     domain: epochs reach the WAL strictly in order without holding the
+     mutex across disk writes (write-behind — a crash between merge and
+     append loses that record, which recovery's envelope absorbs). *)
   let merger t =
     let dom = shard_count t in
     let rec loop () =
@@ -122,6 +167,7 @@ module Make (M : Mergeable.S) = struct
           (match M.decode d.blob with
           | Error _ -> ignore (Atomic.fetch_and_add t.decode_failures 1)
           | Ok delta ->
+              let stamped = ref 0 in
               Conc.Recorder.record_update t.rec_ ~domain:dom ~obj:0 d.weight
                 (fun () ->
                   Mutex.lock t.gm;
@@ -129,15 +175,95 @@ module Make (M : Mergeable.S) = struct
                   t.epoch <- t.epoch + 1;
                   t.published <- t.published + d.weight;
                   t.lags <- (Unix.gettimeofday () -. d.born) :: t.lags;
+                  stamped := t.epoch;
                   Mutex.unlock t.gm);
-              ignore (Atomic.fetch_and_add t.merges 1));
+              ignore (Atomic.fetch_and_add t.merges 1);
+              (match t.on_merge with
+              | Some f -> f ~epoch:!stamped ~weight:d.weight ~blob:d.blob
+              | None -> ());
+              if
+                t.checkpoint_every > 0
+                && !stamped mod t.checkpoint_every = 0
+                && t.on_checkpoint <> None
+              then begin
+                Mutex.lock t.gm;
+                let blob = M.encode t.global
+                and epoch = t.epoch
+                and published = t.published in
+                Mutex.unlock t.gm;
+                match t.on_checkpoint with
+                | Some f -> f ~epoch ~published ~blob
+                | None -> ()
+              end);
           loop ()
     in
     try loop () with e -> Atomic.set t.merger_failed (Some e)
 
-  let create ?(queue_capacity = 1024) ?(batch = 512) ?on_tick ~shards () =
+  (* The watchdog: detect dead workers (their heartbeat loop has exited and
+     cleared [alive]) and restart them with capped exponential backoff plus
+     jitter. A shard that keeps dying runs out of restart budget and is
+     permanently shed — its queue stays closed, ingest fail-fast drops — with
+     the reason kept in [last_error]. *)
+  let watchdog t cfg =
+    let g = Rng.Splitmix.create cfg.seed in
+    let n = shard_count t in
+    let restart_at = Array.make n None in
+    while not (Atomic.get t.stopping) do
+      Unix.sleepf cfg.poll_interval;
+      for i = 0 to n - 1 do
+        let s = t.shards.(i) in
+        if
+          (not (Atomic.get s.alive))
+          && (not (Atomic.get s.shed))
+          && not (Atomic.get t.stopping)
+        then begin
+          match restart_at.(i) with
+          | None ->
+              let r = Atomic.get s.restarts in
+              if r >= cfg.max_restarts then begin
+                Atomic.set s.last_error
+                  (Some
+                     (Printf.sprintf
+                        "shed: restart cap %d exceeded (last error: %s)"
+                        cfg.max_restarts
+                        (Option.value ~default:"unknown"
+                           (Atomic.get s.last_error))));
+                Atomic.set s.shed true
+              end
+              else begin
+                let backoff =
+                  Float.min cfg.backoff_cap
+                    (cfg.backoff_base *. (2.0 ** float_of_int r))
+                in
+                (* jitter in [0.5, 1.5) de-synchronizes mass restarts *)
+                let jitter = 0.5 +. Rng.Splitmix.next_float g in
+                restart_at.(i) <-
+                  Some (Unix.gettimeofday () +. (backoff *. jitter))
+              end
+          | Some at when Unix.gettimeofday () >= at ->
+              restart_at.(i) <- None;
+              (* The old incarnation has exited; reap it before respawning. *)
+              Domain.join t.workers.(i);
+              ignore (Atomic.fetch_and_add s.restarts 1);
+              Mpsc.reopen s.q;
+              Atomic.set s.alive true;
+              t.workers.(i) <- Domain.spawn (fun () -> worker t i)
+          | Some _ -> ()
+        end
+      done
+    done
+
+  let create ?(queue_capacity = 1024) ?(batch = 512) ?on_tick ?on_merge
+      ?(checkpoint_every = 0) ?on_checkpoint ?supervisor ~shards () =
     if shards <= 0 then invalid_arg "Engine.create: shards must be positive";
     if batch <= 0 then invalid_arg "Engine.create: batch must be positive";
+    if checkpoint_every < 0 then
+      invalid_arg "Engine.create: checkpoint_every must be non-negative";
+    (match supervisor with
+    | Some c ->
+        if c.max_restarts < 0 || c.backoff_base < 0.0 || c.poll_interval <= 0.0
+        then invalid_arg "Engine.create: malformed supervisor config"
+    | None -> ());
     let mk_shard _ =
       {
         q = Mpsc.create ~capacity:queue_capacity;
@@ -149,6 +275,10 @@ module Make (M : Mergeable.S) = struct
         max_depth = Atomic.make 0;
         alive = Atomic.make true;
         failed = Atomic.make None;
+        restarts = Atomic.make 0;
+        shed = Atomic.make false;
+        last_error = Atomic.make None;
+        beats = Atomic.make 0;
       }
     in
     let t =
@@ -156,6 +286,10 @@ module Make (M : Mergeable.S) = struct
         shards = Array.init shards mk_shard;
         mq = Mpsc.create ~capacity:(max 4 (2 * shards));
         batch;
+        on_tick;
+        on_merge;
+        checkpoint_every;
+        on_checkpoint;
         gm = Mutex.create ();
         global = M.create ();
         epoch = 0;
@@ -167,11 +301,17 @@ module Make (M : Mergeable.S) = struct
         rec_ = Conc.Recorder.create ~domains:(shards + 2);
         workers = [||];
         merger = None;
+        watchdog = None;
+        stopping = Atomic.make false;
+        dm = Mutex.create ();
         drained = false;
       }
     in
-    t.workers <- Array.init shards (fun i -> Domain.spawn (fun () -> worker t i ~on_tick));
+    t.workers <- Array.init shards (fun i -> Domain.spawn (fun () -> worker t i));
     t.merger <- Some (Domain.spawn (fun () -> merger t));
+    (match supervisor with
+    | Some cfg -> t.watchdog <- Some (Domain.spawn (fun () -> watchdog t cfg))
+    | None -> ());
     t
 
   let note_depth s =
@@ -202,8 +342,15 @@ module Make (M : Mergeable.S) = struct
         false
 
   let drain t =
+    (* The mutex makes drain safe for any number of concurrent callers: one
+       performs the shutdown, the rest block until it completes, and every
+       caller returns with the pipeline fully drained. The watchdog is
+       stopped first so no restart races the queue-closing sweep. *)
+    Mutex.lock t.dm;
     if not t.drained then begin
-      t.drained <- true;
+      Atomic.set t.stopping true;
+      (match t.watchdog with Some d -> Domain.join d | None -> ());
+      t.watchdog <- None;
       Array.iter (fun (s : shard) -> Mpsc.close s.q) t.shards;
       Array.iter Domain.join t.workers;
       (* Whatever a dead worker left queued was never summarized: drops. *)
@@ -214,8 +361,10 @@ module Make (M : Mergeable.S) = struct
         t.shards;
       Mpsc.close t.mq;
       (match t.merger with Some d -> Domain.join d | None -> ());
-      t.merger <- None
-    end
+      t.merger <- None;
+      t.drained <- true
+    end;
+    Mutex.unlock t.dm
 
   let query t f =
     Mutex.lock t.gm;
@@ -254,6 +403,10 @@ module Make (M : Mergeable.S) = struct
               flushes = Atomic.get s.flushes;
               max_depth = Atomic.get s.max_depth;
               alive = Atomic.get s.alive;
+              restarts = Atomic.get s.restarts;
+              shed = Atomic.get s.shed;
+              last_error = Atomic.get s.last_error;
+              beats = Atomic.get s.beats;
             })
           t.shards;
       merges = Atomic.get t.merges;

@@ -37,7 +37,32 @@
     an [on_tick] injection hook) closes its queue, so ingest sheds to drops
     instead of hanging, and {!Make.drain} still completes — joining every
     domain and accounting lost items — with the surviving shards' data
-    intact. *)
+    intact.
+
+    Two optional layers turn crash-stop loss into resilience
+    [docs/RECOVERY.md]:
+
+    - {e durability hooks} ([on_merge], [checkpoint_every]/[on_checkpoint])
+      let [Durable] write-ahead-log every published delta and snapshot the
+      global sketch, so a crashed pipeline restarts inside the IVL envelope
+      of its pre-crash history;
+    - a {e supervisor} (a watchdog domain) detects dead shard workers and
+      restarts them with capped exponential backoff and jitter, reopening
+      their queues so the backlog survives; a shard that exhausts its
+      restart budget degrades to permanent shedding instead of
+      crash-looping. *)
+
+type supervisor = {
+  max_restarts : int;
+      (** per-shard restart budget; exceeding it sheds the shard for good *)
+  backoff_base : float;  (** seconds; doubled per consecutive restart *)
+  backoff_cap : float;  (** backoff ceiling, seconds *)
+  poll_interval : float;  (** watchdog scan period, seconds *)
+  seed : int64;  (** jitter randomness (multiplier in [0.5, 1.5)) *)
+}
+
+val default_supervisor : supervisor
+(** 5 restarts, 2 ms base, 50 ms cap, 0.5 ms polling. *)
 
 module Make (M : Mergeable.S) : sig
   type t
@@ -50,6 +75,10 @@ module Make (M : Mergeable.S) : sig
     flushes : int;  (** blobs shipped *)
     max_depth : int;  (** high-water queue depth observed at ingest *)
     alive : bool;
+    restarts : int;  (** supervisor restarts of this shard's worker *)
+    shed : bool;  (** permanently degraded: restart cap exceeded *)
+    last_error : string option;  (** most recent death (or shed) reason *)
+    beats : int;  (** worker heartbeats, one per batch loop, all incarnations *)
   }
 
   type stats = {
@@ -65,15 +94,30 @@ module Make (M : Mergeable.S) : sig
     ?queue_capacity:int ->
     ?batch:int ->
     ?on_tick:(shard:int -> unit) ->
+    ?on_merge:(epoch:int -> weight:int -> blob:Bytes.t -> unit) ->
+    ?checkpoint_every:int ->
+    ?on_checkpoint:(epoch:int -> published:int -> blob:Bytes.t -> unit) ->
+    ?supervisor:supervisor ->
     shards:int ->
     unit ->
     t
-  (** Spawn [shards] worker domains plus one merger domain. [queue_capacity]
-      (default 1024) bounds each shard queue; [batch] (default 512) is the
-      merge cadence in items. [on_tick] runs in the worker's domain once per
-      batch loop — the chaos hook: raising {!Conc.Chaos.Killed} from it
-      crash-stops that shard.
-      @raise Invalid_argument if [shards <= 0] or [batch <= 0]. *)
+  (** Spawn [shards] worker domains plus one merger domain (plus a watchdog
+      domain when [supervisor] is given). [queue_capacity] (default 1024)
+      bounds each shard queue; [batch] (default 512) is the merge cadence in
+      items. [on_tick] runs in the worker's domain once per batch loop — the
+      chaos hook: raising {!Conc.Chaos.Killed} from it crash-stops that
+      shard (under a supervisor, the restarted incarnation runs the same
+      hook, so a hook that kills unconditionally produces a crash loop that
+      ends in shedding — by design).
+
+      [on_merge ~epoch ~weight ~blob] runs in the merger's domain after each
+      merge, in strict epoch order, outside the query mutex — the WAL append
+      point. When [checkpoint_every > 0], every [checkpoint_every]-th epoch
+      also calls [on_checkpoint] with a consistent [(epoch, published,
+      encoded sketch)] snapshot — the checkpoint write point. Exceptions
+      from either hook kill the merger and surface in {!failures}.
+      @raise Invalid_argument if [shards <= 0], [batch <= 0],
+      [checkpoint_every < 0], or the supervisor config is malformed. *)
 
   val ingest : t -> int -> bool
   (** Route an element to its shard (by hash) and enqueue it, blocking while
@@ -85,11 +129,12 @@ module Make (M : Mergeable.S) : sig
   (** Non-blocking variant: a full queue is an immediate drop (counted). *)
 
   val drain : t -> unit
-  (** Graceful shutdown: close shard queues, let workers drain and flush
-      their final deltas, join them, then close the merger queue and join
-      the merger. Idempotent; completes even when workers were killed
-      mid-run (their leftovers are counted as drops). After [drain], queries
-      remain valid and ingest returns [false]. *)
+  (** Graceful shutdown: stop the watchdog, close shard queues, let workers
+      drain and flush their final deltas, join them, then close the merger
+      queue and join the merger. Idempotent {e and} safe under concurrent
+      callers: one domain performs the shutdown, the rest block until it
+      completes, drop accounting happens exactly once. After [drain],
+      queries remain valid and ingest returns [false]. *)
 
   val query : t -> (M.t -> 'a) -> 'a * int
   (** Snapshot-consistent read of the global sketch: [f] runs under the
@@ -108,7 +153,7 @@ module Make (M : Mergeable.S) : sig
       after {!drain} (exact). *)
 
   val dead : t -> int list
-  (** Shards whose worker has died, ascending. *)
+  (** Shards whose worker is currently dead (mid-restart or shed), ascending. *)
 
   val failures : t -> (string * exn) list
   (** Unexpected worker/merger exceptions ({!Conc.Chaos.Killed} is expected

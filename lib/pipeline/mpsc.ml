@@ -87,6 +87,15 @@ let close t =
   Condition.broadcast t.not_full;
   Mutex.unlock t.m
 
+let reopen t =
+  Mutex.lock t.m;
+  t.closed <- false;
+  (* Whatever survived the close is still queued, in order: a restarted
+     consumer picks up exactly where the dead one left off. *)
+  if t.len > 0 then Condition.broadcast t.not_empty;
+  if t.len < t.capacity then Condition.broadcast t.not_full;
+  Mutex.unlock t.m
+
 let drain_remaining t =
   Mutex.lock t.m;
   let n = t.len in

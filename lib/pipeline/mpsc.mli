@@ -38,6 +38,13 @@ val pop_batch : 'a t -> max:int -> 'a list
 val close : 'a t -> unit
 (** Idempotent. Wakes every blocked producer and the consumer. *)
 
+val reopen : 'a t -> unit
+(** Undo {!close}: producers may push again and a (new) consumer blocks on
+    empty instead of seeing the end mark. Elements that were queued at close
+    time are still there, in order — the supervisor uses this to hand a
+    crashed shard's backlog to its restarted worker instead of shedding it.
+    Idempotent; a no-op on an open queue. *)
+
 val drain_remaining : 'a t -> int
 (** Discard whatever is still queued and return the count — used by the
     pipeline's drain to account for elements a dead worker never consumed. *)

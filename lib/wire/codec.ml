@@ -40,6 +40,8 @@ let kmv_kind = 3
 let quantiles_kind = 4
 let space_saving_kind = 5
 let counter_kind = 6
+let wal_record_kind = 7
+let checkpoint_kind = 8
 
 let kind_name = function
   | 1 -> "countmin"
@@ -48,6 +50,8 @@ let kind_name = function
   | 4 -> "quantiles"
   | 5 -> "space-saving"
   | 6 -> "counter"
+  | 7 -> "wal-record"
+  | 8 -> "checkpoint"
   | k -> Printf.sprintf "unknown(%d)" k
 
 let corrupt fmt = Printf.ksprintf (fun msg -> raise (Decode_error (Corrupt msg))) fmt
@@ -76,6 +80,10 @@ let i64 b v = Buffer.add_int64_be b v
 let int_ b v = i64 b (Int64.of_int v)
 
 let float_ b v = i64 b (Int64.bits_of_float v)
+
+let bytes_ b v =
+  u32 b (Bytes.length v);
+  Buffer.add_bytes b v
 
 let seal ~kind payload =
   let plen = Buffer.length payload in
@@ -127,6 +135,13 @@ let read_int r =
   n
 
 let read_float r = Int64.float_of_bits (read_i64 r)
+
+let read_bytes r =
+  let len = read_u32 r in
+  need r len;
+  let v = Bytes.sub r.buf r.pos len in
+  r.pos <- r.pos + len;
+  v
 
 let peek bytes =
   let got = Bytes.length bytes in

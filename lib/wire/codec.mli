@@ -51,7 +51,19 @@ val quantiles_kind : int
 val space_saving_kind : int
 val counter_kind : int
 
+val wal_record_kind : int
+(** A write-ahead-log record enveloping a sketch delta ({!Segment},
+    [Durable.Wal]). *)
+
+val checkpoint_kind : int
+(** A full-sketch checkpoint snapshot ([Durable.Checkpoint]). *)
+
 val kind_name : int -> string
+
+val fnv1a : Bytes.t -> off:int -> len:int -> int
+(** The framing checksum (FNV-1a-32) over [len] bytes at [off] — exposed so
+    stream scanners ({!Segment}) can validate frames in place without
+    copying. *)
 
 (** {2 Payload writers} *)
 
@@ -62,6 +74,10 @@ val u32 : writer -> int -> unit
 val i64 : writer -> int64 -> unit
 val int_ : writer -> int -> unit
 val float_ : writer -> float -> unit
+
+val bytes_ : writer -> Bytes.t -> unit
+(** Length-prefixed byte string — used by envelope payloads (WAL records,
+    checkpoints) that nest an already-framed blob. *)
 
 val encode : kind:int -> (writer -> unit) -> Bytes.t
 (** [encode ~kind build] runs [build] on a fresh payload buffer and seals it
@@ -76,6 +92,7 @@ val read_u32 : reader -> int
 val read_i64 : reader -> int64
 val read_int : reader -> int
 val read_float : reader -> float
+val read_bytes : reader -> Bytes.t
 
 val corrupt : ('a, unit, string, 'b) format4 -> 'a
 (** [corrupt fmt …] raises {!Decode_error} with a [Corrupt] payload — for

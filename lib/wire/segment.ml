@@ -1,0 +1,59 @@
+(* A segment is a flat concatenation of Codec frames. Scanning walks the
+   buffer frame by frame, fully validating each frame's structure (magic,
+   version, declared length, payload checksum) before yielding it; the first
+   byte that fails any of those checks ends the scan. That single rule
+   subsumes every crash shape an append-only log can exhibit: a torn tail
+   (the process died mid-append), a checksum-corrupt record (bit rot), or
+   garbage after a partially reused block — in all cases the valid prefix is
+   exactly the frames before the bad byte, and the caller truncates there. *)
+
+type tail =
+  | Clean
+  | Torn of { valid_prefix : int; dropped_bytes : int; reason : string }
+
+type scan = { frames : Bytes.t list; tail : tail }
+
+let magic = "IVLW"
+
+(* Validate the frame starting at [off]; [Ok next_off] or [Error reason]. *)
+let check_frame buf ~off =
+  let len = Bytes.length buf in
+  if off + Codec.header_size > len then
+    Error
+      (Printf.sprintf "torn header: %d bytes past offset %d, need %d"
+         (len - off) off Codec.header_size)
+  else if Bytes.sub_string buf off 4 <> magic then Error "bad magic"
+  else
+    let v = Bytes.get_uint8 buf (off + 4) in
+    if v <> Codec.version then Error (Printf.sprintf "unsupported version %d" v)
+    else
+      let plen = Int32.to_int (Bytes.get_int32_be buf (off + 6)) land 0xFFFFFFFF in
+      let total = Codec.header_size + plen in
+      if off + total > len then
+        Error
+          (Printf.sprintf "torn payload: frame wants %d bytes, %d remain" total
+             (len - off))
+      else
+        let stored =
+          Int32.to_int (Bytes.get_int32_be buf (off + 10)) land 0xFFFFFFFF
+        in
+        if Codec.fnv1a buf ~off:(off + Codec.header_size) ~len:plen <> stored
+        then Error "payload checksum mismatch"
+        else Ok (off + total)
+
+let scan buf =
+  let len = Bytes.length buf in
+  let rec go acc off =
+    if off = len then { frames = List.rev acc; tail = Clean }
+    else
+      match check_frame buf ~off with
+      | Ok next -> go (Bytes.sub buf off (next - off) :: acc) next
+      | Error reason ->
+          {
+            frames = List.rev acc;
+            tail = Torn { valid_prefix = off; dropped_bytes = len - off; reason };
+          }
+  in
+  go [] 0
+
+let frame_count s = List.length s.frames

@@ -1,0 +1,28 @@
+(** Scanning a flat concatenation of {!Codec} frames — the on-disk shape of
+    a write-ahead-log segment file.
+
+    An append-only log written as back-to-back frames needs no index: each
+    frame's header declares its own length, so a scan can walk the file and
+    re-validate every frame (magic, version, length, FNV-1a checksum) as it
+    goes. Crash tolerance falls out of one rule: {e the log is the longest
+    valid prefix}. Whatever a crash left after that prefix — a torn
+    half-written frame, a checksum-corrupt record, stale garbage — is
+    reported as a {!tail} for the caller ([Durable.Wal]) to truncate away.
+
+    This module is pure (bytes in, frames out); file handling lives with the
+    durability layer. *)
+
+type tail =
+  | Clean  (** The buffer ends exactly on a frame boundary. *)
+  | Torn of { valid_prefix : int; dropped_bytes : int; reason : string }
+      (** Bytes past [valid_prefix] are not a valid frame; a recovering
+          writer should truncate the file to [valid_prefix]. *)
+
+type scan = { frames : Bytes.t list; tail : tail }
+
+val scan : Bytes.t -> scan
+(** Split a segment image into its valid frame prefix. Each returned frame
+    is a complete, checksum-verified {!Codec} blob (header included), ready
+    for [Codec.decode]; kind-level validation is the caller's business. *)
+
+val frame_count : scan -> int

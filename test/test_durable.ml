@@ -1,0 +1,465 @@
+(* Durability tests: WAL append/scan/rotation, the longest-valid-prefix
+   crash rule (swept over EVERY byte offset of a final frame), atomic
+   checkpoints with corrupt-newest fallback, and the end-to-end recovery
+   envelope — a recovered pipeline's published weight must land in
+   [checkpoint total, pre-crash published total] for randomized crash
+   points, which is the IVL framing of crash recovery. *)
+
+module M = Pipeline.Targets.Counter
+module R = Durable.Recovery.Make (M)
+module P = Pipeline.Engine.Make (M)
+
+(* ------------------------- scratch dirs & file surgery ------------------- *)
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ivl-test-durable-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let rm_rf d =
+  if Sys.file_exists d then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    Unix.rmdir d
+  end
+
+let with_dir f =
+  let d = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf d) (fun () -> f d)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> Bytes.of_string (really_input_string ic (in_channel_length ic)))
+
+let write_file path b =
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let truncate_file path n = write_file path (Bytes.sub (read_file path) 0 n)
+
+let flip_byte path off =
+  let b = read_file path in
+  Bytes.set_uint8 b off (Bytes.get_uint8 b off lxor 0xFF);
+  write_file path b
+
+let copy_dir src dst =
+  Array.iter
+    (fun f ->
+      write_file (Filename.concat dst f) (read_file (Filename.concat src f)))
+    (Sys.readdir src)
+
+let sole_segment dir =
+  let segs =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".seg")
+  in
+  match segs with
+  | [ s ] -> Filename.concat dir s
+  | l -> Alcotest.failf "expected one segment, found %d" (List.length l)
+
+(* A counter delta carrying [w] stream items, as the engine would ship it. *)
+let delta_blob w =
+  let d = M.create () in
+  for _ = 1 to w do
+    M.update d 1
+  done;
+  M.encode d
+
+(* The exact frame Wal.append writes — rebuilt here so the torn-tail sweep
+   knows the final frame's byte length without groping in the file. *)
+let wal_frame ~epoch ~weight ~blob =
+  Wire.Codec.encode ~kind:Wire.Codec.wal_record_kind (fun b ->
+      Wire.Codec.int_ b epoch;
+      Wire.Codec.int_ b weight;
+      Wire.Codec.bytes_ b blob)
+
+let weight_of_blob blob =
+  match M.decode blob with
+  | Ok c -> Sketches.Batched_counter.read c
+  | Error e -> Alcotest.failf "blob decode: %s" (Wire.Codec.error_to_string e)
+
+(* ------------------------- WAL ------------------------- *)
+
+let test_wal_roundtrip () =
+  with_dir @@ fun dir ->
+  let w = Durable.Wal.create ~dir ~fsync:Durable.Wal.Always () in
+  for e = 1 to 50 do
+    Durable.Wal.append w ~epoch:e ~weight:e ~blob:(delta_blob e)
+  done;
+  Alcotest.(check int) "appended" 50 (Durable.Wal.appended w);
+  Alcotest.(check int) "no rotation" 0 (Durable.Wal.rotations w);
+  Durable.Wal.close w;
+  (* close is idempotent; append after close is a caller bug *)
+  Durable.Wal.close w;
+  Alcotest.check_raises "append after close"
+    (Invalid_argument "Wal.append: writer is closed") (fun () ->
+      Durable.Wal.append w ~epoch:99 ~weight:0 ~blob:Bytes.empty);
+  let r = Durable.Wal.read ~dir in
+  Alcotest.(check int) "records" 50 (List.length r.Durable.Wal.records);
+  Alcotest.(check int) "one segment" 1 r.Durable.Wal.segments;
+  Alcotest.(check int) "nothing truncated" 0 r.Durable.Wal.bytes_truncated;
+  Alcotest.(check bool) "clean" true (r.Durable.Wal.truncated_reason = None);
+  List.iteri
+    (fun i (rec_ : Durable.Wal.record) ->
+      let e = i + 1 in
+      Alcotest.(check int) (Printf.sprintf "epoch %d" e) e rec_.epoch;
+      Alcotest.(check int) (Printf.sprintf "weight %d" e) e rec_.weight;
+      Alcotest.(check int)
+        (Printf.sprintf "blob %d decodes" e)
+        e
+        (weight_of_blob rec_.blob))
+    r.Durable.Wal.records
+
+let test_wal_epoch_monotonicity_enforced () =
+  with_dir @@ fun dir ->
+  let w = Durable.Wal.create ~dir () in
+  Durable.Wal.append w ~epoch:5 ~weight:1 ~blob:(delta_blob 1);
+  Alcotest.check_raises "stale epoch"
+    (Invalid_argument "Wal.append: epoch 5 not greater than last 5") (fun () ->
+      Durable.Wal.append w ~epoch:5 ~weight:1 ~blob:(delta_blob 1));
+  Durable.Wal.close w
+
+let test_wal_rotation () =
+  with_dir @@ fun dir ->
+  let w = Durable.Wal.create ~segment_bytes:256 ~dir () in
+  for e = 1 to 40 do
+    Durable.Wal.append w ~epoch:e ~weight:1 ~blob:(delta_blob 1)
+  done;
+  Durable.Wal.close w;
+  Alcotest.(check bool) "rotated" true (Durable.Wal.rotations w > 0);
+  let r = Durable.Wal.read ~dir in
+  Alcotest.(check int) "segments on disk" (Durable.Wal.rotations w + 1)
+    r.Durable.Wal.segments;
+  Alcotest.(check int) "all records across segments" 40
+    (List.length r.Durable.Wal.records);
+  Alcotest.(check bool) "clean" true (r.Durable.Wal.truncated_reason = None)
+
+let test_wal_reopen_starts_fresh_segment () =
+  (* A recovering writer never appends into a possibly-torn file. *)
+  with_dir @@ fun dir ->
+  let w1 = Durable.Wal.create ~dir () in
+  for e = 1 to 5 do
+    Durable.Wal.append w1 ~epoch:e ~weight:1 ~blob:(delta_blob 1)
+  done;
+  Durable.Wal.close w1;
+  let w2 = Durable.Wal.create ~dir () in
+  Alcotest.(check bool) "new segment index" true
+    (Durable.Wal.segment_index w2 > Durable.Wal.segment_index w1);
+  for e = 6 to 9 do
+    Durable.Wal.append w2 ~epoch:e ~weight:1 ~blob:(delta_blob 1)
+  done;
+  Durable.Wal.close w2;
+  let r = Durable.Wal.read ~dir in
+  Alcotest.(check int) "two segments" 2 r.Durable.Wal.segments;
+  Alcotest.(check (list int)) "continuous epochs"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.map (fun (x : Durable.Wal.record) -> x.epoch) r.Durable.Wal.records)
+
+let test_wal_missing_dir_is_empty () =
+  let r = Durable.Wal.read ~dir:"/tmp/ivl-definitely-not-there" in
+  Alcotest.(check int) "no records" 0 (List.length r.Durable.Wal.records);
+  Alcotest.(check int) "no segments" 0 r.Durable.Wal.segments
+
+(* The acceptance sweep: truncate the log at EVERY byte offset of the final
+   frame. Each cut must yield exactly the first n-1 records (the longest
+   valid prefix), report the torn tail, and keep recovery inside the
+   envelope. *)
+let test_wal_torn_tail_every_offset () =
+  let n = 6 in
+  let build dir =
+    let w = Durable.Wal.create ~dir ~fsync:Durable.Wal.Never () in
+    for e = 1 to n do
+      Durable.Wal.append w ~epoch:e ~weight:e ~blob:(delta_blob e)
+    done;
+    Durable.Wal.close w;
+    (* Checkpoint at epoch 3 so the sweep also exercises replay-from-ckpt:
+       published after epochs 1..3 is 6. *)
+    Durable.Checkpoint.write ~dir ~epoch:3 ~published:6 ~blob:(delta_blob 6) ()
+  in
+  with_dir @@ fun proto ->
+  build proto;
+  let last_frame =
+    wal_frame ~epoch:n ~weight:n ~blob:(delta_blob n)
+  in
+  let last_len = Bytes.length last_frame in
+  let full_len = Bytes.length (read_file (sole_segment proto)) in
+  let prefix = full_len - last_len in
+  let total = n * (n + 1) / 2 in
+  (* Every byte offset of the final frame, 0 (frame entirely gone) through
+     last_len - 1 (one byte short). *)
+  for cut = 0 to last_len - 1 do
+    with_dir @@ fun dir ->
+    copy_dir proto dir;
+    truncate_file (sole_segment dir) (prefix + cut);
+    let r = Durable.Wal.read ~dir in
+    if List.length r.Durable.Wal.records <> n - 1 then
+      Alcotest.failf "cut %d: %d records, want %d" cut
+        (List.length r.Durable.Wal.records)
+        (n - 1);
+    if cut > 0 then begin
+      if r.Durable.Wal.truncated_reason = None then
+        Alcotest.failf "cut %d: torn tail not reported" cut;
+      if r.Durable.Wal.bytes_truncated <> cut then
+        Alcotest.failf "cut %d: %d bytes truncated reported" cut
+          r.Durable.Wal.bytes_truncated
+    end;
+    match R.recover ~dir with
+    | Error e -> Alcotest.failf "cut %d: recover failed: %s" cut e
+    | Ok (g, rep) ->
+        (* Exact: checkpoint(6) + replay of epochs 4..5 = 15. *)
+        Alcotest.(check int)
+          (Printf.sprintf "cut %d recovered weight" cut)
+          15 rep.R.recovered_published;
+        Alcotest.(check int)
+          (Printf.sprintf "cut %d sketch agrees" cut)
+          rep.R.recovered_published
+          (Sketches.Batched_counter.read g);
+        (* Envelope: checkpoint <= recovered <= pre-crash published. *)
+        if rep.R.recovered_published < rep.R.checkpoint_published then
+          Alcotest.failf "cut %d: recovered below checkpoint" cut;
+        if rep.R.recovered_published > total then
+          Alcotest.failf "cut %d: recovered above pre-crash published" cut
+  done;
+  (* And the uncut log recovers everything. *)
+  match R.recover ~dir:proto with
+  | Error e -> Alcotest.failf "full recover failed: %s" e
+  | Ok (_, rep) ->
+      Alcotest.(check int) "full recovery" total rep.R.recovered_published;
+      Alcotest.(check int) "replayed past checkpoint" 3 rep.R.replayed;
+      Alcotest.(check int) "skipped up to checkpoint" 3 rep.R.skipped
+
+let test_wal_mid_log_corruption_truncates_rest () =
+  (* Bit rot in segment 0 must cut the log there — including dropping the
+     entirety of segment 1, because replay order past a hole is untrusted. *)
+  with_dir @@ fun dir ->
+  let w = Durable.Wal.create ~segment_bytes:200 ~dir () in
+  for e = 1 to 30 do
+    Durable.Wal.append w ~epoch:e ~weight:1 ~blob:(delta_blob 1)
+  done;
+  Durable.Wal.close w;
+  assert (Durable.Wal.rotations w > 0);
+  let seg0 =
+    Filename.concat dir
+      (Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".seg")
+      |> List.sort compare |> List.hd)
+  in
+  (* Corrupt a payload byte of the second frame in segment 0. *)
+  let frame_len =
+    Bytes.length (wal_frame ~epoch:1 ~weight:1 ~blob:(delta_blob 1))
+  in
+  flip_byte seg0 (frame_len + Wire.Codec.header_size + 2);
+  let r = Durable.Wal.read ~dir in
+  Alcotest.(check int) "only the first record survives" 1
+    (List.length r.Durable.Wal.records);
+  Alcotest.(check bool) "corruption reported" true
+    (r.Durable.Wal.truncated_reason <> None);
+  Alcotest.(check bool) "later segments counted as truncated" true
+    (r.Durable.Wal.bytes_truncated > frame_len)
+
+let test_wal_non_monotone_epoch_truncates () =
+  with_dir @@ fun dir ->
+  let w1 = Durable.Wal.create ~dir () in
+  List.iter
+    (fun e -> Durable.Wal.append w1 ~epoch:e ~weight:1 ~blob:(delta_blob 1))
+    [ 1; 2; 3 ];
+  Durable.Wal.close w1;
+  (* A second writer starts from scratch and replays an old epoch — e.g. a
+     restart that recovered from a stale checkpoint. The reader must refuse
+     the regression. *)
+  let w2 = Durable.Wal.create ~dir () in
+  Durable.Wal.append w2 ~epoch:2 ~weight:1 ~blob:(delta_blob 1);
+  Durable.Wal.close w2;
+  let r = Durable.Wal.read ~dir in
+  Alcotest.(check (list int)) "prefix before the regression" [ 1; 2; 3 ]
+    (List.map (fun (x : Durable.Wal.record) -> x.epoch) r.Durable.Wal.records);
+  Alcotest.(check bool) "regression reported" true
+    (r.Durable.Wal.truncated_reason <> None)
+
+(* ------------------------- checkpoints ------------------------- *)
+
+let test_checkpoint_roundtrip_and_prune () =
+  with_dir @@ fun dir ->
+  List.iter
+    (fun e ->
+      Durable.Checkpoint.write ~keep:2 ~dir ~epoch:e ~published:(10 * e)
+        ~blob:(delta_blob e) ())
+    [ 1; 2; 3 ];
+  let snaps, corrupt = Durable.Checkpoint.candidates ~dir in
+  Alcotest.(check int) "no corruption" 0 corrupt;
+  Alcotest.(check (list int)) "newest first, pruned to keep" [ 3; 2 ]
+    (List.map (fun (s : Durable.Checkpoint.snapshot) -> s.epoch) snaps);
+  match Durable.Checkpoint.latest ~dir with
+  | None -> Alcotest.fail "expected a checkpoint"
+  | Some s ->
+      Alcotest.(check int) "latest epoch" 3 s.epoch;
+      Alcotest.(check int) "latest published" 30 s.published;
+      Alcotest.(check int) "blob intact" 3 (weight_of_blob s.blob)
+
+let test_checkpoint_corrupt_newest_falls_back () =
+  with_dir @@ fun dir ->
+  Durable.Checkpoint.write ~dir ~epoch:1 ~published:10 ~blob:(delta_blob 10) ();
+  Durable.Checkpoint.write ~dir ~epoch:2 ~published:20 ~blob:(delta_blob 20) ();
+  let newest =
+    Filename.concat dir
+      (Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".ckpt")
+      |> List.sort compare |> List.rev |> List.hd)
+  in
+  flip_byte newest (Wire.Codec.header_size + 1);
+  let snaps, corrupt = Durable.Checkpoint.candidates ~dir in
+  Alcotest.(check int) "one corrupt file seen" 1 corrupt;
+  Alcotest.(check (list int)) "older survives"
+    [ 1 ]
+    (List.map (fun (s : Durable.Checkpoint.snapshot) -> s.epoch) snaps);
+  (* Recovery degrades to the older checkpoint instead of failing. *)
+  match R.recover ~dir with
+  | Error e -> Alcotest.failf "recover: %s" e
+  | Ok (_, rep) ->
+      Alcotest.(check int) "recovered from epoch 1" 1 rep.R.checkpoint_epoch;
+      Alcotest.(check int) "its published total" 10 rep.R.checkpoint_published
+
+let test_recovery_skips_undecodable_checkpoint () =
+  (* Frame-valid checkpoint whose sketch payload M.decode rejects: recovery
+     must walk past it (counting it) to an older good snapshot. *)
+  with_dir @@ fun dir ->
+  Durable.Checkpoint.write ~dir ~epoch:1 ~published:7 ~blob:(delta_blob 7) ();
+  Durable.Checkpoint.write ~dir ~epoch:2 ~published:9
+    ~blob:(Bytes.of_string "not a sketch") ();
+  match R.recover ~dir with
+  | Error e -> Alcotest.failf "recover: %s" e
+  | Ok (g, rep) ->
+      Alcotest.(check int) "skipped the bad one" 1 rep.R.checkpoints_skipped;
+      Alcotest.(check int) "used epoch 1" 1 rep.R.checkpoint_epoch;
+      Alcotest.(check int) "weight" 7 (Sketches.Batched_counter.read g)
+
+let test_recovery_empty_dir_is_empty_sketch () =
+  with_dir @@ fun dir ->
+  match R.recover ~dir with
+  | Error e -> Alcotest.failf "recover: %s" e
+  | Ok (g, rep) ->
+      Alcotest.(check int) "zero weight" 0 (Sketches.Batched_counter.read g);
+      Alcotest.(check int) "epoch 0" 0 rep.R.recovered_epoch;
+      Alcotest.(check int) "nothing replayed" 0 rep.R.replayed
+
+let test_recovery_missing_dir_is_error () =
+  match R.recover ~dir:"/tmp/ivl-definitely-not-there" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error for a missing directory"
+
+(* ------------------------- end-to-end envelope ------------------------- *)
+
+let test_engine_recovery_envelope_random_crashes () =
+  (* Run the real pipeline with WAL + checkpoints, then simulate crashes by
+     truncating the log at random byte offsets. Every recovery must land in
+     the IVL envelope [checkpoint published, pre-crash published] — the
+     durable analogue of the paper's intermediate-value guarantee. *)
+  with_dir @@ fun proto ->
+  let wal = Durable.Wal.create ~dir:proto ~fsync:Durable.Wal.Never () in
+  let p =
+    P.create ~queue_capacity:256 ~batch:64
+      ~on_merge:(fun ~epoch ~weight ~blob ->
+        Durable.Wal.append wal ~epoch ~weight ~blob)
+      ~checkpoint_every:8
+      ~on_checkpoint:(fun ~epoch ~published ~blob ->
+        Durable.Checkpoint.write ~dir:proto ~epoch ~published ~blob ())
+      ~shards:2 ()
+  in
+  let n = 20_000 in
+  let stream =
+    Workload.Stream.generate ~seed:51L (Workload.Stream.Uniform 3000) ~length:n
+  in
+  let chunks = Workload.Stream.chunks stream ~pieces:2 in
+  ignore
+    (Conc.Runner.parallel ~domains:2 (fun i ->
+         Array.iter (fun x -> ignore (P.ingest p x)) chunks.(i)));
+  P.drain p;
+  Durable.Wal.close wal;
+  let published = (P.stats p).P.published in
+  Alcotest.(check int) "clean run published everything" n published;
+  let seg = sole_segment proto in
+  let size = Bytes.length (read_file seg) in
+  (* Full recovery first: must reproduce the pre-crash state exactly. *)
+  (match R.recover ~dir:proto with
+  | Error e -> Alcotest.failf "full recover: %s" e
+  | Ok (g, rep) ->
+      Alcotest.(check int) "full recovery equals published" published
+        rep.R.recovered_published;
+      Alcotest.(check int) "sketch agrees" published
+        (Sketches.Batched_counter.read g));
+  let rng = Rng.Splitmix.create 91L in
+  for trial = 1 to 25 do
+    let cut = int_of_float (Rng.Splitmix.next_float rng *. float_of_int size) in
+    with_dir @@ fun dir ->
+    copy_dir proto dir;
+    truncate_file (sole_segment dir) cut;
+    match R.recover ~dir with
+    | Error e -> Alcotest.failf "trial %d (cut %d): recover failed: %s" trial cut e
+    | Ok (g, rep) ->
+        let v = rep.R.recovered_published in
+        if v < rep.R.checkpoint_published then
+          Alcotest.failf "trial %d (cut %d): %d below checkpoint %d" trial cut v
+            rep.R.checkpoint_published;
+        if v > published then
+          Alcotest.failf "trial %d (cut %d): %d above pre-crash %d" trial cut v
+            published;
+        Alcotest.(check int)
+          (Printf.sprintf "trial %d sketch agrees" trial)
+          v
+          (Sketches.Batched_counter.read g);
+        (* Restartability: a writer opened on the recovered dir appends past
+           the recovered epoch without tripping the monotonicity rule. *)
+        let w = Durable.Wal.create ~dir () in
+        Durable.Wal.append w ~epoch:(rep.R.recovered_epoch + 1) ~weight:1
+          ~blob:(delta_blob 1);
+        Durable.Wal.close w
+  done
+
+let () =
+  Alcotest.run "durable"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "epoch monotonicity enforced" `Quick
+            test_wal_epoch_monotonicity_enforced;
+          Alcotest.test_case "segment rotation" `Quick test_wal_rotation;
+          Alcotest.test_case "reopen starts a fresh segment" `Quick
+            test_wal_reopen_starts_fresh_segment;
+          Alcotest.test_case "missing dir reads empty" `Quick
+            test_wal_missing_dir_is_empty;
+          Alcotest.test_case "torn tail at every byte offset" `Quick
+            test_wal_torn_tail_every_offset;
+          Alcotest.test_case "mid-log corruption truncates the rest" `Quick
+            test_wal_mid_log_corruption_truncates_rest;
+          Alcotest.test_case "non-monotone epoch truncates" `Quick
+            test_wal_non_monotone_epoch_truncates;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip and prune" `Quick
+            test_checkpoint_roundtrip_and_prune;
+          Alcotest.test_case "corrupt newest falls back" `Quick
+            test_checkpoint_corrupt_newest_falls_back;
+          Alcotest.test_case "undecodable checkpoint skipped" `Quick
+            test_recovery_skips_undecodable_checkpoint;
+          Alcotest.test_case "empty dir recovers empty sketch" `Quick
+            test_recovery_empty_dir_is_empty_sketch;
+          Alcotest.test_case "missing dir is an error" `Quick
+            test_recovery_missing_dir_is_error;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "envelope under random crash points" `Quick
+            test_engine_recovery_envelope_random_crashes;
+        ] );
+    ]

@@ -262,6 +262,252 @@ let test_chaos_kill_all_shards () =
      Array.fold_left (fun a (s : PC.shard_stats) -> a + s.flushed_items) 0
        st.PC.shards)
 
+(* ------------------------- mpsc close/reopen races ------------------------- *)
+
+(* Poll [f] until it returns true or [timeout] seconds elapse. The tests
+   below must fail with a diagnosis, not hang CI, when a wakeup is lost. *)
+let wait_until ?(timeout = 5.0) f =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if f () then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Unix.sleepf 0.001;
+      go ()
+    end
+  in
+  go ()
+
+let test_mpsc_close_wakes_all_producers () =
+  (* Regression: [close] must broadcast, not signal — every producer blocked
+     in [push] on a full queue has to wake and return [false]. A lost wakeup
+     here is a producer parked forever on a dead shard. *)
+  let producers = 4 in
+  let q = Pipeline.Mpsc.create ~capacity:1 in
+  ignore (Pipeline.Mpsc.push q 0);
+  let returned = Array.init producers (fun _ -> Atomic.make None) in
+  let doms =
+    Array.init producers (fun i ->
+        Domain.spawn (fun () ->
+            let ok = Pipeline.Mpsc.push q (i + 1) in
+            Atomic.set returned.(i) (Some ok)))
+  in
+  (* Give everyone time to park on the full queue, then close. *)
+  let blocked () =
+    Array.for_all (fun r -> Atomic.get r = None) returned
+    && Pipeline.Mpsc.length q = 1
+  in
+  ignore (wait_until ~timeout:0.5 (fun () -> blocked ()));
+  Pipeline.Mpsc.close q;
+  Alcotest.(check bool) "every blocked producer woke" true
+    (wait_until (fun () ->
+         Array.for_all (fun r -> Atomic.get r <> None) returned));
+  Array.iter Domain.join doms;
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check (option bool))
+        (Printf.sprintf "producer %d rejected" i)
+        (Some false) (Atomic.get r))
+    returned;
+  (* The element that was queued before the close is still there. *)
+  Alcotest.(check (option int)) "backlog intact" (Some 0) (Pipeline.Mpsc.pop q)
+
+let test_mpsc_pop_batch_bound_under_close_race () =
+  (* [pop_batch ~max] must never return more than [max] elements, including
+     in the window where producers are racing a close. *)
+  let q = Pipeline.Mpsc.create ~capacity:64 in
+  let max_batch = 5 in
+  let stop = Atomic.make false in
+  let producers =
+    Array.init 3 (fun d ->
+        Domain.spawn (fun () ->
+            let n = ref 0 in
+            while not (Atomic.get stop) do
+              if Pipeline.Mpsc.push q ((d * 100_000) + !n) then incr n
+            done;
+            !n))
+  in
+  let closer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.02;
+        Pipeline.Mpsc.close q;
+        Atomic.set stop true)
+  in
+  let popped = ref 0 in
+  let rec consume () =
+    match Pipeline.Mpsc.pop_batch q ~max:max_batch with
+    | [] -> ()
+    | items ->
+        if List.length items > max_batch then
+          Alcotest.failf "pop_batch returned %d > max %d" (List.length items)
+            max_batch;
+        popped := !popped + List.length items;
+        consume ()
+  in
+  consume ();
+  Domain.join closer;
+  let pushed = Array.fold_left (fun a d -> a + Domain.join d) 0 producers in
+  (* Every successful push was popped exactly once (close loses nothing that
+     was accepted; the final drain above ran to the end mark). *)
+  Alcotest.(check int) "popped = pushed" pushed !popped
+
+let test_mpsc_reopen_preserves_backlog () =
+  let q = Pipeline.Mpsc.create ~capacity:8 in
+  List.iter (fun x -> ignore (Pipeline.Mpsc.push q x)) [ 1; 2; 3 ];
+  Pipeline.Mpsc.close q;
+  Alcotest.(check bool) "push rejected while closed" false (Pipeline.Mpsc.push q 9);
+  Pipeline.Mpsc.reopen q;
+  Alcotest.(check bool) "reopened" false (Pipeline.Mpsc.is_closed q);
+  Alcotest.(check bool) "push accepted again" true (Pipeline.Mpsc.push q 4);
+  Alcotest.(check (list int)) "backlog first, in order" [ 1; 2; 3; 4 ]
+    (Pipeline.Mpsc.pop_batch q ~max:8)
+
+(* ------------------------- concurrent drain ------------------------- *)
+
+let test_concurrent_drain_exactly_once () =
+  (* Two domains race [drain] on a pipeline whose workers were all chaos
+     killed (so there IS leftover work in the queues to account for). Both
+     calls must return, and the drop accounting must happen exactly once:
+     Σ enqueued = Σ consumed + leftover-drops, where leftover-drops is what
+     drain swept out of the dead workers' queues. A double drain would
+     count the sweep twice. *)
+  let shards = 2 in
+  let n = 8_000 in
+  let ch =
+    Conc.Chaos.instantiate
+      (Conc.Chaos.plan ~kills:[ (0, 1); (1, 1) ] ~seed:31L ())
+      ~domains:shards
+  in
+  let p =
+    PC.create ~queue_capacity:32 ~batch:16
+      ~on_tick:(fun ~shard -> Conc.Chaos.point ch ~domain:shard)
+      ~shards ()
+  in
+  let stream =
+    Workload.Stream.generate ~seed:37L (Workload.Stream.Uniform 700) ~length:n
+  in
+  let accepted = feed p stream ~feeders:2 in
+  let drainers =
+    Conc.Runner.parallel ~domains:2 (fun _ ->
+        PC.drain p;
+        true)
+  in
+  Alcotest.(check bool) "both drain calls returned" true
+    (Array.for_all Fun.id drainers);
+  let st = PC.stats p in
+  let sum f = Array.fold_left (fun a s -> a + f s) 0 st.PC.shards in
+  let enqueued = sum (fun (s : PC.shard_stats) -> s.enqueued) in
+  let consumed = sum (fun (s : PC.shard_stats) -> s.consumed) in
+  let dropped = sum (fun (s : PC.shard_stats) -> s.dropped) in
+  Alcotest.(check int) "accepted = enqueued" accepted enqueued;
+  (* Ingest-time drops are the pushes that failed (n - accepted); the rest
+     of [dropped] is drain's sweep of dead workers' queues — exactly once. *)
+  Alcotest.(check int) "exactly-once drop accounting" enqueued
+    (consumed + (dropped - (n - accepted)));
+  Alcotest.(check int) "published = flushed" st.PC.published
+    (sum (fun (s : PC.shard_stats) -> s.flushed_items));
+  (* A third drain changes nothing. *)
+  PC.drain p;
+  let st2 = PC.stats p in
+  Alcotest.(check int) "drop accounting stable" dropped
+    (Array.fold_left (fun a (s : PC.shard_stats) -> a + s.dropped) 0 st2.PC.shards)
+
+(* ------------------------- supervisor ------------------------- *)
+
+(* A fast supervisor config so restart soaks finish in milliseconds. *)
+let fast_supervisor max_restarts =
+  {
+    Pipeline.Engine.max_restarts;
+    backoff_base = 0.001;
+    backoff_cap = 0.004;
+    poll_interval = 0.0002;
+    seed = 77L;
+  }
+
+let test_supervisor_restarts_shard () =
+  (* Kill shard 0's worker once; the watchdog must restart it, the restarted
+     incarnation must resume consuming its (reopened) queue, and the final
+     history must still satisfy the envelope. *)
+  let shards = 2 in
+  let die_at = 5 in
+  let ticks = Atomic.make 0 in
+  let pipeline =
+    PC.create ~queue_capacity:256 ~batch:32
+      ~on_tick:(fun ~shard ->
+        (* The counter spans incarnations, so exactly the [die_at]-th tick
+           kills — the restarted worker sees larger values and lives. *)
+        if shard = 0 && Atomic.fetch_and_add ticks 1 = die_at then
+          raise (Conc.Chaos.Killed { domain = 0; point = die_at }))
+      ~supervisor:(fast_supervisor 5) ~shards ()
+  in
+  let n = 30_000 in
+  let stream =
+    Workload.Stream.generate ~seed:41L (Workload.Stream.Uniform 4000) ~length:n
+  in
+  let chunks = Workload.Stream.chunks stream ~pieces:2 in
+  (* First half: drive until the kill + restart have happened. *)
+  Array.iter (fun x -> ignore (PC.ingest pipeline x)) chunks.(0);
+  Alcotest.(check bool) "watchdog restarted the shard" true
+    (wait_until (fun () ->
+         let s = (PC.stats pipeline).PC.shards.(0) in
+         s.restarts = 1 && s.alive));
+  let enq_before = (PC.stats pipeline).PC.shards.(0).enqueued in
+  (* Second half: the restarted shard must accept and consume new work. *)
+  Array.iter (fun x -> ignore (PC.ingest pipeline x)) chunks.(1);
+  PC.drain pipeline;
+  let st = PC.stats pipeline in
+  let s0 = st.PC.shards.(0) in
+  Alcotest.(check bool) "post-restart ingestion grew" true
+    (s0.enqueued > enq_before);
+  Alcotest.(check int) "restarted exactly once" 1 s0.restarts;
+  Alcotest.(check bool) "not shed" false s0.shed;
+  Alcotest.(check bool) "death reason recorded" true (s0.last_error <> None);
+  (* The lost delta is bounded by one batch: consumed - flushed < 2*batch. *)
+  Alcotest.(check bool) "bounded loss" true
+    (s0.consumed - s0.flushed_items < 64);
+  Alcotest.(check int) "published = flushed" st.PC.published
+    (Array.fold_left (fun a (s : PC.shard_stats) -> a + s.flushed_items) 0
+       st.PC.shards);
+  Alcotest.(check bool) "no unexpected failures" true (PC.failures pipeline = []);
+  Alcotest.(check int) "no envelope violations" 0
+    (List.length (Mono.violations (PC.history pipeline)))
+
+let test_supervisor_restart_cap_sheds () =
+  (* A worker that dies on every incarnation must not crash-loop forever:
+     after [max_restarts] the watchdog sheds the shard permanently and
+     records why. *)
+  let max_restarts = 2 in
+  let p =
+    PC.create ~queue_capacity:16 ~batch:8
+      ~on_tick:(fun ~shard ->
+        if shard = 0 then raise (Conc.Chaos.Killed { domain = 0; point = 1 }))
+      ~supervisor:(fast_supervisor max_restarts) ~shards:2 ()
+  in
+  Alcotest.(check bool) "shard 0 eventually shed" true
+    (wait_until (fun () -> (PC.stats p).PC.shards.(0).shed));
+  (* Shed shard drops, surviving shard still ingests. *)
+  let stream =
+    Workload.Stream.generate ~seed:43L (Workload.Stream.Uniform 900) ~length:4_000
+  in
+  let accepted = feed p stream ~feeders:1 in
+  PC.drain p;
+  let st = PC.stats p in
+  let s0 = st.PC.shards.(0) in
+  Alcotest.(check int) "used the whole restart budget" max_restarts s0.restarts;
+  Alcotest.(check bool) "still marked dead" false s0.alive;
+  (match s0.last_error with
+  | Some msg ->
+      Alcotest.(check bool) "shed reason recorded" true
+        (String.length msg >= 4 && String.sub msg 0 4 = "shed")
+  | None -> Alcotest.fail "expected a shed reason");
+  Alcotest.(check bool) "survivor made progress" true
+    (st.PC.shards.(1).flushed_items > 0);
+  Alcotest.(check bool) "shed shard dropped traffic" true (accepted < 4_000);
+  Alcotest.(check int) "published = flushed" st.PC.published
+    (Array.fold_left (fun a (s : PC.shard_stats) -> a + s.flushed_items) 0
+       st.PC.shards);
+  Alcotest.(check bool) "no unexpected failures" true (PC.failures p = [])
+
 let () =
   Alcotest.run "pipeline"
     [
@@ -270,6 +516,12 @@ let () =
           Alcotest.test_case "fifo" `Quick test_mpsc_fifo;
           Alcotest.test_case "full and close" `Quick test_mpsc_full_and_close;
           Alcotest.test_case "blocking producer" `Quick test_mpsc_blocking_producer;
+          Alcotest.test_case "close wakes all blocked producers" `Quick
+            test_mpsc_close_wakes_all_producers;
+          Alcotest.test_case "pop_batch bound under close race" `Quick
+            test_mpsc_pop_batch_bound_under_close_race;
+          Alcotest.test_case "reopen preserves backlog" `Quick
+            test_mpsc_reopen_preserves_backlog;
         ] );
       ( "engine",
         [
@@ -278,6 +530,8 @@ let () =
           Alcotest.test_case "history envelope" `Quick test_history_envelope;
           Alcotest.test_case "Theorem 6 CountMin envelope" `Quick
             test_countmin_theorem6;
+          Alcotest.test_case "concurrent drain is exactly-once" `Quick
+            test_concurrent_drain_exactly_once;
         ] );
       ( "chaos",
         [
@@ -285,5 +539,12 @@ let () =
             test_chaos_kill_drain;
           Alcotest.test_case "kill every shard, no hang" `Quick
             test_chaos_kill_all_shards;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "watchdog restarts a killed shard" `Quick
+            test_supervisor_restarts_shard;
+          Alcotest.test_case "restart cap degrades to shedding" `Quick
+            test_supervisor_restart_cap_sheds;
         ] );
     ]

@@ -314,6 +314,88 @@ let qcheck_tests =
               codecs);
       ])
 
+(* ------------------------- segment scanning ------------------------- *)
+
+(* A segment buffer is a concatenation of frames; [Wire.Segment.scan] must
+   return exactly the valid prefix, whatever the damage shape. *)
+
+let frame_of_int i =
+  Wire.Codec.encode ~kind:Wire.Codec.wal_record_kind (fun b ->
+      Wire.Codec.int_ b i)
+
+let concat_frames frames = Bytes.concat Bytes.empty frames
+
+let test_segment_scan_clean () =
+  let frames = List.init 5 frame_of_int in
+  let s = Wire.Segment.scan (concat_frames frames) in
+  Alcotest.(check int) "all frames" 5 (Wire.Segment.frame_count s);
+  Alcotest.(check bool) "clean tail" true (s.Wire.Segment.tail = Wire.Segment.Clean);
+  List.iteri
+    (fun i f ->
+      Alcotest.(check bytes) (Printf.sprintf "frame %d intact" i)
+        (frame_of_int i) f)
+    s.Wire.Segment.frames;
+  let empty = Wire.Segment.scan Bytes.empty in
+  Alcotest.(check int) "empty buffer, no frames" 0
+    (Wire.Segment.frame_count empty);
+  Alcotest.(check bool) "empty buffer clean" true
+    (empty.Wire.Segment.tail = Wire.Segment.Clean)
+
+let test_segment_scan_torn_tail_every_cut () =
+  (* Truncate a 3-frame buffer at every byte offset: the scan must always
+     yield the frames wholly before the cut and report the exact remainder
+     as dropped. *)
+  let frames = List.init 3 frame_of_int in
+  let buf = concat_frames frames in
+  let ends =
+    (* cumulative end offsets of each frame *)
+    List.rev
+      (List.fold_left
+         (fun acc f ->
+           let prev = match acc with [] -> 0 | e :: _ -> e in
+           (prev + Bytes.length f) :: acc)
+         [] frames)
+  in
+  for cut = 0 to Bytes.length buf - 1 do
+    let s = Wire.Segment.scan (Bytes.sub buf 0 cut) in
+    let expect = List.length (List.filter (fun e -> e <= cut) ends) in
+    if Wire.Segment.frame_count s <> expect then
+      Alcotest.failf "cut %d: %d frames, want %d" cut
+        (Wire.Segment.frame_count s) expect;
+    match s.Wire.Segment.tail with
+    | Wire.Segment.Clean ->
+        if not (List.mem cut (0 :: ends)) then
+          Alcotest.failf "cut %d: clean tail mid-frame" cut
+    | Wire.Segment.Torn { valid_prefix; dropped_bytes; _ } ->
+        Alcotest.(check int)
+          (Printf.sprintf "cut %d: prefix + dropped = cut" cut)
+          cut (valid_prefix + dropped_bytes)
+  done
+
+let test_segment_scan_corruption_stops () =
+  let frames = List.init 4 frame_of_int in
+  let buf = concat_frames frames in
+  let f0 = Bytes.length (frame_of_int 0) in
+  (* Flip a payload byte of frame 1: frames 2..3 are after the hole and must
+     not be yielded even though they are themselves intact. *)
+  let dam = Bytes.copy buf in
+  let off = f0 + Wire.Codec.header_size in
+  Bytes.set_uint8 dam off (Bytes.get_uint8 dam off lxor 0x01);
+  let s = Wire.Segment.scan dam in
+  Alcotest.(check int) "only the prefix" 1 (Wire.Segment.frame_count s);
+  (match s.Wire.Segment.tail with
+  | Wire.Segment.Torn { valid_prefix; reason; _ } ->
+      Alcotest.(check int) "cut at frame 1" f0 valid_prefix;
+      Alcotest.(check bool) "checksum named" true
+        (String.length reason > 0)
+  | Wire.Segment.Clean -> Alcotest.fail "expected a torn tail");
+  (* Garbage between frames: same rule. *)
+  let gar =
+    Bytes.concat Bytes.empty [ frame_of_int 0; Bytes.of_string "JUNK"; frame_of_int 1 ]
+  in
+  let s = Wire.Segment.scan gar in
+  Alcotest.(check int) "prefix before garbage" 1 (Wire.Segment.frame_count s)
+
 let () =
   Alcotest.run "wire"
     [
@@ -331,6 +413,14 @@ let () =
           Alcotest.test_case "future version" `Quick test_future_version;
           Alcotest.test_case "wrong kind" `Quick test_wrong_kind;
           Alcotest.test_case "trailing bytes" `Quick test_trailing_garbage;
+        ] );
+      ( "segment",
+        [
+          Alcotest.test_case "clean scan" `Quick test_segment_scan_clean;
+          Alcotest.test_case "torn tail at every cut" `Quick
+            test_segment_scan_torn_tail_every_cut;
+          Alcotest.test_case "corruption ends the scan" `Quick
+            test_segment_scan_corruption_stops;
         ] );
       ("properties", qcheck_tests);
     ]
