@@ -68,8 +68,16 @@ let print_bechamel_table ~title results =
                       "params": { "<k>": <json value>, ... },
                       "unit": "<unit>",
                       "reps": <n samples>,
-                      "mean": <float>, "p50": <float>, "p99": <float> },
-                    ... ] } *)
+                      "mean": <float>, "p50": <float>, "p99": <float>,
+                      "ops_per_sec": <float, when the unit encodes a rate> },
+                    ... ] }
+
+   Entries whose unit is a rate ("Mops/s", "ops/s") or a latency ("ns/op")
+   also carry a normalized "ops_per_sec" field so `bench compare` and
+   notebooks diff throughput without re-learning unit conventions.
+   Allocation audits record with unit "B/op" (bytes allocated per
+   operation); those entries are the structural side of the regression
+   gate — a hot path growing from 0 B/op is a layout bug, not noise. *)
 
 type json_entry = {
   name : string;
@@ -113,6 +121,28 @@ let record_samples ~exp ~name ?(params = []) ?(unit_ = "Mops/s") samples =
 let record ~exp ~name ?(params = []) ?(unit_ = "Mops/s") sample =
   record_samples ~exp ~name ~params ~unit_ [ sample ]
 
+let ops_per_sec ~unit_ mean =
+  match unit_ with
+  | "Mops/s" -> Some (mean *. 1e6)
+  | "ops/s" -> Some mean
+  | "ns/op" -> if mean > 0.0 then Some (1e9 /. mean) else None
+  | _ -> None
+
+(* Bytes the current domain allocates per call of [f] (minor + major,
+   from the GC's own counters — exact, not sampled). Used by the
+   allocation audits: the flat/one-pass hot paths are designed to
+   allocate nothing, and the committed baseline pins that at 0 B/op. *)
+let allocated_bytes_per_op ~ops f =
+  if ops <= 0 then invalid_arg "Bench_util.allocated_bytes_per_op: ops <= 0";
+  (* Warm once so one-time laziness (format strings, closures) doesn't
+     bill the first measured batch. *)
+  f ();
+  let before = Gc.allocated_bytes () in
+  for _ = 1 to ops do
+    f ()
+  done;
+  (Gc.allocated_bytes () -. before) /. float_of_int ops
+
 (* Best-effort provenance for the summary manifest: the commit the numbers
    were measured at, or null outside a git checkout. *)
 let git_sha () =
@@ -148,13 +178,16 @@ let write_json_files () =
           \      \"params\": { %s },\n\
           \      \"unit\": %s,\n\
           \      \"reps\": %d,\n\
-          \      \"mean\": %s, \"p50\": %s, \"p99\": %s }"
+          \      \"mean\": %s, \"p50\": %s, \"p99\": %s%s }"
           (json_string name)
           (String.concat ", "
              (List.map (fun (k, v) -> json_string k ^ ": " ^ v) params))
           (json_string unit_) (Array.length arr) (json_float mean)
           (json_float (Stats.Percentile.median arr))
           (json_float (Stats.Percentile.percentile arr 99.0))
+          (match ops_per_sec ~unit_ mean with
+          | Some r -> Printf.sprintf ",\n      \"ops_per_sec\": %s" (json_float r)
+          | None -> "")
       in
       Printf.fprintf oc "{ \"exp\": %s,\n  \"entries\": [\n%s\n  ]\n}\n"
         (json_string exp)

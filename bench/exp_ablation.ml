@@ -9,7 +9,12 @@
        over-estimate.
    (c) Delegation batching: the buffered PCM's flush_every knob — throughput
        and staleness against plain PCM (Section 3.4's delegation sketch
-       comparison). *)
+       comparison).
+   (d) Kirsch–Mitzenmacher double hashing: derived rows g_i = h1 + i·step
+       cost 2 field evaluations per element instead of d, at the price of
+       correlated rows. Sweep d with both layouts on one stream and report
+       update cost and observed max over-estimate — the accuracy side of the
+       e6-km-pcm throughput rows. *)
 
 module M = Simulation.Machine
 module S = Simulation.Sched
@@ -177,8 +182,63 @@ let delegation_ablation () =
     "so batching shows little gain here; its payoff is avoiding cross-core";
   print_endline "cache-line traffic, which needs a multicore host to observe."
 
+let km_ablation () =
+  Bench_util.subsection
+    "(d) Kirsch-Mitzenmacher double hashing: cost vs max over-estimate";
+  let length = 100_000 in
+  let stream =
+    Workload.Stream.generate ~seed:35L (Workload.Stream.Zipf (2_000, 1.2))
+      ~length
+  in
+  let exact = Sketches.Exact.create () in
+  Array.iter (Sketches.Exact.update exact) stream;
+  let measure family =
+    let pcm = Conc.Pcm.create ~family in
+    let (), dt = time (fun () -> Array.iter (Conc.Pcm.update pcm) stream) in
+    let worst = ref 0 in
+    for a = 0 to 1_999 do
+      let over = Conc.Pcm.query pcm a - Sketches.Exact.frequency exact a in
+      if over > !worst then worst := over
+    done;
+    (dt *. 1e9 /. float_of_int length, !worst)
+  in
+  let rows =
+    List.map
+      (fun d ->
+        let rows_ns, rows_worst =
+          measure (Hashing.Family.seeded ~seed:36L ~rows:d ~width:512)
+        in
+        let km_ns, km_worst =
+          measure (Hashing.Family.seeded_km ~seed:36L ~rows:d ~width:512)
+        in
+        Bench_util.record ~exp:"ablation" ~name:"e12-km-overestimate"
+          ~params:[ ("rows", Bench_util.json_int d); ("layout", "\"rows\"") ]
+          ~unit_:"count" (float_of_int rows_worst);
+        Bench_util.record ~exp:"ablation" ~name:"e12-km-overestimate"
+          ~params:[ ("rows", Bench_util.json_int d); ("layout", "\"km\"") ]
+          ~unit_:"count" (float_of_int km_worst);
+        [
+          string_of_int d;
+          Printf.sprintf "%.0f" rows_ns;
+          string_of_int rows_worst;
+          Printf.sprintf "%.0f" km_ns;
+          string_of_int km_worst;
+        ])
+      [ 2; 4; 8 ]
+  in
+  Bench_util.table
+    ~header:
+      [ "rows d"; "rows: ns/up"; "rows: max over"; "km: ns/up"; "km: max over" ]
+    rows;
+  print_endline
+    "shape check: km update cost stays near-flat in d (2 hashes per element);";
+  print_endline
+    "its over-estimates track the independent-rows layout within small factors,";
+  print_endline "matching Kirsch-Mitzenmacher's asymptotic-equivalence result."
+
 let run () =
   Bench_util.section "E12: ablations";
   checker_ablation ();
   depth_ablation ();
-  delegation_ablation ()
+  delegation_ablation ();
+  km_ablation ()

@@ -33,6 +33,33 @@ let locked_cm_throughput ~writers stream =
   time_parallel ~domains:writers (fun i ->
       Array.iter (Conc.Locked_countmin.update cm) chunks.(i))
 
+let flat_pcm_throughput ~writers stream =
+  let family = Hashing.Family.seeded ~seed:5L ~rows:4 ~width:1024 in
+  let fp = Conc.Flat_pcm.create ~publish_every:64 ~family ~domains:writers () in
+  let chunks = Workload.Stream.chunks stream ~pieces:writers in
+  time_parallel ~domains:writers (fun i ->
+      Array.iter (Conc.Flat_pcm.update fp ~domain:i) chunks.(i);
+      Conc.Flat_pcm.flush fp ~domain:i)
+
+(* Same boxed-atomic layout as [pcm_throughput], but hashing with the
+   two-hash Kirsch–Mitzenmacher family: isolates the d-hashes -> 2-hashes
+   saving from the layout change. *)
+let km_pcm_throughput ~writers stream =
+  let family = Hashing.Family.seeded_km ~seed:5L ~rows:4 ~width:1024 in
+  let pcm = Conc.Pcm.create ~family in
+  let chunks = Workload.Stream.chunks stream ~pieces:writers in
+  time_parallel ~domains:writers (fun i -> Array.iter (Conc.Pcm.update pcm) chunks.(i))
+
+(* Both hot-path changes at once: flat unboxed planes fed by the two-hash
+   family — the configuration the PERFORMANCE.md headline quotes. *)
+let flat_km_pcm_throughput ~writers stream =
+  let family = Hashing.Family.seeded_km ~seed:5L ~rows:4 ~width:1024 in
+  let fp = Conc.Flat_pcm.create ~publish_every:64 ~family ~domains:writers () in
+  let chunks = Workload.Stream.chunks stream ~pieces:writers in
+  time_parallel ~domains:writers (fun i ->
+      Array.iter (Conc.Flat_pcm.update fp ~domain:i) chunks.(i);
+      Conc.Flat_pcm.flush fp ~domain:i)
+
 (* --- Batched counter updates (E7) --- *)
 
 let ivl_counter_throughput ~writers =
@@ -105,21 +132,44 @@ let run () =
     List.map
       (fun w ->
         let t_pcm = pcm_throughput ~writers:w stream in
+        let t_flat = flat_pcm_throughput ~writers:w stream in
+        let t_km = km_pcm_throughput ~writers:w stream in
+        let t_flat_km = flat_km_pcm_throughput ~writers:w stream in
         let t_lock = locked_cm_throughput ~writers:w stream in
         let params = [ ("writers", Bench_util.json_int w) ] in
         Bench_util.record ~exp:"throughput" ~name:"e6-pcm" ~params
           (mops total_cm_updates t_pcm);
+        Bench_util.record ~exp:"throughput" ~name:"e6-flat-pcm" ~params
+          (mops total_cm_updates t_flat);
+        Bench_util.record ~exp:"throughput" ~name:"e6-km-pcm" ~params
+          (mops total_cm_updates t_km);
+        Bench_util.record ~exp:"throughput" ~name:"e6-flat-km-pcm" ~params
+          (mops total_cm_updates t_flat_km);
         Bench_util.record ~exp:"throughput" ~name:"e6-locked-cm" ~params
           (mops total_cm_updates t_lock);
         [
           string_of_int w;
           Bench_util.fmt_rate total_cm_updates t_pcm;
+          Bench_util.fmt_rate total_cm_updates t_flat;
+          Bench_util.fmt_rate total_cm_updates t_km;
+          Bench_util.fmt_rate total_cm_updates t_flat_km;
           Bench_util.fmt_rate total_cm_updates t_lock;
-          Printf.sprintf "%.2fx" (t_lock /. t_pcm);
+          Printf.sprintf "%.2fx" (t_pcm /. t_flat_km);
         ])
       writer_counts
   in
-  Bench_util.table ~header:[ "writers"; "PCM"; "locked CM"; "PCM speedup" ] rows;
+  Bench_util.table
+    ~header:
+      [
+        "writers";
+        "PCM";
+        "flat PCM";
+        "KM PCM";
+        "flat+KM";
+        "locked CM";
+        "flat+KM speedup";
+      ]
+    rows;
 
   Bench_util.subsection "mixed workloads (4 domains, Mops/s)";
   let mixed_rows =
@@ -173,4 +223,59 @@ let run () =
     "shape check: the IVL counter's O(1) uncontended update beats the lock at";
   print_endline
     "every width; FAA matches O(1) but requires a stronger primitive than the";
-  print_endline "SWMR registers Theorem 14 assumes."
+  print_endline "SWMR registers Theorem 14 assumes.";
+
+  (* Allocation audit: the hot update paths are designed to allocate
+     nothing — probes pack into an immediate int, planes are unboxed, the
+     striped total FAAs in place. Recorded as B/op entries so `bench
+     compare` hard-fails if any of these paths starts boxing. *)
+  Bench_util.subsection "allocation audit (bytes allocated per update)";
+  let family = Hashing.Family.seeded ~seed:5L ~rows:4 ~width:1024 in
+  let km_family = Hashing.Family.seeded_km ~seed:5L ~rows:4 ~width:1024 in
+  let audit_ops = 100_000 in
+  let audits =
+    [
+      ( "alloc-pcm-update",
+        let pcm = Conc.Pcm.create ~family in
+        let x = ref 0 in
+        fun () ->
+          incr x;
+          Conc.Pcm.update pcm !x );
+      ( "alloc-flat-pcm-update",
+        let fp = Conc.Flat_pcm.create ~family ~domains:1 () in
+        let x = ref 0 in
+        fun () ->
+          incr x;
+          Conc.Flat_pcm.update fp ~domain:0 !x );
+      ( "alloc-km-pcm-update",
+        let pcm = Conc.Pcm.create ~family:km_family in
+        let x = ref 0 in
+        fun () ->
+          incr x;
+          Conc.Pcm.update pcm !x );
+      ( "alloc-pcm-query",
+        let pcm = Conc.Pcm.create ~family in
+        fun () -> ignore (Conc.Pcm.query pcm 42) );
+      ( "alloc-flat-pcm-query",
+        let fp = Conc.Flat_pcm.create ~family ~domains:2 () in
+        fun () -> ignore (Conc.Flat_pcm.query fp 42) );
+      ( "alloc-ivl-counter-update",
+        let c = Conc.Ivl_counter.create ~procs:4 in
+        fun () -> Conc.Ivl_counter.update c ~proc:0 1 );
+      ( "alloc-faa-counter-update",
+        let c = Conc.Faa_counter.create () in
+        fun () -> Conc.Faa_counter.update c 1 );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let bytes = Bench_util.allocated_bytes_per_op ~ops:audit_ops f in
+        Bench_util.record ~exp:"throughput" ~name ~unit_:"B/op" bytes;
+        [ name; Printf.sprintf "%.2f" bytes ])
+      audits
+  in
+  Bench_util.table ~header:[ "path"; "B/op" ] rows;
+  print_endline
+    "shape check: every row must read 0.00 — a nonzero value means a hot";
+  print_endline "path is boxing (and `bench compare' will hard-fail it)."

@@ -5,7 +5,12 @@
 
    Run with: dune exec bench/main.exe            (all experiments)
             dune exec bench/main.exe -- steps    (one section)
-   Sections: steps checker error throughput morris quantiles pq ablation micro *)
+   Sections: steps checker error throughput morris quantiles pq ablation micro
+
+   The harness doubles as the regression gate:
+            dune exec bench/main.exe -- compare OLD.json NEW.json
+   diffs two BENCH_<exp>.json files (see Compare) and exits non-zero on
+   fatal regressions — CI runs it against bench/baselines/. *)
 
 (* One Bechamel Test.make per timed table: single-operation latencies backing
    the throughput tables E6 (CountMin update path) and E7 (counter update
@@ -13,7 +18,10 @@
 let micro () =
   Bench_util.section "Microbenchmarks (Bechamel, ns per operation)";
   let family = Hashing.Family.seeded ~seed:3L ~rows:4 ~width:1024 in
+  let km_family = Hashing.Family.seeded_km ~seed:3L ~rows:4 ~width:1024 in
   let pcm = Conc.Pcm.create ~family in
+  let flat = Conc.Flat_pcm.create ~family ~domains:1 () in
+  let km_pcm = Conc.Pcm.create ~family:km_family in
   let locked_cm = Conc.Locked_countmin.create ~family in
   let seq_cm = Sketches.Countmin.create ~family in
   let ivl_counter = Conc.Ivl_counter.create ~procs:8 in
@@ -23,11 +31,21 @@ let micro () =
   let open Bechamel in
   let tests =
     [
-      (* E6 table: CountMin update path. *)
+      (* E6 table: CountMin update path — reference boxed-atomic layout,
+         flat per-domain planes, and the two-hash (Kirsch–Mitzenmacher)
+         family on the reference layout. *)
       Test.make ~name:"e6-pcm-update"
         (Staged.stage (fun () ->
              incr x;
              Conc.Pcm.update pcm !x));
+      Test.make ~name:"e6-flat-pcm-update"
+        (Staged.stage (fun () ->
+             incr x;
+             Conc.Flat_pcm.update flat ~domain:0 !x));
+      Test.make ~name:"e6-km-pcm-update"
+        (Staged.stage (fun () ->
+             incr x;
+             Conc.Pcm.update km_pcm !x));
       Test.make ~name:"e6-locked-cm-update"
         (Staged.stage (fun () ->
              incr x;
@@ -39,6 +57,8 @@ let micro () =
       (* E5 table: the reader's query path. *)
       Test.make ~name:"e5-pcm-query"
         (Staged.stage (fun () -> ignore (Conc.Pcm.query pcm 42)));
+      Test.make ~name:"e5-flat-pcm-query"
+        (Staged.stage (fun () -> ignore (Conc.Flat_pcm.query flat 42)));
       (* E7 table: counter update paths. *)
       Test.make ~name:"e7-ivl-counter-update"
         (Staged.stage (fun () -> Conc.Ivl_counter.update ivl_counter ~proc:0 1));
@@ -75,6 +95,11 @@ let sections =
   ]
 
 let () =
+  (* The compare subcommand never runs experiments: diff two recorded
+     JSON files and exit with the gate's verdict. *)
+  (match Array.to_list Sys.argv with
+  | _ :: "compare" :: rest -> exit (Compare.main rest)
+  | _ -> ());
   let requested =
     match Array.to_list Sys.argv with
     | _ :: args when args <> [] -> args

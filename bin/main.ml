@@ -806,9 +806,9 @@ let ss_capacity = 64
    traffic for the rest of the run. *)
 
 let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
-    ~(report : s -> unit) ~shards ~stream ~batch ~queue ~feeders ~chaos_kill
-    ~kills ~seed ~wal_dir ~checkpoint_every ~kill_and_recover ~supervise
-    ~max_restarts =
+    ~(report : s -> unit) ~shards ~stream ~batch ~queue ~feeders ~combine
+    ~chaos_kill ~kills ~seed ~wal_dir ~checkpoint_every ~kill_and_recover
+    ~supervise ~max_restarts =
   let module Mono = Ivl.Monotone.Make (Spec.Counter_spec) in
   let module P = Pipeline.Engine.Make (M) in
   let module R = Durable.Recovery.Make (M) in
@@ -869,7 +869,7 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
     else None
   in
   let p =
-    P.create ~queue_capacity:queue ~batch ?on_tick ?on_merge
+    P.create ~queue_capacity:queue ~batch ~combine ?on_tick ?on_merge
       ~checkpoint_every:(if wal_dir = None then 0 else checkpoint_every)
       ?on_checkpoint ?supervisor ~shards ()
   in
@@ -916,12 +916,13 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
         (if s.shed then "SHED"
          else if s.alive then "alive"
          else "KILLED")
-        (if s.restarts > 0 then
-           Printf.sprintf " (restarts %d%s)" s.restarts
-             (match s.last_error with
-             | Some e -> ", last: " ^ e
-             | None -> "")
-         else ""))
+        ((if combine then Printf.sprintf " coalesced %d" s.coalesced else "")
+        ^ (if s.restarts > 0 then
+             Printf.sprintf " (restarts %d%s)" s.restarts
+               (match s.last_error with
+               | Some e -> ", last: " ^ e
+               | None -> "")
+           else "")))
     sh;
   Printf.printf "merges %d  epoch %d  published %d  decode failures %d\n" merges
     epoch published decode_failures;
@@ -1005,8 +1006,9 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
       print_endline "pipeline: FAIL";
       1
 
-let pipeline sk shards ops shape skew universe batch queue feeders chaos kills
-    seed wal_dir checkpoint_every kill_and_recover supervise max_restarts =
+let pipeline sk shards ops shape skew universe batch queue feeders combine
+    chaos kills seed wal_dir checkpoint_every kill_and_recover supervise
+    max_restarts =
   if shards < 1 || feeders < 1 || ops < 1 || batch < 1 || queue < 1 then begin
     Printf.eprintf
       "pipeline: --shards, --feeders, --ops, --batch and --queue must be >= 1\n";
@@ -1050,9 +1052,9 @@ let pipeline sk shards ops shape skew universe batch queue feeders chaos kills
     e
   in
   let run m report =
-    run_pipeline m ~report ~shards ~stream ~batch ~queue ~feeders ~chaos_kill
-      ~kills ~seed ~wal_dir ~checkpoint_every ~kill_and_recover ~supervise
-      ~max_restarts
+    run_pipeline m ~report ~shards ~stream ~batch ~queue ~feeders ~combine
+      ~chaos_kill ~kills ~seed ~wal_dir ~checkpoint_every ~kill_and_recover
+      ~supervise ~max_restarts
   in
   match sk with
   | "countmin" ->
@@ -1348,6 +1350,16 @@ let pipeline_cmd =
   in
   let queue = Arg.(value & opt int 1024 & info [ "queue" ] ~doc:"shard queue capacity (backpressure bound)") in
   let feeders = Arg.(value & opt int 2 & info [ "feeders" ] ~doc:"feeder domains") in
+  let combine =
+    Arg.(
+      value & flag
+      & info [ "combine" ]
+          ~doc:
+            "give each shard worker a combining buffer: duplicate keys in a \
+             popped batch are aggregated locally and folded into the delta \
+             with one weighted update each — pays off on skewed streams; \
+             per-shard savings are reported as `coalesced'")
+  in
   let chaos =
     Arg.(
       value & opt string "none"
@@ -1407,8 +1419,8 @@ let pipeline_cmd =
           merges) and check its IVL envelope")
     Term.(
       const pipeline $ sketch $ shards $ ops $ shape $ skew $ universe $ batch
-      $ queue $ feeders $ chaos $ kills $ seed $ wal $ checkpoint_every
-      $ kill_and_recover $ supervise $ max_restarts)
+      $ queue $ feeders $ combine $ chaos $ kills $ seed $ wal
+      $ checkpoint_every $ kill_and_recover $ supervise $ max_restarts)
 
 let recover_cmd =
   let dir =

@@ -3,11 +3,23 @@
     A single atomic cell updated with [fetch_and_add]. This is linearizable
     and O(1) — but it lives {e outside} the SWMR-register model of Theorem
     14: the Ω(n) lower bound applies to implementations from single-writer
-    registers, and FAA is a stronger primitive. Included so the experiments
-    can show all three corners: IVL-from-SWMR (cheap, weaker criterion),
-    linearizable-from-SWMR (provably expensive), linearizable-from-FAA
-    (cheap but needs stronger hardware, and all updaters contend on one
-    cache line). *)
+    registers, and FAA is a stronger primitive.
+
+    The cell sits alone on a cache line ({!Padding}), so what the E7 bench
+    measures against {!Ivl_counter} is the {e intrinsic} contrast the paper
+    draws, with false sharing taken off the table for both sides:
+
+    - here, one padded line that every updater's RMW must own in turn —
+      O(1) steps but serialized by cache-coherence arbitration, so
+      throughput flattens as writers are added;
+    - {!Ivl_counter}, one line {e per writer} — updates stay uncontended
+      and scale, and the paid price is the O(n) intermediate-value read and
+      the weaker (IVL, not linearizable) read semantics.
+
+    Included so the experiments can show all three corners: IVL-from-SWMR
+    (cheap, weaker criterion), linearizable-from-SWMR (provably expensive),
+    linearizable-from-FAA (cheap but needs stronger hardware and serializes
+    all updaters on one line). *)
 
 type t
 

@@ -1,0 +1,138 @@
+(* One flat unboxed plane per writer domain, published Stripes-style.
+
+   A plane is a plain [int array] (contiguous, no per-cell boxes, no
+   atomics) that exactly one domain writes; the owner counts updates
+   privately and every [publish_every] updates — or on [flush] — publishes
+   by an [Atomic.set] on its padded [total] cell. In the OCaml memory model
+   that release/acquire pair makes all plain plane writes before the
+   publish visible to any reader that reads [total] after it. Readers sum
+   cells across planes; racy reads of a monotone plane can also observe
+   *newer* (unpublished) increments, which only moves a query further into
+   its interval — the envelope argument below. *)
+
+type plane = {
+  cells : int array; (* row-major d×w, single writer *)
+  mutable pending : int; (* updates since last publish, owner-private *)
+  total : int Atomic.t; (* published update count; release point *)
+}
+
+type t = {
+  family : Hashing.Family.t;
+  width : int;
+  rows : int;
+  publish_every : int;
+  planes : plane array;
+}
+
+let create ?(publish_every = 64) ~family ~domains () =
+  if domains <= 0 then invalid_arg "Flat_pcm.create: domains must be positive";
+  if publish_every <= 0 then
+    invalid_arg "Flat_pcm.create: publish_every must be positive";
+  let d = Hashing.Family.rows family and w = Hashing.Family.width family in
+  {
+    family;
+    width = w;
+    rows = d;
+    publish_every;
+    planes =
+      Array.init domains (fun _ ->
+          (* The plane record holds the owner's per-update mutable word
+             ([pending]); pad it so neighbouring domains' records never
+             share a line. The cells arrays are separate large blocks and
+             isolate themselves. *)
+          Padding.copy
+            { cells = Array.make (d * w) 0; pending = 0; total = Padding.atomic 0 });
+  }
+
+let create_for_error ?publish_every ~seed ~alpha ~delta ~domains () =
+  if alpha <= 0.0 then invalid_arg "Flat_pcm.create_for_error: alpha must be positive";
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Flat_pcm.create_for_error: delta must lie in (0,1)";
+  let w = int_of_float (ceil (Float.exp 1.0 /. alpha)) in
+  let d = max 1 (int_of_float (ceil (log (1.0 /. delta)))) in
+  create ?publish_every ~family:(Hashing.Family.seeded ~seed ~rows:d ~width:w)
+    ~domains ()
+
+let family t = t.family
+let rows t = t.rows
+let width t = t.width
+let domains t = Array.length t.planes
+
+let plane t domain =
+  if domain < 0 || domain >= Array.length t.planes then
+    invalid_arg "Flat_pcm: no such domain";
+  t.planes.(domain)
+
+let publish pl =
+  if pl.pending > 0 then begin
+    (* Single writer: plain read + atomic set (the release) suffices. *)
+    Atomic.set pl.total (Atomic.get pl.total + pl.pending);
+    pl.pending <- 0
+  end
+
+let update t ~domain a =
+  let pl = plane t domain in
+  let cells = pl.cells in
+  let p = Hashing.Family.probe t.family a in
+  for i = 0 to t.rows - 1 do
+    let col = Hashing.Family.probe_col t.family p ~row:i in
+    let idx = (i * t.width) + col in
+    Array.unsafe_set cells idx (Array.unsafe_get cells idx + 1)
+  done;
+  pl.pending <- pl.pending + 1;
+  if pl.pending >= t.publish_every then publish pl
+
+let update_many t ~domain a ~count =
+  if count < 0 then invalid_arg "Flat_pcm.update_many: count must be non-negative";
+  if count > 0 then begin
+    let pl = plane t domain in
+    let cells = pl.cells in
+    let p = Hashing.Family.probe t.family a in
+    for i = 0 to t.rows - 1 do
+      let col = Hashing.Family.probe_col t.family p ~row:i in
+      let idx = (i * t.width) + col in
+      Array.unsafe_set cells idx (Array.unsafe_get cells idx + count)
+    done;
+    pl.pending <- pl.pending + count;
+    if pl.pending >= t.publish_every then publish pl
+  end
+
+let flush t ~domain = publish (plane t domain)
+
+let flush_all t = Array.iter publish t.planes
+
+let query t a =
+  let p = Hashing.Family.probe t.family a in
+  let planes = t.planes in
+  let np = Array.length planes in
+  (* Index loops, not Array.iter: a closure capturing the accumulator
+     would box it and allocate per row, and this path is audited to
+     allocate nothing. *)
+  let best = ref max_int in
+  for i = 0 to t.rows - 1 do
+    let col = Hashing.Family.probe_col t.family p ~row:i in
+    let idx = (i * t.width) + col in
+    let sum = ref 0 in
+    (* Acquire each plane's publish point before its cells so everything
+       published is guaranteed visible; anything fresher we happen to see
+       is a later intermediate value, equally inside the envelope. *)
+    for j = 0 to np - 1 do
+      let pl = Array.unsafe_get planes j in
+      ignore (Atomic.get pl.total);
+      sum := !sum + Array.unsafe_get pl.cells idx
+    done;
+    if !sum < !best then best := !sum
+  done;
+  !best
+
+let updates t =
+  Array.fold_left (fun acc pl -> acc + Atomic.get pl.total) 0 t.planes
+
+let buffered t ~domain = (plane t domain).pending
+
+let snapshot_cells t =
+  Array.init t.rows (fun i ->
+      Array.init t.width (fun j ->
+          Array.fold_left
+            (fun acc pl -> acc + pl.cells.((i * t.width) + j))
+            0 t.planes))

@@ -1,0 +1,86 @@
+(** Flat per-domain counter planes: the cache-aware PCM layout.
+
+    {!Pcm} is the reference layout — one shared plane of boxed atomic
+    cells, every write an RMW on a one-word heap block that shares its
+    cache line with its neighbours. This module is the measured
+    alternative: each writer domain owns a private, contiguous, unboxed
+    [int array] plane (d×w, row-major) that it mutates with plain loads
+    and stores, and {e publishes} Stripes-style by an [Atomic.set] on a
+    padded per-plane counter every [publish_every] updates (or on
+    {!flush}). A query sums the planes cell-wise and takes the row
+    minimum.
+
+    Why this is still IVL: each plane is monotone non-decreasing, so any
+    cell value a query reads lies between that plane's published prefix
+    (everything before the last publish the reader acquires) and its
+    current value. Summing per-plane intermediate values yields an
+    intermediate value of the true cell count, and the row-minimum of
+    such sums is exactly the situation of Lemma 7 — the returned estimate
+    sits inside the query's IVL envelope once buffered updates are
+    treated as taking effect at publish time. With [publish_every = 1]
+    every update publishes immediately and the recorded-history envelope
+    test applies verbatim.
+
+    Single-writer contract: calls with a given [~domain] index must come
+    from one domain at a time (same contract as {!Ivl_counter} slots).
+    Queries may run concurrently from any domain. *)
+
+type t
+
+val create : ?publish_every:int -> family:Hashing.Family.t -> domains:int -> unit -> t
+(** [domains] fixes the number of writer planes. [publish_every]
+    (default 64) is the per-plane batch size between publishes; [1]
+    publishes on every update.
+    @raise Invalid_argument if [domains <= 0] or [publish_every <= 0]. *)
+
+val create_for_error :
+  ?publish_every:int ->
+  seed:int64 ->
+  alpha:float ->
+  delta:float ->
+  domains:int ->
+  unit ->
+  t
+(** Dimensions from target error, as [Pcm.create_for_error]:
+    [w = ⌈e/alpha⌉], [d = ⌈ln (1/delta)⌉]. *)
+
+val family : t -> Hashing.Family.t
+val rows : t -> int
+val width : t -> int
+val domains : t -> int
+
+val update : t -> domain:int -> int -> unit
+(** Increment element [a]'s cells on [domain]'s plane: d plain
+    increments, no atomics; publishes when the plane's pending count
+    reaches [publish_every].
+    @raise Invalid_argument on an out-of-range [domain]. *)
+
+val update_many : t -> domain:int -> int -> count:int -> unit
+(** [update_many t ~domain a ~count] adds [count] occurrences of [a] in
+    one pass (same cells, one publish check). No-op when [count = 0].
+    @raise Invalid_argument if [count < 0]. *)
+
+val flush : t -> domain:int -> unit
+(** Publish [domain]'s pending updates now. Call from the owning domain
+    (it reads and clears the owner-private pending count). *)
+
+val flush_all : t -> unit
+(** Publish every plane. Only safe when no domain is mid-update — e.g.
+    after joining writers, before a final exact read. *)
+
+val query : t -> int -> int
+(** Point estimate for element [a]: per row, sum the planes' cells (an
+    intermediate value of the true cell count) and return the minimum.
+    Wait-free, concurrent with updates. *)
+
+val updates : t -> int
+(** Sum of the planes' published update counts — an intermediate-value
+    read of the total stream length, monotone per reader. Excludes
+    pending (unpublished) updates. *)
+
+val buffered : t -> domain:int -> int
+(** [domain]'s pending (unpublished) update count. Owner-accurate;
+    racy from other domains. *)
+
+val snapshot_cells : t -> int array array
+(** Cell-wise sum of all planes as [d×w]; quiescent use (tests). *)

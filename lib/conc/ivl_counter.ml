@@ -2,7 +2,10 @@ type t = { slots : int Atomic.t array }
 
 let create ~procs =
   if procs <= 0 then invalid_arg "Ivl_counter.create: procs must be positive";
-  { slots = Array.init procs (fun _ -> Atomic.make 0) }
+  (* One padded slot per writer: the whole point of Algorithm 2 is that
+     updates touch writer-private locations, which unpadded adjacent boxes
+     would quietly undo through false sharing. *)
+  { slots = Padding.atomic_array procs 0 }
 
 let procs t = Array.length t.slots
 

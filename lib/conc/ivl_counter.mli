@@ -10,7 +10,9 @@
     Registers are [Atomic.t] so cross-domain publication is well-defined in
     the OCaml memory model; each register still has a single writer, matching
     the SWMR model of Section 6. Bounded wait-free with uniform step counts
-    (Theorem 11). *)
+    (Theorem 11). Each register is padded to its own cache line
+    ({!Padding}), so writers never share a line even accidentally — the
+    intended contrast with {!Faa_counter}'s single contended line. *)
 
 type t
 

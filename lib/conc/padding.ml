@@ -1,0 +1,37 @@
+(* Cache-line padding for contended heap blocks.
+
+   OCaml has no [@@align] and (before 5.2's make_contended) no runtime
+   support for padded atomics, but block size is something we *can* control:
+   copy the value into a fresh block whose size is rounded up to two cache
+   lines' worth of words. The GC preserves block sizes when it moves
+   objects, so the padding — unlike allocation-order tricks — survives
+   compaction. Two lines, not one, so that no matter how the allocator
+   phases blocks against line boundaries, the mutable word never shares a
+   line with a neighbouring block's mutable word. This is the same trick
+   multicore libraries (kcas, saturn via multicore-magic) rely on. *)
+
+(* 64-byte lines, 8-byte words. Generous for the common 64B case and still
+   a win on 128B-line hosts (Apple silicon): 2×8 words = one 128B line. *)
+let cache_line_words = 8
+
+let padded_words = (2 * cache_line_words) - 1 (* -1 for the header word *)
+
+let copy (v : 'a) : 'a =
+  let r = Obj.repr v in
+  if Obj.is_int r || Obj.tag r >= Obj.no_scan_tag || Obj.size r >= padded_words
+  then v
+  else begin
+    let n = Obj.new_block (Obj.tag r) padded_words in
+    for i = 0 to Obj.size r - 1 do
+      Obj.set_field n i (Obj.field r i)
+    done;
+    (* Fill the padding with immediates so the GC never scans garbage. *)
+    for i = Obj.size r to padded_words - 1 do
+      Obj.set_field n i (Obj.repr 0)
+    done;
+    Obj.obj n
+  end
+
+let atomic v = copy (Atomic.make v)
+
+let atomic_array n v = Array.init n (fun _ -> atomic v)

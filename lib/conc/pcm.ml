@@ -1,17 +1,23 @@
 type t = {
   family : Hashing.Family.t;
   width : int;
-  cells : int Atomic.t array; (* row-major d×w *)
-  n : int Atomic.t;
+  rows : int; (* hoisted: never re-derived by division on the hot paths *)
+  cells : int Atomic.t array; (* row-major d×w; boxed — the reference layout *)
+  n : Striped_total.t;
 }
+
+(* Stripe count for the update total: enough slots that the domains of a
+   saturated host rarely collide, cheap enough that reads stay trivial. *)
+let n_slots () = max 4 (Domain.recommended_domain_count () * 2)
 
 let create ~family =
   let d = Hashing.Family.rows family and w = Hashing.Family.width family in
   {
     family;
     width = w;
+    rows = d;
     cells = Array.init (d * w) (fun _ -> Atomic.make 0);
-    n = Atomic.make 0;
+    n = Striped_total.create ~slots:(n_slots ());
   }
 
 let create_for_error ~seed ~alpha ~delta =
@@ -24,49 +30,52 @@ let create_for_error ~seed ~alpha ~delta =
 
 let family t = t.family
 
-let rows t = Array.length t.cells / t.width
+let rows t = t.rows
 
 let width t = t.width
 
 let update t a =
-  for i = 0 to rows t - 1 do
-    let col = Hashing.Family.hash t.family ~row:i a in
+  let p = Hashing.Family.probe t.family a in
+  for i = 0 to t.rows - 1 do
+    let col = Hashing.Family.probe_col t.family p ~row:i in
     ignore (Atomic.fetch_and_add t.cells.((i * t.width) + col) 1)
   done;
-  ignore (Atomic.fetch_and_add t.n 1)
+  Striped_total.add t.n 1
 
 let update_many t a ~count =
   if count < 0 then invalid_arg "Pcm.update_many: count must be non-negative";
   if count > 0 then begin
-    for i = 0 to rows t - 1 do
-      let col = Hashing.Family.hash t.family ~row:i a in
+    let p = Hashing.Family.probe t.family a in
+    for i = 0 to t.rows - 1 do
+      let col = Hashing.Family.probe_col t.family p ~row:i in
       ignore (Atomic.fetch_and_add t.cells.((i * t.width) + col) count)
     done;
-    ignore (Atomic.fetch_and_add t.n count)
+    Striped_total.add t.n count
   end
 
 let query t a =
+  let p = Hashing.Family.probe t.family a in
   let best = ref max_int in
-  for i = 0 to rows t - 1 do
-    let col = Hashing.Family.hash t.family ~row:i a in
+  for i = 0 to t.rows - 1 do
+    let col = Hashing.Family.probe_col t.family p ~row:i in
     let c = Atomic.get t.cells.((i * t.width) + col) in
     if c < !best then best := c
   done;
   !best
 
-let updates t = Atomic.get t.n
+let updates t = Striped_total.read t.n
 
 let merge_into t delta =
   if not (Hashing.Family.compatible t.family (Sketches.Countmin.family delta)) then
     invalid_arg "Pcm.merge_into: delta must share a compatible hash family";
-  for i = 0 to rows t - 1 do
+  for i = 0 to t.rows - 1 do
     for j = 0 to t.width - 1 do
       let c = Sketches.Countmin.cell delta ~row:i ~col:j in
       if c <> 0 then ignore (Atomic.fetch_and_add t.cells.((i * t.width) + j) c)
     done
   done;
-  ignore (Atomic.fetch_and_add t.n (Sketches.Countmin.updates delta))
+  Striped_total.add t.n (Sketches.Countmin.updates delta)
 
 let snapshot_cells t =
-  Array.init (rows t) (fun i ->
+  Array.init t.rows (fun i ->
       Array.init t.width (fun j -> Atomic.get t.cells.((i * t.width) + j)))

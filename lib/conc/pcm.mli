@@ -9,7 +9,18 @@
 
     Updates and queries may be called from any number of domains
     concurrently. Wait-free: every operation finishes in d unconditional
-    atomic steps. *)
+    atomic steps.
+
+    This module is the {e reference} layout — one boxed atomic per cell,
+    exactly Algorithm 1's per-counter registers. It is kept deliberately
+    simple so the checkers validate against it; {!Flat_pcm} is the
+    cache-aware layout the ingestion paths should prefer (see
+    docs/PERFORMANCE.md for the measured gap). Two hot-path costs {e are}
+    fixed even here: the update total is striped across padded per-domain
+    slots ({!Striped_total} — reading it is an intermediate-value read, IVL
+    by construction) instead of one global contended atomic, and each
+    operation probes the hash family once ({!Hashing.Family.probe}), so a
+    double-hashed family costs 2 base hashes per update instead of d. *)
 
 type t
 
@@ -33,8 +44,12 @@ val update_many : t -> int -> count:int -> unit
 val query : t -> int -> int
 
 val updates : t -> int
-(** Number of updates that have {e started} (atomic counter); used only for
-    reporting, not by the algorithm. *)
+(** Number of updates that have {e started}; used only for reporting, not by
+    the algorithm. Striped across padded per-domain slots and summed here,
+    so concurrent writers never serialize on one cache line; like Algorithm
+    2's read, the sum is an intermediate value within the IVL envelope
+    [[total at invocation, total at response]] and successive reads from one
+    domain are monotone. *)
 
 val merge_into : t -> Sketches.Countmin.t -> unit
 (** [merge_into t delta] absorbs a sequential CountMin delta with one atomic

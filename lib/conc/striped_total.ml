@@ -1,0 +1,20 @@
+type t = { slots : int Atomic.t array }
+
+let create ~slots =
+  if slots <= 0 then invalid_arg "Striped_total.create: slots must be positive";
+  { slots = Padding.atomic_array slots 0 }
+
+let slots t = Array.length t.slots
+
+let slot_of t =
+  (* Domain ids are small consecutive ints; mod folds them onto the stripe
+     set. Two domains can land on one slot — that slot's FAA is then
+     contended, which is why the add stays a real atomic RMW rather than the
+     single-writer read-add-write Ivl_counter uses. *)
+  (Domain.self () :> int) mod Array.length t.slots
+
+let add t v = ignore (Atomic.fetch_and_add t.slots.(slot_of t) v)
+
+let read t = Array.fold_left (fun acc s -> acc + Atomic.get s) 0 t.slots
+
+let read_slot t i = Atomic.get t.slots.(i)

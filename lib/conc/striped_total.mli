@@ -1,0 +1,36 @@
+(** A striped monotone total: the contention fix for a single global
+    fetch-and-add counter.
+
+    Writers add into one of [slots] padded atomic cells, picked by the
+    calling domain's id, so concurrent writers touch distinct cache lines;
+    a read sums the slots. The sum is an {e intermediate-value} read — the
+    scan can interleave with concurrent adds — but each slot is monotone,
+    so exactly as in the paper's Algorithm 2 (Lemma 10) every read lies in
+    [[v_inv, v_rsp]]: the total at the read's invocation and at its
+    response. IVL by construction, at the price of an O(slots) read.
+
+    Unlike {!Ivl_counter} there is no single-writer contract: any domain
+    may add at any time (slot collisions just contend on that one slot's
+    FAA), which is what lets {!Pcm.updates} keep its any-domain API after
+    striping. *)
+
+type t
+
+val create : slots:int -> t
+(** [slots] is the stripe count; match it to the expected writer
+    parallelism (a few more than [Domain.recommended_domain_count ()] is
+    typical). @raise Invalid_argument if [slots <= 0]. *)
+
+val slots : t -> int
+
+val add : t -> int -> unit
+(** Add [v] to the calling domain's slot. Wait-free: one uncontended
+    fetch-and-add on a padded cell in the common case. *)
+
+val read : t -> int
+(** Sum of all slots — any intermediate value per IVL; successive reads by
+    one domain are monotone (each slot is scanned in the same order and
+    never decreases). *)
+
+val read_slot : t -> int -> int
+(** One slot's value (tests, reporting). *)

@@ -79,6 +79,9 @@ module Make (M : Mergeable.S) : sig
     shed : bool;  (** permanently degraded: restart cap exceeded *)
     last_error : string option;  (** most recent death (or shed) reason *)
     beats : int;  (** worker heartbeats, one per batch loop, all incarnations *)
+    coalesced : int;
+        (** sketch updates saved by the combining buffer (items absorbed
+            minus distinct keys, summed over batches); 0 without [combine] *)
   }
 
   type stats = {
@@ -93,6 +96,7 @@ module Make (M : Mergeable.S) : sig
   val create :
     ?queue_capacity:int ->
     ?batch:int ->
+    ?combine:bool ->
     ?on_tick:(shard:int -> unit) ->
     ?on_merge:(epoch:int -> weight:int -> blob:Bytes.t -> unit) ->
     ?checkpoint_every:int ->
@@ -109,6 +113,16 @@ module Make (M : Mergeable.S) : sig
       shard (under a supervisor, the restarted incarnation runs the same
       hook, so a hook that kills unconditionally produces a crash loop that
       ends in shedding — by design).
+
+      [combine] (default [false]) gives each worker a small combining
+      buffer: the keys of each popped batch are aggregated in a private
+      hash table and folded into the delta with one
+      {!Mergeable.S.update_many} per distinct key, so a skewed batch's
+      duplicates cost one sketch update instead of many. The delta after
+      the batch is identical for weight-linear sketches (CountMin,
+      Counter) and summary-equivalent for the rest; flush cadence, blobs,
+      and the IVL envelope are unchanged. Savings are reported per shard
+      as {!shard_stats.coalesced}.
 
       [on_merge ~epoch ~weight ~blob] runs in the merger's domain after each
       merge, in strict epoch order, outside the query mutex — the WAL append

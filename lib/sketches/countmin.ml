@@ -22,17 +22,37 @@ let rows t = Array.length t.cells
 
 let width t = Hashing.Family.width t.family
 
+(* The loops hoist the row count and probe once per element
+   (Family.probe/probe_col): on a double-hashed family an update costs 2
+   field evaluations instead of d. *)
+
 let update t a =
-  for i = 0 to rows t - 1 do
-    let col = Hashing.Family.hash t.family ~row:i a in
+  let d = Array.length t.cells in
+  let p = Hashing.Family.probe t.family a in
+  for i = 0 to d - 1 do
+    let col = Hashing.Family.probe_col t.family p ~row:i in
     t.cells.(i).(col) <- t.cells.(i).(col) + 1
   done;
   t.n <- t.n + 1
 
+let update_many t a ~count =
+  if count < 0 then invalid_arg "Countmin.update_many: count must be non-negative";
+  if count > 0 then begin
+    let d = Array.length t.cells in
+    let p = Hashing.Family.probe t.family a in
+    for i = 0 to d - 1 do
+      let col = Hashing.Family.probe_col t.family p ~row:i in
+      t.cells.(i).(col) <- t.cells.(i).(col) + count
+    done;
+    t.n <- t.n + count
+  end
+
 let query t a =
+  let d = Array.length t.cells in
+  let p = Hashing.Family.probe t.family a in
   let best = ref max_int in
-  for i = 0 to rows t - 1 do
-    let col = Hashing.Family.hash t.family ~row:i a in
+  for i = 0 to d - 1 do
+    let col = Hashing.Family.probe_col t.family p ~row:i in
     if t.cells.(i).(col) < !best then best := t.cells.(i).(col)
   done;
   !best

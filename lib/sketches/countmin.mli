@@ -32,6 +32,13 @@ val width : t -> int
 val update : t -> int -> unit
 (** Process one element. *)
 
+val update_many : t -> int -> count:int -> unit
+(** [update_many t a ~count] processes [count] occurrences of [a] with one
+    addition per row — what combining buffers (pipeline shards,
+    {!Conc.Buffered_pcm}-style delegation) flush with. Equivalent to
+    [count] calls of {!update} for every query.
+    @raise Invalid_argument if [count < 0]. *)
+
 val query : t -> int -> int
 (** Estimated frequency of an element: min over rows. *)
 

@@ -200,6 +200,205 @@ let test_locked_countmin_concurrent () =
       (Conc.Locked_countmin.query cm a)
   done
 
+(* ------------------------- Flat PCM ------------------------- *)
+
+let test_flat_pcm_sequential_matches_reference () =
+  let family = Hashing.Family.seeded ~seed:77L ~rows:3 ~width:32 in
+  let fp = Conc.Flat_pcm.create ~publish_every:1 ~family ~domains:1 () in
+  let reference = Sketches.Countmin.create ~family in
+  let stream =
+    Workload.Stream.generate ~seed:78L (Workload.Stream.Zipf (60, 1.1)) ~length:3000
+  in
+  Array.iter
+    (fun a ->
+      Conc.Flat_pcm.update fp ~domain:0 a;
+      Sketches.Countmin.update reference a)
+    stream;
+  for a = 0 to 59 do
+    Alcotest.(check int)
+      (Printf.sprintf "element %d" a)
+      (Sketches.Countmin.query reference a)
+      (Conc.Flat_pcm.query fp a)
+  done;
+  Alcotest.(check int) "update count" 3000 (Conc.Flat_pcm.updates fp)
+
+let test_flat_pcm_concurrent_cells_exact () =
+  (* Plane-per-writer: after all writers join and flush, the cell-wise sum
+     equals the sequential matrix on the same multiset of updates. *)
+  let family = Hashing.Family.seeded ~seed:80L ~rows:2 ~width:16 in
+  let fp = Conc.Flat_pcm.create ~publish_every:64 ~family ~domains:4 () in
+  let reference = Sketches.Countmin.create ~family in
+  let stream =
+    Workload.Stream.generate ~seed:81L (Workload.Stream.Uniform 40) ~length:8000
+  in
+  let chunks = Workload.Stream.chunks stream ~pieces:4 in
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun i ->
+        Array.iter (Conc.Flat_pcm.update fp ~domain:i) chunks.(i);
+        Conc.Flat_pcm.flush fp ~domain:i)
+  in
+  Array.iter (Sketches.Countmin.update reference) stream;
+  Alcotest.(check int) "all updates published" 8000 (Conc.Flat_pcm.updates fp);
+  let cells = Conc.Flat_pcm.snapshot_cells fp in
+  for row = 0 to 1 do
+    for col = 0 to 15 do
+      Alcotest.(check int)
+        (Printf.sprintf "cell (%d,%d)" row col)
+        (Sketches.Countmin.cell reference ~row ~col)
+        cells.(row).(col)
+    done
+  done
+
+let test_flat_pcm_publish_batching () =
+  let family = Hashing.Family.seeded ~seed:82L ~rows:2 ~width:16 in
+  let fp = Conc.Flat_pcm.create ~publish_every:10 ~family ~domains:2 () in
+  for _ = 1 to 9 do
+    Conc.Flat_pcm.update fp ~domain:0 7
+  done;
+  Alcotest.(check int) "nothing published below the batch" 0
+    (Conc.Flat_pcm.updates fp);
+  Alcotest.(check int) "all buffered" 9 (Conc.Flat_pcm.buffered fp ~domain:0);
+  Conc.Flat_pcm.update fp ~domain:0 7;
+  Alcotest.(check int) "batch published" 10 (Conc.Flat_pcm.updates fp);
+  Alcotest.(check int) "buffer reset" 0 (Conc.Flat_pcm.buffered fp ~domain:0);
+  Conc.Flat_pcm.update fp ~domain:0 7;
+  Alcotest.(check int) "stays at batch boundary" 10 (Conc.Flat_pcm.updates fp);
+  (* The cells themselves always carry unpublished updates (monotone plane),
+     so a query may run ahead of [updates] — that is the IVL slack. *)
+  Alcotest.(check int) "query sees buffered increments" 11
+    (Conc.Flat_pcm.query fp 7);
+  Conc.Flat_pcm.flush fp ~domain:0;
+  Alcotest.(check int) "flush publishes the tail" 11 (Conc.Flat_pcm.updates fp);
+  Conc.Flat_pcm.flush_all fp;
+  Alcotest.(check int) "flush_all idempotent on empty planes" 11
+    (Conc.Flat_pcm.updates fp)
+
+let test_flat_pcm_concurrent_queries_bounded () =
+  (* Readers racing writers, publish_every = 1 so every update is published
+     before the oracle tick: the estimate never under-counts the oracle
+     reading taken before the query started. *)
+  let family = Hashing.Family.seeded ~seed:90L ~rows:4 ~width:64 in
+  let fp = Conc.Flat_pcm.create ~publish_every:1 ~family ~domains:3 () in
+  let probe = 0 in
+  let oracle = Atomic.make 0 in
+  let stream =
+    Workload.Stream.generate ~seed:91L (Workload.Stream.Zipf (50, 1.3))
+      ~length:40_000
+  in
+  let chunks = Workload.Stream.chunks stream ~pieces:3 in
+  let violations = Atomic.make 0 in
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun i ->
+        if i < 3 then
+          Array.iter
+            (fun a ->
+              Conc.Flat_pcm.update fp ~domain:i a;
+              if a = probe then ignore (Atomic.fetch_and_add oracle 1))
+            chunks.(i)
+        else
+          for _ = 1 to 3_000 do
+            let before = Atomic.get oracle in
+            let est = Conc.Flat_pcm.query fp probe in
+            if est < before then ignore (Atomic.fetch_and_add violations 1)
+          done)
+  in
+  Alcotest.(check int) "no under-estimates" 0 (Atomic.get violations)
+
+let test_flat_pcm_theorem6_bound () =
+  (* After a full flush the flat layout is just a CountMin over the same
+     multiset, so Theorem 6's additive bound applies: est ∈ [f, f + e/w·n]. *)
+  let rows = 4 and width = 256 in
+  let family = Hashing.Family.seeded ~seed:21L ~rows ~width in
+  let n = 20_000 in
+  let universe = 400 in
+  let stream =
+    Workload.Stream.generate ~seed:9L (Workload.Stream.Zipf (universe, 1.2))
+      ~length:n
+  in
+  let fp = Conc.Flat_pcm.create ~family ~domains:2 () in
+  let chunks = Workload.Stream.chunks stream ~pieces:2 in
+  let _ =
+    Conc.Runner.parallel ~domains:2 (fun i ->
+        Array.iter (Conc.Flat_pcm.update fp ~domain:i) chunks.(i);
+        Conc.Flat_pcm.flush fp ~domain:i)
+  in
+  Alcotest.(check int) "sketch saw every update" n (Conc.Flat_pcm.updates fp);
+  let exact = Sketches.Exact.create () in
+  Array.iter (Sketches.Exact.update exact) stream;
+  let bound =
+    int_of_float
+      (ceil (Float.exp 1.0 /. float_of_int width *. float_of_int n))
+  in
+  for a = 0 to universe - 1 do
+    let f = Sketches.Exact.frequency exact a and est = Conc.Flat_pcm.query fp a in
+    if est < f || est > f + bound then
+      Alcotest.failf "element %d: estimate %d outside [%d, %d + %d]" a est f f
+        bound
+  done
+
+let test_flat_pcm_update_many () =
+  let family = Hashing.Family.seeded ~seed:83L ~rows:3 ~width:32 in
+  let fp = Conc.Flat_pcm.create ~publish_every:1 ~family ~domains:1 () in
+  let reference = Conc.Flat_pcm.create ~publish_every:1 ~family ~domains:1 () in
+  Conc.Flat_pcm.update_many fp ~domain:0 5 ~count:7;
+  for _ = 1 to 7 do
+    Conc.Flat_pcm.update reference ~domain:0 5
+  done;
+  Alcotest.(check int) "batched equals repeated" (Conc.Flat_pcm.query reference 5)
+    (Conc.Flat_pcm.query fp 5);
+  Alcotest.(check int) "updates counted with weight" 7 (Conc.Flat_pcm.updates fp);
+  Conc.Flat_pcm.update_many fp ~domain:0 5 ~count:0;
+  Alcotest.(check int) "count 0 is a no-op" 7 (Conc.Flat_pcm.updates fp);
+  Alcotest.check_raises "negative count rejected"
+    (Invalid_argument "Flat_pcm.update_many: count must be non-negative")
+    (fun () -> Conc.Flat_pcm.update_many fp ~domain:0 5 ~count:(-1))
+
+let test_flat_pcm_validation () =
+  let family = Hashing.Family.seeded ~seed:84L ~rows:2 ~width:8 in
+  Alcotest.check_raises "domains must be positive"
+    (Invalid_argument "Flat_pcm.create: domains must be positive") (fun () ->
+      ignore (Conc.Flat_pcm.create ~family ~domains:0 ()));
+  Alcotest.check_raises "publish_every must be positive"
+    (Invalid_argument "Flat_pcm.create: publish_every must be positive")
+    (fun () -> ignore (Conc.Flat_pcm.create ~publish_every:0 ~family ~domains:1 ()));
+  let fp = Conc.Flat_pcm.create ~family ~domains:2 () in
+  Alcotest.check_raises "bad domain index"
+    (Invalid_argument "Flat_pcm: no such domain") (fun () ->
+      Conc.Flat_pcm.update fp ~domain:2 0)
+
+(* End-to-end Lemma 7 for the flat layout: with publish_every = 1 every
+   update publishes before returning, so recorded executions must be IVL
+   w.r.t. the CM spec sharing the same hash family. *)
+let test_recorded_flat_pcm_histories_are_ivl () =
+  let family = Hashing.Family.seeded ~seed:123L ~rows:2 ~width:4 in
+  let module Cm = Spec.Countmin_spec.Fixed (struct
+    let family = family
+  end) in
+  let module Cm_check = Ivl.Check.Make (Cm) in
+  for round = 1 to 30 do
+    let rec_ = Conc.Recorder.create ~domains:3 in
+    let fp = Conc.Flat_pcm.create ~publish_every:1 ~family ~domains:2 () in
+    let _ =
+      Conc.Runner.parallel ~domains:3 (fun i ->
+          if i < 2 then
+            for k = 0 to 2 do
+              let a = (i + k) mod 3 in
+              Conc.Recorder.record_update rec_ ~domain:i ~obj:0 a (fun () ->
+                  Conc.Flat_pcm.update fp ~domain:i a)
+            done
+          else
+            for a = 0 to 2 do
+              ignore
+                (Conc.Recorder.record_query rec_ ~domain:i ~obj:0 a (fun () ->
+                     Conc.Flat_pcm.query fp a))
+            done)
+    in
+    let h = Conc.Recorder.history rec_ in
+    if not (Cm_check.is_ivl h) then
+      Alcotest.failf "recorded flat PCM execution %d not IVL:\n%s" round
+        (Test_helpers.show_history h)
+  done
+
 (* ------------------------- Morris ------------------------- *)
 
 let test_morris_conc_sequential_path () =
@@ -716,6 +915,142 @@ let test_distinct_counters_agree () =
     true (rel < 0.15)
 
 
+(* ------------------------- stripes scaffold ------------------------- *)
+
+(* Drive Stripes.Make directly with the simplest possible sketch (a counter
+   cell) so the publish-boundary arithmetic is visible without any sketch
+   noise on top. *)
+module Int_stripes = Conc.Stripes.Make (struct
+  type t = int ref
+
+  let copy r = ref !r
+end)
+
+let int_stripes_published t =
+  Array.fold_left (fun acc v -> acc + !v) 0 (Int_stripes.views t)
+
+let test_stripes_publish_every_one () =
+  (* publish_every = 1: every update is visible in the views immediately —
+     the zero-staleness corner the recorded-IVL tests rely on. *)
+  let t = Int_stripes.create ~publish_every:1 ~domains:2 (fun _ -> ref 0) in
+  for k = 1 to 5 do
+    Int_stripes.update t ~domain:0 incr;
+    Alcotest.(check int) (Printf.sprintf "update %d published" k) k
+      (int_stripes_published t)
+  done
+
+let test_stripes_exact_multiple_batches () =
+  (* A stream that is an exact multiple of publish_every leaves nothing
+     buffered: the boundary publish must fire on the last update, not one
+     update later. *)
+  let t = Int_stripes.create ~publish_every:4 ~domains:1 (fun _ -> ref 0) in
+  for _ = 1 to 8 do
+    Int_stripes.update t ~domain:0 incr
+  done;
+  Alcotest.(check int) "two full batches all published" 8
+    (int_stripes_published t);
+  Int_stripes.update t ~domain:0 incr;
+  Alcotest.(check int) "ninth update buffered, views unchanged" 8
+    (int_stripes_published t);
+  Alcotest.(check int) "local sees it" 9 !(Int_stripes.local t ~domain:0)
+
+let test_stripes_flush_resets_since_publish () =
+  (* flush must reset the batch countdown: after a mid-batch flush the next
+     publish happens publish_every updates later, not at the stale
+     boundary. *)
+  let t = Int_stripes.create ~publish_every:4 ~domains:1 (fun _ -> ref 0) in
+  Int_stripes.update t ~domain:0 incr;
+  Int_stripes.update t ~domain:0 incr;
+  Alcotest.(check int) "mid-batch, nothing published" 0 (int_stripes_published t);
+  Int_stripes.flush t ~domain:0;
+  Alcotest.(check int) "flush publishes the partial batch" 2
+    (int_stripes_published t);
+  for _ = 1 to 3 do
+    Int_stripes.update t ~domain:0 incr
+  done;
+  Alcotest.(check int) "countdown restarted: 3 more stay buffered" 2
+    (int_stripes_published t);
+  Int_stripes.update t ~domain:0 incr;
+  Alcotest.(check int) "fourth post-flush update publishes" 6
+    (int_stripes_published t)
+
+let test_stripes_domains_independent () =
+  (* One domain's publishes must not flush a sibling's buffered updates. *)
+  let t = Int_stripes.create ~publish_every:2 ~domains:2 (fun _ -> ref 0) in
+  Int_stripes.update t ~domain:0 incr;
+  Int_stripes.update t ~domain:1 incr;
+  Alcotest.(check int) "both buffered" 0 (int_stripes_published t);
+  Int_stripes.update t ~domain:0 incr;
+  Alcotest.(check int) "only domain 0 published" 2 (int_stripes_published t);
+  Int_stripes.flush_all t;
+  Alcotest.(check int) "flush_all publishes the rest" 3 (int_stripes_published t)
+
+(* ------------------------- striped totals ------------------------- *)
+
+let test_striped_total_basics () =
+  let t = Conc.Striped_total.create ~slots:4 in
+  Alcotest.(check int) "empty" 0 (Conc.Striped_total.read t);
+  Conc.Striped_total.add t 5;
+  Conc.Striped_total.add t 7;
+  Alcotest.(check int) "sums across slots" 12 (Conc.Striped_total.read t);
+  Alcotest.check_raises "slots must be positive"
+    (Invalid_argument "Striped_total.create: slots must be positive") (fun () ->
+      ignore (Conc.Striped_total.create ~slots:0))
+
+let test_striped_updates_envelope () =
+  (* Pcm.updates is an intermediate-value read of the striped total: while
+     writers run it must stay within [0, total] and be monotone for a
+     single reader; after the join it must be exact. *)
+  let family = Hashing.Family.seeded ~seed:210L ~rows:2 ~width:64 in
+  let pcm = Conc.Pcm.create ~family in
+  let writers = 3 in
+  let per_writer = 30_000 in
+  let total = writers * per_writer in
+  let violations = Atomic.make 0 in
+  let _ =
+    Conc.Runner.parallel ~domains:(writers + 1) (fun i ->
+        if i < writers then
+          for k = 1 to per_writer do
+            Conc.Pcm.update pcm (k mod 50)
+          done
+        else begin
+          let prev = ref 0 in
+          for _ = 1 to 2_000 do
+            let n = Conc.Pcm.updates pcm in
+            if n < !prev || n > total then
+              ignore (Atomic.fetch_and_add violations 1);
+            prev := n
+          done
+        end)
+  in
+  Alcotest.(check int) "reads monotone and bounded" 0 (Atomic.get violations);
+  Alcotest.(check int) "exact after join" total (Conc.Pcm.updates pcm)
+
+let test_pcm_update_many_large_counts () =
+  (* Counts near the int extreme: two half-max batches must accumulate
+     without wrapping in the cells or the striped total. *)
+  let family = Hashing.Family.seeded ~seed:211L ~rows:2 ~width:8 in
+  let pcm = Conc.Pcm.create ~family in
+  let half = max_int / 2 in
+  Conc.Pcm.update_many pcm 3 ~count:half;
+  Alcotest.(check int) "first half counted" half (Conc.Pcm.query pcm 3);
+  Conc.Pcm.update_many pcm 3 ~count:half;
+  Alcotest.(check int) "cells accumulate to max_int - 1" (half * 2)
+    (Conc.Pcm.query pcm 3);
+  Alcotest.(check int) "updates total matches" (half * 2) (Conc.Pcm.updates pcm);
+  Alcotest.(check bool) "no wrap to negative" true (Conc.Pcm.query pcm 3 > 0)
+
+let test_countmin_update_many_edges () =
+  let family = Hashing.Family.seeded ~seed:212L ~rows:2 ~width:8 in
+  let cm = Sketches.Countmin.create ~family in
+  Sketches.Countmin.update_many cm 4 ~count:0;
+  Alcotest.(check int) "count 0 is a no-op" 0 (Sketches.Countmin.updates cm);
+  Sketches.Countmin.update_many cm 4 ~count:9;
+  Alcotest.(check int) "weighted" 9 (Sketches.Countmin.query cm 4);
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Countmin.update_many: count must be non-negative")
+    (fun () -> Sketches.Countmin.update_many cm 4 ~count:(-2))
+
 let test_pcm_update_many_equivalence () =
   let family = Hashing.Family.seeded ~seed:200L ~rows:3 ~width:16 in
   let a = Conc.Pcm.create ~family and b = Conc.Pcm.create ~family in
@@ -1028,6 +1363,39 @@ let () =
             test_pcm_merge_into_concurrent;
           Alcotest.test_case "update_many equivalence" `Quick
             test_pcm_update_many_equivalence;
+          Alcotest.test_case "update_many large counts" `Quick
+            test_pcm_update_many_large_counts;
+          Alcotest.test_case "countmin update_many edges" `Quick
+            test_countmin_update_many_edges;
+          Alcotest.test_case "striped total basics" `Quick test_striped_total_basics;
+          Alcotest.test_case "striped updates envelope" `Quick
+            test_striped_updates_envelope;
+        ] );
+      ( "stripes",
+        [
+          Alcotest.test_case "publish_every 1 is immediate" `Quick
+            test_stripes_publish_every_one;
+          Alcotest.test_case "exact-multiple batches" `Quick
+            test_stripes_exact_multiple_batches;
+          Alcotest.test_case "flush resets since_publish" `Quick
+            test_stripes_flush_resets_since_publish;
+          Alcotest.test_case "domains independent" `Quick
+            test_stripes_domains_independent;
+        ] );
+      ( "flat_pcm",
+        [
+          Alcotest.test_case "sequential reference" `Quick
+            test_flat_pcm_sequential_matches_reference;
+          Alcotest.test_case "concurrent cells exact" `Quick
+            test_flat_pcm_concurrent_cells_exact;
+          Alcotest.test_case "publish batching" `Quick test_flat_pcm_publish_batching;
+          Alcotest.test_case "concurrent queries bounded" `Quick
+            test_flat_pcm_concurrent_queries_bounded;
+          Alcotest.test_case "theorem 6 bound" `Quick test_flat_pcm_theorem6_bound;
+          Alcotest.test_case "update_many" `Quick test_flat_pcm_update_many;
+          Alcotest.test_case "validation" `Quick test_flat_pcm_validation;
+          Alcotest.test_case "recorded histories are IVL" `Quick
+            test_recorded_flat_pcm_histories_are_ivl;
         ] );
       ( "morris",
         [

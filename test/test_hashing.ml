@@ -150,6 +150,104 @@ let test_family_seeded_reproducible () =
     done
   done
 
+(* --- Kirsch–Mitzenmacher double hashing --- *)
+
+let test_km_probe_hash_consistency () =
+  (* The one-pass contract: probe_col over a packed probe must agree with
+     hash, for pow2 widths (mask fast path), non-pow2 widths (division
+     path), and the width-1 degenerate case. *)
+  List.iter
+    (fun (rows, width) ->
+      let f = Hashing.Family.seeded_km ~seed:11L ~rows ~width in
+      Alcotest.(check bool) "flagged as double-hashed" true
+        (Hashing.Family.double_hashed f);
+      for x = 0 to 500 do
+        let p = Hashing.Family.probe f x in
+        for row = 0 to rows - 1 do
+          let via_probe = Hashing.Family.probe_col f p ~row in
+          let direct = Hashing.Family.hash f ~row x in
+          Alcotest.(check int)
+            (Printf.sprintf "rows=%d width=%d x=%d row=%d" rows width x row)
+            direct via_probe;
+          Alcotest.(check bool) "in range" true (direct >= 0 && direct < width)
+        done
+      done)
+    [ (4, 1024); (3, 1000); (2, 1); (5, 7); (1, 2) ]
+
+let test_km_seeded_equivalence () =
+  (* Same seed, same derived rows — the property the bench ablation leans
+     on to compare families apples-to-apples. *)
+  let f1 = Hashing.Family.seeded_km ~seed:42L ~rows:4 ~width:512 in
+  let f2 = Hashing.Family.seeded_km ~seed:42L ~rows:4 ~width:512 in
+  for row = 0 to 3 do
+    for x = 0 to 300 do
+      Alcotest.(check int) "same coins, same hash"
+        (Hashing.Family.hash f1 ~row x)
+        (Hashing.Family.hash f2 ~row x)
+    done
+  done;
+  Alcotest.(check bool) "compatible with its twin" true
+    (Hashing.Family.compatible f1 f2);
+  let f3 = Hashing.Family.seeded_km ~seed:43L ~rows:4 ~width:512 in
+  let differs = ref false in
+  for x = 0 to 300 do
+    if Hashing.Family.hash f1 ~row:0 x <> Hashing.Family.hash f3 ~row:0 x then
+      differs := true
+  done;
+  Alcotest.(check bool) "different coins differ" true !differs;
+  let rows_family = Hashing.Family.seeded ~seed:42L ~rows:4 ~width:512 in
+  Alcotest.(check bool) "never compatible with an independent-rows family"
+    false
+    (Hashing.Family.compatible f1 rows_family);
+  Alcotest.(check bool) "KM coefficients are not serializable" true
+    (Hashing.Family.coefficients f1 = None)
+
+let test_km_adjacent_rows_disagree () =
+  (* step(x) >= 1, so consecutive derived rows never collide on the same
+     column (the stride is nonzero mod w). *)
+  let f = Hashing.Family.seeded_km ~seed:5L ~rows:4 ~width:64 in
+  for x = 0 to 999 do
+    for row = 0 to 2 do
+      if Hashing.Family.hash f ~row x = Hashing.Family.hash f ~row:(row + 1) x
+      then
+        Alcotest.failf "x=%d rows %d and %d collide on column %d" x row
+          (row + 1)
+          (Hashing.Family.hash f ~row x)
+    done
+  done
+
+let test_km_validation () =
+  Alcotest.check_raises "rows must be positive"
+    (Invalid_argument "Family.seeded_km: rows must be positive") (fun () ->
+      ignore (Hashing.Family.seeded_km ~seed:1L ~rows:0 ~width:8));
+  Alcotest.check_raises "width must be positive"
+    (Invalid_argument "Family.seeded_km: width must be positive") (fun () ->
+      ignore (Hashing.Family.seeded_km ~seed:1L ~rows:2 ~width:0));
+  Alcotest.check_raises "width must fit the packed probe"
+    (Invalid_argument "Family.seeded_km: width must fit the packed probe (<= 2^30)")
+    (fun () ->
+      ignore (Hashing.Family.seeded_km ~seed:1L ~rows:2 ~width:(1 lsl 31)))
+
+let test_rows_probe_hash_consistency () =
+  (* The same one-pass contract holds for independent-rows families (where
+     the probe is the identity), including explicit mappings that may
+     return negative values. *)
+  let seeded = Hashing.Family.seeded ~seed:9L ~rows:3 ~width:48 in
+  let mapped =
+    Hashing.Family.of_mapping ~width:5 [| (fun x -> -x); (fun x -> x * 3) |]
+  in
+  List.iter
+    (fun f ->
+      for x = 0 to 200 do
+        let p = Hashing.Family.probe f x in
+        for row = 0 to Hashing.Family.rows f - 1 do
+          Alcotest.(check int) "probe_col agrees with hash"
+            (Hashing.Family.hash f ~row x)
+            (Hashing.Family.probe_col f p ~row)
+        done
+      done)
+    [ seeded; mapped ]
+
 let test_tabulation_range_and_determinism () =
   let g = Rng.Splitmix.create 55L in
   let t = Hashing.Tabulation.create g in
@@ -228,6 +326,17 @@ let () =
           Alcotest.test_case "rows independent" `Quick test_family_rows_independent;
           Alcotest.test_case "of_mapping" `Quick test_family_of_mapping;
           Alcotest.test_case "seeded reproducible" `Quick test_family_seeded_reproducible;
+          Alcotest.test_case "probe/hash consistency (rows)" `Quick
+            test_rows_probe_hash_consistency;
+        ] );
+      ( "double-hashing",
+        [
+          Alcotest.test_case "probe/hash consistency" `Quick
+            test_km_probe_hash_consistency;
+          Alcotest.test_case "seeded equivalence" `Quick test_km_seeded_equivalence;
+          Alcotest.test_case "adjacent rows disagree" `Quick
+            test_km_adjacent_rows_disagree;
+          Alcotest.test_case "validation" `Quick test_km_validation;
         ] );
       ( "tabulation",
         [
