@@ -121,6 +121,12 @@ let record_samples ~exp ~name ?(params = []) ?(unit_ = "Mops/s") samples =
 let record ~exp ~name ?(params = []) ?(unit_ = "Mops/s") sample =
   record_samples ~exp ~name ~params ~unit_ [ sample ]
 
+(* Non-numeric files an experiment leaves next to the BENCH_*.json mirrors
+   (e.g. E13's metrics snapshot). Listed in the summary manifest so CI
+   uploads and notebooks find them from the one well-known name. *)
+let artifacts : (string * string) list ref = ref []
+let register_artifact ~name ~path = artifacts := (name, path) :: !artifacts
+
 let ops_per_sec ~unit_ mean =
   match unit_ with
   | "Mops/s" -> Some (mean *. 1e6)
@@ -205,7 +211,8 @@ let write_json_files () =
       \  \"git_sha\": %s,\n\
       \  \"files\": [\n\
        %s\n\
-      \  ]\n\
+      \  ],\n\
+      \  \"artifacts\": [%s]\n\
        }\n"
       (json_string (iso8601_now ()))
       (match git_sha () with Some s -> json_string s | None -> "null")
@@ -217,7 +224,18 @@ let write_json_files () =
                 (json_string exp)
                 (json_string (Printf.sprintf "BENCH_%s.json" exp))
                 (List.length entries))
-            exps));
+            exps))
+      (match List.rev !artifacts with
+      | [] -> ""
+      | arts ->
+          "\n"
+          ^ String.concat ",\n"
+              (List.map
+                 (fun (name, path) ->
+                   Printf.sprintf "    { \"name\": %s, \"path\": %s }"
+                     (json_string name) (json_string path))
+                 arts)
+          ^ "\n  ");
     close_out oc;
     Printf.printf "wrote BENCH_summary.json (%d experiment file(s))\n"
       (List.length exps)

@@ -13,6 +13,13 @@
      that no amount of runner noise explains. Any increase beyond float
      dust is always fatal.
 
+   A third class, {e budgets} (unit "pct" — relative overheads like E14's
+   instrumented-vs-bare pipeline delta), gates on absolute drift: the
+   value is already a percentage, so relative thresholds make no sense.
+   Growing by more than 5 points over the recorded baseline is fatal —
+   a telemetry layer quietly doubling its overhead is a design break,
+   not noise.
+
    Entries are matched by (name, params); entries present only in OLD are
    reported (a silently vanished benchmark must not read as "no
    regressions") but not fatal, so the gate survives adding/renaming
@@ -240,6 +247,11 @@ let timing_direction = function
 
 let structural_unit = function "B/op" -> true | _ -> false
 
+(* Overhead budgets are percentages already; gate on absolute points. *)
+let budget_unit = function "pct" -> true | _ -> false
+
+let budget_slack_points = 5.0
+
 let main args =
   let threshold = ref 20.0 in
   let timing_fatal = ref false in
@@ -310,6 +322,15 @@ let main args =
                           "STRUCTURAL %s: %.1f -> %.1f %s (hot path now \
                            allocates)"
                           o.key o.mean nw.mean o.unit_;
+                        "FAIL"
+                      end
+                      else "ok"
+                    else if budget_unit o.unit_ then
+                      if nw.mean > o.mean +. budget_slack_points then begin
+                        fatal
+                          "BUDGET %s: %.1f -> %.1f pct (more than %.0f points \
+                           over the recorded overhead)"
+                          o.key o.mean nw.mean budget_slack_points;
                         "FAIL"
                       end
                       else "ok"

@@ -109,7 +109,7 @@ let recovery_time ~records dir =
   done;
   Durable.Wal.close w;
   let t0 = Unix.gettimeofday () in
-  (match R.recover ~dir with
+  (match R.recover ~dir () with
   | Ok (_, r) -> assert (r.R.replayed = records)
   | Error e -> failwith e);
   Unix.gettimeofday () -. t0

@@ -5,7 +5,8 @@
 
    Run with: dune exec bench/main.exe            (all experiments)
             dune exec bench/main.exe -- steps    (one section)
-   Sections: steps checker error throughput morris quantiles pq ablation micro
+   Sections: steps checker error throughput morris quantiles pq ablation
+   pipeline durable obs micro
 
    The harness doubles as the regression gate:
             dune exec bench/main.exe -- compare OLD.json NEW.json
@@ -91,6 +92,7 @@ let sections =
     ("pq", Exp_pq.run);
     ("pipeline", Exp_pipeline.run);
     ("durable", Exp_durable.run);
+    ("obs", Exp_obs.run);
     ("micro", micro);
   ]
 

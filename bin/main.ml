@@ -788,6 +788,108 @@ let kmv_k = 256
 let quantiles_k = 200
 let ss_capacity = 64
 
+(* --------------------------- observability ---------------------------- *)
+
+(* Injected chaos faults land in the victim worker's own trace lane: the
+   engine runs chaos points from [on_tick] in the worker's domain, so the
+   lane stays single-writer. *)
+let chaos_trace_hook tr ~domain ~point ev =
+  let tag =
+    match ev with
+    | Conc.Chaos.Injected_yield -> "chaos-yield"
+    | Conc.Chaos.Injected_stall -> "chaos-stall"
+    | Conc.Chaos.Injected_kill -> "chaos-kill"
+  in
+  Obs.Trace.emit tr ~lane:domain ~tag ~a:point ~b:0
+
+let print_trace_tail tr n =
+  let entries = Obs.Trace.dump_tail tr n in
+  Printf.printf "trace: %d event(s) dropped by ring wrap; last %d of %d kept:\n"
+    (Obs.Trace.dropped tr) (List.length entries)
+    (List.length (Obs.Trace.dump tr));
+  List.iter
+    (fun (e : Obs.Trace.entry) ->
+      Printf.printf "  [%6d] lane %-2d %-12s a=%-8d b=%d\n" e.stamp e.lane e.tag
+        e.a e.b)
+    entries
+
+(* [--metrics -] prints both expositions to stdout; [--metrics PATH] writes
+   PATH.prom and PATH.json. *)
+let write_metrics ~path snap =
+  let prom = Obs.Expose.to_prometheus snap and json = Obs.Expose.to_json snap in
+  if path = "-" then begin
+    print_string prom;
+    print_endline json
+  end
+  else begin
+    let out p s =
+      let oc = open_out p in
+      output_string oc s;
+      close_out oc
+    in
+    out (path ^ ".prom") prom;
+    out (path ^ ".json") json;
+    Printf.printf "metrics: wrote %s.prom and %s.json\n" path path
+  end
+
+(* One formatter over one scrape: the shard table, merger line, lag line and
+   supervisor line are all views of the same snapshot --metrics exports, so
+   the human output cannot drift from the machine output. [last_errors] is
+   the one non-numeric annotation (death reasons are strings, not metrics). *)
+let print_pipeline_stats snap ~shards ~combine ~supervise ~last_errors =
+  let c ?labels n = Obs.Snapshot.counter_value snap ?labels n in
+  let g ?labels n = Obs.Snapshot.gauge_value snap ?labels n in
+  for i = 0 to shards - 1 do
+    let l = [ ("shard", string_of_int i) ] in
+    let status =
+      if g ~labels:l "pipeline_shard_shed" > 0.5 then "SHED"
+      else if g ~labels:l "pipeline_shard_alive" > 0.5 then "alive"
+      else "KILLED"
+    in
+    let restarts = c ~labels:l "pipeline_shard_restarts_total" in
+    Printf.printf
+      "  shard %d: enq %-8d drop %-7d consumed %-8d flushed %-8d blobs %-5d \
+       depth<=%-5d %s%s\n"
+      i
+      (c ~labels:l "pipeline_shard_enqueued_total")
+      (c ~labels:l "pipeline_shard_dropped_total")
+      (c ~labels:l "pipeline_shard_consumed_total")
+      (c ~labels:l "pipeline_shard_flushed_items_total")
+      (c ~labels:l "pipeline_shard_flushes_total")
+      (c ~labels:l "pipeline_queue_max_depth")
+      status
+      ((if combine then
+          Printf.sprintf " coalesced %d"
+            (c ~labels:l "pipeline_shard_coalesced_total")
+        else "")
+      ^
+      if restarts > 0 then
+        Printf.sprintf " (restarts %d%s)" restarts
+          (match last_errors.(i) with Some e -> ", last: " ^ e | None -> "")
+      else "")
+  done;
+  Printf.printf
+    "merges %d  epoch %.0f  published %d  decode failures %d  envelope width \
+     %.0f\n"
+    (c "pipeline_merges_total") (g "pipeline_epoch")
+    (c "pipeline_published_total")
+    (c "pipeline_decode_failures_total")
+    (g "pipeline_envelope_width");
+  (match Obs.Snapshot.find snap "pipeline_merge_lag_seconds" with
+  | Some (Obs.Snapshot.Summary s) when s.s_count > 0 ->
+      let q phi =
+        match List.assoc_opt phi s.q with
+        | Some v -> v *. 1e3
+        | None -> Float.nan
+      in
+      Printf.printf "merge lag: p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n"
+        (q 0.5) (q 0.9) (q 0.99) (q 1.0)
+  | _ -> ());
+  if supervise then
+    Printf.printf "supervisor: %d restart(s), %.0f shed shard(s)\n"
+      (c "pipeline_restarts_total")
+      (g "pipeline_shed_shards")
+
 (* Drive the sharded ingestion pipeline end-to-end: feeder domains push a
    synthetic stream through hash-routed bounded queues, shard workers batch
    items into local sketches and ship them as wire blobs, the merger folds
@@ -808,16 +910,18 @@ let ss_capacity = 64
 let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
     ~(report : s -> unit) ~shards ~stream ~batch ~queue ~feeders ~combine
     ~chaos_kill ~kills ~seed ~wal_dir ~checkpoint_every ~kill_and_recover
-    ~supervise ~max_restarts =
+    ~supervise ~max_restarts ~metrics_out ~trace_dump =
   let module Mono = Ivl.Monotone.Make (Spec.Counter_spec) in
   let module P = Pipeline.Engine.Make (M) in
   let module R = Durable.Recovery.Make (M) in
   let ops = Array.length stream in
+  let reg = Obs.Registry.create () in
+  let tr = Obs.Trace.create ~lanes:(shards + 2) ~capacity:4096 () in
   let ch =
     if not chaos_kill then None
     else
       Some
-        (Conc.Chaos.instantiate
+        (Conc.Chaos.instantiate ~on_event:(chaos_trace_hook tr)
            (Conc.Chaos.plan
               ~kills:
                 (Conc.Chaos.random_kills ~seed ~domains:shards ~victims:kills
@@ -847,7 +951,8 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
   in
   let wal =
     Option.map
-      (fun dir -> Durable.Wal.create ~dir ~fsync:(Durable.Wal.Every_n 32) ())
+      (fun dir ->
+        Durable.Wal.create ~dir ~fsync:(Durable.Wal.Every_n 32) ~metrics:reg ())
       wal_dir
   in
   let on_merge =
@@ -871,7 +976,7 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
   let p =
     P.create ~queue_capacity:queue ~batch ~combine ?on_tick ?on_merge
       ~checkpoint_every:(if wal_dir = None then 0 else checkpoint_every)
-      ?on_checkpoint ?supervisor ~shards ()
+      ?on_checkpoint ?supervisor ~metrics:reg ~trace:tr ~shards ()
   in
   let stop = Atomic.make false in
   let reads = Atomic.make 0 in
@@ -901,38 +1006,17 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
   in
   Atomic.set stop true;
   Domain.join reader;
-  let { P.shards = sh; merges; decode_failures; published; epoch; merge_lag } =
+  let { P.shards = sh; merges; decode_failures; published; epoch = _; merge_lag = _ }
+      =
     P.stats p
   in
   Printf.printf "ingested %d/%d items in %.3fs (%.2f Mops/s, incl. drain)\n"
     (Atomic.get accepted) ops dt
     (float_of_int ops /. dt /. 1e6);
-  Array.iteri
-    (fun i (s : P.shard_stats) ->
-      Printf.printf
-        "  shard %d: enq %-8d drop %-7d consumed %-8d flushed %-8d blobs %-5d \
-         depth<=%-5d %s%s\n"
-        i s.enqueued s.dropped s.consumed s.flushed_items s.flushes s.max_depth
-        (if s.shed then "SHED"
-         else if s.alive then "alive"
-         else "KILLED")
-        ((if combine then Printf.sprintf " coalesced %d" s.coalesced else "")
-        ^ (if s.restarts > 0 then
-             Printf.sprintf " (restarts %d%s)" s.restarts
-               (match s.last_error with
-               | Some e -> ", last: " ^ e
-               | None -> "")
-           else "")))
-    sh;
-  Printf.printf "merges %d  epoch %d  published %d  decode failures %d\n" merges
-    epoch published decode_failures;
-  if Array.length merge_lag > 0 then begin
-    let ms = Array.map (fun s -> s *. 1e3) merge_lag in
-    Printf.printf "merge lag: p50 %.2fms  p99 %.2fms  max %.2fms\n"
-      (Stats.Percentile.median ms)
-      (Stats.Percentile.percentile ms 99.0)
-      (Stats.Percentile.percentile ms 100.0)
-  end;
+  let snap = Obs.Registry.snapshot reg in
+  print_pipeline_stats snap ~shards ~combine
+    ~supervise:(supervise && chaos_kill)
+    ~last_errors:(Array.map (fun (s : P.shard_stats) -> s.last_error) sh);
   (match ch with
   | Some ch ->
       Printf.printf "chaos: killed domains %s; dead shards %s\n"
@@ -965,20 +1049,11 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
       if s.restarts > 0 && not s.shed && not s.alive then
         add "shard %d dead after %d restart(s) without being shed" i s.restarts)
     sh;
-  if supervise && chaos_kill then begin
-    let total_restarts =
-      Array.fold_left (fun a (s : P.shard_stats) -> a + s.restarts) 0 sh
-    in
-    Printf.printf "supervisor: %d restart(s), %d shed shard(s)\n" total_restarts
-      (Array.fold_left
-         (fun a (s : P.shard_stats) -> a + if s.shed then 1 else 0)
-         0 sh)
-  end;
   Option.iter Durable.Wal.close wal;
   (match (kill_and_recover, wal_dir) with
   | false, _ | _, None -> ()
   | true, Some dir -> (
-      match R.recover ~dir with
+      match R.recover ~metrics:reg ~dir () with
       | Error msg -> add "recovery failed: %s" msg
       | Ok (_, r) ->
           Printf.printf "recovery: %s\n" (R.report_to_string r);
@@ -997,6 +1072,12 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
   let g, query_epoch = P.query p (fun g -> g) in
   Printf.printf "final query at epoch %d:\n" query_epoch;
   report g;
+  if trace_dump > 0 then print_trace_tail tr trace_dump;
+  (* Re-scrape for the export so post-drain series (recovery, final WAL
+     fsyncs) are included. *)
+  Option.iter
+    (fun path -> write_metrics ~path (Obs.Registry.snapshot reg))
+    metrics_out;
   match List.rev !problems with
   | [] ->
       print_endline "pipeline: PASS";
@@ -1008,7 +1089,7 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
 
 let pipeline sk shards ops shape skew universe batch queue feeders combine
     chaos kills seed wal_dir checkpoint_every kill_and_recover supervise
-    max_restarts =
+    max_restarts metrics_out trace_dump =
   if shards < 1 || feeders < 1 || ops < 1 || batch < 1 || queue < 1 then begin
     Printf.eprintf
       "pipeline: --shards, --feeders, --ops, --batch and --queue must be >= 1\n";
@@ -1054,7 +1135,7 @@ let pipeline sk shards ops shape skew universe batch queue feeders combine
   let run m report =
     run_pipeline m ~report ~shards ~stream ~batch ~queue ~feeders ~combine
       ~chaos_kill ~kills ~seed ~wal_dir ~checkpoint_every ~kill_and_recover
-      ~supervise ~max_restarts
+      ~supervise ~max_restarts ~metrics_out ~trace_dump
   in
   match sk with
   | "countmin" ->
@@ -1202,7 +1283,7 @@ let recover dir sk seed =
       exit 1
   | Some (module M) -> (
       let module R = Durable.Recovery.Make (M) in
-      match R.recover ~dir with
+      match R.recover ~dir () with
       | Error msg ->
           Printf.eprintf "recover: %s\n" msg;
           1
@@ -1216,6 +1297,83 @@ let recover dir sk seed =
               (Option.value ~default:"?" r.truncated_reason)
               r.bytes_truncated;
           0)
+
+(* ------------------------------ metrics ------------------------------- *)
+
+(* A self-contained instrumented soak: drive the counter pipeline under
+   chaos and supervision with every observability hook wired — engine
+   metrics and trace lanes, WAL fsync latency, chaos fault events — then
+   render the one snapshot whichever way was asked. Exists so `ivl-cli
+   metrics` demonstrates (and CI smoke-tests) the full telemetry path
+   without the pipeline subcommand's checker machinery. *)
+let metrics_demo format events shards ops seed wal_dir =
+  if shards < 1 || ops < 1 then begin
+    Printf.eprintf "metrics: --shards and --ops must be >= 1\n";
+    exit 1
+  end;
+  let module P = Pipeline.Engine.Make (Pipeline.Targets.Counter) in
+  let reg = Obs.Registry.create () in
+  let tr = Obs.Trace.create ~lanes:(shards + 2) ~capacity:1024 () in
+  let victims = if shards > 1 then 1 else 0 in
+  let ch =
+    Conc.Chaos.instantiate ~on_event:(chaos_trace_hook tr)
+      (Conc.Chaos.plan
+         ~kills:
+           (Conc.Chaos.random_kills ~seed ~domains:shards ~victims
+              ~max_point:(max 2 (ops / (128 * shards))))
+         ~seed ())
+      ~domains:shards
+  in
+  (* Each victim dies once so the supervisor's restart shows up in the
+     snapshot instead of a crash loop ending in shedding. *)
+  let killed_once = Array.init shards (fun _ -> Atomic.make false) in
+  let on_tick ~shard =
+    if not (Atomic.get killed_once.(shard)) then
+      try Conc.Chaos.point ch ~domain:shard
+      with Conc.Chaos.Killed _ as e ->
+        Atomic.set killed_once.(shard) true;
+        raise e
+  in
+  let wal =
+    Option.map
+      (fun dir ->
+        Durable.Wal.create ~dir ~fsync:(Durable.Wal.Every_n 8) ~metrics:reg ())
+      wal_dir
+  in
+  let on_merge =
+    Option.map
+      (fun w ~epoch ~weight ~blob -> Durable.Wal.append w ~epoch ~weight ~blob)
+      wal
+  in
+  let p =
+    P.create ~batch:128 ~on_tick ?on_merge
+      ~supervisor:Pipeline.Engine.default_supervisor ~metrics:reg ~trace:tr
+      ~shards ()
+  in
+  let stream =
+    Workload.Stream.generate
+      ~seed:(Int64.add seed 101L)
+      (Workload.Stream.Zipf (10_000, 1.1))
+      ~length:ops
+  in
+  let chunks = Workload.Stream.chunks stream ~pieces:2 in
+  ignore
+    (Conc.Runner.parallel ~domains:2 (fun i ->
+         Array.iter (fun x -> ignore (P.ingest p x)) chunks.(i)));
+  P.drain p;
+  Option.iter Durable.Wal.close wal;
+  let snap = Obs.Registry.snapshot reg in
+  (match format with
+  | "table" ->
+      Printf.printf "metrics snapshot (%d shards, %d items):\n" shards ops;
+      print_string (Obs.Expose.to_table snap)
+  | "prom" -> print_string (Obs.Expose.to_prometheus snap)
+  | "json" -> print_endline (Obs.Expose.to_json snap)
+  | other ->
+      Printf.eprintf "unknown format %s (available: table prom json)\n" other;
+      exit 1);
+  if events > 0 then print_trace_tail tr events;
+  0
 
 (* ------------------------------ cmdliner ------------------------------ *)
 
@@ -1412,6 +1570,24 @@ let pipeline_cmd =
             "with --supervise: per-shard restart budget before the shard is \
              permanently shed")
   in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"PATH|-"
+          ~doc:
+            "export the final metrics snapshot: `-' prints the Prometheus \
+             text and JSON expositions to stdout, a path writes PATH.prom \
+             and PATH.json")
+  in
+  let trace_dump =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-dump" ] ~docv:"N"
+          ~doc:
+            "print the last N per-domain trace-ring events (flushes, merges, \
+             deaths, restarts, injected chaos faults) after the run")
+  in
   Cmd.v
     (Cmd.info "pipeline"
        ~doc:
@@ -1420,7 +1596,8 @@ let pipeline_cmd =
     Term.(
       const pipeline $ sketch $ shards $ ops $ shape $ skew $ universe $ batch
       $ queue $ feeders $ combine $ chaos $ kills $ seed $ wal
-      $ checkpoint_every $ kill_and_recover $ supervise $ max_restarts)
+      $ checkpoint_every $ kill_and_recover $ supervise $ max_restarts
+      $ metrics $ trace_dump)
 
 let recover_cmd =
   let dir =
@@ -1450,6 +1627,35 @@ let recover_cmd =
           report the recovery envelope")
     Term.(const recover $ dir $ sketch $ seed)
 
+let metrics_cmd =
+  let format =
+    Arg.(
+      value & opt string "table"
+      & info [ "format" ] ~doc:"table (human), prom (Prometheus text) or json")
+  in
+  let events =
+    Arg.(
+      value & opt int 20
+      & info [ "events" ] ~docv:"N"
+          ~doc:"trace-ring events to dump after the snapshot (0 = none)")
+  in
+  let shards = Arg.(value & opt int 4 & info [ "shards" ] ~doc:"shard worker domains") in
+  let ops = Arg.(value & opt int 50_000 & info [ "ops" ] ~doc:"stream length") in
+  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"base seed") in
+  let wal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"DIR"
+          ~doc:"also WAL the run into DIR so fsync latency appears in the snapshot")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run an instrumented chaos soak of the counter pipeline and \
+          pretty-print its metrics snapshot and trace rings")
+    Term.(const metrics_demo $ format $ events $ shards $ ops $ seed $ wal)
+
 let () =
   let doc = "Intermediate Value Linearizability: checkers, simulators, sketches" in
   exit
@@ -1465,4 +1671,5 @@ let () =
             chaos_cmd;
             pipeline_cmd;
             recover_cmd;
+            metrics_cmd;
           ]))

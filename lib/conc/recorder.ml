@@ -8,6 +8,7 @@ type ('u, 'q, 'v) t = {
   ticket : int Atomic.t;
   next_id : int Atomic.t;
   buffers : ('u, 'q, 'v) logged list ref array; (* one per domain, private *)
+  active : bool array; (* domain is inside a record_* call right now *)
 }
 
 let create ~domains =
@@ -16,27 +17,57 @@ let create ~domains =
     ticket = Atomic.make 0;
     next_id = Atomic.make 0;
     buffers = Array.init domains (fun _ -> ref []);
+    active = Array.make domains false;
   }
 
 let log t ~domain entry = t.buffers.(domain) := entry :: !(t.buffers.(domain))
 
+(* The [active] flag brackets the whole record call with plain stores (each
+   slot is single-writer, like the buffer it guards). It is cleared even
+   when [run] raises — a chaos kill mid-operation leaves a pending op in
+   the buffer, which is legitimate history; the hazard {!history} guards
+   against is a domain still *writing*, not an op left incomplete. The
+   check is best-effort (plain reads race by nature), but it turns the
+   common misuse — merging buffers before joining the workers — into a
+   crash instead of a corrupted history. *)
 let record_update t ~domain ~obj u run =
   let id = Atomic.fetch_and_add t.next_id 1 in
   let op = { Hist.Op.id; proc = domain; obj; kind = Hist.Op.Update u; ret = None } in
-  log t ~domain { ts = Atomic.fetch_and_add t.ticket 1; dir = Hist.History.Inv; op };
-  run ();
-  log t ~domain { ts = Atomic.fetch_and_add t.ticket 1; dir = Hist.History.Rsp; op }
+  t.active.(domain) <- true;
+  Fun.protect
+    ~finally:(fun () -> t.active.(domain) <- false)
+    (fun () ->
+      log t ~domain
+        { ts = Atomic.fetch_and_add t.ticket 1; dir = Hist.History.Inv; op };
+      run ();
+      log t ~domain
+        { ts = Atomic.fetch_and_add t.ticket 1; dir = Hist.History.Rsp; op })
 
 let record_query t ~domain ~obj q run =
   let id = Atomic.fetch_and_add t.next_id 1 in
   let op = { Hist.Op.id; proc = domain; obj; kind = Hist.Op.Query q; ret = None } in
-  log t ~domain { ts = Atomic.fetch_and_add t.ticket 1; dir = Hist.History.Inv; op };
-  let v = run () in
-  let op = Hist.Op.with_return op v in
-  log t ~domain { ts = Atomic.fetch_and_add t.ticket 1; dir = Hist.History.Rsp; op };
-  v
+  t.active.(domain) <- true;
+  Fun.protect
+    ~finally:(fun () -> t.active.(domain) <- false)
+    (fun () ->
+      log t ~domain
+        { ts = Atomic.fetch_and_add t.ticket 1; dir = Hist.History.Inv; op };
+      let v = run () in
+      let op = Hist.Op.with_return op v in
+      log t ~domain
+        { ts = Atomic.fetch_and_add t.ticket 1; dir = Hist.History.Rsp; op };
+      v)
 
 let history t =
+  Array.iteri
+    (fun d active ->
+      if active then
+        invalid_arg
+          (Printf.sprintf
+             "Recorder.history: domain %d is still recording — join every \
+              recording domain before merging buffers"
+             d))
+    t.active;
   let all =
     Array.to_list t.buffers |> List.concat_map (fun buf -> List.rev !buf)
   in

@@ -28,4 +28,15 @@ val record_query : ('u, 'q, 'v) t -> domain:int -> obj:int -> 'q -> (unit -> 'v)
 
 val history : ('u, 'q, 'v) t -> ('u, 'q, 'v) Hist.History.t
 (** Merge all buffers into a single history ordered by ticket. Call only
-    after every recording domain has quiesced (joined). *)
+    after every recording domain has quiesced (joined): the buffers are
+    written with plain stores, so merging while a domain still records is a
+    data race, and the resulting "history" would be garbage rather than
+    merely stale.
+
+    A best-effort guard enforces this: each [record_*] call flags its
+    domain active for its duration (cleared even if the recorded body
+    raises — a chaos kill leaves a legitimate pending op, not an active
+    recorder), and [history] raises [Invalid_argument] if any domain is
+    flagged. The flags are plain single-writer stores, so the guard costs
+    the hot path nothing and can miss a race the OS hides — it converts
+    the common misuse into a crash, it is not a memory fence. *)

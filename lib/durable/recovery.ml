@@ -36,7 +36,31 @@ module Make (M : Pipeline.Mergeable.S) = struct
       | None -> "")
       r.recovered_epoch r.recovered_published
 
-  let recover ~dir =
+  (* One-shot export: the report's numbers are scraped as-of this recovery.
+     register_fn replaces on re-registration, so a pipeline that recovers
+     again simply points the series at the newer report. *)
+  let register_metrics reg (r : report) =
+    let c name help v = Obs.Registry.counter_fn reg ~help name (fun () -> v) in
+    let g name help v =
+      Obs.Registry.gauge_fn reg ~help name (fun () -> float_of_int v)
+    in
+    c "recovery_replayed_total" "WAL records folded in during replay"
+      r.replayed;
+    c "recovery_skipped_total" "WAL records at or below the checkpoint epoch"
+      r.skipped;
+    c "recovery_decode_failures_total" "Delta blobs M.decode rejected"
+      r.decode_failures;
+    c "recovery_checkpoints_skipped_total"
+      "Corrupt or undecodable checkpoints passed over" r.checkpoints_skipped;
+    c "recovery_bytes_truncated_total" "Torn or corrupt WAL tail bytes dropped"
+      r.bytes_truncated;
+    g "recovery_checkpoint_epoch" "Epoch of the checkpoint recovered from"
+      r.checkpoint_epoch;
+    g "recovery_epoch" "Epoch of the recovered state" r.recovered_epoch;
+    g "recovery_published" "Published weight of the recovered state"
+      r.recovered_published
+
+  let recover ?metrics ~dir () =
     if not (Sys.file_exists dir && Sys.is_directory dir) then
       Error (Printf.sprintf "Durable.recover: no such directory %s" dir)
     else begin
@@ -70,20 +94,24 @@ module Make (M : Pipeline.Mergeable.S) = struct
                 incr replayed
             | Error _ -> incr decode_failures)
         wal.records;
-      Ok
-        ( !global,
-          {
-            checkpoint_epoch = ckpt_epoch;
-            checkpoint_published = ckpt_published;
-            checkpoints_skipped = skipped_ckpts;
-            wal_segments = wal.segments;
-            replayed = !replayed;
-            skipped = !skipped;
-            decode_failures = !decode_failures;
-            bytes_truncated = wal.bytes_truncated;
-            truncated_reason = wal.truncated_reason;
-            recovered_epoch = !epoch;
-            recovered_published = !published;
-          } )
+      let report =
+        {
+          checkpoint_epoch = ckpt_epoch;
+          checkpoint_published = ckpt_published;
+          checkpoints_skipped = skipped_ckpts;
+          wal_segments = wal.segments;
+          replayed = !replayed;
+          skipped = !skipped;
+          decode_failures = !decode_failures;
+          bytes_truncated = wal.bytes_truncated;
+          truncated_reason = wal.truncated_reason;
+          recovered_epoch = !epoch;
+          recovered_published = !published;
+        }
+      in
+      (match metrics with
+      | Some reg -> register_metrics reg report
+      | None -> ());
+      Ok (!global, report)
     end
 end

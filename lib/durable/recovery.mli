@@ -29,11 +29,19 @@ module Make (M : Pipeline.Mergeable.S) : sig
 
   val report_to_string : report -> string
 
-  val recover : dir:string -> (M.t * report, string) result
+  val recover :
+    ?metrics:Obs.Registry.t -> dir:string -> unit -> (M.t * report, string) result
   (** Rebuild the global sketch from [dir] (shared by WAL segments and
       checkpoints). Corrupt data degrades — truncated tail, older checkpoint,
       empty sketch — rather than failing; [Error] only for a missing
       directory. The sketch parameters baked into [M] (hash family seeds,
       dimensions) must match the writing pipeline's, exactly as any two
-      mergeable deltas must. *)
+      mergeable deltas must.
+
+      [metrics] exports the report on success ([recovery_replayed_total],
+      [recovery_skipped_total], [recovery_decode_failures_total],
+      [recovery_checkpoints_skipped_total], [recovery_bytes_truncated_total],
+      [recovery_checkpoint_epoch], [recovery_epoch],
+      [recovery_published]); a later recovery into the same registry
+      replaces the series with its newer report. *)
 end

@@ -49,11 +49,19 @@ type writer = {
   mutable appended : int;
   mutable rotations : int;
   mutable closed : bool;
+  fsync_timer : Obs.Timer.t option;
 }
 
 let fsync_oc oc =
   flush oc;
   Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* Every durability point goes through here so the fsync latency summary
+   sees all of them: policy-driven appends, rotations, explicit syncs. *)
+let writer_fsync w =
+  match w.fsync_timer with
+  | None -> fsync_oc w.oc
+  | Some tm -> Obs.Timer.time tm (fun () -> fsync_oc w.oc)
 
 let open_segment w i =
   let oc =
@@ -66,7 +74,8 @@ let open_segment w i =
   w.seg_index <- i;
   w.seg_size <- 0
 
-let create ?(segment_bytes = 4 * 1024 * 1024) ?(fsync = Every_n 64) ~dir () =
+let create ?(segment_bytes = 4 * 1024 * 1024) ?(fsync = Every_n 64) ?metrics
+    ~dir () =
   if segment_bytes <= 0 then
     invalid_arg "Wal.create: segment_bytes must be positive";
   (match fsync with
@@ -92,8 +101,27 @@ let create ?(segment_bytes = 4 * 1024 * 1024) ?(fsync = Every_n 64) ~dir () =
       appended = 0;
       rotations = 0;
       closed = false;
+      fsync_timer =
+        Option.map
+          (fun reg ->
+            Obs.Registry.timer reg
+              ~help:"Seconds per WAL fsync (appends, rotations, syncs)"
+              "wal_fsync_seconds")
+          metrics;
     }
   in
+  (match metrics with
+  | Some reg ->
+      Obs.Registry.counter_fn reg ~help:"Records appended to the WAL"
+        "wal_appends_total" (fun () -> w.appended);
+      Obs.Registry.counter_fn reg ~help:"WAL segment rotations"
+        "wal_rotations_total" (fun () -> w.rotations);
+      Obs.Registry.gauge_fn reg ~help:"Index of the segment being written"
+        "wal_segment_index" (fun () -> float_of_int w.seg_index);
+      Obs.Registry.gauge_fn reg
+        ~help:"Appends not yet covered by an fsync (the live loss window)"
+        "wal_unsynced" (fun () -> float_of_int w.unsynced)
+  | None -> ());
   open_segment w next;
   w
 
@@ -104,7 +132,7 @@ let encode_record ~epoch ~weight ~blob =
       Wire.Codec.bytes_ b blob)
 
 let rotate w =
-  fsync_oc w.oc;
+  writer_fsync w;
   close_out w.oc;
   w.rotations <- w.rotations + 1;
   open_segment w (w.seg_index + 1)
@@ -126,25 +154,25 @@ let append w ~epoch ~weight ~blob =
   w.unsynced <- w.unsynced + 1;
   match w.fsync with
   | Always ->
-      fsync_oc w.oc;
+      writer_fsync w;
       w.unsynced <- 0
   | Every_n n ->
       if w.unsynced >= n then begin
-        fsync_oc w.oc;
+        writer_fsync w;
         w.unsynced <- 0
       end
   | Never -> ()
 
 let sync w =
   if not w.closed then begin
-    fsync_oc w.oc;
+    writer_fsync w;
     w.unsynced <- 0
   end
 
 let close w =
   if not w.closed then begin
     w.closed <- true;
-    fsync_oc w.oc;
+    writer_fsync w;
     close_out w.oc
   end
 

@@ -1,0 +1,13 @@
+type t = Conc.Striped_total.t
+
+let create ?slots () =
+  let slots =
+    match slots with
+    | Some s -> s
+    | None -> Domain.recommended_domain_count () + 4
+  in
+  Conc.Striped_total.create ~slots
+
+let add = Conc.Striped_total.add
+let incr t = add t 1
+let read = Conc.Striped_total.read

@@ -1,0 +1,48 @@
+(** A concurrent log-bucketed histogram for latency-style observations.
+
+    Fixed upper-bound buckets (default: geometric from 1 µs to ~67 s); an
+    observation finds its bucket with a linear scan over the (short, cached)
+    bound array and fetch-and-adds one padded atomic bucket counter plus a
+    striped nanosecond sum — wait-free and 0 B/op, safe from any domain.
+
+    A scrape reads the bucket counters one by one: each counter is monotone,
+    so the cumulative view is an intermediate-value read exactly like
+    {!Counter.read} — the scrape may split a concurrent observation between
+    [count] and [sum], but every per-bucket count lies in its own
+    [[v_inv, v_rsp]] envelope and the total is never off by more than the
+    observations in flight during the scan.
+
+    Quantiles are estimated from the cumulative buckets by linear
+    interpolation inside the target bucket — resolution is the bucket width
+    (a factor of 2 by default), which is the histogram trade-off; use
+    {!Timer} when tighter quantiles are worth a mutex on the observe path. *)
+
+type t
+
+val default_buckets : float array
+(** 1e-6 ... ~67.1: 27 geometric upper bounds, factor 2. *)
+
+val create : ?buckets:float array -> unit -> t
+(** [buckets] are finite upper bounds, strictly increasing; an implicit
+    +inf bucket catches the rest. @raise Invalid_argument if empty or not
+    strictly increasing. *)
+
+val observe : t -> float -> unit
+(** Record one observation (e.g. seconds). Wait-free, 0 B/op. *)
+
+val count : t -> int
+(** Observations so far (IVL read). *)
+
+val sum : t -> float
+(** Sum of observed values, accumulated in integer nanounits (1e-9 of the
+    observed unit) — exact to 1e-9, overflows after ~9.2e9 unit-sums. *)
+
+val cumulative : t -> (float * int) array
+(** [(upper_bound, observations <= bound)] pairs, including the final
+    [(infinity, count)] bucket — the Prometheus exposition shape. *)
+
+val quantile : t -> float -> float
+(** Estimated [phi]-quantile from the cumulative buckets (linear
+    interpolation within the bucket; the +inf bucket clamps to the largest
+    finite bound). 0 on an empty histogram.
+    @raise Invalid_argument outside [0,1]. *)

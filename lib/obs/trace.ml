@@ -1,0 +1,64 @@
+(* Ring slots are preallocated mutable records so an emit writes in place:
+   no allocation, no write barrier beyond the tag pointer store. *)
+
+type slot = { mutable stamp : int; mutable tag : string; mutable a : int; mutable b : int }
+
+type ring = {
+  slots : slot array;
+  mutable written : int; (* single-writer; plain stores *)
+}
+
+type entry = { stamp : int; lane : int; tag : string; a : int; b : int }
+
+type t = { clock : int Atomic.t; rings : ring array; capacity : int }
+
+let create ~lanes ~capacity () =
+  if lanes <= 0 then invalid_arg "Trace.create: lanes must be positive";
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    clock = Conc.Padding.atomic 0;
+    capacity;
+    rings =
+      Array.init lanes (fun _ ->
+          {
+            slots =
+              Array.init capacity (fun _ ->
+                  { stamp = -1; tag = ""; a = 0; b = 0 });
+            written = 0;
+          });
+  }
+
+let lanes t = Array.length t.rings
+let capacity t = t.capacity
+
+let emit t ~lane ~tag ~a ~b =
+  let r = t.rings.(lane) in
+  let s = r.slots.(r.written mod t.capacity) in
+  s.stamp <- Atomic.fetch_and_add t.clock 1;
+  s.tag <- tag;
+  s.a <- a;
+  s.b <- b;
+  r.written <- r.written + 1
+
+let written t ~lane = t.rings.(lane).written
+
+let dropped t =
+  Array.fold_left (fun acc r -> acc + max 0 (r.written - t.capacity)) 0 t.rings
+
+let dump t =
+  let acc = ref [] in
+  Array.iteri
+    (fun lane r ->
+      let n = min r.written t.capacity in
+      for i = 0 to n - 1 do
+        let s = r.slots.(i) in
+        if s.stamp >= 0 then
+          acc := { stamp = s.stamp; lane; tag = s.tag; a = s.a; b = s.b } :: !acc
+      done)
+    t.rings;
+  List.sort (fun x y -> Int.compare x.stamp y.stamp) !acc
+
+let dump_tail t n =
+  let all = dump t in
+  let len = List.length all in
+  if len <= n then all else List.filteri (fun i _ -> i >= len - n) all

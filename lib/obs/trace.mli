@@ -1,0 +1,55 @@
+(** Per-domain trace rings: lossy-by-design event timelines.
+
+    {!Conc.Recorder} totally orders every operation (two fetch-and-adds and
+    a list cell per op) — great for checking, too heavy to leave enabled in
+    a throughput run. A [Trace.t] is the production-grade alternative: each
+    domain owns a fixed-size ring of {e preallocated} event records, an
+    [emit] is three plain stores into the writer's own ring plus one
+    fetch-and-add on the global stamp clock (0 B/op, no locks, no lists),
+    and when the ring wraps the oldest events are silently overwritten —
+    loss is by design and is {e accounted}: [dropped] reports exactly how
+    many events each lane overwrote.
+
+    Stamps come from one shared atomic tick, so merging the rings by stamp
+    reconstructs a cross-domain timeline that respects real time the same
+    way Recorder tickets do (happens-before implies a smaller stamp) — what
+    you need to see a merge/restart/recovery sequence after the fact.
+
+    Single-writer contract: lane [d] may only be written from one domain at
+    a time (the engine gives each shard worker, the merger and the watchdog
+    their own lanes). [dump] while writers are active is safe but lossy and
+    approximate — wrapping writers can overwrite events mid-read; dump after
+    quiescing for exact timelines. *)
+
+type entry = {
+  stamp : int;  (** global tick: smaller = earlier (cross-domain valid) *)
+  lane : int;  (** the ring (= writing domain slot) that logged it *)
+  tag : string;
+  a : int;  (** event payload, tag-specific (e.g. epoch, shard) *)
+  b : int;
+}
+
+type t
+
+val create : lanes:int -> capacity:int -> unit -> t
+(** [lanes] single-writer rings of [capacity] events each.
+    @raise Invalid_argument if either is non-positive. *)
+
+val lanes : t -> int
+val capacity : t -> int
+
+val emit : t -> lane:int -> tag:string -> a:int -> b:int -> unit
+(** Log one event on [lane]. Wait-free, 0 B/op ([tag] is stored by
+    reference — pass preallocated constants, not built strings). *)
+
+val written : t -> lane:int -> int
+(** Events ever emitted on the lane. *)
+
+val dropped : t -> int
+(** Events overwritten across all lanes: [Σ max 0 (written − capacity)]. *)
+
+val dump : t -> entry list
+(** All surviving events, merged across lanes, ascending by stamp. *)
+
+val dump_tail : t -> int -> entry list
+(** The most recent [n] surviving events, ascending by stamp. *)

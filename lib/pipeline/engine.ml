@@ -84,6 +84,8 @@ module Make (M : Mergeable.S) = struct
     merges : int Atomic.t;
     decode_failures : int Atomic.t;
     merger_failed : exn option Atomic.t;
+    lag_timer : Obs.Timer.t option; (* merge-lag quantiles, observed per merge *)
+    trace : Obs.Trace.t option; (* lanes: worker i -> i, merger -> n, watchdog -> n+1 *)
     rec_ : (int, int, int) Conc.Recorder.t;
     mutable workers : unit Domain.t array;
     mutable merger : unit Domain.t option;
@@ -138,7 +140,10 @@ module Make (M : Mergeable.S) = struct
         in
         if Mpsc.push t.mq d then begin
           ignore (Atomic.fetch_and_add s.flushed_items !count);
-          ignore (Atomic.fetch_and_add s.flushes 1)
+          ignore (Atomic.fetch_and_add s.flushes 1);
+          match t.trace with
+          | Some tr -> Obs.Trace.emit tr ~lane:i ~tag:"flush" ~a:d.weight ~b:d.seq
+          | None -> ()
         end;
         local := M.create ();
         count := 0
@@ -162,16 +167,24 @@ module Make (M : Mergeable.S) = struct
        happens after our close — never the other way around, which would
        leave a freshly restarted worker blocked on a closed queue. Closing
        also turns ingest into fail-fast drops while the shard is down. *)
+    let trace_death () =
+      (* [count] items were absorbed but never flushed: the crash's loss. *)
+      match t.trace with
+      | Some tr -> Obs.Trace.emit tr ~lane:i ~tag:"death" ~a:!count ~b:!seq
+      | None -> ()
+    in
     try loop () with
     | Conc.Chaos.Killed _ as e ->
         (* Crash-stop: the delta under accumulation is lost (consumed >
            flushed records how much). *)
         Atomic.set s.last_error (Some (Printexc.to_string e));
+        trace_death ();
         Mpsc.close s.q;
         Atomic.set s.alive false
     | e ->
         Atomic.set s.failed (Some e);
         Atomic.set s.last_error (Some (Printexc.to_string e));
+        trace_death ();
         Mpsc.close s.q;
         Atomic.set s.alive false
 
@@ -193,16 +206,26 @@ module Make (M : Mergeable.S) = struct
           | Error _ -> ignore (Atomic.fetch_and_add t.decode_failures 1)
           | Ok delta ->
               let stamped = ref 0 in
+              let lag = ref 0.0 in
               Conc.Recorder.record_update t.rec_ ~domain:dom ~obj:0 d.weight
                 (fun () ->
                   Mutex.lock t.gm;
                   t.global <- M.merge t.global delta;
                   t.epoch <- t.epoch + 1;
                   t.published <- t.published + d.weight;
-                  t.lags <- (Unix.gettimeofday () -. d.born) :: t.lags;
+                  lag := Unix.gettimeofday () -. d.born;
+                  t.lags <- !lag :: t.lags;
                   stamped := t.epoch;
                   Mutex.unlock t.gm);
               ignore (Atomic.fetch_and_add t.merges 1);
+              (match t.lag_timer with
+              | Some tm -> Obs.Timer.observe tm !lag
+              | None -> ());
+              (match t.trace with
+              | Some tr ->
+                  Obs.Trace.emit tr ~lane:dom ~tag:"merge" ~a:!stamped
+                    ~b:d.weight
+              | None -> ());
               (match t.on_merge with
               | Some f -> f ~epoch:!stamped ~weight:d.weight ~blob:d.blob
               | None -> ());
@@ -216,6 +239,11 @@ module Make (M : Mergeable.S) = struct
                 and epoch = t.epoch
                 and published = t.published in
                 Mutex.unlock t.gm;
+                (match t.trace with
+                | Some tr ->
+                    Obs.Trace.emit tr ~lane:dom ~tag:"checkpoint" ~a:epoch
+                      ~b:published
+                | None -> ());
                 match t.on_checkpoint with
                 | Some f -> f ~epoch ~published ~blob
                 | None -> ()
@@ -232,6 +260,11 @@ module Make (M : Mergeable.S) = struct
   let watchdog t cfg =
     let g = Rng.Splitmix.create cfg.seed in
     let n = shard_count t in
+    let trace_event tag ~a ~b =
+      match t.trace with
+      | Some tr -> Obs.Trace.emit tr ~lane:(n + 1) ~tag ~a ~b
+      | None -> ()
+    in
     let restart_at = Array.make n None in
     while not (Atomic.get t.stopping) do
       Unix.sleepf cfg.poll_interval;
@@ -253,7 +286,8 @@ module Make (M : Mergeable.S) = struct
                         cfg.max_restarts
                         (Option.value ~default:"unknown"
                            (Atomic.get s.last_error))));
-                Atomic.set s.shed true
+                Atomic.set s.shed true;
+                trace_event "shed" ~a:i ~b:r
               end
               else begin
                 let backoff =
@@ -269,7 +303,8 @@ module Make (M : Mergeable.S) = struct
               restart_at.(i) <- None;
               (* The old incarnation has exited; reap it before respawning. *)
               Domain.join t.workers.(i);
-              ignore (Atomic.fetch_and_add s.restarts 1);
+              let r = Atomic.fetch_and_add s.restarts 1 in
+              trace_event "restart" ~a:i ~b:(r + 1);
               Mpsc.reopen s.q;
               Atomic.set s.alive true;
               t.workers.(i) <- Domain.spawn (fun () -> worker t i)
@@ -278,9 +313,104 @@ module Make (M : Mergeable.S) = struct
       done
     done
 
+  (* Exporting the pipeline is pure registration: every series below is a
+     scrape-time callback over counters the engine already maintains, so
+     instrumentation costs the hot paths nothing. The one subtlety is the
+     envelope-width gauge: [published] must be read under the merge mutex
+     BEFORE summing per-shard [enqueued] — enqueued only grows, so the gap
+     [e - p] computed in that order never understates how far a concurrent
+     [read_total] can trail the true total (docs/OBSERVABILITY.md proves
+     this is the live v_max - v_min freshness bound once ingest quiesces). *)
+  let register_metrics t reg =
+    let sum f =
+      Array.fold_left (fun acc s -> acc + Atomic.get (f s)) 0 t.shards
+    in
+    let counter name help f = Obs.Registry.counter_fn reg ~help name f in
+    let gauge name help f = Obs.Registry.gauge_fn reg ~help name f in
+    counter "pipeline_ingested_total" "Elements accepted into shard queues"
+      (fun () -> sum (fun (s : shard) -> s.enqueued));
+    counter "pipeline_dropped_total"
+      "Elements shed: dead-worker queue, try_ingest full, or drain leftovers"
+      (fun () -> sum (fun (s : shard) -> s.dropped));
+    counter "pipeline_consumed_total" "Elements folded into shard-local deltas"
+      (fun () -> sum (fun (s : shard) -> s.consumed));
+    counter "pipeline_flushed_items_total" "Elements shipped to the merger"
+      (fun () -> sum (fun (s : shard) -> s.flushed_items));
+    counter "pipeline_coalesced_total"
+      "Sketch updates folded away by the combining buffers" (fun () ->
+        sum (fun (s : shard) -> s.coalesced));
+    counter "pipeline_restarts_total" "Supervisor restarts across all shards"
+      (fun () -> sum (fun (s : shard) -> s.restarts));
+    counter "pipeline_merges_total" "Deltas folded into the global sketch"
+      (fun () -> Atomic.get t.merges);
+    counter "pipeline_decode_failures_total"
+      "Blobs the merger could not decode" (fun () ->
+        Atomic.get t.decode_failures);
+    counter "pipeline_published_total"
+      "Total weight merged into the published sketch" (fun () ->
+        Mutex.lock t.gm;
+        let p = t.published in
+        Mutex.unlock t.gm;
+        p);
+    gauge "pipeline_epoch" "Merge counter stamping every query snapshot"
+      (fun () ->
+        Mutex.lock t.gm;
+        let e = t.epoch in
+        Mutex.unlock t.gm;
+        float_of_int e);
+    gauge "pipeline_shed_shards" "Shards permanently degraded to shedding"
+      (fun () ->
+        float_of_int
+          (Array.fold_left
+             (fun acc (s : shard) -> if Atomic.get s.shed then acc + 1 else acc)
+             0 t.shards));
+    gauge "pipeline_envelope_width"
+      "Live IVL freshness gap: accepted weight not yet published" (fun () ->
+        Mutex.lock t.gm;
+        let p = t.published in
+        Mutex.unlock t.gm;
+        let e = sum (fun (s : shard) -> s.enqueued) in
+        float_of_int (max 0 (e - p)));
+    Array.iteri
+      (fun i (s : shard) ->
+        let labels = [ ("shard", string_of_int i) ] in
+        let scounter name help f =
+          Obs.Registry.counter_fn reg ~labels ~help name (fun () ->
+              Atomic.get (f s))
+        in
+        Obs.Registry.gauge_fn reg ~labels
+          ~help:"Current shard queue occupancy" "pipeline_queue_depth"
+          (fun () -> float_of_int (Mpsc.length s.q));
+        Obs.Registry.counter_fn reg ~labels
+          ~help:"High-water queue depth observed at ingest"
+          "pipeline_queue_max_depth" (fun () -> Atomic.get s.max_depth);
+        Obs.Registry.gauge_fn reg ~labels ~help:"1 if the shard worker is up"
+          "pipeline_shard_alive" (fun () ->
+            if Atomic.get s.alive then 1.0 else 0.0);
+        Obs.Registry.gauge_fn reg ~labels
+          ~help:"1 if the shard is permanently shed" "pipeline_shard_shed"
+          (fun () -> if Atomic.get s.shed then 1.0 else 0.0);
+        scounter "pipeline_shard_enqueued_total"
+          "Elements accepted into this shard's queue" (fun s -> s.enqueued);
+        scounter "pipeline_shard_dropped_total" "Elements this shard shed"
+          (fun s -> s.dropped);
+        scounter "pipeline_shard_consumed_total"
+          "Elements this shard folded into deltas" (fun s -> s.consumed);
+        scounter "pipeline_shard_flushed_items_total"
+          "Elements this shard shipped to the merger" (fun s ->
+            s.flushed_items);
+        scounter "pipeline_shard_flushes_total" "Blobs this shard shipped"
+          (fun s -> s.flushes);
+        scounter "pipeline_shard_coalesced_total"
+          "Updates this shard's combining buffer folded away" (fun s ->
+            s.coalesced);
+        scounter "pipeline_shard_restarts_total"
+          "Supervisor restarts of this shard's worker" (fun s -> s.restarts))
+      t.shards
+
   let create ?(queue_capacity = 1024) ?(batch = 512) ?(combine = false)
       ?on_tick ?on_merge ?(checkpoint_every = 0) ?on_checkpoint ?supervisor
-      ~shards () =
+      ?metrics ?trace ~shards () =
     if shards <= 0 then invalid_arg "Engine.create: shards must be positive";
     if batch <= 0 then invalid_arg "Engine.create: batch must be positive";
     if checkpoint_every < 0 then
@@ -290,6 +420,14 @@ module Make (M : Mergeable.S) = struct
         if c.max_restarts < 0 || c.backoff_base < 0.0 || c.poll_interval <= 0.0
         then invalid_arg "Engine.create: malformed supervisor config"
     | None -> ());
+    (match trace with
+    | Some tr when Obs.Trace.lanes tr < shards + 2 ->
+        invalid_arg
+          (Printf.sprintf
+             "Engine.create: trace needs %d lanes (one per shard, merger, \
+              watchdog), got %d"
+             (shards + 2) (Obs.Trace.lanes tr))
+    | _ -> ());
     let mk_shard _ =
       {
         q = Mpsc.create ~capacity:queue_capacity;
@@ -326,6 +464,14 @@ module Make (M : Mergeable.S) = struct
         merges = Atomic.make 0;
         decode_failures = Atomic.make 0;
         merger_failed = Atomic.make None;
+        lag_timer =
+          Option.map
+            (fun reg ->
+              Obs.Registry.timer reg
+                ~help:"Seconds from delta encode to merge into the global"
+                "pipeline_merge_lag_seconds")
+            metrics;
+        trace;
         rec_ = Conc.Recorder.create ~domains:(shards + 2);
         workers = [||];
         merger = None;
@@ -335,6 +481,7 @@ module Make (M : Mergeable.S) = struct
         drained = false;
       }
     in
+    (match metrics with Some reg -> register_metrics t reg | None -> ());
     t.workers <- Array.init shards (fun i -> Domain.spawn (fun () -> worker t i));
     t.merger <- Some (Domain.spawn (fun () -> merger t));
     (match supervisor with

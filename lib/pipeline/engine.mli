@@ -102,6 +102,8 @@ module Make (M : Mergeable.S) : sig
     ?checkpoint_every:int ->
     ?on_checkpoint:(epoch:int -> published:int -> blob:Bytes.t -> unit) ->
     ?supervisor:supervisor ->
+    ?metrics:Obs.Registry.t ->
+    ?trace:Obs.Trace.t ->
     shards:int ->
     unit ->
     t
@@ -130,8 +132,35 @@ module Make (M : Mergeable.S) : sig
       also calls [on_checkpoint] with a consistent [(epoch, published,
       encoded sketch)] snapshot — the checkpoint write point. Exceptions
       from either hook kill the merger and surface in {!failures}.
+
+      [metrics] exports the pipeline into an {!Obs.Registry.t} — pure
+      registration of scrape-time callbacks over counters the engine
+      already keeps, so the hot paths pay nothing. Series registered:
+      [pipeline_ingested_total], [pipeline_dropped_total],
+      [pipeline_consumed_total], [pipeline_flushed_items_total],
+      [pipeline_coalesced_total], [pipeline_restarts_total],
+      [pipeline_merges_total], [pipeline_decode_failures_total],
+      [pipeline_published_total], [pipeline_epoch],
+      [pipeline_shed_shards], per-shard series labelled [shard="i"]
+      ([pipeline_queue_depth], [pipeline_queue_max_depth],
+      [pipeline_shard_alive], [pipeline_shard_shed], and
+      [pipeline_shard_{enqueued,dropped,consumed,flushed_items,flushes,
+      coalesced,restarts}_total]), a [pipeline_merge_lag_seconds] summary
+      observed by the merger, and [pipeline_envelope_width] — the live IVL
+      freshness gap
+      (accepted weight minus published weight, reading [published] before
+      summing [enqueued] so the reported gap is a sound staleness bound;
+      docs/OBSERVABILITY.md).
+
+      [trace] points the engine at an {!Obs.Trace.t} whose lanes map to the
+      pipeline's domains: worker [i] writes lane [i] ([flush] and [death]
+      events), the merger writes lane [shards] ([merge], [checkpoint]),
+      the watchdog lane [shards + 1] ([restart], [shed]). Emits are
+      single-writer plain stores into preallocated rings — lossy by design,
+      never blocking.
       @raise Invalid_argument if [shards <= 0], [batch <= 0],
-      [checkpoint_every < 0], or the supervisor config is malformed. *)
+      [checkpoint_every < 0], the supervisor config is malformed, or
+      [trace] has fewer than [shards + 2] lanes. *)
 
   val ingest : t -> int -> bool
   (** Route an element to its shard (by hash) and enqueue it, blocking while

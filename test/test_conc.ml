@@ -481,6 +481,90 @@ let test_recorder_program_order_preserved () =
         args)
     [ 0; 1 ]
 
+(* The recorder's global ticket respects real time across domains: if op A
+   completes before op B is invoked (established here by flag-passing, so
+   the order is genuine happens-before, not luck), A draws strictly smaller
+   tickets and the merged history shows A ≺ B. Exercised as a ping-pong so
+   every round crosses domains in both directions. *)
+let test_recorder_tickets_respect_real_time () =
+  let rounds = 100 in
+  let rec_ = Conc.Recorder.create ~domains:2 in
+  let turn = Atomic.make 0 in
+  let _ =
+    Conc.Runner.parallel ~domains:2 (fun i ->
+        for k = 0 to rounds - 1 do
+          let my_turn = (2 * k) + i in
+          while Atomic.get turn <> my_turn do
+            Domain.cpu_relax ()
+          done;
+          Conc.Recorder.record_update rec_ ~domain:i ~obj:0 my_turn (fun () ->
+              ());
+          Atomic.set turn (my_turn + 1)
+        done)
+  in
+  let h = Conc.Recorder.history rec_ in
+  let id_of_arg =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (op : Test_helpers.iop) ->
+        match op.Hist.Op.kind with
+        | Hist.Op.Update u -> Hashtbl.replace tbl u op.Hist.Op.id
+        | _ -> ())
+      (Hist.History.ops h);
+    Hashtbl.find tbl
+  in
+  for a = 0 to (2 * rounds) - 2 do
+    if not (Hist.History.precedes h (id_of_arg a) (id_of_arg (a + 1))) then
+      Alcotest.failf
+        "op %d completed before op %d was invoked, but the ticket order \
+         disagrees"
+        a (a + 1)
+  done
+
+(* The quiesce guard: merging buffers while a domain is mid-record is the
+   classic misuse, and must now raise instead of returning racy garbage. *)
+let test_recorder_history_guard_trips_mid_record () =
+  let rec_ = Conc.Recorder.create ~domains:1 in
+  let entered = Atomic.make false and release = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Conc.Recorder.record_update rec_ ~domain:0 ~obj:0 1 (fun () ->
+            Atomic.set entered true;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done))
+  in
+  while not (Atomic.get entered) do
+    Domain.cpu_relax ()
+  done;
+  (try
+     ignore (Conc.Recorder.history rec_);
+     Alcotest.fail "history during an in-flight record did not raise"
+   with Invalid_argument _ -> ());
+  Atomic.set release true;
+  Domain.join d;
+  let h = Conc.Recorder.history rec_ in
+  Alcotest.(check int)
+    "after quiesce, history works" 1
+    (List.length (Hist.History.completed h))
+
+(* A chaos kill inside the recorded body must NOT wedge the guard: the
+   domain stops recording when the exception propagates, so the pending op
+   it leaves behind is legitimate history, not an active recorder. *)
+let test_recorder_history_guard_clears_on_raise () =
+  let rec_ = Conc.Recorder.create ~domains:1 in
+  let d =
+    Domain.spawn (fun () ->
+        try
+          Conc.Recorder.record_update rec_ ~domain:0 ~obj:0 1 (fun () ->
+              raise Exit)
+        with Exit -> ())
+  in
+  Domain.join d;
+  let h = Conc.Recorder.history rec_ in
+  Alcotest.(check int) "pending op survives" 1 (List.length (Hist.History.pending h));
+  Alcotest.(check int) "no completed ops" 0 (List.length (Hist.History.completed h))
+
 (* End-to-end Lemma 10 on hardware: recorded concurrent executions of the
    IVL counter are always IVL. Small op counts keep the checker exact. *)
 let test_recorded_ivl_counter_histories_are_ivl () =
@@ -1449,6 +1533,12 @@ let () =
         [
           Alcotest.test_case "well-formed" `Quick test_recorder_well_formed_and_ordered;
           Alcotest.test_case "program order" `Quick test_recorder_program_order_preserved;
+          Alcotest.test_case "tickets respect real time" `Quick
+            test_recorder_tickets_respect_real_time;
+          Alcotest.test_case "history guard trips mid-record" `Quick
+            test_recorder_history_guard_trips_mid_record;
+          Alcotest.test_case "history guard clears on raise" `Quick
+            test_recorder_history_guard_clears_on_raise;
           Alcotest.test_case "recorded IVL counter is IVL" `Quick
             test_recorded_ivl_counter_histories_are_ivl;
           Alcotest.test_case "recorded PCM is IVL" `Quick

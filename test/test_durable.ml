@@ -212,7 +212,7 @@ let test_wal_torn_tail_every_offset () =
         Alcotest.failf "cut %d: %d bytes truncated reported" cut
           r.Durable.Wal.bytes_truncated
     end;
-    match R.recover ~dir with
+    match R.recover ~dir () with
     | Error e -> Alcotest.failf "cut %d: recover failed: %s" cut e
     | Ok (g, rep) ->
         (* Exact: checkpoint(6) + replay of epochs 4..5 = 15. *)
@@ -230,7 +230,7 @@ let test_wal_torn_tail_every_offset () =
           Alcotest.failf "cut %d: recovered above pre-crash published" cut
   done;
   (* And the uncut log recovers everything. *)
-  match R.recover ~dir:proto with
+  match R.recover ~dir:proto () with
   | Error e -> Alcotest.failf "full recover failed: %s" e
   | Ok (_, rep) ->
       Alcotest.(check int) "full recovery" total rep.R.recovered_published;
@@ -322,7 +322,7 @@ let test_checkpoint_corrupt_newest_falls_back () =
     [ 1 ]
     (List.map (fun (s : Durable.Checkpoint.snapshot) -> s.epoch) snaps);
   (* Recovery degrades to the older checkpoint instead of failing. *)
-  match R.recover ~dir with
+  match R.recover ~dir () with
   | Error e -> Alcotest.failf "recover: %s" e
   | Ok (_, rep) ->
       Alcotest.(check int) "recovered from epoch 1" 1 rep.R.checkpoint_epoch;
@@ -335,7 +335,7 @@ let test_recovery_skips_undecodable_checkpoint () =
   Durable.Checkpoint.write ~dir ~epoch:1 ~published:7 ~blob:(delta_blob 7) ();
   Durable.Checkpoint.write ~dir ~epoch:2 ~published:9
     ~blob:(Bytes.of_string "not a sketch") ();
-  match R.recover ~dir with
+  match R.recover ~dir () with
   | Error e -> Alcotest.failf "recover: %s" e
   | Ok (g, rep) ->
       Alcotest.(check int) "skipped the bad one" 1 rep.R.checkpoints_skipped;
@@ -344,7 +344,7 @@ let test_recovery_skips_undecodable_checkpoint () =
 
 let test_recovery_empty_dir_is_empty_sketch () =
   with_dir @@ fun dir ->
-  match R.recover ~dir with
+  match R.recover ~dir () with
   | Error e -> Alcotest.failf "recover: %s" e
   | Ok (g, rep) ->
       Alcotest.(check int) "zero weight" 0 (Sketches.Batched_counter.read g);
@@ -352,7 +352,7 @@ let test_recovery_empty_dir_is_empty_sketch () =
       Alcotest.(check int) "nothing replayed" 0 rep.R.replayed
 
 let test_recovery_missing_dir_is_error () =
-  match R.recover ~dir:"/tmp/ivl-definitely-not-there" with
+  match R.recover ~dir:"/tmp/ivl-definitely-not-there" () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected an error for a missing directory"
 
@@ -389,7 +389,7 @@ let test_engine_recovery_envelope_random_crashes () =
   let seg = sole_segment proto in
   let size = Bytes.length (read_file seg) in
   (* Full recovery first: must reproduce the pre-crash state exactly. *)
-  (match R.recover ~dir:proto with
+  (match R.recover ~dir:proto () with
   | Error e -> Alcotest.failf "full recover: %s" e
   | Ok (g, rep) ->
       Alcotest.(check int) "full recovery equals published" published
@@ -402,7 +402,7 @@ let test_engine_recovery_envelope_random_crashes () =
     with_dir @@ fun dir ->
     copy_dir proto dir;
     truncate_file (sole_segment dir) cut;
-    match R.recover ~dir with
+    match R.recover ~dir () with
     | Error e -> Alcotest.failf "trial %d (cut %d): recover failed: %s" trial cut e
     | Ok (g, rep) ->
         let v = rep.R.recovered_published in

@@ -1,0 +1,540 @@
+(* Tests for the observability layer: the IVL semantics of each instrument
+   (counter scans, histogram buckets, timer sketches), the lossy-by-design
+   trace rings, registry identity rules, the pure exposition formats, and —
+   the Theorem-6-style headline — that the live envelope-width gauge is a
+   sound bound on the staleness of every concurrent [read_total]. *)
+
+module Mono = Ivl.Monotone.Make (Spec.Counter_spec)
+module PC = Pipeline.Engine.Make (Pipeline.Targets.Counter)
+
+let fcheck msg expected actual =
+  Alcotest.(check (float 1e-9)) msg expected actual
+
+(* ------------------------- counter ------------------------- *)
+
+let test_counter_concurrent_adds () =
+  let c = Obs.Counter.create () in
+  let domains = 4 and per = 50_000 in
+  let _ =
+    Conc.Runner.parallel ~domains (fun i ->
+        for _ = 1 to per do
+          Obs.Counter.add c (i + 1)
+        done)
+  in
+  Alcotest.(check int) "sum of striped adds" (per * (1 + 2 + 3 + 4))
+    (Obs.Counter.read c);
+  Obs.Counter.incr c;
+  Alcotest.(check int) "incr" (per * 10 + 1) (Obs.Counter.read c)
+
+let test_counter_reads_are_ivl () =
+  (* A scraping domain racing the writers: every read must lie in
+     [0, final] and successive reads from the one scraper are monotone —
+     the Lemma-10 shape of a striped-sum read. *)
+  let c = Obs.Counter.create () in
+  let domains = 3 and per = 40_000 in
+  let stop = Atomic.make false in
+  let scraper =
+    Domain.spawn (fun () ->
+        let rec loop acc =
+          let v = Obs.Counter.read c in
+          if Atomic.get stop then List.rev (v :: acc) else loop (v :: acc)
+        in
+        loop [])
+  in
+  let _ =
+    Conc.Runner.parallel ~domains (fun _ ->
+        for _ = 1 to per do
+          Obs.Counter.incr c
+        done)
+  in
+  Atomic.set stop true;
+  let reads = Domain.join scraper in
+  let final = Obs.Counter.read c in
+  Alcotest.(check int) "final exact" (domains * per) final;
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "scrapes monotone" true (monotone reads);
+  Alcotest.(check bool) "scrapes within [0, final]" true
+    (List.for_all (fun v -> v >= 0 && v <= final) reads)
+
+(* ------------------------- gauge ------------------------- *)
+
+let test_gauge_set_read () =
+  let g = Obs.Gauge.create ~initial:2.5 () in
+  fcheck "initial" 2.5 (Obs.Gauge.read g);
+  Obs.Gauge.set g (-7.25);
+  fcheck "set" (-7.25) (Obs.Gauge.read g);
+  (* Racing setters: the read is one of the stored values, never a tear. *)
+  let _ =
+    Conc.Runner.parallel ~domains:4 (fun i ->
+        for _ = 1 to 10_000 do
+          Obs.Gauge.set g (float_of_int i)
+        done)
+  in
+  let v = Obs.Gauge.read g in
+  Alcotest.(check bool) "one of the racing values" true
+    (List.mem v [ 0.; 1.; 2.; 3. ])
+
+(* ------------------------- histogram ------------------------- *)
+
+let test_histogram_buckets () =
+  let h = Obs.Histogram.create ~buckets:[| 0.01; 0.1; 1.0 |] () in
+  List.iter (Obs.Histogram.observe h) [ 0.005; 0.05; 0.05; 0.5; 50.0 ];
+  Alcotest.(check int) "count" 5 (Obs.Histogram.count h);
+  fcheck "sum" 50.605 (Obs.Histogram.sum h);
+  let cum = Obs.Histogram.cumulative h in
+  Alcotest.(check int) "bucket array length" 4 (Array.length cum);
+  let counts = Array.map snd cum in
+  Alcotest.(check (array int)) "cumulative counts" [| 1; 3; 4; 5 |] counts;
+  fcheck "le 0.01" 0.01 (fst cum.(0));
+  Alcotest.(check bool) "+inf last" true (fst cum.(3) = infinity);
+  (* Quantiles resolve to within the enclosing bucket. *)
+  let p50 = Obs.Histogram.quantile h 0.5 in
+  Alcotest.(check bool) "p50 inside its bucket" true (p50 > 0.01 && p50 <= 0.1);
+  Alcotest.(check bool) "p100 clamps to largest finite bound" true
+    (Obs.Histogram.quantile h 1.0 <= 1.0);
+  Alcotest.check_raises "phi out of range"
+    (Invalid_argument "Histogram.quantile: phi outside [0,1]") (fun () ->
+      ignore (Obs.Histogram.quantile h 1.5))
+
+let test_histogram_rejects_bad_buckets () =
+  Alcotest.(check bool) "non-increasing rejected" true
+    (try
+       ignore (Obs.Histogram.create ~buckets:[| 1.0; 1.0 |] ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Obs.Histogram.create ~buckets:[||] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_histogram_concurrent_observes () =
+  let h = Obs.Histogram.create () in
+  let domains = 4 and per = 25_000 in
+  let _ =
+    Conc.Runner.parallel ~domains (fun i ->
+        for _ = 1 to per do
+          Obs.Histogram.observe h (0.0001 *. float_of_int (i + 1))
+        done)
+  in
+  Alcotest.(check int) "no observation lost" (domains * per)
+    (Obs.Histogram.count h);
+  let cum = Obs.Histogram.cumulative h in
+  Alcotest.(check int) "cumulative total = count" (domains * per)
+    (snd cum.(Array.length cum - 1))
+
+(* ------------------------- timer ------------------------- *)
+
+let test_timer_quantiles () =
+  let t = Obs.Timer.create ~seed:42L () in
+  (* 1..1000 milliseconds, observed from several domains. *)
+  let domains = 4 and per = 250 in
+  let _ =
+    Conc.Runner.parallel ~domains (fun i ->
+        for k = 1 to per do
+          Obs.Timer.observe t (0.001 *. float_of_int ((i * per) + k))
+        done)
+  in
+  Alcotest.(check int) "count" (domains * per) (Obs.Timer.count t);
+  fcheck "sum" (0.001 *. 1000. *. 1001. /. 2.) (Obs.Timer.sum t);
+  let p50 = Obs.Timer.quantile t 0.5 in
+  Alcotest.(check bool) "p50 near median (KLL rank error)" true
+    (p50 > 0.40 && p50 < 0.60);
+  let qs = Obs.Timer.quantiles t [ 0.5; 0.99; 1.0 ] in
+  Alcotest.(check int) "probe count" 3 (List.length qs);
+  let p100 = List.assoc 1.0 qs in
+  Alcotest.(check bool) "p100 near the max (KLL rank error)" true
+    (p100 > 0.95 && p100 <= 1.0 +. 1e-9);
+  Alcotest.(check bool) "probes nondecreasing" true
+    (List.assoc 0.5 qs <= List.assoc 0.99 qs && List.assoc 0.99 qs <= p100)
+
+let test_timer_time_and_empty () =
+  let t = Obs.Timer.create ~seed:1L () in
+  fcheck "empty quantile" 0.0 (Obs.Timer.quantile t 0.9);
+  let x = Obs.Timer.time t (fun () -> 41 + 1) in
+  Alcotest.(check int) "thunk result" 42 x;
+  Alcotest.(check int) "duration observed" 1 (Obs.Timer.count t);
+  Alcotest.(check bool) "duration nonnegative" true (Obs.Timer.sum t >= 0.0)
+
+(* ------------------------- trace ------------------------- *)
+
+let test_trace_wrap_and_dropped () =
+  let tr = Obs.Trace.create ~lanes:2 ~capacity:4 () in
+  Alcotest.(check int) "lanes" 2 (Obs.Trace.lanes tr);
+  Alcotest.(check int) "capacity" 4 (Obs.Trace.capacity tr);
+  for k = 1 to 6 do
+    Obs.Trace.emit tr ~lane:0 ~tag:"tick" ~a:k ~b:0
+  done;
+  Obs.Trace.emit tr ~lane:1 ~tag:"other" ~a:99 ~b:1;
+  Alcotest.(check int) "written lane 0" 6 (Obs.Trace.written tr ~lane:0);
+  Alcotest.(check int) "written lane 1" 1 (Obs.Trace.written tr ~lane:1);
+  Alcotest.(check int) "dropped = overwritten only" 2 (Obs.Trace.dropped tr);
+  let events = Obs.Trace.dump tr in
+  Alcotest.(check int) "survivors" 5 (List.length events);
+  (* The two oldest lane-0 events (a = 1, 2) were overwritten. *)
+  let lane0 = List.filter (fun (e : Obs.Trace.entry) -> e.lane = 0) events in
+  Alcotest.(check (list int)) "ring keeps the newest" [ 3; 4; 5; 6 ]
+    (List.map (fun (e : Obs.Trace.entry) -> e.a) lane0);
+  let stamps = List.map (fun (e : Obs.Trace.entry) -> e.stamp) events in
+  Alcotest.(check bool) "dump ascending by stamp" true
+    (stamps = List.sort compare stamps);
+  let tail = Obs.Trace.dump_tail tr 2 in
+  Alcotest.(check (list string)) "tail is the most recent events"
+    [ "tick"; "other" ]
+    (List.map (fun (e : Obs.Trace.entry) -> e.tag) tail)
+
+let test_trace_stamps_respect_real_time () =
+  (* Two lanes written by two domains in strict alternation: the global
+     stamp clock must order them exactly like Recorder tickets do —
+     happens-before implies a smaller stamp. *)
+  let tr = Obs.Trace.create ~lanes:2 ~capacity:128 () in
+  let rounds = 50 in
+  let turn = Atomic.make 0 in
+  let _ =
+    Conc.Runner.parallel ~domains:2 (fun i ->
+        for k = 0 to rounds - 1 do
+          let my_turn = (2 * k) + i in
+          while Atomic.get turn <> my_turn do
+            Domain.cpu_relax ()
+          done;
+          Obs.Trace.emit tr ~lane:i ~tag:"turn" ~a:my_turn ~b:0;
+          Atomic.set turn (my_turn + 1)
+        done)
+  in
+  let events = Obs.Trace.dump tr in
+  Alcotest.(check int) "all events survive" (2 * rounds) (List.length events);
+  Alcotest.(check (list int)) "merged order = real-time order"
+    (List.init (2 * rounds) Fun.id)
+    (List.map (fun (e : Obs.Trace.entry) -> e.a) events)
+
+let test_trace_rejects_bad_shape () =
+  Alcotest.(check bool) "zero lanes rejected" true
+    (try
+       ignore (Obs.Trace.create ~lanes:0 ~capacity:8 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero capacity rejected" true
+    (try
+       ignore (Obs.Trace.create ~lanes:1 ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------- registry ------------------------- *)
+
+let test_registry_get_or_create () =
+  let reg = Obs.Registry.create ~now:(fun () -> 123.0) () in
+  let c1 = Obs.Registry.counter reg ~help:"h" "requests_total" in
+  let c2 = Obs.Registry.counter reg "requests_total" in
+  Obs.Counter.add c1 5;
+  Alcotest.(check int) "same identity, same instrument" 5 (Obs.Counter.read c2);
+  (* Labels distinguish; label order does not. *)
+  let a = Obs.Registry.counter reg ~labels:[ ("x", "1"); ("y", "2") ] "lbl" in
+  let b = Obs.Registry.counter reg ~labels:[ ("y", "2"); ("x", "1") ] "lbl" in
+  let c = Obs.Registry.counter reg ~labels:[ ("x", "1") ] "lbl" in
+  Obs.Counter.incr a;
+  Alcotest.(check int) "label order irrelevant" 1 (Obs.Counter.read b);
+  Alcotest.(check int) "different label set, different series" 0
+    (Obs.Counter.read c);
+  (* Same identity as a different kind must raise, not alias. *)
+  Alcotest.(check bool) "kind mismatch raises" true
+    (try
+       ignore (Obs.Registry.gauge reg "requests_total");
+       false
+     with Invalid_argument _ -> true)
+
+let test_registry_snapshot_and_fns () =
+  let reg = Obs.Registry.create ~now:(fun () -> 9.0) () in
+  let c = Obs.Registry.counter reg ~help:"c" "alpha_total" in
+  Obs.Counter.add c 7;
+  let g = Obs.Registry.gauge reg ~labels:[ ("shard", "0") ] "beta" in
+  Obs.Gauge.set g 1.5;
+  let cell = Atomic.make 10 in
+  Obs.Registry.counter_fn reg "gamma_total" (fun () -> Atomic.get cell);
+  let snap = Obs.Registry.snapshot reg in
+  fcheck "snapshot stamped by injected clock" 9.0 snap.Obs.Snapshot.at;
+  Alcotest.(check int) "owned counter" 7
+    (Obs.Snapshot.counter_value snap "alpha_total");
+  fcheck "labelled gauge" 1.5
+    (Obs.Snapshot.gauge_value snap ~labels:[ ("shard", "0") ] "beta");
+  Alcotest.(check int) "callback counter" 10
+    (Obs.Snapshot.counter_value snap "gamma_total");
+  (* A scrape-time callback reads live state; re-registering replaces it —
+     how a restarted component re-points its series. *)
+  Atomic.set cell 11;
+  Obs.Registry.gauge_fn reg "delta" (fun () -> 0.25);
+  Obs.Registry.gauge_fn reg "delta" (fun () -> 0.75);
+  let snap2 = Obs.Registry.snapshot reg in
+  Alcotest.(check int) "callback is live" 11
+    (Obs.Snapshot.counter_value snap2 "gamma_total");
+  fcheck "re-registration replaces" 0.75 (Obs.Snapshot.gauge_value snap2 "delta");
+  (* Samples sorted by (name, labels); absent lookups take defaults. *)
+  let names = List.map (fun s -> s.Obs.Snapshot.name) snap2.Obs.Snapshot.samples in
+  Alcotest.(check (list string)) "sorted by name"
+    [ "alpha_total"; "beta"; "delta"; "gamma_total" ]
+    names;
+  Alcotest.(check int) "missing counter defaults to 0" 0
+    (Obs.Snapshot.counter_value snap2 "nope");
+  Alcotest.(check bool) "find misses on wrong labels" true
+    (Obs.Snapshot.find snap2 ~labels:[ ("shard", "9") ] "beta" = None)
+
+(* ------------------------- expose ------------------------- *)
+
+let expose_fixture () =
+  let reg = Obs.Registry.create ~now:(fun () -> 100.5) () in
+  let c = Obs.Registry.counter reg ~help:"a counter" "req_total" in
+  Obs.Counter.add c 3;
+  let g = Obs.Registry.gauge reg ~labels:[ ("shard", "1") ] "depth" in
+  Obs.Gauge.set g 4.0;
+  let h =
+    Obs.Registry.histogram reg ~buckets:[| 0.1; 1.0 |] "lat_seconds"
+  in
+  Obs.Histogram.observe h 0.05;
+  Obs.Histogram.observe h 5.0;
+  let t = Obs.Registry.timer reg ~quantiles:[ 0.5; 1.0 ] ~seed:7L "lag_seconds" in
+  Obs.Timer.observe t 0.25;
+  Obs.Registry.snapshot reg
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_expose_prometheus () =
+  let text = Obs.Expose.to_prometheus (expose_fixture ()) in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" line) true
+        (contains text line))
+    [
+      "# HELP req_total a counter";
+      "# TYPE req_total counter";
+      "req_total 3";
+      "# TYPE depth gauge";
+      "depth{shard=\"1\"} 4.0";
+      "# TYPE lat_seconds histogram";
+      "lat_seconds_bucket{le=\"0.1\"} 1";
+      "lat_seconds_bucket{le=\"+Inf\"} 2";
+      "lat_seconds_count 2";
+      "# TYPE lag_seconds summary";
+      "lag_seconds{quantile=\"0.5\"} 0.25";
+      "lag_seconds_count 1";
+    ];
+  Alcotest.(check bool) "ends with newline" true
+    (String.length text > 0 && text.[String.length text - 1] = '\n')
+
+let test_expose_json_and_table () =
+  let snap = expose_fixture () in
+  let json = Obs.Expose.to_json snap in
+  List.iter
+    (fun piece ->
+      Alcotest.(check bool) (Printf.sprintf "json has %S" piece) true
+        (contains json piece))
+    [
+      "{\"at\":100.500000,\"metrics\":[";
+      "\"name\":\"req_total\"";
+      "\"type\":\"counter\"";
+      "\"value\":3";
+      "\"labels\":{\"shard\":\"1\"}";
+      "\"buckets\":[{\"le\":0.1,\"count\":1}";
+      "{\"le\":null,\"count\":2}";
+      "\"quantiles\":[{\"phi\":0.5,";
+    ];
+  (* NaN/inf must not leak into JSON: the +inf bucket bound is encoded as
+     null, keeping every parser happy. *)
+  Alcotest.(check bool) "no bare inf" false (contains json "inf");
+  Alcotest.(check bool) "no NaN" false (contains json "nan");
+  let table = Obs.Expose.to_table snap in
+  List.iter
+    (fun piece ->
+      Alcotest.(check bool) (Printf.sprintf "table has %S" piece) true
+        (contains table piece))
+    [ "req_total"; "depth{shard=1}"; "p50=" ]
+
+(* ------------------- envelope-width gauge soundness ------------------- *)
+
+let test_envelope_gauge_bounds_read_error () =
+  (* The Theorem-6-style property behind docs/OBSERVABILITY.md: at any
+     scrape, [pipeline_envelope_width] must bound how stale the published
+     total is. Protocol: feeders ingest and join (accepted weight frozen),
+     then — before drain, while queued items and unflushed worker deltas
+     are still invisible to queries — one domain repeatedly scrapes the
+     gauge and then reads the total. For each (g_i, v_i) pair, every item
+     the final total has and v_i lacked was inside the reported gap:
+     final - v_i <= g_i. The recorded history must also stay a clean
+     monotone IVL envelope with the scraper racing the merger. *)
+  let n = 30_000 and shards = 3 and feeders = 3 in
+  let stream =
+    Workload.Stream.generate ~seed:11L (Workload.Stream.Uniform 500) ~length:n
+  in
+  let chunks = Workload.Stream.chunks stream ~pieces:feeders in
+  let reg = Obs.Registry.create () in
+  (* batch > items per shard: deltas only flush at drain, so the scraper
+     is guaranteed to observe a nonzero gap. *)
+  let p = PC.create ~queue_capacity:n ~batch:(n * 2) ~metrics:reg ~shards () in
+  let accepted =
+    Conc.Runner.parallel ~domains:feeders (fun i ->
+        let ok = ref 0 in
+        Array.iter (fun x -> if PC.ingest p x then incr ok) chunks.(i);
+        !ok)
+  in
+  Alcotest.(check int) "all accepted" n (Array.fold_left ( + ) 0 accepted);
+  let stop = Atomic.make false in
+  let scraper =
+    Domain.spawn (fun () ->
+        let rec loop acc =
+          if Atomic.get stop then List.rev acc
+          else begin
+            let snap = Obs.Registry.snapshot reg in
+            let g = Obs.Snapshot.gauge_value snap "pipeline_envelope_width" in
+            (* Gauge first, then the read: anything missing from [v] was
+               enqueued-but-unpublished no later than the scrape. *)
+            let v = PC.read_total p in
+            loop ((g, v) :: acc)
+          end
+        in
+        loop [])
+  in
+  (* Let the scraper race the (idle-but-live) merger for a moment, then
+     drain while it is still sampling — restarts of the merge activity
+     must not open a window where the gauge under-reports. *)
+  Unix.sleepf 0.02;
+  PC.drain p;
+  Atomic.set stop true;
+  let samples = Domain.join scraper in
+  let final = PC.read_total p in
+  Alcotest.(check int) "nothing lost" n final;
+  Alcotest.(check bool) "scraper collected samples" true (samples <> []);
+  List.iteri
+    (fun i (g, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sample %d: gap bounds staleness (g=%g v=%d final=%d)"
+           i g v final)
+        true
+        (final - v <= int_of_float g);
+      Alcotest.(check bool) (Printf.sprintf "sample %d: gap nonnegative" i) true
+        (g >= 0.0);
+      Alcotest.(check bool) (Printf.sprintf "sample %d: read within total" i)
+        true
+        (v >= 0 && v <= final))
+    samples;
+  Alcotest.(check bool) "pre-drain scrape saw a nonzero gap" true
+    (List.exists (fun (g, _) -> g > 0.0) samples);
+  Alcotest.(check int) "history is a clean IVL envelope" 0
+    (List.length (Mono.violations (PC.history p)));
+  (* After drain the gap must close exactly. *)
+  let snap = Obs.Registry.snapshot reg in
+  fcheck "gap closes at drain" 0.0
+    (Obs.Snapshot.gauge_value snap "pipeline_envelope_width");
+  Alcotest.(check int) "published series = final" final
+    (Obs.Snapshot.counter_value snap "pipeline_published_total")
+
+let test_pipeline_metrics_registration () =
+  (* The engine's registered series reconcile with its own stats block. *)
+  let n = 8_000 and shards = 2 in
+  let stream =
+    Workload.Stream.generate ~seed:3L (Workload.Stream.Zipf (200, 1.1)) ~length:n
+  in
+  let reg = Obs.Registry.create () in
+  let tr = Obs.Trace.create ~lanes:(shards + 2) ~capacity:256 () in
+  let p = PC.create ~batch:64 ~combine:true ~metrics:reg ~trace:tr ~shards () in
+  Array.iter (fun x -> ignore (PC.ingest p x)) stream;
+  PC.drain p;
+  let st = PC.stats p in
+  let snap = Obs.Registry.snapshot reg in
+  let counter = Obs.Snapshot.counter_value snap in
+  Alcotest.(check int) "ingested" n (counter "pipeline_ingested_total");
+  Alcotest.(check int) "published" st.PC.published
+    (counter "pipeline_published_total");
+  Alcotest.(check int) "merges" st.PC.merges (counter "pipeline_merges_total");
+  Alcotest.(check int) "epoch gauge" st.PC.epoch
+    (int_of_float (Obs.Snapshot.gauge_value snap "pipeline_epoch"));
+  Array.iteri
+    (fun i (s : PC.shard_stats) ->
+      let labels = [ ("shard", string_of_int i) ] in
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d enqueued" i)
+        s.enqueued
+        (Obs.Snapshot.counter_value snap ~labels "pipeline_shard_enqueued_total");
+      fcheck
+        (Printf.sprintf "shard %d alive" i)
+        (if s.alive then 1.0 else 0.0)
+        (Obs.Snapshot.gauge_value snap ~labels "pipeline_shard_alive"))
+    st.PC.shards;
+  (* Merge-lag summary scraped with one observation per merge. *)
+  (match Obs.Snapshot.find snap "pipeline_merge_lag_seconds" with
+  | Some (Obs.Snapshot.Summary s) ->
+      Alcotest.(check int) "lag observations = merges" st.PC.merges
+        s.Obs.Snapshot.s_count
+  | _ -> Alcotest.fail "merge-lag summary missing");
+  (* Trace lanes: every worker flushed at least once, the merger merged,
+     and nothing used the watchdog lane (no supervisor configured). *)
+  let events = Obs.Trace.dump tr in
+  Alcotest.(check bool) "flush events traced" true
+    (List.exists (fun (e : Obs.Trace.entry) -> e.tag = "flush") events);
+  Alcotest.(check bool) "merge events traced" true
+    (List.exists
+       (fun (e : Obs.Trace.entry) -> e.tag = "merge" && e.lane = shards)
+       events);
+  Alcotest.(check bool) "watchdog lane silent" true
+    (Obs.Trace.written tr ~lane:(shards + 1) = 0);
+  Alcotest.(check bool) "trace lanes validated" true
+    (try
+       ignore
+         (PC.create ~metrics:reg
+            ~trace:(Obs.Trace.create ~lanes:2 ~capacity:8 ())
+            ~shards:4 ());
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "concurrent adds" `Quick test_counter_concurrent_adds;
+          Alcotest.test_case "reads are IVL" `Quick test_counter_reads_are_ivl;
+        ] );
+      ("gauge", [ Alcotest.test_case "set/read" `Quick test_gauge_set_read ]);
+      ( "histogram",
+        [
+          Alcotest.test_case "buckets and quantiles" `Quick test_histogram_buckets;
+          Alcotest.test_case "rejects bad buckets" `Quick
+            test_histogram_rejects_bad_buckets;
+          Alcotest.test_case "concurrent observes" `Quick
+            test_histogram_concurrent_observes;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "quantiles" `Quick test_timer_quantiles;
+          Alcotest.test_case "time and empty" `Quick test_timer_time_and_empty;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "wrap and dropped" `Quick test_trace_wrap_and_dropped;
+          Alcotest.test_case "stamps respect real time" `Quick
+            test_trace_stamps_respect_real_time;
+          Alcotest.test_case "rejects bad shape" `Quick test_trace_rejects_bad_shape;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "get-or-create identity" `Quick
+            test_registry_get_or_create;
+          Alcotest.test_case "snapshot and callbacks" `Quick
+            test_registry_snapshot_and_fns;
+        ] );
+      ( "expose",
+        [
+          Alcotest.test_case "prometheus text" `Quick test_expose_prometheus;
+          Alcotest.test_case "json and table" `Quick test_expose_json_and_table;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "envelope gauge bounds read error" `Quick
+            test_envelope_gauge_bounds_read_error;
+          Alcotest.test_case "metrics registration" `Quick
+            test_pipeline_metrics_registration;
+        ] );
+    ]
