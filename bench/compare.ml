@@ -252,6 +252,12 @@ let budget_unit = function "pct" -> true | _ -> false
 
 let budget_slack_points = 5.0
 
+(* Correctness counters (the soak harness's IVL verdicts): zero tolerance.
+   A single violation is a correctness break, not noise, so any increase
+   over the baseline — which is always 0 — is fatal regardless of
+   thresholds. *)
+let violation_unit = function "violations" -> true | _ -> false
+
 let main args =
   let threshold = ref 20.0 in
   let timing_fatal = ref false in
@@ -315,7 +321,16 @@ let main args =
                     else (nw.mean -. o.mean) /. Float.abs o.mean *. 100.0
                   in
                   let verdict =
-                    if structural_unit o.unit_ then
+                    if violation_unit o.unit_ then
+                      if nw.mean > o.mean +. 1e-9 then begin
+                        fatal
+                          "VIOLATIONS %s: %.0f -> %.0f (correctness gate is \
+                           zero-tolerance)"
+                          o.key o.mean nw.mean;
+                        "FAIL"
+                      end
+                      else "ok"
+                    else if structural_unit o.unit_ then
                       (* float dust from Gc.allocated_bytes division *)
                       if nw.mean > o.mean +. 0.5 then begin
                         fatal

@@ -933,22 +933,25 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
     Option.map
       (fun ch ->
         if not supervise then fun ~shard -> Conc.Chaos.point ch ~domain:shard
-        else begin
-          (* Under supervision each chaos victim dies once: a killed chaos
-             domain re-raises on every later point, which would turn the
-             restarted incarnation into a crash loop. One kill is the
-             restart scenario; the crash-loop-to-shed path has its own
-             test. *)
-          let killed_once = Array.init shards (fun _ -> Atomic.make false) in
-          fun ~shard ->
-            if not (Atomic.get killed_once.(shard)) then
-              try Conc.Chaos.point ch ~domain:shard
-              with Conc.Chaos.Killed _ as e ->
-                Atomic.set killed_once.(shard) true;
-                raise e
-        end)
+        else
+          (* Under supervision each chaos victim dies once: point_once lets
+             the restarted incarnation run the same hook harmlessly instead
+             of crash-looping into a shed. The crash-loop-to-shed path has
+             its own test. *)
+          fun ~shard -> Conc.Chaos.point_once ch ~domain:shard)
       ch
   in
+  (match wal_dir with
+  | Some dir -> (
+      match Durable.Wal.validate_dir ~must_exist:false ~dir () with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf
+            "pipeline: unusable WAL directory: %s\n\
+             Pick a path whose parent exists and is writable.\n"
+            msg;
+          exit 2)
+  | None -> ());
   let wal =
     Option.map
       (fun dir ->
@@ -1274,6 +1277,18 @@ let mergeable_of ~seed = function
   | _ -> None
 
 let recover dir sk seed =
+  (* A bad directory is a usage error, not a recovery result: diagnose it
+     up front with exit code 2 instead of letting a Sys_error surface from
+     the checkpoint/WAL scans. *)
+  (match Durable.Wal.validate_dir ~dir () with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf
+        "recover: %s\n\
+         Nothing to recover here: pass the directory a `pipeline --wal DIR` run \
+         wrote.\n"
+        msg;
+      exit 2);
   match mergeable_of ~seed sk with
   | None ->
       Printf.eprintf
@@ -1324,16 +1339,9 @@ let metrics_demo format events shards ops seed wal_dir =
          ~seed ())
       ~domains:shards
   in
-  (* Each victim dies once so the supervisor's restart shows up in the
-     snapshot instead of a crash loop ending in shedding. *)
-  let killed_once = Array.init shards (fun _ -> Atomic.make false) in
-  let on_tick ~shard =
-    if not (Atomic.get killed_once.(shard)) then
-      try Conc.Chaos.point ch ~domain:shard
-      with Conc.Chaos.Killed _ as e ->
-        Atomic.set killed_once.(shard) true;
-        raise e
-  in
+  (* Each victim dies once (point_once) so the supervisor's restart shows up
+     in the snapshot instead of a crash loop ending in shedding. *)
+  let on_tick ~shard = Conc.Chaos.point_once ch ~domain:shard in
   let wal =
     Option.map
       (fun dir ->
@@ -1656,6 +1664,322 @@ let metrics_cmd =
           pretty-print its metrics snapshot and trace rings")
     Term.(const metrics_demo $ format $ events $ shards $ ops $ seed $ wal)
 
+(* --- trace: generate / record / inspect workload trace files ----------- *)
+
+let trace_gen out ops universe seed =
+  let spec = Workload.Trace.default_spec ~seed ~ops ~universe () in
+  let t = Workload.Trace.materialize spec in
+  match Workload.Trace.write ~path:out spec t with
+  | Ok () ->
+      print_string (Workload.Trace.describe spec);
+      Printf.printf "wrote %d ops to %s\n" (Workload.Trace.total_ops spec) out;
+      0
+  | Error msg ->
+      Printf.eprintf "trace gen: %s\n" msg;
+      1
+
+let trace_record out ops universe shape skew query_ratio seed =
+  let sh = parse_shape shape skew universe in
+  let raw = Workload.Scenario.mixed ~seed ~shape:sh ~query_ratio ~length:ops in
+  let spec =
+    {
+      Workload.Trace.seed;
+      phases =
+        [
+          {
+            Workload.Trace.name = "recorded";
+            ops;
+            query_ratio;
+            rate = Workload.Trace.Unlimited;
+            shape = Workload.Trace.Recorded { universe };
+          };
+        ];
+    }
+  in
+  match Workload.Trace.write ~path:out spec [| raw |] with
+  | Ok () ->
+      print_string (Workload.Trace.describe spec);
+      Printf.printf "recorded %d ops to %s\n" ops out;
+      0
+  | Error msg ->
+      Printf.eprintf "trace record: %s\n" msg;
+      1
+
+let trace_cat path head =
+  match Workload.Trace.read ~path with
+  | Error msg ->
+      Printf.eprintf "trace cat: %s\n" msg;
+      1
+  | Ok (spec, ops) ->
+      print_string (Workload.Trace.describe spec);
+      if head > 0 then
+        List.iteri
+          (fun i (p : Workload.Trace.phase) ->
+            let arr = ops.(i) in
+            let n = min head (Array.length arr) in
+            Printf.printf "%s (first %d of %d):" p.name n (Array.length arr);
+            for j = 0 to n - 1 do
+              match arr.(j) with
+              | Workload.Scenario.Update k -> Printf.printf " +%d" k
+              | Workload.Scenario.Query k -> Printf.printf " ?%d" k
+            done;
+            print_newline ())
+          spec.Workload.Trace.phases;
+      0
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "trace.bin"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"trace file to write")
+  in
+  let ops_arg =
+    Arg.(value & opt int 200_000 & info [ "ops" ] ~doc:"total operations across phases")
+  in
+  let universe_arg =
+    Arg.(value & opt int 8192 & info [ "universe" ] ~doc:"key universe size")
+  in
+  let seed_arg = Arg.(value & opt int64 0x1517L & info [ "seed" ] ~doc:"trace seed") in
+  let gen =
+    Cmd.v
+      (Cmd.info "gen"
+         ~doc:
+           "Generate the canonical phased trace (steady Zipf, skew drift, burst \
+            trains, diurnal hot-flips, adversarial hammer) and freeze it to a \
+            file")
+      Term.(const trace_gen $ out_arg $ ops_arg $ universe_arg $ seed_arg)
+  in
+  let record =
+    let shape =
+      Arg.(value & opt string "zipf" & info [ "shape" ] ~doc:"zipf or uniform")
+    in
+    let skew = Arg.(value & opt float 1.1 & info [ "skew" ] ~doc:"zipf skew") in
+    let qr =
+      Arg.(value & opt float 0.05 & info [ "query-ratio" ] ~doc:"query fraction")
+    in
+    Cmd.v
+      (Cmd.info "record"
+         ~doc:
+           "Capture a legacy scenario stream into a single-phase trace file so \
+            ad-hoc workloads replay bit-for-bit")
+      Term.(
+        const trace_record $ out_arg $ ops_arg $ universe_arg $ shape $ skew $ qr
+        $ seed_arg)
+  in
+  let cat =
+    let file =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"FILE" ~doc:"trace file to inspect")
+    in
+    let head =
+      Arg.(
+        value & opt int 0
+        & info [ "head" ] ~docv:"N" ~doc:"also print the first N ops of each phase")
+    in
+    Cmd.v
+      (Cmd.info "cat"
+         ~doc:
+           "Validate a trace file (framing, checksums, per-phase counts) and \
+            print its phase table")
+      Term.(const trace_cat $ file $ head)
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Generate, record and inspect workload trace files")
+    [ gen; record; cat ]
+
+(* --- soak: full-system chaos soak with end-to-end IVL verdicts ---------- *)
+
+let write_bench_soak path (cfg : Workload.Soak.config) ~total_ops
+    (v : Workload.Soak.verdict) =
+  let module S = Workload.Soak in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 v.S.rounds in
+  let maxf f = List.fold_left (fun acc r -> Float.max acc (f r)) 0.0 v.S.rounds in
+  let upper_excess =
+    sum (fun r -> max 0 (r.S.oracle_upper_failures - r.S.oracle_upper_allowance))
+  in
+  let driver_wall = List.fold_left (fun a r -> a +. r.S.driver.Workload.Driver.wall) 0.0 v.S.rounds in
+  let driver_issued = sum (fun r -> r.S.driver.Workload.Driver.issued) in
+  let achieved =
+    if driver_wall > 0.0 then float_of_int driver_issued /. driver_wall else 0.0
+  in
+  let phase_max f =
+    maxf (fun r ->
+        List.fold_left
+          (fun a (p : Workload.Driver.phase_report) -> Float.max a (f p))
+          0.0 r.S.driver.Workload.Driver.phases)
+  in
+  let lost_pct =
+    if v.S.accepted_total > 0 then
+      100.0 *. float_of_int v.S.lost_weight /. float_of_int v.S.accepted_total
+    else 0.0
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{ \"exp\": \"soak\",\n  \"entries\": [\n";
+  let first = ref true in
+  let entry name unit_ value =
+    if not !first then Buffer.add_string buf ",\n";
+    first := false;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "    { \"name\": %S,\n      \"params\": {  },\n      \"unit\": %S,\n   \
+          \   \"reps\": %d,\n      \"mean\": %.17g, \"p50\": %.17g, \"p99\": \
+          %.17g }"
+         name unit_ cfg.S.rounds value value value)
+  in
+  (* Correctness gates: the "violations" unit is zero-tolerance in
+     `bench compare` — any nonzero here against a zero baseline is fatal. *)
+  entry "soak-monotone-violations" "violations"
+    (float_of_int (sum (fun r -> r.S.monotone_violations)));
+  entry "soak-oracle-lower-violations" "violations"
+    (float_of_int (sum (fun r -> r.S.oracle_lower_violations)));
+  entry "soak-oracle-upper-excess" "violations" (float_of_int upper_excess);
+  entry "soak-epoch-regressions" "violations"
+    (float_of_int (sum (fun r -> r.S.epoch_regressions)));
+  entry "soak-conservation-failures" "violations"
+    (float_of_int (sum (fun r -> r.S.conservation_failures)));
+  entry "soak-reader-regressions" "violations"
+    (float_of_int (sum (fun r -> r.S.reader_regressions)));
+  entry "soak-unexpected-failures" "violations"
+    (float_of_int (sum (fun r -> r.S.unexpected_failures)));
+  entry "soak-decode-failures" "violations"
+    (float_of_int (sum (fun r -> r.S.decode_failures)));
+  (* Budget: loss is a percentage of accepted weight; absolute-drift gated. *)
+  entry "soak-lost-weight-pct" "pct" lost_pct;
+  (* Timing: warn-gated by default (CI runners are noisy). *)
+  entry "soak-achieved-rate" "ops/s" achieved;
+  entry "soak-update-p99" "ns/op"
+    (1e9 *. phase_max (fun p -> p.Workload.Driver.update_p99));
+  entry "soak-query-p99" "ns/op"
+    (1e9 *. phase_max (fun p -> p.Workload.Driver.query_p99));
+  (* Informational. *)
+  entry "soak-recoveries" "count" (float_of_int v.S.recoveries);
+  entry "soak-restarts" "count" (float_of_int (sum (fun r -> r.S.restarts)));
+  entry "soak-kills" "count" (float_of_int (sum (fun r -> r.S.kills)));
+  entry "soak-total-ops" "count" (float_of_int total_ops);
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let soak_run trace_file ops universe seed dir shards feeders rounds kills chaos
+    tear bench_out =
+  let module S = Workload.Soak in
+  let spec, trace =
+    match trace_file with
+    | Some path -> (
+        match Workload.Trace.read ~path with
+        | Ok (spec, t) -> (spec, t)
+        | Error msg ->
+            Printf.eprintf "soak: cannot read trace %s: %s\n" path msg;
+            exit 2)
+    | None ->
+        let spec = Workload.Trace.default_spec ~seed ~ops ~universe () in
+        (spec, Workload.Trace.materialize spec)
+  in
+  let kills_per_round =
+    match chaos with
+    | "none" -> 0
+    | "kill" -> kills
+    | other ->
+        Printf.eprintf "soak: unknown --chaos %s (expected none or kill)\n" other;
+        exit 2
+  in
+  (* A soak is a self-contained crash/recover chain: start from a clean
+     durable directory so round 0's oracle and the engine agree on zero. *)
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then begin
+      Printf.eprintf "soak: %s exists and is not a directory\n" dir;
+      exit 2
+    end;
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)
+  end;
+  let base = S.default_config ~dir in
+  let cfg =
+    {
+      base with
+      S.shards;
+      feeders;
+      rounds;
+      kills_per_round;
+      tear_tail = tear && rounds > 1;
+    }
+  in
+  let v = S.run ~progress:print_endline cfg ~spec ~ops:trace () in
+  print_string (S.verdict_to_string v);
+  (match bench_out with
+  | Some path ->
+      write_bench_soak path cfg ~total_ops:(Workload.Trace.total_ops spec) v
+  | None -> ());
+  if v.S.pass then 0 else 1
+
+let soak_cmd =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"replay this trace file instead of generating one")
+  in
+  let ops =
+    Arg.(
+      value & opt int 200_000
+      & info [ "ops" ] ~doc:"total generated operations (ignored with --trace)")
+  in
+  let universe =
+    Arg.(
+      value & opt int 8192
+      & info [ "universe" ] ~doc:"key universe of the generated trace")
+  in
+  let seed = Arg.(value & opt int64 0x1517L & info [ "seed" ] ~doc:"trace seed") in
+  let dir =
+    Arg.(
+      value & opt string "_soak"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"durable WAL + checkpoint directory (cleared before the run)")
+  in
+  let shards = Arg.(value & opt int 4 & info [ "shards" ] ~doc:"shard worker domains") in
+  let feeders = Arg.(value & opt int 2 & info [ "feeders" ] ~doc:"driver feeder domains") in
+  let rounds =
+    Arg.(
+      value & opt int 4
+      & info [ "rounds" ] ~doc:"engine incarnations (rounds - 1 crash/recover cycles)")
+  in
+  let kills =
+    Arg.(value & opt int 2 & info [ "kills" ] ~doc:"chaos kills per round (at most shards)")
+  in
+  let chaos =
+    Arg.(
+      value & opt string "kill"
+      & info [ "chaos" ] ~doc:"none (no fault injection) or kill (shard worker kills)")
+  in
+  let tear =
+    Arg.(
+      value & opt bool true
+      & info [ "tear-tail" ]
+          ~doc:"tear the WAL tail mid-frame between rounds (crash during append)")
+  in
+  let bench_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE"
+          ~doc:"also write verdict counters and percentiles as a BENCH json")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Full-system chaos soak: drive a phased trace through the WAL-backed \
+          pipeline across crash/recover rounds and emit an end-to-end IVL \
+          PASS/FAIL verdict")
+    Term.(
+      const soak_run $ trace_file $ ops $ universe $ seed $ dir $ shards $ feeders
+      $ rounds $ kills $ chaos $ tear $ bench_out)
+
 let () =
   let doc = "Intermediate Value Linearizability: checkers, simulators, sketches" in
   exit
@@ -1672,4 +1996,6 @@ let () =
             pipeline_cmd;
             recover_cmd;
             metrics_cmd;
+            trace_cmd;
+            soak_cmd;
           ]))

@@ -99,6 +99,12 @@ let point t ~domain =
     done
   end
 
+(* The first call on a victim still raises (that's the injected crash); once
+   the domain is marked dead, later incarnations pass through untouched. *)
+let point_once t ~domain =
+  let st = t.per_domain.(domain) in
+  if not st.dead then point t ~domain
+
 let points_passed t ~domain = t.per_domain.(domain).points
 
 let killed t =

@@ -75,6 +75,14 @@ val point : t -> domain:int -> unit
     victim domain; after that the domain is marked dead and must stop
     calling). Each domain must only be driven from its own domain. *)
 
+val point_once : t -> domain:int -> unit
+(** Like {!point}, except a domain that has already been killed passes
+    through as a no-op instead of re-raising. This is the hook for
+    supervised pipelines: the first incarnation of a victim worker dies at
+    its chosen point, and the incarnation the supervisor restarts runs the
+    same hook harmlessly — one injected crash per victim, no crash loop
+    into a shed. *)
+
 val points_passed : t -> domain:int -> int
 (** Injection points this domain has passed (including the killing one). *)
 

@@ -114,4 +114,24 @@ module Make (M : Pipeline.Mergeable.S) = struct
       | None -> ());
       Ok (!global, report)
     end
+
+  (* Recovery for a pipeline that will write MORE log into the same dir.
+     Plain [recover] leaves the old segments in place, and the
+     longest-valid-prefix rule makes that a trap: a torn tail in an old
+     segment would truncate every record a new incarnation appends after it.
+     Compaction closes the hazard — checkpoint the recovered state
+     atomically, then drop all replayed segments — so the next incarnation
+     starts from a clean log whose every future record survives its own
+     crashes independently of past ones. The checkpoint is installed before
+     any segment is removed: a crash between the two steps leaves both the
+     snapshot and the (now redundant) segments, which a re-run simply
+     recovers and compacts again. *)
+  let recover_compact ?metrics ?keep ~dir () =
+    match recover ?metrics ~dir () with
+    | Error _ as e -> e
+    | Ok (global, report) ->
+        Checkpoint.write ?keep ~dir ~epoch:report.recovered_epoch
+          ~published:report.recovered_published ~blob:(M.encode global) ();
+        ignore (Wal.remove_segments ~dir);
+        Ok (global, report)
 end

@@ -44,4 +44,19 @@ module Make (M : Pipeline.Mergeable.S) : sig
       [recovery_checkpoint_epoch], [recovery_epoch],
       [recovery_published]); a later recovery into the same registry
       replaces the series with its newer report. *)
+
+  val recover_compact :
+    ?metrics:Obs.Registry.t ->
+    ?keep:int ->
+    dir:string ->
+    unit ->
+    (M.t * report, string) result
+  (** {!recover}, then make the directory safe for a {e new} writer:
+      checkpoint the recovered state (atomic install, [keep] as in
+      {!Checkpoint.write}) and delete the replayed WAL segments. Without
+      this, a torn tail left in an old segment would — by the
+      longest-valid-prefix rule — truncate every record a later incarnation
+      appends after it. Crash-safe: the checkpoint lands before any segment
+      is removed, so an interrupted compaction re-recovers to the same
+      state. This is the restart step of a soak round ([Workload.Soak]). *)
 end

@@ -35,6 +35,43 @@ let segments_of dir =
          match segment_index n with Some i -> Some (i, n) | None -> None)
   |> List.sort compare
 
+(* Friendly pre-flight for CLI entry points: turn the Sys_error/Unix_error a
+   bad path would raise deep inside create/read into a plain diagnostic the
+   caller can print and exit with. [must_exist] is the reader's contract
+   (recovering from nothing is a user error); a writer only needs a creatable
+   path — an existing parent it can write into. *)
+let validate_dir ?(must_exist = true) ~dir () =
+  if Sys.file_exists dir then
+    if not (Sys.is_directory dir) then
+      Error (Printf.sprintf "%s exists but is not a directory" dir)
+    else
+      match Sys.readdir dir with
+      | _ -> Ok ()
+      | exception Sys_error msg -> Error (Printf.sprintf "cannot read %s: %s" dir msg)
+  else if must_exist then Error (Printf.sprintf "no such directory: %s" dir)
+  else
+    let parent = Filename.dirname dir in
+    if not (Sys.file_exists parent) then
+      Error
+        (Printf.sprintf "cannot create %s: parent directory %s does not exist" dir
+           parent)
+    else if not (Sys.is_directory parent) then
+      Error (Printf.sprintf "cannot create %s: %s is not a directory" dir parent)
+    else
+      match Unix.access parent [ Unix.W_OK; Unix.X_OK ] with
+      | () -> Ok ()
+      | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "cannot create %s: %s is not writable (%s)" dir parent
+               (Unix.error_message e))
+
+let remove_segments ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then 0
+  else
+    let segs = segments_of dir in
+    List.iter (fun (_, name) -> Sys.remove (Filename.concat dir name)) segs;
+    List.length segs
+
 (* ------------------------------ writer ------------------------------ *)
 
 type writer = {

@@ -19,6 +19,24 @@ type fsync_policy =
 
 val policy_to_string : fsync_policy -> string
 
+val validate_dir :
+  ?must_exist:bool -> dir:string -> unit -> (unit, string) result
+(** Pre-flight a WAL directory path and return a printable diagnostic
+    instead of letting [Sys_error]/[Unix_error] escape from deep inside
+    {!create} or {!read}. With [must_exist] (the default, the reader's
+    contract) the directory must exist, be a directory, and be readable;
+    with [~must_exist:false] (a writer about to {!create} it) a missing
+    directory is fine as long as its parent exists and is writable. *)
+
+val remove_segments : dir:string -> int
+(** Delete every [wal-*.seg] file in [dir] (other files, e.g. checkpoints,
+    untouched) and return how many were removed. A missing directory removes
+    nothing. Used by [Durable.Recovery.recover_compact] after the recovered
+    state has been checkpointed: clearing replayed segments keeps a torn
+    tail from a previous incarnation from truncating records a {e later}
+    incarnation appends (the longest-valid-prefix rule cuts everything after
+    the first bad frame, later segments included). *)
+
 (** {2 Writer} — single-threaded; the pipeline's merger is its one caller. *)
 
 type writer

@@ -410,8 +410,12 @@ module Make (M : Mergeable.S) = struct
 
   let create ?(queue_capacity = 1024) ?(batch = 512) ?(combine = false)
       ?on_tick ?on_merge ?(checkpoint_every = 0) ?on_checkpoint ?supervisor
-      ?metrics ?trace ~shards () =
+      ?metrics ?trace ?initial ~shards () =
     if shards <= 0 then invalid_arg "Engine.create: shards must be positive";
+    (match initial with
+    | Some (_, epoch0, published0) when epoch0 < 0 || published0 < 0 ->
+        invalid_arg "Engine.create: initial epoch/published must be non-negative"
+    | _ -> ());
     if batch <= 0 then invalid_arg "Engine.create: batch must be positive";
     if checkpoint_every < 0 then
       invalid_arg "Engine.create: checkpoint_every must be non-negative";
@@ -481,6 +485,21 @@ module Make (M : Mergeable.S) = struct
         drained = false;
       }
     in
+    (* Seeding recovered state must happen before any domain spawns: the
+       creating thread briefly borrows the merger's recorder slot (domain
+       [shards]) to log the carried-over weight as one synchronous update op,
+       so [Ivl.Monotone] sees the recovered base instead of flagging the
+       first post-restart query as out of thin air. Single-threaded here, so
+       the borrow cannot race the real merger. *)
+    (match initial with
+    | None -> ()
+    | Some (g0, epoch0, published0) ->
+        t.global <- g0;
+        t.epoch <- epoch0;
+        t.published <- published0;
+        if published0 > 0 then
+          Conc.Recorder.record_update t.rec_ ~domain:shards ~obj:0 published0
+            (fun () -> ()));
     (match metrics with Some reg -> register_metrics t reg | None -> ());
     t.workers <- Array.init shards (fun i -> Domain.spawn (fun () -> worker t i));
     t.merger <- Some (Domain.spawn (fun () -> merger t));

@@ -104,6 +104,7 @@ module Make (M : Mergeable.S) : sig
     ?supervisor:supervisor ->
     ?metrics:Obs.Registry.t ->
     ?trace:Obs.Trace.t ->
+    ?initial:M.t * int * int ->
     shards:int ->
     unit ->
     t
@@ -158,8 +159,17 @@ module Make (M : Mergeable.S) : sig
       the watchdog lane [shards + 1] ([restart], [shed]). Emits are
       single-writer plain stores into preallocated rings — lossy by design,
       never blocking.
+
+      [initial (sketch, epoch, published)] seeds the engine with recovered
+      state ([Durable.Recovery]) instead of an empty sketch: the global
+      starts as [sketch], epoch numbering continues from [epoch], and the
+      carried-over [published] weight is logged into the recorded history as
+      one synchronous update op before any domain spawns, so the IVL
+      envelope checker accounts for the pre-crash base. This is how a soak
+      run chains engine incarnations over one WAL ([Workload.Soak]).
       @raise Invalid_argument if [shards <= 0], [batch <= 0],
-      [checkpoint_every < 0], the supervisor config is malformed, or
+      [checkpoint_every < 0], the supervisor config is malformed,
+      [initial]'s epoch or published weight is negative, or
       [trace] has fewer than [shards + 2] lanes. *)
 
   val ingest : t -> int -> bool

@@ -42,6 +42,8 @@ let space_saving_kind = 5
 let counter_kind = 6
 let wal_record_kind = 7
 let checkpoint_kind = 8
+let trace_header_kind = 9
+let trace_block_kind = 10
 
 let kind_name = function
   | 1 -> "countmin"
@@ -52,6 +54,8 @@ let kind_name = function
   | 6 -> "counter"
   | 7 -> "wal-record"
   | 8 -> "checkpoint"
+  | 9 -> "trace-header"
+  | 10 -> "trace-block"
   | k -> Printf.sprintf "unknown(%d)" k
 
 let corrupt fmt = Printf.ksprintf (fun msg -> raise (Decode_error (Corrupt msg))) fmt

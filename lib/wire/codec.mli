@@ -58,6 +58,14 @@ val wal_record_kind : int
 val checkpoint_kind : int
 (** A full-sketch checkpoint snapshot ([Durable.Checkpoint]). *)
 
+val trace_header_kind : int
+(** The leading frame of a workload trace file: format version, seed and
+    phase descriptors ([Workload.Trace]). *)
+
+val trace_block_kind : int
+(** A block of recorded operations inside a workload trace file
+    ([Workload.Trace]). *)
+
 val kind_name : int -> string
 
 val fnv1a : Bytes.t -> off:int -> len:int -> int

@@ -1,0 +1,227 @@
+(* Closed/open-loop trace driver.
+
+   Pacing uses virtual-time deadlines: operation i's deadline is the phase
+   start plus the integral of 1/rate along the offered curve, independent of
+   how long the sink actually took. Falling behind schedule is therefore
+   visible as achieved < offered instead of silently stretching the
+   experiment — the standard coordinated-omission-avoiding shape for an
+   open-loop generator. *)
+
+type sink = {
+  ingest : int -> bool;
+  try_ingest : int -> bool;
+  query : int -> unit;
+}
+
+type phase_report = {
+  phase : string;
+  wall : float;
+  issued : int;
+  accepted : int;
+  shed : int;
+  queries : int;
+  offered_rate : float;
+  achieved_rate : float;
+  update_p50 : float;
+  update_p99 : float;
+  query_p50 : float;
+  query_p99 : float;
+}
+
+type report = {
+  phases : phase_report list;
+  wall : float;
+  issued : int;
+  accepted : int;
+  shed : int;
+  queries : int;
+}
+
+let sample_stride = 32 (* power of two: the hot loop masks instead of mod *)
+
+let rate_at rate ~elapsed =
+  match rate with
+  | Trace.Unlimited -> infinity
+  | Trace.Fixed r -> r
+  | Trace.Diurnal { mean; amplitude; period } ->
+      (* Clamp away the amplitude=1 trough: a zero rate would freeze the
+         deadline clock forever. *)
+      Float.max 1.0
+        (mean *. (1.0 +. (amplitude *. sin (2.0 *. Float.pi *. elapsed /. period))))
+
+let mean_rate = function
+  | Trace.Unlimited -> 0.0
+  | Trace.Fixed r -> r
+  | Trace.Diurnal { mean; _ } -> mean
+
+type feeder_result = {
+  f_wall : float;
+  f_issued : int;
+  f_accepted : int;
+  f_shed : int;
+  f_queries : int;
+  f_upd : float list;
+  f_qry : float list;
+}
+
+type totals = {
+  t_issued : int Atomic.t;
+  t_accepted : int Atomic.t;
+  t_shed : int Atomic.t;
+  t_queries : int Atomic.t;
+}
+
+let feed sink (p : Trace.phase) chunk ~feeders ~totals ~upd_timer ~qry_timer =
+  let paced = p.rate <> Trace.Unlimited in
+  let issued = ref 0 and accepted = ref 0 and shed = ref 0 and queries = ref 0 in
+  let upd = ref [] and qry = ref [] in
+  let observe timer d = match timer with Some tm -> Obs.Timer.observe tm d | None -> () in
+  let t0 = Unix.gettimeofday () in
+  let vclock = ref 0.0 (* virtual seconds since phase start, on the curve *) in
+  let n = Array.length chunk in
+  for i = 0 to n - 1 do
+    if paced then begin
+      let r = rate_at p.rate ~elapsed:!vclock in
+      (* each feeder offers 1/feeders of the phase rate *)
+      vclock := !vclock +. (float_of_int feeders /. r);
+      let lead = t0 +. !vclock -. Unix.gettimeofday () in
+      if lead > 1e-6 then Unix.sleepf lead
+    end;
+    incr issued;
+    let timed = i land (sample_stride - 1) = 0 in
+    match chunk.(i) with
+    | Scenario.Update k ->
+        let send () = if paced then sink.try_ingest k else sink.ingest k in
+        let ok =
+          if timed then begin
+            let s = Unix.gettimeofday () in
+            let ok = send () in
+            let d = Unix.gettimeofday () -. s in
+            upd := d :: !upd;
+            observe upd_timer d;
+            ok
+          end
+          else send ()
+        in
+        if ok then incr accepted else incr shed
+    | Scenario.Query k ->
+        incr queries;
+        if timed then begin
+          let s = Unix.gettimeofday () in
+          sink.query k;
+          let d = Unix.gettimeofday () -. s in
+          qry := d :: !qry;
+          observe qry_timer d
+        end
+        else sink.query k
+  done;
+  ignore (Atomic.fetch_and_add totals.t_issued !issued);
+  ignore (Atomic.fetch_and_add totals.t_accepted !accepted);
+  ignore (Atomic.fetch_and_add totals.t_shed !shed);
+  ignore (Atomic.fetch_and_add totals.t_queries !queries);
+  {
+    f_wall = Unix.gettimeofday () -. t0;
+    f_issued = !issued;
+    f_accepted = !accepted;
+    f_shed = !shed;
+    f_queries = !queries;
+    f_upd = !upd;
+    f_qry = !qry;
+  }
+
+let pctl samples p =
+  match samples with [] -> 0.0 | _ -> Stats.Percentile.percentile (Array.of_list samples) p
+
+let run ?(feeders = 1) ?metrics ~make_sink ~spec ~ops () =
+  if feeders <= 0 then invalid_arg "Driver.run: feeders must be positive";
+  let phases = spec.Trace.phases in
+  if Array.length ops <> List.length phases then
+    invalid_arg "Driver.run: op arrays do not match the spec's phases";
+  let totals =
+    {
+      t_issued = Atomic.make 0;
+      t_accepted = Atomic.make 0;
+      t_shed = Atomic.make 0;
+      t_queries = Atomic.make 0;
+    }
+  in
+  (match metrics with
+  | Some reg ->
+      let c name help v = Obs.Registry.counter_fn reg ~help name (fun () -> Atomic.get v) in
+      c "driver_issued_total" "Operations the driver attempted" totals.t_issued;
+      c "driver_accepted_total" "Updates the sink accepted" totals.t_accepted;
+      c "driver_shed_total" "Updates dropped or shed at ingest" totals.t_shed;
+      c "driver_queries_total" "Queries the driver issued" totals.t_queries
+  | None -> ());
+  let sinks = Array.init feeders (fun feeder -> make_sink ~feeder) in
+  let t_start = Unix.gettimeofday () in
+  let phase_reports =
+    List.mapi
+      (fun pi (p : Trace.phase) ->
+        let chunks = Stream.chunks ops.(pi) ~pieces:feeders in
+        let timer name =
+          Option.map
+            (fun reg ->
+              Obs.Registry.timer reg
+                ~labels:[ ("phase", p.name) ]
+                ~help:"Driver-side operation latency, stride-sampled" name)
+            metrics
+        in
+        let upd_timer = timer "driver_update_seconds" in
+        let qry_timer = timer "driver_query_seconds" in
+        let results =
+          Array.init feeders (fun f ->
+              Domain.spawn (fun () ->
+                  feed sinks.(f) p chunks.(f) ~feeders ~totals ~upd_timer ~qry_timer))
+          |> Array.map Domain.join
+        in
+        let sum f = Array.fold_left (fun acc r -> acc + f r) 0 results in
+        let wall = Array.fold_left (fun acc r -> Float.max acc r.f_wall) 0.0 results in
+        let upd = Array.fold_left (fun acc r -> List.rev_append r.f_upd acc) [] results in
+        let qry = Array.fold_left (fun acc r -> List.rev_append r.f_qry acc) [] results in
+        let issued = sum (fun r -> r.f_issued) in
+        {
+          phase = p.name;
+          wall;
+          issued;
+          accepted = sum (fun r -> r.f_accepted);
+          shed = sum (fun r -> r.f_shed);
+          queries = sum (fun r -> r.f_queries);
+          offered_rate = mean_rate p.rate;
+          achieved_rate = (if wall > 0.0 then float_of_int issued /. wall else 0.0);
+          update_p50 = pctl upd 50.0;
+          update_p99 = pctl upd 99.0;
+          query_p50 = pctl qry 50.0;
+          query_p99 = pctl qry 99.0;
+        })
+      phases
+  in
+  {
+    phases = phase_reports;
+    wall = Unix.gettimeofday () -. t_start;
+    issued = Atomic.get totals.t_issued;
+    accepted = Atomic.get totals.t_accepted;
+    shed = Atomic.get totals.t_shed;
+    queries = Atomic.get totals.t_queries;
+  }
+
+let report_to_string r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    "phase               wall(s)  offered/s  achieved/s    issued  accepted      shed \
+     queries  upd p50/p99 (us)  qry p50/p99 (us)\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "%-18s %7.2f %10.0f %11.0f %9d %9d %9d %7d %8.1f/%-8.1f %8.1f/%-8.1f\n"
+           p.phase p.wall p.offered_rate p.achieved_rate p.issued p.accepted p.shed
+           p.queries (1e6 *. p.update_p50) (1e6 *. p.update_p99) (1e6 *. p.query_p50)
+           (1e6 *. p.query_p99)))
+    r.phases;
+  Buffer.add_string b
+    (Printf.sprintf
+       "total: %.2fs, %d issued, %d accepted, %d shed, %d queries (%.0f op/s)\n" r.wall
+       r.issued r.accepted r.shed r.queries
+       (if r.wall > 0.0 then float_of_int r.issued /. r.wall else 0.0));
+  Buffer.contents b

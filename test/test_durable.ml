@@ -424,6 +424,148 @@ let test_engine_recovery_envelope_random_crashes () =
         Durable.Wal.close w
   done
 
+(* ------------------ directory validation (CLI exit-2 surface) ---------- *)
+
+let test_validate_dir () =
+  (* Reader mode: a missing directory is an error, not an empty log. *)
+  (match Durable.Wal.validate_dir ~dir:"/tmp/ivl-definitely-not-there" () with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "missing dir accepted");
+  with_dir @@ fun dir ->
+  (* A plain file where the directory should be. *)
+  let f = Filename.concat dir "plain" in
+  write_file f (Bytes.of_string "x");
+  (match Durable.Wal.validate_dir ~dir:f () with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "plain file accepted as directory");
+  (* A real directory passes in both modes. *)
+  (match Durable.Wal.validate_dir ~dir () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "good dir rejected: %s" e);
+  (match Durable.Wal.validate_dir ~must_exist:false ~dir () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "good dir rejected as writer: %s" e);
+  (* Writer mode: a creatable path (parent exists) passes, a path whose
+     parent is a plain file does not. *)
+  (match Durable.Wal.validate_dir ~must_exist:false ~dir:(Filename.concat dir "fresh") () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "creatable dir rejected: %s" e);
+  match Durable.Wal.validate_dir ~must_exist:false ~dir:(Filename.concat f "sub") () with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "path under a plain file accepted"
+
+let test_recover_compact () =
+  with_dir @@ fun dir ->
+  let w = Durable.Wal.create ~dir ~fsync:Durable.Wal.Never () in
+  for e = 1 to 10 do
+    Durable.Wal.append w ~epoch:e ~weight:e ~blob:(delta_blob e)
+  done;
+  Durable.Wal.close w;
+  (match R.recover_compact ~dir () with
+  | Error e -> Alcotest.failf "recover_compact: %s" e
+  | Ok (g, rep) ->
+      Alcotest.(check int) "recovered weight" 55 rep.R.recovered_published;
+      Alcotest.(check int) "sketch agrees" 55 (Sketches.Batched_counter.read g));
+  (* The replayed segments are gone; the state now lives in a checkpoint. *)
+  let segs =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".seg")
+  in
+  Alcotest.(check int) "segments compacted away" 0 (List.length segs);
+  (match Durable.Checkpoint.latest ~dir with
+  | None -> Alcotest.fail "no checkpoint after compaction"
+  | Some s ->
+      Alcotest.(check int) "checkpoint epoch" 10 s.Durable.Checkpoint.epoch;
+      Alcotest.(check int) "checkpoint published" 55 s.Durable.Checkpoint.published);
+  (* Recovering again (checkpoint only) reproduces the same state: the
+     compaction is crash-safe because the checkpoint lands before the
+     delete. *)
+  match R.recover ~dir () with
+  | Error e -> Alcotest.failf "second recover: %s" e
+  | Ok (_, rep) ->
+      Alcotest.(check int) "idempotent" 55 rep.R.recovered_published;
+      Alcotest.(check int) "nothing left to replay" 0 rep.R.replayed
+
+(* ------------------ fault window: crash, recover, restart --------------- *)
+
+(* The S-level sweep: crash during the final WAL append at EVERY byte
+   offset, recover (longest valid prefix + replay), then bring up a
+   supervised engine seeded with the recovered state, kill one of its
+   workers mid-run and let the supervisor restart it. The end state must
+   stay inside the envelope: published = recovered + flushed (conservation),
+   bounded above by recovered + accepted, and the recorded history passes
+   the monotone check. *)
+let test_fault_window_restart_in_envelope () =
+  let module Mono = Ivl.Monotone.Make (Spec.Counter_spec) in
+  let n = 5 in
+  with_dir @@ fun proto ->
+  (let w = Durable.Wal.create ~dir:proto ~fsync:Durable.Wal.Never () in
+   for e = 1 to n do
+     Durable.Wal.append w ~epoch:e ~weight:e ~blob:(delta_blob e)
+   done;
+   Durable.Wal.close w);
+  (* Checkpoint at epoch 2 so every cut also exercises replay-from-ckpt. *)
+  Durable.Checkpoint.write ~dir:proto ~epoch:2 ~published:3 ~blob:(delta_blob 3) ();
+  let last_len = Bytes.length (wal_frame ~epoch:n ~weight:n ~blob:(delta_blob n)) in
+  let prefix = Bytes.length (read_file (sole_segment proto)) - last_len in
+  let pre_crash = n * (n + 1) / 2 in
+  for cut = 0 to last_len - 1 do
+    with_dir @@ fun dir ->
+    copy_dir proto dir;
+    truncate_file (sole_segment dir) (prefix + cut);
+    match R.recover_compact ~dir () with
+    | Error e -> Alcotest.failf "cut %d: recover: %s" cut e
+    | Ok (g, rep) ->
+        let rec_pub = rep.R.recovered_published in
+        (* Longest valid prefix: exactly epochs 1..n-1 survive any cut. *)
+        Alcotest.(check int)
+          (Printf.sprintf "cut %d longest valid prefix" cut)
+          (pre_crash - n) rec_pub;
+        if rec_pub < rep.R.checkpoint_published then
+          Alcotest.failf "cut %d: recovered below checkpoint" cut;
+        if rec_pub > pre_crash then
+          Alcotest.failf "cut %d: recovered above pre-crash published" cut;
+        (* Supervised restart on the recovered state. *)
+        let chaos =
+          Conc.Chaos.instantiate
+            (Conc.Chaos.plan ~yield_prob:0.0 ~stall_prob:0.0
+               ~kills:[ (0, 3) ]
+               ~seed:(Int64.of_int cut) ())
+            ~domains:2
+        in
+        let p =
+          P.create ~shards:2 ~batch:8 ~queue_capacity:64
+            ~on_tick:(fun ~shard -> Conc.Chaos.point_once chaos ~domain:shard)
+            ~supervisor:Pipeline.Engine.default_supervisor
+            ~initial:(g, rep.R.recovered_epoch, rec_pub)
+            ()
+        in
+        let accepted = ref 0 in
+        for _ = 1 to 64 do
+          if P.ingest p 1 then incr accepted
+        done;
+        P.drain p;
+        let st = P.stats p in
+        let flushed =
+          Array.fold_left
+            (fun a (s : P.shard_stats) -> a + s.flushed_items)
+            0 st.P.shards
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "cut %d: kill delivered" cut)
+          true
+          (List.length (Conc.Chaos.killed chaos) = 1);
+        Alcotest.(check int)
+          (Printf.sprintf "cut %d: conservation" cut)
+          (rec_pub + flushed) st.P.published;
+        if st.P.published > rec_pub + !accepted then
+          Alcotest.failf "cut %d: published above recovered + accepted" cut;
+        Alcotest.(check int)
+          (Printf.sprintf "cut %d: monotone envelope" cut)
+          0
+          (List.length (Mono.violations (P.history p)))
+  done
+
 let () =
   Alcotest.run "durable"
     [
@@ -461,5 +603,12 @@ let () =
         [
           Alcotest.test_case "envelope under random crash points" `Quick
             test_engine_recovery_envelope_random_crashes;
+          Alcotest.test_case "validate_dir (CLI exit-2 surface)" `Quick
+            test_validate_dir;
+          Alcotest.test_case "recover_compact checkpoints then clears" `Quick
+            test_recover_compact;
+          Alcotest.test_case "fault window: crash at every append offset, \
+                              supervised restart in envelope"
+            `Quick test_fault_window_restart_in_envelope;
         ] );
     ]

@@ -136,6 +136,143 @@ let test_scenario_ratio_bounds () =
         (Workload.Scenario.mixed ~seed:1L ~shape:(Workload.Stream.Uniform 10)
            ~query_ratio:1.5 ~length:10))
 
+(* ----- traces: phased specs, determinism, the frozen file format ----- *)
+
+let small_spec = Workload.Trace.default_spec ~seed:42L ~ops:5_000 ~universe:512 ()
+
+let with_trace_file f =
+  let path = Filename.temp_file "ivl-trace" ".bin" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> Bytes.of_string (really_input_string ic (in_channel_length ic)))
+
+let write_file path b =
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let test_trace_deterministic_across_runs () =
+  let a = Workload.Trace.materialize small_spec in
+  let b = Workload.Trace.materialize small_spec in
+  Alcotest.(check bool) "same spec, same ops" true (a = b)
+
+let test_trace_deterministic_across_domains () =
+  (* Materialization must not depend on which domain runs it: samplers draw
+     only from phase-local generators, never shared or domain-local state. *)
+  let here = Workload.Trace.materialize small_spec in
+  let there =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () -> Workload.Trace.materialize small_spec))
+    |> Array.map Domain.join
+  in
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool) (Printf.sprintf "domain %d agrees" i) true (r = here))
+    there
+
+let test_trace_drift_sampler_deterministic () =
+  let spec =
+    {
+      Workload.Trace.seed = 7L;
+      phases =
+        [
+          {
+            Workload.Trace.name = "drift";
+            ops = 4_000;
+            query_ratio = 0.1;
+            rate = Workload.Trace.Unlimited;
+            shape = Workload.Trace.Drift { universe = 256; s0 = 0.1; s1 = 1.8; steps = 5 };
+          };
+        ];
+    }
+  in
+  let a = Workload.Trace.materialize spec in
+  let b = Domain.join (Domain.spawn (fun () -> Workload.Trace.materialize spec)) in
+  Alcotest.(check bool) "drift replays bit-for-bit" true (a = b);
+  let other = Workload.Trace.materialize { spec with seed = 8L } in
+  Alcotest.(check bool) "different seed differs" true (a <> other)
+
+let test_trace_phase_seeds_decorrelated () =
+  let s = 42L in
+  for i = 0 to 4 do
+    for j = i + 1 to 5 do
+      Alcotest.(check bool) "phase seeds distinct" true
+        (Workload.Trace.phase_seed s i <> Workload.Trace.phase_seed s j)
+    done
+  done
+
+let test_trace_counts_and_ranges () =
+  let ops = Workload.Trace.materialize small_spec in
+  List.iteri
+    (fun i (p : Workload.Trace.phase) ->
+      Alcotest.(check int) (p.name ^ " count") p.ops (Array.length ops.(i));
+      Array.iter
+        (fun op ->
+          let k = match op with Workload.Scenario.Update k | Workload.Scenario.Query k -> k in
+          Alcotest.(check bool) "key in universe" true (k >= 0 && k < 512))
+        ops.(i))
+    small_spec.Workload.Trace.phases;
+  Alcotest.(check int) "total" 5_000
+    (Array.fold_left (fun a arr -> a + Array.length arr) 0 ops)
+
+let test_trace_file_roundtrip () =
+  with_trace_file @@ fun path ->
+  let ops = Workload.Trace.materialize small_spec in
+  (match Workload.Trace.write ~path small_spec ops with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write: %s" e);
+  match Workload.Trace.read ~path with
+  | Error e -> Alcotest.failf "read: %s" e
+  | Ok (spec', ops') ->
+      Alcotest.(check bool) "spec survives" true (spec' = small_spec);
+      Alcotest.(check bool) "ops survive" true (ops' = ops)
+
+let test_trace_torn_file_rejected () =
+  with_trace_file @@ fun path ->
+  let ops = Workload.Trace.materialize small_spec in
+  (match Workload.Trace.write ~path small_spec ops with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write: %s" e);
+  let b = read_file path in
+  write_file path (Bytes.sub b 0 (Bytes.length b - 3));
+  match Workload.Trace.read ~path with
+  | Ok _ -> Alcotest.fail "torn trace accepted"
+  | Error _ -> ()
+
+let test_trace_bitflip_rejected () =
+  with_trace_file @@ fun path ->
+  let ops = Workload.Trace.materialize small_spec in
+  (match Workload.Trace.write ~path small_spec ops with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write: %s" e);
+  let b = read_file path in
+  let off = Bytes.length b / 2 in
+  Bytes.set_uint8 b off (Bytes.get_uint8 b off lxor 0xFF);
+  write_file path b;
+  match Workload.Trace.read ~path with
+  | Ok _ -> Alcotest.fail "bit-flipped trace accepted"
+  | Error _ -> ()
+
+let test_trace_validate_rejects_nonsense () =
+  let phase shape =
+    { Workload.Trace.name = "p"; ops = 10; query_ratio = 0.0;
+      rate = Workload.Trace.Unlimited; shape }
+  in
+  let bad spec = match Workload.Trace.validate spec with
+    | Error _ -> () | Ok () -> Alcotest.fail "bad spec accepted"
+  in
+  bad { Workload.Trace.seed = 1L; phases = [] };
+  bad { Workload.Trace.seed = 1L; phases = [ phase (Workload.Trace.Uniform { universe = 0 }) ] };
+  bad
+    {
+      Workload.Trace.seed = 1L;
+      phases = [ { (phase (Workload.Trace.Uniform { universe = 4 })) with query_ratio = 1.5 } ];
+    }
+
 let qcheck_tests =
   [
     QCheck_alcotest.to_alcotest
@@ -152,6 +289,13 @@ let qcheck_tests =
            let g = Rng.Splitmix.create seed in
            let x = Workload.Zipf.sample z g in
            x >= 0 && x < n));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"trace materialization is a pure function of the seed"
+         ~count:30
+         QCheck.(triple int64 (int_range 1 2_000) (int_range 1 256))
+         (fun (seed, ops, universe) ->
+           let spec = Workload.Trace.default_spec ~seed ~ops ~universe () in
+           Workload.Trace.materialize spec = Workload.Trace.materialize spec));
   ]
 
 let () =
@@ -185,6 +329,23 @@ let () =
           Alcotest.test_case "partition" `Quick test_chunks_partition;
           Alcotest.test_case "more pieces than elements" `Quick
             test_chunks_more_pieces_than_elements;
+        ] );
+      ( "traces",
+        [
+          Alcotest.test_case "deterministic across runs" `Quick
+            test_trace_deterministic_across_runs;
+          Alcotest.test_case "deterministic across domains" `Quick
+            test_trace_deterministic_across_domains;
+          Alcotest.test_case "drift sampler deterministic" `Quick
+            test_trace_drift_sampler_deterministic;
+          Alcotest.test_case "phase seeds decorrelated" `Quick
+            test_trace_phase_seeds_decorrelated;
+          Alcotest.test_case "counts and ranges" `Quick test_trace_counts_and_ranges;
+          Alcotest.test_case "file roundtrip" `Quick test_trace_file_roundtrip;
+          Alcotest.test_case "torn file rejected" `Quick test_trace_torn_file_rejected;
+          Alcotest.test_case "bit flip rejected" `Quick test_trace_bitflip_rejected;
+          Alcotest.test_case "validate rejects nonsense" `Quick
+            test_trace_validate_rejects_nonsense;
         ] );
       ("properties", qcheck_tests);
     ]
