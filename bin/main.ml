@@ -1980,6 +1980,469 @@ let soak_cmd =
       const soak_run $ trace_file $ ops $ universe $ seed $ dir $ shards $ feeders
       $ rounds $ kills $ chaos $ tear $ bench_out)
 
+(* ------------------------------ net tier ------------------------------ *)
+
+(* The served tier is sketch-generic, but each sketch answers a different
+   query family; SERVABLE pairs the mergeable with its query evaluator so
+   serve/replica dispatch stays one match on the sketch name. The seed
+   offset and dimension constants must match [mergeable_of]: a follower
+   decodes the leader's blobs, so both ends need identical hash families. *)
+module type SERVABLE = sig
+  module M : Pipeline.Mergeable.S
+
+  val eval : M.t -> Net.Frame.query -> (int * int) list option
+end
+
+let take_n n l =
+  let rec go n = function
+    | x :: rest when n > 0 -> x :: go (n - 1) rest
+    | _ -> []
+  in
+  go n l
+
+let servable_of ~seed sk : (module SERVABLE) option =
+  match sk with
+  | "counter" ->
+      Some
+        (module struct
+          module M = Pipeline.Targets.Counter
+
+          let eval _ (_ : Net.Frame.query) = None
+        end)
+  | "countmin" ->
+      Some
+        (module struct
+          module M = Pipeline.Targets.Countmin (struct
+            let seed = Int64.add seed 7L
+            let rows = cm_rows
+            let width = cm_width
+          end)
+
+          let eval g = function
+            | Net.Frame.Point k -> Some [ (k, Sketches.Countmin.query g k) ]
+            | _ -> None
+        end)
+  | "spacesaving" ->
+      Some
+        (module struct
+          module M = Pipeline.Targets.Space_saving (struct
+            let capacity = ss_capacity
+          end)
+
+          let eval g = function
+            | Net.Frame.Point k -> Some [ (k, Sketches.Space_saving.query g k) ]
+            | Net.Frame.Top n -> Some (take_n n (Sketches.Space_saving.top g))
+            | _ -> None
+        end)
+  | "quantiles" ->
+      Some
+        (module struct
+          module M = Pipeline.Targets.Quantiles (struct
+            let seed = Int64.add seed 7L
+            let k = quantiles_k
+          end)
+
+          let eval g = function
+            | Net.Frame.Quantile phi ->
+                Some [ (0, Sketches.Quantiles.quantile g phi) ]
+            | _ -> None
+        end)
+  | _ -> None
+
+let net_sketches = "counter countmin spacesaving quantiles"
+
+let serve_run sketch host port shards batch max_conns read_timeout duration
+    wal_dir metrics_out seed =
+  match servable_of ~seed sketch with
+  | None ->
+      Printf.eprintf "serve: unknown sketch %s (available: %s)\n" sketch
+        net_sketches;
+      2
+  | Some (module SV) ->
+      let module Srv = Net.Server.Make (SV.M) in
+      let reg = Obs.Registry.create () in
+      let stop_flag = ref false in
+      let on_signal = Sys.Signal_handle (fun _ -> stop_flag := true) in
+      Sys.set_signal Sys.sigint on_signal;
+      Sys.set_signal Sys.sigterm on_signal;
+      let wal = ref None in
+      let base = ref 0 in
+      let srv =
+        Srv.create ~host ~port ~max_conns ~read_timeout ~metrics:reg
+          ~eval:SV.eval
+          ~make_engine:(fun ~on_merge ->
+            let initial =
+              match wal_dir with
+              | Some dir
+                when Result.is_ok (Durable.Wal.validate_dir ~dir ()) -> (
+                  let module R = Durable.Recovery.Make (SV.M) in
+                  match R.recover_compact ~metrics:reg ~dir () with
+                  | Ok (sk0, r) when r.R.recovered_epoch > 0 ->
+                      Printf.printf
+                        "serve: recovered epoch %d carrying published weight \
+                         %d from %s\n\
+                         %!"
+                        r.R.recovered_epoch r.R.recovered_published dir;
+                      Some (sk0, r.R.recovered_epoch, r.R.recovered_published)
+                  | Ok _ -> None
+                  | Error msg ->
+                      Printf.eprintf "serve: recovery failed: %s\n%!" msg;
+                      None)
+              | _ -> None
+            in
+            (match initial with
+            | Some (_, _, p) -> base := p
+            | None -> ());
+            (match wal_dir with
+            | Some dir -> wal := Some (Durable.Wal.create ~dir ~metrics:reg ())
+            | None -> ());
+            let on_merge ~epoch ~weight ~blob =
+              (match !wal with
+              | Some w -> Durable.Wal.append w ~epoch ~weight ~blob
+              | None -> ());
+              on_merge ~epoch ~weight ~blob
+            in
+            Srv.P.create ~shards ~batch ~metrics:reg ~on_merge ?initial ())
+          ()
+      in
+      Printf.printf
+        "serve: %s on %s:%d (%d shards, batch %d, max %d conns)%s\n%!" sketch
+        host (Srv.port srv) shards batch max_conns
+        (match wal_dir with Some d -> " wal=" ^ d | None -> "");
+      let deadline =
+        if duration > 0.0 then Unix.gettimeofday () +. duration else infinity
+      in
+      while (not !stop_flag) && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.05
+      done;
+      let st = Srv.stop srv in
+      (match !wal with Some w -> Durable.Wal.close w | None -> ());
+      let est = Srv.P.stats (Srv.engine srv) in
+      Printf.printf
+        "serve: %d conns (%d subscribers), %d frames in, %d frames out, %d \
+         decode errors\n"
+        st.Srv.conns st.Srv.subscribers st.Srv.frames_in st.Srv.frames_out
+        st.Srv.decode_errors;
+      Printf.printf "serve: %d batches, %d ingested, %d shed, %d queries\n"
+        st.Srv.batches st.Srv.ingested st.Srv.shed st.Srv.queries;
+      (* After a clean drain every accepted key is merged exactly once, so
+         published weight must equal the recovered base plus this run's
+         accepted ingests — the leader-side conservation verdict. *)
+      let expect = !base + st.Srv.ingested in
+      let pass = est.Srv.P.published = expect in
+      Printf.printf
+        "serve: conservation %s (published %d, expected %d = %d recovered + \
+         %d ingested)\n"
+        (if pass then "PASS" else "FAIL")
+        est.Srv.P.published expect !base st.Srv.ingested;
+      (match metrics_out with
+      | Some path -> write_metrics ~path (Obs.Registry.snapshot reg)
+      | None -> ());
+      if pass then 0 else 1
+
+let client_run host port trace_file ops universe seed feeders conns batch
+    flush_age queue overflow slack =
+  let overflow =
+    match overflow with
+    | "block" -> Net.Client.Block
+    | "shed" -> Net.Client.Shed
+    | other ->
+        Printf.eprintf "client: unknown --overflow %s (block or shed)\n" other;
+        exit 2
+  in
+  let spec, trace =
+    match trace_file with
+    | Some path -> (
+        match Workload.Trace.read ~path with
+        | Ok (spec, t) -> (spec, t)
+        | Error msg ->
+            Printf.eprintf "client: cannot read trace %s: %s\n" path msg;
+            exit 2)
+    | None ->
+        let spec = Workload.Trace.default_spec ~seed ~ops ~universe () in
+        (spec, Workload.Trace.materialize spec)
+  in
+  let reg = Obs.Registry.create () in
+  let cl =
+    Net.Client.create ~conns ~batch ~flush_age
+      ?queue:(if queue > 0 then Some queue else None)
+      ~overflow ~metrics:reg ~host ~port ()
+  in
+  let sink = Net.Client.sink cl in
+  let report =
+    Workload.Driver.run ~feeders ~metrics:reg
+      ~make_sink:(fun ~feeder:_ -> sink)
+      ~spec ~ops:trace ()
+  in
+  print_string (Workload.Driver.report_to_string report);
+  Net.Client.flush cl;
+  let total () =
+    match Net.Client.query cl Net.Frame.Total with
+    | Ok (Net.Frame.Result { pairs = [ (_, v) ]; _ }) -> Some v
+    | _ -> None
+  in
+  (* quiescence: the published total stops moving once the in-flight batches
+     have merged (partial shard deltas stay unflushed and are the envelope's
+     slack term) *)
+  let rec settle last tries =
+    if tries = 0 then last
+    else begin
+      Unix.sleepf 0.1;
+      match total () with
+      | Some v when last = Some v -> last
+      | v -> settle v (tries - 1)
+    end
+  in
+  let t = settle (total ()) 50 in
+  let cs = Net.Client.stats cl in
+  Net.Client.close cl;
+  Printf.printf
+    "client: pushed %d, acked %d, sent %d, shed %d, errors %d, reconnects %d\n"
+    cs.Net.Client.pushed cs.Net.Client.acked cs.Net.Client.sent
+    cs.Net.Client.shed cs.Net.Client.errors cs.Net.Client.reconnects;
+  match t with
+  | None ->
+      Printf.printf "client: envelope FAIL (leader answered no total)\n";
+      1
+  | Some t when cs.Net.Client.errors > 0 ->
+      (* retries make delivery at-least-once: acked is no longer exact, so
+         the envelope claim is unverifiable rather than violated *)
+      Printf.printf
+        "client: envelope SKIP (total %d; %d transport errors made acked \
+         inexact)\n"
+        t cs.Net.Client.errors;
+      0
+  | Some t ->
+      let lag = cs.Net.Client.acked - t in
+      let pass = lag >= 0 && lag <= slack in
+      Printf.printf
+        "client: envelope %s (total %d, acked %d, lag %d, slack %d)\n"
+        (if pass then "PASS" else "FAIL")
+        t cs.Net.Client.acked lag slack;
+      if pass then 0 else 1
+
+let replica_status_string = function
+  | `Syncing -> "syncing"
+  | `Live -> "live"
+  | `Broken msg -> "broken: " ^ msg
+  | `Closed -> "closed"
+
+let replica_run sketch host port seed duration settle =
+  match servable_of ~seed sketch with
+  | None ->
+      Printf.eprintf "replica: unknown sketch %s (available: %s)\n" sketch
+        net_sketches;
+      2
+  | Some (module SV) -> (
+      let module R = Net.Replica.Make (SV.M) in
+      match
+        let r = R.connect ~host ~port () in
+        let qc = Net.Conn.connect ~host ~port in
+        (r, qc)
+      with
+      | exception Unix.Unix_error (err, _, _) ->
+          Printf.eprintf "replica: cannot reach %s:%d: %s\n" host port
+            (Unix.error_message err);
+          2
+      | r, qc ->
+      Net.Conn.set_read_timeout qc 5.0;
+      let leader_total () =
+        if
+          Net.Conn.send qc
+            (Net.Frame.encode_request (Net.Frame.Query Net.Frame.Total))
+        then
+          match Net.Conn.recv qc with
+          | Ok f -> (
+              match Net.Frame.decode_response f with
+              | Ok (Net.Frame.Result { pairs = [ (_, v) ]; _ }) -> Some v
+              | _ -> None)
+          | Error _ -> None
+        else None
+      in
+      let deadline = Unix.gettimeofday () +. duration in
+      let samples = ref 0
+      and violations = ref 0
+      and stable = ref 0
+      and last = ref (-1)
+      and final_leader = ref None
+      and converged = ref false in
+      while (not !converged) && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.05;
+        let f = R.published r in
+        match leader_total () with
+        | None -> ()
+        | Some l ->
+            incr samples;
+            (* the follower lags, never leads: its published weight must not
+               exceed the leader's, sampled after *)
+            if f > l then incr violations;
+            if l = !last then incr stable
+            else begin
+              stable := 0;
+              last := l
+            end;
+            final_leader := Some l;
+            if !stable >= settle && R.published r = l then converged := true
+      done;
+      let s = R.stats r in
+      R.close r;
+      Net.Conn.close qc;
+      Printf.printf
+        "replica: %d deltas applied, %d duplicates skipped, epoch %d, \
+         published %d, status %s\n"
+        s.R.deltas s.R.skipped s.R.epoch s.R.published
+        (replica_status_string s.R.status);
+      let env_pass = !samples > 0 && !violations = 0 in
+      Printf.printf "replica: envelope %s (%d samples, %d follower-ahead)\n"
+        (if env_pass then "PASS" else "FAIL")
+        !samples !violations;
+      Printf.printf "replica: convergence %s (follower %d, leader %s)\n"
+        (if !converged then "PASS" else "FAIL")
+        s.R.published
+        (match !final_leader with Some l -> string_of_int l | None -> "?");
+      if env_pass && !converged then 0 else 1)
+
+let serve_cmd =
+  let sketch =
+    Arg.(value & pos 0 string "counter" & info [] ~docv:"SKETCH" ~doc:net_sketches)
+  in
+  let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"bind address") in
+  let port =
+    Arg.(value & opt int 7070 & info [ "port" ] ~doc:"TCP port (0 = ephemeral)")
+  in
+  let shards = Arg.(value & opt int 4 & info [ "shards" ] ~doc:"shard worker domains") in
+  let batch = Arg.(value & opt int 512 & info [ "batch" ] ~doc:"merge cadence in items") in
+  let max_conns =
+    Arg.(
+      value & opt int 32
+      & info [ "max-conns" ] ~doc:"max concurrent connection handler domains")
+  in
+  let read_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "read-timeout" ] ~doc:"seconds before a stalled peer is reset")
+  in
+  let duration =
+    Arg.(
+      value & opt float 0.0
+      & info [ "duration" ] ~doc:"seconds to serve (0 = until SIGINT/SIGTERM)")
+  in
+  let wal_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"DIR"
+          ~doc:"durable directory: recover on start, WAL every merge")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"write the final metrics snapshot (per-connection series included)")
+  in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"sketch hash seed") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the pipeline over TCP: framed batch ingest, snapshot queries, \
+          and follower replication, with a conservation verdict at shutdown")
+    Term.(
+      const serve_run $ sketch $ host $ port $ shards $ batch $ max_conns
+      $ read_timeout $ duration $ wal_dir $ metrics_out $ seed)
+
+let client_cmd =
+  let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"server address") in
+  let port = Arg.(value & opt int 7070 & info [ "port" ] ~doc:"server port") in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"replay this trace file instead of generating one")
+  in
+  let ops =
+    Arg.(
+      value & opt int 200_000
+      & info [ "ops" ] ~doc:"total generated operations (ignored with --trace)")
+  in
+  let universe =
+    Arg.(
+      value & opt int 8192
+      & info [ "universe" ] ~doc:"key universe of the generated trace")
+  in
+  let seed = Arg.(value & opt int64 0x1517L & info [ "seed" ] ~doc:"trace seed") in
+  let feeders =
+    Arg.(value & opt int 2 & info [ "feeders" ] ~doc:"driver feeder domains")
+  in
+  let conns =
+    Arg.(value & opt int 4 & info [ "conns" ] ~doc:"sender connections (the pool)")
+  in
+  let batch = Arg.(value & opt int 256 & info [ "batch" ] ~doc:"keys per frame") in
+  let flush_age =
+    Arg.(
+      value & opt float 0.05
+      & info [ "flush-age" ] ~doc:"seconds a key may wait in a partial batch")
+  in
+  let queue =
+    Arg.(
+      value & opt int 0
+      & info [ "queue" ] ~doc:"client buffer capacity in keys (0 = 8 * batch)")
+  in
+  let overflow =
+    Arg.(
+      value & opt string "block"
+      & info [ "overflow" ] ~doc:"full-buffer policy: block or shed")
+  in
+  let slack =
+    Arg.(
+      value & opt int 2048
+      & info [ "slack" ]
+          ~doc:
+            "max acked-minus-published lag at quiescence (server shards x \
+             batch: unflushed partial deltas)")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Drive a workload trace through the batching client into a served \
+          pipeline and check the leader's answers stay inside the IVL \
+          envelope")
+    Term.(
+      const client_run $ host $ port $ trace_file $ ops $ universe $ seed
+      $ feeders $ conns $ batch $ flush_age $ queue $ overflow $ slack)
+
+let replica_cmd =
+  let sketch =
+    Arg.(value & pos 0 string "counter" & info [] ~docv:"SKETCH" ~doc:net_sketches)
+  in
+  let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"leader address") in
+  let port = Arg.(value & opt int 7070 & info [ "port" ] ~doc:"leader port") in
+  let seed =
+    Arg.(
+      value & opt int64 42L
+      & info [ "seed" ] ~doc:"sketch hash seed (must match the leader's)")
+  in
+  let duration =
+    Arg.(
+      value & opt float 30.0
+      & info [ "duration" ] ~doc:"max seconds to follow before giving up")
+  in
+  let settle =
+    Arg.(
+      value & opt int 10
+      & info [ "settle" ]
+          ~doc:"consecutive unchanged leader samples that mean quiescence")
+  in
+  Cmd.v
+    (Cmd.info "replica"
+       ~doc:
+         "Follow a served leader as a replication subscriber; verify the \
+          follower never leads the leader and converges exactly at \
+          quiescence")
+    Term.(
+      const replica_run $ sketch $ host $ port $ seed $ duration $ settle)
+
 let () =
   let doc = "Intermediate Value Linearizability: checkers, simulators, sketches" in
   exit
@@ -1998,4 +2461,7 @@ let () =
             metrics_cmd;
             trace_cmd;
             soak_cmd;
+            serve_cmd;
+            client_cmd;
+            replica_cmd;
           ]))

@@ -1,0 +1,95 @@
+(** Batching client for the served tier: a bounded shared buffer, a pool of
+    sender connections, and size/age flush triggers.
+
+    Producers ({!push}/{!try_push}) append keys to one bounded queue;
+    [conns] sender domains each own a TCP connection and ship batches of up
+    to [batch] keys, synchronously awaiting each {!Frame.Ack}. A batch goes
+    out when the buffer holds a full batch ({e size} trigger), when its
+    oldest key has waited [flush_age] seconds ({e age} trigger), or when
+    {!flush} or {!close} forces the residue out.
+
+    Backpressure is explicit: a full buffer either blocks the producer
+    ([Block] — the default, closed-loop behaviour) or sheds the key
+    ([Shed] / {!try_push} — open-loop behaviour, counted in {!stats}).
+
+    Delivery is {e at-least-once under retry}: a sender whose connection
+    dies mid-exchange reconnects (bounded attempts, backoff) and resends
+    the batch — the server may have already applied a batch whose ack was
+    lost, so [acked] can undercount and the stream total can overcount by
+    up to one in-flight batch per failure. A batch that exhausts its
+    retries is counted [shed]. On a healthy connection the count is exact,
+    which is what the end-to-end envelope tests assert.
+
+    Queries use one dedicated, lazily-(re)connected connection, serialized
+    by a mutex — the client is an ingest firehose with an occasional
+    control-plane read, not a query multiplexer. *)
+
+type t
+
+type overflow = Block | Shed
+
+type stats = {
+  pushed : int;  (** keys accepted into the buffer *)
+  acked : int;  (** keys the server acknowledged *)
+  sent : int;  (** keys shipped in batches (acked + rejected remainder) *)
+  shed : int;  (** keys dropped: buffer full (Shed) or delivery failed *)
+  errors : int;  (** transport/protocol failures observed *)
+  reconnects : int;  (** successful re-establishments after a drop *)
+  queued : int;  (** keys currently buffered *)
+}
+
+val create :
+  ?conns:int ->
+  ?batch:int ->
+  ?flush_age:float ->
+  ?queue:int ->
+  ?overflow:overflow ->
+  ?retries:int ->
+  ?read_timeout:float ->
+  ?metrics:Obs.Registry.t ->
+  host:string ->
+  port:int ->
+  unit ->
+  t
+(** Spawn [conns] (default 1) sender domains. [batch] (default 256) keys
+    per frame; [flush_age] (default 50 ms) bounds how long a key may sit in
+    a partial batch; [queue] (default [8 * batch]) bounds the buffer;
+    [retries] (default 3) delivery attempts per batch; [read_timeout]
+    (default 10 s) bounds each ack/response wait.
+
+    Senders do not pre-connect: the first batch dials. [metrics] registers
+    [client_pushed_total], [client_acked_total], [client_shed_total],
+    [client_errors_total], [client_reconnects_total] and a
+    [client_queue_depth] gauge.
+
+    @raise Invalid_argument on non-positive [conns]/[batch]/[queue]. *)
+
+val push : t -> int -> bool
+(** Buffer a key. Blocks while the buffer is full in [Block] mode; sheds
+    (returns [false]) in [Shed] mode. [false] also after {!close}. *)
+
+val try_push : t -> int -> bool
+(** Never blocks: a full buffer is a shed regardless of [overflow]. *)
+
+val flush : t -> unit
+(** Force partial batches out and block until the buffer is empty {e and}
+    every in-flight batch is resolved (acked, rejected or retried out).
+    Safe from multiple domains. *)
+
+val query : t -> Frame.query -> (Frame.response, string) result
+(** One synchronous query round-trip on the dedicated query connection.
+    [Error] is a transport/decode failure (after which the connection is
+    reset and the next call re-dials); a server-side [Err] response comes
+    back as [Ok (Err _)]. *)
+
+val stats : t -> stats
+
+val sink : t -> Workload.Sink.t
+(** Adapt to the driver: [ingest]/[try_ingest] are {!push}/{!try_push}
+    (accepted-into-buffer, not acked — at-least-once), [query k] is a
+    {!Frame.Point} round-trip, [flush] is {!flush}, [close] a no-op (the
+    caller owns the client's lifecycle). *)
+
+val close : t -> unit
+(** {!flush}, stop the senders, join them, close every connection.
+    Idempotent; further pushes return [false]. *)

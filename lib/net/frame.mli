@@ -1,0 +1,63 @@
+(** The served tier's wire vocabulary: typed request/response/push frames
+    on top of {!Wire.Codec}'s versioned, checksummed framing.
+
+    Every frame on a connection is a standard IVLW blob (magic, version,
+    kind tag, payload length, FNV-1a payload checksum), so the transport
+    inherits the codec's guarantees: truncation, bit flips, version skew
+    and foreign kinds all decode to a precise {!Wire.Codec.error} — never
+    an exception — and a frame whose kind tag this build does not know at
+    all surfaces as {!Wire.Codec.Unknown_kind}, which a server answers
+    with a distinct "unsupported" error instead of a parse failure.
+
+    Three frame families share one stream:
+    - {e requests} (client → server): {!Batch} ingest, {!Query}, and the
+      follower's {!Subscribe} handshake;
+    - {e responses} (server → client): one {!response} frame per request —
+      an {!Ack} for a batch, a {!Result} for a query, an {!Err} otherwise;
+    - {e pushes} (leader → follower): a {!Snapshot} seeding the follower,
+      then one {!Delta} per merged epoch, in strict epoch order. *)
+
+type query =
+  | Total  (** Published weight — served from the engine, sketch-agnostic. *)
+  | Point of int  (** Frequency estimate for one key (countmin). *)
+  | Quantile of float  (** Rank query, phi in [0,1] (quantiles sketch). *)
+  | Top of int  (** Heaviest [n] keys with counts (space-saving). *)
+
+type request =
+  | Batch of int array  (** Update keys, applied in order. *)
+  | Query of query
+  | Subscribe of { from_epoch : int }
+      (** Replication handshake. [from_epoch] is reserved (send 0): the
+          leader currently always seeds with a full snapshot. *)
+
+type err_code = Unsupported | Malformed | Overloaded | Internal
+
+type response =
+  | Ack of { epoch : int; accepted : int }
+      (** Batch outcome: [accepted <= Array.length keys]; the difference
+          was shed server-side (dead shard, drained engine). *)
+  | Result of { epoch : int; pairs : (int * int) list }
+      (** Query outcome at a published snapshot: [Total] and [Point k]
+          return one pair, [Top n] up to [n] pairs, [Quantile phi] one
+          pair [(0, estimate)]. *)
+  | Err of { code : err_code; msg : string }
+
+type push =
+  | Snapshot of { epoch : int; published : int; blob : Bytes.t }
+      (** The leader's encoded global sketch, consistent at [epoch]. *)
+  | Delta of { epoch : int; weight : int; blob : Bytes.t }
+      (** One merged shard delta. A follower applies it iff
+          [epoch = local + 1] and skips [epoch <= local] (the handshake
+          race); any gap invalidates the stream. *)
+
+val err_code_to_string : err_code -> string
+val query_to_string : query -> string
+
+val encode_request : request -> Bytes.t
+val decode_request : Bytes.t -> (request, Wire.Codec.error) result
+
+val encode_response : response -> Bytes.t
+val decode_response : Bytes.t -> (response, Wire.Codec.error) result
+
+val encode_push : push -> Bytes.t
+val decode_push : Bytes.t -> (push, Wire.Codec.error) result

@@ -1,0 +1,182 @@
+module Make (M : Pipeline.Mergeable.S) = struct
+  type status = [ `Syncing | `Live | `Broken of string | `Closed ]
+
+  type stats = {
+    epoch : int;
+    published : int;
+    deltas : int;
+    skipped : int;
+    status : status;
+  }
+
+  type t = {
+    conn : Conn.t;
+    max_frame : int;
+    m : Mutex.t;
+    mutable sketch : M.t option;
+    mutable epoch : int;
+    mutable published : int;
+    mutable deltas : int;
+    mutable skipped : int;
+    mutable st : status;
+    mutable closing : bool;
+    mutable apply_d : unit Domain.t option;
+  }
+
+  let broken t msg =
+    Mutex.lock t.m;
+    (match t.st with `Closed -> () | _ -> t.st <- `Broken msg);
+    Mutex.unlock t.m
+
+  let apply_snapshot t ~epoch ~published ~blob =
+    match M.decode blob with
+    | Error e -> broken t ("snapshot decode: " ^ Wire.Codec.error_to_string e)
+    | Ok sk ->
+        Mutex.lock t.m;
+        t.sketch <- Some sk;
+        t.epoch <- epoch;
+        t.published <- published;
+        t.st <- `Live;
+        Mutex.unlock t.m
+
+  (* The epoch filter: exactly-next applies, older duplicates (state the
+     seed snapshot already contains) are skipped, anything else is a gap —
+     the leader dropped us, and resuming would silently undercount. *)
+  let apply_delta t ~epoch ~weight ~blob =
+    Mutex.lock t.m;
+    let verdict =
+      match t.sketch with
+      | None -> `Gap  (* a delta before any snapshot: broken handshake *)
+      | Some _ when epoch <= t.epoch -> `Skip
+      | Some sk when epoch = t.epoch + 1 -> `Apply sk
+      | Some _ -> `Gap
+    in
+    (match verdict with
+    | `Skip -> t.skipped <- t.skipped + 1
+    | _ -> ());
+    Mutex.unlock t.m;
+    match verdict with
+    | `Skip -> ()
+    | `Gap ->
+        broken t
+          (Printf.sprintf "epoch gap: got %d at local %d" epoch t.epoch)
+    | `Apply sk -> (
+        match M.decode blob with
+        | Error e -> broken t ("delta decode: " ^ Wire.Codec.error_to_string e)
+        | Ok delta ->
+            let merged = M.merge sk delta in
+            Mutex.lock t.m;
+            t.sketch <- Some merged;
+            t.epoch <- epoch;
+            t.published <- t.published + weight;
+            t.deltas <- t.deltas + 1;
+            Mutex.unlock t.m)
+
+  let live_or_syncing t =
+    Mutex.lock t.m;
+    let r = match t.st with `Syncing | `Live -> true | _ -> false in
+    Mutex.unlock t.m;
+    r
+
+  let apply_loop t =
+    let rec go () =
+      if live_or_syncing t && not t.closing then
+        match Conn.recv ~max_frame:t.max_frame t.conn with
+        | Error `Timeout -> go () (* idle leader: keep waiting *)
+        | Error e ->
+            if not t.closing then broken t (Conn.recv_error_to_string e);
+            ()
+        | Ok frame -> (
+            match Frame.decode_push frame with
+            | Error e -> broken t (Wire.Codec.error_to_string e)
+            | Ok (Frame.Snapshot { epoch; published; blob }) ->
+                apply_snapshot t ~epoch ~published ~blob;
+                go ()
+            | Ok (Frame.Delta { epoch; weight; blob }) ->
+                apply_delta t ~epoch ~weight ~blob;
+                go ())
+    in
+    go ()
+
+  let connect ?(read_timeout = 1.0) ?(max_frame = Conn.default_max_frame)
+      ~host ~port () =
+    let conn = Conn.connect ~host ~port in
+    Conn.set_read_timeout conn read_timeout;
+    let t =
+      {
+        conn;
+        max_frame;
+        m = Mutex.create ();
+        sketch = None;
+        epoch = -1;
+        published = 0;
+        deltas = 0;
+        skipped = 0;
+        st = `Syncing;
+        closing = false;
+        apply_d = None;
+      }
+    in
+    if not (Conn.send conn (Frame.encode_request (Frame.Subscribe { from_epoch = 0 })))
+    then begin
+      Conn.close conn;
+      broken t "subscribe handshake failed"
+    end
+    else t.apply_d <- Some (Domain.spawn (fun () -> apply_loop t));
+    t
+
+  let query t f =
+    Mutex.lock t.m;
+    let r =
+      match t.sketch with
+      | Some sk -> Some (f sk, t.epoch)
+      | None -> None
+    in
+    Mutex.unlock t.m;
+    r
+
+  let stats t =
+    Mutex.lock t.m;
+    let s =
+      {
+        epoch = t.epoch;
+        published = t.published;
+        deltas = t.deltas;
+        skipped = t.skipped;
+        status = t.st;
+      }
+    in
+    Mutex.unlock t.m;
+    s
+
+  let published t = (stats t).published
+  let epoch t = (stats t).epoch
+  let status t = (stats t).status
+
+  let wait_epoch ?(timeout = 10.0) t e =
+    let deadline = Unix.gettimeofday () +. timeout in
+    let rec go () =
+      let s = stats t in
+      if s.epoch >= e && s.status = `Live then true
+      else if
+        (match s.status with `Broken _ | `Closed -> true | _ -> false)
+        || Unix.gettimeofday () > deadline
+      then false
+      else begin
+        Unix.sleepf 0.002;
+        go ()
+      end
+    in
+    go ()
+
+  let close t =
+    if not t.closing then begin
+      t.closing <- true;
+      Conn.close t.conn;
+      (match t.apply_d with Some d -> Domain.join d | None -> ());
+      t.apply_d <- None;
+      Mutex.lock t.m;
+      (match t.st with `Broken _ -> () | _ -> t.st <- `Closed);
+      Mutex.unlock t.m
+    end
+end

@@ -1,0 +1,69 @@
+(** Follower replica: subscribes to a leader's merge stream and rebuilds
+    its published sketch, epoch by epoch.
+
+    Replication is a direct cash-out of the merge algebra the pipeline is
+    built on: the leader's published state at epoch [e] {e is}
+    [fold merge (decode snapshot) deltas(e0+1..e)], so a follower that
+    applies exactly that sequence holds a bit-identical summary — the exact
+    convergence the tests check with [M.encode] equality after the leader
+    drains.
+
+    Between merges the follower is a relaxed replica of a relaxed object:
+    its published total always equals the leader's published total {e at
+    some recent epoch}, so every follower answer sits inside the leader's
+    IVL envelope (the follower can only lag, never invent weight — the
+    Theorem-6-style bound the end-to-end tests assert).
+
+    {2 Stream discipline}
+
+    The epoch filter makes the handshake race-free: a delta is applied iff
+    its epoch is exactly [local + 1]; epochs [<= local] are duplicates of
+    state already inside the seed snapshot (skipped, counted); a gap means
+    the leader dropped this subscriber (bounded queue overflow) and the
+    stream is {!status} [`Broken] — re-subscribing from scratch is the only
+    sound continuation, silently resuming would undercount forever. *)
+
+module Make (M : Pipeline.Mergeable.S) : sig
+  type t
+
+  type status =
+    [ `Syncing  (** connected, snapshot not yet applied *)
+    | `Live  (** snapshot applied; deltas streaming *)
+    | `Broken of string  (** gap/decode/transport failure: stream unsound *)
+    | `Closed ]
+
+  type stats = {
+    epoch : int;  (** last applied epoch; -1 before the snapshot *)
+    published : int;  (** follower's replica of the leader's published weight *)
+    deltas : int;  (** deltas applied *)
+    skipped : int;  (** duplicate epochs skipped (handshake overlap) *)
+    status : status;
+  }
+
+  val connect :
+    ?read_timeout:float -> ?max_frame:int -> host:string -> port:int -> unit -> t
+  (** Dial the leader, send {!Frame.Subscribe}, and spawn the apply domain.
+      [read_timeout] (default 1 s) paces the apply loop's receive wait — an
+      idle leader just means quiet patience, not failure.
+      @raise Unix.Unix_error if the dial itself fails. *)
+
+  val query : t -> (M.t -> 'a) -> ('a * int) option
+  (** Run [f] on the replica sketch under the replica mutex; the epoch
+      identifies the leader prefix it reflects. [None] until the snapshot
+      has been applied (or after [`Broken]). *)
+
+  val published : t -> int
+  val epoch : t -> int
+  val stats : t -> stats
+  val status : t -> status
+
+  val wait_epoch : ?timeout:float -> t -> int -> bool
+  (** Block (polling) until the replica has applied epoch [>= e] — the
+      convergence barrier: after the leader drains at epoch [e], a [true]
+      return means the follower holds the leader's exact final state.
+      [false] on timeout (default 10 s) or a non-live stream. *)
+
+  val close : t -> unit
+  (** Reset the connection and join the apply domain. Idempotent. The
+      sketch remains queryable at its last applied epoch. *)
+end

@@ -1,0 +1,449 @@
+module Codec = Wire.Codec
+
+module Make (M : Pipeline.Mergeable.S) = struct
+  module P = Pipeline.Engine.Make (M)
+
+  type sub = { sq : Bytes.t Pipeline.Mpsc.t }
+  type conn_entry = { conn : Conn.t; mutable is_sub : bool }
+
+  type stats = {
+    conns : int;
+    active : int;
+    subscribers : int;
+    bytes_in : int;
+    bytes_out : int;
+    frames_in : int;
+    frames_out : int;
+    decode_errors : int;
+    batches : int;
+    ingested : int;
+    shed : int;
+    queries : int;
+  }
+
+  type t = {
+    eng : P.t;
+    lsock : Unix.file_descr;
+    port : int;
+    max_conns : int;
+    mutable accept_d : unit Domain.t option;
+    (* one handler domain per live connection, spawned by the accept loop
+       (bounded by max_conns) and reaped as connections close — a fixed
+       pool starves: a pooled handler pinned to a long-lived idle
+       connection (a client's pooled sender, a subscriber) would block
+       every connection still waiting for a handler *)
+    hm : Mutex.t;
+    mutable handler_ds : (unit Domain.t * bool Atomic.t) list;
+    stopping : bool Atomic.t;
+    stopped : bool Atomic.t;
+    (* active connections, so stop can reset them under handlers' feet *)
+    conns_m : Mutex.t;
+    conns : (int, conn_entry) Hashtbl.t;
+    conn_ids : int Atomic.t;
+    (* closed connections' byte/frame totals, folded in at teardown *)
+    mutable gone_bytes_in : int;
+    mutable gone_bytes_out : int;
+    mutable gone_frames_in : int;
+    mutable gone_frames_out : int;
+    (* replication: epoch/published mirror + fanout list, one mutex. Refs,
+       not mutable fields: the on_merge closure is created before [t] is
+       and must share the exact cells. *)
+    rep_m : Mutex.t;
+    rep_epoch : int ref;
+    rep_published : int ref;
+    subs : sub list ref;
+    c_conns : int Atomic.t;
+    c_decode_errors : int Atomic.t;
+    c_batches : int Atomic.t;
+    c_ingested : int Atomic.t;
+    c_shed : int Atomic.t;
+    c_queries : int Atomic.t;
+    query_timer : Obs.Timer.t option;
+    metrics : Obs.Registry.t option;
+    eval : M.t -> Frame.query -> (int * int) list option;
+    max_frame : int;
+    read_timeout : float;
+    sub_cap : int;
+  }
+
+  let port t = t.port
+  let engine t = t.eng
+
+  let stats t =
+    Mutex.lock t.conns_m;
+    let bi = ref t.gone_bytes_in
+    and bo = ref t.gone_bytes_out
+    and fi = ref t.gone_frames_in
+    and fo = ref t.gone_frames_out in
+    let active = Hashtbl.length t.conns in
+    Hashtbl.iter
+      (fun _ e ->
+        bi := !bi + Conn.bytes_in e.conn;
+        bo := !bo + Conn.bytes_out e.conn;
+        fi := !fi + Conn.frames_in e.conn;
+        fo := !fo + Conn.frames_out e.conn)
+      t.conns;
+    Mutex.unlock t.conns_m;
+    Mutex.lock t.rep_m;
+    let subscribers = List.length !(t.subs) in
+    Mutex.unlock t.rep_m;
+    {
+      conns = Atomic.get t.c_conns;
+      active;
+      subscribers;
+      bytes_in = !bi;
+      bytes_out = !bo;
+      frames_in = !fi;
+      frames_out = !fo;
+      decode_errors = Atomic.get t.c_decode_errors;
+      batches = Atomic.get t.c_batches;
+      ingested = Atomic.get t.c_ingested;
+      shed = Atomic.get t.c_shed;
+      queries = Atomic.get t.c_queries;
+    }
+
+  (* ------------------------- request handling ------------------------- *)
+
+  let send_err conn code msg =
+    ignore (Conn.send conn (Frame.encode_response (Frame.Err { code; msg })))
+
+  let handle_batch t conn keys =
+    Atomic.incr t.c_batches;
+    let accepted = ref 0 in
+    Array.iter (fun k -> if P.ingest t.eng k then incr accepted) keys;
+    let shed = Array.length keys - !accepted in
+    ignore (Atomic.fetch_and_add t.c_ingested !accepted);
+    ignore (Atomic.fetch_and_add t.c_shed shed);
+    Conn.send conn
+      (Frame.encode_response
+         (Frame.Ack { epoch = P.epoch t.eng; accepted = !accepted }))
+
+  let handle_query t conn q =
+    Atomic.incr t.c_queries;
+    let t0 = Unix.gettimeofday () in
+    let resp =
+      match q with
+      | Frame.Total ->
+          Mutex.lock t.rep_m;
+          let epoch = !(t.rep_epoch) and published = !(t.rep_published) in
+          Mutex.unlock t.rep_m;
+          Frame.Result { epoch; pairs = [ (0, published) ] }
+      | q -> (
+          let r, epoch = P.query t.eng (fun g -> t.eval g q) in
+          match r with
+          | Some pairs -> Frame.Result { epoch; pairs }
+          | None ->
+              Frame.Err
+                {
+                  code = Frame.Unsupported;
+                  msg = "sketch cannot answer " ^ Frame.query_to_string q;
+                })
+    in
+    (match t.query_timer with
+    | Some tm -> Obs.Timer.observe tm (Unix.gettimeofday () -. t0)
+    | None -> ());
+    Conn.send conn (Frame.encode_response resp)
+
+  (* Replication sender: this handler stops serving requests and streams
+     pushes until the follower dies, overflows, or the server stops.
+     Registration happens under rep_m BEFORE the snapshot is taken, so every
+     merge after this point is queued; a merge that is also already inside
+     the snapshot arrives as a duplicate the follower's epoch filter skips.
+     No ordering lets a delta fall into the gap. *)
+  let sender_loop t (entry : conn_entry) =
+    entry.is_sub <- true;
+    let sub = { sq = Pipeline.Mpsc.create ~capacity:t.sub_cap } in
+    Mutex.lock t.rep_m;
+    t.subs := sub :: !(t.subs);
+    Mutex.unlock t.rep_m;
+    let blob, epoch, published = P.snapshot t.eng in
+    let seed = Frame.encode_push (Frame.Snapshot { epoch; published; blob }) in
+    let rec pump ok =
+      if ok then
+        match Pipeline.Mpsc.pop sub.sq with
+        | None -> () (* queue closed: overflow-drop or server stop *)
+        | Some frame -> pump (Conn.send entry.conn frame)
+    in
+    pump (Conn.send entry.conn seed);
+    Mutex.lock t.rep_m;
+    t.subs := List.filter (fun s -> s != sub) !(t.subs);
+    Mutex.unlock t.rep_m;
+    Pipeline.Mpsc.close sub.sq
+
+  let request_loop t entry =
+    let conn = entry.conn in
+    let continue = ref true in
+    while !continue && not (Atomic.get t.stopping) do
+      match Conn.recv ~max_frame:t.max_frame conn with
+      | Error `Eof -> continue := false
+      | Error `Timeout ->
+          (* slow-loris or long-idle peer: reset without a response (there
+             is no frame boundary to answer on) *)
+          continue := false
+      | Error (`Oversized n) ->
+          Atomic.incr t.c_decode_errors;
+          send_err conn Frame.Malformed
+            (Printf.sprintf "declared payload of %d bytes exceeds cap" n);
+          continue := false
+      | Error `Bad_header ->
+          Atomic.incr t.c_decode_errors;
+          send_err conn Frame.Malformed "stream desync: not an IVLW frame";
+          continue := false
+      | Ok frame -> (
+          match Frame.decode_request frame with
+          | Error (Codec.Unknown_kind k) ->
+              Atomic.incr t.c_decode_errors;
+              send_err conn Frame.Unsupported
+                (Printf.sprintf "unknown frame kind %d" k);
+              continue := false
+          | Error e ->
+              Atomic.incr t.c_decode_errors;
+              send_err conn Frame.Malformed (Codec.error_to_string e);
+              continue := false
+          | Ok (Frame.Batch keys) ->
+              if not (handle_batch t conn keys) then continue := false
+          | Ok (Frame.Query q) ->
+              if not (handle_query t conn q) then continue := false
+          | Ok (Frame.Subscribe _) ->
+              sender_loop t entry;
+              continue := false)
+    done
+
+  let register_conn_metrics t id conn =
+    match t.metrics with
+    | None -> ()
+    | Some reg ->
+        let labels = [ ("conn", string_of_int id) ] in
+        let c name help f = Obs.Registry.counter_fn reg ~help ~labels name f in
+        c "net_bytes_in_total" "Bytes received on this connection" (fun () ->
+            Conn.bytes_in conn);
+        c "net_bytes_out_total" "Bytes sent on this connection" (fun () ->
+            Conn.bytes_out conn);
+        c "net_frames_in_total" "Frames received on this connection" (fun () ->
+            Conn.frames_in conn);
+        c "net_frames_out_total" "Frames sent on this connection" (fun () ->
+            Conn.frames_out conn)
+
+  let serve_conn t fd =
+    let conn = Conn.of_fd fd in
+    Conn.set_read_timeout conn t.read_timeout;
+    let id = Atomic.fetch_and_add t.conn_ids 1 in
+    Atomic.incr t.c_conns;
+    let entry = { conn; is_sub = false } in
+    Mutex.lock t.conns_m;
+    Hashtbl.replace t.conns id entry;
+    Mutex.unlock t.conns_m;
+    register_conn_metrics t id conn;
+    (try request_loop t entry
+     with e ->
+       (* a handler must survive any one connection; engine bugs surface in
+          P.failures, not here *)
+       ignore e);
+    Mutex.lock t.conns_m;
+    Hashtbl.remove t.conns id;
+    t.gone_bytes_in <- t.gone_bytes_in + Conn.bytes_in conn;
+    t.gone_bytes_out <- t.gone_bytes_out + Conn.bytes_out conn;
+    t.gone_frames_in <- t.gone_frames_in + Conn.frames_in conn;
+    t.gone_frames_out <- t.gone_frames_out + Conn.frames_out conn;
+    Mutex.unlock t.conns_m;
+    Conn.close conn
+
+  (* Join handler domains whose connection has closed; returns the live
+     count. Terminated-but-unjoined domains are not free, so the accept
+     loop reaps on every iteration. *)
+  let reap t =
+    Mutex.lock t.hm;
+    let fin, live =
+      List.partition (fun (_, done_f) -> Atomic.get done_f) t.handler_ds
+    in
+    t.handler_ds <- live;
+    let n = List.length live in
+    Mutex.unlock t.hm;
+    List.iter (fun (d, _) -> Domain.join d) fin;
+    n
+
+  let accept_loop t =
+    while not (Atomic.get t.stopping) do
+      let live = reap t in
+      if live >= t.max_conns then
+        (* at capacity: let the kernel backlog hold the peers *)
+        Unix.sleepf 0.01
+      else
+        match Unix.select [ t.lsock ] [] [] 0.05 with
+        | [], _, _ -> ()
+        | _ -> (
+            match Unix.accept t.lsock with
+            | fd, _ ->
+                let done_f = Atomic.make false in
+                let d =
+                  Domain.spawn (fun () ->
+                      (try serve_conn t fd with _ -> ());
+                      Atomic.set done_f true)
+                in
+                Mutex.lock t.hm;
+                t.handler_ds <- (d, done_f) :: t.handler_ds;
+                Mutex.unlock t.hm
+            | exception Unix.Unix_error (_, _, _) -> ())
+        | exception Unix.Unix_error (_, _, _) -> ()
+    done
+
+  (* ------------------------------ lifecycle --------------------------- *)
+
+  let create ?(host = "127.0.0.1") ?(port = 0) ?(max_conns = 32)
+      ?(max_frame = Conn.default_max_frame) ?(read_timeout = 30.0)
+      ?(sub_queue = 1024) ?metrics ~eval ~make_engine () =
+    if max_conns <= 0 then invalid_arg "Net.Server: max_conns must be positive";
+    Conn.ignore_sigpipe ();
+    let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+    (try
+       Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+       Unix.listen lsock 128
+     with e ->
+       (try Unix.close lsock with _ -> ());
+       raise e);
+    let port =
+      match Unix.getsockname lsock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    (* The fanout closure is wired into the engine at creation, so the
+       replication state exists before the engine does. *)
+    let rep_m = Mutex.create () in
+    let rep_epoch = ref (-1) and rep_published = ref 0 in
+    let subs = ref [] in
+    let on_merge ~epoch ~weight ~blob =
+      Mutex.lock rep_m;
+      if epoch > !rep_epoch then begin
+        rep_epoch := epoch;
+        rep_published := !rep_published + weight
+      end;
+      (match !subs with
+      | [] -> ()
+      | live ->
+          let frame = Frame.encode_push (Frame.Delta { epoch; weight; blob }) in
+          List.iter
+            (fun s ->
+              match Pipeline.Mpsc.try_push s.sq frame with
+              | `Ok -> ()
+              | `Full | `Closed ->
+                  (* slow follower: close its queue (its sender drains what
+                     is left, then resets) — a gap means it must
+                     re-subscribe, never stall the merger *)
+                  Pipeline.Mpsc.close s.sq)
+            live);
+      Mutex.unlock rep_m
+    in
+    let eng = make_engine ~on_merge in
+    (* Catch up with merges (or recovered [initial] state) that predate the
+       mirror: epoch filter in on_merge keeps this race-free. *)
+    let _, e0, p0 = P.snapshot eng in
+    Mutex.lock rep_m;
+    if e0 > !rep_epoch then begin
+      rep_epoch := e0;
+      rep_published := p0
+    end
+    else if !rep_epoch >= 0 && !rep_published < p0 then rep_published := p0;
+    Mutex.unlock rep_m;
+    let t =
+      {
+        eng;
+        lsock;
+        port;
+        max_conns;
+        accept_d = None;
+        hm = Mutex.create ();
+        handler_ds = [];
+        stopping = Atomic.make false;
+        stopped = Atomic.make false;
+        conns_m = Mutex.create ();
+        conns = Hashtbl.create 32;
+        conn_ids = Atomic.make 0;
+        gone_bytes_in = 0;
+        gone_bytes_out = 0;
+        gone_frames_in = 0;
+        gone_frames_out = 0;
+        rep_m;
+        rep_epoch;
+        rep_published;
+        subs;
+        c_conns = Atomic.make 0;
+        c_decode_errors = Atomic.make 0;
+        c_batches = Atomic.make 0;
+        c_ingested = Atomic.make 0;
+        c_shed = Atomic.make 0;
+        c_queries = Atomic.make 0;
+        query_timer =
+          Option.map
+            (fun reg ->
+              Obs.Registry.timer reg ~help:"Server-side query service time"
+                "net_query_seconds")
+            metrics;
+        metrics;
+        eval;
+        max_frame;
+        read_timeout;
+        sub_cap = sub_queue;
+      }
+    in
+    (match metrics with
+    | None -> ()
+    | Some reg ->
+        let c name help f = Obs.Registry.counter_fn reg ~help name f in
+        let g name help f = Obs.Registry.gauge_fn reg ~help name f in
+        c "net_conns_total" "Connections accepted" (fun () ->
+            Atomic.get t.c_conns);
+        c "net_decode_errors_total" "Frames that failed to decode" (fun () ->
+            Atomic.get t.c_decode_errors);
+        c "net_batches_total" "Batch requests served" (fun () ->
+            Atomic.get t.c_batches);
+        c "net_ingested_total" "Keys accepted into the engine" (fun () ->
+            Atomic.get t.c_ingested);
+        c "net_shed_total" "Keys the engine refused" (fun () ->
+            Atomic.get t.c_shed);
+        c "net_queries_total" "Query requests served" (fun () ->
+            Atomic.get t.c_queries);
+        g "net_conns_active" "Currently-open connections" (fun () ->
+            Mutex.lock t.conns_m;
+            let n = Hashtbl.length t.conns in
+            Mutex.unlock t.conns_m;
+            float_of_int n);
+        g "net_subscribers" "Live replication subscribers" (fun () ->
+            Mutex.lock t.rep_m;
+            let n = List.length !(t.subs) in
+            Mutex.unlock t.rep_m;
+            float_of_int n));
+    t.accept_d <- Some (Domain.spawn (fun () -> accept_loop t));
+    t
+
+  let stop t =
+    if not (Atomic.exchange t.stopped true) then begin
+      Atomic.set t.stopping true;
+      (* reset request connections so handlers unblock from recv; leave
+         subscriber connections alive — the drain's final deltas still have
+         to reach them *)
+      Mutex.lock t.conns_m;
+      Hashtbl.iter
+        (fun _ e ->
+          if not e.is_sub then
+            try Unix.shutdown (Conn.fd e.conn) Unix.SHUTDOWN_ALL
+            with _ -> ())
+        t.conns;
+      Mutex.unlock t.conns_m;
+      (* drain flushes the partial shard deltas an idle engine retains; the
+         fanout forwards the resulting merges to subscribers in order *)
+      P.drain t.eng;
+      Mutex.lock t.rep_m;
+      List.iter (fun s -> Pipeline.Mpsc.close s.sq) !(t.subs);
+      Mutex.unlock t.rep_m;
+      (match t.accept_d with Some d -> Domain.join d | None -> ());
+      t.accept_d <- None;
+      Mutex.lock t.hm;
+      let hs = t.handler_ds in
+      t.handler_ds <- [];
+      Mutex.unlock t.hm;
+      List.iter (fun (d, _) -> Domain.join d) hs;
+      (try Unix.close t.lsock with _ -> ())
+    end;
+    stats t
+end

@@ -566,6 +566,12 @@ module Make (M : Mergeable.S) = struct
     Mutex.unlock t.gm;
     (v, e)
 
+  let snapshot t =
+    Mutex.lock t.gm;
+    let blob = M.encode t.global and e = t.epoch and p = t.published in
+    Mutex.unlock t.gm;
+    (blob, e, p)
+
   let read_total t =
     Conc.Recorder.record_query t.rec_ ~domain:(shard_count t + 1) ~obj:0 0
       (fun () ->

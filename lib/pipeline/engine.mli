@@ -194,6 +194,14 @@ module Make (M : Mergeable.S) : sig
       merge mutex and the returned epoch identifies the exact prefix of
       merges it saw. Keep [f] cheap — it delays merges, not ingests. *)
 
+  val snapshot : t -> Bytes.t * int * int
+  (** [(blob, epoch, published)] — the encoded global sketch with the epoch
+      and published weight it corresponds to, captured atomically under the
+      merge mutex. The replication handshake: a follower seeded with this
+      triple and then fed every [on_merge] delta with epoch > [epoch]
+      reconstructs the leader's published state exactly ([Net.Replica]).
+      Costs one [M.encode] under the mutex — not for hot read paths. *)
+
   val read_total : t -> int
   (** Total published weight (stream items merged so far), recorded into the
       pipeline's history as a query op for the envelope checker. At most one

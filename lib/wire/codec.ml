@@ -18,6 +18,7 @@ type error =
   | Bad_magic
   | Unsupported_version of int
   | Wrong_kind of { expected : string; got : string }
+  | Unknown_kind of int
   | Checksum_mismatch
   | Corrupt of string
 
@@ -30,6 +31,7 @@ let error_to_string = function
   | Unsupported_version v -> Printf.sprintf "unsupported wire version %d" v
   | Wrong_kind { expected; got } ->
       Printf.sprintf "wrong kind: expected %s, blob holds %s" expected got
+  | Unknown_kind k -> Printf.sprintf "unknown frame kind %d" k
   | Checksum_mismatch -> "payload checksum mismatch"
   | Corrupt msg -> Printf.sprintf "corrupt payload: %s" msg
 
@@ -44,6 +46,11 @@ let wal_record_kind = 7
 let checkpoint_kind = 8
 let trace_header_kind = 9
 let trace_block_kind = 10
+let net_batch_kind = 11
+let net_query_kind = 12
+let net_reply_kind = 13
+let net_subscribe_kind = 14
+let net_delta_kind = 15
 
 let kind_name = function
   | 1 -> "countmin"
@@ -56,7 +63,14 @@ let kind_name = function
   | 8 -> "checkpoint"
   | 9 -> "trace-header"
   | 10 -> "trace-block"
+  | 11 -> "net-batch"
+  | 12 -> "net-query"
+  | 13 -> "net-reply"
+  | 14 -> "net-subscribe"
+  | 15 -> "net-delta"
   | k -> Printf.sprintf "unknown(%d)" k
+
+let known_kind k = k >= 1 && k <= 15
 
 let corrupt fmt = Printf.ksprintf (fun msg -> raise (Decode_error (Corrupt msg))) fmt
 
@@ -153,6 +167,17 @@ let peek bytes =
   else if Bytes.sub_string bytes 0 4 <> magic then Error Bad_magic
   else Ok (kind_name (Bytes.get_uint8 bytes 5), Bytes.get_uint8 bytes 4)
 
+let frame_kind bytes =
+  let got = Bytes.length bytes in
+  if got < header_size then Error (Truncated { expected = header_size; got })
+  else if Bytes.sub_string bytes 0 4 <> magic then Error Bad_magic
+  else
+    let v = Bytes.get_uint8 bytes 4 in
+    if v <> version then Error (Unsupported_version v)
+    else
+      let k = Bytes.get_uint8 bytes 5 in
+      if known_kind k then Ok k else Error (Unknown_kind k)
+
 let open_frame ~kind bytes =
   let got = Bytes.length bytes in
   if got < header_size then
@@ -163,7 +188,10 @@ let open_frame ~kind bytes =
   let k = Bytes.get_uint8 bytes 5 in
   if k <> kind then
     raise
-      (Decode_error (Wrong_kind { expected = kind_name kind; got = kind_name k }));
+      (Decode_error
+         (if known_kind k then
+            Wrong_kind { expected = kind_name kind; got = kind_name k }
+          else Unknown_kind k));
   let plen = Int32.to_int (Bytes.get_int32_be bytes 6) land 0xFFFFFFFF in
   if header_size + plen > got then
     raise (Decode_error (Truncated { expected = header_size + plen; got }));

@@ -19,7 +19,12 @@ type error =
   | Unsupported_version of int
       (** A well-formed blob from a different format version. *)
   | Wrong_kind of { expected : string; got : string }
-      (** A valid blob of a different sketch kind. *)
+      (** A valid blob of a different {e known} kind. *)
+  | Unknown_kind of int
+      (** A well-formed frame whose kind tag this build does not know at
+          all — distinct from {!Wrong_kind} so a server can answer
+          "unsupported" (a newer peer speaking a future frame kind) instead
+          of "you sent a checkpoint where I wanted a countmin". *)
   | Checksum_mismatch  (** Payload bytes do not match the stored checksum. *)
   | Corrupt of string
       (** Header and checksum fine, but the payload violates the schema
@@ -66,7 +71,33 @@ val trace_block_kind : int
 (** A block of recorded operations inside a workload trace file
     ([Workload.Trace]). *)
 
+val net_batch_kind : int
+(** A served-tier ingest request: a batch of update keys ([Net.Frame]). *)
+
+val net_query_kind : int
+(** A served-tier query request ([Net.Frame]). *)
+
+val net_reply_kind : int
+(** A served-tier response: ack, result or error ([Net.Frame]). *)
+
+val net_subscribe_kind : int
+(** A follower's replication handshake ([Net.Frame]). *)
+
+val net_delta_kind : int
+(** A leader-to-follower replication push: snapshot or merged epoch delta
+    ([Net.Frame]). *)
+
 val kind_name : int -> string
+
+val known_kind : int -> bool
+(** Whether this build understands the kind tag. Frames carrying an unknown
+    tag decode to {!Unknown_kind}. *)
+
+val frame_kind : Bytes.t -> (int, error) result
+(** [frame_kind blob] validates magic and version and returns the raw kind
+    tag — the dispatch step for readers (servers) that accept several frame
+    kinds on one stream. Unknown tags come back as [Error (Unknown_kind k)]
+    so callers can answer "unsupported" distinctly. *)
 
 val fnv1a : Bytes.t -> off:int -> len:int -> int
 (** The framing checksum (FNV-1a-32) over [len] bytes at [off] — exposed so

@@ -7,11 +7,7 @@
    experiment — the standard coordinated-omission-avoiding shape for an
    open-loop generator. *)
 
-type sink = {
-  ingest : int -> bool;
-  try_ingest : int -> bool;
-  query : int -> unit;
-}
+type sink = Sink.t
 
 type phase_report = {
   phase : string;
@@ -71,7 +67,8 @@ type totals = {
   t_queries : int Atomic.t;
 }
 
-let feed sink (p : Trace.phase) chunk ~feeders ~totals ~upd_timer ~qry_timer =
+let feed (sink : Sink.t) (p : Trace.phase) chunk ~feeders ~totals ~upd_timer
+    ~qry_timer =
   let paced = p.rate <> Trace.Unlimited in
   let issued = ref 0 and accepted = ref 0 and shed = ref 0 and queries = ref 0 in
   let upd = ref [] and qry = ref [] in
@@ -115,6 +112,10 @@ let feed sink (p : Trace.phase) chunk ~feeders ~totals ~upd_timer ~qry_timer =
         end
         else sink.query k
   done;
+  (* A buffered sink (net client) may still hold updates: flush inside the
+     measured wall so closed-loop throughput stays honest, and so the phase
+     barrier (and any post-phase oracle) never races the buffer. *)
+  sink.flush ();
   ignore (Atomic.fetch_and_add totals.t_issued !issued);
   ignore (Atomic.fetch_and_add totals.t_accepted !accepted);
   ignore (Atomic.fetch_and_add totals.t_shed !shed);

@@ -16,15 +16,12 @@
     stride-sampled (every {!sample_stride}-th operation) to keep memory
     bounded; percentiles are exact over the retained samples. *)
 
-type sink = {
-  ingest : int -> bool;
-      (** Blocking ingest; [false] means the element was dropped anyway
-          (dead shard, drained pipeline). *)
-  try_ingest : int -> bool;  (** Non-blocking; [false] on a full queue too. *)
-  query : int -> unit;
-      (** Point query for key [k]; result checking is the caller's business
-          (the soak harness closes the loop against its oracle). *)
-}
+type sink = Sink.t
+(** The ingest/query surface a feeder drives — see {!Sink}. The driver
+    calls [sink.flush] at the end of each feeder's chunk (inside the
+    feeder's measured wall time, before the phase barrier) so buffered
+    sinks like the net client are empty when a phase ends; it never calls
+    [sink.close]. *)
 
 type phase_report = {
   phase : string;

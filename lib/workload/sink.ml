@@ -1,0 +1,27 @@
+type t = {
+  ingest : int -> bool;
+  try_ingest : int -> bool;
+  query : int -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+let make ?try_ingest ?(query = fun _ -> ()) ?(flush = fun () -> ())
+    ?(close = fun () -> ()) ~ingest () =
+  {
+    ingest;
+    try_ingest = (match try_ingest with Some f -> f | None -> ingest);
+    query;
+    flush;
+    close;
+  }
+
+module Of_engine (M : Pipeline.Mergeable.S) = struct
+  module P = Pipeline.Engine.Make (M)
+
+  let sink eng ~query =
+    make ~ingest:(fun k -> P.ingest eng k)
+      ~try_ingest:(fun k -> P.try_ingest eng k)
+      ~query:(fun k -> fst (P.query eng (fun g -> query g k)))
+      ()
+end

@@ -1,0 +1,49 @@
+(** The ingest/query surface a {!Driver} pushes a trace through.
+
+    Extracted from the driver so that anything that can accept keys — the
+    in-process [Pipeline.Engine] (the default, {!Of_engine}), a batching
+    network client ([Net.Client]), a mock in a test — slots under the trace
+    machinery without touching driver logic. A sink is five closures:
+
+    - [ingest]/[try_ingest]: the blocking (closed-loop, backpressure) and
+      non-blocking (open-loop, shed-on-full) update paths;
+    - [query]: a point query whose result checking is the caller's business
+      (the soak harness closes the loop against its oracle);
+    - [flush]: push any buffered work downstream and wait for it to be
+      accepted — the driver calls this at the end of every feeder's chunk so
+      phase barriers (and post-run oracles) never race a sink-side buffer.
+      For unbuffered sinks this is a no-op;
+    - [close]: release sink-owned resources. The driver never calls it —
+      whoever built the sink owns its lifetime. *)
+
+type t = {
+  ingest : int -> bool;
+      (** Blocking ingest; [false] means the element was dropped anyway
+          (dead shard, drained pipeline, closed connection). *)
+  try_ingest : int -> bool;  (** Non-blocking; [false] on a full queue too. *)
+  query : int -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+val make :
+  ?try_ingest:(int -> bool) ->
+  ?query:(int -> unit) ->
+  ?flush:(unit -> unit) ->
+  ?close:(unit -> unit) ->
+  ingest:(int -> bool) ->
+  unit ->
+  t
+(** [try_ingest] defaults to [ingest] (a sink without a non-blocking path
+    just blocks); [query], [flush] and [close] default to no-ops. *)
+
+(** The default implementation: wrap a pipeline engine. Applicative functor
+    equality makes this line up at the call site: if you built your engine
+    as [Pipeline.Engine.Make (M)] for a named [M], [Of_engine (M).sink]
+    accepts it directly. *)
+module Of_engine (M : Pipeline.Mergeable.S) : sig
+  val sink : Pipeline.Engine.Make(M).t -> query:(M.t -> int -> unit) -> t
+  (** [query g k] runs under the engine's snapshot read ([Engine.query]);
+      [flush]/[close] are no-ops — the engine's merge cadence and drain are
+      its owner's business. *)
+end

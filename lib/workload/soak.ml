@@ -268,23 +268,21 @@ let run ?(progress = fun _ -> ()) c ~spec ~ops () =
     let round_ops = Array.init (Array.length slices) (fun p -> slices.(p).(r)) in
     let make_sink ~feeder =
       let o = oracles.(feeder) in
-      {
-        Driver.ingest =
-          (fun k ->
-            if P.ingest eng k then begin
-              o.(k) <- o.(k) + 1;
-              true
-            end
-            else false);
-        try_ingest =
-          (fun k ->
-            if P.try_ingest eng k then begin
-              o.(k) <- o.(k) + 1;
-              true
-            end
-            else false);
-        query = (fun k -> ignore (P.query eng (fun g -> Sketches.Countmin.query g k)));
-      }
+      Sink.make
+        ~ingest:(fun k ->
+          if P.ingest eng k then begin
+            o.(k) <- o.(k) + 1;
+            true
+          end
+          else false)
+        ~try_ingest:(fun k ->
+          if P.try_ingest eng k then begin
+            o.(k) <- o.(k) + 1;
+            true
+          end
+          else false)
+        ~query:(fun k -> ignore (P.query eng (fun g -> Sketches.Countmin.query g k)))
+        ()
     in
     let driver =
       Driver.run ~feeders:c.feeders ~metrics:registry ~make_sink ~spec ~ops:round_ops ()

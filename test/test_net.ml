@@ -1,0 +1,617 @@
+(* The served tier, tested at three depths:
+
+   - the frame vocabulary in isolation (roundtrips, schema validation, and
+     the Unknown_kind regression — a foreign kind tag must surface as its
+     own error, not a parse failure);
+   - the raw protocol against a live server (acks, queries, and the
+     adversarial-peer suite: truncated frames, flipped checksums, oversized
+     declared lengths, slow-loris headers, abrupt disconnects — every one
+     must end in a clean error/reset with the server still serving);
+   - the full system (batching client + follower replica): the follower
+     never leads the leader (the IVL envelope), and after the leader's
+     drain the two are bit-for-bit equal. *)
+
+module Codec = Wire.Codec
+module Frame = Net.Frame
+module Conn = Net.Conn
+module MC = Pipeline.Targets.Counter
+module Srv = Net.Server.Make (MC)
+module Rep = Net.Replica.Make (MC)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Frame vocabulary                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_request r =
+  match Frame.decode_request (Frame.encode_request r) with
+  | Ok r' -> r'
+  | Error e -> Alcotest.failf "request decode: %s" (Codec.error_to_string e)
+
+let roundtrip_response r =
+  match Frame.decode_response (Frame.encode_response r) with
+  | Ok r' -> r'
+  | Error e -> Alcotest.failf "response decode: %s" (Codec.error_to_string e)
+
+let roundtrip_push p =
+  match Frame.decode_push (Frame.encode_push p) with
+  | Ok p' -> p'
+  | Error e -> Alcotest.failf "push decode: %s" (Codec.error_to_string e)
+
+let test_request_roundtrip () =
+  (match roundtrip_request (Frame.Batch [| 1; 2; 3; 1000000; 0 |]) with
+  | Frame.Batch ks ->
+      check_int "batch len" 5 (Array.length ks);
+      check_int "batch last" 0 ks.(4);
+      check_int "batch big" 1000000 ks.(3)
+  | _ -> Alcotest.fail "not a batch");
+  (match roundtrip_request (Frame.Batch [||]) with
+  | Frame.Batch ks -> check_int "empty batch" 0 (Array.length ks)
+  | _ -> Alcotest.fail "not a batch");
+  (match roundtrip_request (Frame.Query Frame.Total) with
+  | Frame.Query Frame.Total -> ()
+  | _ -> Alcotest.fail "not Total");
+  (match roundtrip_request (Frame.Query (Frame.Point 42)) with
+  | Frame.Query (Frame.Point 42) -> ()
+  | _ -> Alcotest.fail "not Point 42");
+  (match roundtrip_request (Frame.Query (Frame.Quantile 0.99)) with
+  | Frame.Query (Frame.Quantile phi) ->
+      Alcotest.(check (float 1e-9)) "phi" 0.99 phi
+  | _ -> Alcotest.fail "not Quantile");
+  (match roundtrip_request (Frame.Query (Frame.Top 10)) with
+  | Frame.Query (Frame.Top 10) -> ()
+  | _ -> Alcotest.fail "not Top 10");
+  match roundtrip_request (Frame.Subscribe { from_epoch = 0 }) with
+  | Frame.Subscribe { from_epoch = 0 } -> ()
+  | _ -> Alcotest.fail "not Subscribe"
+
+let test_response_roundtrip () =
+  (match roundtrip_response (Frame.Ack { epoch = 7; accepted = 123 }) with
+  | Frame.Ack { epoch = 7; accepted = 123 } -> ()
+  | _ -> Alcotest.fail "not the ack");
+  (match
+     roundtrip_response
+       (Frame.Result { epoch = 3; pairs = [ (1, 10); (2, 20); (3, 30) ] })
+   with
+  | Frame.Result { epoch = 3; pairs = [ (1, 10); (2, 20); (3, 30) ] } -> ()
+  | _ -> Alcotest.fail "not the result");
+  (match roundtrip_response (Frame.Result { epoch = 0; pairs = [] }) with
+  | Frame.Result { epoch = 0; pairs = [] } -> ()
+  | _ -> Alcotest.fail "not the empty result");
+  List.iter
+    (fun code ->
+      match roundtrip_response (Frame.Err { code; msg = "boom" }) with
+      | Frame.Err { code = c; msg = "boom" } when c = code -> ()
+      | _ -> Alcotest.fail "err code mangled")
+    [ Frame.Unsupported; Frame.Malformed; Frame.Overloaded; Frame.Internal ]
+
+let test_push_roundtrip () =
+  let blob = Bytes.of_string "\x00\x01\xff sketch bytes \x7f" in
+  (match roundtrip_push (Frame.Snapshot { epoch = 12; published = 999; blob })
+   with
+  | Frame.Snapshot { epoch = 12; published = 999; blob = b } ->
+      check_bool "snapshot blob" true (Bytes.equal blob b)
+  | _ -> Alcotest.fail "not the snapshot");
+  match roundtrip_push (Frame.Delta { epoch = 13; weight = 8; blob }) with
+  | Frame.Delta { epoch = 13; weight = 8; blob = b } ->
+      check_bool "delta blob" true (Bytes.equal blob b)
+  | _ -> Alcotest.fail "not the delta"
+
+let test_frame_schema_validation () =
+  (* A response frame fed to the request decoder is a *known* foreign
+     kind: Wrong_kind, not Unknown_kind. *)
+  (match
+     Frame.decode_request
+       (Frame.encode_response (Frame.Ack { epoch = 0; accepted = 0 }))
+   with
+  | Error (Codec.Wrong_kind _) -> ()
+  | Ok _ -> Alcotest.fail "response decoded as request"
+  | Error e -> Alcotest.failf "expected Wrong_kind: %s" (Codec.error_to_string e));
+  (* Out-of-range quantile: header and checksum fine, schema corrupt. *)
+  let bad_phi =
+    Codec.encode ~kind:Codec.net_query_kind (fun w ->
+        Codec.u8 w 2;
+        Codec.float_ w 1.5)
+  in
+  (match Frame.decode_request bad_phi with
+  | Error (Codec.Corrupt _) -> ()
+  | _ -> Alcotest.fail "phi=1.5 accepted");
+  (* Unknown query tag. *)
+  let bad_tag = Codec.encode ~kind:Codec.net_query_kind (fun w -> Codec.u8 w 9) in
+  (match Frame.decode_request bad_tag with
+  | Error (Codec.Corrupt _) -> ()
+  | _ -> Alcotest.fail "tag 9 accepted");
+  (* Negative batch count cannot be encoded, but a truncated batch can. *)
+  let good = Frame.encode_request (Frame.Batch [| 1; 2; 3 |]) in
+  let cut = Bytes.sub good 0 (Bytes.length good - 1) in
+  match Frame.decode_request cut with
+  | Error (Codec.Truncated _) -> ()
+  | _ -> Alcotest.fail "truncated batch accepted"
+
+(* Satellite regression: a kind tag this build does not know at all. *)
+let test_unknown_kind () =
+  check_bool "known net_batch" true (Codec.known_kind Codec.net_batch_kind);
+  check_bool "known net_delta" true (Codec.known_kind Codec.net_delta_kind);
+  check_bool "99 unknown" false (Codec.known_kind 99);
+  let foreign = Codec.encode ~kind:99 (fun w -> Codec.u8 w 0) in
+  (match Codec.frame_kind foreign with
+  | Error (Codec.Unknown_kind 99) -> ()
+  | Error e -> Alcotest.failf "expected Unknown_kind 99: %s" (Codec.error_to_string e)
+  | Ok k -> Alcotest.failf "kind 99 accepted as %d" k);
+  (match Frame.decode_request foreign with
+  | Error (Codec.Unknown_kind 99) -> ()
+  | _ -> Alcotest.fail "decode_request must surface Unknown_kind");
+  (* The checksum is validated even for unknown kinds? No: frame_kind
+     dispatches before checksum, and the distinct error is the point. *)
+  check_bool "message names the tag" true
+    (String.length (Codec.error_to_string (Codec.Unknown_kind 99)) > 0
+    &&
+    match String.index_opt (Codec.error_to_string (Codec.Unknown_kind 99)) '9'
+    with
+    | Some _ -> true
+    | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Live-server helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let start_server ?metrics ?(shards = 2) ?(batch = 8) ?(read_timeout = 5.0)
+    ?max_frame ?max_conns () =
+  Srv.create ?metrics ?max_frame ?max_conns ~read_timeout
+    ~eval:(fun _ _ -> None)
+    ~make_engine:(fun ~on_merge -> Srv.P.create ~shards ~batch ~on_merge ())
+    ()
+
+let dial srv =
+  let c = Conn.connect ~host:"127.0.0.1" ~port:(Srv.port srv) in
+  Conn.set_read_timeout c 5.0;
+  c
+
+let request c req =
+  if not (Conn.send c (Frame.encode_request req)) then
+    Alcotest.fail "send failed";
+  match Conn.recv c with
+  | Error e -> Alcotest.failf "recv: %s" (Conn.recv_error_to_string e)
+  | Ok frame -> (
+      match Frame.decode_response frame with
+      | Ok r -> r
+      | Error e -> Alcotest.failf "decode: %s" (Codec.error_to_string e))
+
+let expect_ack c req =
+  match request c req with
+  | Frame.Ack { accepted; _ } -> accepted
+  | Frame.Err { msg; _ } -> Alcotest.failf "err instead of ack: %s" msg
+  | _ -> Alcotest.fail "not an ack"
+
+(* ------------------------------------------------------------------ *)
+(* Raw protocol against a live server                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_batch_ack () =
+  let srv = start_server () in
+  let c = dial srv in
+  let keys = Array.init 100 (fun i -> i land 15) in
+  check_int "all accepted" 100 (expect_ack c (Frame.Batch keys));
+  check_int "empty batch acked" 0 (expect_ack c (Frame.Batch [||]));
+  (* Total is served from the replication mirror: it can lag the acked
+     count (partial shard batches), but never exceed it — the envelope. *)
+  (match request c (Frame.Query Frame.Total) with
+  | Frame.Result { pairs = [ (0, w) ]; _ } ->
+      check_bool "0 <= total <= acked" true (w >= 0 && w <= 100)
+  | _ -> Alcotest.fail "total did not answer");
+  (* The counter sketch cannot answer Point: a typed refusal, not a hang. *)
+  (match request c (Frame.Query (Frame.Point 3)) with
+  | Frame.Err { code = Frame.Unsupported; _ } -> ()
+  | _ -> Alcotest.fail "Point on counter must be Unsupported");
+  Conn.close c;
+  let stats = Srv.stop srv in
+  check_int "ingested" 100 stats.Srv.ingested;
+  check_int "shed" 0 stats.Srv.shed;
+  (* Conservation after drain: everything acked is published. *)
+  let est = Srv.P.stats (Srv.engine srv) in
+  check_int "published = ingested" 100 est.Srv.P.published
+
+let test_server_unknown_kind_over_wire () =
+  let srv = start_server () in
+  let c = dial srv in
+  check_int "warmup" 4 (expect_ack c (Frame.Batch [| 1; 2; 3; 4 |]));
+  let foreign = Codec.encode ~kind:77 (fun w -> Codec.u8 w 1) in
+  check_bool "send foreign" true (Conn.send c foreign);
+  (match Conn.recv c with
+  | Ok frame -> (
+      match Frame.decode_response frame with
+      | Ok (Frame.Err { code = Frame.Unsupported; _ }) -> ()
+      | Ok _ -> Alcotest.fail "foreign kind must be Err Unsupported"
+      | Error e -> Alcotest.failf "decode: %s" (Codec.error_to_string e))
+  | Error e -> Alcotest.failf "no error response: %s" (Conn.recv_error_to_string e));
+  (* After a framing error the stream is reset. *)
+  (match Conn.recv c with
+  | Error `Eof -> ()
+  | Error `Timeout -> Alcotest.fail "connection not reset"
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unexpected frame after reset");
+  Conn.close c;
+  let stats = Srv.stop srv in
+  check_bool "decode error counted" true (stats.Srv.decode_errors >= 1);
+  check_int "warmup batch survived" 4
+    (Srv.P.stats (Srv.engine srv)).Srv.P.published
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial peers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Every hostile move ends in a clean reset; the proof that no handler
+   domain leaked or deadlocked is that a well-behaved client still gets
+   served afterwards and [Srv.stop] (which joins every domain) returns. *)
+
+let raw_dial srv =
+  let c = Conn.connect ~host:"127.0.0.1" ~port:(Srv.port srv) in
+  Conn.set_read_timeout c 2.0;
+  c
+
+let send_raw c bytes = ignore (Conn.send c bytes)
+
+let expect_err_malformed c what =
+  match Conn.recv c with
+  | Ok frame -> (
+      match Frame.decode_response frame with
+      | Ok (Frame.Err { code = Frame.Malformed; _ }) -> ()
+      | Ok r ->
+          Alcotest.failf "%s: expected Err Malformed, got %s" what
+            (match r with
+            | Frame.Ack _ -> "Ack"
+            | Frame.Result _ -> "Result"
+            | Frame.Err { code; _ } -> Frame.err_code_to_string code)
+      | Error e -> Alcotest.failf "%s: decode: %s" what (Codec.error_to_string e))
+  | Error e ->
+      Alcotest.failf "%s: expected a response, got %s" what
+        (Conn.recv_error_to_string e)
+
+let expect_reset c what =
+  match Conn.recv c with
+  | Error (`Eof | `Bad_header) -> ()
+  | Error `Timeout -> Alcotest.failf "%s: connection not reset" what
+  | Error (`Oversized _) -> ()
+  | Ok _ -> Alcotest.failf "%s: unexpected frame after reset" what
+
+let test_adversarial_peers () =
+  (* Short server-side read timeout so the slow-loris case resolves fast;
+     small max_frame so the oversized case is cheap to build. *)
+  let srv = start_server ~read_timeout:0.4 ~max_frame:4096 () in
+  let good = Frame.encode_request (Frame.Batch [| 1; 2; 3; 4; 5 |]) in
+
+  (* 1. Truncated frame then FIN: server sees EOF mid-frame, resets. *)
+  let c = raw_dial srv in
+  ignore (Unix.write (Conn.fd c) good 0 10);
+  Conn.close c;
+
+  (* 2. Bit-flipped payload: checksum mismatch, answered Err Malformed,
+     then reset. *)
+  let c = raw_dial srv in
+  let flipped = Bytes.copy good in
+  let off = Codec.header_size + 1 in
+  Bytes.set flipped off (Char.chr (Char.code (Bytes.get flipped off) lxor 0x40));
+  send_raw c flipped;
+  expect_err_malformed c "bit flip";
+  expect_reset c "bit flip";
+  Conn.close c;
+
+  (* 3. Oversized declared length: a real frame bigger than the server's
+     cap is refused before its payload is slurped. *)
+  let c = raw_dial srv in
+  let big = Frame.encode_request (Frame.Batch (Array.init 5000 (fun i -> i))) in
+  check_bool "big frame exceeds cap" true
+    (Bytes.length big - Codec.header_size > 4096);
+  send_raw c big;
+  expect_err_malformed c "oversized";
+  expect_reset c "oversized";
+  Conn.close c;
+
+  (* 3b. A forged header declaring 64 MiB with no payload behind it: the
+     cap must trip on the declared length alone. *)
+  let c = raw_dial srv in
+  let forged = Bytes.copy (Bytes.sub good 0 Codec.header_size) in
+  Bytes.set_int32_be forged 6 (Int32.of_int (64 * 1024 * 1024));
+  send_raw c forged;
+  expect_err_malformed c "forged length";
+  Conn.close c;
+
+  (* 4. Slow loris: a few header bytes, then silence. The server's read
+     timeout fires and the connection is reset without a response. *)
+  let c = raw_dial srv in
+  ignore (Unix.write (Conn.fd c) good 0 5);
+  expect_reset c "slow loris";
+  Conn.close c;
+
+  (* 5. Abrupt disconnect mid-batch: half a frame, then hard close. *)
+  let c = raw_dial srv in
+  ignore (Unix.write (Conn.fd c) good 0 (Bytes.length good / 2));
+  Unix.close (Conn.fd c);
+
+  (* 6. Stream desync: bytes that are not an IVLW header at all. *)
+  let c = raw_dial srv in
+  send_raw c (Bytes.of_string "GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+  expect_err_malformed c "desync";
+  expect_reset c "desync";
+  Conn.close c;
+
+  (* The server survived all of it: a good client still gets served and
+     ingestion still conserves. *)
+  let c = dial srv in
+  check_int "post-adversarial ack" 5 (expect_ack c (Frame.Batch [| 9; 9; 9; 9; 9 |]));
+  Conn.close c;
+  let stats = Srv.stop srv in
+  check_bool "decode errors counted" true (stats.Srv.decode_errors >= 3);
+  check_int "only the good batch ingested" 5 stats.Srv.ingested;
+  check_int "published = ingested" 5
+    (Srv.P.stats (Srv.engine srv)).Srv.P.published
+
+(* ------------------------------------------------------------------ *)
+(* Batching client                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_client_roundtrip () =
+  let srv = start_server () in
+  let cli =
+    Net.Client.create ~conns:2 ~batch:16 ~flush_age:0.01 ~host:"127.0.0.1"
+      ~port:(Srv.port srv) ()
+  in
+  for i = 1 to 1000 do
+    check_bool "push accepted" true (Net.Client.push cli (i land 31))
+  done;
+  Net.Client.flush cli;
+  let cs = Net.Client.stats cli in
+  check_int "pushed" 1000 cs.Net.Client.pushed;
+  check_int "acked" 1000 cs.Net.Client.acked;
+  check_int "client shed" 0 cs.Net.Client.shed;
+  check_int "client errors" 0 cs.Net.Client.errors;
+  (* The query path shares the protocol but not the sender conns. *)
+  (match Net.Client.query cli Frame.Total with
+  | Ok (Frame.Result { pairs = [ (0, w) ]; _ }) ->
+      check_bool "total within envelope" true (w >= 0 && w <= 1000)
+  | Ok _ -> Alcotest.fail "total did not answer"
+  | Error e -> Alcotest.failf "query: %s" e);
+  Net.Client.close cli;
+  ignore (Srv.stop srv);
+  check_int "published = acked after drain" 1000
+    (Srv.P.stats (Srv.engine srv)).Srv.P.published
+
+let test_client_dead_server () =
+  (* A client aimed at a dead port must shed, not hang: every delivery
+     fails, retries run out, flush/close still return. *)
+  let dead_port =
+    (* Grab an ephemeral port and release it so nothing listens there. *)
+    let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let p =
+      match Unix.getsockname s with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    in
+    Unix.close s;
+    p
+  in
+  let cli =
+    Net.Client.create ~conns:1 ~batch:8 ~flush_age:0.005 ~retries:1
+      ~overflow:Net.Client.Shed ~host:"127.0.0.1" ~port:dead_port ()
+  in
+  for i = 1 to 50 do
+    ignore (Net.Client.push cli i)
+  done;
+  Net.Client.close cli;
+  let cs = Net.Client.stats cli in
+  check_int "nothing acked" 0 cs.Net.Client.acked;
+  check_bool "sheds counted" true (cs.Net.Client.shed > 0);
+  check_bool "errors counted" true (cs.Net.Client.errors > 0);
+  check_bool "push after close is refused" true (not (Net.Client.push cli 1))
+
+(* Satellite: the driver's sink seam. The default engine sink and the
+   client sink implement the same signature; a bare Sink.make fills the
+   optional operations with safe defaults. *)
+let test_sink_seam () =
+  let got = ref 0 and flushed = ref 0 in
+  let sink =
+    Workload.Sink.make
+      ~flush:(fun () -> incr flushed)
+      ~ingest:(fun _ -> incr got; true)
+      ()
+  in
+  check_bool "ingest" true (sink.Workload.Sink.ingest 1);
+  (* try_ingest defaults to the blocking path... *)
+  check_bool "try_ingest default" true (sink.Workload.Sink.try_ingest 2);
+  (* ...and query/close default to no-ops. *)
+  sink.Workload.Sink.query 3;
+  sink.Workload.Sink.close ();
+  sink.Workload.Sink.flush ();
+  check_int "both ingests landed" 2 !got;
+  check_int "flush ran" 1 !flushed
+
+(* ------------------------------------------------------------------ *)
+(* Follower replica                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_replica_convergence () =
+  let srv = start_server ~shards:2 ~batch:4 () in
+  let c = dial srv in
+  (* Some history before the follower exists, so its seed snapshot is
+     non-trivial and the handshake race (delta <= seed epoch) is live. *)
+  check_int "pre-subscribe batch" 40
+    (expect_ack c (Frame.Batch (Array.init 40 (fun i -> i land 7))));
+  let rep =
+    Rep.connect ~read_timeout:0.5 ~host:"127.0.0.1" ~port:(Srv.port srv) ()
+  in
+  (* Stream more while the follower is live, sampling the envelope: the
+     follower's published weight must never exceed the leader's (leader
+     sampled second — it can only have grown in between). *)
+  let violations = ref 0 in
+  for round = 1 to 25 do
+    check_int "mid-stream batch" 8
+      (expect_ack c (Frame.Batch (Array.init 8 (fun i -> (round + i) land 7))));
+    let f = Rep.published rep in
+    let l = (Srv.P.stats (Srv.engine srv)).Srv.P.published in
+    if f > l then incr violations
+  done;
+  check_int "follower never leads leader" 0 !violations;
+  Conn.close c;
+  (* stop = drain + final fan-out + subscriber close + joins: after it the
+     follower must converge exactly. *)
+  ignore (Srv.stop srv);
+  let est = Srv.P.stats (Srv.engine srv) in
+  check_int "leader conserved" 240 est.Srv.P.published;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec settle () =
+    let rs = Rep.stats rep in
+    if rs.Rep.published = est.Srv.P.published && rs.Rep.epoch = est.Srv.P.epoch
+    then rs
+    else if Unix.gettimeofday () > deadline then rs
+    else (
+      Unix.sleepf 0.01;
+      settle ())
+  in
+  let rs = settle () in
+  check_int "exact published convergence" est.Srv.P.published rs.Rep.published;
+  check_int "exact epoch convergence" est.Srv.P.epoch rs.Rep.epoch;
+  check_bool "follower applied deltas" true (rs.Rep.deltas > 0);
+  (* Bit-for-bit: the follower's folded state encodes to the same blob as
+     the leader's global sketch. *)
+  let leader_blob, _, _ = Srv.P.snapshot (Srv.engine srv) in
+  (match Rep.query rep MC.encode with
+  | Some (follower_blob, _) ->
+      check_bool "encoded states identical" true
+        (Bytes.equal leader_blob follower_blob)
+  | None -> Alcotest.fail "follower never seeded");
+  Rep.close rep
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: the served soak                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* ISSUE 7's end-to-end bar: Workload.Driver over a real socket, >= 1M ops
+   total, >= 4 concurrent client connections, a live follower inside the
+   envelope throughout, exact leader/follower equality after drain, and
+   the per-connection obs series visible in a scrape. *)
+let test_served_soak () =
+  let reg = Obs.Registry.create () in
+  let srv =
+    Srv.create ~metrics:reg ~read_timeout:10.0
+      ~eval:(fun _ _ -> None)
+      ~make_engine:(fun ~on_merge ->
+        Srv.P.create ~shards:4 ~batch:512 ~on_merge ())
+      ()
+  in
+  let cli =
+    Net.Client.create ~metrics:reg ~conns:4 ~batch:256 ~flush_age:0.05
+      ~host:"127.0.0.1" ~port:(Srv.port srv) ()
+  in
+  let rep =
+    Rep.connect ~read_timeout:0.5 ~host:"127.0.0.1" ~port:(Srv.port srv) ()
+  in
+  (* An envelope sampler races the whole run. *)
+  let stop_sampling = Atomic.make false in
+  let violations = Atomic.make 0 in
+  let samples = Atomic.make 0 in
+  let sampler =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop_sampling) do
+          let f = Rep.published rep in
+          let l = (Srv.P.stats (Srv.engine srv)).Srv.P.published in
+          if f > l then Atomic.incr violations;
+          Atomic.incr samples;
+          Unix.sleepf 0.002
+        done)
+  in
+  let spec =
+    Workload.Trace.default_spec ~seed:0x1517L ~ops:1_000_000 ~universe:8192 ()
+  in
+  let ops = Workload.Trace.materialize spec in
+  let report =
+    Workload.Driver.run ~feeders:2 ~metrics:reg
+      ~make_sink:(fun ~feeder:_ -> Net.Client.sink cli)
+      ~spec ~ops ()
+  in
+  Net.Client.flush cli;
+  Atomic.set stop_sampling true;
+  Domain.join sampler;
+  let cs = Net.Client.stats cli in
+  check_bool "soak pushed >= 900k updates" true
+    (cs.Net.Client.pushed >= 900_000);
+  check_int "driver accepted = client pushed" report.Workload.Driver.accepted
+    cs.Net.Client.pushed;
+  check_int "no transport errors on loopback" 0 cs.Net.Client.errors;
+  check_int "exact ack count" cs.Net.Client.pushed cs.Net.Client.acked;
+  check_bool "envelope sampled" true (Atomic.get samples > 10);
+  check_int "follower never led leader" 0 (Atomic.get violations);
+  Net.Client.close cli;
+  let stats = Srv.stop srv in
+  check_bool ">= 4 concurrent connections" true (stats.Srv.conns >= 4);
+  let est = Srv.P.stats (Srv.engine srv) in
+  check_int "conservation: published = acked" cs.Net.Client.acked
+    est.Srv.P.published;
+  (* Exact convergence after the drain. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec settle () =
+    let rs = Rep.stats rep in
+    if rs.Rep.published = est.Srv.P.published then rs
+    else if Unix.gettimeofday () > deadline then rs
+    else (
+      Unix.sleepf 0.01;
+      settle ())
+  in
+  let rs = settle () in
+  check_int "follower converged exactly" est.Srv.P.published rs.Rep.published;
+  Rep.close rep;
+  (* The scrape shows the per-connection series: at least the 4 sender
+     connections plus the subscriber, each labelled conn="<id>". *)
+  let snap = Obs.Registry.snapshot reg in
+  let conn_labels =
+    List.filter_map
+      (fun s ->
+        if s.Obs.Snapshot.name = "net_frames_in_total" then
+          List.assoc_opt "conn" s.Obs.Snapshot.labels
+        else None)
+      snap.Obs.Snapshot.samples
+    |> List.sort_uniq compare
+  in
+  check_bool ">= 5 per-connection series" true (List.length conn_labels >= 5);
+  check_int "aggregate ingest series" cs.Net.Client.acked
+    (Obs.Snapshot.counter_value snap "net_ingested_total");
+  check_int "client series" cs.Net.Client.acked
+    (Obs.Snapshot.counter_value snap "client_acked_total");
+  check_bool "driver series" true
+    (Obs.Snapshot.counter_value snap "driver_issued_total" >= 1_000_000)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "push roundtrip" `Quick test_push_roundtrip;
+          Alcotest.test_case "schema validation" `Quick
+            test_frame_schema_validation;
+          Alcotest.test_case "unknown kind" `Quick test_unknown_kind;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "batch/ack/query" `Quick test_server_batch_ack;
+          Alcotest.test_case "unknown kind over wire" `Quick
+            test_server_unknown_kind_over_wire;
+          Alcotest.test_case "adversarial peers" `Quick test_adversarial_peers;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "batched roundtrip" `Quick test_client_roundtrip;
+          Alcotest.test_case "dead server sheds" `Quick test_client_dead_server;
+          Alcotest.test_case "sink seam" `Quick test_sink_seam;
+        ] );
+      ( "replica",
+        [
+          Alcotest.test_case "envelope and exact convergence" `Quick
+            test_replica_convergence;
+        ] );
+      ( "soak",
+        [ Alcotest.test_case "served soak 1M ops" `Quick test_served_soak ] );
+    ]
