@@ -1864,6 +1864,19 @@ let write_bench_soak path (cfg : Workload.Soak.config) ~total_ops
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* A soak is a self-contained crash/recover chain: start from a clean
+   durable directory so round 0's oracle and the engine agree on zero. *)
+let clear_soak_dir dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then begin
+      Printf.eprintf "soak: %s exists and is not a directory\n" dir;
+      exit 2
+    end;
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)
+  end
+
 let soak_run trace_file ops universe seed dir shards feeders rounds kills chaos
     tear bench_out =
   let module S = Workload.Soak in
@@ -1887,17 +1900,7 @@ let soak_run trace_file ops universe seed dir shards feeders rounds kills chaos
         Printf.eprintf "soak: unknown --chaos %s (expected none or kill)\n" other;
         exit 2
   in
-  (* A soak is a self-contained crash/recover chain: start from a clean
-     durable directory so round 0's oracle and the engine agree on zero. *)
-  if Sys.file_exists dir then begin
-    if not (Sys.is_directory dir) then begin
-      Printf.eprintf "soak: %s exists and is not a directory\n" dir;
-      exit 2
-    end;
-    Array.iter
-      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
-      (Sys.readdir dir)
-  end;
+  clear_soak_dir dir;
   let base = S.default_config ~dir in
   let cfg =
     {
@@ -1917,68 +1920,8 @@ let soak_run trace_file ops universe seed dir shards feeders rounds kills chaos
   | None -> ());
   if v.S.pass then 0 else 1
 
-let soak_cmd =
-  let trace_file =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace" ] ~docv:"FILE"
-          ~doc:"replay this trace file instead of generating one")
-  in
-  let ops =
-    Arg.(
-      value & opt int 200_000
-      & info [ "ops" ] ~doc:"total generated operations (ignored with --trace)")
-  in
-  let universe =
-    Arg.(
-      value & opt int 8192
-      & info [ "universe" ] ~doc:"key universe of the generated trace")
-  in
-  let seed = Arg.(value & opt int64 0x1517L & info [ "seed" ] ~doc:"trace seed") in
-  let dir =
-    Arg.(
-      value & opt string "_soak"
-      & info [ "dir" ] ~docv:"DIR"
-          ~doc:"durable WAL + checkpoint directory (cleared before the run)")
-  in
-  let shards = Arg.(value & opt int 4 & info [ "shards" ] ~doc:"shard worker domains") in
-  let feeders = Arg.(value & opt int 2 & info [ "feeders" ] ~doc:"driver feeder domains") in
-  let rounds =
-    Arg.(
-      value & opt int 4
-      & info [ "rounds" ] ~doc:"engine incarnations (rounds - 1 crash/recover cycles)")
-  in
-  let kills =
-    Arg.(value & opt int 2 & info [ "kills" ] ~doc:"chaos kills per round (at most shards)")
-  in
-  let chaos =
-    Arg.(
-      value & opt string "kill"
-      & info [ "chaos" ] ~doc:"none (no fault injection) or kill (shard worker kills)")
-  in
-  let tear =
-    Arg.(
-      value & opt bool true
-      & info [ "tear-tail" ]
-          ~doc:"tear the WAL tail mid-frame between rounds (crash during append)")
-  in
-  let bench_out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "bench-out" ] ~docv:"FILE"
-          ~doc:"also write verdict counters and percentiles as a BENCH json")
-  in
-  Cmd.v
-    (Cmd.info "soak"
-       ~doc:
-         "Full-system chaos soak: drive a phased trace through the WAL-backed \
-          pipeline across crash/recover rounds and emit an end-to-end IVL \
-          PASS/FAIL verdict")
-    Term.(
-      const soak_run $ trace_file $ ops $ universe $ seed $ dir $ shards $ feeders
-      $ rounds $ kills $ chaos $ tear $ bench_out)
+(* soak_cmd is built after the net tier below: `soak --served` needs the
+   sketch dispatch (servable_of) and Net.Soak. *)
 
 (* ------------------------------ net tier ------------------------------ *)
 
@@ -2069,7 +2012,7 @@ let serve_run sketch host port shards batch max_conns read_timeout duration
       let base = ref 0 in
       let srv =
         Srv.create ~host ~port ~max_conns ~read_timeout ~metrics:reg
-          ~eval:SV.eval
+          ?dedup_dir:wal_dir ~eval:SV.eval
           ~make_engine:(fun ~on_merge ->
             let initial =
               match wal_dir with
@@ -2123,8 +2066,11 @@ let serve_run sketch host port shards batch max_conns read_timeout duration
          decode errors\n"
         st.Srv.conns st.Srv.subscribers st.Srv.frames_in st.Srv.frames_out
         st.Srv.decode_errors;
-      Printf.printf "serve: %d batches, %d ingested, %d shed, %d queries\n"
-        st.Srv.batches st.Srv.ingested st.Srv.shed st.Srv.queries;
+      Printf.printf
+        "serve: %d batches, %d ingested, %d shed, %d queries, %d sessions, %d \
+         duplicate batches suppressed\n"
+        st.Srv.batches st.Srv.ingested st.Srv.shed st.Srv.queries
+        st.Srv.sessions st.Srv.duplicates;
       (* After a clean drain every accepted key is merged exactly once, so
          published weight must equal the recovered base plus this run's
          accepted ingests — the leader-side conservation verdict. *)
@@ -2197,33 +2143,40 @@ let client_run host port trace_file ops universe seed feeders conns batch
   let cs = Net.Client.stats cl in
   Net.Client.close cl;
   Printf.printf
-    "client: pushed %d, acked %d, sent %d, shed %d, errors %d, reconnects %d\n"
+    "client: pushed %d, acked %d, sent %d, shed %d, errors %d, reconnects %d, \
+     %d duplicate acks suppressed server-side\n"
     cs.Net.Client.pushed cs.Net.Client.acked cs.Net.Client.sent
-    cs.Net.Client.shed cs.Net.Client.errors cs.Net.Client.reconnects;
+    cs.Net.Client.shed cs.Net.Client.errors cs.Net.Client.reconnects
+    cs.Net.Client.duplicates_suppressed;
   match t with
   | None ->
       Printf.printf "client: envelope FAIL (leader answered no total)\n";
       1
-  | Some t when cs.Net.Client.errors > 0 ->
-      (* retries make delivery at-least-once: acked is no longer exact, so
-         the envelope claim is unverifiable rather than violated *)
+  | Some t when cs.Net.Client.exhausted > 0 ->
+      (* a batch that ran out of retries has unknown fate (it may have been
+         applied before the connection died), so acked is no longer exact —
+         the envelope claim is unverifiable rather than violated. Transport
+         errors alone no longer cost exactness: the session/seq dedup window
+         makes retried batches ack-but-not-reapply. *)
       Printf.printf
-        "client: envelope SKIP (total %d; %d transport errors made acked \
-         inexact)\n"
-        t cs.Net.Client.errors;
+        "client: envelope SKIP (total %d; %d keys exhausted retries, fate \
+         unknown)\n"
+        t cs.Net.Client.exhausted;
       0
   | Some t ->
       let lag = cs.Net.Client.acked - t in
       let pass = lag >= 0 && lag <= slack in
       Printf.printf
-        "client: envelope %s (total %d, acked %d, lag %d, slack %d)\n"
+        "client: envelope %s (total %d, acked %d, lag %d, slack %d, %d dup \
+         acks)\n"
         (if pass then "PASS" else "FAIL")
-        t cs.Net.Client.acked lag slack;
+        t cs.Net.Client.acked lag slack cs.Net.Client.duplicates_suppressed;
       if pass then 0 else 1
 
 let replica_status_string = function
   | `Syncing -> "syncing"
   | `Live -> "live"
+  | `Resyncing msg -> "resyncing: " ^ msg
   | `Broken msg -> "broken: " ^ msg
   | `Closed -> "closed"
 
@@ -2288,9 +2241,9 @@ let replica_run sketch host port seed duration settle =
       R.close r;
       Net.Conn.close qc;
       Printf.printf
-        "replica: %d deltas applied, %d duplicates skipped, epoch %d, \
-         published %d, status %s\n"
-        s.R.deltas s.R.skipped s.R.epoch s.R.published
+        "replica: %d deltas applied, %d duplicates skipped, %d resyncs, \
+         epoch %d, published %d, status %s\n"
+        s.R.deltas s.R.skipped s.R.resyncs s.R.epoch s.R.published
         (replica_status_string s.R.status);
       let env_pass = !samples > 0 && !violations = 0 in
       Printf.printf "replica: envelope %s (%d samples, %d follower-ahead)\n"
@@ -2442,6 +2395,266 @@ let replica_cmd =
           quiescence")
     Term.(
       const replica_run $ sketch $ host $ port $ seed $ duration $ settle)
+
+(* --- soak: round-based (in-process) or served (full tier via proxy) ---- *)
+
+let write_bench_served path (v : Net.Soak.verdict) ~total_ops =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{ \"exp\": \"served-soak\",\n  \"entries\": [\n";
+  let first = ref true in
+  let entry name unit_ value =
+    if not !first then Buffer.add_string buf ",\n";
+    first := false;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "    { \"name\": %S,\n      \"params\": {  },\n      \"unit\": %S,\n   \
+          \   \"reps\": 1,\n      \"mean\": %.17g, \"p50\": %.17g, \"p99\": \
+          %.17g }"
+         name unit_ value value value)
+  in
+  let flag b = if b then 0.0 else 1.0 in
+  (* zero-tolerance gates ("violations" unit in `bench compare`) *)
+  entry "served-soak-conservation-violations" "violations" (flag v.Net.Soak.conservation);
+  entry "served-soak-ack-violations" "violations" (flag v.Net.Soak.ack_envelope);
+  entry "served-soak-replica-violations" "violations" (flag v.Net.Soak.replica_envelope);
+  entry "served-soak-convergence-violations" "violations" (flag v.Net.Soak.convergence);
+  entry "served-soak-exhausted" "violations" (float_of_int v.Net.Soak.exhausted);
+  entry "served-soak-follower-ahead" "violations" (float_of_int v.Net.Soak.follower_ahead);
+  (* informational *)
+  entry "served-soak-restarts" "count" (float_of_int v.Net.Soak.restarts_done);
+  entry "served-soak-partitions" "count" (float_of_int v.Net.Soak.partitions_done);
+  entry "served-soak-resyncs" "count" (float_of_int v.Net.Soak.resyncs);
+  entry "served-soak-duplicates" "count" (float_of_int v.Net.Soak.duplicates_server);
+  entry "served-soak-proxy-resets" "count"
+    (float_of_int v.Net.Soak.proxy.Net.Chaos_proxy.resets);
+  entry "served-soak-total-ops" "count" (float_of_int total_ops);
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let served_soak_run sketch trace_file ops universe seed dir shards conns feeders
+    restarts partitions down_time partition_time latency corrupt reset drop
+    record_trace metrics_out bench_out =
+  match servable_of ~seed sketch with
+  | None ->
+      Printf.eprintf "soak: unknown sketch %s (available: %s)\n" sketch
+        net_sketches;
+      2
+  | Some (module SV) ->
+      let module NS = Net.Soak.Make (SV.M) in
+      let spec, trace =
+        match trace_file with
+        | Some path -> (
+            match Workload.Trace.read ~path with
+            | Ok (spec, t) -> (spec, t)
+            | Error msg ->
+                Printf.eprintf "soak: cannot read trace %s: %s\n" path msg;
+                exit 2)
+        | None ->
+            (* closed loop: the served soak's clock is the fault schedule,
+               not an offered-rate curve *)
+            let spec = Workload.Trace.default_spec ~seed ~ops ~universe () in
+            let spec =
+              {
+                spec with
+                Workload.Trace.phases =
+                  List.map
+                    (fun (p : Workload.Trace.phase) ->
+                      { p with Workload.Trace.rate = Workload.Trace.Unlimited })
+                    spec.Workload.Trace.phases;
+              }
+            in
+            (spec, Workload.Trace.materialize spec)
+      in
+      clear_soak_dir dir;
+      let base = Net.Soak.default_config ~dir in
+      let cfg =
+        {
+          base with
+          Net.Soak.shards;
+          conns;
+          feeders;
+          restarts;
+          partitions;
+          down_time;
+          partition_time;
+          seed;
+          faults =
+            {
+              Net.Chaos_proxy.latency = (0.0, latency);
+              corrupt_prob = corrupt;
+              reset_prob = reset;
+              drop_conn_prob = drop;
+            };
+        }
+      in
+      let reg = Obs.Registry.create () in
+      let v =
+        NS.run
+          ~progress:(fun s -> Printf.printf "%s\n%!" s)
+          ~metrics:reg ?record:record_trace cfg ~spec ~ops:trace ()
+      in
+      print_string (NS.verdict_to_string v);
+      (match metrics_out with
+      | Some path -> write_metrics ~path (Obs.Registry.snapshot reg)
+      | None -> ());
+      (match bench_out with
+      | Some path ->
+          write_bench_served path v ~total_ops:(Workload.Trace.total_ops spec)
+      | None -> ());
+      if v.Net.Soak.pass then 0 else 1
+
+let soak_dispatch served sketch trace_file ops universe seed dir shards feeders
+    rounds kills chaos tear bench_out conns restarts partitions down_time
+    partition_time latency corrupt reset drop record_trace metrics_out =
+  if served then
+    served_soak_run sketch trace_file ops universe seed dir shards conns feeders
+      restarts partitions down_time partition_time latency corrupt reset drop
+      record_trace metrics_out bench_out
+  else
+    soak_run trace_file ops universe seed dir shards feeders rounds kills chaos
+      tear bench_out
+
+let soak_cmd =
+  let served =
+    Arg.(
+      value & flag
+      & info [ "served" ]
+          ~doc:
+            "run the soak through the served tier: TCP server behind a \
+             fault-injecting proxy, batching clients, follower replica, \
+             server kill/WAL-restart cycles")
+  in
+  let sketch =
+    Arg.(
+      value & opt string "counter"
+      & info [ "sketch" ] ~doc:("served-soak sketch: " ^ net_sketches))
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"replay this trace file instead of generating one")
+  in
+  let ops =
+    Arg.(
+      value & opt int 200_000
+      & info [ "ops" ] ~doc:"total generated operations (ignored with --trace)")
+  in
+  let universe =
+    Arg.(
+      value & opt int 8192
+      & info [ "universe" ] ~doc:"key universe of the generated trace")
+  in
+  let seed = Arg.(value & opt int64 0x1517L & info [ "seed" ] ~doc:"trace seed") in
+  let dir =
+    Arg.(
+      value & opt string "_soak"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"durable WAL + checkpoint directory (cleared before the run)")
+  in
+  let shards = Arg.(value & opt int 4 & info [ "shards" ] ~doc:"shard worker domains") in
+  let feeders = Arg.(value & opt int 2 & info [ "feeders" ] ~doc:"driver feeder domains") in
+  let rounds =
+    Arg.(
+      value & opt int 4
+      & info [ "rounds" ] ~doc:"engine incarnations (rounds - 1 crash/recover cycles)")
+  in
+  let kills =
+    Arg.(value & opt int 2 & info [ "kills" ] ~doc:"chaos kills per round (at most shards)")
+  in
+  let chaos =
+    Arg.(
+      value & opt string "kill"
+      & info [ "chaos" ] ~doc:"none (no fault injection) or kill (shard worker kills)")
+  in
+  let tear =
+    Arg.(
+      value & opt bool true
+      & info [ "tear-tail" ]
+          ~doc:"tear the WAL tail mid-frame between rounds (crash during append)")
+  in
+  let bench_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE"
+          ~doc:"also write verdict counters and percentiles as a BENCH json")
+  in
+  let conns =
+    Arg.(
+      value & opt int 2
+      & info [ "conns" ] ~doc:"served: client sender connections")
+  in
+  let restarts =
+    Arg.(
+      value & opt int 2
+      & info [ "restarts" ] ~doc:"served: server kill + WAL-restart cycles")
+  in
+  let partitions =
+    Arg.(
+      value & opt int 1
+      & info [ "partitions" ] ~doc:"served: full network partitions")
+  in
+  let down_time =
+    Arg.(
+      value & opt float 0.3
+      & info [ "down-time" ] ~doc:"served: seconds the server stays dead")
+  in
+  let partition_time =
+    Arg.(
+      value & opt float 0.3
+      & info [ "partition-time" ] ~doc:"served: seconds per partition")
+  in
+  let latency =
+    Arg.(
+      value & opt float 0.002
+      & info [ "latency" ] ~doc:"served: max injected delay per chunk (s)")
+  in
+  let corrupt =
+    Arg.(
+      value & opt float 0.005
+      & info [ "corrupt" ] ~doc:"served: per-chunk bit-flip probability")
+  in
+  let reset =
+    Arg.(
+      value & opt float 0.005
+      & info [ "reset" ] ~doc:"served: per-chunk mid-frame reset probability")
+  in
+  let drop =
+    Arg.(
+      value & opt float 0.02
+      & info [ "drop" ] ~doc:"served: per-dial refusal probability")
+  in
+  let record_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record-trace" ] ~docv:"FILE"
+          ~doc:"served: freeze the driven ops to a replayable trace file")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"served: write the final metrics snapshot")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Full-system chaos soak: drive a phased trace through the WAL-backed \
+          pipeline across crash/recover rounds (or, with --served, through \
+          the whole TCP tier behind a fault-injecting proxy) and emit an \
+          end-to-end IVL PASS/FAIL verdict")
+    Term.(
+      const soak_dispatch $ served $ sketch $ trace_file $ ops $ universe $ seed
+      $ dir $ shards $ feeders $ rounds $ kills $ chaos $ tear $ bench_out
+      $ conns $ restarts $ partitions $ down_time $ partition_time $ latency
+      $ corrupt $ reset $ drop $ record_trace $ metrics_out)
 
 let () =
   let doc = "Intermediate Value Linearizability: checkers, simulators, sketches" in

@@ -5,14 +5,17 @@ type stats = {
   acked : int;
   sent : int;
   shed : int;
+  exhausted : int;
   errors : int;
   reconnects : int;
+  duplicates_suppressed : int;
   queued : int;
 }
 
 type t = {
   host : string;
   port : int;
+  session_base : int64;
   batch : int;
   flush_age : float;
   queue_cap : int;
@@ -34,8 +37,10 @@ type t = {
   c_acked : int Atomic.t;
   c_sent : int Atomic.t;
   c_shed : int Atomic.t;
+  c_exhausted : int Atomic.t;
   c_errors : int Atomic.t;
   c_reconnects : int Atomic.t;
+  c_duplicates : int Atomic.t;
   (* dedicated query connection, serialized *)
   qm : Mutex.t;
   mutable qconn : Conn.t option;
@@ -45,7 +50,16 @@ let poll_interval = 0.0005
 
 (* ------------------------------ senders ------------------------------- *)
 
-type sender_state = { mutable conn : Conn.t option; mutable ever_connected : bool }
+(* Each sender owns a session: a distinct id announced with Hello on every
+   (re)connection, plus a seq counter bumped once per composed batch.
+   Retries resend the same (session, seq), which is what lets the server
+   suppress the re-application when only the ack was lost. *)
+type sender_state = {
+  session : int64;
+  mutable seq : int;
+  mutable conn : Conn.t option;
+  mutable ever_connected : bool;
+}
 
 let drop_conn st =
   match st.conn with
@@ -54,6 +68,17 @@ let drop_conn st =
       st.conn <- None
   | None -> ()
 
+let hello st conn =
+  if not (Conn.send conn (Frame.encode_request (Frame.Hello { session = st.session })))
+  then false
+  else
+    match Conn.recv conn with
+    | Error _ -> false
+    | Ok frame -> (
+        match Frame.decode_response frame with
+        | Ok (Frame.Ack _) -> true
+        | _ -> false)
+
 let ensure_conn t st =
   match st.conn with
   | Some c -> Some c
@@ -61,17 +86,28 @@ let ensure_conn t st =
       match Conn.connect ~host:t.host ~port:t.port with
       | c ->
           Conn.set_read_timeout c t.read_timeout;
-          if st.ever_connected then Atomic.incr t.c_reconnects;
-          st.ever_connected <- true;
-          st.conn <- Some c;
-          Some c
+          if hello st c then begin
+            if st.ever_connected then Atomic.incr t.c_reconnects;
+            st.ever_connected <- true;
+            st.conn <- Some c;
+            Some c
+          end
+          else begin
+            Conn.close c;
+            None
+          end
       | exception _ -> None)
 
-let attempt t st keys =
+let attempt t st ~seq keys =
   match ensure_conn t st with
   | None -> `Transport
   | Some conn ->
-      if not (Conn.send conn (Frame.encode_request (Frame.Batch keys))) then begin
+      if
+        not
+          (Conn.send conn
+             (Frame.encode_request
+                (Frame.Batch { session = st.session; seq; keys })))
+      then begin
         drop_conn st;
         `Transport
       end
@@ -82,7 +118,7 @@ let attempt t st keys =
             `Transport
         | Ok frame -> (
             match Frame.decode_response frame with
-            | Ok (Frame.Ack { accepted; _ }) -> `Acked accepted
+            | Ok (Frame.Ack { accepted; dup; _ }) -> `Acked (accepted, dup)
             | Ok (Frame.Err { code; msg }) ->
                 `Rejected (Frame.err_code_to_string code ^ ": " ^ msg)
             | Ok (Frame.Result _) | Error _ ->
@@ -93,9 +129,13 @@ let attempt t st keys =
 
 let deliver t st keys =
   let n = Array.length keys in
+  (* one seq per composed batch — every retry below reuses it *)
+  let seq = st.seq in
+  st.seq <- st.seq + 1;
   let rec go left backoff =
-    match attempt t st keys with
-    | `Acked k ->
+    match attempt t st ~seq keys with
+    | `Acked (k, dup) ->
+        if dup then Atomic.incr t.c_duplicates;
         ignore (Atomic.fetch_and_add t.c_sent n);
         ignore (Atomic.fetch_and_add t.c_acked k);
         ignore (Atomic.fetch_and_add t.c_shed (n - k))
@@ -110,7 +150,14 @@ let deliver t st keys =
           Unix.sleepf backoff;
           go (left - 1) (Float.min 0.2 (backoff *. 2.0))
         end
-        else ignore (Atomic.fetch_and_add t.c_shed n)
+        else begin
+          ignore (Atomic.fetch_and_add t.c_shed n);
+          (* retry budget gone with the batch's fate unknown: the server
+             may or may not have applied it — the one residual
+             at-least-once hazard, counted so verdicts can refuse to
+             certify a run that hit it *)
+          ignore (Atomic.fetch_and_add t.c_exhausted n)
+        end
   in
   go t.retries 0.005
 
@@ -137,8 +184,13 @@ let take t =
   Mutex.unlock t.m;
   r
 
-let sender_loop t =
-  let st = { conn = None; ever_connected = false } in
+let sender_loop t i =
+  (* base 0L opts the whole client out of dedup: every sender stays 0L *)
+  let session =
+    if Int64.equal t.session_base 0L then 0L
+    else Int64.add t.session_base (Int64.of_int i)
+  in
+  let st = { session; seq = 0; conn = None; ever_connected = false } in
   let rec go () =
     match take t with
     | `Done -> drop_conn st
@@ -253,16 +305,33 @@ let stats t =
     acked = Atomic.get t.c_acked;
     sent = Atomic.get t.c_sent;
     shed = Atomic.get t.c_shed;
+    exhausted = Atomic.get t.c_exhausted;
     errors = Atomic.get t.c_errors;
     reconnects = Atomic.get t.c_reconnects;
+    duplicates_suppressed = Atomic.get t.c_duplicates;
     queued;
   }
 
+(* A session id must be distinct across client processes and nonzero
+   (0L opts out of dedup server-side). Wall clock in microseconds mixed
+   with the pid is distinct enough for a test fleet; callers who need
+   determinism pass [?session]. Each sender gets base + its index. *)
+let default_session_base () =
+  let t = Int64.of_float (Unix.gettimeofday () *. 1e6) in
+  let pid = Int64.of_int (Unix.getpid () land 0xffff) in
+  let base = Int64.logor (Int64.shift_left t 16) pid in
+  if Int64.equal base 0L then 1L else base
+
 let create ?(conns = 1) ?(batch = 256) ?(flush_age = 0.05) ?queue
-    ?(overflow = Block) ?(retries = 3) ?(read_timeout = 10.0) ?metrics ~host
-    ~port () =
+    ?(overflow = Block) ?(retries = 3) ?(read_timeout = 10.0) ?session
+    ?metrics ~host ~port () =
   if conns <= 0 then invalid_arg "Net.Client: conns must be positive";
   if batch <= 0 then invalid_arg "Net.Client: batch must be positive";
+  let session_base =
+    match session with
+    | Some s -> s
+    | None -> default_session_base ()
+  in
   let queue_cap = Option.value queue ~default:(8 * batch) in
   if queue_cap <= 0 then invalid_arg "Net.Client: queue must be positive";
   Conn.ignore_sigpipe ();
@@ -270,6 +339,7 @@ let create ?(conns = 1) ?(batch = 256) ?(flush_age = 0.05) ?queue
     {
       host;
       port;
+      session_base;
       batch;
       flush_age;
       queue_cap;
@@ -289,8 +359,10 @@ let create ?(conns = 1) ?(batch = 256) ?(flush_age = 0.05) ?queue
       c_acked = Atomic.make 0;
       c_sent = Atomic.make 0;
       c_shed = Atomic.make 0;
+      c_exhausted = Atomic.make 0;
       c_errors = Atomic.make 0;
       c_reconnects = Atomic.make 0;
+      c_duplicates = Atomic.make 0;
       qm = Mutex.create ();
       qconn = None;
     }
@@ -309,13 +381,20 @@ let create ?(conns = 1) ?(batch = 256) ?(flush_age = 0.05) ?queue
           Atomic.get t.c_errors);
       c "client_reconnects_total" "Connection re-establishments" (fun () ->
           Atomic.get t.c_reconnects);
+      c "client_duplicates_suppressed_total"
+        "Retried batches the server acked without re-applying" (fun () ->
+          Atomic.get t.c_duplicates);
+      c "client_exhausted_total"
+        "Keys dropped after retry exhaustion (delivery fate unknown)"
+        (fun () -> Atomic.get t.c_exhausted);
       Obs.Registry.gauge_fn reg ~help:"Keys currently buffered"
         "client_queue_depth" (fun () ->
           Mutex.lock t.m;
           let n = Queue.length t.buf in
           Mutex.unlock t.m;
           float_of_int n));
-  t.senders <- Array.init conns (fun _ -> Domain.spawn (fun () -> sender_loop t));
+  t.senders <-
+    Array.init conns (fun i -> Domain.spawn (fun () -> sender_loop t i));
   t
 
 let sink t =

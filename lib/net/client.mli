@@ -12,13 +12,21 @@
     ([Block] — the default, closed-loop behaviour) or sheds the key
     ([Shed] / {!try_push} — open-loop behaviour, counted in {!stats}).
 
-    Delivery is {e at-least-once under retry}: a sender whose connection
-    dies mid-exchange reconnects (bounded attempts, backoff) and resends
-    the batch — the server may have already applied a batch whose ack was
-    lost, so [acked] can undercount and the stream total can overcount by
-    up to one in-flight batch per failure. A batch that exhausts its
-    retries is counted [shed]. On a healthy connection the count is exact,
-    which is what the end-to-end envelope tests assert.
+    Delivery is {e effectively-once}: each sender owns a session id
+    (announced with {!Frame.Hello} on every (re)connection) and numbers
+    its batches with a per-sender seq assigned once per composed batch. A
+    sender whose connection dies mid-exchange reconnects (bounded
+    attempts, backoff) and resends the {e same} [(session, seq)]; the
+    server's dedup window ({!Dedup}) recognises the retry and acks the
+    original accepted count with [dup = true] instead of re-applying — so
+    [acked] stays exact under arbitrary connection drops, and retried
+    batches can never double-count. The one residual hazard is retry
+    {e exhaustion}: a batch dropped after its last failed attempt may or
+    may not have been applied, so its keys are counted in both [shed] and
+    [exhausted] — envelope verdicts require [exhausted = 0] to certify a
+    run. Passing [~session:0L] opts out of dedup entirely (the legacy
+    at-least-once behaviour, kept for the regression test that
+    demonstrates the double-count).
 
     Queries use one dedicated, lazily-(re)connected connection, serialized
     by a mutex — the client is an ingest firehose with an occasional
@@ -33,8 +41,13 @@ type stats = {
   acked : int;  (** keys the server acknowledged *)
   sent : int;  (** keys shipped in batches (acked + rejected remainder) *)
   shed : int;  (** keys dropped: buffer full (Shed) or delivery failed *)
+  exhausted : int;
+      (** keys dropped after retry exhaustion — fate unknown, the only
+          shed class that can break the ack envelope *)
   errors : int;  (** transport/protocol failures observed *)
   reconnects : int;  (** successful re-establishments after a drop *)
+  duplicates_suppressed : int;
+      (** retried batches the server acked without re-applying *)
   queued : int;  (** keys currently buffered *)
 }
 
@@ -46,6 +59,7 @@ val create :
   ?overflow:overflow ->
   ?retries:int ->
   ?read_timeout:float ->
+  ?session:int64 ->
   ?metrics:Obs.Registry.t ->
   host:string ->
   port:int ->
@@ -57,9 +71,14 @@ val create :
     [retries] (default 3) delivery attempts per batch; [read_timeout]
     (default 10 s) bounds each ack/response wait.
 
+    [session] overrides the session id base (sender [i] uses
+    [session + i]); the default mixes wall clock and pid, distinct across
+    processes. [0L] disables dedup (legacy at-least-once).
+
     Senders do not pre-connect: the first batch dials. [metrics] registers
     [client_pushed_total], [client_acked_total], [client_shed_total],
-    [client_errors_total], [client_reconnects_total] and a
+    [client_errors_total], [client_reconnects_total],
+    [client_duplicates_suppressed_total], [client_exhausted_total] and a
     [client_queue_depth] gauge.
 
     @raise Invalid_argument on non-positive [conns]/[batch]/[queue]. *)

@@ -1,12 +1,14 @@
 (* Payload schemas (everything else — magic, version, kind, length,
    checksum — is Wire.Codec's framing):
 
-     net-batch      u32 count, count * i64 keys
+     net-batch      i64 session, i64 seq, u32 count, count * i64 keys
      net-query      u8 tag (0 total | 1 point | 2 quantile | 3 top), arg
      net-reply      u8 tag (0 ack | 1 result | 2 err), body
+                    (ack body: i64 epoch, i64 accepted, u8 dup)
      net-subscribe  i64 from_epoch
      net-delta      u8 tag (0 snapshot | 1 delta), i64 epoch,
                     i64 published/weight, bytes blob
+     net-hello      i64 session
 
    Dispatch on a mixed stream goes through Codec.frame_kind, so a frame
    carrying a kind tag this build has never heard of comes back as
@@ -18,14 +20,15 @@ module Codec = Wire.Codec
 type query = Total | Point of int | Quantile of float | Top of int
 
 type request =
-  | Batch of int array
+  | Batch of { session : int64; seq : int; keys : int array }
   | Query of query
   | Subscribe of { from_epoch : int }
+  | Hello of { session : int64 }
 
 type err_code = Unsupported | Malformed | Overloaded | Internal
 
 type response =
-  | Ack of { epoch : int; accepted : int }
+  | Ack of { epoch : int; accepted : int; dup : bool }
   | Result of { epoch : int; pairs : (int * int) list }
   | Err of { code : err_code; msg : string }
 
@@ -48,8 +51,11 @@ let query_to_string = function
 (* ------------------------------ requests ------------------------------ *)
 
 let encode_request = function
-  | Batch keys ->
+  | Batch { session; seq; keys } ->
+      if seq < 0 then invalid_arg "Net.Frame: negative batch seq";
       Codec.encode ~kind:Codec.net_batch_kind (fun b ->
+          Codec.i64 b session;
+          Codec.int_ b seq;
           Codec.u32 b (Array.length keys);
           Array.iter (fun k -> Codec.int_ b k) keys)
   | Query q ->
@@ -71,10 +77,15 @@ let encode_request = function
   | Subscribe { from_epoch } ->
       Codec.encode ~kind:Codec.net_subscribe_kind (fun b ->
           Codec.int_ b from_epoch)
+  | Hello { session } ->
+      Codec.encode ~kind:Codec.net_hello_kind (fun b -> Codec.i64 b session)
 
 let parse_batch r =
+  let session = Codec.read_i64 r in
+  let seq = Codec.read_int r in
+  if seq < 0 then Codec.corrupt "negative batch seq %d" seq;
   let n = Codec.read_u32 r in
-  Batch (Array.init n (fun _ -> Codec.read_int r))
+  Batch { session; seq; keys = Array.init n (fun _ -> Codec.read_int r) }
 
 let parse_query r =
   match Codec.read_u8 r with
@@ -96,6 +107,8 @@ let parse_subscribe r =
   if from_epoch < 0 then Codec.corrupt "negative from_epoch %d" from_epoch;
   Subscribe { from_epoch }
 
+let parse_hello r = Hello { session = Codec.read_i64 r }
+
 let decode_request bytes =
   match Codec.frame_kind bytes with
   | Error e -> Error e
@@ -103,6 +116,7 @@ let decode_request bytes =
   | Ok k when k = Codec.net_query_kind -> Codec.decode ~kind:k parse_query bytes
   | Ok k when k = Codec.net_subscribe_kind ->
       Codec.decode ~kind:k parse_subscribe bytes
+  | Ok k when k = Codec.net_hello_kind -> Codec.decode ~kind:k parse_hello bytes
   | Ok k ->
       Error
         (Codec.Wrong_kind
@@ -124,11 +138,12 @@ let err_code_of_int = function
   | c -> Codec.corrupt "unknown error code %d" c
 
 let encode_response = function
-  | Ack { epoch; accepted } ->
+  | Ack { epoch; accepted; dup } ->
       Codec.encode ~kind:Codec.net_reply_kind (fun b ->
           Codec.u8 b 0;
           Codec.int_ b epoch;
-          Codec.int_ b accepted)
+          Codec.int_ b accepted;
+          Codec.u8 b (if dup then 1 else 0))
   | Result { epoch; pairs } ->
       Codec.encode ~kind:Codec.net_reply_kind (fun b ->
           Codec.u8 b 1;
@@ -154,7 +169,13 @@ let decode_response bytes =
           let accepted = Codec.read_int r in
           if epoch < 0 || accepted < 0 then
             Codec.corrupt "negative ack fields (%d, %d)" epoch accepted;
-          Ack { epoch; accepted }
+          let dup =
+            match Codec.read_u8 r with
+            | 0 -> false
+            | 1 -> true
+            | d -> Codec.corrupt "ack dup flag %d not 0/1" d
+          in
+          Ack { epoch; accepted; dup }
       | 1 ->
           let epoch = Codec.read_int r in
           if epoch < 0 then Codec.corrupt "negative epoch %d" epoch;

@@ -10,12 +10,21 @@
     with a distinct "unsupported" error instead of a parse failure.
 
     Three frame families share one stream:
-    - {e requests} (client → server): {!Batch} ingest, {!Query}, and the
-      follower's {!Subscribe} handshake;
+    - {e requests} (client → server): the {!Hello} session handshake,
+      {!Batch} ingest, {!Query}, and the follower's {!Subscribe} handshake;
     - {e responses} (server → client): one {!response} frame per request —
-      an {!Ack} for a batch, a {!Result} for a query, an {!Err} otherwise;
+      an {!Ack} for a batch or hello, a {!Result} for a query, an {!Err}
+      otherwise;
     - {e pushes} (leader → follower): a {!Snapshot} seeding the follower,
-      then one {!Delta} per merged epoch, in strict epoch order. *)
+      then one {!Delta} per merged epoch, in strict epoch order.
+
+    Batches carry a [(session, seq)] identity so delivery is
+    {e effectively once}: a sender announces its session with {!Hello},
+    numbers its batches sequentially, and resends the {e same} [(session,
+    seq)] on retry — the server's dedup window ({!Dedup}) then acks a
+    retried batch without re-applying it, with [dup = true] in the
+    {!Ack}. Session [0L] opts out (legacy at-least-once behaviour, kept
+    for the pre-fix regression test). *)
 
 type query =
   | Total  (** Published weight — served from the engine, sketch-agnostic. *)
@@ -24,18 +33,26 @@ type query =
   | Top of int  (** Heaviest [n] keys with counts (space-saving). *)
 
 type request =
-  | Batch of int array  (** Update keys, applied in order. *)
+  | Batch of { session : int64; seq : int; keys : int array }
+      (** Update keys, applied in order. [(session, seq)] identifies the
+          batch across retries; [session = 0L] means no dedup. *)
   | Query of query
   | Subscribe of { from_epoch : int }
       (** Replication handshake. [from_epoch] is reserved (send 0): the
           leader currently always seeds with a full snapshot. *)
+  | Hello of { session : int64 }
+      (** Session handshake: sent once per (re)connection before the first
+          batch, answered with an {!Ack} of [accepted = 0]. Registers the
+          session in the server's dedup window. *)
 
 type err_code = Unsupported | Malformed | Overloaded | Internal
 
 type response =
-  | Ack of { epoch : int; accepted : int }
+  | Ack of { epoch : int; accepted : int; dup : bool }
       (** Batch outcome: [accepted <= Array.length keys]; the difference
-          was shed server-side (dead shard, drained engine). *)
+          was shed server-side (dead shard, drained engine). [dup] means
+          the batch was recognized as a retry and {e not} re-applied —
+          [accepted] then reports the original application's count. *)
   | Result of { epoch : int; pairs : (int * int) list }
       (** Query outcome at a published snapshot: [Total] and [Point k]
           return one pair, [Top n] up to [n] pairs, [Quantile phi] one

@@ -1,43 +1,126 @@
 module Make (M : Pipeline.Mergeable.S) = struct
-  type status = [ `Syncing | `Live | `Broken of string | `Closed ]
+  type status =
+    [ `Syncing | `Live | `Resyncing of string | `Broken of string | `Closed ]
 
   type stats = {
     epoch : int;
     published : int;
     deltas : int;
     skipped : int;
+    resyncs : int;
+    last_break : string option;
     status : status;
   }
 
   type t = {
-    conn : Conn.t;
+    host : string;
+    port : int;
+    read_timeout : float;
     max_frame : int;
+    resync_backoff : float;
+    max_resyncs : int;
     m : Mutex.t;
+    mutable conn : Conn.t option;
     mutable sketch : M.t option;
     mutable epoch : int;
     mutable published : int;
     mutable deltas : int;
     mutable skipped : int;
+    mutable resyncs : int;
+    mutable last_break : string option;
     mutable st : status;
     mutable closing : bool;
     mutable apply_d : unit Domain.t option;
   }
 
-  let broken t msg =
+  let current_conn t =
     Mutex.lock t.m;
-    (match t.st with `Closed -> () | _ -> t.st <- `Broken msg);
-    Mutex.unlock t.m
+    let c = t.conn in
+    Mutex.unlock t.m;
+    c
+
+  (* Dial + subscribe, the whole handshake. The caller decides what a
+     [None] means (first connect raises, resync retries). *)
+  let dial t =
+    match Conn.connect ~host:t.host ~port:t.port with
+    | exception _ -> None
+    | conn ->
+        Conn.set_read_timeout conn t.read_timeout;
+        if
+          Conn.send conn
+            (Frame.encode_request (Frame.Subscribe { from_epoch = 0 }))
+        then Some conn
+        else begin
+          Conn.close conn;
+          None
+        end
+
+  (* Tear the stream down and re-subscribe from scratch. The old sketch is
+     kept queryable meanwhile — during catch-up the replica serves its last
+     applied epoch, which still sits inside the leader's envelope (it can
+     only lag further, never invent weight). Returns [true] once a new
+     subscription is live on the wire (the fresh snapshot then resets the
+     epoch filter), [false] when the replica is done (closed, or out of
+     resync budget → [`Broken]). *)
+  let resync t reason =
+    Mutex.lock t.m;
+    (match t.conn with Some c -> Conn.close c | None -> ());
+    t.conn <- None;
+    t.last_break <- Some reason;
+    if t.closing then begin
+      Mutex.unlock t.m;
+      false
+    end
+    else if t.resyncs >= t.max_resyncs then begin
+      t.st <- `Broken reason;
+      Mutex.unlock t.m;
+      false
+    end
+    else begin
+      t.st <- `Resyncing reason;
+      Mutex.unlock t.m;
+      let rec redial () =
+        if t.closing then false
+        else begin
+          (* pace every attempt, not just failed connects: a refusing
+             middlebox (partition, dead upstream) often accepts the dial
+             and swallows the subscribe before resetting, so a completed
+             handshake send is no proof the stream is healthy — without
+             this the break-redial cycle spins at wire speed *)
+          Unix.sleepf t.resync_backoff;
+          if t.closing then false
+          else
+            match dial t with
+            | None -> redial ()
+              | Some conn ->
+                Mutex.lock t.m;
+                if t.closing then begin
+                  Mutex.unlock t.m;
+                  Conn.close conn;
+                  false
+                end
+                else begin
+                  t.conn <- Some conn;
+                  t.resyncs <- t.resyncs + 1;
+                  Mutex.unlock t.m;
+                  true
+                end
+        end
+      in
+      redial ()
+    end
 
   let apply_snapshot t ~epoch ~published ~blob =
     match M.decode blob with
-    | Error e -> broken t ("snapshot decode: " ^ Wire.Codec.error_to_string e)
+    | Error e -> Error ("snapshot decode: " ^ Wire.Codec.error_to_string e)
     | Ok sk ->
         Mutex.lock t.m;
         t.sketch <- Some sk;
         t.epoch <- epoch;
         t.published <- published;
         t.st <- `Live;
-        Mutex.unlock t.m
+        Mutex.unlock t.m;
+        Ok ()
 
   (* The epoch filter: exactly-next applies, older duplicates (state the
      seed snapshot already contains) are skipped, anything else is a gap —
@@ -56,13 +139,12 @@ module Make (M : Pipeline.Mergeable.S) = struct
     | _ -> ());
     Mutex.unlock t.m;
     match verdict with
-    | `Skip -> ()
+    | `Skip -> Ok ()
     | `Gap ->
-        broken t
-          (Printf.sprintf "epoch gap: got %d at local %d" epoch t.epoch)
+        Error (Printf.sprintf "epoch gap: got %d at local %d" epoch t.epoch)
     | `Apply sk -> (
         match M.decode blob with
-        | Error e -> broken t ("delta decode: " ^ Wire.Codec.error_to_string e)
+        | Error e -> Error ("delta decode: " ^ Wire.Codec.error_to_string e)
         | Ok delta ->
             let merged = M.merge sk delta in
             Mutex.lock t.m;
@@ -70,60 +152,34 @@ module Make (M : Pipeline.Mergeable.S) = struct
             t.epoch <- epoch;
             t.published <- t.published + weight;
             t.deltas <- t.deltas + 1;
-            Mutex.unlock t.m)
+            Mutex.unlock t.m;
+            Ok ())
 
-  let live_or_syncing t =
-    Mutex.lock t.m;
-    let r = match t.st with `Syncing | `Live -> true | _ -> false in
-    Mutex.unlock t.m;
-    r
-
-  let apply_loop t =
-    let rec go () =
-      if live_or_syncing t && not t.closing then
-        match Conn.recv ~max_frame:t.max_frame t.conn with
-        | Error `Timeout -> go () (* idle leader: keep waiting *)
-        | Error e ->
-            if not t.closing then broken t (Conn.recv_error_to_string e);
-            ()
-        | Ok frame -> (
-            match Frame.decode_push frame with
-            | Error e -> broken t (Wire.Codec.error_to_string e)
-            | Ok (Frame.Snapshot { epoch; published; blob }) ->
-                apply_snapshot t ~epoch ~published ~blob;
-                go ()
-            | Ok (Frame.Delta { epoch; weight; blob }) ->
-                apply_delta t ~epoch ~weight ~blob;
-                go ())
-    in
-    go ()
-
-  let connect ?(read_timeout = 1.0) ?(max_frame = Conn.default_max_frame)
-      ~host ~port () =
-    let conn = Conn.connect ~host ~port in
-    Conn.set_read_timeout conn read_timeout;
-    let t =
-      {
-        conn;
-        max_frame;
-        m = Mutex.create ();
-        sketch = None;
-        epoch = -1;
-        published = 0;
-        deltas = 0;
-        skipped = 0;
-        st = `Syncing;
-        closing = false;
-        apply_d = None;
-      }
-    in
-    if not (Conn.send conn (Frame.encode_request (Frame.Subscribe { from_epoch = 0 })))
-    then begin
-      Conn.close conn;
-      broken t "subscribe handshake failed"
-    end
-    else t.apply_d <- Some (Domain.spawn (fun () -> apply_loop t));
-    t
+  (* Every failure funnels into [resync]: transport errors, decode
+     failures, epoch gaps. The loop only exits on close or when the resync
+     budget marks the stream [`Broken]. *)
+  let rec apply_loop t =
+    if not t.closing then
+      match current_conn t with
+      | None -> if resync t "no connection" then apply_loop t
+      | Some conn -> (
+          match Conn.recv ~max_frame:t.max_frame conn with
+          | Error `Timeout -> apply_loop t (* idle leader: keep waiting *)
+          | Error e ->
+              if (not t.closing) && resync t (Conn.recv_error_to_string e)
+              then apply_loop t
+          | Ok frame -> (
+              match Frame.decode_push frame with
+              | Error e ->
+                  if resync t (Wire.Codec.error_to_string e) then apply_loop t
+              | Ok (Frame.Snapshot { epoch; published; blob }) -> (
+                  match apply_snapshot t ~epoch ~published ~blob with
+                  | Ok () -> apply_loop t
+                  | Error msg -> if resync t msg then apply_loop t)
+              | Ok (Frame.Delta { epoch; weight; blob }) -> (
+                  match apply_delta t ~epoch ~weight ~blob with
+                  | Ok () -> apply_loop t
+                  | Error msg -> if resync t msg then apply_loop t)))
 
   let query t f =
     Mutex.lock t.m;
@@ -143,6 +199,8 @@ module Make (M : Pipeline.Mergeable.S) = struct
         published = t.published;
         deltas = t.deltas;
         skipped = t.skipped;
+        resyncs = t.resyncs;
+        last_break = t.last_break;
         status = t.st;
       }
     in
@@ -152,6 +210,66 @@ module Make (M : Pipeline.Mergeable.S) = struct
   let published t = (stats t).published
   let epoch t = (stats t).epoch
   let status t = (stats t).status
+
+  let status_code = function
+    | `Syncing -> 0.
+    | `Live -> 1.
+    | `Resyncing _ -> 2.
+    | `Broken _ -> 3.
+    | `Closed -> 4.
+
+  let connect ?(read_timeout = 1.0) ?(max_frame = Conn.default_max_frame)
+      ?(resync_backoff = 0.05) ?max_resyncs ?metrics ~host ~port () =
+    let conn = Conn.connect ~host ~port in
+    Conn.set_read_timeout conn read_timeout;
+    let t =
+      {
+        host;
+        port;
+        read_timeout;
+        max_frame;
+        resync_backoff;
+        max_resyncs = Option.value max_resyncs ~default:max_int;
+        m = Mutex.create ();
+        conn = Some conn;
+        sketch = None;
+        epoch = -1;
+        published = 0;
+        deltas = 0;
+        skipped = 0;
+        resyncs = 0;
+        last_break = None;
+        st = `Syncing;
+        closing = false;
+        apply_d = None;
+      }
+    in
+    if not (Conn.send conn (Frame.encode_request (Frame.Subscribe { from_epoch = 0 })))
+    then begin
+      (* the apply domain's resync path picks the handshake back up *)
+      Conn.close conn;
+      t.conn <- None
+    end;
+    (match metrics with
+    | None -> ()
+    | Some reg ->
+        let c name help f = Obs.Registry.counter_fn reg ~help name f in
+        c "replica_resyncs_total" "Stream re-subscriptions after a break"
+          (fun () -> (stats t).resyncs);
+        c "replica_deltas_total" "Epoch deltas applied" (fun () ->
+            (stats t).deltas);
+        c "replica_skipped_total" "Duplicate epochs skipped" (fun () ->
+            (stats t).skipped);
+        let g name help f = Obs.Registry.gauge_fn reg ~help name f in
+        g "replica_epoch" "Last applied epoch" (fun () ->
+            float_of_int (stats t).epoch);
+        g "replica_published" "Replicated published weight" (fun () ->
+            float_of_int (stats t).published);
+        g "replica_status"
+          "0 syncing, 1 live, 2 resyncing, 3 broken, 4 closed" (fun () ->
+            status_code (stats t).status));
+    t.apply_d <- Some (Domain.spawn (fun () -> apply_loop t));
+    t
 
   let wait_epoch ?(timeout = 10.0) t e =
     let deadline = Unix.gettimeofday () +. timeout in
@@ -170,9 +288,12 @@ module Make (M : Pipeline.Mergeable.S) = struct
     go ()
 
   let close t =
-    if not t.closing then begin
-      t.closing <- true;
-      Conn.close t.conn;
+    Mutex.lock t.m;
+    let already = t.closing in
+    t.closing <- true;
+    (match t.conn with Some c -> Conn.close c | None -> ());
+    Mutex.unlock t.m;
+    if not already then begin
       (match t.apply_d with Some d -> Domain.join d | None -> ());
       t.apply_d <- None;
       Mutex.lock t.m;

@@ -1,5 +1,6 @@
 (** Follower replica: subscribes to a leader's merge stream and rebuilds
-    its published sketch, epoch by epoch.
+    its published sketch, epoch by epoch — and {e re}-subscribes, from
+    scratch, whenever the stream breaks.
 
     Replication is a direct cash-out of the merge algebra the pipeline is
     built on: the leader's published state at epoch [e] {e is}
@@ -12,16 +13,24 @@
     its published total always equals the leader's published total {e at
     some recent epoch}, so every follower answer sits inside the leader's
     IVL envelope (the follower can only lag, never invent weight — the
-    Theorem-6-style bound the end-to-end tests assert).
+    Theorem-6-style bound the end-to-end tests assert). Self-healing
+    preserves exactly this: during [`Resyncing] the replica keeps serving
+    its last applied state, which still lags the leader, and the fresh
+    snapshot then jumps it forward to the leader's current prefix.
 
     {2 Stream discipline}
 
     The epoch filter makes the handshake race-free: a delta is applied iff
     its epoch is exactly [local + 1]; epochs [<= local] are duplicates of
     state already inside the seed snapshot (skipped, counted); a gap means
-    the leader dropped this subscriber (bounded queue overflow) and the
-    stream is {!status} [`Broken] — re-subscribing from scratch is the only
-    sound continuation, silently resuming would undercount forever. *)
+    the leader dropped this subscriber (bounded queue overflow) or
+    restarted underneath it. Any break — transport error, decode failure,
+    epoch gap — transitions to [`Resyncing]: the connection is torn down
+    and the replica redials with backoff until a new {!Frame.Subscribe}
+    handshake lands, taking a fresh seed snapshot (whose epoch resets the
+    filter). Only exhausting [max_resyncs] makes the stream [`Broken];
+    silently resuming after a gap would undercount forever, so that is the
+    one thing the replica never does. *)
 
 module Make (M : Pipeline.Mergeable.S) : sig
   type t
@@ -29,7 +38,9 @@ module Make (M : Pipeline.Mergeable.S) : sig
   type status =
     [ `Syncing  (** connected, snapshot not yet applied *)
     | `Live  (** snapshot applied; deltas streaming *)
-    | `Broken of string  (** gap/decode/transport failure: stream unsound *)
+    | `Resyncing of string
+      (** stream broke (the reason); redialing, last state still served *)
+    | `Broken of string  (** resync budget exhausted: stream unsound *)
     | `Closed ]
 
   type stats = {
@@ -37,20 +48,41 @@ module Make (M : Pipeline.Mergeable.S) : sig
     published : int;  (** follower's replica of the leader's published weight *)
     deltas : int;  (** deltas applied *)
     skipped : int;  (** duplicate epochs skipped (handshake overlap) *)
+    resyncs : int;  (** successful re-subscriptions after a break *)
+    last_break : string option;  (** reason for the most recent break *)
     status : status;
   }
 
   val connect :
-    ?read_timeout:float -> ?max_frame:int -> host:string -> port:int -> unit -> t
+    ?read_timeout:float ->
+    ?max_frame:int ->
+    ?resync_backoff:float ->
+    ?max_resyncs:int ->
+    ?metrics:Obs.Registry.t ->
+    host:string ->
+    port:int ->
+    unit ->
+    t
   (** Dial the leader, send {!Frame.Subscribe}, and spawn the apply domain.
       [read_timeout] (default 1 s) paces the apply loop's receive wait — an
-      idle leader just means quiet patience, not failure.
-      @raise Unix.Unix_error if the dial itself fails. *)
+      idle leader just means quiet patience, not failure. [resync_backoff]
+      (default 50 ms) spaces redial attempts while [`Resyncing];
+      [max_resyncs] (default unbounded) caps how many breaks are healed
+      before the stream is declared [`Broken].
+
+      [metrics] registers [replica_resyncs_total], [replica_deltas_total],
+      [replica_skipped_total] and [replica_epoch], [replica_published],
+      [replica_status] gauges (status encoded 0 syncing / 1 live /
+      2 resyncing / 3 broken / 4 closed).
+
+      @raise Unix.Unix_error if the first dial itself fails (later breaks
+      self-heal instead). *)
 
   val query : t -> (M.t -> 'a) -> ('a * int) option
   (** Run [f] on the replica sketch under the replica mutex; the epoch
-      identifies the leader prefix it reflects. [None] until the snapshot
-      has been applied (or after [`Broken]). *)
+      identifies the leader prefix it reflects. [None] until the first
+      snapshot has been applied. During [`Resyncing] this serves the last
+      applied state — stale but still inside the leader's envelope. *)
 
   val published : t -> int
   val epoch : t -> int
@@ -58,10 +90,11 @@ module Make (M : Pipeline.Mergeable.S) : sig
   val status : t -> status
 
   val wait_epoch : ?timeout:float -> t -> int -> bool
-  (** Block (polling) until the replica has applied epoch [>= e] — the
+  (** Block (polling) until the replica is [`Live] at epoch [>= e] — the
       convergence barrier: after the leader drains at epoch [e], a [true]
       return means the follower holds the leader's exact final state.
-      [false] on timeout (default 10 s) or a non-live stream. *)
+      Keeps waiting through [`Syncing]/[`Resyncing]; [false] on timeout
+      (default 10 s), [`Broken] or [`Closed]. *)
 
   val close : t -> unit
   (** Reset the connection and join the apply domain. Idempotent. The

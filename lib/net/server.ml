@@ -19,6 +19,8 @@ module Make (M : Pipeline.Mergeable.S) = struct
     ingested : int;
     shed : int;
     queries : int;
+    sessions : int;
+    duplicates : int;
   }
 
   type t = {
@@ -52,6 +54,7 @@ module Make (M : Pipeline.Mergeable.S) = struct
     rep_epoch : int ref;
     rep_published : int ref;
     subs : sub list ref;
+    dedup : Dedup.t;
     c_conns : int Atomic.t;
     c_decode_errors : int Atomic.t;
     c_batches : int Atomic.t;
@@ -87,6 +90,7 @@ module Make (M : Pipeline.Mergeable.S) = struct
     Mutex.lock t.rep_m;
     let subscribers = List.length !(t.subs) in
     Mutex.unlock t.rep_m;
+    let ds = Dedup.stats t.dedup in
     {
       conns = Atomic.get t.c_conns;
       active;
@@ -100,6 +104,8 @@ module Make (M : Pipeline.Mergeable.S) = struct
       ingested = Atomic.get t.c_ingested;
       shed = Atomic.get t.c_shed;
       queries = Atomic.get t.c_queries;
+      sessions = ds.Dedup.sessions;
+      duplicates = ds.Dedup.duplicates;
     }
 
   (* ------------------------- request handling ------------------------- *)
@@ -107,16 +113,34 @@ module Make (M : Pipeline.Mergeable.S) = struct
   let send_err conn code msg =
     ignore (Conn.send conn (Frame.encode_response (Frame.Err { code; msg })))
 
-  let handle_batch t conn keys =
+  (* Effectively-once: classify the batch against the dedup window BEFORE
+     any key touches the engine. A duplicate is acked (with the original
+     accepted count) but never re-applied; a fresh batch is journaled
+     first, applied, then its actual accepted count recorded so an
+     in-incarnation retry's ack stays exact. *)
+  let handle_batch t conn ~session ~seq keys =
     Atomic.incr t.c_batches;
-    let accepted = ref 0 in
-    Array.iter (fun k -> if P.ingest t.eng k then incr accepted) keys;
-    let shed = Array.length keys - !accepted in
-    ignore (Atomic.fetch_and_add t.c_ingested !accepted);
-    ignore (Atomic.fetch_and_add t.c_shed shed);
+    match Dedup.begin_batch t.dedup ~session ~seq ~count:(Array.length keys) with
+    | Dedup.Duplicate k ->
+        Conn.send conn
+          (Frame.encode_response
+             (Frame.Ack { epoch = P.epoch t.eng; accepted = k; dup = true }))
+    | Dedup.Fresh ->
+        let accepted = ref 0 in
+        Array.iter (fun k -> if P.ingest t.eng k then incr accepted) keys;
+        let shed = Array.length keys - !accepted in
+        ignore (Atomic.fetch_and_add t.c_ingested !accepted);
+        ignore (Atomic.fetch_and_add t.c_shed shed);
+        Dedup.record t.dedup ~session ~seq ~accepted:!accepted;
+        Conn.send conn
+          (Frame.encode_response
+             (Frame.Ack { epoch = P.epoch t.eng; accepted = !accepted; dup = false }))
+
+  let handle_hello t conn ~session =
+    Dedup.register t.dedup ~session;
     Conn.send conn
       (Frame.encode_response
-         (Frame.Ack { epoch = P.epoch t.eng; accepted = !accepted }))
+         (Frame.Ack { epoch = P.epoch t.eng; accepted = 0; dup = false }))
 
   let handle_query t conn q =
     Atomic.incr t.c_queries;
@@ -200,8 +224,11 @@ module Make (M : Pipeline.Mergeable.S) = struct
               Atomic.incr t.c_decode_errors;
               send_err conn Frame.Malformed (Codec.error_to_string e);
               continue := false
-          | Ok (Frame.Batch keys) ->
-              if not (handle_batch t conn keys) then continue := false
+          | Ok (Frame.Batch { session; seq; keys }) ->
+              if not (handle_batch t conn ~session ~seq keys) then
+                continue := false
+          | Ok (Frame.Hello { session }) ->
+              if not (handle_hello t conn ~session) then continue := false
           | Ok (Frame.Query q) ->
               if not (handle_query t conn q) then continue := false
           | Ok (Frame.Subscribe _) ->
@@ -291,7 +318,8 @@ module Make (M : Pipeline.Mergeable.S) = struct
 
   let create ?(host = "127.0.0.1") ?(port = 0) ?(max_conns = 32)
       ?(max_frame = Conn.default_max_frame) ?(read_timeout = 30.0)
-      ?(sub_queue = 1024) ?metrics ~eval ~make_engine () =
+      ?(sub_queue = 1024) ?(dedup_window = 128) ?(dedup_sessions = 1024)
+      ?dedup_dir ?metrics ~eval ~make_engine () =
     if max_conns <= 0 then invalid_arg "Net.Server: max_conns must be positive";
     Conn.ignore_sigpipe ();
     let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -345,6 +373,10 @@ module Make (M : Pipeline.Mergeable.S) = struct
     end
     else if !rep_epoch >= 0 && !rep_published < p0 then rep_published := p0;
     Mutex.unlock rep_m;
+    let dedup =
+      Dedup.create ~window:dedup_window ~max_sessions:dedup_sessions
+        ?dir:dedup_dir ()
+    in
     let t =
       {
         eng;
@@ -367,6 +399,7 @@ module Make (M : Pipeline.Mergeable.S) = struct
         rep_epoch;
         rep_published;
         subs;
+        dedup;
         c_conns = Atomic.make 0;
         c_decode_errors = Atomic.make 0;
         c_batches = Atomic.make 0;
@@ -403,6 +436,11 @@ module Make (M : Pipeline.Mergeable.S) = struct
             Atomic.get t.c_shed);
         c "net_queries_total" "Query requests served" (fun () ->
             Atomic.get t.c_queries);
+        c "net_duplicates_suppressed_total"
+          "Retried batches acked without re-application" (fun () ->
+            (Dedup.stats t.dedup).Dedup.duplicates);
+        g "net_sessions" "Sessions in the dedup window" (fun () ->
+            float_of_int (Dedup.stats t.dedup).Dedup.sessions);
         g "net_conns_active" "Currently-open connections" (fun () ->
             Mutex.lock t.conns_m;
             let n = Hashtbl.length t.conns in
@@ -443,7 +481,8 @@ module Make (M : Pipeline.Mergeable.S) = struct
       t.handler_ds <- [];
       Mutex.unlock t.hm;
       List.iter (fun (d, _) -> Domain.join d) hs;
-      (try Unix.close t.lsock with _ -> ())
+      (try Unix.close t.lsock with _ -> ());
+      Dedup.close t.dedup
     end;
     stats t
 end

@@ -12,7 +12,13 @@
     {2 Protocol position}
 
     Each handler owns one connection at a time and speaks {!Frame}:
-    - {!Frame.Batch} → every key is a blocking [Engine.ingest] (TCP is the
+    - {!Frame.Hello} → registers the sender's session in the dedup window
+      ({!Dedup}), answered with a zero {!Frame.Ack};
+    - {!Frame.Batch} → classified against the dedup window first: a
+      duplicate [(session, seq)] is acked with its original accepted count
+      and [dup = true] but {e never} re-applied (effectively-once
+      ingestion — retried batches cannot double-count); a fresh batch is
+      journaled, then every key is a blocking [Engine.ingest] (TCP is the
       backpressure channel: a full shard queue stalls the handler, which
       stalls the client's sender), answered with an {!Frame.Ack} carrying
       the accepted count;
@@ -66,6 +72,8 @@ module Make (M : Pipeline.Mergeable.S) : sig
     ingested : int;  (** keys accepted into the engine *)
     shed : int;  (** keys the engine refused (dead shard, drained) *)
     queries : int;
+    sessions : int;  (** live sessions in the dedup window *)
+    duplicates : int;  (** retried batches acked without re-application *)
   }
 
   val create :
@@ -75,6 +83,9 @@ module Make (M : Pipeline.Mergeable.S) : sig
     ?max_frame:int ->
     ?read_timeout:float ->
     ?sub_queue:int ->
+    ?dedup_window:int ->
+    ?dedup_sessions:int ->
+    ?dedup_dir:string ->
     ?metrics:Obs.Registry.t ->
     eval:(M.t -> Frame.query -> (int * int) list option) ->
     make_engine:
@@ -101,9 +112,15 @@ module Make (M : Pipeline.Mergeable.S) : sig
       caps declared payload lengths. [sub_queue] (default 1024) bounds each
       subscriber's delta queue.
 
+      [dedup_window] (default 128) and [dedup_sessions] (default 1024)
+      bound the per-session dedup window ({!Dedup}); [dedup_dir] persists
+      the session journal so retries that span a restart stay suppressed —
+      point it at the WAL directory.
+
       [metrics] registers [net_conns_total], [net_conns_active],
       [net_subscribers], [net_decode_errors_total], [net_batches_total],
-      [net_ingested_total], [net_shed_total], [net_queries_total], a
+      [net_ingested_total], [net_shed_total], [net_queries_total],
+      [net_duplicates_suppressed_total], [net_sessions], a
       [net_query_seconds] timer, and per-connection
       [net_{bytes,frames}_{in,out}_total] labelled [conn="id"]. *)
 

@@ -1,0 +1,104 @@
+(** Served chaos soak: the whole tier — {!Server}, {!Client}, {!Replica} —
+    exercised through a {!Chaos_proxy} while the server is stopped and
+    WAL-restarted mid-trace.
+
+    One run drives a workload trace through batching clients into a served
+    pipeline, with a follower replica subscribed alongside, and everything
+    crossing a fault-injecting proxy (latency, bit flips, mid-frame
+    resets, refused dials, full partitions). An orchestrator stops the
+    server at chosen points in the stream, lets it sit dead, and restarts
+    it from its WAL on a fresh port; the proxy's upstream callback routes
+    reconnecting clients and the resyncing replica to the new incarnation.
+
+    Four verdicts certify the run ({!verdict}): {e conservation} (each
+    incarnation publishes exactly its recovered base plus accepted
+    ingests, and each recovery resumes exactly at the previous final),
+    {e ack envelope} (no retry exhaustion, and the client's acked total
+    brackets published weight within the restart allowance — the
+    effectively-once guarantee observed from outside), {e replica
+    envelope} (the follower never leads the leader, across every fault
+    and resync), and {e convergence} (after quiescing, the follower holds
+    the leader's exact epoch, published weight and bit-for-bit encoded
+    sketch). *)
+
+type config = {
+  dir : string;  (** WAL + checkpoint + dedup-journal directory *)
+  shards : int;
+  batch : int;  (** engine micro-batch *)
+  conns : int;  (** client sender connections *)
+  feeders : int;
+  client_batch : int;
+  retries : int;
+      (** per-batch delivery attempts — size against [down_time] and
+          [partition_time]: a batch must outlive the longest outage *)
+  restarts : int;  (** server kill + WAL-restart cycles *)
+  down_time : float;  (** seconds the server stays dead per restart *)
+  partitions : int;  (** full network partitions *)
+  partition_time : float;
+  faults : Chaos_proxy.faults;  (** steady-state wire faults *)
+  seed : int64;
+  settle : float;  (** timeout for the final convergence barrier *)
+}
+
+val default_config : dir:string -> config
+(** 4 shards, 2 sender conns, 2 restarts, 1 partition, mild wire faults
+    (sub-ms latency, 0.5% corruption/reset, 2% refused dials). *)
+
+type verdict = {
+  pass : bool;
+  reasons : string list;  (** empty iff [pass] *)
+  conservation : bool;
+  ack_envelope : bool;
+  replica_envelope : bool;
+  convergence : bool;
+  restarts_done : int;
+  partitions_done : int;
+  published : int;  (** leader's final published weight *)
+  final_epoch : int;
+  acked : int;
+  ack_allowance : int;  (** [restarts * conns * client_batch] *)
+  duplicates_client : int;  (** dup acks the client observed *)
+  duplicates_server : int;  (** batches the dedup window suppressed *)
+  exhausted : int;  (** keys lost to retry exhaustion (0 required) *)
+  resyncs : int;  (** replica re-subscriptions *)
+  follower_ahead : int;  (** samples where the follower led (0 required) *)
+  samples : int;  (** staleness-envelope samples taken *)
+  client : Client.stats;
+  proxy : Chaos_proxy.stats;
+  driver : Workload.Driver.report;
+  wall : float;
+}
+
+val shape_universe : Workload.Trace.shape -> int
+val total_updates : Workload.Scenario.op array array -> int
+
+module Make (M : Pipeline.Mergeable.S) : sig
+  val run :
+    ?progress:(string -> unit) ->
+    ?metrics:Obs.Registry.t ->
+    ?record:string ->
+    config ->
+    spec:Workload.Trace.spec ->
+    ops:Workload.Scenario.op array array ->
+    unit ->
+    verdict
+  (** Run the soak. [c.dir] should start empty (the first incarnation
+      recovers nothing); it accumulates WAL segments, checkpoints and the
+      dedup journal across incarnations. [metrics] collects every
+      component's series in one registry — server metrics re-register
+      across incarnations (callback registration replaces), and
+      [replica_resyncs_total] is the scrape the acceptance gate reads.
+      [record] freezes the driven operations to a replayable trace file
+      ({!Workload.Trace} [Recorded] phases, closed-loop rate) — the
+      incident-capture path.
+
+      Restart and partition events fire at even fractions of the trace's
+      update volume (watched via the client's acked counter), leftovers
+      firing after the driver completes — the configured counts always
+      happen. *)
+
+  val verdict_to_string : verdict -> string
+  (** The four [served-soak: <name> PASS|FAIL (...)] verdict lines, a
+      traffic summary, any failure reasons, and the overall
+      [served-soak: PASS|FAIL] line — what the CLI prints and CI greps. *)
+end

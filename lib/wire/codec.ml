@@ -51,6 +51,8 @@ let net_query_kind = 12
 let net_reply_kind = 13
 let net_subscribe_kind = 14
 let net_delta_kind = 15
+let net_hello_kind = 16
+let net_session_kind = 17
 
 let kind_name = function
   | 1 -> "countmin"
@@ -68,9 +70,11 @@ let kind_name = function
   | 13 -> "net-reply"
   | 14 -> "net-subscribe"
   | 15 -> "net-delta"
+  | 16 -> "net-hello"
+  | 17 -> "net-session"
   | k -> Printf.sprintf "unknown(%d)" k
 
-let known_kind k = k >= 1 && k <= 15
+let known_kind k = k >= 1 && k <= 17
 
 let corrupt fmt = Printf.ksprintf (fun msg -> raise (Decode_error (Corrupt msg))) fmt
 

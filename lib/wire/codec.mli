@@ -87,6 +87,15 @@ val net_delta_kind : int
 (** A leader-to-follower replication push: snapshot or merged epoch delta
     ([Net.Frame]). *)
 
+val net_hello_kind : int
+(** A sender's session handshake: announces the session id its batch
+    sequence numbers belong to ([Net.Frame]). *)
+
+val net_session_kind : int
+(** A server-side session-journal record: one applied (session, seq,
+    count) triple, persisted so the dedup window survives a WAL restart
+    ([Net.Dedup]). *)
+
 val kind_name : int -> string
 
 val known_kind : int -> bool

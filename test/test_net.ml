@@ -9,7 +9,13 @@
      must end in a clean error/reset with the server still serving);
    - the full system (batching client + follower replica): the follower
      never leads the leader (the IVL envelope), and after the leader's
-     drain the two are bit-for-bit equal. *)
+     drain the two are bit-for-bit equal;
+   - the hostile system: the effectively-once dedup window (regression
+     first: the sessionless double-count it kills), the fault-injecting
+     chaos proxy, the replica's self-healing resync, and the served chaos
+     soak — kills, partitions and wire faults, with the four IVL verdicts
+     (conservation, ack envelope, replica envelope, convergence) still
+     exact. *)
 
 module Codec = Wire.Codec
 module Frame = Net.Frame
@@ -20,6 +26,10 @@ module Rep = Net.Replica.Make (MC)
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
+
+(* Session 0L opts out of dedup — the legacy wire shape most protocol
+   tests want; effectively-once tests pass a real session explicitly. *)
+let batch ?(session = 0L) ?(seq = 0) keys = Frame.Batch { session; seq; keys }
 
 (* ------------------------------------------------------------------ *)
 (* Frame vocabulary                                                    *)
@@ -41,15 +51,30 @@ let roundtrip_push p =
   | Error e -> Alcotest.failf "push decode: %s" (Codec.error_to_string e)
 
 let test_request_roundtrip () =
-  (match roundtrip_request (Frame.Batch [| 1; 2; 3; 1000000; 0 |]) with
-  | Frame.Batch ks ->
+  (match roundtrip_request (batch [| 1; 2; 3; 1000000; 0 |]) with
+  | Frame.Batch { keys = ks; session; seq } ->
       check_int "batch len" 5 (Array.length ks);
       check_int "batch last" 0 ks.(4);
-      check_int "batch big" 1000000 ks.(3)
+      check_int "batch big" 1000000 ks.(3);
+      check_bool "legacy session" true (Int64.equal session 0L);
+      check_int "legacy seq" 0 seq
   | _ -> Alcotest.fail "not a batch");
-  (match roundtrip_request (Frame.Batch [||]) with
-  | Frame.Batch ks -> check_int "empty batch" 0 (Array.length ks)
+  (match roundtrip_request (batch [||]) with
+  | Frame.Batch { keys = ks; _ } -> check_int "empty batch" 0 (Array.length ks)
   | _ -> Alcotest.fail "not a batch");
+  (* The effectively-once fields survive the wire, extremes included. *)
+  (match
+     roundtrip_request (batch ~session:Int64.max_int ~seq:max_int [| 7 |])
+   with
+  | Frame.Batch { session; seq; keys } ->
+      check_bool "session" true (Int64.equal session Int64.max_int);
+      check_int "seq" max_int seq;
+      check_int "keys" 7 keys.(0)
+  | _ -> Alcotest.fail "not a sessioned batch");
+  (match roundtrip_request (Frame.Hello { session = 0xDEADBEEFL }) with
+  | Frame.Hello { session } ->
+      check_bool "hello session" true (Int64.equal session 0xDEADBEEFL)
+  | _ -> Alcotest.fail "not a hello");
   (match roundtrip_request (Frame.Query Frame.Total) with
   | Frame.Query Frame.Total -> ()
   | _ -> Alcotest.fail "not Total");
@@ -68,9 +93,17 @@ let test_request_roundtrip () =
   | _ -> Alcotest.fail "not Subscribe"
 
 let test_response_roundtrip () =
-  (match roundtrip_response (Frame.Ack { epoch = 7; accepted = 123 }) with
-  | Frame.Ack { epoch = 7; accepted = 123 } -> ()
+  (match
+     roundtrip_response (Frame.Ack { epoch = 7; accepted = 123; dup = false })
+   with
+  | Frame.Ack { epoch = 7; accepted = 123; dup = false } -> ()
   | _ -> Alcotest.fail "not the ack");
+  (* The dup marker — a retried batch's ack — survives the wire. *)
+  (match
+     roundtrip_response (Frame.Ack { epoch = 2; accepted = 64; dup = true })
+   with
+  | Frame.Ack { epoch = 2; accepted = 64; dup = true } -> ()
+  | _ -> Alcotest.fail "not the dup ack");
   (match
      roundtrip_response
        (Frame.Result { epoch = 3; pairs = [ (1, 10); (2, 20); (3, 30) ] })
@@ -104,7 +137,7 @@ let test_frame_schema_validation () =
      kind: Wrong_kind, not Unknown_kind. *)
   (match
      Frame.decode_request
-       (Frame.encode_response (Frame.Ack { epoch = 0; accepted = 0 }))
+       (Frame.encode_response (Frame.Ack { epoch = 0; accepted = 0; dup = false }))
    with
   | Error (Codec.Wrong_kind _) -> ()
   | Ok _ -> Alcotest.fail "response decoded as request"
@@ -124,7 +157,7 @@ let test_frame_schema_validation () =
   | Error (Codec.Corrupt _) -> ()
   | _ -> Alcotest.fail "tag 9 accepted");
   (* Negative batch count cannot be encoded, but a truncated batch can. *)
-  let good = Frame.encode_request (Frame.Batch [| 1; 2; 3 |]) in
+  let good = Frame.encode_request (batch [| 1; 2; 3 |]) in
   let cut = Bytes.sub good 0 (Bytes.length good - 1) in
   match Frame.decode_request cut with
   | Error (Codec.Truncated _) -> ()
@@ -193,8 +226,8 @@ let test_server_batch_ack () =
   let srv = start_server () in
   let c = dial srv in
   let keys = Array.init 100 (fun i -> i land 15) in
-  check_int "all accepted" 100 (expect_ack c (Frame.Batch keys));
-  check_int "empty batch acked" 0 (expect_ack c (Frame.Batch [||]));
+  check_int "all accepted" 100 (expect_ack c (batch keys));
+  check_int "empty batch acked" 0 (expect_ack c (batch [||]));
   (* Total is served from the replication mirror: it can lag the acked
      count (partial shard batches), but never exceed it — the envelope. *)
   (match request c (Frame.Query Frame.Total) with
@@ -216,7 +249,7 @@ let test_server_batch_ack () =
 let test_server_unknown_kind_over_wire () =
   let srv = start_server () in
   let c = dial srv in
-  check_int "warmup" 4 (expect_ack c (Frame.Batch [| 1; 2; 3; 4 |]));
+  check_int "warmup" 4 (expect_ack c (batch [| 1; 2; 3; 4 |]));
   let foreign = Codec.encode ~kind:77 (fun w -> Codec.u8 w 1) in
   check_bool "send foreign" true (Conn.send c foreign);
   (match Conn.recv c with
@@ -280,7 +313,7 @@ let test_adversarial_peers () =
   (* Short server-side read timeout so the slow-loris case resolves fast;
      small max_frame so the oversized case is cheap to build. *)
   let srv = start_server ~read_timeout:0.4 ~max_frame:4096 () in
-  let good = Frame.encode_request (Frame.Batch [| 1; 2; 3; 4; 5 |]) in
+  let good = Frame.encode_request (batch [| 1; 2; 3; 4; 5 |]) in
 
   (* 1. Truncated frame then FIN: server sees EOF mid-frame, resets. *)
   let c = raw_dial srv in
@@ -301,7 +334,7 @@ let test_adversarial_peers () =
   (* 3. Oversized declared length: a real frame bigger than the server's
      cap is refused before its payload is slurped. *)
   let c = raw_dial srv in
-  let big = Frame.encode_request (Frame.Batch (Array.init 5000 (fun i -> i))) in
+  let big = Frame.encode_request (batch (Array.init 5000 (fun i -> i))) in
   check_bool "big frame exceeds cap" true
     (Bytes.length big - Codec.header_size > 4096);
   send_raw c big;
@@ -340,7 +373,7 @@ let test_adversarial_peers () =
   (* The server survived all of it: a good client still gets served and
      ingestion still conserves. *)
   let c = dial srv in
-  check_int "post-adversarial ack" 5 (expect_ack c (Frame.Batch [| 9; 9; 9; 9; 9 |]));
+  check_int "post-adversarial ack" 5 (expect_ack c (batch [| 9; 9; 9; 9; 9 |]));
   Conn.close c;
   let stats = Srv.stop srv in
   check_bool "decode errors counted" true (stats.Srv.decode_errors >= 3);
@@ -438,7 +471,7 @@ let test_replica_convergence () =
   (* Some history before the follower exists, so its seed snapshot is
      non-trivial and the handshake race (delta <= seed epoch) is live. *)
   check_int "pre-subscribe batch" 40
-    (expect_ack c (Frame.Batch (Array.init 40 (fun i -> i land 7))));
+    (expect_ack c (batch (Array.init 40 (fun i -> i land 7))));
   let rep =
     Rep.connect ~read_timeout:0.5 ~host:"127.0.0.1" ~port:(Srv.port srv) ()
   in
@@ -448,7 +481,7 @@ let test_replica_convergence () =
   let violations = ref 0 in
   for round = 1 to 25 do
     check_int "mid-stream batch" 8
-      (expect_ack c (Frame.Batch (Array.init 8 (fun i -> (round + i) land 7))));
+      (expect_ack c (batch (Array.init 8 (fun i -> (round + i) land 7))));
     let f = Rep.published rep in
     let l = (Srv.P.stats (Srv.engine srv)).Srv.P.published in
     if f > l then incr violations
@@ -483,6 +516,393 @@ let test_replica_convergence () =
         (Bytes.equal leader_blob follower_blob)
   | None -> Alcotest.fail "follower never seeded");
   Rep.close rep
+
+(* ------------------------------------------------------------------ *)
+(* Effectively-once ingestion                                          *)
+(* ------------------------------------------------------------------ *)
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ivl-test-net-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let rm_rf d =
+  if Sys.file_exists d then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    Unix.rmdir d
+  end
+
+let expect_ack_dup c req =
+  match request c req with
+  | Frame.Ack { accepted; dup; _ } -> (accepted, dup)
+  | Frame.Err { msg; _ } -> Alcotest.failf "err instead of ack: %s" msg
+  | _ -> Alcotest.fail "not an ack"
+
+(* Satellite (regression first): the at-least-once double-count. A sender
+   whose ack is lost after the server applied the batch must retry — and a
+   server with no dedup window cannot tell the retry from new data, so the
+   retried batch is applied twice and conservation (published = Σ acked,
+   counting each logical batch once) breaks. Session 0L is exactly that
+   pre-fix server; the same exchange under a real session is the fix. *)
+let test_at_least_once_double_count () =
+  (* The break, demonstrated: sessionless retry doubles published. *)
+  let srv = start_server () in
+  let c = dial srv in
+  let keys = Array.init 32 (fun i -> i land 7) in
+  check_int "applied" 32 (expect_ack c (batch keys));
+  (* the ack was "lost": the producer retries the identical batch *)
+  check_int "retry re-applied" 32 (expect_ack c (batch keys));
+  Conn.close c;
+  ignore (Srv.stop srv);
+  check_int "double-counted: published = 2x the logical batch" 64
+    (Srv.P.stats (Srv.engine srv)).Srv.P.published;
+  (* The fix: the same lost-ack retry under a session is acked with the
+     original count, dup = true, and never re-applied. *)
+  let srv = start_server () in
+  let c = dial srv in
+  check_int "hello acked" 0 (expect_ack c (Frame.Hello { session = 42L }));
+  let sb = batch ~session:42L ~seq:0 keys in
+  (match expect_ack_dup c sb with
+  | 32, false -> ()
+  | k, d -> Alcotest.failf "first send: accepted %d dup %b" k d);
+  (match expect_ack_dup c sb with
+  | 32, true -> ()
+  | k, d -> Alcotest.failf "retry: accepted %d dup %b (must be 32, true)" k d);
+  (* a fresh seq from the same session still flows *)
+  (match expect_ack_dup c (batch ~session:42L ~seq:1 keys) with
+  | 32, false -> ()
+  | k, d -> Alcotest.failf "next seq: accepted %d dup %b" k d);
+  Conn.close c;
+  let stats = Srv.stop srv in
+  check_int "one batch suppressed" 1 stats.Srv.duplicates;
+  check_bool "session tracked" true (stats.Srv.sessions >= 1);
+  check_int "published counts each logical batch once" 64
+    (Srv.P.stats (Srv.engine srv)).Srv.P.published
+
+let test_dedup_window () =
+  let d = Net.Dedup.create ~window:4 () in
+  Net.Dedup.register d ~session:7L;
+  (match Net.Dedup.begin_batch d ~session:7L ~seq:0 ~count:10 with
+  | Net.Dedup.Fresh -> ()
+  | Net.Dedup.Duplicate _ -> Alcotest.fail "seq 0 must be fresh");
+  (* record overwrites the provisional claimed count with the engine's
+     actual accepted count, so an in-window duplicate ack is exact *)
+  Net.Dedup.record d ~session:7L ~seq:0 ~accepted:9;
+  (match Net.Dedup.begin_batch d ~session:7L ~seq:0 ~count:10 with
+  | Net.Dedup.Duplicate 9 -> ()
+  | Net.Dedup.Duplicate k -> Alcotest.failf "exact dup count: got %d" k
+  | Net.Dedup.Fresh -> Alcotest.fail "seq 0 retried must be duplicate");
+  for s = 1 to 6 do
+    match Net.Dedup.begin_batch d ~session:7L ~seq:s ~count:1 with
+    | Net.Dedup.Fresh -> Net.Dedup.record d ~session:7L ~seq:s ~accepted:1
+    | Net.Dedup.Duplicate _ -> Alcotest.failf "seq %d must be fresh" s
+  done;
+  (* seq 0 has left the 4-slot ring but sits under the high-water mark:
+     still a duplicate (seqs are emitted in order), answered with the
+     retry's claimed count *)
+  (match Net.Dedup.begin_batch d ~session:7L ~seq:0 ~count:10 with
+  | Net.Dedup.Duplicate 10 -> ()
+  | Net.Dedup.Duplicate k -> Alcotest.failf "below-ring dup: got %d" k
+  | Net.Dedup.Fresh -> Alcotest.fail "evicted seq must stay duplicate");
+  (* session 0L opts out entirely: the same (seq) is always fresh *)
+  (match Net.Dedup.begin_batch d ~session:0L ~seq:0 ~count:5 with
+  | Net.Dedup.Fresh -> ()
+  | _ -> Alcotest.fail "session 0 must bypass dedup");
+  (match Net.Dedup.begin_batch d ~session:0L ~seq:0 ~count:5 with
+  | Net.Dedup.Fresh -> ()
+  | _ -> Alcotest.fail "session 0 retry must bypass dedup");
+  let st = Net.Dedup.stats d in
+  check_int "one live session (0L untracked)" 1 st.Net.Dedup.sessions;
+  check_int "duplicates counted" 2 st.Net.Dedup.duplicates;
+  Net.Dedup.close d
+
+let test_dedup_journal_survives_restart () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let d = Net.Dedup.create ~dir () in
+      (match Net.Dedup.begin_batch d ~session:9L ~seq:0 ~count:16 with
+      | Net.Dedup.Fresh -> Net.Dedup.record d ~session:9L ~seq:0 ~accepted:16
+      | _ -> Alcotest.fail "fresh expected");
+      (match Net.Dedup.begin_batch d ~session:9L ~seq:1 ~count:8 with
+      | Net.Dedup.Fresh -> Net.Dedup.record d ~session:9L ~seq:1 ~accepted:8
+      | _ -> Alcotest.fail "fresh expected");
+      check_int "journaled" 2 (Net.Dedup.stats d).Net.Dedup.journal_records;
+      Net.Dedup.close d;
+      (* a new incarnation replays the journal: the retry that spans the
+         restart stays suppressed, answered with the claimed count *)
+      let d2 = Net.Dedup.create ~dir () in
+      check_int "recovered" 2 (Net.Dedup.stats d2).Net.Dedup.recovered_records;
+      (match Net.Dedup.begin_batch d2 ~session:9L ~seq:1 ~count:8 with
+      | Net.Dedup.Duplicate 8 -> ()
+      | Net.Dedup.Duplicate k -> Alcotest.failf "recovered dup: got %d" k
+      | Net.Dedup.Fresh -> Alcotest.fail "journaled seq must be duplicate");
+      (match Net.Dedup.begin_batch d2 ~session:9L ~seq:2 ~count:4 with
+      | Net.Dedup.Fresh -> ()
+      | _ -> Alcotest.fail "new seq must be fresh");
+      Net.Dedup.close d2;
+      (* torn tail: a crash mid-append leaves a partial frame; the next
+         incarnation recovers the longest valid prefix and truncates *)
+      let path = Filename.concat dir "sessions.log" in
+      let len = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd (len - 3);
+      Unix.close fd;
+      let d3 = Net.Dedup.create ~dir () in
+      check_int "prefix recovered, torn record dropped" 2
+        (Net.Dedup.stats d3).Net.Dedup.recovered_records;
+      (match Net.Dedup.begin_batch d3 ~session:9L ~seq:1 ~count:8 with
+      | Net.Dedup.Duplicate _ -> ()
+      | Net.Dedup.Fresh -> Alcotest.fail "prefix seq must stay duplicate");
+      Net.Dedup.close d3;
+      check_bool "torn tail truncated on a frame boundary" true
+        ((Unix.stat path).Unix.st_size < len))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos proxy                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let proxy_for srv ?faults ~seed () =
+  Net.Chaos_proxy.create ?faults ~seed
+    ~upstream:(fun () -> ("127.0.0.1", Srv.port srv))
+    ()
+
+let test_proxy_forwarding_and_partition () =
+  let srv = start_server () in
+  let px = proxy_for srv ~seed:0x9L () in
+  let dial_px () =
+    let c = Conn.connect ~host:"127.0.0.1" ~port:(Net.Chaos_proxy.port px) in
+    Conn.set_read_timeout c 2.0;
+    c
+  in
+  (* transparent when fault-free: the full request/ack exchange works *)
+  let c = dial_px () in
+  check_int "ack through proxy" 10
+    (expect_ack c (batch (Array.init 10 (fun i -> i))));
+  (* a partition severs the live flow... *)
+  Net.Chaos_proxy.set_partition px true;
+  check_bool "send into partition eventually fails" true
+    (let b = Frame.encode_request (batch [| 1 |]) in
+     not (Conn.send c b && Result.is_ok (Conn.recv c)));
+  Conn.close c;
+  (* ...and refuses new dials (accepted, then immediately closed) *)
+  let c2 = dial_px () in
+  check_bool "no service while partitioned" true
+    (let b = Frame.encode_request (batch [| 1 |]) in
+     not (Conn.send c2 b && Result.is_ok (Conn.recv c2)));
+  Conn.close c2;
+  (* healing the partition restores service through the same proxy port *)
+  Net.Chaos_proxy.set_partition px false;
+  let c3 = dial_px () in
+  check_int "ack after heal" 5 (expect_ack c3 (batch (Array.init 5 (fun i -> i))));
+  Conn.close c3;
+  let ps = Net.Chaos_proxy.stop px in
+  check_bool "conns forwarded" true (ps.Net.Chaos_proxy.conns >= 2);
+  check_bool "refusals counted" true (ps.Net.Chaos_proxy.refused >= 1);
+  check_bool "bytes counted" true (ps.Net.Chaos_proxy.bytes > 0);
+  ignore (Srv.stop srv)
+
+(* Satellite: the client's effectively-once contract observed end to end —
+   a partition mid-stream forces reconnects and retries, yet acked stays
+   exact and the engine's published weight equals it after drain. *)
+let test_client_effectively_once_through_chaos () =
+  let srv = start_server ~shards:2 ~batch:64 () in
+  let px = proxy_for srv ~seed:0x51L () in
+  let cli =
+    Net.Client.create ~conns:2 ~batch:128 ~flush_age:0.01 ~retries:64
+      ~read_timeout:2.0 ~host:"127.0.0.1" ~port:(Net.Chaos_proxy.port px) ()
+  in
+  for i = 1 to 10_000 do
+    ignore (Net.Client.push cli (i land 1023))
+  done;
+  (* sever everything mid-stream; senders retry through the outage *)
+  Net.Chaos_proxy.set_partition px true;
+  Unix.sleepf 0.15;
+  Net.Chaos_proxy.set_partition px false;
+  for i = 1 to 10_000 do
+    ignore (Net.Client.push cli (i land 1023))
+  done;
+  Net.Client.flush cli;
+  let cs = Net.Client.stats cli in
+  Net.Client.close cli;
+  ignore (Net.Chaos_proxy.stop px);
+  let stats = Srv.stop srv in
+  check_int "all pushed" 20_000 cs.Net.Client.pushed;
+  check_int "no retry exhaustion" 0 cs.Net.Client.exhausted;
+  check_int "acked exactly, despite the partition" 20_000 cs.Net.Client.acked;
+  check_bool "the partition was felt" true (cs.Net.Client.errors >= 1);
+  (* conservation: retried batches were acked, not re-applied *)
+  check_int "published = acked" 20_000
+    (Srv.P.stats (Srv.engine srv)).Srv.P.published;
+  (* every dup ack the client saw was a batch the server suppressed (the
+     reverse can differ: a dup ack can itself be lost) *)
+  check_bool "dup acks reported to client" true
+    (cs.Net.Client.duplicates_suppressed <= stats.Srv.duplicates)
+
+(* ------------------------------------------------------------------ *)
+(* Replica self-healing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_replica_resync () =
+  let reg = Obs.Registry.create () in
+  let srv = start_server ~shards:2 ~batch:4 () in
+  let px = proxy_for srv ~seed:0x7EL () in
+  let c = dial srv in
+  check_int "seed history" 16
+    (expect_ack c (batch (Array.init 16 (fun i -> i land 3))));
+  let rep =
+    Rep.connect ~read_timeout:0.2 ~resync_backoff:0.02 ~metrics:reg
+      ~host:"127.0.0.1" ~port:(Net.Chaos_proxy.port px) ()
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Rep.status rep <> `Live && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  check_bool "live after subscribe" true (Rep.status rep = `Live);
+  (* break the stream: the partition kills the subscriber's flow *)
+  Net.Chaos_proxy.set_partition px true;
+  let saw_resyncing = ref false in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while not !saw_resyncing && Unix.gettimeofday () < deadline do
+    (match Rep.status rep with `Resyncing _ -> saw_resyncing := true | _ -> ());
+    Unix.sleepf 0.005
+  done;
+  check_bool "status transitioned to Resyncing" true !saw_resyncing;
+  (* while resyncing, the last applied state still serves — stale, never
+     ahead of the leader *)
+  check_bool "stale state still queryable" true
+    (Rep.published rep <= (Srv.P.stats (Srv.engine srv)).Srv.P.published);
+  (* heal: the replica redials through the same proxy port, takes a fresh
+     snapshot, and goes Live again *)
+  Net.Chaos_proxy.set_partition px false;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Rep.status rep <> `Live && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  check_bool "self-healed to Live" true (Rep.status rep = `Live);
+  let rs = Rep.stats rep in
+  check_bool "resync counted" true (rs.Rep.resyncs >= 1);
+  check_bool "break reason recorded" true (rs.Rep.last_break <> None);
+  (* the healed stream still converges exactly *)
+  check_int "post-heal batch" 16
+    (expect_ack c (batch (Array.init 16 (fun i -> i land 3))));
+  Conn.close c;
+  (* converge while the leader still serves: drain flushes the partial
+     shard deltas, and the live subscriber receives them (stopping the
+     server first would leave the healed replica redialing a dead port) *)
+  let eng = Srv.engine srv in
+  Srv.P.drain eng;
+  let leader_blob, final_epoch, final_pub = Srv.P.snapshot eng in
+  check_bool "converged after drain" true
+    (Rep.wait_epoch ~timeout:5.0 rep final_epoch);
+  check_int "exact convergence through a resync" final_pub (Rep.published rep);
+  (match Rep.query rep MC.encode with
+  | Some (follower_blob, _) ->
+      check_bool "bit-for-bit after resync" true
+        (Bytes.equal leader_blob follower_blob)
+  | None -> Alcotest.fail "follower lost its state");
+  (* satellite: the transitions are visible as obs series *)
+  let snap = Obs.Registry.snapshot reg in
+  check_bool "replica_resyncs_total scraped" true
+    (Obs.Snapshot.counter_value snap "replica_resyncs_total" >= 1);
+  Rep.close rep;
+  check_bool "closed status exported" true (Rep.status rep = `Closed);
+  ignore (Srv.stop srv);
+  ignore (Net.Chaos_proxy.stop px)
+
+(* ------------------------------------------------------------------ *)
+(* Served chaos soak (Net.Soak) and the committed incident trace       *)
+(* ------------------------------------------------------------------ *)
+
+module NS = Net.Soak.Make (MC)
+
+let test_served_chaos_soak () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let spec =
+        let s =
+          Workload.Trace.default_spec ~seed:0xC4A05L ~ops:60_000 ~universe:2048
+            ()
+        in
+        {
+          s with
+          Workload.Trace.phases =
+            List.map
+              (fun (p : Workload.Trace.phase) ->
+                { p with Workload.Trace.rate = Workload.Trace.Unlimited })
+              s.Workload.Trace.phases;
+        }
+      in
+      let ops = Workload.Trace.materialize spec in
+      let base = Net.Soak.default_config ~dir in
+      let cfg =
+        {
+          base with
+          Net.Soak.restarts = 1;
+          partitions = 1;
+          down_time = 0.15;
+          partition_time = 0.15;
+        }
+      in
+      let reg = Obs.Registry.create () in
+      let v = NS.run ~metrics:reg cfg ~spec ~ops () in
+      if not v.Net.Soak.pass then
+        Alcotest.failf "served soak failed:\n%s" (NS.verdict_to_string v);
+      check_int "restart happened" 1 v.Net.Soak.restarts_done;
+      check_int "partition happened" 1 v.Net.Soak.partitions_done;
+      check_bool "replica resynced" true (v.Net.Soak.resyncs >= 1);
+      check_int "no retry exhaustion" 0 v.Net.Soak.exhausted;
+      check_int "follower never ahead" 0 v.Net.Soak.follower_ahead;
+      let snap = Obs.Registry.snapshot reg in
+      check_bool "resyncs scraped" true
+        (Obs.Snapshot.counter_value snap "replica_resyncs_total" >= 1))
+
+(* Satellite: a small served incident, recorded once via
+   `ivl-cli soak --served --record-trace` and committed — replayed here so
+   the exact op stream that drove a real kill/partition round stays a
+   regression. The replay is clean-network (the trace pins the workload,
+   not the faults) and must conserve exactly. *)
+let test_incident_trace_replay () =
+  let path = "data/served_incident.trace" in
+  match Workload.Trace.read ~path with
+  | Error msg -> Alcotest.failf "committed trace unreadable: %s" msg
+  | Ok (spec, ops) ->
+      check_bool "recorded phases" true
+        (List.for_all
+           (fun (p : Workload.Trace.phase) ->
+             match p.Workload.Trace.shape with
+             | Workload.Trace.Recorded _ -> true
+             | _ -> false)
+           spec.Workload.Trace.phases);
+      let dir = fresh_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let base = Net.Soak.default_config ~dir in
+          let cfg =
+            {
+              base with
+              Net.Soak.restarts = 0;
+              partitions = 0;
+              faults = Net.Chaos_proxy.no_faults;
+            }
+          in
+          let v = NS.run cfg ~spec ~ops () in
+          if not v.Net.Soak.pass then
+            Alcotest.failf "incident replay failed:\n%s"
+              (NS.verdict_to_string v);
+          check_int "replay conserves exactly" v.Net.Soak.acked
+            v.Net.Soak.published)
 
 (* ------------------------------------------------------------------ *)
 (* Acceptance: the served soak                                         *)
@@ -607,11 +1027,32 @@ let () =
           Alcotest.test_case "dead server sheds" `Quick test_client_dead_server;
           Alcotest.test_case "sink seam" `Quick test_sink_seam;
         ] );
+      ( "effectively-once",
+        [
+          Alcotest.test_case "at-least-once double-count regression" `Quick
+            test_at_least_once_double_count;
+          Alcotest.test_case "dedup window" `Quick test_dedup_window;
+          Alcotest.test_case "dedup journal survives restart" `Quick
+            test_dedup_journal_survives_restart;
+          Alcotest.test_case "exact acks through chaos" `Quick
+            test_client_effectively_once_through_chaos;
+        ] );
+      ( "chaos-proxy",
+        [
+          Alcotest.test_case "forwarding and partition" `Quick
+            test_proxy_forwarding_and_partition;
+        ] );
       ( "replica",
         [
           Alcotest.test_case "envelope and exact convergence" `Quick
             test_replica_convergence;
+          Alcotest.test_case "self-healing resync" `Quick test_replica_resync;
         ] );
       ( "soak",
-        [ Alcotest.test_case "served soak 1M ops" `Quick test_served_soak ] );
+        [
+          Alcotest.test_case "served soak 1M ops" `Quick test_served_soak;
+          Alcotest.test_case "served chaos soak" `Quick test_served_chaos_soak;
+          Alcotest.test_case "incident trace replay" `Quick
+            test_incident_trace_replay;
+        ] );
     ]
