@@ -1,0 +1,206 @@
+(* E18: the shard-queue seam head to head — mutex MPSC vs lock-free ring.
+
+   Three tables, three claims:
+
+   - raw queue throughput (producers pushing, one popper draining in
+     batches): the ring's CAS hand-off vs the mutex/condvar critical
+     section, across the writer counts the pipeline actually runs;
+   - allocation audits: both hot paths move ints through preallocated
+     slots and caller-owned buffers, so steady-state push+pop is pinned
+     at 0 B/op (unit "B/op" — the structural side of `bench compare`);
+   - the end-to-end payoff: the 4-feeder CountMin pipeline, identical
+     except for `~queue`, with the lockfree/mutex ratio recorded as a
+     factor entry (unit "x") so the gate fails if the win evaporates.
+
+   The queue capacity and batch sizes mirror the engine's defaults so the
+   microbench exercises the same occupancy regime the pipeline does. *)
+
+module Sq = Pipeline.Squeue
+
+let items = 200_000
+let reps = 3
+let capacity = 1024
+let pop_chunk = 256
+
+let impl_name = Sq.impl_to_string
+
+(* --- raw queue throughput --------------------------------------------- *)
+
+(* [producers] domains push [items/producers] each; the caller's domain
+   drains concurrently with batched blocking pops until close. The rate
+   counts completed transfers (push + pop) per second. *)
+let queue_time ~producers impl =
+  let q = Sq.create ~impl ~capacity in
+  let per = items / producers in
+  let total = per * producers in
+  let buf = Array.make pop_chunk 0 in
+  let popped = ref 0 in
+  let (), dt =
+    Conc.Runner.timed (fun () ->
+        let feeders =
+          Domain.spawn (fun () ->
+              ignore
+                (Conc.Runner.parallel ~domains:producers (fun _ ->
+                     for i = 1 to per do
+                       ignore (Sq.push q i)
+                     done));
+              Sq.close q)
+        in
+        let rec drain () =
+          match Sq.pop_into q buf ~max:pop_chunk with
+          | -1 -> ()
+          | n ->
+              popped := !popped + n;
+              drain ()
+        in
+        drain ();
+        Domain.join feeders)
+  in
+  if !popped <> total then
+    failwith
+      (Printf.sprintf "queue bench lost items: popped %d of %d" !popped total);
+  float_of_int total /. dt /. 1e6
+
+let measure_queue ~producers impl =
+  let name = Printf.sprintf "e18-queue-%s" (impl_name impl) in
+  let rates = List.init reps (fun _ -> queue_time ~producers impl) in
+  Bench_util.record_samples ~exp:"queue" ~name
+    ~params:
+      [
+        ("producers", Bench_util.json_int producers);
+        ("capacity", Bench_util.json_int capacity);
+        ("items", Bench_util.json_int items);
+      ]
+    rates;
+  List.fold_left ( +. ) 0.0 rates /. float_of_int reps
+
+(* --- allocation audits ------------------------------------------------- *)
+
+(* One op = one push + one batched pop of that element, on a warm queue:
+   the steady-state cycle of a shard worker. Both implementations are
+   required to stay allocation-free here — the ring because its slots are
+   preallocated and the pop lands in a caller buffer, the mutex queue
+   because its circular buffer and [unsafe_take_into] are just as flat. *)
+let bop impl =
+  let q = Sq.create ~impl ~capacity in
+  let buf = Array.make 1 0 in
+  (* Warm occupancy so neither impl is on a resize/empty edge. *)
+  for i = 1 to 16 do
+    ignore (Sq.try_push q i)
+  done;
+  Bench_util.allocated_bytes_per_op ~ops:100_000 (fun () ->
+      ignore (Sq.try_push q 7);
+      ignore (Sq.try_pop_into q buf ~max:1))
+
+let audit_allocs () =
+  Bench_util.subsection "allocation audit (push+pop cycle, B/op)";
+  let rows =
+    List.map
+      (fun impl ->
+        let b = bop impl in
+        Bench_util.record ~exp:"queue"
+          ~name:(Printf.sprintf "e18-%s-push-pop" (impl_name impl))
+          ~unit_:"B/op" b;
+        [ impl_name impl; Bench_util.fmt_float ~digits:1 b ])
+      [ `Mutex; `Lockfree ]
+  in
+  Bench_util.table ~header:[ "impl"; "B/op" ] rows
+
+(* --- end-to-end pipeline gain ------------------------------------------ *)
+
+module Cm =
+  Pipeline.Targets.Countmin
+    (struct
+      let seed = 5L
+      let rows = 4
+      let width = 1024
+    end)
+
+module P = Pipeline.Engine.Make (Cm)
+
+let pipeline_updates = 100_000
+let pipeline_feeders = 4
+
+let pipeline_time ?steal ~queue stream =
+  let p =
+    P.create ?steal ~queue ~queue_capacity:4096 ~batch:2048 ~shards:4 ()
+  in
+  let chunks = Workload.Stream.chunks stream ~pieces:pipeline_feeders in
+  let (), dt =
+    Conc.Runner.timed (fun () ->
+        ignore
+          (Conc.Runner.parallel ~domains:pipeline_feeders (fun i ->
+               Array.iter (fun x -> ignore (P.ingest p x)) chunks.(i)));
+        P.drain p)
+  in
+  float_of_int pipeline_updates /. dt /. 1e6
+
+let measure_pipeline ?steal ?suffix ~queue stream =
+  let name =
+    Printf.sprintf "e18-pipeline-%s%s" (impl_name queue)
+      (match suffix with Some s -> "-" ^ s | None -> "")
+  in
+  let rates = List.init reps (fun _ -> pipeline_time ?steal ~queue stream) in
+  Bench_util.record_samples ~exp:"queue" ~name
+    ~params:
+      [
+        ("feeders", Bench_util.json_int pipeline_feeders);
+        ("total_updates", Bench_util.json_int pipeline_updates);
+      ]
+    rates;
+  List.fold_left ( +. ) 0.0 rates /. float_of_int reps
+
+let run () =
+  Bench_util.section "E18: shard queue — mutex MPSC vs lock-free ring";
+  Printf.printf
+    "(capacity %d, %d items, blocking pops of <=%d; mean of %d reps)\n"
+    capacity items pop_chunk reps;
+  let rows =
+    List.map
+      (fun producers ->
+        let mx = measure_queue ~producers `Mutex in
+        let lf = measure_queue ~producers `Lockfree in
+        [
+          string_of_int producers;
+          Bench_util.fmt_float ~digits:2 mx;
+          Bench_util.fmt_float ~digits:2 lf;
+          Bench_util.fmt_float ~digits:2 (lf /. mx);
+        ])
+      [ 1; 2; 4 ]
+  in
+  Bench_util.table
+    ~header:[ "producers"; "mutex (Mops/s)"; "lockfree (Mops/s)"; "ratio" ]
+    rows;
+
+  audit_allocs ();
+
+  Bench_util.subsection
+    (Printf.sprintf
+       "pipeline end to end (%d feeders, CountMin, Mops/s ingested)"
+       pipeline_feeders);
+  let stream =
+    Workload.Stream.generate ~seed:11L
+      (Workload.Stream.Zipf (50_000, 1.1))
+      ~length:pipeline_updates
+  in
+  let mx = measure_pipeline ~queue:`Mutex stream in
+  let lf = measure_pipeline ~queue:`Lockfree stream in
+  let lf_ns =
+    measure_pipeline ~steal:false ~suffix:"nosteal" ~queue:`Lockfree stream
+  in
+  let gain = lf /. mx in
+  (* The headline factor: lockfree ring + stealing over the mutex
+     baseline at 4 writers. Recorded as unit "x" so `bench compare`
+     treats a drop as fatal, not as timing noise. *)
+  Bench_util.record ~exp:"queue" ~name:"e18-pipeline-4w-gain"
+    ~params:[ ("feeders", Bench_util.json_int pipeline_feeders) ]
+    ~unit_:"x" gain;
+  Bench_util.table
+    ~header:[ "queue"; "Mops/s"; "gain" ]
+    [
+      [ "mutex"; Bench_util.fmt_float ~digits:2 mx; "1.00" ];
+      [ "lockfree"; Bench_util.fmt_float ~digits:2 lf;
+        Bench_util.fmt_float ~digits:2 gain ];
+      [ "lockfree (no steal)"; Bench_util.fmt_float ~digits:2 lf_ns;
+        Bench_util.fmt_float ~digits:2 (lf_ns /. mx) ];
+    ]

@@ -836,7 +836,7 @@ let write_metrics ~path snap =
    supervisor line are all views of the same snapshot --metrics exports, so
    the human output cannot drift from the machine output. [last_errors] is
    the one non-numeric annotation (death reasons are strings, not metrics). *)
-let print_pipeline_stats snap ~shards ~combine ~supervise ~last_errors =
+let print_pipeline_stats snap ~shards ~combine ~steal ~supervise ~last_errors =
   let c ?labels n = Obs.Snapshot.counter_value snap ?labels n in
   let g ?labels n = Obs.Snapshot.gauge_value snap ?labels n in
   for i = 0 to shards - 1 do
@@ -862,6 +862,12 @@ let print_pipeline_stats snap ~shards ~combine ~supervise ~last_errors =
           Printf.sprintf " coalesced %d"
             (c ~labels:l "pipeline_shard_coalesced_total")
         else "")
+      ^ (if steal then
+           Printf.sprintf " stole %d/%d parks %d"
+             (c ~labels:l "pipeline_shard_steals_total")
+             (c ~labels:l "pipeline_shard_stolen_batches_total")
+             (c ~labels:l "pipeline_shard_parks_total")
+         else "")
       ^
       if restarts > 0 then
         Printf.sprintf " (restarts %d%s)" restarts
@@ -908,9 +914,9 @@ let print_pipeline_stats snap ~shards ~combine ~supervise ~last_errors =
    traffic for the rest of the run. *)
 
 let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
-    ~(report : s -> unit) ~shards ~stream ~batch ~queue ~feeders ~combine
-    ~chaos_kill ~kills ~seed ~wal_dir ~checkpoint_every ~kill_and_recover
-    ~supervise ~max_restarts ~metrics_out ~trace_dump =
+    ~(report : s -> unit) ~shards ~stream ~batch ~queue_impl ~queue_cap
+    ~feeders ~combine ~chaos_kill ~kills ~seed ~wal_dir ~checkpoint_every
+    ~kill_and_recover ~supervise ~max_restarts ~metrics_out ~trace_dump =
   let module Mono = Ivl.Monotone.Make (Spec.Counter_spec) in
   let module P = Pipeline.Engine.Make (M) in
   let module R = Durable.Recovery.Make (M) in
@@ -976,8 +982,10 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
       Some { Pipeline.Engine.default_supervisor with max_restarts }
     else None
   in
+  let steal = queue_impl = `Lockfree in
   let p =
-    P.create ~queue_capacity:queue ~batch ~combine ?on_tick ?on_merge
+    P.create ~queue:queue_impl ~queue_capacity:queue_cap ~batch ~combine
+      ?on_tick ?on_merge
       ~checkpoint_every:(if wal_dir = None then 0 else checkpoint_every)
       ?on_checkpoint ?supervisor ~metrics:reg ~trace:tr ~shards ()
   in
@@ -1017,7 +1025,7 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
     (Atomic.get accepted) ops dt
     (float_of_int ops /. dt /. 1e6);
   let snap = Obs.Registry.snapshot reg in
-  print_pipeline_stats snap ~shards ~combine
+  print_pipeline_stats snap ~shards ~combine ~steal
     ~supervise:(supervise && chaos_kill)
     ~last_errors:(Array.map (fun (s : P.shard_stats) -> s.last_error) sh);
   (match ch with
@@ -1041,12 +1049,30 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
   in
   if published <> sum_flushed then
     add "conservation: published %d <> flushed %d" published sum_flushed;
+  if steal then begin
+    (* Stolen items are flushed by the thief, not their home shard, so
+       conservation only holds as a sum: every enqueued item was either
+       flushed by SOME shard or lost to a death (no deaths here => exact). *)
+    let sum_enqueued =
+      Array.fold_left (fun a (s : P.shard_stats) -> a + s.enqueued) 0 sh
+    in
+    let clean =
+      Array.for_all (fun (s : P.shard_stats) -> s.alive && s.restarts = 0) sh
+    in
+    if clean && sum_flushed <> sum_enqueued then
+      add "conservation: flushed %d of %d enqueued across shards" sum_flushed
+        sum_enqueued
+  end;
   Array.iteri
     (fun i (s : P.shard_stats) ->
       (* A restarted shard legitimately loses the dead incarnation's
          unflushed local delta, so exact conservation only binds shards that
-         never died. *)
-      if s.alive && s.restarts = 0 && s.flushed_items <> s.enqueued then
+         never died — and under stealing flushes migrate between shards, so
+         the per-shard form is replaced by the cross-shard sum above. *)
+      if
+        (not steal) && s.alive && s.restarts = 0
+        && s.flushed_items <> s.enqueued
+      then
         add "surviving shard %d flushed %d of %d enqueued" i s.flushed_items
           s.enqueued;
       if s.restarts > 0 && not s.shed && not s.alive then
@@ -1090,14 +1116,24 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
       print_endline "pipeline: FAIL";
       1
 
-let pipeline sk shards ops shape skew universe batch queue feeders combine
-    chaos kills seed wal_dir checkpoint_every kill_and_recover supervise
-    max_restarts metrics_out trace_dump =
-  if shards < 1 || feeders < 1 || ops < 1 || batch < 1 || queue < 1 then begin
+let pipeline sk shards ops shape skew universe batch queue queue_cap feeders
+    combine chaos kills seed wal_dir checkpoint_every kill_and_recover
+    supervise max_restarts metrics_out trace_dump =
+  if shards < 1 || feeders < 1 || ops < 1 || batch < 1 || queue_cap < 1
+  then begin
     Printf.eprintf
-      "pipeline: --shards, --feeders, --ops, --batch and --queue must be >= 1\n";
+      "pipeline: --shards, --feeders, --ops, --batch and --queue-cap must be \
+       >= 1\n";
     exit 1
   end;
+  let queue_impl =
+    match Pipeline.Squeue.impl_of_string queue with
+    | Some impl -> impl
+    | None ->
+        Printf.eprintf "pipeline: unknown --queue %s (available: mutex \
+                        lockfree)\n" queue;
+        exit 1
+  in
   if checkpoint_every < 0 || max_restarts < 0 then begin
     Printf.eprintf
       "pipeline: --checkpoint-every and --max-restarts must be >= 0\n";
@@ -1125,8 +1161,9 @@ let pipeline sk shards ops shape skew universe batch queue feeders combine
     Workload.Stream.generate ~seed:(Int64.add seed 101L) shape ~length:ops
   in
   Printf.printf
-    "pipeline: %s, %d shards (batch %d, queue %d), %d feeders, %s, %d items%s\n"
-    sk shards batch queue feeders
+    "pipeline: %s, %d shards (batch %d, queue %s cap %d), %d feeders, %s, %d \
+     items%s\n"
+    sk shards batch queue queue_cap feeders
     (Workload.Stream.describe shape)
     ops
     (if chaos_kill then Printf.sprintf ", chaos kills %d shard(s)" kills else "");
@@ -1136,9 +1173,9 @@ let pipeline sk shards ops shape skew universe batch queue feeders combine
     e
   in
   let run m report =
-    run_pipeline m ~report ~shards ~stream ~batch ~queue ~feeders ~combine
-      ~chaos_kill ~kills ~seed ~wal_dir ~checkpoint_every ~kill_and_recover
-      ~supervise ~max_restarts ~metrics_out ~trace_dump
+    run_pipeline m ~report ~shards ~stream ~batch ~queue_impl ~queue_cap
+      ~feeders ~combine ~chaos_kill ~kills ~seed ~wal_dir ~checkpoint_every
+      ~kill_and_recover ~supervise ~max_restarts ~metrics_out ~trace_dump
   in
   match sk with
   | "countmin" ->
@@ -1514,7 +1551,16 @@ let pipeline_cmd =
             "items per shard delta — the merge cadence: smaller tightens the \
              freshness/IVL slack, larger buys throughput")
   in
-  let queue = Arg.(value & opt int 1024 & info [ "queue" ] ~doc:"shard queue capacity (backpressure bound)") in
+  let queue =
+    Arg.(
+      value & opt string "mutex"
+      & info [ "queue" ]
+          ~doc:
+            "shard queue implementation: mutex (blocking reference) or \
+             lockfree (Vyukov ring, allocation-free hot paths, idle workers \
+             steal batches from loaded shards)")
+  in
+  let queue_cap = Arg.(value & opt int 1024 & info [ "queue-cap" ] ~doc:"shard queue capacity (backpressure bound)") in
   let feeders = Arg.(value & opt int 2 & info [ "feeders" ] ~doc:"feeder domains") in
   let combine =
     Arg.(
@@ -1603,7 +1649,7 @@ let pipeline_cmd =
           merges) and check its IVL envelope")
     Term.(
       const pipeline $ sketch $ shards $ ops $ shape $ skew $ universe $ batch
-      $ queue $ feeders $ combine $ chaos $ kills $ seed $ wal
+      $ queue $ queue_cap $ feeders $ combine $ chaos $ kills $ seed $ wal
       $ checkpoint_every $ kill_and_recover $ supervise $ max_restarts
       $ metrics $ trace_dump)
 
@@ -1878,8 +1924,16 @@ let clear_soak_dir dir =
   end
 
 let soak_run trace_file ops universe seed dir shards feeders rounds kills chaos
-    tear bench_out =
+    tear queue bench_out =
   let module S = Workload.Soak in
+  let queue =
+    match Pipeline.Squeue.impl_of_string queue with
+    | Some impl -> impl
+    | None ->
+        Printf.eprintf "soak: unknown --queue %s (available: mutex lockfree)\n"
+          queue;
+        exit 2
+  in
   let spec, trace =
     match trace_file with
     | Some path -> (
@@ -1910,6 +1964,7 @@ let soak_run trace_file ops universe seed dir shards feeders rounds kills chaos
       rounds;
       kills_per_round;
       tear_tail = tear && rounds > 1;
+      queue;
     }
   in
   let v = S.run ~progress:print_endline cfg ~spec ~ops:trace () in
@@ -2507,7 +2562,7 @@ let served_soak_run sketch trace_file ops universe seed dir shards conns feeders
       if v.Net.Soak.pass then 0 else 1
 
 let soak_dispatch served sketch trace_file ops universe seed dir shards feeders
-    rounds kills chaos tear bench_out conns restarts partitions down_time
+    rounds kills chaos tear queue bench_out conns restarts partitions down_time
     partition_time latency corrupt reset drop record_trace metrics_out =
   if served then
     served_soak_run sketch trace_file ops universe seed dir shards conns feeders
@@ -2515,7 +2570,7 @@ let soak_dispatch served sketch trace_file ops universe seed dir shards feeders
       record_trace metrics_out bench_out
   else
     soak_run trace_file ops universe seed dir shards feeders rounds kills chaos
-      tear bench_out
+      tear queue bench_out
 
 let soak_cmd =
   let served =
@@ -2576,6 +2631,14 @@ let soak_cmd =
       value & opt bool true
       & info [ "tear-tail" ]
           ~doc:"tear the WAL tail mid-frame between rounds (crash during append)")
+  in
+  let queue =
+    Arg.(
+      value & opt string "mutex"
+      & info [ "queue" ]
+          ~doc:
+            "shard queue implementation for the pipeline soak: mutex or \
+             lockfree (ring + work stealing)")
   in
   let bench_out =
     Arg.(
@@ -2652,9 +2715,9 @@ let soak_cmd =
           end-to-end IVL PASS/FAIL verdict")
     Term.(
       const soak_dispatch $ served $ sketch $ trace_file $ ops $ universe $ seed
-      $ dir $ shards $ feeders $ rounds $ kills $ chaos $ tear $ bench_out
-      $ conns $ restarts $ partitions $ down_time $ partition_time $ latency
-      $ corrupt $ reset $ drop $ record_trace $ metrics_out)
+      $ dir $ shards $ feeders $ rounds $ kills $ chaos $ tear $ queue
+      $ bench_out $ conns $ restarts $ partitions $ down_time $ partition_time
+      $ latency $ corrupt $ reset $ drop $ record_trace $ metrics_out)
 
 let () =
   let doc = "Intermediate Value Linearizability: checkers, simulators, sketches" in

@@ -38,19 +38,24 @@ type stats = {
   journal_records : int;
   journal_bytes : int;
   recovered_records : int;
+  compactions : int;
 }
 
 type t = {
   window : int;
   max_sessions : int;
+  compact_every : int;
   m : Mutex.t;
   tbl : (int64, session) Hashtbl.t;
   mutable stamp : int;
   mutable duplicates : int;
   mutable journal : out_channel option;
+  mutable journal_path : string option;
   mutable journal_records : int;
   mutable journal_bytes : int;
   mutable recovered_records : int;
+  mutable appends_since_compact : int;
+  mutable compactions : int;
 }
 
 let journal_file dir = Filename.concat dir "sessions.log"
@@ -139,21 +144,71 @@ let load_journal t ~path =
         Unix.close fd
   end
 
-let create ?(window = 128) ?(max_sessions = 1024) ?dir () =
+(* Compaction: the append-only journal grows one frame per fresh batch
+   forever, but the state it reconstructs is bounded — per session, the
+   window ring plus a high-water mark, and (per sender in-order arrival)
+   the mark is always the window's newest seq. So the whole log collapses
+   to at most [window] frames per live session: rewrite those, in arrival
+   order (replay feeds them back through [note], whose ring semantics
+   restore the exact window and mark), to a tmp file and rename over the
+   log. Session LRU stamps are not persisted; after a restart the eviction
+   order is approximate, which only affects which session a full table
+   drops first. *)
+let write_snapshot t ~path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Hashtbl.iter
+    (fun id (s : session) ->
+      Queue.iter
+        (fun seq ->
+          match Hashtbl.find_opt s.window seq with
+          | Some count -> output_bytes oc (encode_record ~session:id ~seq ~count)
+          | None -> ())
+        s.order)
+    t.tbl;
+  close_out oc;
+  Sys.rename tmp path
+
+(* Call with [t.m] held (or before any concurrent use). Closes the append
+   channel around the rename so no flushed frame can land between snapshot
+   and switch-over. *)
+let compact_locked t =
+  match t.journal_path with
+  | None -> ()
+  | Some path ->
+      (match t.journal with
+      | Some oc ->
+          (try close_out oc with Sys_error _ -> ());
+          t.journal <- None
+      | None -> ());
+      write_snapshot t ~path;
+      t.journal <-
+        Some (open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path);
+      t.appends_since_compact <- 0;
+      t.compactions <- t.compactions + 1
+
+let create ?(window = 128) ?(max_sessions = 1024) ?(compact_every = 4096) ?dir
+    () =
   if window <= 0 then invalid_arg "Net.Dedup: window must be positive";
   if max_sessions <= 0 then invalid_arg "Net.Dedup: max_sessions must be positive";
+  if compact_every <= 0 then
+    invalid_arg "Net.Dedup: compact_every must be positive";
   let t =
     {
       window;
       max_sessions;
+      compact_every;
       m = Mutex.create ();
       tbl = Hashtbl.create 64;
       stamp = 0;
       duplicates = 0;
       journal = None;
+      journal_path = None;
       journal_records = 0;
       journal_bytes = 0;
       recovered_records = 0;
+      appends_since_compact = 0;
+      compactions = 0;
     }
   in
   (match dir with
@@ -162,8 +217,14 @@ let create ?(window = 128) ?(max_sessions = 1024) ?dir () =
       if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
       let path = journal_file dir in
       load_journal t ~path;
-      t.journal <-
-        Some (open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path));
+      t.journal_path <- Some path;
+      if t.recovered_records > 0 then
+        (* Recovery replays the whole log, so this is the natural moment to
+           shed its dead prefix: every restart starts from a bounded file. *)
+        compact_locked t
+      else
+        t.journal <-
+          Some (open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path));
   t
 
 let append_journal t ~session ~seq ~count =
@@ -177,7 +238,8 @@ let append_journal t ~session ~seq ~count =
          crash model here is process death, matching the soak's kills) *)
       flush oc;
       t.journal_records <- t.journal_records + 1;
-      t.journal_bytes <- t.journal_bytes + Bytes.length frame
+      t.journal_bytes <- t.journal_bytes + Bytes.length frame;
+      t.appends_since_compact <- t.appends_since_compact + 1
 
 let register t ~session =
   if not (Int64.equal session 0L) then begin
@@ -201,6 +263,10 @@ let begin_batch t ~session ~seq ~count =
       | None ->
           append_journal t ~session ~seq ~count;
           note t ~session ~seq ~count;
+          (* Compact only after [note]: the snapshot is written from the
+             in-memory state, so the record just journaled must be in the
+             window before the rewrite or compaction would drop it. *)
+          if t.appends_since_compact >= t.compact_every then compact_locked t;
           Fresh
     in
     (match r with Duplicate _ -> t.duplicates <- t.duplicates + 1 | Fresh -> ());
@@ -226,6 +292,7 @@ let stats t =
       journal_records = t.journal_records;
       journal_bytes = t.journal_bytes;
       recovered_records = t.recovered_records;
+      compactions = t.compactions;
     }
   in
   Mutex.unlock t.m;

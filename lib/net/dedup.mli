@@ -41,13 +41,25 @@ type stats = {
   journal_records : int;  (** records appended this incarnation *)
   journal_bytes : int;
   recovered_records : int;  (** records replayed from the journal *)
+  compactions : int;  (** journal rewrites to the bounded snapshot *)
 }
 
-val create : ?window:int -> ?max_sessions:int -> ?dir:string -> unit -> t
+val create :
+  ?window:int -> ?max_sessions:int -> ?compact_every:int -> ?dir:string ->
+  unit -> t
 (** [window] (default 128) recent seqs per session; [max_sessions]
     (default 1024) sessions, LRU-evicted. With [dir], the journal at
     [dir/sessions.log] is replayed (torn tail truncated) and then
     appended to, one flushed frame per fresh batch.
+
+    The journal is append-only but the state it rebuilds is bounded, so
+    it is compacted — rewritten (tmp file + rename) as at most [window]
+    frames per live session, in arrival order — after every recovery
+    that replayed records and then again every [compact_every] (default
+    4096) appends. The file therefore stays within
+    [window * max_sessions + compact_every] frames regardless of uptime.
+    Session LRU stamps are not persisted: after a restart, eviction
+    order among recovered sessions is approximate.
     @raise Invalid_argument on non-positive bounds. *)
 
 val register : t -> session:int64 -> unit

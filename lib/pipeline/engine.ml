@@ -27,7 +27,7 @@ module Make (M : Mergeable.S) = struct
   }
 
   type shard = {
-    q : int Mpsc.t;
+    q : int Squeue.t;
     enqueued : int Atomic.t;
     dropped : int Atomic.t;
     consumed : int Atomic.t;
@@ -41,6 +41,9 @@ module Make (M : Mergeable.S) = struct
     last_error : string option Atomic.t;
     beats : int Atomic.t; (* worker heartbeat, one per batch loop *)
     coalesced : int Atomic.t; (* updates folded away by the combining buffer *)
+    steals : int Atomic.t; (* items this worker stole from other shards *)
+    stolen_batches : int Atomic.t; (* steal operations by this worker *)
+    parks : int Atomic.t; (* idle waits: nothing local, nothing stealable *)
   }
 
   type shard_stats = {
@@ -56,6 +59,9 @@ module Make (M : Mergeable.S) = struct
     last_error : string option;
     beats : int;
     coalesced : int;
+    steals : int;
+    stolen_batches : int;
+    parks : int;
   }
 
   type stats = {
@@ -69,8 +75,9 @@ module Make (M : Mergeable.S) = struct
 
   type t = {
     shards : shard array;
-    mq : delta Mpsc.t;
+    mq : delta Squeue.t;
     batch : int;
+    steal : bool; (* idle workers rebalance batches from loaded shards *)
     combine : bool; (* aggregate duplicate keys per batch before updating *)
     on_tick : (shard:int -> unit) option;
     on_merge : (epoch:int -> weight:int -> blob:Bytes.t -> unit) option;
@@ -93,7 +100,31 @@ module Make (M : Mergeable.S) = struct
     stopping : bool Atomic.t; (* tells the watchdog a drain has begun *)
     dm : Mutex.t; (* serializes drain: concurrent callers both return *)
     mutable drained : bool;
+    (* Queue-depth snapshot for the stats path: refreshed at most once per
+       tick (TTL below) under [depth_m], so a metrics scrape costs one
+       length sweep total instead of one consumer-contending read per
+       shard gauge. *)
+    depth_m : Mutex.t;
+    depths : int array;
+    mutable depths_at : float;
   }
+
+  (* One refresh serves a whole scrape: every per-shard gauge lands within
+     this window, and queue depth is an operational signal, not an exact
+     invariant (Squeue.length is already approximate for the ring). *)
+  let depth_ttl = 0.02
+
+  let queue_depth t i =
+    Mutex.lock t.depth_m;
+    let now = Unix.gettimeofday () in
+    if now -. t.depths_at > depth_ttl then begin
+      Array.iteri (fun j (s : shard) -> t.depths.(j) <- Squeue.length s.q)
+        t.shards;
+      t.depths_at <- now
+    end;
+    let d = t.depths.(i) in
+    Mutex.unlock t.depth_m;
+    d
 
   let shard_count t = Array.length t.shards
 
@@ -106,6 +137,12 @@ module Make (M : Mergeable.S) = struct
 
   let worker t i =
     let s = t.shards.(i) in
+    let n_shards = Array.length t.shards in
+    (* Worker-private pop buffer: both local pops and steals land here, so
+       the steady-state consume path allocates nothing (the ring's
+       [try_pop_into] is allocation-free; the mutex queue only boxes on
+       the push side). *)
+    let buf = Array.make t.batch 0 in
     let local = ref (M.create ()) in
     let count = ref 0 in
     let seq = ref 0 in
@@ -115,21 +152,25 @@ module Make (M : Mergeable.S) = struct
        table small and the flush cadence (hence the IVL envelope)
        unchanged. *)
     let tbl = if t.combine then Some (Hashtbl.create 64) else None in
-    let absorb items =
-      match tbl with
-      | None -> List.iter (M.update !local) items
+    let absorb n =
+      (match tbl with
+      | None ->
+          for j = 0 to n - 1 do
+            M.update !local (Array.unsafe_get buf j)
+          done
       | Some tbl ->
-          List.iter
-            (fun x ->
-              match Hashtbl.find_opt tbl x with
-              | Some c -> Hashtbl.replace tbl x (c + 1)
-              | None -> Hashtbl.add tbl x 1)
-            items;
+          for j = 0 to n - 1 do
+            let x = Array.unsafe_get buf j in
+            match Hashtbl.find_opt tbl x with
+            | Some c -> Hashtbl.replace tbl x (c + 1)
+            | None -> Hashtbl.add tbl x 1
+          done;
           let distinct = Hashtbl.length tbl in
           Hashtbl.iter (fun x c -> M.update_many !local x ~count:c) tbl;
           Hashtbl.reset tbl;
-          ignore
-            (Atomic.fetch_and_add s.coalesced (List.length items - distinct))
+          ignore (Atomic.fetch_and_add s.coalesced (n - distinct)));
+      count := !count + n;
+      ignore (Atomic.fetch_and_add s.consumed n)
     in
     let flush () =
       if !count > 0 then begin
@@ -138,7 +179,7 @@ module Make (M : Mergeable.S) = struct
         let d =
           { shard = i; seq = !seq; weight = !count; born = Unix.gettimeofday (); blob }
         in
-        if Mpsc.push t.mq d then begin
+        if Squeue.push t.mq d then begin
           ignore (Atomic.fetch_and_add s.flushed_items !count);
           ignore (Atomic.fetch_and_add s.flushes 1);
           match t.trace with
@@ -149,18 +190,73 @@ module Make (M : Mergeable.S) = struct
         count := 0
       end
     in
+    (* Batch rebalancing: an idle worker scans the other shards' relaxed
+       queue lengths, picks the deepest backlog, and claims up to half of
+       it (capped at one batch) with a single steal. Stolen items are
+       folded into the THIEF's delta and counted in the thief's
+       consumed/flushed — per-shard ingest accounting (enqueued) stays on
+       the victim, so conservation becomes a cross-shard sum under
+       stealing (Σ flushed = Σ enqueued), which is what the soak and CLI
+       verdicts check. Stealing from a dead shard's still-closed queue is
+       deliberate: it rescues backlog the supervisor would otherwise make
+       the restarted incarnation replay. *)
+    let try_steal () =
+      let best = ref (-1) and best_len = ref 0 in
+      for j = 0 to n_shards - 1 do
+        if j <> i then begin
+          let l = Squeue.length_relaxed t.shards.(j).q in
+          if l > !best_len then begin
+            best := j;
+            best_len := l
+          end
+        end
+      done;
+      if !best < 0 then 0
+      else begin
+        let want = min t.batch (max 1 (!best_len / 2)) in
+        let k = Squeue.try_pop_into t.shards.(!best).q buf ~max:want in
+        if k > 0 then begin
+          ignore (Atomic.fetch_and_add s.steals k);
+          ignore (Atomic.fetch_and_add s.stolen_batches 1);
+          absorb k;
+          k
+        end
+        else 0
+      end
+    in
     let rec loop () =
       ignore (Atomic.fetch_and_add s.beats 1);
       (match t.on_tick with Some f -> f ~shard:i | None -> ());
-      match Mpsc.pop_batch s.q ~max:t.batch with
-      | [] -> flush () (* queue closed and drained: final flush, then exit *)
-      | items ->
-          absorb items;
-          let n = List.length items in
-          count := !count + n;
-          ignore (Atomic.fetch_and_add s.consumed n);
-          if !count >= t.batch then flush ();
-          loop ()
+      let n =
+        if t.steal then Squeue.try_pop_into s.q buf ~max:t.batch
+        else
+          (* No stealing: count the would-block, then park exactly like
+             the pre-ring engine did. *)
+          match Squeue.try_pop_into s.q buf ~max:t.batch with
+          | 0 ->
+              ignore (Atomic.fetch_and_add s.parks 1);
+              Squeue.pop_into s.q buf ~max:t.batch
+          | n -> n
+      in
+      if n > 0 then begin
+        absorb n;
+        if !count >= t.batch then flush ();
+        loop ()
+      end
+      else if n = 0 then begin
+        (* Steal mode, own queue empty and open: rebalance, or nap briefly
+           (bounded, so backlogs building on OTHER shards are noticed —
+           a condition park on our own queue would sleep through them). *)
+        if try_steal () > 0 then begin
+          if !count >= t.batch then flush ()
+        end
+        else begin
+          ignore (Atomic.fetch_and_add s.parks 1);
+          Unix.sleepf 1e-4
+        end;
+        loop ()
+      end
+      else flush () (* closed and drained: final flush, then exit *)
     in
     (* On any death: close the queue FIRST, then clear [alive]. The watchdog
        triggers on [alive = false], so this order guarantees its reopen
@@ -179,13 +275,13 @@ module Make (M : Mergeable.S) = struct
            flushed records how much). *)
         Atomic.set s.last_error (Some (Printexc.to_string e));
         trace_death ();
-        Mpsc.close s.q;
+        Squeue.close s.q;
         Atomic.set s.alive false
     | e ->
         Atomic.set s.failed (Some e);
         Atomic.set s.last_error (Some (Printexc.to_string e));
         trace_death ();
-        Mpsc.close s.q;
+        Squeue.close s.q;
         Atomic.set s.alive false
 
   (* The merger is the pipeline's only writer of the global sketch: decode
@@ -199,7 +295,7 @@ module Make (M : Mergeable.S) = struct
   let merger t =
     let dom = shard_count t in
     let rec loop () =
-      match Mpsc.pop t.mq with
+      match Squeue.pop t.mq with
       | None -> ()
       | Some d ->
           (match M.decode d.blob with
@@ -305,7 +401,7 @@ module Make (M : Mergeable.S) = struct
               Domain.join t.workers.(i);
               let r = Atomic.fetch_and_add s.restarts 1 in
               trace_event "restart" ~a:i ~b:(r + 1);
-              Mpsc.reopen s.q;
+              Squeue.reopen s.q;
               Atomic.set s.alive true;
               t.workers.(i) <- Domain.spawn (fun () -> worker t i)
           | Some _ -> ()
@@ -379,8 +475,8 @@ module Make (M : Mergeable.S) = struct
               Atomic.get (f s))
         in
         Obs.Registry.gauge_fn reg ~labels
-          ~help:"Current shard queue occupancy" "pipeline_queue_depth"
-          (fun () -> float_of_int (Mpsc.length s.q));
+          ~help:"Current shard queue occupancy (TTL-cached snapshot)"
+          "pipeline_queue_depth" (fun () -> float_of_int (queue_depth t i));
         Obs.Registry.counter_fn reg ~labels
           ~help:"High-water queue depth observed at ingest"
           "pipeline_queue_max_depth" (fun () -> Atomic.get s.max_depth);
@@ -405,12 +501,24 @@ module Make (M : Mergeable.S) = struct
           "Updates this shard's combining buffer folded away" (fun s ->
             s.coalesced);
         scounter "pipeline_shard_restarts_total"
-          "Supervisor restarts of this shard's worker" (fun s -> s.restarts))
+          "Supervisor restarts of this shard's worker" (fun s -> s.restarts);
+        scounter "pipeline_shard_steals_total"
+          "Elements this worker stole from other shards' queues" (fun s ->
+            s.steals);
+        scounter "pipeline_shard_stolen_batches_total"
+          "Steal operations performed by this worker" (fun s ->
+            s.stolen_batches);
+        scounter "pipeline_shard_parks_total"
+          "Idle waits: no local work and nothing stealable" (fun s -> s.parks))
       t.shards
 
-  let create ?(queue_capacity = 1024) ?(batch = 512) ?(combine = false)
-      ?on_tick ?on_merge ?(checkpoint_every = 0) ?on_checkpoint ?supervisor
-      ?metrics ?trace ?initial ~shards () =
+  let create ?(queue = `Mutex) ?steal ?(queue_capacity = 1024) ?(batch = 512)
+      ?(combine = false) ?on_tick ?on_merge ?(checkpoint_every = 0)
+      ?on_checkpoint ?supervisor ?metrics ?trace ?initial ~shards () =
+    (* Stealing defaults on exactly when the lock-free ring is selected:
+       the ring's multi-consumer pops make steals cheap, and without them
+       a skewed trace pins one shard while the others spin empty. *)
+    let steal = match steal with Some b -> b | None -> queue = `Lockfree in
     if shards <= 0 then invalid_arg "Engine.create: shards must be positive";
     (match initial with
     | Some (_, epoch0, published0) when epoch0 < 0 || published0 < 0 ->
@@ -434,7 +542,7 @@ module Make (M : Mergeable.S) = struct
     | _ -> ());
     let mk_shard _ =
       {
-        q = Mpsc.create ~capacity:queue_capacity;
+        q = Squeue.create ~impl:queue ~capacity:queue_capacity;
         enqueued = Atomic.make 0;
         dropped = Atomic.make 0;
         consumed = Atomic.make 0;
@@ -448,13 +556,21 @@ module Make (M : Mergeable.S) = struct
         last_error = Atomic.make None;
         beats = Atomic.make 0;
         coalesced = Atomic.make 0;
+        steals = Atomic.make 0;
+        stolen_batches = Atomic.make 0;
+        parks = Atomic.make 0;
       }
     in
     let t =
       {
         shards = Array.init shards mk_shard;
-        mq = Mpsc.create ~capacity:(max 4 (2 * shards));
+        (* The merger queue stays on the mutex implementation regardless of
+           [queue]: it is low-rate (one delta per batch), its consumer
+           blocks on empty, and exact blocking semantics matter more there
+           than CAS throughput. *)
+        mq = Squeue.create ~impl:`Mutex ~capacity:(max 4 (2 * shards));
         batch;
+        steal;
         combine;
         on_tick;
         on_merge;
@@ -483,6 +599,9 @@ module Make (M : Mergeable.S) = struct
         stopping = Atomic.make false;
         dm = Mutex.create ();
         drained = false;
+        depth_m = Mutex.create ();
+        depths = Array.make shards 0;
+        depths_at = 0.0;
       }
     in
     (* Seeding recovered state must happen before any domain spawns: the
@@ -508,14 +627,17 @@ module Make (M : Mergeable.S) = struct
     | None -> ());
     t
 
+  (* Relaxed depth read: the high-water mark is a heuristic, and taking the
+     queue mutex here once per ingest serialized feeders against the
+     consumer (the stats-path race this replaces). *)
   let note_depth s =
-    let depth = Mpsc.length s.q in
+    let depth = Squeue.length_relaxed s.q in
     if depth > Atomic.get s.max_depth then Atomic.set s.max_depth depth
 
   let ingest t x =
     let s = t.shards.(shard_of t x) in
     note_depth s;
-    if Mpsc.push s.q x then begin
+    if Squeue.push s.q x then begin
       ignore (Atomic.fetch_and_add s.enqueued 1);
       true
     end
@@ -527,7 +649,7 @@ module Make (M : Mergeable.S) = struct
   let try_ingest t x =
     let s = t.shards.(shard_of t x) in
     note_depth s;
-    match Mpsc.try_push s.q x with
+    match Squeue.try_push s.q x with
     | `Ok ->
         ignore (Atomic.fetch_and_add s.enqueued 1);
         true
@@ -545,15 +667,15 @@ module Make (M : Mergeable.S) = struct
       Atomic.set t.stopping true;
       (match t.watchdog with Some d -> Domain.join d | None -> ());
       t.watchdog <- None;
-      Array.iter (fun (s : shard) -> Mpsc.close s.q) t.shards;
+      Array.iter (fun (s : shard) -> Squeue.close s.q) t.shards;
       Array.iter Domain.join t.workers;
       (* Whatever a dead worker left queued was never summarized: drops. *)
       Array.iter
         (fun (s : shard) ->
-          let left = Mpsc.drain_remaining s.q in
+          let left = Squeue.drain_remaining s.q in
           if left > 0 then ignore (Atomic.fetch_and_add s.dropped left))
         t.shards;
-      Mpsc.close t.mq;
+      Squeue.close t.mq;
       (match t.merger with Some d -> Domain.join d | None -> ());
       t.merger <- None;
       t.drained <- true
@@ -608,6 +730,9 @@ module Make (M : Mergeable.S) = struct
               last_error = Atomic.get s.last_error;
               beats = Atomic.get s.beats;
               coalesced = Atomic.get s.coalesced;
+              steals = Atomic.get s.steals;
+              stolen_batches = Atomic.get s.stolen_batches;
+              parks = Atomic.get s.parks;
             })
           t.shards;
       merges = Atomic.get t.merges;

@@ -82,6 +82,13 @@ module Make (M : Mergeable.S) : sig
     coalesced : int;
         (** sketch updates saved by the combining buffer (items absorbed
             minus distinct keys, summed over batches); 0 without [combine] *)
+    steals : int;
+        (** elements this shard's worker stole from other shards' queues;
+            counted in the {e thief}'s [consumed]/[flushed_items] while
+            [enqueued] stays with the victim — under stealing, conservation
+            holds as a sum across shards, not per shard *)
+    stolen_batches : int;  (** steal operations performed by this worker *)
+    parks : int;  (** idle waits: queue empty and (if stealing) no victim *)
   }
 
   type stats = {
@@ -94,6 +101,8 @@ module Make (M : Mergeable.S) : sig
   }
 
   val create :
+    ?queue:Squeue.impl ->
+    ?steal:bool ->
     ?queue_capacity:int ->
     ?batch:int ->
     ?combine:bool ->
@@ -111,7 +120,22 @@ module Make (M : Mergeable.S) : sig
   (** Spawn [shards] worker domains plus one merger domain (plus a watchdog
       domain when [supervisor] is given). [queue_capacity] (default 1024)
       bounds each shard queue; [batch] (default 512) is the merge cadence in
-      items. [on_tick] runs in the worker's domain once per batch loop — the
+      items.
+
+      [queue] selects the shard-queue implementation (default [`Mutex], the
+      blocking reference): [`Lockfree] swaps in the {!Ring} — padded CAS
+      cursors, allocation-free batch pops, capacity rounded up to a power
+      of two internally while backpressure still triggers at exactly
+      [queue_capacity]. The merger queue always stays on [`Mutex]
+      (low-rate, blocking consumer). [steal] (default: on iff
+      [queue = `Lockfree]) enables batch rebalancing: an idle worker claims
+      up to half of the deepest other shard's backlog (capped at one
+      batch) and folds it into its own delta, so skewed traces don't pin
+      one shard while the rest sleep. Stolen items count in the thief's
+      [consumed]/[flushed_items]; conservation then holds as
+      Σ flushed = Σ enqueued across shards rather than per shard.
+
+      [on_tick] runs in the worker's domain once per batch loop — the
       chaos hook: raising {!Conc.Chaos.Killed} from it crash-stops that
       shard (under a supervisor, the restarted incarnation runs the same
       hook, so a hook that kills unconditionally produces a crash loop that
@@ -143,10 +167,13 @@ module Make (M : Mergeable.S) : sig
       [pipeline_merges_total], [pipeline_decode_failures_total],
       [pipeline_published_total], [pipeline_epoch],
       [pipeline_shed_shards], per-shard series labelled [shard="i"]
-      ([pipeline_queue_depth], [pipeline_queue_max_depth],
+      ([pipeline_queue_depth] — a TTL-cached snapshot refreshed at most
+      once per ~20 ms so a scrape costs one length sweep instead of
+      contending per-gauge with the consumers — [pipeline_queue_max_depth],
       [pipeline_shard_alive], [pipeline_shard_shed], and
       [pipeline_shard_{enqueued,dropped,consumed,flushed_items,flushes,
-      coalesced,restarts}_total]), a [pipeline_merge_lag_seconds] summary
+      coalesced,restarts,steals,stolen_batches,parks}_total]), a
+      [pipeline_merge_lag_seconds] summary
       observed by the merger, and [pipeline_envelope_width] — the live IVL
       freshness gap
       (accepted weight minus published weight, reading [published] before

@@ -80,6 +80,44 @@ let pop_batch t ~max =
 
 let pop t = match pop_batch t ~max:1 with [] -> None | x :: _ -> Some x
 
+(* Array-based pops: same semantics as [pop_batch] but writing into a
+   caller-owned buffer, so steady-state consumption allocates nothing.
+   Because every consumer runs under the queue mutex these are also safe
+   for multiple concurrent consumers — which is how the engine's batch
+   stealing works against the mutex implementation. *)
+
+let unsafe_take_into t buf n =
+  for j = 0 to n - 1 do
+    (match t.buf.(t.head) with
+    | Some x -> buf.(j) <- x
+    | None -> assert false);
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod t.capacity;
+    t.len <- t.len - 1
+  done;
+  if n > 0 then Condition.broadcast t.not_full
+
+let try_pop_into t buf ~max =
+  if max <= 0 then invalid_arg "Mpsc.try_pop_into: max must be positive";
+  Mutex.lock t.m;
+  let n = min (min max (Array.length buf)) t.len in
+  let r = if n = 0 then if t.closed then -1 else 0 else n in
+  unsafe_take_into t buf n;
+  Mutex.unlock t.m;
+  r
+
+let pop_into t buf ~max =
+  if max <= 0 then invalid_arg "Mpsc.pop_into: max must be positive";
+  Mutex.lock t.m;
+  while t.len = 0 && not t.closed do
+    Condition.wait t.not_empty t.m
+  done;
+  let n = min (min max (Array.length buf)) t.len in
+  let r = if n = 0 then -1 (* closed and drained *) else n in
+  unsafe_take_into t buf n;
+  Mutex.unlock t.m;
+  r
+
 let close t =
   Mutex.lock t.m;
   t.closed <- true;
@@ -113,6 +151,12 @@ let length t =
   let n = t.len in
   Mutex.unlock t.m;
   n
+
+(* Unsynchronized read of [len]: immediates cannot tear, so this returns
+   *some* recently written length — approximate, monotone in neither
+   direction. The stats path uses it so scrapes and ingest-side
+   depth tracking never contend with the consumer's lock. *)
+let length_relaxed t = t.len
 
 let is_closed t =
   Mutex.lock t.m;

@@ -35,6 +35,20 @@ val pop_batch : 'a t -> max:int -> 'a list
     FIFO order; [[]] iff closed and drained.
     @raise Invalid_argument if [max <= 0]. *)
 
+val try_pop_into : 'a t -> 'a array -> max:int -> int
+(** Non-blocking batch pop into a caller-owned buffer: takes up to
+    [min max (Array.length buf)] elements, FIFO, into [buf.(0..n-1)] and
+    returns the count — [0] means empty-but-open, [-1] means closed and
+    drained. Allocation-free at steady state. Runs under the queue mutex,
+    so it is safe from any domain — this is also the steal entry point
+    when the engine rebalances batches against the mutex queue.
+    @raise Invalid_argument if [max <= 0]. *)
+
+val pop_into : 'a t -> 'a array -> max:int -> int
+(** Blocking {!try_pop_into}: waits while empty and open; returns
+    [n > 0], or [-1] iff closed and drained.
+    @raise Invalid_argument if [max <= 0]. *)
+
 val close : 'a t -> unit
 (** Idempotent. Wakes every blocked producer and the consumer. *)
 
@@ -50,5 +64,11 @@ val drain_remaining : 'a t -> int
     pipeline's drain to account for elements a dead worker never consumed. *)
 
 val length : 'a t -> int
+(** Exact (taken under the queue mutex). *)
+
+val length_relaxed : 'a t -> int
+(** Unsynchronized, approximate length — no lock, no contention with the
+    consumer. For stats and depth heuristics only; immediates cannot
+    tear, so the value is always one that was recently written. *)
 
 val is_closed : 'a t -> bool

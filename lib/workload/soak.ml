@@ -28,6 +28,7 @@ type config = {
   feeders : int;
   rounds : int;
   batch : int;
+  queue : Pipeline.Squeue.impl;
   queue_capacity : int;
   checkpoint_every : int;
   fsync_every : int;
@@ -49,6 +50,7 @@ let default_config ~dir =
     feeders = 2;
     rounds = 4;
     batch = 256;
+    queue = `Mutex;
     queue_capacity = 1024;
     checkpoint_every = 8;
     fsync_every = 16;
@@ -229,7 +231,7 @@ let run ?(progress = fun _ -> ()) c ~spec ~ops () =
     in
     let base = rec_pub in
     let eng =
-      P.create ~queue_capacity:c.queue_capacity ~batch:c.batch
+      P.create ~queue:c.queue ~queue_capacity:c.queue_capacity ~batch:c.batch
         ~on_tick:(fun ~shard -> Conc.Chaos.point_once chaos ~domain:shard)
         ~on_merge:(fun ~epoch ~weight ~blob -> Durable.Wal.append wal ~epoch ~weight ~blob)
         ~checkpoint_every:c.checkpoint_every

@@ -35,6 +35,8 @@ type config = {
   feeders : int;  (** driver feeder domains per round *)
   rounds : int;  (** engine incarnations; [rounds - 1] crash/recover cycles *)
   batch : int;
+  queue : Pipeline.Squeue.impl;
+      (** shard-queue implementation; [`Lockfree] also enables stealing *)
   queue_capacity : int;
   checkpoint_every : int;  (** epochs between checkpoints *)
   fsync_every : int;  (** WAL {!Durable.Wal.fsync_policy} [Every_n] *)

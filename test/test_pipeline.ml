@@ -569,6 +569,379 @@ let test_supervisor_restart_cap_sheds () =
        st.PC.shards);
   Alcotest.(check bool) "no unexpected failures" true (PC.failures p = [])
 
+(* ------------------- queue contract (both implementations) ------------------- *)
+
+(* Every test below runs against the mutex queue AND the lock-free ring
+   through the {!Pipeline.Squeue} seam: the implementations must stay
+   behaviourally interchangeable or the engine's `queue knob silently
+   changes pipeline semantics. *)
+
+module Sq = Pipeline.Squeue
+
+let test_q_fifo impl () =
+  let q = Sq.create ~impl ~capacity:4 in
+  List.iter (fun x -> Alcotest.(check bool) "push" true (Sq.push q x)) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Sq.length q);
+  Alcotest.(check (list int)) "batch pops FIFO" [ 1; 2 ] (Sq.pop_batch q ~max:2);
+  Alcotest.(check (option int)) "pop" (Some 3) (Sq.pop q);
+  Alcotest.(check bool) "try_push ok" true (Sq.try_push q 9 = `Ok)
+
+let test_q_exact_capacity impl () =
+  (* The ring rounds its slot array up to a power of two, but the logical
+     capacity must be enforced exactly — backpressure semantics are part of
+     the contract, not an implementation detail. *)
+  let cap = 5 in
+  let q = Sq.create ~impl ~capacity:cap in
+  for x = 1 to cap do
+    Alcotest.(check bool) (Printf.sprintf "push %d fits" x) true
+      (Sq.try_push q x = `Ok)
+  done;
+  Alcotest.(check bool) "push past capacity is Full" true
+    (Sq.try_push q 99 = `Full);
+  Alcotest.(check int) "length = capacity" cap (Sq.length q);
+  (* One pop frees exactly one slot. *)
+  Alcotest.(check (option int)) "fifo head" (Some 1) (Sq.pop q);
+  Alcotest.(check bool) "slot freed" true (Sq.try_push q 6 = `Ok);
+  Alcotest.(check bool) "full again" true (Sq.try_push q 7 = `Full)
+
+let test_q_close_semantics impl () =
+  let q = Sq.create ~impl ~capacity:2 in
+  ignore (Sq.push q 1);
+  ignore (Sq.push q 2);
+  Alcotest.(check bool) "try_push full" true (Sq.try_push q 3 = `Full);
+  Sq.close q;
+  Alcotest.(check bool) "closed" true (Sq.is_closed q);
+  Alcotest.(check bool) "push after close" false (Sq.push q 4);
+  Alcotest.(check bool) "try_push closed" true (Sq.try_push q 4 = `Closed);
+  Alcotest.(check (option int)) "drain 1" (Some 1) (Sq.pop q);
+  Alcotest.(check (list int)) "drain 2" [ 2 ] (Sq.pop_batch q ~max:8);
+  Alcotest.(check (option int)) "end" None (Sq.pop q);
+  Alcotest.(check (list int)) "end batch" [] (Sq.pop_batch q ~max:8)
+
+let test_q_reopen_backlog impl () =
+  let q = Sq.create ~impl ~capacity:8 in
+  List.iter (fun x -> ignore (Sq.push q x)) [ 1; 2; 3 ];
+  Sq.close q;
+  Alcotest.(check bool) "push rejected while closed" false (Sq.push q 9);
+  Sq.reopen q;
+  Alcotest.(check bool) "reopened" false (Sq.is_closed q);
+  Alcotest.(check bool) "push accepted again" true (Sq.push q 4);
+  Alcotest.(check (list int)) "backlog first, in order" [ 1; 2; 3; 4 ]
+    (Sq.pop_batch q ~max:8)
+
+let test_q_pop_into_conventions impl () =
+  let q = Sq.create ~impl ~capacity:8 in
+  let buf = Array.make 8 0 in
+  Alcotest.(check int) "empty open = 0" 0 (Sq.try_pop_into q buf ~max:8);
+  List.iter (fun x -> ignore (Sq.push q x)) [ 10; 20; 30 ];
+  Alcotest.(check int) "bounded by max" 2 (Sq.try_pop_into q buf ~max:2);
+  Alcotest.(check (list int)) "fifo into buf" [ 10; 20 ]
+    [ buf.(0); buf.(1) ];
+  Alcotest.(check int) "blocking pop_into returns count" 1
+    (Sq.pop_into q buf ~max:8);
+  Alcotest.(check int) "last element" 30 buf.(0);
+  Sq.close q;
+  Alcotest.(check int) "closed and drained = -1" (-1)
+    (Sq.try_pop_into q buf ~max:8);
+  Alcotest.(check int) "blocking sees end mark too" (-1)
+    (Sq.pop_into q buf ~max:8)
+
+let test_q_drain_remaining impl () =
+  let q = Sq.create ~impl ~capacity:8 in
+  List.iter (fun x -> ignore (Sq.push q x)) [ 1; 2; 3; 4; 5 ];
+  Sq.close q;
+  Alcotest.(check int) "drain counts leftovers" 5 (Sq.drain_remaining q);
+  Alcotest.(check int) "empty after drain" 0 (Sq.length q)
+
+let test_q_blocked_producer_wakeup impl () =
+  (* A producer parked on a full queue must wake when the consumer frees a
+     slot — for the ring this exercises the eventcount park/wake path. *)
+  let q = Sq.create ~impl ~capacity:1 in
+  ignore (Sq.push q 0);
+  let d =
+    Domain.spawn (fun () ->
+        let ok = ref true in
+        for x = 1 to 200 do
+          ok := !ok && Sq.push q x
+        done;
+        !ok)
+  in
+  let seen = ref 0 in
+  for _ = 0 to 200 do
+    match Sq.pop q with Some _ -> incr seen | None -> ()
+  done;
+  Alcotest.(check bool) "all pushes accepted" true (Domain.join d);
+  Alcotest.(check int) "all elements popped" 201 !seen
+
+let test_q_close_wakes_all_producers impl () =
+  let producers = 4 in
+  let q = Sq.create ~impl ~capacity:1 in
+  ignore (Sq.push q 0);
+  let returned = Array.init producers (fun _ -> Atomic.make None) in
+  let doms =
+    Array.init producers (fun i ->
+        Domain.spawn (fun () ->
+            let ok = Sq.push q (i + 1) in
+            Atomic.set returned.(i) (Some ok)))
+  in
+  ignore
+    (wait_until ~timeout:0.5 (fun () ->
+         Array.for_all (fun r -> Atomic.get r = None) returned));
+  Sq.close q;
+  Alcotest.(check bool) "every blocked producer woke" true
+    (wait_until (fun () ->
+         Array.for_all (fun r -> Atomic.get r <> None) returned));
+  Array.iter Domain.join doms;
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check (option bool))
+        (Printf.sprintf "producer %d rejected" i)
+        (Some false) (Atomic.get r))
+    returned;
+  Alcotest.(check (option int)) "backlog intact" (Some 0) (Sq.pop q)
+
+let test_q_mpsc_stress impl () =
+  (* Multi-producer stress through a small queue: every accepted element is
+     popped exactly once, and each producer's elements arrive in its push
+     order (per-source FIFO — the property hash-routed ingest relies on). *)
+  let producers = 3 in
+  let per = 20_000 in
+  let q = Sq.create ~impl ~capacity:64 in
+  let doms =
+    Array.init producers (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              ignore (Sq.push q ((d * per) + i))
+            done))
+  in
+  let closer =
+    Domain.spawn (fun () ->
+        Array.iter Domain.join doms;
+        Sq.close q)
+  in
+  let last = Array.make producers (-1) in
+  let count = ref 0 in
+  let buf = Array.make 32 0 in
+  let rec consume () =
+    match Sq.pop_into q buf ~max:32 with
+    | -1 -> ()
+    | n ->
+        for j = 0 to n - 1 do
+          let x = buf.(j) in
+          let d = x / per in
+          if x mod per <= last.(d) then
+            Alcotest.failf "producer %d reordered: %d after %d" d (x mod per)
+              last.(d);
+          last.(d) <- x mod per;
+          incr count
+        done;
+        consume ()
+  in
+  consume ();
+  Domain.join closer;
+  Alcotest.(check int) "popped everything exactly once" (producers * per) !count
+
+let contract_suite impl =
+  let n = Sq.impl_to_string impl in
+  [
+    Alcotest.test_case (n ^ ": fifo") `Quick (test_q_fifo impl);
+    Alcotest.test_case (n ^ ": exact capacity") `Quick (test_q_exact_capacity impl);
+    Alcotest.test_case (n ^ ": close semantics") `Quick (test_q_close_semantics impl);
+    Alcotest.test_case (n ^ ": reopen backlog") `Quick (test_q_reopen_backlog impl);
+    Alcotest.test_case (n ^ ": pop_into conventions") `Quick
+      (test_q_pop_into_conventions impl);
+    Alcotest.test_case (n ^ ": drain_remaining") `Quick (test_q_drain_remaining impl);
+    Alcotest.test_case (n ^ ": blocked producer wakeup") `Quick
+      (test_q_blocked_producer_wakeup impl);
+    Alcotest.test_case (n ^ ": close wakes all producers") `Quick
+      (test_q_close_wakes_all_producers impl);
+    Alcotest.test_case (n ^ ": mpsc stress exact + per-source fifo") `Slow
+      (test_q_mpsc_stress impl);
+  ]
+
+(* ------------------------- stealing ------------------------- *)
+
+let test_ring_concurrent_steal_exact () =
+  (* Two consumers (owner + thief) pop the same ring concurrently while two
+     producers push: every element must be claimed by exactly one consumer,
+     and within each consumer's claim sequence any single producer's
+     elements must appear in push order (head-CAS claims are monotone). *)
+  let module R = Pipeline.Ring in
+  let producers = 2 and per = 25_000 in
+  let q = R.create ~capacity:128 in
+  let prods =
+    Array.init producers (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              ignore (R.push q ((d * per) + i))
+            done))
+  in
+  let closer =
+    Domain.spawn (fun () ->
+        Array.iter Domain.join prods;
+        R.close q)
+  in
+  let consume () =
+    let buf = Array.make 17 0 in
+    let mine = ref [] in
+    let rec go () =
+      match R.try_pop_into q buf ~max:17 with
+      | -1 -> List.rev !mine
+      | 0 ->
+          Unix.sleepf 0.0;
+          go ()
+      | n ->
+          for j = 0 to n - 1 do
+            mine := buf.(j) :: !mine
+          done;
+          go ()
+    in
+    go ()
+  in
+  let thief = Domain.spawn consume in
+  let owner = consume () in
+  let stolen = Domain.join thief in
+  Domain.join closer;
+  let seen = Array.make (producers * per) 0 in
+  let check_consumer items =
+    let last = Array.make producers (-1) in
+    List.iter
+      (fun x ->
+        seen.(x) <- seen.(x) + 1;
+        let d = x / per in
+        if x mod per <= last.(d) then
+          Alcotest.failf "consumer saw producer %d out of order" d;
+        last.(d) <- x mod per)
+      items
+  in
+  check_consumer owner;
+  check_consumer stolen;
+  Array.iteri
+    (fun x c ->
+      if c <> 1 then Alcotest.failf "element %d popped %d times" x c)
+    seen;
+  Alcotest.(check int) "both consumers split the stream" (producers * per)
+    (List.length owner + List.length stolen)
+
+(* The engine's shard router (SplitMix64 finalizer) — replicated here so a
+   test can aim every key at one shard and then watch the others steal. *)
+let shard_of_key ~shards x =
+  let h = x * 0x1E3779B97F4A7C15 in
+  let h = (h lxor (h lsr 30)) * 0x3F58476D1CE4E5B9 in
+  (h lxor (h lsr 27)) land max_int mod shards
+
+let test_engine_steal_exact () =
+  (* Worst-case skew: every item is the same key, so hash routing pins the
+     whole stream to one shard. With the lock-free queue + stealing, the
+     idle shards must rebalance (stolen > 0) and every delta must still be
+     merged exactly once: published = n with zero drops. The hot shard's
+     worker is slowed via on_tick so a backlog actually builds. *)
+  let shards = 3 in
+  let key = 42 in
+  let hot = shard_of_key ~shards key in
+  let n = 30_000 in
+  let p =
+    PC.create ~queue:`Lockfree ~queue_capacity:256 ~batch:64
+      ~on_tick:(fun ~shard -> if shard = hot then Unix.sleepf 0.0003)
+      ~shards ()
+  in
+  let accepted = ref 0 in
+  for _ = 1 to n do
+    if PC.ingest p key then incr accepted
+  done;
+  PC.drain p;
+  let st = PC.stats p in
+  let sum f = Array.fold_left (fun a s -> a + f s) 0 st.PC.shards in
+  Alcotest.(check int) "all accepted" n !accepted;
+  Alcotest.(check int) "everything routed to the hot shard" n
+    st.PC.shards.(hot).enqueued;
+  Alcotest.(check int) "published exactly once" n st.PC.published;
+  Alcotest.(check int) "flushed = enqueued as a cross-shard sum" n
+    (sum (fun (s : PC.shard_stats) -> s.flushed_items));
+  Alcotest.(check int) "no drops" 0 (sum (fun (s : PC.shard_stats) -> s.dropped));
+  let stolen = sum (fun (s : PC.shard_stats) -> s.steals) in
+  let batches = sum (fun (s : PC.shard_stats) -> s.stolen_batches) in
+  Alcotest.(check bool)
+    (Printf.sprintf "idle shards stole work (%d items / %d batches)" stolen
+       batches)
+    true
+    (stolen > 0 && batches > 0);
+  Alcotest.(check int) "hot shard never steals from itself" 0
+    st.PC.shards.(hot).steals;
+  Alcotest.(check int) "no envelope violations" 0
+    (List.length (Mono.violations (PC.history p)));
+  Alcotest.(check bool) "no unexpected failures" true (PC.failures p = [])
+
+let test_lockfree_conservation () =
+  (* The clean-run conservation test, replayed over the lock-free queue:
+     per-shard exactness is replaced by the cross-shard sum (stealing moves
+     flushes between shards) but the global ledger must stay exact. *)
+  let n = 10_000 in
+  let stream =
+    Workload.Stream.generate ~seed:3L (Workload.Stream.Uniform 1000) ~length:n
+  in
+  let p = PC.create ~queue:`Lockfree ~queue_capacity:64 ~batch:37 ~shards:3 () in
+  let accepted = feed p stream ~feeders:2 in
+  PC.drain p;
+  Alcotest.(check int) "all accepted" n accepted;
+  Alcotest.(check int) "published = ingested" n (PC.read_total p);
+  let st = PC.stats p in
+  let sum f = Array.fold_left (fun a s -> a + f s) 0 st.PC.shards in
+  Alcotest.(check int) "flushed sums to n" n
+    (sum (fun (s : PC.shard_stats) -> s.flushed_items));
+  Alcotest.(check int) "enqueued sums to n" n
+    (sum (fun (s : PC.shard_stats) -> s.enqueued));
+  Alcotest.(check int) "no envelope violations" 0
+    (List.length (Mono.violations (PC.history p)));
+  Alcotest.(check bool) "no unexpected failures" true (PC.failures p = [])
+
+let test_lockfree_chaos_kill_drain () =
+  (* Chaos kill under the lock-free queue: drain must complete, the global
+     ledger must balance (published = Σ flushed, accepted = Σ enqueued +
+     nothing lost beyond the dead shard's unflushed delta and queue), and
+     the envelope must hold. Per-shard loss accounting is skipped: a thief
+     may legitimately rescue part of the dead shard's backlog. *)
+  let n = 30_000 in
+  let stream =
+    Workload.Stream.generate ~seed:13L (Workload.Stream.Uniform 5000) ~length:n
+  in
+  let shards = 3 in
+  let ch =
+    Conc.Chaos.instantiate
+      (Conc.Chaos.plan
+         ~kills:
+           (Conc.Chaos.random_kills ~seed:17L ~domains:shards ~victims:1
+              ~max_point:20)
+         ~seed:17L ())
+      ~domains:shards
+  in
+  let p =
+    PC.create ~queue:`Lockfree ~queue_capacity:64 ~batch:50
+      ~on_tick:(fun ~shard -> Conc.Chaos.point ch ~domain:shard)
+      ~shards ()
+  in
+  let accepted = feed p stream ~feeders:2 in
+  PC.drain p;
+  Alcotest.(check int) "exactly one kill" 1 (List.length (Conc.Chaos.killed ch));
+  Alcotest.(check bool) "no unexpected failures" true (PC.failures p = []);
+  let st = PC.stats p in
+  let sum f = Array.fold_left (fun a s -> a + f s) 0 st.PC.shards in
+  Alcotest.(check int) "published = flushed" st.PC.published
+    (sum (fun (s : PC.shard_stats) -> s.flushed_items));
+  Alcotest.(check int) "published = read_total" st.PC.published
+    (PC.read_total p);
+  Alcotest.(check int) "accepted = enqueued" accepted
+    (sum (fun (s : PC.shard_stats) -> s.enqueued));
+  Alcotest.(check bool) "ledger balances" true
+    (sum (fun (s : PC.shard_stats) -> s.flushed_items)
+     + sum (fun (s : PC.shard_stats) -> s.dropped)
+     + (sum (fun (s : PC.shard_stats) -> s.consumed)
+       - sum (fun (s : PC.shard_stats) -> s.flushed_items))
+    <= accepted + (n - accepted));
+  Alcotest.(check int) "no envelope violations" 0
+    (List.length (Mono.violations (PC.history p)));
+  Alcotest.(check bool) "ingest after drain sheds" false (PC.ingest p 1)
+
 let () =
   Alcotest.run "pipeline"
     [
@@ -611,5 +984,17 @@ let () =
             test_supervisor_restarts_shard;
           Alcotest.test_case "restart cap degrades to shedding" `Quick
             test_supervisor_restart_cap_sheds;
+        ] );
+      ("queue-contract", contract_suite `Mutex @ contract_suite `Lockfree);
+      ( "stealing",
+        [
+          Alcotest.test_case "ring concurrent steal is exact" `Slow
+            test_ring_concurrent_steal_exact;
+          Alcotest.test_case "engine steals under worst-case skew" `Quick
+            test_engine_steal_exact;
+          Alcotest.test_case "lock-free conservation through drain" `Quick
+            test_lockfree_conservation;
+          Alcotest.test_case "lock-free chaos kill drain" `Quick
+            test_lockfree_chaos_kill_drain;
         ] );
     ]
