@@ -54,7 +54,8 @@ let run_once ?wal ?(checkpoint_every = 0) stream =
   in
   let on_merge =
     Option.map
-      (fun w ~epoch ~weight ~blob -> Durable.Wal.append w ~epoch ~weight ~blob)
+      (fun w ~ctx:_ ~epoch ~weight ~blob ->
+        Durable.Wal.append w ~epoch ~weight ~blob)
       writer
   in
   let on_checkpoint =

@@ -71,7 +71,12 @@ let query_run conns =
     (Net.Conn.send c
        (Net.Frame.encode_request
           (Net.Frame.Batch
-             { session = 0L; seq = 0; keys = Array.init 4096 (fun i -> i) })));
+             {
+               session = 0L;
+               seq = 0;
+               ctx = Obs.Span.zero;
+               keys = Array.init 4096 (fun i -> i);
+             })));
   ignore (Net.Conn.recv c);
   let t0 = Unix.gettimeofday () in
   let workers =

@@ -101,8 +101,10 @@ let micro () =
 (* ---------------- end-to-end pipeline overhead ---------------- *)
 
 (* One full ingestion run; instrumented runs carry the registry, the trace
-   rings, and therefore the merge-lag timer — the whole telemetry surface a
-   production run would enable. Returns (elapsed seconds, registry). *)
+   rings, the merge-lag timer, and a span tracer sampling 1/64 batches with
+   the feeders rolling the die — the whole telemetry surface a production
+   run would enable, distributed tracing included. Returns (elapsed
+   seconds, registry). *)
 let run_once ~instrumented stream =
   let reg = if instrumented then Some (Obs.Registry.create ()) else None in
   let tr =
@@ -110,13 +112,44 @@ let run_once ~instrumented stream =
       Some (Obs.Trace.create ~lanes:(shards + 2) ~capacity:1024 ())
     else None
   in
-  let p = P.create ~queue_capacity:4096 ~batch ?metrics:reg ?trace:tr ~shards () in
+  let tracer =
+    match reg with
+    | Some reg -> Some (Obs.Tracer.create ~sample_every:64 ~metrics:reg ())
+    | None -> None
+  in
+  let p =
+    P.create ~queue_capacity:4096 ~batch ?metrics:reg ?trace:tr ?tracer
+      ~shards ()
+  in
   let chunks = Workload.Stream.chunks stream ~pieces:feeders in
   let (), dt =
     Conc.Runner.timed (fun () ->
         ignore
           (Conc.Runner.parallel ~domains:feeders (fun i ->
-               Array.iter (fun x -> ignore (P.ingest p x)) chunks.(i)));
+               match tracer with
+               | None -> Array.iter (fun x -> ignore (P.ingest p x)) chunks.(i)
+               | Some tr ->
+                   (* Roll the sampling die once per [batch] items — the
+                      same cadence a batching edge would. *)
+                   let since = ref 0 in
+                   Array.iter
+                     (fun x ->
+                       if !since = 0 then begin
+                         since := batch;
+                         match Obs.Tracer.sample tr with
+                         | None -> ()
+                         | Some ctx ->
+                             let now = Obs.Tracer.now_ns () in
+                             let sid =
+                               Obs.Tracer.record tr ~ctx ~stage:"ingest"
+                                 ~start_ns:now ~end_ns:now
+                             in
+                             P.trace_mark p ~key:x
+                               ~ctx:(Obs.Span.with_parent ctx sid)
+                       end;
+                       decr since;
+                       ignore (P.ingest p x))
+                     chunks.(i)));
         P.drain p)
   in
   (dt, reg)
@@ -177,7 +210,7 @@ let pipeline_overhead () =
     [
       [ "bare"; Printf.sprintf "%.2f" bare; "-" ];
       [
-        "metrics + trace + lag timer";
+        "metrics + trace + lag timer + 1/64 spans";
         Printf.sprintf "%.2f" instr;
         Printf.sprintf "%.1f%%" overhead;
       ];

@@ -832,6 +832,25 @@ let write_metrics ~path snap =
     Printf.printf "metrics: wrote %s.prom and %s.json\n" path path
   end
 
+(* Observability-plane seams shared by every serving command — one tracer
+   constructor and one HTTP mount, so pipeline/serve/replica/soak cannot
+   drift apart in how they expose the same plane. *)
+let make_tracer ~reg sample_every =
+  if sample_every > 0 then
+    Some (Obs.Tracer.create ~sample_every ~metrics:reg ())
+  else None
+
+let mount_http ~what ~reg ?tracer ?slo ?health port =
+  let h =
+    Obs.Http.create ~port
+      ~handler:
+        (Obs.Http.telemetry_handler ~registry:reg ?tracer ?slo ?health ())
+      ()
+  in
+  Printf.printf "%s: telemetry on http://127.0.0.1:%d/metrics\n%!" what
+    (Obs.Http.port h);
+  h
+
 (* One formatter over one scrape: the shard table, merger line, lag line and
    supervisor line are all views of the same snapshot --metrics exports, so
    the human output cannot drift from the machine output. [last_errors] is
@@ -916,12 +935,14 @@ let print_pipeline_stats snap ~shards ~combine ~steal ~supervise ~last_errors =
 let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
     ~(report : s -> unit) ~shards ~stream ~batch ~queue_impl ~queue_cap
     ~feeders ~combine ~chaos_kill ~kills ~seed ~wal_dir ~checkpoint_every
-    ~kill_and_recover ~supervise ~max_restarts ~metrics_out ~trace_dump =
+    ~kill_and_recover ~supervise ~max_restarts ~metrics_out ~http_port
+    ~trace_sample ~trace_dump =
   let module Mono = Ivl.Monotone.Make (Spec.Counter_spec) in
   let module P = Pipeline.Engine.Make (M) in
   let module R = Durable.Recovery.Make (M) in
   let ops = Array.length stream in
   let reg = Obs.Registry.create () in
+  let tracer = make_tracer ~reg trace_sample in
   let tr = Obs.Trace.create ~lanes:(shards + 2) ~capacity:4096 () in
   let ch =
     if not chaos_kill then None
@@ -966,7 +987,20 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
   in
   let on_merge =
     Option.map
-      (fun w ~epoch ~weight ~blob -> Durable.Wal.append w ~epoch ~weight ~blob)
+      (fun w ~ctx ~epoch ~weight ~blob ->
+        (* last in-process stage of a sampled batch's waterfall *)
+        let t0 =
+          match tracer with
+          | Some _ when not (Obs.Span.is_zero ctx) -> Obs.Tracer.now_ns ()
+          | _ -> 0
+        in
+        Durable.Wal.append w ~epoch ~weight ~blob;
+        match tracer with
+        | Some tr when not (Obs.Span.is_zero ctx) ->
+            ignore
+              (Obs.Tracer.record tr ~ctx ~stage:"wal" ~start_ns:t0
+                 ~end_ns:(Obs.Tracer.now_ns ()))
+        | _ -> ())
       wal
   in
   let on_checkpoint =
@@ -987,7 +1021,7 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
     P.create ~queue:queue_impl ~queue_capacity:queue_cap ~batch ~combine
       ?on_tick ?on_merge
       ~checkpoint_every:(if wal_dir = None then 0 else checkpoint_every)
-      ?on_checkpoint ?supervisor ~metrics:reg ~trace:tr ~shards ()
+      ?on_checkpoint ?supervisor ~metrics:reg ~trace:tr ?tracer ~shards ()
   in
   let stop = Atomic.make false in
   let reads = Atomic.make 0 in
@@ -1006,12 +1040,72 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
   in
   let chunks = Workload.Stream.chunks stream ~pieces:feeders in
   let accepted = Atomic.make 0 in
+  (* Continuous SLO over the live engine: Theorem-6 budget scaled to this
+     run's shape; staleness is unknown (no replica in-process). Evaluated
+     from /healthz scrapes and once at drain — pull-based by design. *)
+  let slo =
+    Obs.Slo.create ~metrics:reg
+      ~budget:
+        (Obs.Slo.theorem6_budget ~shards ~batch ~queue_capacity:queue_cap ())
+      ~envelope:(fun () ->
+        let st = P.stats p in
+        let acc =
+          Array.fold_left
+            (fun a (s : P.shard_stats) -> a + s.enqueued - s.dropped)
+            0 st.P.shards
+        in
+        float_of_int (max 0 (acc - st.P.published)))
+      ~staleness:(fun () -> -1.0)
+      ~merge_lag:(fun () ->
+        let lag = (P.stats p).P.merge_lag in
+        let n = Array.length lag in
+        if n = 0 then -1.0 else lag.(n - 1))
+      ()
+  in
+  let http =
+    Option.map
+      (fun port ->
+        mount_http ~what:"pipeline" ~reg ?tracer ~slo
+          ~health:(fun () ->
+            let st = P.stats p in
+            [
+              ("published", string_of_int st.P.published);
+              ("epoch", string_of_int st.P.epoch);
+              ("accepted", string_of_int (Atomic.get accepted));
+            ])
+          port)
+      http_port
+  in
   let (), dt =
     Conc.Runner.timed (fun () ->
         ignore
           (Conc.Runner.parallel ~domains:feeders (fun i ->
                let ok = ref 0 in
-               Array.iter (fun x -> if P.ingest p x then incr ok) chunks.(i);
+               (* one die roll per engine batch, not per item: a sampled
+                  roll roots the waterfall with a zero-width "ingest" span
+                  and marks the key's shard so queue/merge/wal follow *)
+               let since = ref 0 in
+               Array.iter
+                 (fun x ->
+                   (match tracer with
+                   | Some tr ->
+                       incr since;
+                       if !since >= batch then begin
+                         since := 0;
+                         match Obs.Tracer.sample tr with
+                         | None -> ()
+                         | Some ctx ->
+                             let now = Obs.Tracer.now_ns () in
+                             let sid =
+                               Obs.Tracer.record tr ~ctx ~stage:"ingest"
+                                 ~start_ns:now ~end_ns:now
+                             in
+                             P.trace_mark p ~key:x
+                               ~ctx:(Obs.Span.with_parent ctx sid)
+                       end
+                   | None -> ());
+                   if P.ingest p x then incr ok)
+                 chunks.(i);
                ignore (Atomic.fetch_and_add accepted !ok)));
         P.drain p)
   in
@@ -1037,6 +1131,10 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
   let viols = Mono.violations (P.history p) in
   Printf.printf "envelope: %d merge updates + %d reads checked, %d violations\n"
     merges (Atomic.get reads) (List.length viols);
+  let slo_v = Obs.Slo.eval slo in
+  Printf.printf "slo: %s at drain (worst %s at %.2fx budget, %d breaches)\n"
+    (Obs.Slo.state_to_string slo_v.Obs.Slo.state)
+    slo_v.Obs.Slo.worst_dim slo_v.Obs.Slo.worst_ratio slo_v.Obs.Slo.breaches;
   let problems = ref [] in
   let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
   if viols <> [] then add "%d IVL envelope violations" (List.length viols);
@@ -1104,6 +1202,7 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
   if trace_dump > 0 then print_trace_tail tr trace_dump;
   (* Re-scrape for the export so post-drain series (recovery, final WAL
      fsyncs) are included. *)
+  Option.iter Obs.Http.stop http;
   Option.iter
     (fun path -> write_metrics ~path (Obs.Registry.snapshot reg))
     metrics_out;
@@ -1118,7 +1217,7 @@ let run_pipeline (type s) (module M : Pipeline.Mergeable.S with type t = s)
 
 let pipeline sk shards ops shape skew universe batch queue queue_cap feeders
     combine chaos kills seed wal_dir checkpoint_every kill_and_recover
-    supervise max_restarts metrics_out trace_dump =
+    supervise max_restarts metrics_out http_port trace_sample trace_dump =
   if shards < 1 || feeders < 1 || ops < 1 || batch < 1 || queue_cap < 1
   then begin
     Printf.eprintf
@@ -1175,7 +1274,8 @@ let pipeline sk shards ops shape skew universe batch queue queue_cap feeders
   let run m report =
     run_pipeline m ~report ~shards ~stream ~batch ~queue_impl ~queue_cap
       ~feeders ~combine ~chaos_kill ~kills ~seed ~wal_dir ~checkpoint_every
-      ~kill_and_recover ~supervise ~max_restarts ~metrics_out ~trace_dump
+      ~kill_and_recover ~supervise ~max_restarts ~metrics_out ~http_port
+      ~trace_sample ~trace_dump
   in
   match sk with
   | "countmin" ->
@@ -1387,7 +1487,8 @@ let metrics_demo format events shards ops seed wal_dir =
   in
   let on_merge =
     Option.map
-      (fun w ~epoch ~weight ~blob -> Durable.Wal.append w ~epoch ~weight ~blob)
+      (fun w ~ctx:_ ~epoch ~weight ~blob ->
+        Durable.Wal.append w ~epoch ~weight ~blob)
       wal
   in
   let p =
@@ -1423,6 +1524,38 @@ let metrics_demo format events shards ops seed wal_dir =
 (* ------------------------------ cmdliner ------------------------------ *)
 
 open Cmdliner
+
+(* Shared observability flags: built once so pipeline, serve, client,
+   replica and soak parse --metrics/--http-port/--trace-sample
+   identically (Arg values are pure and reusable across commands). *)
+let metrics_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"PATH|-"
+        ~doc:
+          "export the final metrics snapshot: `-' prints the Prometheus \
+           text and JSON expositions to stdout, a path writes PATH.prom \
+           and PATH.json")
+
+let http_port_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "http-port" ] ~docv:"PORT"
+        ~doc:
+          "serve live telemetry over HTTP while running: /metrics \
+           (Prometheus text), /metrics.json, /healthz (SLO verdict, HTTP \
+           503 on breach) and /trace?n=K (recent spans as JSON); port 0 \
+           picks an ephemeral port, printed at startup")
+
+let trace_sample_flag =
+  Arg.(
+    value & opt int 0
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:
+          "distributed tracing: sample about one batch in N for a \
+           cross-stage waterfall of spans (0 = tracing off)")
 
 let replay_cmd =
   let scenario =
@@ -1624,16 +1757,6 @@ let pipeline_cmd =
             "with --supervise: per-shard restart budget before the shard is \
              permanently shed")
   in
-  let metrics =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "metrics" ] ~docv:"PATH|-"
-          ~doc:
-            "export the final metrics snapshot: `-' prints the Prometheus \
-             text and JSON expositions to stdout, a path writes PATH.prom \
-             and PATH.json")
-  in
   let trace_dump =
     Arg.(
       value & opt int 0
@@ -1651,7 +1774,7 @@ let pipeline_cmd =
       const pipeline $ sketch $ shards $ ops $ shape $ skew $ universe $ batch
       $ queue $ queue_cap $ feeders $ combine $ chaos $ kills $ seed $ wal
       $ checkpoint_every $ kill_and_recover $ supervise $ max_restarts
-      $ metrics $ trace_dump)
+      $ metrics_flag $ http_port_flag $ trace_sample_flag $ trace_dump)
 
 let recover_cmd =
   let dir =
@@ -1924,7 +2047,7 @@ let clear_soak_dir dir =
   end
 
 let soak_run trace_file ops universe seed dir shards feeders rounds kills chaos
-    tear queue bench_out =
+    tear queue bench_out metrics_out http_port =
   let module S = Workload.Soak in
   let queue =
     match Pipeline.Squeue.impl_of_string queue with
@@ -1967,8 +2090,18 @@ let soak_run trace_file ops universe seed dir shards feeders rounds kills chaos
       queue;
     }
   in
-  let v = S.run ~progress:print_endline cfg ~spec ~ops:trace () in
+  let reg = Obs.Registry.create () in
+  let http =
+    Option.map
+      (fun p -> mount_http ~what:"soak" ~reg p)
+      http_port
+  in
+  let v = S.run ~progress:print_endline ~metrics:reg cfg ~spec ~ops:trace () in
   print_string (S.verdict_to_string v);
+  Option.iter Obs.Http.stop http;
+  (match metrics_out with
+  | Some path -> write_metrics ~path (Obs.Registry.snapshot reg)
+  | None -> ());
   (match bench_out with
   | Some path ->
       write_bench_soak path cfg ~total_ops:(Workload.Trace.total_ops spec) v
@@ -2050,7 +2183,7 @@ let servable_of ~seed sk : (module SERVABLE) option =
 let net_sketches = "counter countmin spacesaving quantiles"
 
 let serve_run sketch host port shards batch max_conns read_timeout duration
-    wal_dir metrics_out seed =
+    wal_dir metrics_out http_port trace_sample seed =
   match servable_of ~seed sketch with
   | None ->
       Printf.eprintf "serve: unknown sketch %s (available: %s)\n" sketch
@@ -2059,6 +2192,7 @@ let serve_run sketch host port shards batch max_conns read_timeout duration
   | Some (module SV) ->
       let module Srv = Net.Server.Make (SV.M) in
       let reg = Obs.Registry.create () in
+      let tracer = make_tracer ~reg trace_sample in
       let stop_flag = ref false in
       let on_signal = Sys.Signal_handle (fun _ -> stop_flag := true) in
       Sys.set_signal Sys.sigint on_signal;
@@ -2067,7 +2201,7 @@ let serve_run sketch host port shards batch max_conns read_timeout duration
       let base = ref 0 in
       let srv =
         Srv.create ~host ~port ~max_conns ~read_timeout ~metrics:reg
-          ?dedup_dir:wal_dir ~eval:SV.eval
+          ?tracer ?dedup_dir:wal_dir ~eval:SV.eval
           ~make_engine:(fun ~on_merge ->
             let initial =
               match wal_dir with
@@ -2094,26 +2228,77 @@ let serve_run sketch host port shards batch max_conns read_timeout duration
             (match wal_dir with
             | Some dir -> wal := Some (Durable.Wal.create ~dir ~metrics:reg ())
             | None -> ());
-            let on_merge ~epoch ~weight ~blob =
+            let on_merge ~ctx ~epoch ~weight ~blob =
               (match !wal with
-              | Some w -> Durable.Wal.append w ~epoch ~weight ~blob
+              | Some w ->
+                  let t0 =
+                    match tracer with
+                    | Some _ when not (Obs.Span.is_zero ctx) ->
+                        Obs.Tracer.now_ns ()
+                    | _ -> 0
+                  in
+                  Durable.Wal.append w ~epoch ~weight ~blob;
+                  (match tracer with
+                  | Some tr when not (Obs.Span.is_zero ctx) ->
+                      ignore
+                        (Obs.Tracer.record tr ~ctx ~stage:"wal" ~start_ns:t0
+                           ~end_ns:(Obs.Tracer.now_ns ()))
+                  | _ -> ())
               | None -> ());
-              on_merge ~epoch ~weight ~blob
+              on_merge ~ctx ~epoch ~weight ~blob
             in
-            Srv.P.create ~shards ~batch ~metrics:reg ~on_merge ?initial ())
+            Srv.P.create ~shards ~batch ~metrics:reg ?tracer ~on_merge
+              ?initial ())
           ()
       in
       Printf.printf
         "serve: %s on %s:%d (%d shards, batch %d, max %d conns)%s\n%!" sketch
         host (Srv.port srv) shards batch max_conns
         (match wal_dir with Some d -> " wal=" ^ d | None -> "");
+      let slo =
+        let stats () = Srv.P.stats (Srv.engine srv) in
+        Obs.Slo.create ~metrics:reg
+          ~budget:
+            (Obs.Slo.theorem6_budget ~shards ~batch ~queue_capacity:1024 ())
+          ~envelope:(fun () ->
+            let st = stats () in
+            let enq =
+              Array.fold_left
+                (fun a (s : Srv.P.shard_stats) -> a + s.enqueued - s.dropped)
+                0 st.Srv.P.shards
+            in
+            float_of_int (max 0 (!base + enq - st.Srv.P.published)))
+          ~staleness:(fun () -> -1.0)
+          ~merge_lag:(fun () ->
+            let lag = (stats ()).Srv.P.merge_lag in
+            let n = Array.length lag in
+            if n = 0 then -1.0 else lag.(n - 1))
+          ()
+      in
+      let http =
+        Option.map
+          (fun p ->
+            mount_http ~what:"serve" ~reg ?tracer ~slo
+              ~health:(fun () ->
+                let st = Srv.stats srv in
+                let est = Srv.P.stats (Srv.engine srv) in
+                [
+                  ("conns", string_of_int st.Srv.conns);
+                  ("published", string_of_int est.Srv.P.published);
+                  ("epoch", string_of_int est.Srv.P.epoch);
+                ])
+              p)
+          http_port
+      in
       let deadline =
         if duration > 0.0 then Unix.gettimeofday () +. duration else infinity
       in
       while (not !stop_flag) && Unix.gettimeofday () < deadline do
-        Unix.sleepf 0.05
+        Unix.sleepf 0.05;
+        ignore (Obs.Slo.eval slo)
       done;
       let st = Srv.stop srv in
+      Option.iter Obs.Http.stop http;
       (match !wal with Some w -> Durable.Wal.close w | None -> ());
       let est = Srv.P.stats (Srv.engine srv) in
       Printf.printf
@@ -2136,13 +2321,19 @@ let serve_run sketch host port shards batch max_conns read_timeout duration
          %d ingested)\n"
         (if pass then "PASS" else "FAIL")
         est.Srv.P.published expect !base st.Srv.ingested;
+      let slo_v = Obs.Slo.eval slo in
+      Printf.printf
+        "serve: slo %s at drain (worst %s at %.2fx budget, %d breaches)\n"
+        (Obs.Slo.state_to_string slo_v.Obs.Slo.state)
+        slo_v.Obs.Slo.worst_dim slo_v.Obs.Slo.worst_ratio
+        slo_v.Obs.Slo.breaches;
       (match metrics_out with
       | Some path -> write_metrics ~path (Obs.Registry.snapshot reg)
       | None -> ());
       if pass then 0 else 1
 
 let client_run host port trace_file ops universe seed feeders conns batch
-    flush_age queue overflow slack =
+    flush_age queue overflow slack metrics_out trace_sample =
   let overflow =
     match overflow with
     | "block" -> Net.Client.Block
@@ -2164,10 +2355,11 @@ let client_run host port trace_file ops universe seed feeders conns batch
         (spec, Workload.Trace.materialize spec)
   in
   let reg = Obs.Registry.create () in
+  let tracer = make_tracer ~reg trace_sample in
   let cl =
     Net.Client.create ~conns ~batch ~flush_age
       ?queue:(if queue > 0 then Some queue else None)
-      ~overflow ~metrics:reg ~host ~port ()
+      ~overflow ~metrics:reg ?tracer ~host ~port ()
   in
   let sink = Net.Client.sink cl in
   let report =
@@ -2203,6 +2395,9 @@ let client_run host port trace_file ops universe seed feeders conns batch
     cs.Net.Client.pushed cs.Net.Client.acked cs.Net.Client.sent
     cs.Net.Client.shed cs.Net.Client.errors cs.Net.Client.reconnects
     cs.Net.Client.duplicates_suppressed;
+  (match metrics_out with
+  | Some path -> write_metrics ~path (Obs.Registry.snapshot reg)
+  | None -> ());
   match t with
   | None ->
       Printf.printf "client: envelope FAIL (leader answered no total)\n";
@@ -2235,7 +2430,8 @@ let replica_status_string = function
   | `Broken msg -> "broken: " ^ msg
   | `Closed -> "closed"
 
-let replica_run sketch host port seed duration settle =
+let replica_run sketch host port seed duration settle metrics_out http_port
+    trace_sample =
   match servable_of ~seed sketch with
   | None ->
       Printf.eprintf "replica: unknown sketch %s (available: %s)\n" sketch
@@ -2243,8 +2439,10 @@ let replica_run sketch host port seed duration settle =
       2
   | Some (module SV) -> (
       let module R = Net.Replica.Make (SV.M) in
+      let reg = Obs.Registry.create () in
+      let tracer = make_tracer ~reg trace_sample in
       match
-        let r = R.connect ~host ~port () in
+        let r = R.connect ~metrics:reg ?tracer ~host ~port () in
         let qc = Net.Conn.connect ~host ~port in
         (r, qc)
       with
@@ -2254,6 +2452,21 @@ let replica_run sketch host port seed duration settle =
           2
       | r, qc ->
       Net.Conn.set_read_timeout qc 5.0;
+      let http =
+        Option.map
+          (fun p ->
+            mount_http ~what:"replica" ~reg ?tracer
+              ~health:(fun () ->
+                let s = R.stats r in
+                [
+                  ("status", replica_status_string s.R.status);
+                  ("published", string_of_int s.R.published);
+                  ("epoch", string_of_int s.R.epoch);
+                  ("resyncs", string_of_int s.R.resyncs);
+                ])
+              p)
+          http_port
+      in
       let leader_total () =
         if
           Net.Conn.send qc
@@ -2295,6 +2508,10 @@ let replica_run sketch host port seed duration settle =
       let s = R.stats r in
       R.close r;
       Net.Conn.close qc;
+      Option.iter Obs.Http.stop http;
+      (match metrics_out with
+      | Some path -> write_metrics ~path (Obs.Registry.snapshot reg)
+      | None -> ());
       Printf.printf
         "replica: %d deltas applied, %d duplicates skipped, %d resyncs, \
          epoch %d, published %d, status %s\n"
@@ -2342,13 +2559,6 @@ let serve_cmd =
       & info [ "wal" ] ~docv:"DIR"
           ~doc:"durable directory: recover on start, WAL every merge")
   in
-  let metrics_out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "metrics" ] ~docv:"FILE"
-          ~doc:"write the final metrics snapshot (per-connection series included)")
-  in
   let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"sketch hash seed") in
   Cmd.v
     (Cmd.info "serve"
@@ -2357,7 +2567,8 @@ let serve_cmd =
           and follower replication, with a conservation verdict at shutdown")
     Term.(
       const serve_run $ sketch $ host $ port $ shards $ batch $ max_conns
-      $ read_timeout $ duration $ wal_dir $ metrics_out $ seed)
+      $ read_timeout $ duration $ wal_dir $ metrics_flag $ http_port_flag
+      $ trace_sample_flag $ seed)
 
 let client_cmd =
   let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"server address") in
@@ -2418,7 +2629,8 @@ let client_cmd =
           envelope")
     Term.(
       const client_run $ host $ port $ trace_file $ ops $ universe $ seed
-      $ feeders $ conns $ batch $ flush_age $ queue $ overflow $ slack)
+      $ feeders $ conns $ batch $ flush_age $ queue $ overflow $ slack
+      $ metrics_flag $ trace_sample_flag)
 
 let replica_cmd =
   let sketch =
@@ -2449,7 +2661,8 @@ let replica_cmd =
           follower never leads the leader and converges exactly at \
           quiescence")
     Term.(
-      const replica_run $ sketch $ host $ port $ seed $ duration $ settle)
+      const replica_run $ sketch $ host $ port $ seed $ duration $ settle
+      $ metrics_flag $ http_port_flag $ trace_sample_flag)
 
 (* --- soak: round-based (in-process) or served (full tier via proxy) ---- *)
 
@@ -2491,7 +2704,7 @@ let write_bench_served path (v : Net.Soak.verdict) ~total_ops =
 
 let served_soak_run sketch trace_file ops universe seed dir shards conns feeders
     restarts partitions down_time partition_time latency corrupt reset drop
-    record_trace metrics_out bench_out =
+    record_trace metrics_out http_port trace_sample bench_out =
   match servable_of ~seed sketch with
   | None ->
       Printf.eprintf "soak: unknown sketch %s (available: %s)\n" sketch
@@ -2546,10 +2759,12 @@ let served_soak_run sketch trace_file ops universe seed dir shards conns feeders
         }
       in
       let reg = Obs.Registry.create () in
+      let tracer = make_tracer ~reg trace_sample in
       let v =
         NS.run
           ~progress:(fun s -> Printf.printf "%s\n%!" s)
-          ~metrics:reg ?record:record_trace cfg ~spec ~ops:trace ()
+          ~metrics:reg ?tracer ?http_port ?record:record_trace cfg ~spec
+          ~ops:trace ()
       in
       print_string (NS.verdict_to_string v);
       (match metrics_out with
@@ -2563,14 +2778,15 @@ let served_soak_run sketch trace_file ops universe seed dir shards conns feeders
 
 let soak_dispatch served sketch trace_file ops universe seed dir shards feeders
     rounds kills chaos tear queue bench_out conns restarts partitions down_time
-    partition_time latency corrupt reset drop record_trace metrics_out =
+    partition_time latency corrupt reset drop record_trace metrics_out http_port
+    trace_sample =
   if served then
     served_soak_run sketch trace_file ops universe seed dir shards conns feeders
       restarts partitions down_time partition_time latency corrupt reset drop
-      record_trace metrics_out bench_out
+      record_trace metrics_out http_port trace_sample bench_out
   else
     soak_run trace_file ops universe seed dir shards feeders rounds kills chaos
-      tear queue bench_out
+      tear queue bench_out metrics_out http_port
 
 let soak_cmd =
   let served =
@@ -2699,13 +2915,6 @@ let soak_cmd =
       & info [ "record-trace" ] ~docv:"FILE"
           ~doc:"served: freeze the driven ops to a replayable trace file")
   in
-  let metrics_out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "metrics" ] ~docv:"FILE"
-          ~doc:"served: write the final metrics snapshot")
-  in
   Cmd.v
     (Cmd.info "soak"
        ~doc:
@@ -2717,7 +2926,8 @@ let soak_cmd =
       const soak_dispatch $ served $ sketch $ trace_file $ ops $ universe $ seed
       $ dir $ shards $ feeders $ rounds $ kills $ chaos $ tear $ queue
       $ bench_out $ conns $ restarts $ partitions $ down_time $ partition_time
-      $ latency $ corrupt $ reset $ drop $ record_trace $ metrics_out)
+      $ latency $ corrupt $ reset $ drop $ record_trace $ metrics_flag
+      $ http_port_flag $ trace_sample_flag)
 
 let () =
   let doc = "Intermediate Value Linearizability: checkers, simulators, sketches" in

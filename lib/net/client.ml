@@ -44,6 +44,7 @@ type t = {
   (* dedicated query connection, serialized *)
   qm : Mutex.t;
   mutable qconn : Conn.t option;
+  tracer : Obs.Tracer.t option; (* batch sampling + enqueue/flush spans *)
 }
 
 let poll_interval = 0.0005
@@ -98,7 +99,7 @@ let ensure_conn t st =
           end
       | exception _ -> None)
 
-let attempt t st ~seq keys =
+let attempt t st ~seq ~ctx keys =
   match ensure_conn t st with
   | None -> `Transport
   | Some conn ->
@@ -106,7 +107,7 @@ let attempt t st ~seq keys =
         not
           (Conn.send conn
              (Frame.encode_request
-                (Frame.Batch { session = st.session; seq; keys })))
+                (Frame.Batch { session = st.session; seq; ctx; keys })))
       then begin
         drop_conn st;
         `Transport
@@ -127,18 +128,26 @@ let attempt t st ~seq keys =
                 `Transport)
       end
 
-let deliver t st keys =
+let deliver t st ~ctx keys =
   let n = Array.length keys in
   (* one seq per composed batch — every retry below reuses it *)
   let seq = st.seq in
   st.seq <- st.seq + 1;
+  (* flush span: send attempt (retries included) through the server's ack *)
+  let start_ns = Obs.Tracer.now_ns () in
   let rec go left backoff =
-    match attempt t st ~seq keys with
+    match attempt t st ~seq ~ctx keys with
     | `Acked (k, dup) ->
         if dup then Atomic.incr t.c_duplicates;
         ignore (Atomic.fetch_and_add t.c_sent n);
         ignore (Atomic.fetch_and_add t.c_acked k);
-        ignore (Atomic.fetch_and_add t.c_shed (n - k))
+        ignore (Atomic.fetch_and_add t.c_shed (n - k));
+        (match t.tracer with
+        | Some tr ->
+            ignore
+              (Obs.Tracer.record tr ~ctx ~stage:"flush" ~start_ns
+                 ~end_ns:(Obs.Tracer.now_ns ()))
+        | None -> ())
     | `Rejected _ ->
         (* the server answered: resending the same bytes cannot help *)
         Atomic.incr t.c_errors;
@@ -172,11 +181,14 @@ let take t =
   let r =
     if due then begin
       let k = min n t.batch in
+      let oldest_at = t.oldest in
       let arr = Array.init k (fun _ -> Queue.pop t.buf) in
       if Queue.is_empty t.buf then t.oldest <- infinity;
       t.in_flight <- t.in_flight + 1;
       Condition.broadcast t.nonfull;
-      `Chunk arr
+      (* oldest_at: arrival of the chunk's oldest key — the enqueue span's
+         start when this chunk turns out to be sampled *)
+      `Chunk (arr, oldest_at)
     end
     else if t.closed && n = 0 then `Done
     else `Wait
@@ -197,8 +209,30 @@ let sender_loop t i =
     | `Wait ->
         Unix.sleepf poll_interval;
         go ()
-    | `Chunk arr ->
-        deliver t st arr;
+    | `Chunk (arr, oldest_at) ->
+        (* Roll the sampling die per composed batch. A sampled chunk gets
+           an "enqueue" span (oldest buffered arrival → take) and hands
+           its re-parented context to deliver, which speaks net-batch2. *)
+        let ctx =
+          match t.tracer with
+          | None -> Obs.Span.zero
+          | Some tr -> (
+              match Obs.Tracer.sample tr with
+              | None -> Obs.Span.zero
+              | Some ctx ->
+                  let now = Obs.Tracer.now_ns () in
+                  let start_ns =
+                    if Float.is_finite oldest_at then
+                      int_of_float (oldest_at *. 1e9)
+                    else now
+                  in
+                  let sid =
+                    Obs.Tracer.record tr ~ctx ~stage:"enqueue" ~start_ns
+                      ~end_ns:now
+                  in
+                  Obs.Span.with_parent ctx sid)
+        in
+        deliver t st ~ctx arr;
         Mutex.lock t.m;
         t.in_flight <- t.in_flight - 1;
         if t.in_flight = 0 && Queue.is_empty t.buf then
@@ -324,7 +358,7 @@ let default_session_base () =
 
 let create ?(conns = 1) ?(batch = 256) ?(flush_age = 0.05) ?queue
     ?(overflow = Block) ?(retries = 3) ?(read_timeout = 10.0) ?session
-    ?metrics ~host ~port () =
+    ?metrics ?tracer ~host ~port () =
   if conns <= 0 then invalid_arg "Net.Client: conns must be positive";
   if batch <= 0 then invalid_arg "Net.Client: batch must be positive";
   let session_base =
@@ -365,6 +399,7 @@ let create ?(conns = 1) ?(batch = 256) ?(flush_age = 0.05) ?queue
       c_duplicates = Atomic.make 0;
       qm = Mutex.create ();
       qconn = None;
+      tracer;
     }
   in
   (match metrics with

@@ -61,6 +61,7 @@ val create :
   ?read_timeout:float ->
   ?session:int64 ->
   ?metrics:Obs.Registry.t ->
+  ?tracer:Obs.Tracer.t ->
   host:string ->
   port:int ->
   unit ->
@@ -80,6 +81,13 @@ val create :
     [client_errors_total], [client_reconnects_total],
     [client_duplicates_suppressed_total], [client_exhausted_total] and a
     [client_queue_depth] gauge.
+
+    [tracer] samples composed batches for distributed tracing: a sampled
+    batch records an ["enqueue"] span (oldest buffered arrival → take)
+    and a ["flush"] span (send → ack, retries included), and carries its
+    context on the wire as a [net-batch2] frame so the server continues
+    the waterfall. Unsampled batches are byte-identical to a tracerless
+    client's.
 
     @raise Invalid_argument on non-positive [conns]/[batch]/[queue]. *)
 

@@ -2,6 +2,8 @@
    checksum — is Wire.Codec's framing):
 
      net-batch      i64 session, i64 seq, u32 count, count * i64 keys
+     net-batch2     i64 session, i64 seq, i64 trace_id, i64 parent,
+                    u32 count, count * i64 keys
      net-query      u8 tag (0 total | 1 point | 2 quantile | 3 top), arg
      net-reply      u8 tag (0 ack | 1 result | 2 err), body
                     (ack body: i64 epoch, i64 accepted, u8 dup)
@@ -13,14 +15,25 @@
    Dispatch on a mixed stream goes through Codec.frame_kind, so a frame
    carrying a kind tag this build has never heard of comes back as
    Unknown_kind — the server's "unsupported" answer — while a known but
-   out-of-place kind (a checkpoint on a client connection) is Wrong_kind. *)
+   out-of-place kind (a checkpoint on a client connection) is Wrong_kind.
+
+   Trace contexts ride net-batch2, but only when sampled: a batch whose
+   context is Obs.Span.zero encodes as a plain net-batch, byte-identical
+   to the PR 8 schema, so an untraced sender interoperates with any peer
+   and a traced sender only speaks the new kind for the ~1/sample_every
+   batches that carry a context. *)
 
 module Codec = Wire.Codec
 
 type query = Total | Point of int | Quantile of float | Top of int
 
 type request =
-  | Batch of { session : int64; seq : int; keys : int array }
+  | Batch of {
+      session : int64;
+      seq : int;
+      ctx : Obs.Span.context;  (* Span.zero = untraced, legacy wire kind *)
+      keys : int array;
+    }
   | Query of query
   | Subscribe of { from_epoch : int }
   | Hello of { session : int64 }
@@ -51,13 +64,22 @@ let query_to_string = function
 (* ------------------------------ requests ------------------------------ *)
 
 let encode_request = function
-  | Batch { session; seq; keys } ->
+  | Batch { session; seq; ctx; keys } ->
       if seq < 0 then invalid_arg "Net.Frame: negative batch seq";
-      Codec.encode ~kind:Codec.net_batch_kind (fun b ->
-          Codec.i64 b session;
-          Codec.int_ b seq;
-          Codec.u32 b (Array.length keys);
-          Array.iter (fun k -> Codec.int_ b k) keys)
+      if Obs.Span.is_zero ctx then
+        Codec.encode ~kind:Codec.net_batch_kind (fun b ->
+            Codec.i64 b session;
+            Codec.int_ b seq;
+            Codec.u32 b (Array.length keys);
+            Array.iter (fun k -> Codec.int_ b k) keys)
+      else
+        Codec.encode ~kind:Codec.net_batch2_kind (fun b ->
+            Codec.i64 b session;
+            Codec.int_ b seq;
+            Codec.i64 b ctx.Obs.Span.trace_id;
+            Codec.i64 b ctx.Obs.Span.parent;
+            Codec.u32 b (Array.length keys);
+            Array.iter (fun k -> Codec.int_ b k) keys)
   | Query q ->
       Codec.encode ~kind:Codec.net_query_kind (fun b ->
           match q with
@@ -80,12 +102,22 @@ let encode_request = function
   | Hello { session } ->
       Codec.encode ~kind:Codec.net_hello_kind (fun b -> Codec.i64 b session)
 
-let parse_batch r =
+let parse_batch ~traced r =
   let session = Codec.read_i64 r in
   let seq = Codec.read_int r in
   if seq < 0 then Codec.corrupt "negative batch seq %d" seq;
+  let ctx =
+    if not traced then Obs.Span.zero
+    else begin
+      let trace_id = Codec.read_i64 r in
+      let parent = Codec.read_i64 r in
+      if Int64.equal trace_id 0L then
+        Codec.corrupt "net-batch2 with zero trace id";
+      { Obs.Span.trace_id; parent }
+    end
+  in
   let n = Codec.read_u32 r in
-  Batch { session; seq; keys = Array.init n (fun _ -> Codec.read_int r) }
+  Batch { session; seq; ctx; keys = Array.init n (fun _ -> Codec.read_int r) }
 
 let parse_query r =
   match Codec.read_u8 r with
@@ -112,7 +144,10 @@ let parse_hello r = Hello { session = Codec.read_i64 r }
 let decode_request bytes =
   match Codec.frame_kind bytes with
   | Error e -> Error e
-  | Ok k when k = Codec.net_batch_kind -> Codec.decode ~kind:k parse_batch bytes
+  | Ok k when k = Codec.net_batch_kind ->
+      Codec.decode ~kind:k (parse_batch ~traced:false) bytes
+  | Ok k when k = Codec.net_batch2_kind ->
+      Codec.decode ~kind:k (parse_batch ~traced:true) bytes
   | Ok k when k = Codec.net_query_kind -> Codec.decode ~kind:k parse_query bytes
   | Ok k when k = Codec.net_subscribe_kind ->
       Codec.decode ~kind:k parse_subscribe bytes

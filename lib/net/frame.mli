@@ -33,9 +33,18 @@ type query =
   | Top of int  (** Heaviest [n] keys with counts (space-saving). *)
 
 type request =
-  | Batch of { session : int64; seq : int; keys : int array }
+  | Batch of {
+      session : int64;
+      seq : int;
+      ctx : Obs.Span.context;
+      keys : int array;
+    }
       (** Update keys, applied in order. [(session, seq)] identifies the
-          batch across retries; [session = 0L] means no dedup. *)
+          batch across retries; [session = 0L] means no dedup. [ctx] is
+          the sampled trace context: {!Obs.Span.zero} (the common case)
+          encodes as the legacy [net-batch] kind, byte-identical to the
+          PR 8 wire schema; a nonzero context rides the [net-batch2]
+          kind with trace id + parent span id after [seq]. *)
   | Query of query
   | Subscribe of { from_epoch : int }
       (** Replication handshake. [from_epoch] is reserved (send 0): the

@@ -19,6 +19,7 @@ module Make (M : Pipeline.Mergeable.S) = struct
     max_frame : int;
     resync_backoff : float;
     max_resyncs : int;
+    tracer : Obs.Tracer.t option;
     m : Mutex.t;
     mutable conn : Conn.t option;
     mutable sketch : M.t option;
@@ -143,6 +144,20 @@ module Make (M : Pipeline.Mergeable.S) = struct
     | `Gap ->
         Error (Printf.sprintf "epoch gap: got %d at local %d" epoch t.epoch)
     | `Apply sk -> (
+        (* deltas arrive without a wire context (the fan-out strips it),
+           so replica spans are locally sampled roots: the same tracer
+           rate decides, and a sampled apply times decode + merge *)
+        let ctx =
+          match t.tracer with
+          | None -> Obs.Span.zero
+          | Some tr -> (
+              match Obs.Tracer.sample tr with
+              | Some ctx -> ctx
+              | None -> Obs.Span.zero)
+        in
+        let t0 =
+          if Obs.Span.is_zero ctx then 0 else Obs.Tracer.now_ns ()
+        in
         match M.decode blob with
         | Error e -> Error ("delta decode: " ^ Wire.Codec.error_to_string e)
         | Ok delta ->
@@ -153,6 +168,12 @@ module Make (M : Pipeline.Mergeable.S) = struct
             t.published <- t.published + weight;
             t.deltas <- t.deltas + 1;
             Mutex.unlock t.m;
+            (match t.tracer with
+            | Some tr when not (Obs.Span.is_zero ctx) ->
+                ignore
+                  (Obs.Tracer.record tr ~ctx ~stage:"replica_apply"
+                     ~start_ns:t0 ~end_ns:(Obs.Tracer.now_ns ()))
+            | _ -> ());
             Ok ())
 
   (* Every failure funnels into [resync]: transport errors, decode
@@ -219,7 +240,7 @@ module Make (M : Pipeline.Mergeable.S) = struct
     | `Closed -> 4.
 
   let connect ?(read_timeout = 1.0) ?(max_frame = Conn.default_max_frame)
-      ?(resync_backoff = 0.05) ?max_resyncs ?metrics ~host ~port () =
+      ?(resync_backoff = 0.05) ?max_resyncs ?metrics ?tracer ~host ~port () =
     let conn = Conn.connect ~host ~port in
     Conn.set_read_timeout conn read_timeout;
     let t =
@@ -230,6 +251,7 @@ module Make (M : Pipeline.Mergeable.S) = struct
         max_frame;
         resync_backoff;
         max_resyncs = Option.value max_resyncs ~default:max_int;
+        tracer;
         m = Mutex.create ();
         conn = Some conn;
         sketch = None;

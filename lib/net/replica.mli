@@ -59,6 +59,7 @@ module Make (M : Pipeline.Mergeable.S) : sig
     ?resync_backoff:float ->
     ?max_resyncs:int ->
     ?metrics:Obs.Registry.t ->
+    ?tracer:Obs.Tracer.t ->
     host:string ->
     port:int ->
     unit ->
@@ -74,6 +75,13 @@ module Make (M : Pipeline.Mergeable.S) : sig
       [replica_skipped_total] and [replica_epoch], [replica_published],
       [replica_status] gauges (status encoded 0 syncing / 1 live /
       2 resyncing / 3 broken / 4 closed).
+
+      [tracer] samples delta applies for ["replica_apply"] spans (decode +
+      merge under the replica mutex). Deltas cross the wire without a
+      trace context — the server's fan-out strips it — so these spans are
+      locally-sampled roots at the tracer's own rate, not continuations of
+      an ingest waterfall; they quantify the apply leg's cost on the same
+      [trace_stage_seconds] series.
 
       @raise Unix.Unix_error if the first dial itself fails (later breaks
       self-heal instead). *)

@@ -62,6 +62,7 @@ module Make (M : Pipeline.Mergeable.S) = struct
     c_shed : int Atomic.t;
     c_queries : int Atomic.t;
     query_timer : Obs.Timer.t option;
+    tracer : Obs.Tracer.t option; (* decode/ingest spans for traced batches *)
     metrics : Obs.Registry.t option;
     eval : M.t -> Frame.query -> (int * int) list option;
     max_frame : int;
@@ -118,7 +119,7 @@ module Make (M : Pipeline.Mergeable.S) = struct
      accepted count) but never re-applied; a fresh batch is journaled
      first, applied, then its actual accepted count recorded so an
      in-incarnation retry's ack stays exact. *)
-  let handle_batch t conn ~session ~seq keys =
+  let handle_batch t conn ~session ~seq ~ctx keys =
     Atomic.incr t.c_batches;
     match Dedup.begin_batch t.dedup ~session ~seq ~count:(Array.length keys) with
     | Dedup.Duplicate k ->
@@ -126,8 +127,21 @@ module Make (M : Pipeline.Mergeable.S) = struct
           (Frame.encode_response
              (Frame.Ack { epoch = P.epoch t.eng; accepted = k; dup = true }))
     | Dedup.Fresh ->
+        (* Hand the sampled context to the engine before the keys land, so
+           the shard's next flush claims the mark and opens the queue span. *)
+        if (not (Obs.Span.is_zero ctx)) && Array.length keys > 0 then
+          P.trace_mark t.eng ~key:keys.(0) ~ctx;
+        let ingest_start =
+          match t.tracer with Some _ -> Obs.Tracer.now_ns () | None -> 0
+        in
         let accepted = ref 0 in
         Array.iter (fun k -> if P.ingest t.eng k then incr accepted) keys;
+        (match t.tracer with
+        | Some tr ->
+            ignore
+              (Obs.Tracer.record tr ~ctx ~stage:"ingest" ~start_ns:ingest_start
+                 ~end_ns:(Obs.Tracer.now_ns ()))
+        | None -> ());
         let shed = Array.length keys - !accepted in
         ignore (Atomic.fetch_and_add t.c_ingested !accepted);
         ignore (Atomic.fetch_and_add t.c_shed shed);
@@ -214,6 +228,9 @@ module Make (M : Pipeline.Mergeable.S) = struct
           send_err conn Frame.Malformed "stream desync: not an IVLW frame";
           continue := false
       | Ok frame -> (
+          let decode_start =
+            match t.tracer with Some _ -> Obs.Tracer.now_ns () | None -> 0
+          in
           match Frame.decode_request frame with
           | Error (Codec.Unknown_kind k) ->
               Atomic.incr t.c_decode_errors;
@@ -224,8 +241,18 @@ module Make (M : Pipeline.Mergeable.S) = struct
               Atomic.incr t.c_decode_errors;
               send_err conn Frame.Malformed (Codec.error_to_string e);
               continue := false
-          | Ok (Frame.Batch { session; seq; keys }) ->
-              if not (handle_batch t conn ~session ~seq keys) then
+          | Ok (Frame.Batch { session; seq; ctx; keys }) ->
+              let ctx =
+                match t.tracer with
+                | Some tr when not (Obs.Span.is_zero ctx) ->
+                    let sid =
+                      Obs.Tracer.record tr ~ctx ~stage:"decode"
+                        ~start_ns:decode_start ~end_ns:(Obs.Tracer.now_ns ())
+                    in
+                    Obs.Span.with_parent ctx sid
+                | _ -> ctx
+              in
+              if not (handle_batch t conn ~session ~seq ~ctx keys) then
                 continue := false
           | Ok (Frame.Hello { session }) ->
               if not (handle_hello t conn ~session) then continue := false
@@ -319,7 +346,7 @@ module Make (M : Pipeline.Mergeable.S) = struct
   let create ?(host = "127.0.0.1") ?(port = 0) ?(max_conns = 32)
       ?(max_frame = Conn.default_max_frame) ?(read_timeout = 30.0)
       ?(sub_queue = 1024) ?(dedup_window = 128) ?(dedup_sessions = 1024)
-      ?dedup_dir ?metrics ~eval ~make_engine () =
+      ?dedup_dir ?metrics ?tracer ~eval ~make_engine () =
     if max_conns <= 0 then invalid_arg "Net.Server: max_conns must be positive";
     Conn.ignore_sigpipe ();
     let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -340,7 +367,8 @@ module Make (M : Pipeline.Mergeable.S) = struct
     let rep_m = Mutex.create () in
     let rep_epoch = ref (-1) and rep_published = ref 0 in
     let subs = ref [] in
-    let on_merge ~epoch ~weight ~blob =
+    let on_merge ~ctx ~epoch ~weight ~blob =
+      ignore ctx;
       Mutex.lock rep_m;
       if epoch > !rep_epoch then begin
         rep_epoch := epoch;
@@ -412,6 +440,7 @@ module Make (M : Pipeline.Mergeable.S) = struct
               Obs.Registry.timer reg ~help:"Server-side query service time"
                 "net_query_seconds")
             metrics;
+        tracer;
         metrics;
         eval;
         max_frame;

@@ -87,9 +87,13 @@ module Make (M : Pipeline.Mergeable.S) : sig
     ?dedup_sessions:int ->
     ?dedup_dir:string ->
     ?metrics:Obs.Registry.t ->
+    ?tracer:Obs.Tracer.t ->
     eval:(M.t -> Frame.query -> (int * int) list option) ->
     make_engine:
-      (on_merge:(epoch:int -> weight:int -> blob:Bytes.t -> unit) -> P.t) ->
+      (on_merge:
+         (ctx:Obs.Span.context -> epoch:int -> weight:int -> blob:Bytes.t ->
+          unit) ->
+       P.t) ->
     unit ->
     t
   (** Bind, listen, and spawn the accept domain; handler domains follow,
@@ -116,6 +120,14 @@ module Make (M : Pipeline.Mergeable.S) : sig
       bound the per-session dedup window ({!Dedup}); [dedup_dir] persists
       the session journal so retries that span a restart stay suppressed —
       point it at the WAL directory.
+
+      [tracer] continues the waterfall of batches that arrive with a
+      sampled trace context ([net-batch2] frames): a ["decode"] span
+      around the frame parse and an ["ingest"] span around the key loop,
+      with {!P.trace_mark} handing the context to the engine so the shard
+      flush and merge legs follow. Pass the same tracer to the engine
+      (via [make_engine]) for the in-engine spans. Untraced batches cost
+      one branch.
 
       [metrics] registers [net_conns_total], [net_conns_active],
       [net_subscribers], [net_decode_errors_total], [net_batches_total],

@@ -15,7 +15,7 @@
    WAL mid-trace, on a fresh port the proxy's upstream callback picks up
    at the next dial.
 
-   The four verdicts are the IVL story end-to-end:
+   The five verdicts are the IVL story end-to-end:
    - conservation: each incarnation's published weight equals its
      recovered base plus its accepted ingests, and each recovery lands
      exactly on the previous incarnation's final published weight — the
@@ -30,7 +30,11 @@
      sampled concurrently through every fault and resync;
    - convergence: after quiescing the faults and draining the leader, the
      follower reaches the leader's exact epoch and published weight with
-     a bit-for-bit identical encoded sketch. *)
+     a bit-for-bit identical encoded sketch;
+   - slo: the continuous envelope-SLO monitor (Obs.Slo, Theorem-6 budget
+     with chaos slack) never entered Breach — transient fault spikes may
+     arm Warning, but sustained over-budget burn is an incident, and the
+     zero-tolerance check reads the breach counter at drain. *)
 
 type config = {
   dir : string;  (* WAL + checkpoint + dedup journal directory *)
@@ -80,6 +84,9 @@ type verdict = {
   ack_envelope : bool;
   replica_envelope : bool;
   convergence : bool;
+  slo : bool;
+  slo_breaches : int;  (* times the burn-rate machine entered Breach *)
+  slo_state : Obs.Slo.state;  (* machine state at drain *)
   restarts_done : int;
   partitions_done : int;
   published : int;  (* leader's final published weight *)
@@ -135,7 +142,8 @@ module Make (M : Pipeline.Mergeable.S) = struct
     if c.restarts < 0 then bad "Net.Soak: restarts must be >= 0";
     if c.partitions < 0 then bad "Net.Soak: partitions must be >= 0"
 
-  let run ?(progress = fun _ -> ()) ?metrics ?record c ~spec ~ops () =
+  let run ?(progress = fun _ -> ()) ?metrics ?tracer ?http_port ?record c
+      ~spec ~ops () =
     validate c;
     let reg =
       match metrics with Some r -> r | None -> Obs.Registry.create ()
@@ -155,6 +163,7 @@ module Make (M : Pipeline.Mergeable.S) = struct
       let srv =
         Srv.create ~host:"127.0.0.1" ~port:0 ~max_conns:(c.conns + 8)
           ~read_timeout:5.0 ~sub_queue:4096 ~dedup_dir:c.dir ~metrics:reg
+          ?tracer
           ~eval:(fun _ _ -> None)
           ~make_engine:(fun ~on_merge ->
             let initial =
@@ -167,14 +176,29 @@ module Make (M : Pipeline.Mergeable.S) = struct
             in
             (match initial with Some (_, _, p) -> base := p | None -> ());
             wal := Some (Durable.Wal.create ~dir:c.dir ~metrics:reg ());
-            let on_merge ~epoch ~weight ~blob =
+            let on_merge ~ctx ~epoch ~weight ~blob =
               (match !wal with
-              | Some w -> Durable.Wal.append w ~epoch ~weight ~blob
+              | Some w ->
+                  (* the WAL append is the waterfall's last server-side
+                     stage: time it under the merged delta's context *)
+                  let t0 =
+                    match tracer with
+                    | Some _ when not (Obs.Span.is_zero ctx) ->
+                        Obs.Tracer.now_ns ()
+                    | _ -> 0
+                  in
+                  Durable.Wal.append w ~epoch ~weight ~blob;
+                  (match tracer with
+                  | Some tr when not (Obs.Span.is_zero ctx) ->
+                      ignore
+                        (Obs.Tracer.record tr ~ctx ~stage:"wal" ~start_ns:t0
+                           ~end_ns:(Obs.Tracer.now_ns ()))
+                  | _ -> ())
               | None -> ());
-              on_merge ~epoch ~weight ~blob
+              on_merge ~ctx ~epoch ~weight ~blob
             in
             Srv.P.create ~shards:c.shards ~batch:c.batch ~metrics:reg
-              ~on_merge ?initial ())
+              ?tracer ~on_merge ?initial ())
           ()
       in
       (* recovery exactness: each incarnation must resume precisely where
@@ -226,13 +250,13 @@ module Make (M : Pipeline.Mergeable.S) = struct
     (* replica's first dial must land, so faults arm after the handshake *)
     let rep =
       Rep.connect ~read_timeout:1.0 ~resync_backoff:0.05 ~metrics:reg
-        ~host:"127.0.0.1" ~port:(Chaos_proxy.port proxy) ()
+        ?tracer ~host:"127.0.0.1" ~port:(Chaos_proxy.port proxy) ()
     in
     let cli =
       Client.create ~conns:c.conns ~batch:c.client_batch ~retries:c.retries
         ~read_timeout:2.0 ~overflow:Client.Block
-        ~session:(Int64.add c.seed 0x5E55L) ~metrics:reg ~host:"127.0.0.1"
-        ~port:(Chaos_proxy.port proxy) ()
+        ~session:(Int64.add c.seed 0x5E55L) ~metrics:reg ?tracer
+        ~host:"127.0.0.1" ~port:(Chaos_proxy.port proxy) ()
     in
     Chaos_proxy.set_faults proxy c.faults;
     (* ---- staleness sampler: follower lags, never leads ---- *)
@@ -249,8 +273,60 @@ module Make (M : Pipeline.Mergeable.S) = struct
       Mutex.unlock sm;
       p
     in
+    (* ---- envelope SLO: Theorem-6 budget, burn-rate machine ----
+       slack 4.0 (double the theorem's default) because a chaos soak
+       legitimately spikes every dimension: restarts park the merger,
+       partitions freeze the replica. Dimensions read -1 (= unknown,
+       in-budget) when there is no live incarnation or the follower is
+       mid-resync — a dead leader is a restart in progress, not an SLO
+       burn. *)
+    let slo =
+      Obs.Slo.create ~metrics:reg
+        ~budget:
+          (Obs.Slo.theorem6_budget ~slack:4.0 ~shards:c.shards ~batch:c.batch
+             ~queue_capacity:1024 ())
+        ~envelope:(fun () ->
+          Mutex.lock sm;
+          let v =
+            match !cur with
+            | None -> -1.0
+            | Some inc ->
+                let st = Srv.P.stats (Srv.engine inc.srv) in
+                let accepted =
+                  Array.fold_left
+                    (fun a (s : Srv.P.shard_stats) ->
+                      a + s.Srv.P.enqueued - s.Srv.P.dropped)
+                    0 st.Srv.P.shards
+                in
+                float_of_int
+                  (max 0 (inc.base + accepted - st.Srv.P.published))
+          in
+          Mutex.unlock sm;
+          v)
+        ~staleness:(fun () ->
+          match (Rep.stats rep).Rep.status with
+          | `Live ->
+              float_of_int (max 0 (leader_pub () - Rep.published rep))
+          | _ -> -1.0)
+        ~merge_lag:(fun () ->
+          Mutex.lock sm;
+          let v =
+            match !cur with
+            | None -> -1.0
+            | Some inc ->
+                let lag =
+                  (Srv.P.stats (Srv.engine inc.srv)).Srv.P.merge_lag
+                in
+                let n = Array.length lag in
+                if n = 0 then -1.0 else lag.(n - 1)
+          in
+          Mutex.unlock sm;
+          v)
+        ()
+    in
     let sampler =
       Domain.spawn (fun () ->
+          let tick = ref 0 in
           while not (Atomic.get sampler_stop) do
             (* order matters: read the follower first, the leader second —
                the leader only grows, so rep > lead is a genuine lead *)
@@ -258,6 +334,10 @@ module Make (M : Pipeline.Mergeable.S) = struct
             let lp = leader_pub () in
             if rp > lp then Atomic.incr ahead;
             Atomic.incr samples;
+            incr tick;
+            (* ~20ms SLO cadence: breach_after 5 then means >=100ms of
+               sustained over-budget burn, not one unlucky sample *)
+            if !tick mod 10 = 0 then ignore (Obs.Slo.eval slo);
             Unix.sleepf 0.002
           done)
     in
@@ -277,6 +357,33 @@ module Make (M : Pipeline.Mergeable.S) = struct
     (* ---- orchestrator: fire restarts and partitions mid-trace ---- *)
     let restarts_done = ref 0 in
     let partitions_done = ref 0 in
+    (* ---- live telemetry plane: scrape the soak while it burns ---- *)
+    let http =
+      match http_port with
+      | None -> None
+      | Some p ->
+          let health () =
+            [
+              ("leader_published", string_of_int (leader_pub ()));
+              ("replica_published", string_of_int (Rep.published rep));
+              ("client_acked",
+               string_of_int (Client.stats cli).Client.acked);
+              ("restarts", string_of_int !restarts_done);
+              ("partitions", string_of_int !partitions_done);
+            ]
+          in
+          let h =
+            Obs.Http.create ~port:p
+              ~handler:
+                (Obs.Http.telemetry_handler ~registry:reg ?tracer ~slo
+                   ~health ())
+              ()
+          in
+          progress
+            (Printf.sprintf "telemetry: http://127.0.0.1:%d/metrics"
+               (Obs.Http.port h));
+          Some h
+    in
     let fire = function
       | `Restart ->
           progress
@@ -358,6 +465,10 @@ module Make (M : Pipeline.Mergeable.S) = struct
     Rep.close rep;
     stop_incarnation ();
     let proxy_stats = Chaos_proxy.stop proxy in
+    (* one last advance of the burn-rate machine, then read its history *)
+    let slo_final = Obs.Slo.eval slo in
+    let slo_breaches = Obs.Slo.breaches slo in
+    (match http with Some h -> Obs.Http.stop h | None -> ());
     (* ---- verdicts ---- *)
     let reasons = ref [] in
     let add fmt = Printf.ksprintf (fun m -> reasons := m :: !reasons) fmt in
@@ -423,6 +534,14 @@ module Make (M : Pipeline.Mergeable.S) = struct
       | None -> add "replica held no sketch at the end"
       | Some _ -> ()
     end;
+    (* zero tolerance at drain: the machine may have armed Warning during
+       chaos, but an actual Breach — sustained over-budget burn — fails
+       the run *)
+    let slo_ok = slo_breaches = 0 in
+    if slo_breaches > 0 then
+      add "SLO breached %d times (worst dim %s at %.2fx budget)"
+        slo_breaches slo_final.Obs.Slo.worst_dim
+        slo_final.Obs.Slo.worst_ratio;
     (* ---- optional incident capture: freeze the driven ops ---- *)
     (match record with
     | None -> ()
@@ -453,6 +572,9 @@ module Make (M : Pipeline.Mergeable.S) = struct
       ack_envelope;
       replica_envelope;
       convergence;
+      slo = slo_ok;
+      slo_breaches;
+      slo_state = slo_final.Obs.Slo.state;
       restarts_done = !restarts_done;
       partitions_done = !partitions_done;
       published = final_pub;
@@ -490,6 +612,9 @@ module Make (M : Pipeline.Mergeable.S) = struct
          v.follower_ahead v.resyncs);
     line "convergence" v.convergence
       (Printf.sprintf "epoch %d, bit-for-bit after quiesce" v.final_epoch);
+    line "slo" v.slo
+      (Printf.sprintf "%d breaches, final state %s" v.slo_breaches
+         (Obs.Slo.state_to_string v.slo_state));
     Buffer.add_string b
       (Printf.sprintf
          "served-soak: %d duplicates suppressed (client saw %d), %d proxy \

@@ -10,16 +10,19 @@
     it from its WAL on a fresh port; the proxy's upstream callback routes
     reconnecting clients and the resyncing replica to the new incarnation.
 
-    Four verdicts certify the run ({!verdict}): {e conservation} (each
+    Five verdicts certify the run ({!verdict}): {e conservation} (each
     incarnation publishes exactly its recovered base plus accepted
     ingests, and each recovery resumes exactly at the previous final),
     {e ack envelope} (no retry exhaustion, and the client's acked total
     brackets published weight within the restart allowance — the
     effectively-once guarantee observed from outside), {e replica
     envelope} (the follower never leads the leader, across every fault
-    and resync), and {e convergence} (after quiescing, the follower holds
+    and resync), {e convergence} (after quiescing, the follower holds
     the leader's exact epoch, published weight and bit-for-bit encoded
-    sketch). *)
+    sketch), and {e slo} (the continuous {!Obs.Slo} monitor, evaluated at
+    ~20ms cadence against a Theorem-6 budget with chaos slack, recorded
+    zero breaches over the whole run — transient Warnings are fine,
+    sustained over-budget burn is not). *)
 
 type config = {
   dir : string;  (** WAL + checkpoint + dedup-journal directory *)
@@ -51,6 +54,10 @@ type verdict = {
   ack_envelope : bool;
   replica_envelope : bool;
   convergence : bool;
+  slo : bool;
+  slo_breaches : int;
+      (** times the burn-rate machine entered Breach (0 required) *)
+  slo_state : Obs.Slo.state;  (** machine state at drain *)
   restarts_done : int;
   partitions_done : int;
   published : int;  (** leader's final published weight *)
@@ -76,6 +83,8 @@ module Make (M : Pipeline.Mergeable.S) : sig
   val run :
     ?progress:(string -> unit) ->
     ?metrics:Obs.Registry.t ->
+    ?tracer:Obs.Tracer.t ->
+    ?http_port:int ->
     ?record:string ->
     config ->
     spec:Workload.Trace.spec ->
@@ -92,13 +101,22 @@ module Make (M : Pipeline.Mergeable.S) : sig
       ({!Workload.Trace} [Recorded] phases, closed-loop rate) — the
       incident-capture path.
 
+      [tracer] is shared by every tier — client, server, engine, WAL
+      wrapper, replica — so one sampled batch yields the full waterfall
+      (enqueue → flush / decode → ingest → queue → merge → wal →
+      replica_apply) in one span ring. [http_port] mounts the live
+      telemetry plane ({!Obs.Http.telemetry_handler}) for the soak's
+      duration: [/metrics], [/metrics.json], [/healthz] (SLO verdict plus
+      leader/replica/client progress) and [/trace?n=K], all answerable
+      mid-chaos.
+
       Restart and partition events fire at even fractions of the trace's
       update volume (watched via the client's acked counter), leftovers
       firing after the driver completes — the configured counts always
       happen. *)
 
   val verdict_to_string : verdict -> string
-  (** The four [served-soak: <name> PASS|FAIL (...)] verdict lines, a
+  (** The five [served-soak: <name> PASS|FAIL (...)] verdict lines, a
       traffic summary, any failure reasons, and the overall
       [served-soak: PASS|FAIL] line — what the CLI prints and CI greps. *)
 end

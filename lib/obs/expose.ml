@@ -1,3 +1,17 @@
+(* Prometheus text-0.0.4 escaping differs from JSON: label values escape
+   exactly backslash, double-quote and newline — every other byte travels
+   raw (a "\t" or "	" sequence would be read back literally). HELP
+   text escapes only backslash and newline (quotes are legal there). *)
+let buf_add_prom_escaped ?(quote = true) b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' when quote -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s
+
 let buf_add_escaped b s =
   String.iter
     (fun c ->
@@ -35,7 +49,7 @@ let prom_labels b labels =
           if i > 0 then Buffer.add_char b ',';
           Buffer.add_string b k;
           Buffer.add_string b "=\"";
-          buf_add_escaped b v;
+          buf_add_prom_escaped b v;
           Buffer.add_char b '"')
         labels;
       Buffer.add_char b '}'
@@ -47,7 +61,7 @@ let prom_labels_plus b labels extra_k extra_v =
     (fun (k, v) ->
       Buffer.add_string b k;
       Buffer.add_string b "=\"";
-      buf_add_escaped b v;
+      buf_add_prom_escaped b v;
       Buffer.add_string b "\",")
     labels;
   Buffer.add_string b extra_k;
@@ -65,7 +79,7 @@ let to_prometheus (snap : Snapshot.t) =
         Buffer.add_string b "# HELP ";
         Buffer.add_string b name;
         Buffer.add_char b ' ';
-        buf_add_escaped b help;
+        buf_add_prom_escaped ~quote:false b help;
         Buffer.add_char b '\n'
       end;
       Buffer.add_string b "# TYPE ";

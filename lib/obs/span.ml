@@ -1,0 +1,44 @@
+type context = { trace_id : int64; parent : int64 }
+
+let zero = { trace_id = 0L; parent = 0L }
+let is_zero ctx = Int64.equal ctx.trace_id 0L
+let with_parent ctx span_id = { ctx with parent = span_id }
+
+type record = {
+  trace_id : int64;
+  span_id : int64;
+  parent : int64;
+  stage : string;
+  start_ns : int;
+  dur_ns : int;
+  stamp : int;
+}
+
+(* Ids print as hex (Jaeger-style); stage names are trusted constants but
+   escaped anyway so a future dynamic stage cannot corrupt the stream. *)
+let record_to_json r =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"trace_id\":\"";
+  Buffer.add_string b (Printf.sprintf "%016Lx" r.trace_id);
+  Buffer.add_string b "\",\"span_id\":\"";
+  Buffer.add_string b (Printf.sprintf "%016Lx" r.span_id);
+  Buffer.add_string b "\",\"parent\":\"";
+  Buffer.add_string b (Printf.sprintf "%016Lx" r.parent);
+  Buffer.add_string b "\",\"stage\":\"";
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    r.stage;
+  Buffer.add_string b "\",\"start_ns\":";
+  Buffer.add_string b (string_of_int r.start_ns);
+  Buffer.add_string b ",\"dur_ns\":";
+  Buffer.add_string b (string_of_int r.dur_ns);
+  Buffer.add_string b ",\"stamp\":";
+  Buffer.add_string b (string_of_int r.stamp);
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -23,6 +23,7 @@ module Make (M : Mergeable.S) = struct
     seq : int; (* per-incarnation flush sequence number *)
     weight : int; (* stream items summarized in the blob *)
     born : float; (* encode time, for merge-lag percentiles *)
+    ctx : Obs.Span.context; (* trace context, Span.zero for untraced deltas *)
     blob : Bytes.t;
   }
 
@@ -44,6 +45,13 @@ module Make (M : Mergeable.S) = struct
     steals : int Atomic.t; (* items this worker stole from other shards *)
     stolen_batches : int Atomic.t; (* steal operations by this worker *)
     parks : int Atomic.t; (* idle waits: nothing local, nothing stealable *)
+    (* One-slot mailbox for a sampled batch's trace context: [trace_mark]
+       stores (ctx, mark time) when a traced key lands in this shard's
+       queue, and the worker's next flush claims it — the span covers
+       queue residency plus fold, for either queue implementation. One
+       slot suffices at 1/sample_every tracing; a second mark before the
+       next flush just replaces the first (lossy, like the trace rings). *)
+    pending : (Obs.Span.context * int) option Atomic.t;
   }
 
   type shard_stats = {
@@ -80,7 +88,9 @@ module Make (M : Mergeable.S) = struct
     steal : bool; (* idle workers rebalance batches from loaded shards *)
     combine : bool; (* aggregate duplicate keys per batch before updating *)
     on_tick : (shard:int -> unit) option;
-    on_merge : (epoch:int -> weight:int -> blob:Bytes.t -> unit) option;
+    on_merge :
+      (ctx:Obs.Span.context -> epoch:int -> weight:int -> blob:Bytes.t -> unit)
+      option;
     checkpoint_every : int; (* 0 = no checkpoints *)
     on_checkpoint : (epoch:int -> published:int -> blob:Bytes.t -> unit) option;
     gm : Mutex.t; (* guards global/epoch/published/lags *)
@@ -93,6 +103,7 @@ module Make (M : Mergeable.S) = struct
     merger_failed : exn option Atomic.t;
     lag_timer : Obs.Timer.t option; (* merge-lag quantiles, observed per merge *)
     trace : Obs.Trace.t option; (* lanes: worker i -> i, merger -> n, watchdog -> n+1 *)
+    tracer : Obs.Tracer.t option; (* span sink for queue/merge stages *)
     rec_ : (int, int, int) Conc.Recorder.t;
     mutable workers : unit Domain.t array;
     mutable merger : unit Domain.t option;
@@ -174,10 +185,29 @@ module Make (M : Mergeable.S) = struct
     in
     let flush () =
       if !count > 0 then begin
+        (* Claim any traced batch that landed here since the last flush and
+           close its queue-residency span. A stolen traced batch is folded
+           by the thief while the mark stays on the victim's shard — the
+           victim's next flush claims it, an accepted approximation (the
+           span still ends at a flush that ships the sampled window). *)
+        let ctx =
+          match Atomic.exchange s.pending None with
+          | None -> Obs.Span.zero
+          | Some (ctx, mark_ns) -> (
+              match t.tracer with
+              | None -> ctx
+              | Some tr ->
+                  let sid =
+                    Obs.Tracer.record tr ~ctx ~stage:"queue" ~start_ns:mark_ns
+                      ~end_ns:(Obs.Tracer.now_ns ())
+                  in
+                  Obs.Span.with_parent ctx sid)
+        in
         let blob = M.encode !local in
         incr seq;
         let d =
-          { shard = i; seq = !seq; weight = !count; born = Unix.gettimeofday (); blob }
+          { shard = i; seq = !seq; weight = !count;
+            born = Unix.gettimeofday (); ctx; blob }
         in
         if Squeue.push t.mq d then begin
           ignore (Atomic.fetch_and_add s.flushed_items !count);
@@ -322,8 +352,23 @@ module Make (M : Mergeable.S) = struct
                   Obs.Trace.emit tr ~lane:dom ~tag:"merge" ~a:!stamped
                     ~b:d.weight
               | None -> ());
+              (* The merge span starts at the delta's encode time, so it
+                 covers merger-queue residency plus the fold itself —
+                 the same window [lag_timer] measures. *)
+              let ctx_out =
+                match t.tracer with
+                | Some tr when not (Obs.Span.is_zero d.ctx) ->
+                    let sid =
+                      Obs.Tracer.record tr ~ctx:d.ctx ~stage:"merge"
+                        ~start_ns:(int_of_float (d.born *. 1e9))
+                        ~end_ns:(Obs.Tracer.now_ns ())
+                    in
+                    Obs.Span.with_parent d.ctx sid
+                | _ -> d.ctx
+              in
               (match t.on_merge with
-              | Some f -> f ~epoch:!stamped ~weight:d.weight ~blob:d.blob
+              | Some f ->
+                  f ~ctx:ctx_out ~epoch:!stamped ~weight:d.weight ~blob:d.blob
               | None -> ());
               if
                 t.checkpoint_every > 0
@@ -514,7 +559,7 @@ module Make (M : Mergeable.S) = struct
 
   let create ?(queue = `Mutex) ?steal ?(queue_capacity = 1024) ?(batch = 512)
       ?(combine = false) ?on_tick ?on_merge ?(checkpoint_every = 0)
-      ?on_checkpoint ?supervisor ?metrics ?trace ?initial ~shards () =
+      ?on_checkpoint ?supervisor ?metrics ?trace ?tracer ?initial ~shards () =
     (* Stealing defaults on exactly when the lock-free ring is selected:
        the ring's multi-consumer pops make steals cheap, and without them
        a skewed trace pins one shard while the others spin empty. *)
@@ -559,6 +604,7 @@ module Make (M : Mergeable.S) = struct
         steals = Atomic.make 0;
         stolen_batches = Atomic.make 0;
         parks = Atomic.make 0;
+        pending = Atomic.make None;
       }
     in
     let t =
@@ -592,6 +638,7 @@ module Make (M : Mergeable.S) = struct
                 "pipeline_merge_lag_seconds")
             metrics;
         trace;
+        tracer;
         rec_ = Conc.Recorder.create ~domains:(shards + 2);
         workers = [||];
         merger = None;
@@ -645,6 +692,16 @@ module Make (M : Mergeable.S) = struct
       ignore (Atomic.fetch_and_add s.dropped 1);
       false
     end
+
+  (* Mark one key's shard as carrying a sampled trace context: the worker's
+     next flush claims the mark and records the queue-residency span. Call
+     alongside the ingest of a traced batch's first key (the server does);
+     a zero context is a no-op so untraced ingest pays one branch. *)
+  let trace_mark t ~key ~ctx =
+    if not (Obs.Span.is_zero ctx) then
+      Atomic.set
+        t.shards.(shard_of t key).pending
+        (Some (ctx, Obs.Tracer.now_ns ()))
 
   let try_ingest t x =
     let s = t.shards.(shard_of t x) in

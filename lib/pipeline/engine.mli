@@ -107,12 +107,14 @@ module Make (M : Mergeable.S) : sig
     ?batch:int ->
     ?combine:bool ->
     ?on_tick:(shard:int -> unit) ->
-    ?on_merge:(epoch:int -> weight:int -> blob:Bytes.t -> unit) ->
+    ?on_merge:
+      (ctx:Obs.Span.context -> epoch:int -> weight:int -> blob:Bytes.t -> unit) ->
     ?checkpoint_every:int ->
     ?on_checkpoint:(epoch:int -> published:int -> blob:Bytes.t -> unit) ->
     ?supervisor:supervisor ->
     ?metrics:Obs.Registry.t ->
     ?trace:Obs.Trace.t ->
+    ?tracer:Obs.Tracer.t ->
     ?initial:M.t * int * int ->
     shards:int ->
     unit ->
@@ -151,9 +153,12 @@ module Make (M : Mergeable.S) : sig
       and the IVL envelope are unchanged. Savings are reported per shard
       as {!shard_stats.coalesced}.
 
-      [on_merge ~epoch ~weight ~blob] runs in the merger's domain after each
-      merge, in strict epoch order, outside the query mutex — the WAL append
-      point. When [checkpoint_every > 0], every [checkpoint_every]-th epoch
+      [on_merge ~ctx ~epoch ~weight ~blob] runs in the merger's domain after
+      each merge, in strict epoch order, outside the query mutex — the WAL
+      append point. [ctx] is the merged delta's trace context
+      ({!Obs.Span.zero} unless the delta carried a sampled mark — see
+      [tracer] below), already re-parented onto the merge span, so a WAL
+      wrapper can record its append as the next stage of the waterfall. When [checkpoint_every > 0], every [checkpoint_every]-th epoch
       also calls [on_checkpoint] with a consistent [(epoch, published,
       encoded sketch)] snapshot — the checkpoint write point. Exceptions
       from either hook kill the merger and surface in {!failures}.
@@ -187,6 +192,15 @@ module Make (M : Mergeable.S) : sig
       single-writer plain stores into preallocated rings — lossy by design,
       never blocking.
 
+      [tracer] enables distributed-tracing spans for sampled batches: after
+      {!trace_mark} tags a shard with a context, that worker's next flush
+      records a ["queue"] span (mark → flush: queue residency plus fold,
+      both queue implementations) and attaches the context to the delta;
+      the merger then records a ["merge"] span (encode → merged, the same
+      window as [pipeline_merge_lag_seconds]) and hands the re-parented
+      context to [on_merge]. Unsampled traffic pays one atomic-load branch
+      per flush.
+
       [initial (sketch, epoch, published)] seeds the engine with recovered
       state ([Durable.Recovery]) instead of an empty sketch: the global
       starts as [sketch], epoch numbering continues from [epoch], and the
@@ -207,6 +221,14 @@ module Make (M : Mergeable.S) : sig
 
   val try_ingest : t -> int -> bool
   (** Non-blocking variant: a full queue is an immediate drop (counted). *)
+
+  val trace_mark : t -> key:int -> ctx:Obs.Span.context -> unit
+  (** Tag [key]'s shard with a sampled trace context so the worker's next
+      flush opens the in-engine leg of the waterfall (see [tracer] in
+      {!create}). Call next to the ingest of a traced batch's first key; a
+      {!Obs.Span.zero} context is a no-op. One-slot per shard — a second
+      mark before the next flush replaces the first (lossy, like spans
+      generally). *)
 
   val drain : t -> unit
   (** Graceful shutdown: stop the watchdog, close shard queues, let workers

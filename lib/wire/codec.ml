@@ -53,6 +53,7 @@ let net_subscribe_kind = 14
 let net_delta_kind = 15
 let net_hello_kind = 16
 let net_session_kind = 17
+let net_batch2_kind = 18
 
 let kind_name = function
   | 1 -> "countmin"
@@ -72,9 +73,10 @@ let kind_name = function
   | 15 -> "net-delta"
   | 16 -> "net-hello"
   | 17 -> "net-session"
+  | 18 -> "net-batch2"
   | k -> Printf.sprintf "unknown(%d)" k
 
-let known_kind k = k >= 1 && k <= 17
+let known_kind k = k >= 1 && k <= 18
 
 let corrupt fmt = Printf.ksprintf (fun msg -> raise (Decode_error (Corrupt msg))) fmt
 

@@ -96,6 +96,12 @@ val net_session_kind : int
     count) triple, persisted so the dedup window survives a WAL restart
     ([Net.Dedup]). *)
 
+val net_batch2_kind : int
+(** A served-tier ingest request carrying a sampled trace context
+    (trace id + parent span id) between session/seq and the keys.
+    Batches with a zero context still travel as {!net_batch_kind}, so
+    peers that predate tracing interoperate unchanged ([Net.Frame]). *)
+
 val kind_name : int -> string
 
 val known_kind : int -> bool

@@ -152,7 +152,7 @@ let last_segment dir =
         let path = Filename.concat dir name in
         Some (path, (Unix.stat path).Unix.st_size)
 
-let run ?(progress = fun _ -> ()) c ~spec ~ops () =
+let run ?(progress = fun _ -> ()) ?metrics c ~spec ~ops () =
   validate_config c ~spec ~ops;
   let module M = Pipeline.Targets.Countmin (struct
     let seed = c.sketch_seed
@@ -210,7 +210,9 @@ let run ?(progress = fun _ -> ()) c ~spec ~ops () =
     in
     prev_rec_epoch := rec_epoch;
     (* ---- fresh incarnation: WAL + checkpoints + supervisor + chaos ---- *)
-    let registry = Obs.Registry.create () in
+    let registry =
+      match metrics with Some r -> r | None -> Obs.Registry.create ()
+    in
     let wal =
       Durable.Wal.create ~fsync:(Durable.Wal.Every_n c.fsync_every) ~metrics:registry
         ~dir:c.dir ()
@@ -233,7 +235,8 @@ let run ?(progress = fun _ -> ()) c ~spec ~ops () =
     let eng =
       P.create ~queue:c.queue ~queue_capacity:c.queue_capacity ~batch:c.batch
         ~on_tick:(fun ~shard -> Conc.Chaos.point_once chaos ~domain:shard)
-        ~on_merge:(fun ~epoch ~weight ~blob -> Durable.Wal.append wal ~epoch ~weight ~blob)
+        ~on_merge:(fun ~ctx:_ ~epoch ~weight ~blob ->
+          Durable.Wal.append wal ~epoch ~weight ~blob)
         ~checkpoint_every:c.checkpoint_every
         ~on_checkpoint:(fun ~epoch ~published ~blob ->
           Durable.Checkpoint.write ~dir:c.dir ~epoch ~published ~blob ())

@@ -99,6 +99,7 @@ type verdict = {
 
 val run :
   ?progress:(string -> unit) ->
+  ?metrics:Obs.Registry.t ->
   config ->
   spec:Trace.spec ->
   ops:Scenario.op array array ->
@@ -107,6 +108,11 @@ val run :
 (** Run the soak. Each phase of the trace is split into [rounds] contiguous
     slices, so every round sees every phase's traffic shape. [progress]
     receives one line per round milestone (recover, drive, check).
+    [metrics] shares one registry across every round's engine and WAL
+    instead of a fresh per-round one: counters accumulate over the whole
+    soak and derived gauges rebind to the newest incarnation, so a live
+    scrape plane (Obs.Http) mounted on the registry watches the soak
+    end to end.
     @raise Invalid_argument on a malformed config (non-positive counts,
     [kills_per_round > shards], [ops] not matching [spec]). *)
 

@@ -367,7 +367,7 @@ let test_engine_recovery_envelope_random_crashes () =
   let wal = Durable.Wal.create ~dir:proto ~fsync:Durable.Wal.Never () in
   let p =
     P.create ~queue_capacity:256 ~batch:64
-      ~on_merge:(fun ~epoch ~weight ~blob ->
+      ~on_merge:(fun ~ctx:_ ~epoch ~weight ~blob ->
         Durable.Wal.append wal ~epoch ~weight ~blob)
       ~checkpoint_every:8
       ~on_checkpoint:(fun ~epoch ~published ~blob ->

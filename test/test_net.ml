@@ -29,7 +29,8 @@ let check_bool = Alcotest.(check bool)
 
 (* Session 0L opts out of dedup — the legacy wire shape most protocol
    tests want; effectively-once tests pass a real session explicitly. *)
-let batch ?(session = 0L) ?(seq = 0) keys = Frame.Batch { session; seq; keys }
+let batch ?(session = 0L) ?(seq = 0) ?(ctx = Obs.Span.zero) keys =
+  Frame.Batch { session; seq; ctx; keys }
 
 (* ------------------------------------------------------------------ *)
 (* Frame vocabulary                                                    *)
@@ -52,12 +53,13 @@ let roundtrip_push p =
 
 let test_request_roundtrip () =
   (match roundtrip_request (batch [| 1; 2; 3; 1000000; 0 |]) with
-  | Frame.Batch { keys = ks; session; seq } ->
+  | Frame.Batch { keys = ks; session; seq; ctx } ->
       check_int "batch len" 5 (Array.length ks);
       check_int "batch last" 0 ks.(4);
       check_int "batch big" 1000000 ks.(3);
       check_bool "legacy session" true (Int64.equal session 0L);
-      check_int "legacy seq" 0 seq
+      check_int "legacy seq" 0 seq;
+      check_bool "legacy ctx" true (Obs.Span.is_zero ctx)
   | _ -> Alcotest.fail "not a batch");
   (match roundtrip_request (batch [||]) with
   | Frame.Batch { keys = ks; _ } -> check_int "empty batch" 0 (Array.length ks)
@@ -66,7 +68,7 @@ let test_request_roundtrip () =
   (match
      roundtrip_request (batch ~session:Int64.max_int ~seq:max_int [| 7 |])
    with
-  | Frame.Batch { session; seq; keys } ->
+  | Frame.Batch { session; seq; keys; _ } ->
       check_bool "session" true (Int64.equal session Int64.max_int);
       check_int "seq" max_int seq;
       check_int "keys" 7 keys.(0)
@@ -162,6 +164,47 @@ let test_frame_schema_validation () =
   match Frame.decode_request cut with
   | Error (Codec.Truncated _) -> ()
   | _ -> Alcotest.fail "truncated batch accepted"
+
+let test_span_ctx_wire () =
+  (* A sampled batch rides the net-batch2 frame and the context survives
+     the wire exactly, alongside the effectively-once fields. *)
+  let ctx =
+    { Obs.Span.trace_id = 0x1122334455667788L; parent = 0x0102030405060708L }
+  in
+  let traced = Frame.encode_request (batch ~session:9L ~seq:4 ~ctx [| 1; 2; 3 |]) in
+  (match Codec.peek traced with
+  | Ok (name, _) -> Alcotest.(check string) "traced kind" "net-batch2" name
+  | Error e -> Alcotest.failf "peek: %s" (Codec.error_to_string e));
+  (match Frame.decode_request traced with
+  | Ok (Frame.Batch { session; seq; ctx = ctx'; keys }) ->
+      check_bool "session" true (Int64.equal session 9L);
+      check_int "seq" 4 seq;
+      check_bool "trace id" true
+        (Int64.equal ctx'.Obs.Span.trace_id 0x1122334455667788L);
+      check_bool "parent" true
+        (Int64.equal ctx'.Obs.Span.parent 0x0102030405060708L);
+      check_int "keys" 3 (Array.length keys)
+  | Ok _ -> Alcotest.fail "not a batch"
+  | Error e -> Alcotest.failf "decode: %s" (Codec.error_to_string e));
+  (* The opt-out: a zero context encodes byte-identical to the legacy
+     net-batch frame, so untraced senders are indistinguishable from
+     pre-tracing builds on the wire. *)
+  let plain =
+    Frame.encode_request (batch ~session:9L ~seq:4 [| 1; 2; 3 |])
+  in
+  let explicit_zero =
+    Frame.encode_request
+      (batch ~session:9L ~seq:4 ~ctx:Obs.Span.zero [| 1; 2; 3 |])
+  in
+  check_bool "zero ctx = legacy bytes" true (Bytes.equal plain explicit_zero);
+  (match Codec.peek plain with
+  | Ok (name, _) -> Alcotest.(check string) "legacy kind" "net-batch" name
+  | Error e -> Alcotest.failf "peek: %s" (Codec.error_to_string e));
+  (* A half-zero context is still sampled: only the all-zero pair opts out. *)
+  let half = { Obs.Span.trace_id = 1L; parent = 0L } in
+  match Codec.peek (Frame.encode_request (batch ~ctx:half [| 7 |])) with
+  | Ok (name, _) -> Alcotest.(check string) "root ctx still traced" "net-batch2" name
+  | Error e -> Alcotest.failf "peek: %s" (Codec.error_to_string e)
 
 (* Satellite regression: a kind tag this build does not know at all. *)
 let test_unknown_kind () =
@@ -460,6 +503,111 @@ let test_sink_seam () =
   sink.Workload.Sink.flush ();
   check_int "both ingests landed" 2 !got;
   check_int "flush ran" 1 !flushed
+
+(* ------------------------------------------------------------------ *)
+(* Cross-tier tracing waterfall                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_waterfall () =
+  (* One tracer shared by client, server and engine over live loopback
+     (in one process the tiers can share a span sink): a sampled batch
+     must leave a waterfall whose stages are recorded in pipeline order —
+     enqueue -> flush -> decode -> ingest -> queue -> merge — all under
+     one trace id, each stage parented on an earlier span. *)
+  let reg = Obs.Registry.create () in
+  let tracer =
+    Obs.Tracer.create ~sample_every:1 ~seed:5L ~keep:4096 ~metrics:reg ()
+  in
+  let srv =
+    Srv.create ~read_timeout:5.0 ~metrics:reg ~tracer
+      ~eval:(fun _ _ -> None)
+      ~make_engine:(fun ~on_merge ->
+        Srv.P.create ~shards:2 ~batch:8 ~tracer ~on_merge ())
+      ()
+  in
+  let cli =
+    Net.Client.create ~conns:1 ~batch:16 ~flush_age:0.01 ~tracer
+      ~host:"127.0.0.1" ~port:(Srv.port srv) ()
+  in
+  for i = 1 to 400 do
+    check_bool "push accepted" true (Net.Client.push cli (i land 63))
+  done;
+  Net.Client.flush cli;
+  Net.Client.close cli;
+  ignore (Srv.stop srv);
+  let spans = Obs.Tracer.recent tracer 4096 in
+  check_bool "spans recorded" true (spans <> []);
+  (* Group by trace id, keep the first span per stage. *)
+  let traces = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Obs.Span.record) ->
+      let l =
+        match Hashtbl.find_opt traces r.Obs.Span.trace_id with
+        | Some l -> l
+        | None -> []
+      in
+      if not (List.mem_assoc r.Obs.Span.stage l) then
+        Hashtbl.replace traces r.Obs.Span.trace_id ((r.Obs.Span.stage, r) :: l))
+    spans;
+  let order = [ "enqueue"; "decode"; "ingest"; "queue"; "merge"; "flush" ] in
+  let complete =
+    Hashtbl.fold
+      (fun _ l acc ->
+        if List.for_all (fun s -> List.mem_assoc s l) order then l :: acc
+        else acc)
+      traces []
+  in
+  (* The engine's per-shard trace mailbox is one slot, so not every batch
+     completes the chain — but with every batch sampled at least one must. *)
+  check_bool
+    (Printf.sprintf "at least one complete waterfall (%d traces, %d spans)"
+       (Hashtbl.length traces) (List.length spans))
+    true (complete <> []);
+  List.iter
+    (fun l ->
+      let stamp s = (List.assoc s l).Obs.Span.stamp in
+      let rec check_chain = function
+        | a :: (b :: _ as rest) ->
+            check_bool
+              (Printf.sprintf "stage %s recorded before %s" a b)
+              true
+              (stamp a < stamp b);
+            check_chain rest
+        | _ -> ()
+      in
+      (* Recording order is only total along each causal chain: the client
+         closes its "flush" span after the server's ack, and the shard
+         worker's queue/merge spans race that ack — so check the ingest
+         path and the merge path separately. *)
+      check_chain [ "enqueue"; "decode"; "ingest"; "flush" ];
+      check_chain [ "enqueue"; "decode"; "queue"; "merge" ];
+      (* Every non-root stage is parented on another span of this trace. *)
+      let ids =
+        List.map (fun (_, (r : Obs.Span.record)) -> r.Obs.Span.span_id) l
+      in
+      List.iter
+        (fun (s, (r : Obs.Span.record)) ->
+          if s <> "enqueue" then
+            check_bool
+              (Printf.sprintf "stage %s parented in-trace" s)
+              true
+              (List.exists (Int64.equal r.Obs.Span.parent) ids))
+        l)
+    complete;
+  (* The per-stage latency series exist for every pipeline stage. *)
+  let snap = Obs.Registry.snapshot reg in
+  List.iter
+    (fun s ->
+      match
+        Obs.Snapshot.find snap ~labels:[ ("stage", s) ] "trace_stage_seconds"
+      with
+      | Some (Obs.Snapshot.Summary sum) ->
+          check_bool
+            (Printf.sprintf "stage %s timer populated" s)
+            true
+            (sum.Obs.Snapshot.s_count > 0)
+      | _ -> Alcotest.failf "missing trace_stage_seconds{stage=%S}" s)
+    order
 
 (* ------------------------------------------------------------------ *)
 (* Follower replica                                                    *)
@@ -1083,6 +1231,8 @@ let () =
           Alcotest.test_case "schema validation" `Quick
             test_frame_schema_validation;
           Alcotest.test_case "unknown kind" `Quick test_unknown_kind;
+          Alcotest.test_case "span context on the wire" `Quick
+            test_span_ctx_wire;
         ] );
       ( "server",
         [
@@ -1096,6 +1246,8 @@ let () =
           Alcotest.test_case "batched roundtrip" `Quick test_client_roundtrip;
           Alcotest.test_case "dead server sheds" `Quick test_client_dead_server;
           Alcotest.test_case "sink seam" `Quick test_sink_seam;
+          Alcotest.test_case "tracing waterfall over loopback" `Quick
+            test_trace_waterfall;
         ] );
       ( "effectively-once",
         [

@@ -489,6 +489,297 @@ let test_pipeline_metrics_registration () =
        false
      with Invalid_argument _ -> true)
 
+(* ------------------- Prometheus label-value escaping ------------------- *)
+
+let test_expose_prometheus_escaping () =
+  (* text-0.0.4: label values escape exactly backslash, double-quote and
+     newline; everything else (a tab here) travels raw. HELP text escapes
+     backslash and newline only — quotes are legal there. *)
+  let reg = Obs.Registry.create () in
+  let c =
+    Obs.Registry.counter reg ~help:"back\\slash and\nnewline \"quoted\""
+      ~labels:[ ("path", "a\\b\"c\nd\te") ]
+      "esc_total"
+  in
+  Obs.Counter.add c 1;
+  let text = Obs.Expose.to_prometheus (Obs.Registry.snapshot reg) in
+  Alcotest.(check bool) "label value escaped" true
+    (contains text "esc_total{path=\"a\\\\b\\\"c\\nd\te\"} 1");
+  Alcotest.(check bool) "help escaped, quotes raw" true
+    (contains text "# HELP esc_total back\\\\slash and\\nnewline \"quoted\"");
+  (* The exposition stays line-oriented: the raw newline inside the label
+     value must not have split the sample across two lines. *)
+  let lines = String.split_on_char '\n' text in
+  Alcotest.(check bool) "sample is one line" true
+    (List.exists
+       (fun l ->
+         contains l "esc_total{" && contains l "} 1" && contains l "\\n")
+       lines)
+
+(* ------------------------------ span/tracer ---------------------------- *)
+
+let test_span_context () =
+  Alcotest.(check bool) "zero is zero" true (Obs.Span.is_zero Obs.Span.zero);
+  let ctx = { Obs.Span.trace_id = 7L; parent = 0L } in
+  Alcotest.(check bool) "nonzero trace id" false (Obs.Span.is_zero ctx);
+  let ctx' = Obs.Span.with_parent ctx 42L in
+  Alcotest.(check bool) "trace id preserved" true
+    (Int64.equal ctx'.Obs.Span.trace_id 7L);
+  Alcotest.(check bool) "parent replaced" true
+    (Int64.equal ctx'.Obs.Span.parent 42L);
+  let r =
+    {
+      Obs.Span.trace_id = 0xABCL;
+      span_id = 1L;
+      parent = 0L;
+      stage = "decode";
+      start_ns = 5;
+      dur_ns = 3;
+      stamp = 9;
+    }
+  in
+  let j = Obs.Span.record_to_json r in
+  Alcotest.(check bool) "json has stage" true (contains j "\"stage\":\"decode\"");
+  Alcotest.(check bool) "json has dur" true (contains j "\"dur_ns\":3")
+
+let test_tracer_sampling_deterministic () =
+  let decisions t n = List.init n (fun _ -> Obs.Tracer.sample t <> None) in
+  let t1 = Obs.Tracer.create ~sample_every:8 ~seed:99L () in
+  let t2 = Obs.Tracer.create ~sample_every:8 ~seed:99L () in
+  let d1 = decisions t1 2000 and d2 = decisions t2 2000 in
+  Alcotest.(check bool) "same seed, same decision sequence" true (d1 = d2);
+  let hits = List.length (List.filter Fun.id d1) in
+  Alcotest.(check int) "sampled counter agrees" hits (Obs.Tracer.sampled t1);
+  (* roughly 1/8: a 4x band keeps the check seed-robust *)
+  Alcotest.(check bool)
+    (Printf.sprintf "rate in ballpark (%d/2000)" hits)
+    true
+    (hits > 2000 / 32 && hits < 2000 / 2);
+  let t3 = Obs.Tracer.create ~sample_every:8 ~seed:100L () in
+  Alcotest.(check bool) "different seed diverges" false (decisions t3 2000 = d1);
+  let every = Obs.Tracer.create ~sample_every:1 ~seed:1L () in
+  Alcotest.(check bool) "sample_every 1 traces all" true
+    (List.for_all Fun.id (decisions every 100));
+  let off = Obs.Tracer.create ~sample_every:0 ~seed:1L () in
+  Alcotest.(check bool) "sample_every 0 disables" true
+    (List.for_all not (decisions off 100));
+  Alcotest.(check bool) "negative rate rejected" true
+    (try
+       ignore (Obs.Tracer.create ~sample_every:(-1) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_tracer_ring_overflow_and_chain () =
+  let reg = Obs.Registry.create () in
+  let tr = Obs.Tracer.create ~sample_every:1 ~seed:3L ~keep:16 ~metrics:reg () in
+  (* Zero context: no span minted, nothing recorded. *)
+  let sid =
+    Obs.Tracer.record tr ~ctx:Obs.Span.zero ~stage:"decode" ~start_ns:0
+      ~end_ns:1
+  in
+  Alcotest.(check bool) "zero ctx returns 0L" true (Int64.equal sid 0L);
+  Alcotest.(check int) "zero ctx not recorded" 0 (Obs.Tracer.spans tr);
+  (* A two-stage parent chain. *)
+  let ctx = Option.get (Obs.Tracer.sample tr) in
+  Alcotest.(check bool) "root parent is 0" true
+    (Int64.equal ctx.Obs.Span.parent 0L);
+  let t0 = Obs.Tracer.now_ns () in
+  let sid1 = Obs.Tracer.record tr ~ctx ~stage:"enqueue" ~start_ns:t0 ~end_ns:t0 in
+  let ctx2 = Obs.Span.with_parent ctx sid1 in
+  let sid2 =
+    Obs.Tracer.record tr ~ctx:ctx2 ~stage:"flush" ~start_ns:t0
+      ~end_ns:(Obs.Tracer.now_ns ())
+  in
+  Alcotest.(check bool) "distinct span ids" false (Int64.equal sid1 sid2);
+  (match Obs.Tracer.recent tr 2 with
+  | [ a; b ] ->
+      Alcotest.(check bool) "one trace" true
+        (Int64.equal a.Obs.Span.trace_id b.Obs.Span.trace_id);
+      Alcotest.(check string) "oldest first" "enqueue" a.Obs.Span.stage;
+      Alcotest.(check bool) "flush parented on enqueue" true
+        (Int64.equal b.Obs.Span.parent sid1);
+      Alcotest.(check bool) "stamps ordered" true
+        (a.Obs.Span.stamp < b.Obs.Span.stamp)
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l));
+  (* Overflow the keep=16 ring: only the most recent 16 survive and the
+     overwritten ones are counted as dropped. *)
+  for _ = 1 to 98 do
+    let ctx = Option.get (Obs.Tracer.sample tr) in
+    ignore (Obs.Tracer.record tr ~ctx ~stage:"decode" ~start_ns:0 ~end_ns:1)
+  done;
+  Alcotest.(check int) "spans ever" 100 (Obs.Tracer.spans tr);
+  let recent = Obs.Tracer.recent tr 1000 in
+  Alcotest.(check int) "ring keeps 16" 16 (List.length recent);
+  let stamps = List.map (fun (r : Obs.Span.record) -> r.Obs.Span.stamp) recent in
+  Alcotest.(check bool) "stamps strictly increasing" true
+    (List.for_all2 ( < )
+       (List.filteri (fun i _ -> i < 15) stamps)
+       (List.tl stamps));
+  let snap = Obs.Registry.snapshot reg in
+  Alcotest.(check int) "dropped accounting" 84
+    (Obs.Snapshot.counter_value snap "trace_spans_dropped_total");
+  Alcotest.(check int) "spans total" 100
+    (Obs.Snapshot.counter_value snap "trace_spans_total")
+
+(* --------------------------------- slo --------------------------------- *)
+
+let slo_fixture ?(warn_ratio = 0.5) ?(breach_after = 3) ?(clear_after = 2)
+    ?metrics width =
+  Obs.Slo.create ?metrics
+    ~budget:{ Obs.Slo.envelope_width = 100.0; staleness = 10.0; merge_lag = 1.0 }
+    ~warn_ratio ~breach_after ~clear_after
+    ~envelope:(fun () -> !width)
+    ~staleness:(fun () -> -1.0) (* unknown: must score in-budget *)
+    ~merge_lag:(fun () -> 0.0)
+    ()
+
+let test_slo_burn_machine () =
+  let width = ref 0.0 in
+  let reg = Obs.Registry.create () in
+  let slo = slo_fixture ~metrics:reg width in
+  let eval () = (Obs.Slo.eval slo).Obs.Slo.state in
+  Alcotest.(check bool) "starts ok" true (eval () = Obs.Slo.Ok);
+  (* Warning arms immediately at warn_ratio, without hysteresis. *)
+  width := 60.0;
+  Alcotest.(check bool) "warn at 0.6x" true (eval () = Obs.Slo.Warning);
+  (* Breach needs breach_after consecutive over-budget evals. *)
+  width := 150.0;
+  Alcotest.(check bool) "over 1" true (eval () = Obs.Slo.Warning);
+  Alcotest.(check bool) "over 2" true (eval () = Obs.Slo.Warning);
+  Alcotest.(check bool) "over 3 breaches" true (eval () = Obs.Slo.Breach);
+  Alcotest.(check int) "one breach counted" 1 (Obs.Slo.breaches slo);
+  (* A single clean eval must not clear it (hysteresis)... *)
+  width := 10.0;
+  Alcotest.(check bool) "clean 1 still breach" true (eval () = Obs.Slo.Breach);
+  (* ...but clear_after consecutive clean evals step it down one level. *)
+  Alcotest.(check bool) "clean 2 downgrades" true (eval () = Obs.Slo.Warning);
+  Alcotest.(check bool) "clean 3 clears" true (eval () = Obs.Slo.Ok);
+  Alcotest.(check int) "breach count sticky" 1 (Obs.Slo.breaches slo);
+  let v = Obs.Slo.current slo in
+  Alcotest.(check string) "worst dim" "envelope_width" v.Obs.Slo.worst_dim;
+  (* An interrupted over-streak never reaches breach. *)
+  width := 150.0;
+  ignore (eval ());
+  ignore (eval ());
+  width := 10.0;
+  ignore (eval ());
+  width := 150.0;
+  ignore (eval ());
+  ignore (eval ());
+  Alcotest.(check int) "streak reset prevented breach" 1
+    (Obs.Slo.breaches slo);
+  let snap = Obs.Registry.snapshot reg in
+  fcheck "slo_status gauge" 1.0 (Obs.Snapshot.gauge_value snap "slo_status");
+  Alcotest.(check int) "slo_breaches_total" 1
+    (Obs.Snapshot.counter_value snap "slo_breaches_total");
+  fcheck "per-dim ratio" 1.5
+    (Obs.Snapshot.gauge_value snap
+       ~labels:[ ("dim", "envelope_width") ]
+       "slo_ratio")
+
+let test_slo_theorem6_budget () =
+  let b =
+    Obs.Slo.theorem6_budget ~slack:2.0 ~shards:4 ~batch:512 ~queue_capacity:1024
+      ()
+  in
+  fcheck "envelope bound" (float_of_int (4 * (512 + 1024) * 2))
+    b.Obs.Slo.envelope_width;
+  fcheck "staleness mirrors envelope" b.Obs.Slo.envelope_width
+    b.Obs.Slo.staleness;
+  fcheck "merge lag floored" 8.0 b.Obs.Slo.merge_lag;
+  let tiny = Obs.Slo.theorem6_budget ~shards:1 ~batch:1 ~queue_capacity:1 () in
+  fcheck "merge lag floor is 1s" 1.0 tiny.Obs.Slo.merge_lag;
+  Alcotest.(check bool) "rejects bad slack" true
+    (try
+       ignore (Obs.Slo.theorem6_budget ~slack:0.0 ~shards:1 ~batch:1
+                 ~queue_capacity:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --------------------------------- http -------------------------------- *)
+
+let http_get port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req = Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" path in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+  in
+  drain ();
+  Unix.close fd;
+  let raw = Buffer.contents buf in
+  let status =
+    match String.split_on_char ' ' raw with
+    | _ :: code :: _ -> int_of_string code
+    | _ -> -1
+  in
+  let body =
+    match String.index_opt raw '\r' with
+    | None -> ""
+    | Some _ -> (
+        let rec find i =
+          if i + 4 > String.length raw then String.length raw
+          else if String.sub raw i 4 = "\r\n\r\n" then i + 4
+          else find (i + 1)
+        in
+        let i = find 0 in
+        String.sub raw i (String.length raw - i))
+  in
+  (status, body)
+
+let test_http_telemetry_plane () =
+  let reg = Obs.Registry.create () in
+  Obs.Counter.add (Obs.Registry.counter reg "requests_total") 3;
+  let tr = Obs.Tracer.create ~sample_every:1 ~seed:2L () in
+  let ctx = Option.get (Obs.Tracer.sample tr) in
+  ignore (Obs.Tracer.record tr ~ctx ~stage:"decode" ~start_ns:10 ~end_ns:20);
+  let width = ref 150.0 in
+  let slo = slo_fixture ~warn_ratio:1.0 ~breach_after:1 width in
+  let h =
+    Obs.Http.create ~port:0
+      ~handler:
+        (Obs.Http.telemetry_handler ~registry:reg ~tracer:tr ~slo
+           ~health:(fun () -> [ ("role", "test") ])
+           ())
+      ()
+  in
+  let port = Obs.Http.port h in
+  let status, body = http_get port "/metrics" in
+  Alcotest.(check int) "metrics 200" 200 status;
+  Alcotest.(check bool) "prometheus body" true
+    (contains body "requests_total 3");
+  let status, body = http_get port "/metrics.json" in
+  Alcotest.(check int) "json 200" 200 status;
+  Alcotest.(check bool) "json body" true
+    (contains body "\"name\":\"requests_total\"");
+  let status, body = http_get port "/trace?n=8" in
+  Alcotest.(check int) "trace 200" 200 status;
+  Alcotest.(check bool) "trace body" true
+    (contains body "\"stage\":\"decode\"");
+  (* First /healthz scrape drives Ok -> Warning (still 200); the second
+     completes the breach_after:1 streak -> Breach and must turn 503 so
+     curl -f and load balancers see it. *)
+  let status, body = http_get port "/healthz" in
+  Alcotest.(check int) "healthz warning is 200" 200 status;
+  Alcotest.(check bool) "health kv present" true
+    (contains body "\"role\":\"test\"");
+  let status, body = http_get port "/healthz" in
+  Alcotest.(check int) "healthz breach is 503" 503 status;
+  Alcotest.(check bool) "breach visible" true (contains body "breach");
+  let status, _ = http_get port "/nope" in
+  Alcotest.(check int) "unknown path 404" 404 status;
+  Alcotest.(check bool) "requests counted" true (Obs.Http.requests h >= 6);
+  Obs.Http.stop h;
+  Obs.Http.stop h (* idempotent *)
+
 let () =
   Alcotest.run "obs"
     [
@@ -529,6 +820,25 @@ let () =
         [
           Alcotest.test_case "prometheus text" `Quick test_expose_prometheus;
           Alcotest.test_case "json and table" `Quick test_expose_json_and_table;
+          Alcotest.test_case "prometheus escaping" `Quick
+            test_expose_prometheus_escaping;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "context and json" `Quick test_span_context;
+          Alcotest.test_case "sampling determinism" `Quick
+            test_tracer_sampling_deterministic;
+          Alcotest.test_case "ring overflow and parent chain" `Quick
+            test_tracer_ring_overflow_and_chain;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "burn-rate machine" `Quick test_slo_burn_machine;
+          Alcotest.test_case "theorem-6 budget" `Quick test_slo_theorem6_budget;
+        ] );
+      ( "http",
+        [
+          Alcotest.test_case "telemetry plane" `Quick test_http_telemetry_plane;
         ] );
       ( "pipeline",
         [
